@@ -1,0 +1,236 @@
+//! Alignment representation: edit operations, rendering, and statistics.
+
+use biodist_bioseq::{ScoringScheme, Sequence};
+
+/// One column of a pairwise alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlnOp {
+    /// Residue from both sequences (may be identical or a substitution).
+    Pair,
+    /// Residue from the first sequence aligned to a gap in the second.
+    GapInB,
+    /// Residue from the second sequence aligned to a gap in the first.
+    GapInA,
+}
+
+/// A scored pairwise alignment of two sequences (or sub-sequences).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedPair {
+    /// Alignment score under the scheme used to produce it.
+    pub score: i32,
+    /// Half-open range of the first sequence covered by the alignment.
+    pub a_range: std::ops::Range<usize>,
+    /// Half-open range of the second sequence covered by the alignment.
+    pub b_range: std::ops::Range<usize>,
+    /// Alignment columns, in order.
+    pub ops: Vec<AlnOp>,
+}
+
+impl AlignedPair {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the alignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts (identical pairs, substituted pairs, gap columns) against
+    /// the two sequences the alignment was computed from.
+    pub fn column_counts(&self, a: &Sequence, b: &Sequence) -> (usize, usize, usize) {
+        let (mut ident, mut subst, mut gaps) = (0, 0, 0);
+        let (mut i, mut j) = (self.a_range.start, self.b_range.start);
+        for op in &self.ops {
+            match op {
+                AlnOp::Pair => {
+                    if a.codes()[i] == b.codes()[j] {
+                        ident += 1;
+                    } else {
+                        subst += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                AlnOp::GapInB => {
+                    gaps += 1;
+                    i += 1;
+                }
+                AlnOp::GapInA => {
+                    gaps += 1;
+                    j += 1;
+                }
+            }
+        }
+        (ident, subst, gaps)
+    }
+
+    /// Fraction of columns that are identical residue pairs.
+    pub fn identity(&self, a: &Sequence, b: &Sequence) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let (ident, _, _) = self.column_counts(a, b);
+        ident as f64 / self.ops.len() as f64
+    }
+
+    /// Recomputes the score of this alignment from first principles and
+    /// checks it equals [`AlignedPair::score`]. Used by tests and debug
+    /// assertions to validate tracebacks.
+    pub fn verify_score(&self, a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> bool {
+        let mut total: i64 = 0;
+        let (mut i, mut j) = (self.a_range.start, self.b_range.start);
+        let mut run: Option<(AlnOp, usize)> = None;
+        let flush = |run: &mut Option<(AlnOp, usize)>, total: &mut i64| {
+            if let Some((_, len)) = run.take() {
+                *total -= scheme.gap.cost(len);
+            }
+        };
+        for &op in &self.ops {
+            match op {
+                AlnOp::Pair => {
+                    flush(&mut run, &mut total);
+                    total += scheme.matrix.score(a.codes()[i], b.codes()[j]) as i64;
+                    i += 1;
+                    j += 1;
+                }
+                gap @ (AlnOp::GapInA | AlnOp::GapInB) => {
+                    match &mut run {
+                        Some((kind, len)) if *kind == gap => *len += 1,
+                        _ => {
+                            flush(&mut run, &mut total);
+                            run = Some((gap, 1));
+                        }
+                    }
+                    if gap == AlnOp::GapInB {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        flush(&mut run, &mut total);
+        i == self.a_range.end && j == self.b_range.end && total == self.score as i64
+    }
+
+    /// Renders the classic three-line alignment view (sequence A, a
+    /// match line with `|` for identities, sequence B).
+    pub fn render(&self, a: &Sequence, b: &Sequence) -> String {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        let (mut i, mut j) = (self.a_range.start, self.b_range.start);
+        for op in &self.ops {
+            match op {
+                AlnOp::Pair => {
+                    let (ca, cb) = (a.codes()[i], b.codes()[j]);
+                    top.push(a.alphabet.decode(ca) as char);
+                    mid.push(if ca == cb { '|' } else { ' ' });
+                    bot.push(b.alphabet.decode(cb) as char);
+                    i += 1;
+                    j += 1;
+                }
+                AlnOp::GapInB => {
+                    top.push(a.alphabet.decode(a.codes()[i]) as char);
+                    mid.push(' ');
+                    bot.push('-');
+                    i += 1;
+                }
+                AlnOp::GapInA => {
+                    top.push('-');
+                    mid.push(' ');
+                    bot.push(b.alphabet.decode(b.codes()[j]) as char);
+                    j += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodist_bioseq::Alphabet;
+
+    fn seq(text: &str) -> Sequence {
+        Sequence::from_text("s", "", Alphabet::Dna, text).unwrap()
+    }
+
+    #[test]
+    fn column_counts_and_identity() {
+        // A C G T      vs  A C - T with one gap and full identity elsewhere.
+        let a = seq("ACGT");
+        let b = seq("ACT");
+        let aln = AlignedPair {
+            score: 0,
+            a_range: 0..4,
+            b_range: 0..3,
+            ops: vec![AlnOp::Pair, AlnOp::Pair, AlnOp::GapInB, AlnOp::Pair],
+        };
+        let (ident, subst, gaps) = aln.column_counts(&a, &b);
+        assert_eq!((ident, subst, gaps), (3, 0, 1));
+        assert!((aln.identity(&a, &b) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_score_accepts_correct_affine_total() {
+        let a = seq("ACGT");
+        let b = seq("ACT");
+        let scheme = ScoringScheme::dna_default(); // +5/-4, gap 10/1
+        let aln = AlignedPair {
+            score: 5 + 5 - 10 + 5,
+            a_range: 0..4,
+            b_range: 0..3,
+            ops: vec![AlnOp::Pair, AlnOp::Pair, AlnOp::GapInB, AlnOp::Pair],
+        };
+        assert!(aln.verify_score(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn verify_score_rejects_wrong_total_or_ranges() {
+        let a = seq("ACGT");
+        let b = seq("ACT");
+        let scheme = ScoringScheme::dna_default();
+        let mut aln = AlignedPair {
+            score: 99,
+            a_range: 0..4,
+            b_range: 0..3,
+            ops: vec![AlnOp::Pair, AlnOp::Pair, AlnOp::GapInB, AlnOp::Pair],
+        };
+        assert!(!aln.verify_score(&a, &b, &scheme));
+        aln.score = 5;
+        aln.a_range = 0..3; // inconsistent with ops
+        assert!(!aln.verify_score(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn verify_score_charges_gap_runs_affinely() {
+        let a = seq("AAAA");
+        let b = seq("A");
+        let scheme = ScoringScheme::dna_default();
+        // One pair + a single 3-long gap run: 5 - (10 + 1 + 1) = -7.
+        let aln = AlignedPair {
+            score: -7,
+            a_range: 0..4,
+            b_range: 0..1,
+            ops: vec![AlnOp::Pair, AlnOp::GapInB, AlnOp::GapInB, AlnOp::GapInB],
+        };
+        assert!(aln.verify_score(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn render_shows_gaps_and_matches() {
+        let a = seq("ACGT");
+        let b = seq("ACT");
+        let aln = AlignedPair {
+            score: 0,
+            a_range: 0..4,
+            b_range: 0..3,
+            ops: vec![AlnOp::Pair, AlnOp::Pair, AlnOp::GapInB, AlnOp::Pair],
+        };
+        assert_eq!(aln.render(&a, &b), "ACGT\n|| |\nAC-T\n");
+    }
+}

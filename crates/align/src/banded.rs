@@ -1,0 +1,156 @@
+//! Banded global alignment.
+//!
+//! Restricts the Needleman–Wunsch DP to a diagonal band of half-width
+//! `band`, an `O((n+m)·band)` approximation that is exact whenever the
+//! optimal alignment stays inside the band (always true when the
+//! sequences differ by at most `band` indels). DSEARCH exposes it as a
+//! faster configuration for near-length-matched database searches.
+
+use crate::NEG_INF;
+use biodist_bioseq::{ScoringScheme, Sequence};
+
+/// Banded global alignment score.
+///
+/// Cells with `|i - j - offset| > band` are treated as unreachable,
+/// where `offset` centres the band on the main diagonal adjusted for
+/// the length difference. Returns `None` when the band is too narrow
+/// to connect the origin to the terminal cell (i.e. `band` smaller than
+/// needed to absorb the length difference).
+pub fn nw_banded_score(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    band: usize,
+) -> Option<i32> {
+    let (ac, bc) = (a.codes(), b.codes());
+    let (n, m) = (ac.len(), bc.len());
+    let (o, e) = (scheme.gap.open, scheme.gap.extend);
+
+    // The terminal cell (n, m) sits on diagonal m - n; the band is
+    // centred between 0 and that, and must contain both endpoints.
+    let diff = m as i64 - n as i64;
+    if (band as i64) < diff.abs() {
+        return None;
+    }
+
+    let w = m + 1;
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut ix = vec![NEG_INF; (n + 1) * w];
+    let mut iy = vec![NEG_INF; (n + 1) * w];
+    mm[0] = 0;
+
+    let in_band = |i: usize, j: usize| -> bool {
+        let d = j as i64 - i as i64;
+        // Allow diagonals between min(0, diff) - band and max(0, diff) + band.
+        d >= diff.min(0) - band as i64 && d <= diff.max(0) + band as i64
+    };
+
+    for j in 1..=m {
+        if !in_band(0, j) {
+            break;
+        }
+        ix[j] = -(o + (j as i32 - 1) * e);
+    }
+    for i in 1..=n {
+        if !in_band(i, 0) {
+            break;
+        }
+        iy[i * w] = -(o + (i as i32 - 1) * e);
+    }
+
+    for i in 1..=n {
+        let ra = ac[i - 1];
+        let j_lo = ((i as i64 + diff.min(0) - band as i64).max(1)) as usize;
+        let j_hi = ((i as i64 + diff.max(0) + band as i64).min(m as i64)) as usize;
+        for j in j_lo..=j_hi {
+            let c = i * w + j;
+            let up = (i - 1) * w + j;
+            let left = c - 1;
+            let diag = up - 1;
+            let best_diag = mm[diag].max(ix[diag]).max(iy[diag]);
+            if best_diag > NEG_INF / 2 {
+                mm[c] = best_diag + scheme.matrix.score(ra, bc[j - 1]);
+            }
+            ix[c] = (mm[left] - o).max(ix[left] - e).max(iy[left] - o);
+            iy[c] = (mm[up] - o).max(iy[up] - e).max(ix[up] - o);
+        }
+    }
+
+    let end = n * w + m;
+    let best = mm[end].max(ix[end]).max(iy[end]);
+    if best <= NEG_INF / 2 {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::nw_score;
+    use biodist_bioseq::{Alphabet, GapPenalty, ScoringMatrix};
+
+    fn seq(text: &str) -> Sequence {
+        Sequence::from_text("s", "", Alphabet::Dna, text).unwrap()
+    }
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme {
+            matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 1, -1),
+            gap: GapPenalty::linear(2),
+        }
+    }
+
+    #[test]
+    fn wide_band_equals_full_nw() {
+        let s = scheme();
+        let a = seq("ACGTTGCAACGTAC");
+        let b = seq("ACTTGCACGTAC");
+        let full = nw_score(&a, &b, &s);
+        assert_eq!(nw_banded_score(&a, &b, &s, a.len().max(b.len())), Some(full));
+    }
+
+    #[test]
+    fn band_exact_for_small_edit_distance() {
+        let s = scheme();
+        let a = seq("ACGTACGTACGTACGT");
+        let b = seq("ACGTACGAACGTACGT"); // one substitution
+        assert_eq!(nw_banded_score(&a, &b, &s, 2), Some(nw_score(&a, &b, &s)));
+    }
+
+    #[test]
+    fn band_narrower_than_length_difference_is_rejected() {
+        let s = scheme();
+        let a = seq("ACGTACGTACGT");
+        let b = seq("ACGT");
+        assert_eq!(nw_banded_score(&a, &b, &s, 2), None);
+    }
+
+    #[test]
+    fn band_covers_length_difference_exactly() {
+        let s = scheme();
+        let a = seq("ACGTACGT");
+        let b = seq("ACGTAC"); // diff 2
+        let got = nw_banded_score(&a, &b, &s, 2).unwrap();
+        assert_eq!(got, nw_score(&a, &b, &s));
+    }
+
+    #[test]
+    fn narrow_band_never_beats_full_score() {
+        let s = scheme();
+        let a = seq("AACCGGTTAACCGGTT");
+        let b = seq("TTGGCCAATTGGCCAA");
+        let full = nw_score(&a, &b, &s);
+        if let Some(banded) = nw_banded_score(&a, &b, &s, 1) {
+            assert!(banded <= full, "banded {banded} must not exceed full {full}");
+        }
+    }
+
+    #[test]
+    fn identical_sequences_work_with_zero_band() {
+        let s = scheme();
+        let a = seq("ACGTACGT");
+        assert_eq!(nw_banded_score(&a, &a, &s, 0), Some(8));
+    }
+}

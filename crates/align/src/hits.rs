@@ -1,0 +1,231 @@
+//! Bounded top-K hit collection.
+//!
+//! Each DSEARCH work unit returns the best hits of one database chunk;
+//! the server's `DataManager` merges them into a global top-K list.
+//! [`TopK`] is the collector both sides use: a bounded min-heap with a
+//! deterministic total order (score desc, then database id asc) so the
+//! distributed search reports *exactly* the same hit list as the
+//! sequential reference regardless of chunk boundaries or arrival order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One database hit for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Query sequence id.
+    pub query_id: String,
+    /// Database sequence id.
+    pub db_id: String,
+    /// Alignment score.
+    pub score: i32,
+}
+
+impl Hit {
+    /// Deterministic ranking: higher score first, ties by db id, then
+    /// query id (ids are unique within a database / query set).
+    fn rank_cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .cmp(&self.score)
+            .then_with(|| self.db_id.cmp(&other.db_id))
+            .then_with(|| self.query_id.cmp(&other.query_id))
+    }
+}
+
+// Wrapper so the BinaryHeap (a max-heap) acts as a min-heap over rank:
+// the heap root is the *worst* retained hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Worst(Hit);
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse of rank order: "greater" means "worse".
+        other.0.rank_cmp(&self.0).reverse()
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded collector retaining the best `k` hits seen so far.
+///
+/// ```
+/// use biodist_align::{Hit, TopK};
+/// let mut top = TopK::new(2);
+/// for (id, score) in [("a", 5), ("b", 9), ("c", 7)] {
+///     top.offer(Hit { query_id: "q".into(), db_id: id.into(), score });
+/// }
+/// let best: Vec<i32> = top.into_sorted().iter().map(|h| h.score).collect();
+/// assert_eq!(best, vec![9, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl TopK {
+    /// Creates a collector retaining at most `k` hits (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "TopK: k must be at least 1");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of currently retained hits.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no hits are retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers a hit; it is retained if it ranks within the best `k`.
+    pub fn offer(&mut self, hit: Hit) {
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(hit));
+            return;
+        }
+        let worst = self.heap.peek().expect("heap non-empty at capacity");
+        if hit.rank_cmp(&worst.0) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(Worst(hit));
+        }
+    }
+
+    /// Merges all hits retained by `other` into `self`.
+    pub fn merge(&mut self, other: TopK) {
+        for Worst(hit) in other.heap.into_vec() {
+            self.offer(hit);
+        }
+    }
+
+    /// The lowest score that would currently be retained, or `None`
+    /// while below capacity. Work units use this as a prune threshold.
+    pub fn cutoff(&self) -> Option<i32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|w| w.0.score)
+        }
+    }
+
+    /// Consumes the collector, returning hits best-first.
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_vec().into_iter().map(|w| w.0).collect();
+        hits.sort_by(|a, b| a.rank_cmp(b));
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(db: &str, score: i32) -> Hit {
+        Hit { query_id: "q".into(), db_id: db.into(), score }
+    }
+
+    #[test]
+    fn retains_best_k_in_order() {
+        let mut top = TopK::new(3);
+        for (db, s) in [("a", 5), ("b", 9), ("c", 1), ("d", 7), ("e", 3)] {
+            top.offer(hit(db, s));
+        }
+        let sorted = top.into_sorted();
+        assert_eq!(
+            sorted.iter().map(|h| (h.db_id.as_str(), h.score)).collect::<Vec<_>>(),
+            vec![("b", 9), ("d", 7), ("a", 5)]
+        );
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_db_id() {
+        let mut top = TopK::new(2);
+        top.offer(hit("z", 5));
+        top.offer(hit("a", 5));
+        top.offer(hit("m", 5));
+        let sorted = top.into_sorted();
+        assert_eq!(
+            sorted.iter().map(|h| h.db_id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "m"],
+            "lexicographically smaller ids win ties"
+        );
+    }
+
+    #[test]
+    fn merge_equals_offering_everything_to_one_collector() {
+        let hits: Vec<Hit> = (0..50)
+            .map(|i| hit(&format!("db{i:02}"), (i * 37 % 23) as i32))
+            .collect();
+        let mut whole = TopK::new(10);
+        for h in &hits {
+            whole.offer(h.clone());
+        }
+        let mut left = TopK::new(10);
+        let mut right = TopK::new(10);
+        for (i, h) in hits.iter().enumerate() {
+            if i % 2 == 0 {
+                left.offer(h.clone());
+            } else {
+                right.offer(h.clone());
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.into_sorted(), whole.into_sorted());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let hits: Vec<Hit> = (0..30).map(|i| hit(&format!("d{i}"), i % 7)).collect();
+        let collect = |order: &[usize]| {
+            let mut t = TopK::new(5);
+            for &i in order {
+                t.offer(hits[i].clone());
+            }
+            t.into_sorted()
+        };
+        let forward: Vec<usize> = (0..30).collect();
+        let backward: Vec<usize> = (0..30).rev().collect();
+        assert_eq!(collect(&forward), collect(&backward));
+    }
+
+    #[test]
+    fn cutoff_appears_once_full() {
+        let mut top = TopK::new(2);
+        assert_eq!(top.cutoff(), None);
+        top.offer(hit("a", 10));
+        assert_eq!(top.cutoff(), None);
+        top.offer(hit("b", 4));
+        assert_eq!(top.cutoff(), Some(4));
+        top.offer(hit("c", 8));
+        assert_eq!(top.cutoff(), Some(8));
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let mut top = TopK::new(100);
+        for i in 0..5 {
+            top.offer(hit(&format!("d{i}"), i));
+        }
+        assert_eq!(top.len(), 5);
+        assert!(!top.is_empty());
+        assert_eq!(top.capacity(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Kernel selection: the "choose one of the built-in search algorithms"
+//! configuration knob of DSEARCH (paper §3.1).
+
+use crate::banded::nw_banded_score;
+use crate::nw::nw_score;
+use crate::sg::sg_score;
+use crate::sw::{sw_score, sw_score_antidiagonal};
+use biodist_bioseq::{ScoringScheme, Sequence};
+
+/// The built-in search algorithms a DSEARCH configuration can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Needleman–Wunsch global alignment \[10\].
+    NeedlemanWunsch,
+    /// Smith–Waterman local alignment \[14\] (the default).
+    SmithWaterman,
+    /// Anti-diagonal score-only Smith–Waterman — the fast rigorous
+    /// kernel standing in for Crochemore et al. \[4\].
+    FastLocal,
+    /// Semi-global: the whole query against a substring of the subject.
+    SemiGlobal,
+    /// Banded Needleman–Wunsch with the given half-band width.
+    Banded {
+        /// Half-width of the DP band.
+        band: u32,
+    },
+}
+
+impl KernelKind {
+    /// Parses the configuration-file spelling of a kernel name.
+    ///
+    /// Accepted values: `needleman-wunsch` | `nw`, `smith-waterman` |
+    /// `sw`, `fast` | `fast-local`, `banded:<width>`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let t = text.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "needleman-wunsch" | "nw" | "global" => Ok(Self::NeedlemanWunsch),
+            "smith-waterman" | "sw" | "local" => Ok(Self::SmithWaterman),
+            "fast" | "fast-local" | "antidiagonal" => Ok(Self::FastLocal),
+            "semiglobal" | "sg" | "glocal" => Ok(Self::SemiGlobal),
+            _ => {
+                if let Some(width) = t.strip_prefix("banded:") {
+                    let band: u32 = width
+                        .parse()
+                        .map_err(|_| format!("bad band width `{width}`"))?;
+                    Ok(Self::Banded { band })
+                } else {
+                    Err(format!("unknown search algorithm `{text}`"))
+                }
+            }
+        }
+    }
+
+    /// The configuration-file spelling of this kernel.
+    pub fn name(self) -> String {
+        match self {
+            Self::NeedlemanWunsch => "needleman-wunsch".into(),
+            Self::SmithWaterman => "smith-waterman".into(),
+            Self::FastLocal => "fast-local".into(),
+            Self::SemiGlobal => "semiglobal".into(),
+            Self::Banded { band } => format!("banded:{band}"),
+        }
+    }
+}
+
+/// A scoring kernel bound to a scheme, ready to score query/subject pairs.
+#[derive(Debug, Clone)]
+pub struct AlignKernel {
+    kind: KernelKind,
+    scheme: ScoringScheme,
+}
+
+impl AlignKernel {
+    /// Binds a kernel kind to a scoring scheme.
+    pub fn new(kind: KernelKind, scheme: ScoringScheme) -> Self {
+        Self { kind, scheme }
+    }
+
+    /// Which algorithm this kernel runs.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> &ScoringScheme {
+        &self.scheme
+    }
+
+    /// Scores one query/subject pair.
+    ///
+    /// Banded alignments that cannot connect the corners under their
+    /// band (length difference exceeds the band) score `i32::MIN`, which
+    /// ranks them below every real alignment.
+    pub fn score(&self, query: &Sequence, subject: &Sequence) -> i32 {
+        match self.kind {
+            KernelKind::NeedlemanWunsch => nw_score(query, subject, &self.scheme),
+            KernelKind::SmithWaterman => sw_score(query, subject, &self.scheme),
+            KernelKind::FastLocal => sw_score_antidiagonal(query, subject, &self.scheme),
+            KernelKind::SemiGlobal => sg_score(query, subject, &self.scheme),
+            KernelKind::Banded { band } => {
+                nw_banded_score(query, subject, &self.scheme, band as usize)
+                    .unwrap_or(i32::MIN)
+            }
+        }
+    }
+
+    /// Number of DP cells the kernel evaluates for this pair — the
+    /// abstract cost unit used by the scheduler and the simulator.
+    pub fn cost_cells(&self, query: &Sequence, subject: &Sequence) -> u64 {
+        let (n, m) = (query.len() as u64, subject.len() as u64);
+        match self.kind {
+            KernelKind::NeedlemanWunsch
+            | KernelKind::SmithWaterman
+            | KernelKind::SemiGlobal => n * m,
+            // The anti-diagonal kernel evaluates the same cells but with
+            // roughly 2x better throughput per cell in vectorised form;
+            // model that as half the cell cost.
+            KernelKind::FastLocal => n * m / 2,
+            KernelKind::Banded { band } => {
+                let width = 2 * band as u64 + 1 + n.abs_diff(m);
+                (n + m) * width.min(m.max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodist_bioseq::Alphabet;
+
+    fn seqs() -> (Sequence, Sequence) {
+        (
+            Sequence::from_text("q", "", Alphabet::Dna, "ACGTACGTAC").unwrap(),
+            Sequence::from_text("s", "", Alphabet::Dna, "ACGTTCGTAC").unwrap(),
+        )
+    }
+
+    #[test]
+    fn parse_round_trips_all_kernels() {
+        for kind in [
+            KernelKind::NeedlemanWunsch,
+            KernelKind::SmithWaterman,
+            KernelKind::FastLocal,
+            KernelKind::Banded { band: 8 },
+            KernelKind::SemiGlobal,
+        ] {
+            assert_eq!(KernelKind::parse(&kind.name()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(KernelKind::parse("SW").unwrap(), KernelKind::SmithWaterman);
+        assert_eq!(KernelKind::parse("nw").unwrap(), KernelKind::NeedlemanWunsch);
+        assert_eq!(KernelKind::parse("banded:16").unwrap(), KernelKind::Banded { band: 16 });
+        assert!(KernelKind::parse("blast").is_err());
+        assert!(KernelKind::parse("banded:wide").is_err());
+    }
+
+    #[test]
+    fn local_kernels_agree_with_each_other() {
+        let (q, s) = seqs();
+        let scheme = ScoringScheme::dna_default();
+        let sw = AlignKernel::new(KernelKind::SmithWaterman, scheme.clone());
+        let fast = AlignKernel::new(KernelKind::FastLocal, scheme);
+        assert_eq!(sw.score(&q, &s), fast.score(&q, &s));
+    }
+
+    #[test]
+    fn banded_kernel_flags_impossible_band() {
+        let scheme = ScoringScheme::dna_default();
+        let q = Sequence::from_text("q", "", Alphabet::Dna, "ACGTACGTACGTACGT").unwrap();
+        let s = Sequence::from_text("s", "", Alphabet::Dna, "AC").unwrap();
+        let k = AlignKernel::new(KernelKind::Banded { band: 1 }, scheme);
+        assert_eq!(k.score(&q, &s), i32::MIN);
+    }
+
+    #[test]
+    fn cost_model_orders_kernels_sensibly() {
+        let (q, s) = seqs();
+        let scheme = ScoringScheme::dna_default();
+        let full = AlignKernel::new(KernelKind::SmithWaterman, scheme.clone());
+        let fast = AlignKernel::new(KernelKind::FastLocal, scheme.clone());
+        let banded = AlignKernel::new(KernelKind::Banded { band: 1 }, scheme);
+        assert!(fast.cost_cells(&q, &s) < full.cost_cells(&q, &s));
+        assert!(banded.cost_cells(&q, &s) < full.cost_cells(&q, &s));
+    }
+}

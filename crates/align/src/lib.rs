@@ -1,0 +1,32 @@
+//! # biodist-align
+//!
+//! Rigorous pairwise sequence-alignment kernels for DSEARCH (paper
+//! §3.1): Needleman–Wunsch global alignment \[10\], Smith–Waterman
+//! local alignment \[14\], a banded global variant, and an accelerated
+//! anti-diagonal score-only kernel standing in for the subquadratic
+//! algorithm of Crochemore et al. \[4\] (see DESIGN.md, substitution
+//! table). All kernels use Gotoh's affine-gap recurrences and agree
+//! exactly on scores; the score-only variants run in linear memory.
+//!
+//! [`hits`] provides the bounded top-K hit collector DSEARCH uses to
+//! merge per-chunk results on the server.
+
+pub mod aln;
+pub mod banded;
+pub mod hits;
+pub mod kernel;
+pub mod nw;
+pub mod sg;
+pub mod sw;
+
+pub use aln::{AlignedPair, AlnOp};
+pub use banded::nw_banded_score;
+pub use hits::{Hit, TopK};
+pub use kernel::{AlignKernel, KernelKind};
+pub use nw::{nw_align, nw_score};
+pub use sg::{sg_align, sg_score};
+pub use sw::{sw_align, sw_score, sw_score_antidiagonal};
+
+/// Sentinel for "minus infinity" in DP matrices, chosen so that adding
+/// any single score or penalty cannot overflow `i32`.
+pub(crate) const NEG_INF: i32 = i32::MIN / 4;

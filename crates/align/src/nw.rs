@@ -1,0 +1,272 @@
+//! Needleman–Wunsch global alignment with Gotoh's affine-gap
+//! recurrences: the most sensitive (and most expensive) of DSEARCH's
+//! built-in algorithms.
+//!
+//! Three DP states per cell: `M` (column ends in a residue pair), `Ix`
+//! (ends in a gap in the first sequence, consuming a residue of the
+//! second) and `Iy` (ends in a gap in the second sequence). Opening a
+//! gap costs `gap.open`; extending it costs `gap.extend`.
+
+use crate::aln::{AlignedPair, AlnOp};
+use crate::NEG_INF;
+use biodist_bioseq::{ScoringScheme, Sequence};
+
+const ST_M: u8 = 0;
+const ST_IX: u8 = 1;
+const ST_IY: u8 = 2;
+
+/// Global alignment score in `O(min-side)` memory (rolling rows).
+///
+/// Returns exactly the same score as [`nw_align`].
+pub fn nw_score(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> i32 {
+    let (ac, bc) = (a.codes(), b.codes());
+    let (o, e) = (scheme.gap.open, scheme.gap.extend);
+    let m = bc.len();
+
+    // Row j=0..m of the three state matrices for the current i.
+    let mut mm = vec![NEG_INF; m + 1];
+    let mut ix = vec![NEG_INF; m + 1];
+    let mut iy = vec![NEG_INF; m + 1];
+    mm[0] = 0;
+    for j in 1..=m {
+        ix[j] = -(o + (j as i32 - 1) * e);
+    }
+
+    let mut prev_m = mm.clone();
+    let mut prev_ix = ix.clone();
+    let mut prev_iy = iy.clone();
+
+    for (i, &ra) in ac.iter().enumerate() {
+        std::mem::swap(&mut prev_m, &mut mm);
+        std::mem::swap(&mut prev_ix, &mut ix);
+        std::mem::swap(&mut prev_iy, &mut iy);
+        mm[0] = NEG_INF;
+        ix[0] = NEG_INF;
+        iy[0] = -(o + i as i32 * e);
+        for (j, &rb) in bc.iter().enumerate() {
+            let j1 = j + 1;
+            let diag = prev_m[j].max(prev_ix[j]).max(prev_iy[j]);
+            mm[j1] = diag + scheme.matrix.score(ra, rb);
+            ix[j1] = (mm[j1 - 1] - o).max(ix[j1 - 1] - e).max(iy[j1 - 1] - o);
+            iy[j1] = (prev_m[j1] - o).max(prev_iy[j1] - e).max(prev_ix[j1] - o);
+        }
+    }
+    mm[m].max(ix[m]).max(iy[m])
+}
+
+/// Global alignment with full traceback (`O(n·m)` memory).
+pub fn nw_align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> AlignedPair {
+    let (ac, bc) = (a.codes(), b.codes());
+    let (n, m) = (ac.len(), bc.len());
+    let (o, e) = (scheme.gap.open, scheme.gap.extend);
+    let w = m + 1;
+
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut ix = vec![NEG_INF; (n + 1) * w];
+    let mut iy = vec![NEG_INF; (n + 1) * w];
+    // Predecessor state for each cell of each state matrix.
+    let mut tb_m = vec![ST_M; (n + 1) * w];
+    let mut tb_x = vec![ST_IX; (n + 1) * w];
+    let mut tb_y = vec![ST_IY; (n + 1) * w];
+
+    mm[0] = 0;
+    for j in 1..=m {
+        ix[j] = -(o + (j as i32 - 1) * e);
+        tb_x[j] = if j == 1 { ST_M } else { ST_IX };
+    }
+    for i in 1..=n {
+        iy[i * w] = -(o + (i as i32 - 1) * e);
+        tb_y[i * w] = if i == 1 { ST_M } else { ST_IY };
+    }
+
+    for i in 1..=n {
+        let ra = ac[i - 1];
+        for j in 1..=m {
+            let c = i * w + j;
+            let up = (i - 1) * w + j;
+            let left = c - 1;
+            let diag = up - 1;
+
+            let (dm, dx, dy) = (mm[diag], ix[diag], iy[diag]);
+            let (best_diag, from) = if dm >= dx && dm >= dy {
+                (dm, ST_M)
+            } else if dx >= dy {
+                (dx, ST_IX)
+            } else {
+                (dy, ST_IY)
+            };
+            mm[c] = best_diag + scheme.matrix.score(ra, bc[j - 1]);
+            tb_m[c] = from;
+
+            let (xm, xx, xy) = (mm[left] - o, ix[left] - e, iy[left] - o);
+            let (best_x, from_x) = if xm >= xx && xm >= xy {
+                (xm, ST_M)
+            } else if xx >= xy {
+                (xx, ST_IX)
+            } else {
+                (xy, ST_IY)
+            };
+            ix[c] = best_x;
+            tb_x[c] = from_x;
+
+            let (ym, yy, yx) = (mm[up] - o, iy[up] - e, ix[up] - o);
+            let (best_y, from_y) = if ym >= yy && ym >= yx {
+                (ym, ST_M)
+            } else if yy >= yx {
+                (yy, ST_IY)
+            } else {
+                (yx, ST_IX)
+            };
+            iy[c] = best_y;
+            tb_y[c] = from_y;
+        }
+    }
+
+    let end = n * w + m;
+    let (score, mut state) = {
+        let (sm, sx, sy) = (mm[end], ix[end], iy[end]);
+        if sm >= sx && sm >= sy {
+            (sm, ST_M)
+        } else if sx >= sy {
+            (sx, ST_IX)
+        } else {
+            (sy, ST_IY)
+        }
+    };
+
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let c = i * w + j;
+        match state {
+            ST_M => {
+                ops.push(AlnOp::Pair);
+                state = tb_m[c];
+                i -= 1;
+                j -= 1;
+            }
+            ST_IX => {
+                ops.push(AlnOp::GapInA);
+                state = tb_x[c];
+                j -= 1;
+            }
+            _ => {
+                ops.push(AlnOp::GapInB);
+                state = tb_y[c];
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+
+    let aln = AlignedPair { score, a_range: 0..n, b_range: 0..m, ops };
+    debug_assert!(
+        aln.verify_score(a, b, scheme),
+        "NW traceback inconsistent with its score"
+    );
+    aln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodist_bioseq::{Alphabet, GapPenalty, ScoringMatrix};
+
+    fn seq(text: &str) -> Sequence {
+        Sequence::from_text("s", "", Alphabet::Dna, text).unwrap()
+    }
+
+    fn simple_scheme() -> ScoringScheme {
+        // match +1, mismatch -1, linear gap -2: hand-checkable.
+        ScoringScheme {
+            matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 1, -1),
+            gap: GapPenalty::linear(2),
+        }
+    }
+
+    #[test]
+    fn identical_sequences_score_full_matches() {
+        let a = seq("ACGTACGT");
+        let scheme = simple_scheme();
+        assert_eq!(nw_score(&a, &a, &scheme), 8);
+        let aln = nw_align(&a, &a, &scheme);
+        assert_eq!(aln.score, 8);
+        assert_eq!(aln.ops, vec![AlnOp::Pair; 8]);
+        assert!((aln.identity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_example_with_one_gap() {
+        // ACGT vs ACT: best is 3 matches + 1 gap = 3*1 - 2 = 1.
+        let scheme = simple_scheme();
+        let (a, b) = (seq("ACGT"), seq("ACT"));
+        assert_eq!(nw_score(&a, &b, &scheme), 1);
+        let aln = nw_align(&a, &b, &scheme);
+        assert_eq!(aln.score, 1);
+        assert!(aln.verify_score(&a, &b, &scheme));
+        assert_eq!(aln.ops.iter().filter(|&&op| op == AlnOp::GapInB).count(), 1);
+    }
+
+    #[test]
+    fn empty_against_nonempty_is_all_gaps() {
+        let scheme = ScoringScheme::dna_default(); // gap 10/1
+        let (a, b) = (seq("ACGT"), Sequence::from_codes("e", Alphabet::Dna, vec![]));
+        // One gap run of length 4: -(10 + 3).
+        assert_eq!(nw_score(&a, &b, &scheme), -13);
+        let aln = nw_align(&a, &b, &scheme);
+        assert_eq!(aln.score, -13);
+        assert_eq!(aln.ops, vec![AlnOp::GapInB; 4]);
+        assert!(aln.verify_score(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn both_empty_scores_zero() {
+        let scheme = simple_scheme();
+        let e = Sequence::from_codes("e", Alphabet::Dna, vec![]);
+        assert_eq!(nw_score(&e, &e, &scheme), 0);
+        assert!(nw_align(&e, &e, &scheme).is_empty());
+    }
+
+    #[test]
+    fn affine_gaps_prefer_one_long_gap() {
+        // With affine costs a single length-2 gap beats two single gaps.
+        let scheme = ScoringScheme {
+            matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 2, -3),
+            gap: GapPenalty::affine(4, 1),
+        };
+        let a = seq("AACCGG");
+        let b = seq("AAGG");
+        let aln = nw_align(&a, &b, &scheme);
+        // 4 matches - (4+1) for a single CC gap = 8 - 5 = 3.
+        assert_eq!(aln.score, 3);
+        assert!(aln.verify_score(&a, &b, &scheme));
+        // The two gap columns must be adjacent (one run).
+        let gap_positions: Vec<usize> = aln
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &op)| op == AlnOp::GapInB)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(gap_positions.len(), 2);
+        assert_eq!(gap_positions[1], gap_positions[0] + 1);
+    }
+
+    #[test]
+    fn score_only_matches_full_alignment_on_protein() {
+        let scheme = ScoringScheme::protein_default();
+        let a = Sequence::from_text("a", "", Alphabet::Protein, "MKVLAWGRRKHG").unwrap();
+        let b = Sequence::from_text("b", "", Alphabet::Protein, "MKVAWGRKHAG").unwrap();
+        let aln = nw_align(&a, &b, &scheme);
+        assert_eq!(nw_score(&a, &b, &scheme), aln.score);
+        assert!(aln.verify_score(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn score_is_symmetric_for_symmetric_matrix() {
+        let scheme = ScoringScheme::dna_default();
+        let a = seq("ACGTTGCAACGT");
+        let b = seq("AGTTGAACG");
+        assert_eq!(nw_score(&a, &b, &scheme), nw_score(&b, &a, &scheme));
+    }
+}

@@ -1,0 +1,276 @@
+//! Semi-global ("glocal") alignment: the whole query against a
+//! substring of the subject.
+//!
+//! Database search often wants the *query* aligned end-to-end while the
+//! *subject's* flanks are free — gene-in-genome, read-in-reference,
+//! domain-in-protein. This kernel charges nothing for subject residues
+//! before the alignment starts or after it ends, and the usual affine
+//! costs for everything in between. Same Gotoh state machine as
+//! [`crate::nw`].
+
+use crate::aln::{AlignedPair, AlnOp};
+use crate::NEG_INF;
+use biodist_bioseq::{ScoringScheme, Sequence};
+
+const ST_M: u8 = 0;
+const ST_IX: u8 = 1;
+const ST_IY: u8 = 2;
+
+/// Semi-global score in `O(|subject|)` memory: `query` aligned fully,
+/// `subject` flanks free.
+pub fn sg_score(query: &Sequence, subject: &Sequence, scheme: &ScoringScheme) -> i32 {
+    let (ac, bc) = (query.codes(), subject.codes());
+    let (o, e) = (scheme.gap.open, scheme.gap.extend);
+    let m = bc.len();
+
+    let mut prev_m = vec![0i32; m + 1]; // row 0: free start anywhere
+    let mut prev_ix = vec![NEG_INF; m + 1];
+    let mut prev_iy = vec![NEG_INF; m + 1];
+    let mut cur_m = vec![NEG_INF; m + 1];
+    let mut cur_ix = vec![NEG_INF; m + 1];
+    let mut cur_iy = vec![NEG_INF; m + 1];
+
+    if ac.is_empty() {
+        return 0;
+    }
+
+    for (i, &ra) in ac.iter().enumerate() {
+        cur_m[0] = NEG_INF;
+        cur_ix[0] = NEG_INF;
+        cur_iy[0] = -(o + i as i32 * e);
+        for (j, &rb) in bc.iter().enumerate() {
+            let j1 = j + 1;
+            let diag = prev_m[j].max(prev_ix[j]).max(prev_iy[j]);
+            cur_m[j1] = diag + scheme.matrix.score(ra, rb);
+            cur_ix[j1] = (cur_m[j1 - 1] - o).max(cur_ix[j1 - 1] - e).max(cur_iy[j1 - 1] - o);
+            cur_iy[j1] = (prev_m[j1] - o).max(prev_iy[j1] - e).max(prev_ix[j1] - o);
+        }
+        std::mem::swap(&mut prev_m, &mut cur_m);
+        std::mem::swap(&mut prev_ix, &mut cur_ix);
+        std::mem::swap(&mut prev_iy, &mut cur_iy);
+    }
+    (0..=m)
+        .map(|j| prev_m[j].max(prev_ix[j]).max(prev_iy[j]))
+        .max()
+        .expect("non-empty row")
+}
+
+/// Semi-global alignment with traceback (`O(n·m)` memory).
+pub fn sg_align(query: &Sequence, subject: &Sequence, scheme: &ScoringScheme) -> AlignedPair {
+    let (ac, bc) = (query.codes(), subject.codes());
+    let (n, m) = (ac.len(), bc.len());
+    let (o, e) = (scheme.gap.open, scheme.gap.extend);
+    let w = m + 1;
+
+    if n == 0 {
+        return AlignedPair { score: 0, a_range: 0..0, b_range: 0..0, ops: vec![] };
+    }
+
+    let mut mm = vec![NEG_INF; (n + 1) * w];
+    let mut ix = vec![NEG_INF; (n + 1) * w];
+    let mut iy = vec![NEG_INF; (n + 1) * w];
+    let mut tb_m = vec![ST_M; (n + 1) * w];
+    let mut tb_x = vec![ST_IX; (n + 1) * w];
+    let mut tb_y = vec![ST_IY; (n + 1) * w];
+
+    for j in 0..=m {
+        mm[j] = 0; // free leading subject gap: start anywhere on row 0
+    }
+    for i in 1..=n {
+        iy[i * w] = -(o + (i as i32 - 1) * e);
+        tb_y[i * w] = if i == 1 { ST_M } else { ST_IY };
+    }
+
+    for i in 1..=n {
+        let ra = ac[i - 1];
+        for j in 1..=m {
+            let c = i * w + j;
+            let up = (i - 1) * w + j;
+            let left = c - 1;
+            let diag = up - 1;
+
+            let (dm, dx, dy) = (mm[diag], ix[diag], iy[diag]);
+            let (best_diag, from) = if dm >= dx && dm >= dy {
+                (dm, ST_M)
+            } else if dx >= dy {
+                (dx, ST_IX)
+            } else {
+                (dy, ST_IY)
+            };
+            mm[c] = best_diag + scheme.matrix.score(ra, bc[j - 1]);
+            tb_m[c] = from;
+
+            let (xm, xx, xy) = (mm[left] - o, ix[left] - e, iy[left] - o);
+            let (bx, fx) = if xm >= xx && xm >= xy {
+                (xm, ST_M)
+            } else if xx >= xy {
+                (xx, ST_IX)
+            } else {
+                (xy, ST_IY)
+            };
+            ix[c] = bx;
+            tb_x[c] = fx;
+
+            let (ym, yy, yx) = (mm[up] - o, iy[up] - e, ix[up] - o);
+            let (by, fy) = if ym >= yy && ym >= yx {
+                (ym, ST_M)
+            } else if yy >= yx {
+                (yy, ST_IY)
+            } else {
+                (yx, ST_IX)
+            };
+            iy[c] = by;
+            tb_y[c] = fy;
+        }
+    }
+
+    // Best end anywhere on the last row (trailing subject is free).
+    let (mut best, mut bj, mut state) = (NEG_INF, 0usize, ST_M);
+    for j in 0..=m {
+        let c = n * w + j;
+        for (s, v) in [(ST_M, mm[c]), (ST_IX, ix[c]), (ST_IY, iy[c])] {
+            if v > best {
+                best = v;
+                bj = j;
+                state = s;
+            }
+        }
+    }
+
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, bj);
+    while i > 0 {
+        let c = i * w + j;
+        match state {
+            ST_M => {
+                ops.push(AlnOp::Pair);
+                state = tb_m[c];
+                i -= 1;
+                j -= 1;
+            }
+            ST_IX => {
+                ops.push(AlnOp::GapInA);
+                state = tb_x[c];
+                j -= 1;
+            }
+            _ => {
+                ops.push(AlnOp::GapInB);
+                state = tb_y[c];
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+
+    let aln = AlignedPair { score: best, a_range: 0..n, b_range: j..bj, ops };
+    debug_assert!(
+        aln.verify_score(query, subject, scheme),
+        "semi-global traceback inconsistent with its score"
+    );
+    aln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::nw_score;
+    use crate::sw::sw_score;
+    use biodist_bioseq::{Alphabet, GapPenalty, ScoringMatrix};
+
+    fn seq(text: &str) -> Sequence {
+        Sequence::from_text("s", "", Alphabet::Dna, text).unwrap()
+    }
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme {
+            matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 2, -3),
+            gap: GapPenalty::affine(4, 1),
+        }
+    }
+
+    #[test]
+    fn exact_embedding_scores_full_query() {
+        let s = scheme();
+        let query = seq("ACGTACGT");
+        let subject = seq("TTTTACGTACGTTTTT");
+        let aln = sg_align(&query, &subject, &s);
+        assert_eq!(aln.score, 16);
+        assert_eq!(aln.a_range, 0..8, "query fully covered");
+        assert_eq!(aln.b_range, 4..12, "planted location found");
+        assert_eq!(sg_score(&query, &subject, &s), 16);
+    }
+
+    #[test]
+    fn subject_flanks_are_free_but_query_flanks_are_not() {
+        let s = scheme();
+        // Query with a junk prefix that cannot match: it must be paid for.
+        let query = seq("CCCCACGT");
+        let subject = seq("TTTTTTACGTTTTTT");
+        let semi = sg_score(&query, &subject, &s);
+        let local = sw_score(&query, &subject, &s);
+        assert!(local > semi, "SW may trim the query prefix; semi-global may not");
+    }
+
+    #[test]
+    fn semi_global_at_least_global() {
+        let s = scheme();
+        let a = seq("ACGTTGCA");
+        let b = seq("GGGACGTTGCAGGG");
+        assert!(sg_score(&a, &b, &s) >= nw_score(&a, &b, &s));
+    }
+
+    #[test]
+    fn equal_length_unrelated_sequences_may_go_negative() {
+        let s = scheme();
+        let a = seq("AAAA");
+        let b = seq("CCCC");
+        // Best: align all four as mismatches (or pay gaps): negative.
+        assert!(sg_score(&a, &b, &s) < 0, "unlike SW, semi-global can be negative");
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let s = scheme();
+        let e = Sequence::from_codes("e", Alphabet::Dna, vec![]);
+        let b = seq("ACGT");
+        assert_eq!(sg_score(&e, &b, &s), 0);
+        assert!(sg_align(&e, &b, &s).is_empty());
+    }
+
+    #[test]
+    fn empty_subject_forces_all_query_gaps() {
+        let s = scheme();
+        let a = seq("ACGT");
+        let e = Sequence::from_codes("e", Alphabet::Dna, vec![]);
+        // One affine run of length 4: -(4 + 3).
+        assert_eq!(sg_score(&a, &e, &s), -7);
+        let aln = sg_align(&a, &e, &s);
+        assert_eq!(aln.ops, vec![AlnOp::GapInB; 4]);
+        assert!(aln.verify_score(&a, &e, &s));
+    }
+
+    #[test]
+    fn score_only_matches_traceback_on_random_pairs() {
+        use biodist_bioseq::synth::random_sequence;
+        let s = scheme();
+        for seed in 0..20 {
+            let a = random_sequence(Alphabet::Dna, "a", 12 + (seed as usize % 9), seed);
+            let b = random_sequence(Alphabet::Dna, "b", 18, seed + 100);
+            let aln = sg_align(&a, &b, &s);
+            assert_eq!(aln.score, sg_score(&a, &b, &s), "seed {seed}");
+            assert!(aln.verify_score(&a, &b, &s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interior_gap_in_query_is_found() {
+        let s = scheme();
+        // Subject contains the query with one extra residue inserted.
+        let query = seq("ACGTACGT");
+        let subject = seq("GGGACGTTACGTGGG");
+        let aln = sg_align(&query, &subject, &s);
+        // 8 matches (+16) minus one gap open (−4): 12.
+        assert_eq!(aln.score, 12);
+        assert!(aln.ops.contains(&AlnOp::GapInA));
+    }
+}

@@ -1,0 +1,52 @@
+//! B1 — alignment kernel micro-benchmarks.
+//!
+//! Throughput of the four rigorous kernels DSEARCH can select, over a
+//! length sweep. Regenerates the per-kernel cost ratios that the
+//! DSEARCH cost model (`AlignKernel::cost_cells`) assumes.
+
+use biodist_align::{nw_align, nw_banded_score, nw_score, sw_align, sw_score, sw_score_antidiagonal};
+use biodist_bioseq::synth::random_sequence;
+use biodist_bioseq::{Alphabet, ScoringScheme, Sequence};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn pair(len: usize) -> (Sequence, Sequence) {
+    (
+        random_sequence(Alphabet::Protein, "a", len, 1),
+        random_sequence(Alphabet::Protein, "b", len, 2),
+    )
+}
+
+fn bench_score_kernels(c: &mut Criterion) {
+    let scheme = ScoringScheme::protein_default();
+    let mut group = c.benchmark_group("score_kernels");
+    for len in [64usize, 256, 512] {
+        let (a, b) = pair(len);
+        group.throughput(Throughput::Elements((len * len) as u64));
+        group.bench_with_input(BenchmarkId::new("nw_score", len), &len, |bch, _| {
+            bch.iter(|| nw_score(&a, &b, &scheme))
+        });
+        group.bench_with_input(BenchmarkId::new("sw_score", len), &len, |bch, _| {
+            bch.iter(|| sw_score(&a, &b, &scheme))
+        });
+        group.bench_with_input(BenchmarkId::new("sw_antidiagonal", len), &len, |bch, _| {
+            bch.iter(|| sw_score_antidiagonal(&a, &b, &scheme))
+        });
+        group.bench_with_input(BenchmarkId::new("nw_banded_16", len), &len, |bch, _| {
+            bch.iter(|| nw_banded_score(&a, &b, &scheme, 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traceback_kernels(c: &mut Criterion) {
+    let scheme = ScoringScheme::protein_default();
+    let (a, b) = pair(256);
+    let mut group = c.benchmark_group("traceback_kernels");
+    group.throughput(Throughput::Elements((256 * 256) as u64));
+    group.bench_function("nw_align", |bch| bch.iter(|| nw_align(&a, &b, &scheme)));
+    group.bench_function("sw_align", |bch| bch.iter(|| sw_align(&a, &b, &scheme)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_kernels, bench_traceback_kernels);
+criterion_main!(benches);

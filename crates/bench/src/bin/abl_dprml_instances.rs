@@ -1,0 +1,62 @@
+//! Ablation A1 — how many simultaneous DPRml instances does it take to
+//! keep the pool busy?
+//!
+//! Quantifies the paper's §3.2 claim: "DPRml is a staged computation so
+//! running a single instance of the application will result in clients
+//! becoming idle whilst waiting for stages to be completed." We fix the
+//! pool at 40 machines and vary the number of simultaneous instances;
+//! the aggregate efficiency (useful work per machine-second) should
+//! rise steeply from 1 instance toward 6.
+//!
+//! Run with: `cargo run -p biodist-bench --release --bin abl_dprml_instances`
+
+use biodist_bench::harness::results_dir;
+use biodist_bench::workloads::{fig2_inputs, SEED};
+use biodist_core::{SchedulerConfig, Server, SimRunner};
+use biodist_dprml::build_problem;
+use biodist_gridsim::deployments::homogeneous_lab;
+use biodist_util::table::Table;
+
+const MACHINES: usize = 40;
+
+fn run(instances: usize) -> (f64, f64) {
+    let (data, config) = fig2_inputs();
+    let mut server = Server::new(SchedulerConfig {
+        target_unit_secs: 10.0,
+        ..Default::default()
+    });
+    for i in 0..instances {
+        server.submit(build_problem(data.clone(), &config, None, &format!("inst-{i}")));
+    }
+    let machines = homogeneous_lab(MACHINES, SEED + 2);
+    let (report, _) = SimRunner::with_defaults(server, machines).run();
+    (report.makespan, report.mean_utilization)
+}
+
+fn main() {
+    eprintln!("A1: DPRml stage-barrier idling, {MACHINES} machines, varying instance count");
+    // Single-instance single-machine run: the per-instance serial time.
+    let (data, config) = fig2_inputs();
+    let mut server = Server::new(SchedulerConfig::default());
+    server.submit(build_problem(data, &config, None, "baseline"));
+    let (baseline, _) = SimRunner::with_defaults(server, homogeneous_lab(1, SEED + 2)).run();
+    let t_serial = baseline.makespan;
+    eprintln!("  per-instance serial time: {t_serial:.1} s");
+
+    let mut table = Table::new(
+        "A1: simultaneous DPRml instances vs pool efficiency (40 machines)",
+        &["instances", "makespan_s", "aggregate_speedup", "pool_efficiency", "utilization"],
+    );
+    for &k in &[1usize, 2, 4, 6, 8] {
+        let (makespan, util) = run(k);
+        // Aggregate speedup: useful serial work delivered per unit time.
+        let agg = k as f64 * t_serial / makespan;
+        let eff = agg / MACHINES as f64;
+        eprintln!("  {k} instances: makespan {makespan:>9.1}, aggregate speedup {agg:.1}");
+        table.push_numeric_row(&[k as f64, makespan, agg, eff, util], 3);
+    }
+    println!("{}", table.render_text());
+    let path = results_dir().join("abl_dprml_instances.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

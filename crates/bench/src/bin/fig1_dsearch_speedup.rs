@@ -1,0 +1,52 @@
+//! Figure 1 — DSEARCH speedup over a network of 83 semi-idle machines.
+//!
+//! Reproduces the paper's Fig. 1: speedup of a DSEARCH run versus the
+//! number of processors, on a laboratory of homogeneous Pentium III
+//! 1 GHz machines ("semi-idle": owners occasionally reclaim them), all
+//! behind one 100 Mbit/s server link. Speedup is `T(1)/T(N)` in virtual
+//! time. Every point re-runs the full search and asserts the hit list
+//! equals the sequential reference, so the curve measures a *correct*
+//! search.
+//!
+//! Run with: `cargo run -p biodist-bench --release --bin fig1_dsearch_speedup`
+
+use biodist_bench::harness::SpeedupSeries;
+use biodist_bench::workloads::{fig1_inputs, FIG1_PROCESSORS, SEED};
+use biodist_core::{SchedulerConfig, Server, SimRunner};
+use biodist_dsearch::{build_problem, search_sequential, SearchOutput};
+use biodist_gridsim::deployments::homogeneous_lab;
+
+fn main() {
+    let (db, queries, config) = fig1_inputs();
+    eprintln!(
+        "fig1: database {} sequences, {} queries, kernel {:?}",
+        db.len(),
+        queries.len(),
+        config.kernel
+    );
+    let expected = search_sequential(&db, &queries, &config);
+
+    let sched = SchedulerConfig { target_unit_secs: 10.0, ..Default::default() };
+    let mut points = Vec::new();
+    for &n in FIG1_PROCESSORS {
+        let mut server = Server::new(sched.clone());
+        let pid = server.submit(build_problem(db.clone(), queries.clone(), &config));
+        let machines = homogeneous_lab(n, SEED);
+        let (report, mut server) = SimRunner::with_defaults(server, machines).run();
+        let out = server.take_output(pid).expect("output").into_inner::<SearchOutput>();
+        assert_eq!(out.hits, expected, "distributed hits must equal sequential at N={n}");
+        eprintln!(
+            "  N={n:>3}: makespan {:>9.1} s, {} units, util {:.2}, link wait {:.3} s",
+            report.makespan, report.total_units, report.mean_utilization,
+            report.mean_link_queue_wait
+        );
+        points.push((n, report.makespan, report.mean_utilization));
+    }
+
+    let t1 = points[0].1;
+    let mut series = SpeedupSeries::new("Fig 1: DSEARCH speedup (83 semi-idle PIII-1000)", t1);
+    for (n, makespan, util) in points {
+        series.push(n, makespan, util);
+    }
+    series.report();
+}

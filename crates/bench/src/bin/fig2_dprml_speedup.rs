@@ -1,0 +1,87 @@
+//! Figure 2 — DPRml speedup over a 50-taxon dataset with 6 problems
+//! running simultaneously.
+//!
+//! Reproduces the paper's Fig. 2: DPRml is a *staged* computation, so a
+//! single instance idles donors at stage barriers; biologists run such
+//! stochastic searches several times anyway (each with its own random
+//! taxon-addition order, fastDNAml's "jumble"), and with 6 simultaneous
+//! instances the stages interleave and the pool stays busy. Speedup is
+//! `T(1)/T(N)` in virtual time, where both runs process all 6
+//! instances. Every point asserts each instance's tree equals its own
+//! single-machine result (same answer at every pool size), and instance
+//! 0 is anchored against the sequential reference.
+//!
+//! Run with: `cargo run -p biodist-bench --release --bin fig2_dprml_speedup`
+
+use biodist_bench::harness::SpeedupSeries;
+use biodist_bench::workloads::{fig2_inputs, fig2_orders, FIG2_INSTANCES, FIG2_PROCESSORS, SEED};
+use biodist_core::{SchedulerConfig, Server, SimRunner};
+use biodist_dprml::{build_problem, PhyloOutput};
+use biodist_gridsim::deployments::homogeneous_lab;
+use biodist_phylo::search::stepwise_ml;
+
+fn run_instances(n_machines: usize) -> (f64, f64, Vec<PhyloOutput>) {
+    let (data, config) = fig2_inputs();
+    let orders = fig2_orders(data.taxon_count());
+    let sched = SchedulerConfig { target_unit_secs: 10.0, ..Default::default() };
+    let mut server = Server::new(sched);
+    let pids: Vec<_> = (0..FIG2_INSTANCES)
+        .map(|i| {
+            server.submit(build_problem(
+                data.clone(),
+                &config,
+                Some(orders[i].clone()),
+                &format!("dprml-{i}"),
+            ))
+        })
+        .collect();
+    let machines = homogeneous_lab(n_machines, SEED + 1);
+    let (report, mut server) = SimRunner::with_defaults(server, machines).run();
+    let outs = pids
+        .iter()
+        .map(|&p| server.take_output(p).expect("output").into_inner::<PhyloOutput>())
+        .collect();
+    (report.makespan, report.mean_utilization, outs)
+}
+
+fn main() {
+    let (data, config) = fig2_inputs();
+    eprintln!(
+        "fig2: {} taxa, {} sites ({} patterns), {} instances (jumbled addition orders)",
+        data.taxon_count(),
+        data.site_count(),
+        data.pattern_count(),
+        FIG2_INSTANCES
+    );
+    let model = config.build_model();
+    let (ref_tree, ref_lnl) = stepwise_ml(&data, &model, None, &config.search);
+    eprintln!("  sequential reference (natural order) lnL = {ref_lnl:.3}");
+
+    eprintln!("  measuring T(1)...");
+    let (t1, _, baseline) = run_instances(1);
+    assert_eq!(
+        baseline[0].tree.rf_distance(&ref_tree),
+        0,
+        "instance 0 (natural order) must match the sequential reference"
+    );
+    eprintln!("  T(1) = {t1:.1} virtual s");
+
+    let mut series = SpeedupSeries::new(
+        "Fig 2: DPRml speedup (50 taxa, 6 simultaneous problems)",
+        t1,
+    );
+    for &n in FIG2_PROCESSORS {
+        let (makespan, util, outs) = run_instances(n);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(
+                out.tree.rf_distance(&baseline[i].tree),
+                0,
+                "instance {i} must give the same tree at N={n} as at N=1"
+            );
+            assert!((out.ln_likelihood - baseline[i].ln_likelihood).abs() < 1e-6);
+        }
+        eprintln!("  N={n:>3}: makespan {makespan:>9.1} s, util {util:.2}");
+        series.push(n, makespan, util);
+    }
+    series.report();
+}

@@ -1,0 +1,103 @@
+//! Shared harness plumbing: speedup series, table printing, CSV output.
+
+use biodist_util::table::Table;
+use std::path::PathBuf;
+
+/// The workspace-root `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// A measured speedup curve plus its baseline.
+#[derive(Debug, Clone)]
+pub struct SpeedupSeries {
+    /// Experiment title (used for the table and the CSV file name).
+    pub title: String,
+    /// Baseline (1-processor) makespan in virtual seconds.
+    pub t1: f64,
+    /// `(processors, makespan, mean utilization)` points.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+impl SpeedupSeries {
+    /// Creates an empty series with a known 1-processor baseline.
+    pub fn new(title: &str, t1: f64) -> Self {
+        Self { title: title.to_string(), t1, points: Vec::new() }
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, processors: usize, makespan: f64, utilization: f64) {
+        self.points.push((processors, makespan, utilization));
+    }
+
+    /// Speedup at a point: `T(1) / T(N)`.
+    pub fn speedup(&self, idx: usize) -> f64 {
+        self.t1 / self.points[idx].1
+    }
+
+    /// Renders the table the paper's figure plots (processors, speedup,
+    /// linear reference) plus makespan and utilization columns.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            &self.title,
+            &["processors", "makespan_s", "speedup", "linear", "efficiency", "utilization"],
+        );
+        for (i, &(n, makespan, util)) in self.points.iter().enumerate() {
+            let speedup = self.speedup(i);
+            t.push_numeric_row(
+                &[n as f64, makespan, speedup, n as f64, speedup / n as f64, util],
+                3,
+            );
+        }
+        t
+    }
+
+    /// Prints the table and writes `results/<slug>.csv`.
+    pub fn report(&self) {
+        let table = self.to_table();
+        println!("{}", table.render_text());
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = results_dir().join(format!("{slug}.csv"));
+        table.write_csv(&path).expect("write results CSV");
+        println!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_t1_over_tn() {
+        let mut s = SpeedupSeries::new("x", 100.0);
+        s.push(1, 100.0, 1.0);
+        s.push(4, 30.0, 0.9);
+        assert!((s.speedup(0) - 1.0).abs() < 1e-12);
+        assert!((s.speedup(1) - 100.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_has_linear_reference_column() {
+        let mut s = SpeedupSeries::new("demo run", 10.0);
+        s.push(8, 2.0, 0.8);
+        let table = s.to_table();
+        let text = table.render_text();
+        assert!(text.contains("linear"));
+        assert!(text.contains("8.000"));
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+}

@@ -1,0 +1,23 @@
+//! # biodist-bench
+//!
+//! Experiment harnesses: one binary per figure of the paper plus the
+//! ablations listed in DESIGN.md §4, and Criterion micro-benchmarks for
+//! the computational kernels. The binaries print the same series the
+//! paper plots and write CSV into `results/` at the workspace root.
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_dsearch_speedup` | Fig. 1 — DSEARCH speedup, 83-machine homogeneous lab |
+//! | `fig2_dprml_speedup` | Fig. 2 — DPRml speedup, 50 taxa, 6 simultaneous instances |
+//! | `abl_dprml_instances` | A1 — 1 vs 6 simultaneous DPRml instances |
+//! | `abl_granularity` | A2 — dynamic vs fixed granularity, heterogeneous pool |
+//! | `abl_scheduling` | A3 — adaptive vs naive scheduling under silent churn |
+//! | `abl_kernels` | A5 — kernel choice: runtime vs sensitivity |
+//! | `align_kernels` (bench) | B1 — alignment kernel throughput |
+//! | `likelihood` (bench) | B2 — pruning kernel throughput |
+//! | `framework` (bench) | B3 — event queue / server dispatch overhead |
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{results_dir, SpeedupSeries};

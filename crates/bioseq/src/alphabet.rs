@@ -1,0 +1,195 @@
+//! Residue alphabets and their byte encoding.
+//!
+//! Sequences are stored as compact residue *codes* (`u8`), not ASCII:
+//! the alignment kernels index substitution matrices directly with
+//! codes, and the likelihood engine maps DNA codes straight to state
+//! indices. Each alphabet reserves one extra code, [`Alphabet::any_code`],
+//! for the ambiguity symbol (`N` for DNA, `X` for protein); phylogenetic
+//! code treats it as missing data, alignment code scores it neutrally.
+
+/// The two residue alphabets used by the applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides `A C G T`, ambiguity symbol `N`.
+    Dna,
+    /// The 20 standard amino acids, ambiguity symbol `X`.
+    Protein,
+}
+
+/// Canonical residue order for [`Alphabet::Dna`].
+pub const DNA_SYMBOLS: &[u8; 4] = b"ACGT";
+/// Canonical residue order for [`Alphabet::Protein`] (NCBI matrix order).
+pub const PROTEIN_SYMBOLS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+impl Alphabet {
+    /// Number of unambiguous residues (4 or 20).
+    pub fn size(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// Code assigned to the ambiguity symbol; always equal to
+    /// [`Alphabet::size`], so valid codes are `0..=size`.
+    pub fn any_code(self) -> u8 {
+        self.size() as u8
+    }
+
+    /// The ambiguity character (`N` or `X`).
+    pub fn any_symbol(self) -> u8 {
+        match self {
+            Alphabet::Dna => b'N',
+            Alphabet::Protein => b'X',
+        }
+    }
+
+    /// Unambiguous residue characters in canonical order.
+    pub fn symbols(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => DNA_SYMBOLS,
+            Alphabet::Protein => PROTEIN_SYMBOLS,
+        }
+    }
+
+    /// Encodes one character (case-insensitive).
+    ///
+    /// Unknown-but-plausible letters (IUPAC ambiguity codes, `B`/`Z`/`U`
+    /// for protein) map to the ambiguity code; anything that is not an
+    /// ASCII letter returns `None`.
+    pub fn encode(self, ch: u8) -> Option<u8> {
+        let upper = ch.to_ascii_uppercase();
+        if !upper.is_ascii_uppercase() {
+            return None;
+        }
+        match self.symbols().iter().position(|&s| s == upper) {
+            Some(i) => Some(i as u8),
+            None => Some(self.any_code()),
+        }
+    }
+
+    /// Decodes a residue code back to its character.
+    ///
+    /// # Panics
+    /// Panics if `code > size` (an invalid code).
+    pub fn decode(self, code: u8) -> u8 {
+        let n = self.size() as u8;
+        if code == n {
+            self.any_symbol()
+        } else {
+            assert!(code < n, "invalid residue code {code} for {self:?}");
+            self.symbols()[code as usize]
+        }
+    }
+
+    /// Encodes a whole string, rejecting non-letter characters.
+    pub fn encode_str(self, text: &str) -> Result<Vec<u8>, EncodeError> {
+        text.bytes()
+            .enumerate()
+            .map(|(i, b)| {
+                self.encode(b).ok_or(EncodeError { position: i, byte: b })
+            })
+            .collect()
+    }
+
+    /// Decodes a code slice to a `String`.
+    pub fn decode_to_string(self, codes: &[u8]) -> String {
+        codes.iter().map(|&c| self.decode(c) as char).collect()
+    }
+}
+
+/// A character that cannot be encoded (not an ASCII letter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The offending byte.
+    pub byte: u8,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid residue byte 0x{:02X} at position {}",
+            self.byte, self.position
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_round_trips_canonical_symbols() {
+        for (i, &s) in DNA_SYMBOLS.iter().enumerate() {
+            assert_eq!(Alphabet::Dna.encode(s), Some(i as u8));
+            assert_eq!(Alphabet::Dna.decode(i as u8), s);
+        }
+    }
+
+    #[test]
+    fn protein_round_trips_canonical_symbols() {
+        for (i, &s) in PROTEIN_SYMBOLS.iter().enumerate() {
+            assert_eq!(Alphabet::Protein.encode(s), Some(i as u8));
+            assert_eq!(Alphabet::Protein.decode(i as u8), s);
+        }
+    }
+
+    #[test]
+    fn encoding_is_case_insensitive() {
+        assert_eq!(Alphabet::Dna.encode(b'a'), Alphabet::Dna.encode(b'A'));
+        assert_eq!(
+            Alphabet::Protein.encode(b'w'),
+            Alphabet::Protein.encode(b'W')
+        );
+    }
+
+    #[test]
+    fn iupac_ambiguity_maps_to_any() {
+        for &amb in b"RYSWKMBDHVN" {
+            assert_eq!(Alphabet::Dna.encode(amb), Some(Alphabet::Dna.any_code()));
+        }
+        for &amb in b"BZUX" {
+            assert_eq!(
+                Alphabet::Protein.encode(amb),
+                Some(Alphabet::Protein.any_code())
+            );
+        }
+    }
+
+    #[test]
+    fn non_letters_are_rejected() {
+        assert_eq!(Alphabet::Dna.encode(b'-'), None);
+        assert_eq!(Alphabet::Dna.encode(b'3'), None);
+        assert_eq!(Alphabet::Protein.encode(b' '), None);
+    }
+
+    #[test]
+    fn encode_str_reports_position() {
+        let err = Alphabet::Dna.encode_str("ACG T").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.byte, b' ');
+    }
+
+    #[test]
+    fn decode_to_string_round_trips() {
+        let codes = Alphabet::Protein.encode_str("MKVLAW").unwrap();
+        assert_eq!(Alphabet::Protein.decode_to_string(&codes), "MKVLAW");
+    }
+
+    #[test]
+    fn any_decodes_to_ambiguity_symbol() {
+        assert_eq!(Alphabet::Dna.decode(4), b'N');
+        assert_eq!(Alphabet::Protein.decode(20), b'X');
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid residue code")]
+    fn decode_out_of_range_panics() {
+        Alphabet::Dna.decode(5);
+    }
+}

@@ -1,0 +1,222 @@
+//! The standard genetic code: translation and reverse complement.
+//!
+//! Real database-search pipelines routinely search DNA queries against
+//! protein databases (and vice versa) through six-frame translation;
+//! this module supplies the substrate: codon translation under the
+//! standard code, reverse complement, and frame enumeration. Stop
+//! codons translate to the ambiguity symbol `X` with their positions
+//! reported, since the protein alphabet deliberately has no gap/stop
+//! letters.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+
+/// The standard genetic code in TCAG order: index = t₁·16 + t₂·4 + t₃
+/// with T=0, C=1, A=2, G=3. `*` marks stops.
+const STANDARD_CODE: &[u8; 64] =
+    b"FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+// Our DNA codes are A=0, C=1, G=2, T=3; the classic table is indexed in
+// T, C, A, G order.
+#[inline]
+fn tcag_index(code: u8) -> usize {
+    match code {
+        3 => 0, // T
+        1 => 1, // C
+        0 => 2, // A
+        2 => 3, // G
+        _ => unreachable!("ambiguity handled by caller"),
+    }
+}
+
+/// Translates one codon of DNA codes. `None` for stop codons; the
+/// ambiguity symbol's code for codons containing `N`.
+pub fn translate_codon(c1: u8, c2: u8, c3: u8) -> Option<u8> {
+    let any = Alphabet::Dna.any_code();
+    if c1 >= any || c2 >= any || c3 >= any {
+        return Some(Alphabet::Protein.any_code());
+    }
+    let idx = tcag_index(c1) * 16 + tcag_index(c2) * 4 + tcag_index(c3);
+    let aa = STANDARD_CODE[idx];
+    if aa == b'*' {
+        None
+    } else {
+        Some(Alphabet::Protein.encode(aa).expect("code table emits valid residues"))
+    }
+}
+
+/// Result of translating one reading frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// The protein sequence; stop codons appear as `X`.
+    pub protein: Sequence,
+    /// Codon indices (0-based, within the frame) that were stops.
+    pub stop_positions: Vec<usize>,
+}
+
+/// Translates `dna` in reading frame `frame` (0, 1 or 2). Trailing
+/// bases that do not fill a codon are dropped.
+///
+/// # Panics
+/// Panics if `dna` is not DNA or `frame > 2`.
+pub fn translate_frame(dna: &Sequence, frame: usize) -> Translation {
+    assert_eq!(dna.alphabet, Alphabet::Dna, "translation needs DNA input");
+    assert!(frame < 3, "frame must be 0, 1 or 2");
+    let codes = dna.codes();
+    let mut protein = Vec::with_capacity(codes.len() / 3);
+    let mut stops = Vec::new();
+    let mut chunk = codes[frame.min(codes.len())..].chunks_exact(3);
+    for (i, codon) in chunk.by_ref().enumerate() {
+        match translate_codon(codon[0], codon[1], codon[2]) {
+            Some(aa) => protein.push(aa),
+            None => {
+                protein.push(Alphabet::Protein.any_code());
+                stops.push(i);
+            }
+        }
+    }
+    let id = format!("{}_frame{}", dna.id, frame + 1);
+    Translation {
+        protein: Sequence::from_codes(&id, Alphabet::Protein, protein),
+        stop_positions: stops,
+    }
+}
+
+/// Reverse complement of a DNA sequence (`N` maps to `N`).
+pub fn reverse_complement(dna: &Sequence) -> Sequence {
+    assert_eq!(dna.alphabet, Alphabet::Dna, "reverse complement needs DNA");
+    let any = Alphabet::Dna.any_code();
+    let codes: Vec<u8> = dna
+        .codes()
+        .iter()
+        .rev()
+        .map(|&c| if c == any { any } else { 3 - c }) // A<->T (0<->3), C<->G (1<->2)
+        .collect();
+    let mut out = Sequence::from_codes(&format!("{}_rc", dna.id), Alphabet::Dna, codes);
+    out.description = dna.description.clone();
+    out
+}
+
+/// All six reading frames: three forward, three of the reverse
+/// complement, in the order `+1 +2 +3 -1 -2 -3`.
+pub fn six_frame_translations(dna: &Sequence) -> Vec<Translation> {
+    let rc = reverse_complement(dna);
+    let mut frames = Vec::with_capacity(6);
+    for f in 0..3 {
+        frames.push(translate_frame(dna, f));
+    }
+    for f in 0..3 {
+        let mut t = translate_frame(&rc, f);
+        t.protein.id = format!("{}_frame-{}", dna.id, f + 1);
+        frames.push(t);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(text: &str) -> Sequence {
+        Sequence::from_text("d", "", Alphabet::Dna, text).unwrap()
+    }
+
+    #[test]
+    fn canonical_codons_translate_correctly() {
+        let cases = [
+            ("ATG", "M"),
+            ("TGG", "W"),
+            ("TTT", "F"),
+            ("AAA", "K"),
+            ("GGG", "G"),
+            ("GCT", "A"),
+            ("CGA", "R"),
+            ("CAT", "H"),
+        ];
+        for (codon, aa) in cases {
+            let t = translate_frame(&dna(codon), 0);
+            assert_eq!(t.protein.to_text(), aa, "codon {codon}");
+            assert!(t.stop_positions.is_empty());
+        }
+    }
+
+    #[test]
+    fn stop_codons_are_marked() {
+        for stop in ["TAA", "TAG", "TGA"] {
+            let t = translate_frame(&dna(stop), 0);
+            assert_eq!(t.protein.to_text(), "X", "stop {stop}");
+            assert_eq!(t.stop_positions, vec![0]);
+        }
+    }
+
+    #[test]
+    fn a_real_orf_translates_end_to_end() {
+        // ATG GCT CGA TAA -> M A R, then stop.
+        let t = translate_frame(&dna("ATGGCTCGATAA"), 0);
+        assert_eq!(t.protein.to_text(), "MARX");
+        assert_eq!(t.stop_positions, vec![3]);
+    }
+
+    #[test]
+    fn frames_shift_the_reading_window() {
+        let s = dna("AATGGCT"); // frame 1: ATG GCT -> M A
+        let t = translate_frame(&s, 1);
+        assert_eq!(t.protein.to_text(), "MA");
+        // Frame 0: AAT GGC -> N G (trailing T dropped).
+        let t0 = translate_frame(&s, 0);
+        assert_eq!(t0.protein.to_text(), "NG");
+    }
+
+    #[test]
+    fn ambiguous_codons_become_x_without_stop_flag() {
+        let t = translate_frame(&dna("ANT"), 0);
+        assert_eq!(t.protein.to_text(), "X");
+        assert!(t.stop_positions.is_empty(), "N codon is unknown, not a stop");
+    }
+
+    #[test]
+    fn reverse_complement_is_an_involution() {
+        let s = dna("ACGTTGCAN");
+        let rc = reverse_complement(&s);
+        assert_eq!(rc.to_text(), "NTGCAACGT");
+        let back = reverse_complement(&rc);
+        assert_eq!(back.codes(), s.codes());
+    }
+
+    #[test]
+    fn six_frames_have_expected_lengths_and_ids() {
+        let s = dna("ATGGCTCGATAAGG"); // 14 bases
+        let frames = six_frame_translations(&s);
+        assert_eq!(frames.len(), 6);
+        // Frame lengths: 14/3=4, 13/3=4, 12/3=4 for both strands.
+        for t in &frames {
+            assert_eq!(t.protein.len(), 4);
+        }
+        assert_eq!(frames[0].protein.id, "d_frame1");
+        assert_eq!(frames[3].protein.id, "d_frame-1");
+    }
+
+    #[test]
+    fn translation_finds_protein_on_reverse_strand() {
+        // Protein MKW encoded, then reverse-complemented: only a reverse
+        // frame contains it.
+        let fwd = dna("ATGAAATGG"); // M K W
+        let rc = reverse_complement(&fwd);
+        let frames = six_frame_translations(&rc);
+        let found = frames.iter().any(|t| t.protein.to_text().contains("MKW"));
+        assert!(found, "MKW must appear in some frame of the reverse strand");
+    }
+
+    #[test]
+    fn code_table_has_right_stop_count() {
+        // Standard code: exactly 3 stops, 61 sense codons.
+        let stops = STANDARD_CODE.iter().filter(|&&c| c == b'*').count();
+        assert_eq!(stops, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame must be")]
+    fn bad_frame_panics() {
+        translate_frame(&dna("ACGT"), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! FASTA parsing and writing.
+//!
+//! DSEARCH's inputs are "a FASTA database file \[and\] a FASTA query
+//! sequences file" (paper §3.1). The parser accepts the ordinary
+//! multi-record format: a `>` header line (id = first word, description
+//! = remainder) followed by any number of residue lines; whitespace
+//! inside residue lines is ignored.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+
+/// Error produced while parsing FASTA text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Residue data appeared before the first `>` header.
+    DataBeforeHeader { line_number: usize },
+    /// A header line had no identifier after `>`.
+    EmptyHeader { line_number: usize },
+    /// A residue character could not be encoded.
+    BadResidue { record_id: String, line_number: usize, byte: u8 },
+    /// A record contained no residues.
+    EmptyRecord { record_id: String },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader { line_number } => {
+                write!(f, "line {line_number}: residue data before first `>` header")
+            }
+            FastaError::EmptyHeader { line_number } => {
+                write!(f, "line {line_number}: `>` header with no identifier")
+            }
+            FastaError::BadResidue { record_id, line_number, byte } => write!(
+                f,
+                "record `{record_id}` line {line_number}: invalid residue byte 0x{byte:02X}"
+            ),
+            FastaError::EmptyRecord { record_id } => {
+                write!(f, "record `{record_id}` contains no residues")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parses all records from FASTA text into encoded [`Sequence`]s.
+pub fn parse_fasta(text: &str, alphabet: Alphabet) -> Result<Vec<Sequence>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<(String, String, Vec<u8>)> = None;
+
+    let finish = |cur: Option<(String, String, Vec<u8>)>,
+                      out: &mut Vec<Sequence>|
+     -> Result<(), FastaError> {
+        if let Some((id, desc, codes)) = cur {
+            if codes.is_empty() {
+                return Err(FastaError::EmptyRecord { record_id: id });
+            }
+            let mut seq = Sequence::from_codes(&id, alphabet, codes);
+            seq.description = desc;
+            out.push(seq);
+        }
+        Ok(())
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            finish(current.take(), &mut records)?;
+            let header = header.trim();
+            if header.is_empty() {
+                return Err(FastaError::EmptyHeader { line_number: i + 1 });
+            }
+            let (id, desc) = match header.split_once(char::is_whitespace) {
+                Some((id, rest)) => (id.to_string(), rest.trim().to_string()),
+                None => (header.to_string(), String::new()),
+            };
+            current = Some((id, desc, Vec::new()));
+        } else {
+            let Some((id, _, codes)) = current.as_mut() else {
+                return Err(FastaError::DataBeforeHeader { line_number: i + 1 });
+            };
+            for &b in line.as_bytes() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                match alphabet.encode(b) {
+                    Some(code) => codes.push(code),
+                    None => {
+                        return Err(FastaError::BadResidue {
+                            record_id: id.clone(),
+                            line_number: i + 1,
+                            byte: b,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    finish(current, &mut records)?;
+    Ok(records)
+}
+
+/// Writes sequences as FASTA text with `width`-column wrapping.
+pub fn write_fasta(seqs: &[Sequence], width: usize) -> String {
+    let width = width.max(1);
+    let mut out = String::new();
+    for seq in seqs {
+        out.push('>');
+        out.push_str(&seq.id);
+        if !seq.description.is_empty() {
+            out.push(' ');
+            out.push_str(&seq.description);
+        }
+        out.push('\n');
+        let text = seq.to_text();
+        let bytes = text.as_bytes();
+        for chunk in bytes.chunks(width) {
+            out.push_str(std::str::from_utf8(chunk).expect("ASCII residues"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>seq1 first test record
+ACGTAC
+GTACGT
+>seq2
+TTTT
+";
+
+    #[test]
+    fn parses_multi_record_file() {
+        let records = parse_fasta(SAMPLE, Alphabet::Dna).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "seq1");
+        assert_eq!(records[0].description, "first test record");
+        assert_eq!(records[0].to_text(), "ACGTACGTACGT");
+        assert_eq!(records[1].id, "seq2");
+        assert_eq!(records[1].description, "");
+        assert_eq!(records[1].len(), 4);
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let records = parse_fasta(SAMPLE, Alphabet::Dna).unwrap();
+        let text = write_fasta(&records, 5);
+        let reparsed = parse_fasta(&text, Alphabet::Dna).unwrap();
+        assert_eq!(records, reparsed);
+    }
+
+    #[test]
+    fn writer_wraps_at_width() {
+        let records = parse_fasta(SAMPLE, Alphabet::Dna).unwrap();
+        let text = write_fasta(&records[..1], 4);
+        assert!(text.contains("ACGT\nACGT\nACGT\n"));
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        let err = parse_fasta("ACGT\n>late\nACGT\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(err, FastaError::DataBeforeHeader { line_number: 1 });
+    }
+
+    #[test]
+    fn rejects_empty_header() {
+        let err = parse_fasta(">\nACGT\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(err, FastaError::EmptyHeader { line_number: 1 });
+    }
+
+    #[test]
+    fn rejects_empty_record() {
+        let err = parse_fasta(">a\n>b\nACGT\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(err, FastaError::EmptyRecord { record_id: "a".into() });
+    }
+
+    #[test]
+    fn reports_bad_residue_with_record_and_line() {
+        let err = parse_fasta(">a\nAC!T\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(
+            err,
+            FastaError::BadResidue { record_id: "a".into(), line_number: 2, byte: b'!' }
+        );
+    }
+
+    #[test]
+    fn interior_whitespace_in_residue_lines_is_ignored() {
+        let records = parse_fasta(">a\nAC GT\tAC\n", Alphabet::Dna).unwrap();
+        assert_eq!(records[0].to_text(), "ACGTAC");
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(parse_fasta("", Alphabet::Dna).unwrap().is_empty());
+        assert!(parse_fasta("\n\n", Alphabet::Protein).unwrap().is_empty());
+    }
+
+    #[test]
+    fn protein_records_parse() {
+        let records = parse_fasta(">p desc here\nMKVLAW\n", Alphabet::Protein).unwrap();
+        assert_eq!(records[0].to_text(), "MKVLAW");
+        assert_eq!(records[0].alphabet, Alphabet::Protein);
+    }
+}

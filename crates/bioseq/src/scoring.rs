@@ -1,0 +1,380 @@
+//! Scoring schemes for pairwise alignment.
+//!
+//! A [`ScoringScheme`] bundles a residue [`ScoringMatrix`] with an
+//! affine [`GapPenalty`]; this is the "scoring scheme" input of DSEARCH
+//! (paper §3.1). BLOSUM62 is embedded (the standard NCBI matrix);
+//! arbitrary matrices in the NCBI text format can be loaded with
+//! [`ScoringMatrix::parse_ncbi`], and parametric DNA schemes
+//! (match/mismatch and transition/transversion) are constructed
+//! directly. We embed only BLOSUM62 rather than fabricating BLOSUM45/80
+//! or PAM250 tables from memory — the parser covers those.
+
+use crate::alphabet::Alphabet;
+
+/// Affine gap penalty: a gap of length `L ≥ 1` costs `open + extend·(L-1)`.
+///
+/// Both components are stored as positive costs and *subtracted* from
+/// alignment scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapPenalty {
+    /// Cost of opening a gap (charged for the first gapped position).
+    pub open: i32,
+    /// Cost of each additional gapped position.
+    pub extend: i32,
+}
+
+impl GapPenalty {
+    /// Creates an affine penalty. Both values must be non-negative and
+    /// `extend` must not exceed `open` (otherwise "affine" is meaningless
+    /// and the DP recurrences below would be wrong).
+    pub fn affine(open: i32, extend: i32) -> Self {
+        assert!(open >= 0 && extend >= 0, "gap penalties must be non-negative");
+        assert!(extend <= open, "gap extend must not exceed gap open");
+        Self { open, extend }
+    }
+
+    /// Linear penalty: every gapped position costs `per_residue`.
+    pub fn linear(per_residue: i32) -> Self {
+        Self::affine(per_residue, per_residue)
+    }
+
+    /// Total cost of a gap of `len` residues.
+    pub fn cost(&self, len: usize) -> i64 {
+        if len == 0 {
+            0
+        } else {
+            self.open as i64 + self.extend as i64 * (len as i64 - 1)
+        }
+    }
+}
+
+/// A square substitution matrix over an alphabet's residue codes
+/// (including the ambiguity code, so dimension is `size + 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoringMatrix {
+    alphabet: Alphabet,
+    dim: usize,
+    scores: Vec<i32>,
+}
+
+impl ScoringMatrix {
+    /// The standard BLOSUM62 matrix (Henikoff & Henikoff 1992), the
+    /// default protein scheme. Ambiguity (`X`) scores −1 against
+    /// everything, a simplification of NCBI's mixed −1/−2 X column.
+    pub fn blosum62() -> Self {
+        // Rows/columns in PROTEIN_SYMBOLS order: A R N D C Q E G H I L K M F P S T W Y V
+        const B62: [[i32; 20]; 20] = [
+            [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
+            [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
+            [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
+            [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
+            [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
+            [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
+            [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
+            [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
+            [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
+            [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
+            [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
+            [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
+            [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
+            [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
+            [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
+            [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
+            [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
+            [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
+            [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1],
+            [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4],
+        ];
+        let alphabet = Alphabet::Protein;
+        let dim = alphabet.size() + 1;
+        let mut scores = vec![-1; dim * dim];
+        for (i, row) in B62.iter().enumerate() {
+            for (j, &s) in row.iter().enumerate() {
+                scores[i * dim + j] = s;
+            }
+        }
+        Self { alphabet, dim, scores }
+    }
+
+    /// Simple match/mismatch matrix (either alphabet). Ambiguity scores 0.
+    pub fn match_mismatch(alphabet: Alphabet, match_score: i32, mismatch: i32) -> Self {
+        let dim = alphabet.size() + 1;
+        let mut scores = vec![0; dim * dim];
+        for i in 0..alphabet.size() {
+            for j in 0..alphabet.size() {
+                scores[i * dim + j] = if i == j { match_score } else { mismatch };
+            }
+        }
+        Self { alphabet, dim, scores }
+    }
+
+    /// DNA matrix distinguishing transitions (A↔G, C↔T) from
+    /// transversions, the standard refinement over flat mismatch.
+    pub fn dna_transition_transversion(
+        match_score: i32,
+        transition: i32,
+        transversion: i32,
+    ) -> Self {
+        let alphabet = Alphabet::Dna;
+        let dim = alphabet.size() + 1;
+        let mut scores = vec![0; dim * dim];
+        // Purines are codes 0 (A) and 2 (G); pyrimidines 1 (C) and 3 (T).
+        let is_purine = |c: usize| c == 0 || c == 2;
+        for i in 0..4 {
+            for j in 0..4 {
+                scores[i * dim + j] = if i == j {
+                    match_score
+                } else if is_purine(i) == is_purine(j) {
+                    transition
+                } else {
+                    transversion
+                };
+            }
+        }
+        Self { alphabet, dim, scores }
+    }
+
+    /// Parses a matrix in the NCBI text format: a header line listing
+    /// residue characters, then one row per residue. Characters the
+    /// alphabet does not know (e.g. `B`, `Z`, `*`) are skipped.
+    pub fn parse_ncbi(alphabet: Alphabet, text: &str) -> Result<Self, String> {
+        let dim = alphabet.size() + 1;
+        let mut scores = vec![0i32; dim * dim];
+        let mut header: Option<Vec<Option<u8>>> = None;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if header.is_none() {
+                let cols: Vec<Option<u8>> = line
+                    .split_whitespace()
+                    .map(|tok| {
+                        let ch = tok.as_bytes()[0];
+                        alphabet
+                            .encode(ch)
+                            .filter(|&c| c < alphabet.any_code() || ch == alphabet.any_symbol())
+                    })
+                    .collect();
+                if cols.iter().all(|c| c.is_none()) {
+                    return Err("header row contains no known residues".into());
+                }
+                header = Some(cols);
+                continue;
+            }
+            let cols = header.as_ref().expect("header parsed above");
+            let mut toks = line.split_whitespace();
+            let row_ch = toks.next().ok_or("empty matrix row")?.as_bytes()[0];
+            let row_code = alphabet
+                .encode(row_ch)
+                .filter(|&c| c < alphabet.any_code() || row_ch == alphabet.any_symbol());
+            let values: Vec<&str> = toks.collect();
+            if values.len() != cols.len() {
+                return Err(format!(
+                    "row `{}` has {} values, header has {} columns",
+                    row_ch as char,
+                    values.len(),
+                    cols.len()
+                ));
+            }
+            let Some(ri) = row_code else { continue };
+            for (col, tok) in cols.iter().zip(values) {
+                let Some(ci) = *col else { continue };
+                let v: i32 = tok
+                    .parse()
+                    .map_err(|_| format!("bad score `{tok}` in row `{}`", row_ch as char))?;
+                scores[ri as usize * dim + ci as usize] = v;
+            }
+        }
+        if header.is_none() {
+            return Err("matrix text contained no data".into());
+        }
+        Ok(Self { alphabet, dim, scores })
+    }
+
+    /// Alphabet this matrix scores.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Score for a pair of residue codes.
+    #[inline(always)]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        debug_assert!((a as usize) < self.dim && (b as usize) < self.dim);
+        self.scores[a as usize * self.dim + b as usize]
+    }
+
+    /// Largest score in the matrix (used for search-statistics bounds).
+    pub fn max_score(&self) -> i32 {
+        self.scores.iter().copied().max().expect("non-empty matrix")
+    }
+
+    /// Whether the matrix is symmetric (all standard matrices are).
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.dim {
+            for j in 0..i {
+                if self.scores[i * self.dim + j] != self.scores[j * self.dim + i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A complete scoring scheme: substitution matrix + gap penalty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoringScheme {
+    /// Residue substitution scores.
+    pub matrix: ScoringMatrix,
+    /// Affine gap model.
+    pub gap: GapPenalty,
+}
+
+impl ScoringScheme {
+    /// BLOSUM62 with the BLAST-default gap penalty 11/1.
+    pub fn protein_default() -> Self {
+        Self { matrix: ScoringMatrix::blosum62(), gap: GapPenalty::affine(11, 1) }
+    }
+
+    /// +5/−4 DNA scheme with gap 10/1 (megaBLAST-like costs).
+    pub fn dna_default() -> Self {
+        Self {
+            matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 5, -4),
+            gap: GapPenalty::affine(10, 1),
+        }
+    }
+
+    /// Alphabet the scheme applies to.
+    pub fn alphabet(&self) -> Alphabet {
+        self.matrix.alphabet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::PROTEIN_SYMBOLS;
+
+    #[test]
+    fn blosum62_spot_values() {
+        let m = ScoringMatrix::blosum62();
+        let code = |ch: u8| Alphabet::Protein.encode(ch).unwrap();
+        assert_eq!(m.score(code(b'W'), code(b'W')), 11);
+        assert_eq!(m.score(code(b'A'), code(b'A')), 4);
+        assert_eq!(m.score(code(b'C'), code(b'C')), 9);
+        assert_eq!(m.score(code(b'A'), code(b'R')), -1);
+        assert_eq!(m.score(code(b'I'), code(b'L')), 2);
+        assert_eq!(m.score(code(b'D'), code(b'E')), 2);
+        assert_eq!(m.score(code(b'X'), code(b'W')), -1);
+        assert_eq!(m.max_score(), 11);
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        assert!(ScoringMatrix::blosum62().is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_diagonal_is_positive_and_dominant() {
+        let m = ScoringMatrix::blosum62();
+        for (i, _) in PROTEIN_SYMBOLS.iter().enumerate() {
+            let diag = m.score(i as u8, i as u8);
+            assert!(diag > 0, "diagonal must be positive");
+            for j in 0..PROTEIN_SYMBOLS.len() {
+                if i != j {
+                    assert!(m.score(i as u8, j as u8) < diag);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_mismatch_scores() {
+        let m = ScoringMatrix::match_mismatch(Alphabet::Dna, 5, -4);
+        assert_eq!(m.score(0, 0), 5);
+        assert_eq!(m.score(0, 3), -4);
+        assert_eq!(m.score(0, 4), 0, "ambiguity is neutral");
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn transition_transversion_distinguishes_pairs() {
+        let m = ScoringMatrix::dna_transition_transversion(5, -2, -6);
+        let c = |ch: u8| Alphabet::Dna.encode(ch).unwrap();
+        assert_eq!(m.score(c(b'A'), c(b'G')), -2, "A<->G is a transition");
+        assert_eq!(m.score(c(b'C'), c(b'T')), -2, "C<->T is a transition");
+        assert_eq!(m.score(c(b'A'), c(b'C')), -6, "A<->C is a transversion");
+        assert_eq!(m.score(c(b'G'), c(b'G')), 5);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn gap_penalty_cost_formula() {
+        let g = GapPenalty::affine(11, 1);
+        assert_eq!(g.cost(0), 0);
+        assert_eq!(g.cost(1), 11);
+        assert_eq!(g.cost(5), 15);
+        let lin = GapPenalty::linear(2);
+        assert_eq!(lin.cost(4), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "extend must not exceed")]
+    fn gap_penalty_rejects_extend_above_open() {
+        GapPenalty::affine(1, 5);
+    }
+
+    #[test]
+    fn ncbi_parser_round_trips_blosum62() {
+        // Render BLOSUM62 in NCBI format and parse it back.
+        let m = ScoringMatrix::blosum62();
+        let mut text = String::from("# comment line\n ");
+        for &s in PROTEIN_SYMBOLS {
+            text.push(s as char);
+            text.push(' ');
+        }
+        text.push('\n');
+        for (i, &s) in PROTEIN_SYMBOLS.iter().enumerate() {
+            text.push(s as char);
+            for j in 0..PROTEIN_SYMBOLS.len() {
+                text.push_str(&format!(" {}", m.score(i as u8, j as u8)));
+            }
+            text.push('\n');
+        }
+        let parsed = ScoringMatrix::parse_ncbi(Alphabet::Protein, &text).unwrap();
+        for i in 0..20u8 {
+            for j in 0..20u8 {
+                assert_eq!(parsed.score(i, j), m.score(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn ncbi_parser_skips_unknown_columns() {
+        let text = " A C G T B\nA 1 -1 -1 -1 9\nC -1 1 -1 -1 9\nG -1 -1 1 -1 9\nT -1 -1 -1 1 9\nB 9 9 9 9 9\n";
+        // `B` is an IUPAC ambiguity letter: it encodes to the `any` code,
+        // but only the designated symbol (N) may set ambiguity scores, so
+        // B rows/columns are ignored.
+        let m = ScoringMatrix::parse_ncbi(Alphabet::Dna, text).unwrap();
+        assert_eq!(m.score(0, 0), 1);
+        assert_eq!(m.score(0, 4), 0, "B column must not leak into N scores");
+    }
+
+    #[test]
+    fn ncbi_parser_rejects_ragged_rows() {
+        let text = " A C\nA 1\n";
+        assert!(ScoringMatrix::parse_ncbi(Alphabet::Dna, text).is_err());
+    }
+
+    #[test]
+    fn ncbi_parser_rejects_empty_input() {
+        assert!(ScoringMatrix::parse_ncbi(Alphabet::Dna, "# only comments\n").is_err());
+    }
+
+    #[test]
+    fn default_schemes_have_consistent_alphabets() {
+        assert_eq!(ScoringScheme::protein_default().alphabet(), Alphabet::Protein);
+        assert_eq!(ScoringScheme::dna_default().alphabet(), Alphabet::Dna);
+    }
+}

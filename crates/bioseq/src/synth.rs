@@ -1,0 +1,311 @@
+//! Seeded synthetic sequence databases.
+//!
+//! The paper's DSEARCH experiments search real FASTA databases; we have
+//! no GenBank snapshot, so experiments run on synthetic databases that
+//! preserve what matters for search cost and sensitivity (DESIGN.md,
+//! substitution table): sequence-length distribution, residue
+//! composition, and — crucially for sensitivity tests — *planted
+//! homologous families*: copies of a query mutated by substitutions and
+//! indels, so a rigorous search has true positives to find at known
+//! locations.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+/// Parameters for a synthetic database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbSpec {
+    /// Residue alphabet.
+    pub alphabet: Alphabet,
+    /// Number of background (non-homologous) sequences.
+    pub num_sequences: usize,
+    /// Mean sequence length (lengths are drawn uniformly within
+    /// `mean ± spread`).
+    pub mean_len: usize,
+    /// Half-width of the uniform length distribution.
+    pub len_spread: usize,
+    /// Residue composition; uniform when `None`. Must have
+    /// `alphabet.size()` entries when given.
+    pub composition: Option<Vec<f64>>,
+}
+
+impl DbSpec {
+    /// A small protein database suitable for tests and examples.
+    pub fn protein_demo(num_sequences: usize, mean_len: usize) -> Self {
+        Self {
+            alphabet: Alphabet::Protein,
+            num_sequences,
+            mean_len,
+            len_spread: mean_len / 3,
+            composition: None,
+        }
+    }
+
+    /// A small DNA database.
+    pub fn dna_demo(num_sequences: usize, mean_len: usize) -> Self {
+        Self {
+            alphabet: Alphabet::Dna,
+            num_sequences,
+            mean_len,
+            len_spread: mean_len / 3,
+            composition: None,
+        }
+    }
+}
+
+/// Parameters for a planted homologous family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilySpec {
+    /// Number of mutated copies of the parent planted in the database.
+    pub copies: usize,
+    /// Per-residue substitution probability for each copy.
+    pub substitution_rate: f64,
+    /// Per-residue indel probability (split evenly between insertion
+    /// and deletion).
+    pub indel_rate: f64,
+}
+
+/// A generated database plus the ids of planted homologs.
+#[derive(Debug, Clone)]
+pub struct SyntheticDb {
+    /// All database sequences (background + planted, shuffled).
+    pub sequences: Vec<Sequence>,
+    /// Ids of the planted family members, if a family was requested.
+    pub planted_ids: Vec<String>,
+}
+
+impl SyntheticDb {
+    /// Generates a database from `spec`, deterministically from `seed`.
+    pub fn generate(spec: &DbSpec, seed: u64) -> Self {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let sequences = (0..spec.num_sequences)
+            .map(|i| {
+                let len = draw_length(spec, &mut rng);
+                let codes = random_codes(spec, len, &mut rng);
+                Sequence::from_codes(&format!("db{i:06}"), spec.alphabet, codes)
+            })
+            .collect();
+        Self { sequences, planted_ids: Vec::new() }
+    }
+
+    /// Generates a database and plants `family.copies` mutated copies of
+    /// `parent` at random positions within it.
+    pub fn generate_with_family(
+        spec: &DbSpec,
+        parent: &Sequence,
+        family: &FamilySpec,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(parent.alphabet, spec.alphabet, "parent alphabet mismatch");
+        let mut db = Self::generate(spec, seed);
+        let mut rng = Xoshiro256StarStar::new(seed).derive(0xFA71_17);
+        for k in 0..family.copies {
+            let codes = mutate(parent.codes(), spec.alphabet, family, &mut rng);
+            let id = format!("fam{k:03}");
+            let mut seq = Sequence::from_codes(&id, spec.alphabet, codes);
+            seq.description = format!("planted homolog of {}", parent.id);
+            db.planted_ids.push(id);
+            // Insert at a random position so homologs are not clustered
+            // in one database chunk.
+            let pos = rng.next_below(db.sequences.len() as u64 + 1) as usize;
+            db.sequences.insert(pos, seq);
+        }
+        db
+    }
+
+    /// Total residue count across all sequences.
+    pub fn total_residues(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Generates a single random sequence (convenience for tests/examples).
+pub fn random_sequence(alphabet: Alphabet, id: &str, len: usize, seed: u64) -> Sequence {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let spec = DbSpec {
+        alphabet,
+        num_sequences: 0,
+        mean_len: len,
+        len_spread: 0,
+        composition: None,
+    };
+    Sequence::from_codes(id, alphabet, random_codes(&spec, len, &mut rng))
+}
+
+fn draw_length(spec: &DbSpec, rng: &mut dyn Rng) -> usize {
+    if spec.len_spread == 0 {
+        return spec.mean_len.max(1);
+    }
+    let lo = spec.mean_len.saturating_sub(spec.len_spread).max(1);
+    let hi = spec.mean_len + spec.len_spread;
+    rng.next_range(lo as u64, hi as u64) as usize
+}
+
+fn random_codes(spec: &DbSpec, len: usize, rng: &mut dyn Rng) -> Vec<u8> {
+    let n = spec.alphabet.size() as u64;
+    match &spec.composition {
+        None => (0..len).map(|_| rng.next_below(n) as u8).collect(),
+        Some(weights) => {
+            assert_eq!(
+                weights.len(),
+                spec.alphabet.size(),
+                "composition length must equal alphabet size"
+            );
+            (0..len).map(|_| rng.next_weighted(weights) as u8).collect()
+        }
+    }
+}
+
+fn mutate(
+    codes: &[u8],
+    alphabet: Alphabet,
+    family: &FamilySpec,
+    rng: &mut dyn Rng,
+) -> Vec<u8> {
+    let n = alphabet.size() as u64;
+    let mut out = Vec::with_capacity(codes.len() + 8);
+    for &c in codes {
+        if rng.next_bool(family.indel_rate) {
+            if rng.next_bool(0.5) {
+                // Deletion: skip this residue.
+                continue;
+            }
+            // Insertion: emit a random residue, then the original.
+            out.push(rng.next_below(n) as u8);
+            out.push(c);
+            continue;
+        }
+        if rng.next_bool(family.substitution_rate) {
+            // Substitute with a *different* residue so the stated rate is
+            // the observed difference rate.
+            let mut replacement = rng.next_below(n) as u8;
+            if replacement == c {
+                replacement = (replacement + 1) % n as u8;
+            }
+            out.push(replacement);
+        } else {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        // Pathological rates can delete everything; keep one residue so
+        // the record stays valid FASTA.
+        out.push(codes.first().copied().unwrap_or(0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = DbSpec::protein_demo(20, 100);
+        let a = SyntheticDb::generate(&spec, 7);
+        let b = SyntheticDb::generate(&spec, 7);
+        assert_eq!(a.sequences, b.sequences);
+        let c = SyntheticDb::generate(&spec, 8);
+        assert_ne!(a.sequences, c.sequences);
+    }
+
+    #[test]
+    fn lengths_respect_spread() {
+        let spec = DbSpec {
+            alphabet: Alphabet::Dna,
+            num_sequences: 200,
+            mean_len: 50,
+            len_spread: 10,
+            composition: None,
+        };
+        let db = SyntheticDb::generate(&spec, 1);
+        assert_eq!(db.sequences.len(), 200);
+        for s in &db.sequences {
+            assert!((40..=60).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn composition_is_respected() {
+        let spec = DbSpec {
+            alphabet: Alphabet::Dna,
+            num_sequences: 50,
+            mean_len: 400,
+            len_spread: 0,
+            composition: Some(vec![0.7, 0.1, 0.1, 0.1]),
+        };
+        let db = SyntheticDb::generate(&spec, 3);
+        let total: usize = db.total_residues();
+        let a_count: usize = db
+            .sequences
+            .iter()
+            .flat_map(|s| s.codes())
+            .filter(|&&c| c == 0)
+            .count();
+        let frac = a_count as f64 / total as f64;
+        assert!((frac - 0.7).abs() < 0.03, "A fraction {frac}");
+    }
+
+    #[test]
+    fn planted_family_members_resemble_parent() {
+        let parent = random_sequence(Alphabet::Protein, "parent", 200, 99);
+        let spec = DbSpec::protein_demo(30, 150);
+        // No indels here: position-wise identity is only meaningful when
+        // the reading frame is preserved.
+        let fam = FamilySpec { copies: 5, substitution_rate: 0.1, indel_rate: 0.0 };
+        let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 5);
+        assert_eq!(db.planted_ids.len(), 5);
+        assert_eq!(db.sequences.len(), 35);
+        for id in &db.planted_ids {
+            let member = db.sequences.iter().find(|s| &s.id == id).unwrap();
+            assert_eq!(member.len(), parent.len());
+            // Identity against the parent should be far above background
+            // (~5% for random protein residues) and track 1 - rate.
+            let matches = member
+                .codes()
+                .iter()
+                .zip(parent.codes())
+                .filter(|(a, b)| a == b)
+                .count();
+            let identity = matches as f64 / parent.len() as f64;
+            assert!(identity > 0.75, "planted member identity only {identity}");
+        }
+    }
+
+    #[test]
+    fn indels_change_member_length() {
+        let parent = random_sequence(Alphabet::Protein, "parent", 400, 17);
+        let spec = DbSpec::protein_demo(5, 150);
+        let fam = FamilySpec { copies: 4, substitution_rate: 0.0, indel_rate: 0.1 };
+        let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 21);
+        let changed = db
+            .planted_ids
+            .iter()
+            .map(|id| db.sequences.iter().find(|s| &s.id == id).unwrap())
+            .filter(|m| m.len() != parent.len())
+            .count();
+        assert!(changed >= 3, "indels should usually change the length");
+    }
+
+    #[test]
+    fn extreme_deletion_rate_still_produces_valid_record() {
+        let parent = random_sequence(Alphabet::Dna, "p", 10, 1);
+        let spec = DbSpec::dna_demo(1, 20);
+        let fam = FamilySpec { copies: 1, substitution_rate: 0.0, indel_rate: 1.0 };
+        let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 2);
+        let member = db
+            .sequences
+            .iter()
+            .find(|s| s.id == db.planted_ids[0])
+            .unwrap();
+        assert!(!member.is_empty());
+    }
+
+    #[test]
+    fn random_sequence_has_requested_length_and_no_ambiguity() {
+        let s = random_sequence(Alphabet::Dna, "r", 64, 11);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.ambiguity_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # biodist-core
+//!
+//! The paper's primary contribution: a programmable, heterogeneous,
+//! cycle-scavenging distributed computation framework (Page, Keane &
+//! Naughton, IPDPS 2005, §2; scheduling from ref \[12\]).
+//!
+//! A user packages a computation as a [`Problem`]: a [`DataManager`]
+//! (server side — partitions the problem into [`WorkUnit`]s and folds
+//! [`TaskResult`]s back together, *including staged computations* whose
+//! later units depend on earlier results) plus an [`Algorithm`] (client
+//! side — the per-unit computation). The [`server::Server`] runs any
+//! number of problems simultaneously and hands units to donor machines
+//! using the adaptive scheduler in [`sched`]: per-client throughput
+//! EWMAs, dynamically sized units, lease-timeout reissue for donors
+//! that vanish, and redundant end-game dispatch for stragglers.
+//!
+//! Two interchangeable backends execute problems:
+//!
+//! * [`thread_backend`] — real OS threads and crossbeam channels; used
+//!   to validate that distributed results equal the sequential
+//!   reference.
+//! * [`sim_backend`] — drives the same server against
+//!   `biodist-gridsim`'s virtual machines, network and clock; used by
+//!   every experiment harness (the paper's 200-PC campus replaced by a
+//!   deterministic simulator, per DESIGN.md).
+
+pub mod builtin;
+pub mod problem;
+pub mod sched;
+pub mod server;
+pub mod sim_backend;
+pub mod thread_backend;
+
+pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
+pub use sched::{ClientId, SchedulerConfig};
+pub use server::{Assignment, ProblemId, Server};
+pub use sim_backend::{RunReport, SimConfig, SimRunner};
+pub use thread_backend::run_threaded;

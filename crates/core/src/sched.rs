@@ -1,0 +1,283 @@
+//! The adaptive scheduler (paper ref \[12\]: "Adaptive scheduling
+//! across a distributed computation platform").
+//!
+//! Three cooperating mechanisms, each independently switchable so the
+//! ablation benches can isolate their contributions:
+//!
+//! 1. **Dynamic granularity** — each donor's next unit is sized so its
+//!    *estimated* service time hits a target (fast donors get big
+//!    units, slow donors small ones; paper §3.1: "parallel granularity
+//!    is dynamically controlled during each search to match the
+//!    processing abilities of the current set of donor machines").
+//! 2. **Adaptive throughput tracking** — an EWMA of each client's
+//!    observed end-to-end ops/second feeds the granularity calculation
+//!    and straggler detection.
+//! 3. **Fault tolerance / end-game** — units leased to a donor carry a
+//!    deadline; expired leases are reissued (donor churn), and when a
+//!    problem has no fresh units left, in-flight units are redundantly
+//!    dispatched to idle donors so one slow machine cannot stall the
+//!    tail (first result wins).
+
+use biodist_util::stats::Ewma;
+use std::collections::HashMap;
+
+/// Identifies a donor machine / client.
+pub type ClientId = usize;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Target service time per unit, in seconds.
+    pub target_unit_secs: f64,
+    /// Smallest unit the granularity control may request, in ops.
+    pub min_unit_ops: f64,
+    /// Largest unit the granularity control may request, in ops.
+    pub max_unit_ops: f64,
+    /// EWMA smoothing for client throughput estimates.
+    pub ewma_alpha: f64,
+    /// Throughput prior for clients with no history (ops/second).
+    pub prior_ops_per_sec: f64,
+    /// Lease duration as a multiple of the unit's estimated service
+    /// time (expired leases are reissued).
+    pub lease_factor: f64,
+    /// Minimum absolute lease duration, seconds.
+    pub lease_min_secs: f64,
+    /// Enable dynamic granularity (off = every hint is
+    /// `prior_ops_per_sec × target_unit_secs`).
+    pub enable_dynamic_granularity: bool,
+    /// Enable per-client throughput adaptation (off = all clients
+    /// assumed to run at the prior speed).
+    pub enable_adaptive: bool,
+    /// Enable redundant end-game dispatch of in-flight units.
+    pub enable_redundant_dispatch: bool,
+    /// Maximum simultaneous executions of one unit (≥ 1).
+    pub max_redundancy: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            target_unit_secs: 60.0,
+            min_unit_ops: 1e5,
+            max_unit_ops: 1e10,
+            ewma_alpha: 0.3,
+            prior_ops_per_sec: 1.0e7, // one PIII-1000 (gridsim scale)
+            lease_factor: 4.0,
+            lease_min_secs: 120.0,
+            enable_dynamic_granularity: true,
+            enable_adaptive: true,
+            enable_redundant_dispatch: true,
+            max_redundancy: 2,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// A naive baseline for the ablations: fixed granularity, no
+    /// adaptation, no redundancy (lease reissue stays on — without it a
+    /// single departed donor deadlocks any run, which is not an
+    /// interesting comparison point).
+    pub fn naive() -> Self {
+        Self {
+            enable_dynamic_granularity: false,
+            enable_adaptive: false,
+            enable_redundant_dispatch: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-client adaptive state.
+#[derive(Debug, Clone)]
+struct ClientState {
+    throughput: Ewma,
+    units_completed: u64,
+}
+
+/// The scheduler: client statistics + policy decisions.
+///
+/// The scheduler is deliberately free of any I/O or clock source; both
+/// backends feed it observations and query decisions.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    clients: HashMap<ClientId, ClientState>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(cfg.target_unit_secs > 0.0, "target unit time must be positive");
+        assert!(cfg.min_unit_ops > 0.0 && cfg.min_unit_ops <= cfg.max_unit_ops);
+        assert!(cfg.max_redundancy >= 1);
+        Self { cfg, clients: HashMap::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Estimated throughput of `client` in ops/second.
+    pub fn estimated_speed(&self, client: ClientId) -> f64 {
+        if !self.cfg.enable_adaptive {
+            return self.cfg.prior_ops_per_sec;
+        }
+        self.clients
+            .get(&client)
+            .and_then(|c| c.throughput.value())
+            .unwrap_or(self.cfg.prior_ops_per_sec)
+    }
+
+    /// The granularity hint for `client`'s next unit, in ops.
+    pub fn granularity_hint(&self, client: ClientId) -> f64 {
+        let speed = if self.cfg.enable_dynamic_granularity {
+            self.estimated_speed(client)
+        } else {
+            self.cfg.prior_ops_per_sec
+        };
+        (speed * self.cfg.target_unit_secs).clamp(self.cfg.min_unit_ops, self.cfg.max_unit_ops)
+    }
+
+    /// Lease deadline for a unit of `cost_ops` assigned to `client` at
+    /// time `now`.
+    pub fn lease_deadline(&self, client: ClientId, cost_ops: f64, now: f64) -> f64 {
+        let est = cost_ops / self.estimated_speed(client);
+        now + (est * self.cfg.lease_factor).max(self.cfg.lease_min_secs)
+    }
+
+    /// Records a completed unit: `cost_ops` of work observed to take
+    /// `elapsed_secs` end-to-end on `client`.
+    pub fn record_completion(&mut self, client: ClientId, cost_ops: f64, elapsed_secs: f64) {
+        let elapsed = elapsed_secs.max(1e-9);
+        let state = self.clients.entry(client).or_insert_with(|| ClientState {
+            throughput: Ewma::new(self.cfg.ewma_alpha),
+            units_completed: 0,
+        });
+        state.throughput.update(cost_ops / elapsed);
+        state.units_completed += 1;
+    }
+
+    /// Forgets a client (it left the pool).
+    pub fn forget_client(&mut self, client: ClientId) {
+        self.clients.remove(&client);
+    }
+
+    /// Units completed by `client`.
+    pub fn units_completed(&self, client: ClientId) -> u64 {
+        self.clients.get(&client).map(|c| c.units_completed).unwrap_or(0)
+    }
+
+    /// Whether redundant dispatch is allowed for a unit already running
+    /// on `active_copies` donors.
+    pub fn may_dispatch_redundant(&self, active_copies: u32) -> bool {
+        self.cfg.enable_redundant_dispatch && active_copies < self.cfg.max_redundancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_client_gets_prior_based_hint() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let hint = s.granularity_hint(0);
+        assert!((hint - 1.0e7 * 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_clients_get_bigger_units() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        // Client 1 observed at 2e7 ops/s, client 2 at 2e6 ops/s.
+        for _ in 0..10 {
+            s.record_completion(1, 2.0e7, 1.0);
+            s.record_completion(2, 2.0e6, 1.0);
+        }
+        let h1 = s.granularity_hint(1);
+        let h2 = s.granularity_hint(2);
+        assert!(h1 > 5.0 * h2, "fast client hint {h1} vs slow {h2}");
+    }
+
+    #[test]
+    fn hints_respect_bounds() {
+        let cfg = SchedulerConfig {
+            min_unit_ops: 1e6,
+            max_unit_ops: 5e6,
+            ..Default::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        for _ in 0..5 {
+            s.record_completion(1, 1e12, 1.0); // absurdly fast
+            s.record_completion(2, 1.0, 1.0); // absurdly slow
+        }
+        assert_eq!(s.granularity_hint(1), 5e6);
+        assert_eq!(s.granularity_hint(2), 1e6);
+    }
+
+    #[test]
+    fn disabling_granularity_fixes_hint() {
+        let cfg = SchedulerConfig {
+            enable_dynamic_granularity: false,
+            ..Default::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        for _ in 0..10 {
+            s.record_completion(1, 1e9, 1.0);
+        }
+        let hint = s.granularity_hint(1);
+        assert!((hint - 1.0e7 * 60.0).abs() < 1e-6, "hint must ignore history");
+    }
+
+    #[test]
+    fn disabling_adaptation_fixes_speed_estimates() {
+        let cfg = SchedulerConfig { enable_adaptive: false, ..Default::default() };
+        let mut s = Scheduler::new(cfg);
+        s.record_completion(1, 1e9, 1.0);
+        assert_eq!(s.estimated_speed(1), 1.0e7);
+    }
+
+    #[test]
+    fn ewma_adapts_to_slowdown() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        for _ in 0..10 {
+            s.record_completion(1, 1e7, 1.0); // 1e7 ops/s
+        }
+        let fast = s.estimated_speed(1);
+        for _ in 0..10 {
+            s.record_completion(1, 1e6, 1.0); // drops to 1e6 ops/s
+        }
+        let slow = s.estimated_speed(1);
+        assert!(slow < fast / 3.0, "estimate must chase the slowdown");
+    }
+
+    #[test]
+    fn lease_deadline_scales_with_cost_and_respects_minimum() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        // Prior speed 1e7: 1e9 ops ≈ 100 s est → lease 400 s.
+        let d = s.lease_deadline(0, 1e9, 50.0);
+        assert!((d - 450.0).abs() < 1e-6);
+        // Tiny unit: the 120 s minimum applies.
+        let d2 = s.lease_deadline(0, 1e3, 0.0);
+        assert!((d2 - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundancy_policy_caps_copies() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        assert!(s.may_dispatch_redundant(1));
+        assert!(!s.may_dispatch_redundant(2));
+        let naive = Scheduler::new(SchedulerConfig::naive());
+        assert!(!naive.may_dispatch_redundant(1));
+    }
+
+    #[test]
+    fn forget_client_resets_history() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.record_completion(1, 1e9, 1.0);
+        assert_eq!(s.units_completed(1), 1);
+        s.forget_client(1);
+        assert_eq!(s.units_completed(1), 0);
+        assert_eq!(s.estimated_speed(1), 1.0e7);
+    }
+}

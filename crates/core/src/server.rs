@@ -1,0 +1,707 @@
+//! The server: multi-problem unit dispatch with fault tolerance.
+//!
+//! Backend-independent — both the threaded and the simulated backend
+//! drive the same `Server` with (virtual or wall-clock) timestamps, so
+//! every scheduling behaviour exercised by the experiments is also the
+//! behaviour the correctness tests see.
+
+use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
+use crate::sched::{ClientId, Scheduler, SchedulerConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identifies a submitted problem.
+pub type ProblemId = usize;
+
+/// The server's answer to a work request.
+pub enum Assignment {
+    /// Compute this unit with this algorithm and report back.
+    Unit {
+        /// Problem the unit belongs to.
+        problem: ProblemId,
+        /// The unit (shared so it can be redundantly dispatched).
+        unit: Arc<WorkUnit>,
+        /// The client-side computation.
+        algorithm: Arc<dyn Algorithm>,
+    },
+    /// No unit available right now (stage barrier); ask again later.
+    Wait,
+    /// Every problem is complete; the client may shut down.
+    Finished,
+}
+
+struct Lease {
+    client: ClientId,
+    assigned_at: f64,
+    deadline: f64,
+}
+
+struct InFlight {
+    unit: Arc<WorkUnit>,
+    leases: Vec<Lease>,
+}
+
+struct ProblemState {
+    name: String,
+    dm: Box<dyn crate::problem::DataManager>,
+    algorithm: Arc<dyn Algorithm>,
+    setup_bytes: u64,
+    in_flight: HashMap<UnitId, InFlight>,
+    reissue: VecDeque<Arc<WorkUnit>>,
+    // Times each unit's lease has expired; drives exponential lease
+    // backoff so a donor slower than the scheduler's estimate cannot
+    // livelock a unit (reissue before its own result arrives, forever).
+    reissue_counts: HashMap<UnitId, u32>,
+    done: bool,
+    output: Option<Payload>,
+    completion_time: Option<f64>,
+    stats: ProblemStats,
+}
+
+/// Per-problem dispatch statistics, reported by the experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProblemStats {
+    /// Units whose result was folded into the data manager.
+    pub completed_units: u64,
+    /// Total unit assignments handed out (≥ completed, the overhead
+    /// being redundant dispatches and reissues).
+    pub assignments: u64,
+    /// Assignments that were redundant end-game copies.
+    pub redundant_dispatches: u64,
+    /// Leases that expired and were queued for reissue.
+    pub reissued_units: u64,
+    /// Results discarded because another copy finished first.
+    pub wasted_results: u64,
+}
+
+/// The distributed system's server (paper §2.1).
+pub struct Server {
+    sched: Scheduler,
+    problems: Vec<ProblemState>,
+    weights: Vec<u32>,
+    // Weighted round-robin cycle over problem ids and the cursor into it.
+    cycle: Vec<ProblemId>,
+    rotation: usize,
+}
+
+impl Server {
+    /// Creates a server with the given scheduler configuration.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            sched: Scheduler::new(cfg),
+            problems: Vec::new(),
+            weights: Vec::new(),
+            cycle: Vec::new(),
+            rotation: 0,
+        }
+    }
+
+    /// Submits a problem with fair-share weight 1; returns its id.
+    /// Problems may be submitted at any time, including while others
+    /// are running.
+    pub fn submit(&mut self, problem: Problem) -> ProblemId {
+        self.submit_with_weight(problem, 1)
+    }
+
+    /// Submits a problem with a fair-share `weight`: when several
+    /// problems have work available, assignments are interleaved in
+    /// proportion to the weights (a weight-3 problem receives three
+    /// assignment opportunities for every one a weight-1 problem gets).
+    ///
+    /// # Panics
+    /// Panics if `weight` is zero.
+    pub fn submit_with_weight(&mut self, problem: Problem, weight: u32) -> ProblemId {
+        assert!(weight >= 1, "fair-share weight must be at least 1");
+        let id = self.problems.len();
+        self.weights.push(weight);
+        self.problems.push(ProblemState {
+            name: problem.name,
+            dm: problem.data_manager,
+            algorithm: problem.algorithm,
+            setup_bytes: problem.setup_bytes,
+            in_flight: HashMap::new(),
+            reissue: VecDeque::new(),
+            reissue_counts: HashMap::new(),
+            done: false,
+            output: None,
+            completion_time: None,
+            stats: ProblemStats::default(),
+        });
+        self.rebuild_cycle();
+        id
+    }
+
+    // Interleaved weighted round-robin: pass k of max-weight passes
+    // includes every problem whose weight exceeds k, so 3:1 weights
+    // yield the cycle [0, 1, 0, 0].
+    fn rebuild_cycle(&mut self) {
+        let max_w = self.weights.iter().copied().max().unwrap_or(1);
+        self.cycle.clear();
+        for k in 0..max_w {
+            for (pid, &w) in self.weights.iter().enumerate() {
+                if w > k {
+                    self.cycle.push(pid);
+                }
+            }
+        }
+        self.rotation %= self.cycle.len().max(1);
+    }
+
+    /// Number of submitted problems.
+    pub fn problem_count(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// Name of a problem.
+    pub fn problem_name(&self, id: ProblemId) -> &str {
+        &self.problems[id].name
+    }
+
+    /// Setup download size of a problem (for the simulated network).
+    pub fn setup_bytes(&self, id: ProblemId) -> u64 {
+        self.problems[id].setup_bytes
+    }
+
+    /// Whether every submitted problem has completed.
+    pub fn all_complete(&self) -> bool {
+        self.problems.iter().all(|p| p.done)
+    }
+
+    /// Whether a specific problem has completed.
+    pub fn is_complete(&self, id: ProblemId) -> bool {
+        self.problems[id].done
+    }
+
+    /// Virtual/wall time at which a problem completed.
+    pub fn completion_time(&self, id: ProblemId) -> Option<f64> {
+        self.problems[id].completion_time
+    }
+
+    /// Dispatch statistics for a problem.
+    pub fn stats(&self, id: ProblemId) -> ProblemStats {
+        self.problems[id].stats
+    }
+
+    /// Takes the final output of a completed problem.
+    pub fn take_output(&mut self, id: ProblemId) -> Option<Payload> {
+        self.problems[id].output.take()
+    }
+
+    /// Read access to the scheduler (for reports).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// A client asks for work at time `now`.
+    pub fn request_work(&mut self, client: ClientId, now: f64) -> Assignment {
+        if self.all_complete() {
+            return Assignment::Finished;
+        }
+        let n = self.cycle.len();
+        let hint = self.sched.granularity_hint(client);
+
+        // Pass 1: fresh or reissued units, weighted fair-share.
+        for k in 0..n {
+            let pos = (self.rotation + k) % n;
+            let pid = self.cycle[pos];
+            if self.problems[pid].done {
+                continue;
+            }
+            if let Some(unit) = Self::next_unit_for(&mut self.problems[pid], hint) {
+                self.rotation = (pos + 1) % n;
+                return self.lease_and_assign(pid, unit, client, now, false);
+            }
+        }
+
+        // Pass 2: redundant end-game dispatch of the longest-running
+        // in-flight unit this client is not already computing.
+        let mut best: Option<(ProblemId, UnitId, f64)> = None;
+        for (pid, p) in self.problems.iter().enumerate() {
+            if p.done {
+                continue;
+            }
+            for (uid, inf) in &p.in_flight {
+                let copies = inf.leases.len() as u32;
+                if !self.sched.may_dispatch_redundant(copies) {
+                    continue;
+                }
+                if inf.leases.iter().any(|l| l.client == client) {
+                    continue;
+                }
+                let oldest = inf
+                    .leases
+                    .iter()
+                    .map(|l| l.assigned_at)
+                    .fold(f64::INFINITY, f64::min);
+                if best.map(|(_, _, t)| oldest < t).unwrap_or(true) {
+                    best = Some((pid, *uid, oldest));
+                }
+            }
+        }
+        if let Some((pid, uid, _)) = best {
+            let unit = self.problems[pid].in_flight[&uid].unit.clone();
+            return self.lease_and_assign(pid, unit, client, now, true);
+        }
+
+        Assignment::Wait
+    }
+
+    fn next_unit_for(p: &mut ProblemState, hint: f64) -> Option<Arc<WorkUnit>> {
+        if let Some(unit) = p.reissue.pop_front() {
+            return Some(unit);
+        }
+        p.dm.next_unit(hint).map(Arc::new)
+    }
+
+    fn lease_and_assign(
+        &mut self,
+        pid: ProblemId,
+        unit: Arc<WorkUnit>,
+        client: ClientId,
+        now: f64,
+        redundant: bool,
+    ) -> Assignment {
+        let base_deadline = self.sched.lease_deadline(client, unit.cost_ops, now);
+        // Exponential backoff: every expiry doubles the next lease, so a
+        // unit whose true cost exceeds the estimate converges instead of
+        // bouncing between reissue and the same slow donor forever.
+        let expiries = self.problems[pid]
+            .reissue_counts
+            .get(&unit.id)
+            .copied()
+            .unwrap_or(0)
+            .min(6);
+        let deadline = now + (base_deadline - now) * f64::from(1u32 << expiries);
+        let p = &mut self.problems[pid];
+        p.stats.assignments += 1;
+        if redundant {
+            p.stats.redundant_dispatches += 1;
+        }
+        p.in_flight
+            .entry(unit.id)
+            .or_insert_with(|| InFlight { unit: unit.clone(), leases: Vec::new() })
+            .leases
+            .push(Lease { client, assigned_at: now, deadline });
+        Assignment::Unit { problem: pid, unit, algorithm: p.algorithm.clone() }
+    }
+
+    /// A client reports a result at time `now`. Returns `true` if the
+    /// result was accepted (first copy to arrive), `false` if discarded.
+    pub fn submit_result(
+        &mut self,
+        client: ClientId,
+        problem: ProblemId,
+        result: TaskResult,
+        now: f64,
+    ) -> bool {
+        let p = &mut self.problems[problem];
+        let inf = match p.in_flight.remove(&result.unit_id) {
+            Some(inf) => Some(inf),
+            None => {
+                // The lease may have expired while the (slow) client was
+                // still computing; if the unit is waiting for reissue,
+                // this result is perfectly valid — accept it.
+                let pos = p.reissue.iter().position(|u| u.id == result.unit_id);
+                match pos {
+                    Some(i) => {
+                        let unit = p.reissue.remove(i).expect("position is valid");
+                        Some(InFlight { unit, leases: Vec::new() })
+                    }
+                    None => None,
+                }
+            }
+        };
+        let Some(inf) = inf else {
+            p.stats.wasted_results += 1;
+            return false;
+        };
+        // Feed the adaptive scheduler with this client's turnaround.
+        if let Some(lease) = inf.leases.iter().find(|l| l.client == client) {
+            self.sched
+                .record_completion(client, inf.unit.cost_ops, now - lease.assigned_at);
+        }
+        // Drop any queued reissue copies of this unit.
+        p.reissue.retain(|u| u.id != result.unit_id);
+
+        p.dm.accept_result(result);
+        p.stats.completed_units += 1;
+
+        if p.dm.is_complete() && !p.done {
+            p.done = true;
+            p.output = Some(p.dm.final_output());
+            p.completion_time = Some(now);
+            p.in_flight.clear();
+            p.reissue.clear();
+        }
+        true
+    }
+
+    /// Expires overdue leases; fully expired units are queued for
+    /// reissue. Returns the number of units queued.
+    pub fn check_timeouts(&mut self, now: f64) -> usize {
+        let mut reissued = 0;
+        for p in &mut self.problems {
+            if p.done {
+                continue;
+            }
+            let mut expired_units = Vec::new();
+            for (uid, inf) in &mut p.in_flight {
+                inf.leases.retain(|l| l.deadline > now);
+                if inf.leases.is_empty() {
+                    expired_units.push(*uid);
+                }
+            }
+            for uid in expired_units {
+                let inf = p.in_flight.remove(&uid).expect("present");
+                p.reissue.push_back(inf.unit);
+                *p.reissue_counts.entry(uid).or_insert(0) += 1;
+                p.stats.reissued_units += 1;
+                reissued += 1;
+            }
+        }
+        reissued
+    }
+
+    /// A client left the pool (churn): its leases are cancelled and any
+    /// unit left with no active lease is queued for reissue.
+    pub fn client_gone(&mut self, client: ClientId) {
+        for p in &mut self.problems {
+            if p.done {
+                continue;
+            }
+            let mut orphaned = Vec::new();
+            for (uid, inf) in &mut p.in_flight {
+                inf.leases.retain(|l| l.client != client);
+                if inf.leases.is_empty() {
+                    orphaned.push(*uid);
+                }
+            }
+            for uid in orphaned {
+                let inf = p.in_flight.remove(&uid).expect("present");
+                p.reissue.push_back(inf.unit);
+                p.stats.reissued_units += 1;
+            }
+        }
+        self.sched.forget_client(client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{DataManager, Problem};
+
+    /// A problem that sums `1..=n` in fixed chunks of `chunk` integers.
+    struct SumDm {
+        next: u64,
+        n: u64,
+        chunk: u64,
+        issued: u64,
+        received: u64,
+        total: u64,
+        next_id: UnitId,
+    }
+
+    impl SumDm {
+        fn new(n: u64, chunk: u64) -> Self {
+            Self { next: 1, n, chunk, issued: 0, received: 0, total: 0, next_id: 0 }
+        }
+    }
+
+    impl DataManager for SumDm {
+        fn next_unit(&mut self, _hint: f64) -> Option<WorkUnit> {
+            if self.next > self.n {
+                return None;
+            }
+            let lo = self.next;
+            let hi = (lo + self.chunk - 1).min(self.n);
+            self.next = hi + 1;
+            self.issued += 1;
+            let id = self.next_id;
+            self.next_id += 1;
+            Some(WorkUnit {
+                id,
+                payload: Payload::new((lo, hi), 16),
+                cost_ops: (hi - lo + 1) as f64,
+            })
+        }
+        fn accept_result(&mut self, result: TaskResult) {
+            self.total += result.payload.into_inner::<u64>();
+            self.received += 1;
+        }
+        fn is_complete(&self) -> bool {
+            self.next > self.n && self.received == self.issued
+        }
+        fn final_output(&mut self) -> Payload {
+            Payload::new(self.total, 8)
+        }
+    }
+
+    struct SumAlgo;
+    impl Algorithm for SumAlgo {
+        fn compute(&self, unit: &WorkUnit) -> TaskResult {
+            let &(lo, hi) = unit.payload.downcast_ref::<(u64, u64)>().unwrap();
+            TaskResult { unit_id: unit.id, payload: Payload::new((lo..=hi).sum::<u64>(), 8) }
+        }
+    }
+
+    fn sum_problem(n: u64, chunk: u64) -> Problem {
+        Problem::new("sum", Box::new(SumDm::new(n, chunk)), Arc::new(SumAlgo))
+    }
+
+    fn drive_to_completion(server: &mut Server, clients: &[ClientId]) -> Vec<u64> {
+        let mut now = 0.0;
+        let mut outputs = Vec::new();
+        let mut guard = 0;
+        loop {
+            let mut any = false;
+            for &c in clients {
+                match server.request_work(c, now) {
+                    Assignment::Unit { problem, unit, algorithm } => {
+                        let result = algorithm.compute(&unit);
+                        now += 1.0;
+                        server.submit_result(c, problem, result, now);
+                        any = true;
+                    }
+                    Assignment::Wait => {}
+                    Assignment::Finished => {
+                        for pid in 0..server.problem_count() {
+                            if let Some(out) = server.take_output(pid) {
+                                outputs.push(out.into_inner::<u64>());
+                            }
+                        }
+                        return outputs;
+                    }
+                }
+            }
+            if !any {
+                now += 1.0;
+            }
+            guard += 1;
+            assert!(guard < 100_000, "server failed to converge");
+        }
+    }
+
+    #[test]
+    fn single_problem_completes_with_correct_answer() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(1000, 64));
+        let outputs = drive_to_completion(&mut server, &[0, 1, 2]);
+        assert_eq!(outputs, vec![1000 * 1001 / 2]);
+        let stats = server.stats(0);
+        assert_eq!(stats.completed_units, 16);
+        assert!(server.all_complete());
+    }
+
+    #[test]
+    fn multiple_problems_interleave_round_robin() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(100, 10));
+        server.submit(sum_problem(200, 10));
+        // Two consecutive requests should come from different problems.
+        let a = match server.request_work(0, 0.0) {
+            Assignment::Unit { problem, .. } => problem,
+            _ => panic!("expected a unit"),
+        };
+        let b = match server.request_work(1, 0.0) {
+            Assignment::Unit { problem, .. } => problem,
+            _ => panic!("expected a unit"),
+        };
+        assert_ne!(a, b, "fair share must rotate across problems");
+        let outputs = drive_to_completion(&mut server, &[0, 1, 2, 3]);
+        let mut sorted = outputs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![100 * 101 / 2, 200 * 201 / 2]);
+    }
+
+    #[test]
+    fn weighted_fair_share_interleaves_proportionally() {
+        let mut server = Server::new(SchedulerConfig::default());
+        let heavy = server.submit_with_weight(sum_problem(10_000, 10), 3);
+        let light = server.submit_with_weight(sum_problem(10_000, 10), 1);
+        // Sample the first 40 assignments; both problems have plenty of
+        // units available, so the split must follow the 3:1 weights.
+        let mut counts = [0usize; 2];
+        for k in 0..40 {
+            match server.request_work(k % 4, k as f64) {
+                Assignment::Unit { problem, .. } => counts[problem] += 1,
+                _ => panic!("work must be available"),
+            }
+        }
+        assert_eq!(counts[heavy], 30, "weight-3 problem gets 3/4 of slots");
+        assert_eq!(counts[light], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be at least 1")]
+    fn zero_weight_is_rejected() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit_with_weight(sum_problem(10, 10), 0);
+    }
+
+    #[test]
+    fn expired_lease_is_reissued_and_completed_by_another_client() {
+        let mut server = Server::new(SchedulerConfig {
+            lease_min_secs: 10.0,
+            lease_factor: 1.0,
+            ..Default::default()
+        });
+        server.submit(sum_problem(10, 100)); // single unit
+        // Client 0 takes the unit and vanishes.
+        let Assignment::Unit { .. } = server.request_work(0, 0.0) else {
+            panic!("expected unit");
+        };
+        assert_eq!(server.check_timeouts(5.0), 0, "lease still valid");
+        assert_eq!(server.check_timeouts(100.0), 1, "lease expired");
+        // Client 1 picks up the reissued unit.
+        let Assignment::Unit { problem, unit, algorithm } = server.request_work(1, 101.0)
+        else {
+            panic!("expected reissued unit");
+        };
+        let result = algorithm.compute(&unit);
+        assert!(server.submit_result(1, problem, result, 102.0));
+        assert!(server.all_complete());
+        assert_eq!(server.stats(0).reissued_units, 1);
+    }
+
+    #[test]
+    fn duplicate_result_is_discarded() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(10, 5)); // two units
+        let Assignment::Unit { problem, unit, algorithm } = server.request_work(0, 0.0)
+        else {
+            panic!()
+        };
+        // Redundant copy of the same unit for client 1 would need the
+        // end-game; emulate a duplicate by computing twice.
+        let r1 = algorithm.compute(&unit);
+        let r2 = algorithm.compute(&unit);
+        assert!(server.submit_result(0, problem, r1, 1.0));
+        assert!(!server.submit_result(0, problem, r2, 2.0), "duplicate discarded");
+        assert_eq!(server.stats(0).wasted_results, 1);
+    }
+
+    #[test]
+    fn endgame_dispatches_redundant_copy() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(10, 100)); // single unit
+        let Assignment::Unit { unit: u0, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        // No fresh units left; client 1 should get a redundant copy.
+        let Assignment::Unit { unit: u1, problem, algorithm } = server.request_work(1, 1.0)
+        else {
+            panic!("expected redundant dispatch")
+        };
+        assert_eq!(u0.id, u1.id);
+        assert_eq!(server.stats(0).redundant_dispatches, 1);
+        // Client 2 must NOT get a third copy (max_redundancy = 2).
+        assert!(matches!(server.request_work(2, 2.0), Assignment::Wait));
+        // First result wins; the run completes.
+        let r = algorithm.compute(&u1);
+        assert!(server.submit_result(1, problem, r, 3.0));
+        assert!(server.all_complete());
+    }
+
+    #[test]
+    fn naive_config_never_dispatches_redundantly() {
+        let mut server = Server::new(SchedulerConfig::naive());
+        server.submit(sum_problem(10, 100));
+        let Assignment::Unit { .. } = server.request_work(0, 0.0) else { panic!() };
+        assert!(matches!(server.request_work(1, 1.0), Assignment::Wait));
+    }
+
+    #[test]
+    fn client_churn_reissues_orphaned_units() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(100, 50)); // two units
+        let Assignment::Unit { unit: u0, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        server.client_gone(0);
+        // The orphaned unit must be reissued to the next requester.
+        let Assignment::Unit { unit: u1, .. } = server.request_work(1, 1.0) else {
+            panic!()
+        };
+        assert_eq!(u0.id, u1.id, "orphaned unit comes back first");
+    }
+
+    #[test]
+    fn finished_signal_after_all_outputs() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(10, 10));
+        drive_to_completion(&mut server, &[0]);
+        assert!(matches!(server.request_work(0, 1e6), Assignment::Finished));
+        assert!(server.completion_time(0).is_some());
+    }
+
+    #[test]
+    fn staged_manager_wait_then_progress() {
+        /// Two-stage manager: stage 2's unit is only available after
+        /// stage 1's result arrives (a miniature DPRml barrier).
+        struct Staged {
+            stage: u8,
+            in_flight: bool,
+            acc: u64,
+        }
+        impl DataManager for Staged {
+            fn next_unit(&mut self, _h: f64) -> Option<WorkUnit> {
+                if self.in_flight || self.stage > 2 {
+                    return None;
+                }
+                self.in_flight = true;
+                Some(WorkUnit {
+                    id: self.stage as u64,
+                    payload: Payload::new(self.stage as u64, 8),
+                    cost_ops: 1.0,
+                })
+            }
+            fn accept_result(&mut self, r: TaskResult) {
+                self.acc += r.payload.into_inner::<u64>();
+                self.in_flight = false;
+                self.stage += 1;
+            }
+            fn is_complete(&self) -> bool {
+                self.stage > 2 && !self.in_flight
+            }
+            fn final_output(&mut self) -> Payload {
+                Payload::new(self.acc, 8)
+            }
+        }
+        struct Echo;
+        impl Algorithm for Echo {
+            fn compute(&self, unit: &WorkUnit) -> TaskResult {
+                TaskResult {
+                    unit_id: unit.id,
+                    payload: Payload::new(*unit.payload.downcast_ref::<u64>().unwrap() * 10, 8),
+                }
+            }
+        }
+        let mut server = Server::new(SchedulerConfig {
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(Problem::new(
+            "staged",
+            Box::new(Staged { stage: 1, in_flight: false, acc: 0 }),
+            Arc::new(Echo),
+        ));
+        // Client 0 gets stage 1; client 1 must Wait (barrier).
+        let Assignment::Unit { problem, unit, algorithm } = server.request_work(0, 0.0)
+        else {
+            panic!()
+        };
+        assert!(matches!(server.request_work(1, 0.1), Assignment::Wait));
+        let r = algorithm.compute(&unit);
+        server.submit_result(0, problem, r, 1.0);
+        // Stage 2 now available.
+        let Assignment::Unit { problem, unit, algorithm } = server.request_work(1, 1.1)
+        else {
+            panic!("stage 2 must open after the barrier")
+        };
+        let r = algorithm.compute(&unit);
+        server.submit_result(1, problem, r, 2.0);
+        assert!(server.all_complete());
+        assert_eq!(server.take_output(0).unwrap().into_inner::<u64>(), 30);
+    }
+}

@@ -1,0 +1,117 @@
+//! Real-thread execution backend.
+//!
+//! Runs a [`Server`]'s problems on actual OS threads (one per simulated
+//! donor) with the wall clock as the time source. Its purpose is
+//! correctness: the exact same `Server` + `Problem` objects the
+//! simulator drives are executed with genuine concurrency, and the
+//! integration tests assert distributed output == sequential reference.
+
+use crate::server::{Assignment, Server};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Runs every submitted problem to completion on `n_workers` threads;
+/// returns the server (holding outputs and statistics) and the elapsed
+/// wall-clock seconds.
+pub fn run_threaded(server: Server, n_workers: usize) -> (Server, f64) {
+    assert!(n_workers >= 1, "need at least one worker");
+    let shared = Mutex::new(server);
+    let start = Instant::now();
+    let now = || start.elapsed().as_secs_f64();
+
+    std::thread::scope(|scope| {
+        for worker in 0..n_workers {
+            let shared = &shared;
+            scope.spawn(move || loop {
+                let assignment = {
+                    let mut server = shared.lock();
+                    server.check_timeouts(now());
+                    server.request_work(worker, now())
+                };
+                match assignment {
+                    Assignment::Unit { problem, unit, algorithm } => {
+                        // Compute OUTSIDE the lock: this is the part that
+                        // actually runs in parallel.
+                        let result = algorithm.compute(&unit);
+                        shared.lock().submit_result(worker, problem, result, now());
+                    }
+                    Assignment::Wait => {
+                        // Stage barrier or end-game; back off briefly.
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Assignment::Finished => break,
+                }
+            });
+        }
+    });
+
+    let elapsed = now();
+    (shared.into_inner(), elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::integration_problem;
+    use crate::sched::SchedulerConfig;
+    use crate::server::Server;
+
+    fn fast_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            // Wall-clock throughput of the integration algorithm is far
+            // above the simulator's abstract prior; size units to a few
+            // milliseconds so the test exercises many round trips.
+            target_unit_secs: 0.005,
+            prior_ops_per_sec: 2e9,
+            min_unit_ops: 1e4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn computes_pi_on_one_worker() {
+        let mut server = Server::new(fast_cfg());
+        let pid = server.submit(integration_problem(200_000));
+        let (mut server, _) = run_threaded(server, 1);
+        let pi = server.take_output(pid).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "got {pi}");
+    }
+
+    #[test]
+    fn computes_pi_on_many_workers() {
+        let mut server = Server::new(fast_cfg());
+        let pid = server.submit(integration_problem(500_000));
+        let (mut server, _) = run_threaded(server, 8);
+        let pi = server.take_output(pid).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "got {pi}");
+        assert!(server.stats(pid).completed_units >= 2, "work was split");
+    }
+
+    #[test]
+    fn runs_multiple_problems_simultaneously() {
+        let mut server = Server::new(fast_cfg());
+        let a = server.submit(integration_problem(100_000));
+        let b = server.submit(integration_problem(150_000));
+        let c = server.submit(integration_problem(200_000));
+        let (mut server, _) = run_threaded(server, 4);
+        for pid in [a, b, c] {
+            let pi = server.take_output(pid).unwrap().into_inner::<f64>();
+            assert!((pi - std::f64::consts::PI).abs() < 1e-7, "problem {pid}: {pi}");
+        }
+    }
+
+    #[test]
+    fn parallel_result_is_bitwise_deterministic_per_unit_count() {
+        // Floating-point folding order could vary across runs; the DM
+        // folds in arrival order, so exact equality is only guaranteed
+        // against tolerance, not bitwise. Assert the tolerance contract.
+        let run = |workers: usize| {
+            let mut server = Server::new(fast_cfg());
+            let pid = server.submit(integration_problem(300_000));
+            let (mut server, _) = run_threaded(server, workers);
+            server.take_output(pid).unwrap().into_inner::<f64>()
+        };
+        let (a, b) = (run(2), run(6));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,320 @@
+//! DSEARCH as a framework [`Problem`].
+//!
+//! The `DataManager` walks the database once, packing sequences into
+//! chunks whose estimated DP-cell cost matches the scheduler's dynamic
+//! granularity hint (paper §3.1: chunk sizes track donor speed). The
+//! `Algorithm` scores its chunk against every query and returns a
+//! per-chunk top-K list; the manager merges chunk lists into the global
+//! answer. Because [`biodist_align::TopK`] has a deterministic total
+//! order and order-independent merge, the distributed output equals
+//! [`crate::reference::search_sequential`] exactly.
+
+use crate::config::DsearchConfig;
+use biodist_align::{AlignKernel, Hit, TopK};
+use biodist_bioseq::Sequence;
+use biodist_core::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Final output of a distributed search: per-query hit lists,
+/// best-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutput {
+    /// `query id → hits`, each list sorted best-first.
+    pub hits: BTreeMap<String, Vec<Hit>>,
+}
+
+/// The unit payload: a range of database indices.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRange {
+    start: usize,
+    end: usize,
+}
+
+struct DsearchDm {
+    db: Arc<Vec<Sequence>>,
+    queries: Arc<Vec<Sequence>>,
+    kernel: AlignKernel,
+    top_hits: usize,
+    cost_scale: f64,
+    cursor: usize,
+    issued: u64,
+    received: u64,
+    next_id: UnitId,
+    merged: BTreeMap<String, TopK>,
+}
+
+impl DsearchDm {
+    fn chunk_cost(&self, range: ChunkRange) -> f64 {
+        self.db[range.start..range.end]
+            .iter()
+            .map(|s| {
+                self.queries
+                    .iter()
+                    .map(|q| self.kernel.cost_cells(q, s))
+                    .sum::<u64>() as f64
+            })
+            .sum::<f64>()
+            * self.cost_scale
+    }
+}
+
+impl DataManager for DsearchDm {
+    fn next_unit(&mut self, hint_ops: f64) -> Option<WorkUnit> {
+        if self.cursor >= self.db.len() {
+            return None;
+        }
+        // Pack sequences until the chunk's cost reaches the hint.
+        let start = self.cursor;
+        let mut cost = 0.0;
+        while self.cursor < self.db.len() && cost < hint_ops {
+            let s = &self.db[self.cursor];
+            cost += self
+                .queries
+                .iter()
+                .map(|q| self.kernel.cost_cells(q, s))
+                .sum::<u64>() as f64
+                * self.cost_scale;
+            self.cursor += 1;
+        }
+        let range = ChunkRange { start, end: self.cursor };
+        self.issued += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        // On a real wire this unit ships the chunk's residues.
+        let wire: u64 = self.db[range.start..range.end]
+            .iter()
+            .map(|s| s.len() as u64 + 64)
+            .sum();
+        Some(WorkUnit {
+            id,
+            payload: Payload::new(range, wire),
+            cost_ops: self.chunk_cost(range),
+        })
+    }
+
+    fn accept_result(&mut self, result: TaskResult) {
+        let hits = result.payload.into_inner::<Vec<Hit>>();
+        for hit in hits {
+            self.merged
+                .entry(hit.query_id.clone())
+                .or_insert_with(|| TopK::new(self.top_hits))
+                .offer(hit);
+        }
+        self.received += 1;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.cursor >= self.db.len() && self.received == self.issued
+    }
+
+    fn final_output(&mut self) -> Payload {
+        let mut hits: BTreeMap<String, Vec<Hit>> = std::mem::take(&mut self.merged)
+            .into_iter()
+            .map(|(q, topk)| (q, topk.into_sorted()))
+            .collect();
+        // Queries with no hit offered anywhere still get an entry.
+        for q in self.queries.iter() {
+            hits.entry(q.id.clone()).or_default();
+        }
+        let wire = hits.values().map(|v| v.len() as u64 * 48).sum();
+        Payload::new(SearchOutput { hits }, wire)
+    }
+}
+
+struct DsearchAlgo {
+    db: Arc<Vec<Sequence>>,
+    queries: Arc<Vec<Sequence>>,
+    kernel: AlignKernel,
+    top_hits: usize,
+}
+
+impl Algorithm for DsearchAlgo {
+    fn compute(&self, unit: &WorkUnit) -> TaskResult {
+        let range = *unit.payload.downcast_ref::<ChunkRange>().expect("chunk range");
+        let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
+        for subject in &self.db[range.start..range.end] {
+            for query in self.queries.iter() {
+                let score = self.kernel.score(query, subject);
+                per_query
+                    .entry(query.id.clone())
+                    .or_insert_with(|| TopK::new(self.top_hits))
+                    .offer(Hit {
+                        query_id: query.id.clone(),
+                        db_id: subject.id.clone(),
+                        score,
+                    });
+            }
+        }
+        let hits: Vec<Hit> = per_query.into_values().flat_map(TopK::into_sorted).collect();
+        let wire = hits.len() as u64 * 48;
+        TaskResult { unit_id: unit.id, payload: Payload::new(hits, wire) }
+    }
+}
+
+/// Builds the DSEARCH [`Problem`] for a database, query set and
+/// configuration.
+pub fn build_problem(
+    database: Vec<Sequence>,
+    queries: Vec<Sequence>,
+    config: &DsearchConfig,
+) -> Problem {
+    assert!(!database.is_empty(), "empty database");
+    assert!(!queries.is_empty(), "no queries");
+    let db = Arc::new(database);
+    let queries = Arc::new(queries);
+    let kernel = AlignKernel::new(config.kernel, config.scheme.clone());
+    // Clients download the query file and search code up front; the
+    // database itself arrives chunk by chunk.
+    let setup: u64 =
+        queries.iter().map(|q| q.len() as u64 + 64).sum::<u64>() + 100_000;
+    let dm = DsearchDm {
+        db: db.clone(),
+        queries: queries.clone(),
+        kernel: kernel.clone(),
+        top_hits: config.top_hits,
+        cost_scale: config.cost_scale,
+        cursor: 0,
+        issued: 0,
+        received: 0,
+        next_id: 0,
+        merged: BTreeMap::new(),
+    };
+    let algo = DsearchAlgo { db, queries, kernel, top_hits: config.top_hits };
+    Problem::new("dsearch", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::search_sequential;
+    use biodist_bioseq::synth::{random_sequence, DbSpec, FamilySpec, SyntheticDb};
+    use biodist_bioseq::Alphabet;
+    use biodist_core::{run_threaded, SchedulerConfig, Server, SimRunner};
+    use biodist_gridsim::deployments::heterogeneous_lab;
+
+    fn test_inputs() -> (Vec<Sequence>, Vec<Sequence>, DsearchConfig) {
+        let query = random_sequence(Alphabet::Protein, "q0", 90, 71);
+        let fam = FamilySpec { copies: 4, substitution_rate: 0.15, indel_rate: 0.02 };
+        let db = SyntheticDb::generate_with_family(
+            &DbSpec::protein_demo(60, 100),
+            &query,
+            &fam,
+            72,
+        );
+        let mut cfg = DsearchConfig::protein_default();
+        cfg.top_hits = 10;
+        (db.sequences, vec![query], cfg)
+    }
+
+    fn small_unit_sched() -> SchedulerConfig {
+        SchedulerConfig {
+            target_unit_secs: 0.001,
+            prior_ops_per_sec: 1e7,
+            min_unit_ops: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn distributed_threaded_equals_sequential() {
+        let (db, queries, cfg) = test_inputs();
+        let expected = search_sequential(&db, &queries, &cfg);
+        let mut server = Server::new(small_unit_sched());
+        let pid = server.submit(build_problem(db, queries, &cfg));
+        let (mut server, _) = run_threaded(server, 6);
+        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        assert_eq!(out.hits, expected);
+        assert!(server.stats(pid).completed_units > 1, "search was actually split");
+    }
+
+    #[test]
+    fn distributed_simulated_equals_sequential() {
+        let (db, queries, cfg) = test_inputs();
+        let expected = search_sequential(&db, &queries, &cfg);
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 5.0,
+            ..Default::default()
+        });
+        let pid = server.submit(build_problem(db, queries, &cfg));
+        let machines = heterogeneous_lab(10, 99);
+        let (report, mut server) = SimRunner::with_defaults(server, machines).run();
+        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        assert_eq!(out.hits, expected);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn chunking_respects_granularity_hint() {
+        let (db, queries, cfg) = test_inputs();
+        let kernel = AlignKernel::new(cfg.kernel, cfg.scheme.clone());
+        let mut dm = DsearchDm {
+            db: Arc::new(db),
+            queries: Arc::new(queries),
+            kernel,
+            top_hits: 10,
+            cost_scale: 1.0,
+            cursor: 0,
+            issued: 0,
+            received: 0,
+            next_id: 0,
+            merged: BTreeMap::new(),
+        };
+        let small = dm.next_unit(10_000.0).unwrap();
+        let big = dm.next_unit(500_000.0).unwrap();
+        assert!(big.cost_ops > 3.0 * small.cost_ops, "{} vs {}", big.cost_ops, small.cost_ops);
+        // Each chunk covers at least one sequence even for tiny hints.
+        let tiny = dm.next_unit(1.0).unwrap();
+        assert!(tiny.cost_ops > 0.0);
+    }
+
+    #[test]
+    fn chunks_partition_database_exactly_once() {
+        let (db, queries, cfg) = test_inputs();
+        let n = db.len();
+        let kernel = AlignKernel::new(cfg.kernel, cfg.scheme.clone());
+        let mut dm = DsearchDm {
+            db: Arc::new(db),
+            queries: Arc::new(queries),
+            kernel,
+            top_hits: 10,
+            cost_scale: 1.0,
+            cursor: 0,
+            issued: 0,
+            received: 0,
+            next_id: 0,
+            merged: BTreeMap::new(),
+        };
+        let mut covered = vec![false; n];
+        while let Some(unit) = dm.next_unit(100_000.0) {
+            let range = *unit.payload.downcast_ref::<ChunkRange>().unwrap();
+            for i in range.start..range.end {
+                assert!(!covered[i], "sequence {i} issued twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "whole database must be covered");
+    }
+
+    #[test]
+    fn planted_family_found_by_distributed_search() {
+        let query = random_sequence(Alphabet::Protein, "q0", 80, 11);
+        let fam = FamilySpec { copies: 3, substitution_rate: 0.1, indel_rate: 0.01 };
+        let db = SyntheticDb::generate_with_family(
+            &DbSpec::protein_demo(30, 90),
+            &query,
+            &fam,
+            12,
+        );
+        let planted = db.planted_ids.clone();
+        let cfg = DsearchConfig::protein_default();
+        let mut server = Server::new(small_unit_sched());
+        let pid = server.submit(build_problem(db.sequences, vec![query], &cfg));
+        let (mut server, _) = run_threaded(server, 4);
+        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let top3: Vec<&str> = out.hits["q0"][..3].iter().map(|h| h.db_id.as_str()).collect();
+        for id in &planted {
+            assert!(top3.contains(&id.as_str()), "{id} not in top 3");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Hit-significance statistics.
+//!
+//! Local alignment scores of a query against *unrelated* database
+//! sequences follow an extreme-value (Gumbel) distribution — the basis
+//! of every search tool's E-values. This module fits the Gumbel null by
+//! the method of moments on the bulk of the score distribution (the top
+//! tail, where true homologs live, is trimmed first) and converts raw
+//! scores into p-values and database-size-corrected E-values, so
+//! DSEARCH reports *significance*, not just ranks.
+
+use biodist_align::Hit;
+
+/// Euler–Mascheroni constant (Gumbel mean offset).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A fitted Gumbel null distribution for alignment scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreStatistics {
+    /// Scale parameter λ (inverse width).
+    pub lambda: f64,
+    /// Location parameter μ (mode).
+    pub mu: f64,
+    /// Number of scores the fit used.
+    pub sample_size: usize,
+}
+
+impl ScoreStatistics {
+    /// Fits a Gumbel by the method of moments:
+    /// `λ = π / (σ√6)`, `μ = mean − γ/λ`.
+    ///
+    /// # Panics
+    /// Panics with fewer than 10 scores or zero variance (no fit is
+    /// meaningful; callers should fall back to rank-only reporting).
+    pub fn fit(scores: &[i32]) -> Self {
+        assert!(scores.len() >= 10, "need at least 10 background scores");
+        let n = scores.len() as f64;
+        let mean = scores.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = scores
+            .iter()
+            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        assert!(var > 0.0, "background scores have zero variance");
+        let lambda = std::f64::consts::PI / (var.sqrt() * 6.0f64.sqrt());
+        let mu = mean - EULER_GAMMA / lambda;
+        Self { lambda, mu, sample_size: scores.len() }
+    }
+
+    /// Fits the null after trimming the top `trim_fraction` of scores
+    /// (which may contain true homologs) — the standard robustification.
+    pub fn fit_trimmed(scores: &[i32], trim_fraction: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&trim_fraction),
+            "trim fraction must be in [0, 0.5)"
+        );
+        let mut sorted = scores.to_vec();
+        sorted.sort_unstable();
+        let keep = sorted.len() - (sorted.len() as f64 * trim_fraction).ceil() as usize;
+        Self::fit(&sorted[..keep.max(10).min(sorted.len())])
+    }
+
+    /// P(S ≥ score) under the fitted null: `1 − exp(−exp(−λ(s−μ)))`.
+    pub fn p_value(&self, score: i32) -> f64 {
+        let z = self.lambda * (score as f64 - self.mu);
+        // Numerically stable: for large z, 1 − exp(−e^{−z}) ≈ e^{−z}.
+        let t = (-z).exp();
+        if t < 1e-8 {
+            t
+        } else {
+            1.0 - (-t).exp()
+        }
+    }
+
+    /// E-value: expected number of hits this good in a database of
+    /// `database_size` sequences.
+    pub fn e_value(&self, score: i32, database_size: usize) -> f64 {
+        self.p_value(score) * database_size as f64
+    }
+}
+
+/// A hit annotated with its significance under a fitted null.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredHit {
+    /// The raw hit.
+    pub hit: Hit,
+    /// P(S ≥ score) under the null.
+    pub p_value: f64,
+    /// Database-size-corrected expectation.
+    pub e_value: f64,
+}
+
+/// Annotates hits with significance, fitting the null from
+/// `background_scores` (typically: every score the search computed,
+/// top 2% trimmed). Hits are returned in the input order.
+pub fn annotate_hits(
+    hits: &[Hit],
+    background_scores: &[i32],
+    database_size: usize,
+) -> Vec<ScoredHit> {
+    let stats = ScoreStatistics::fit_trimmed(background_scores, 0.02);
+    hits.iter()
+        .map(|h| ScoredHit {
+            hit: h.clone(),
+            p_value: stats.p_value(h.score),
+            e_value: stats.e_value(h.score, database_size),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+    /// Draws Gumbel(μ, λ) samples by inversion.
+    fn gumbel_samples(mu: f64, lambda: f64, n: usize, seed: u64) -> Vec<i32> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.next_f64().max(1e-12);
+                let x = mu - (-(u.ln())).ln() / lambda;
+                x.round() as i32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moment_fit_recovers_gumbel_parameters() {
+        let (mu, lambda) = (40.0, 0.25);
+        let samples = gumbel_samples(mu, lambda, 20_000, 1);
+        let fit = ScoreStatistics::fit(&samples);
+        assert!((fit.mu - mu).abs() < 1.0, "mu {} vs {}", fit.mu, mu);
+        assert!((fit.lambda - lambda).abs() < 0.02, "lambda {} vs {}", fit.lambda, lambda);
+    }
+
+    #[test]
+    fn p_values_are_probabilities_and_monotone() {
+        let samples = gumbel_samples(30.0, 0.3, 5_000, 2);
+        let fit = ScoreStatistics::fit(&samples);
+        let mut prev = 1.0;
+        for s in 0..200 {
+            let p = fit.p_value(s);
+            assert!((0.0..=1.0).contains(&p), "p({s}) = {p}");
+            assert!(p <= prev + 1e-12, "p must not increase with score");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_value_calibration_matches_empirical_tail() {
+        let samples = gumbel_samples(30.0, 0.3, 50_000, 3);
+        let fit = ScoreStatistics::fit(&samples);
+        // Empirical P(S >= 45) vs fitted.
+        let threshold = 45;
+        let empirical =
+            samples.iter().filter(|&&s| s >= threshold).count() as f64 / samples.len() as f64;
+        let fitted = fit.p_value(threshold);
+        assert!(
+            (empirical - fitted).abs() < 0.01,
+            "empirical {empirical} vs fitted {fitted}"
+        );
+    }
+
+    #[test]
+    fn outlier_scores_get_tiny_p_values() {
+        let samples = gumbel_samples(30.0, 0.3, 5_000, 4);
+        let fit = ScoreStatistics::fit_trimmed(&samples, 0.02);
+        assert!(fit.p_value(150) < 1e-10);
+        assert!(fit.e_value(150, 1_000_000) < 1e-3);
+    }
+
+    #[test]
+    fn trimming_is_robust_to_planted_homologs() {
+        let mut samples = gumbel_samples(30.0, 0.3, 5_000, 5);
+        // Contaminate with huge homolog scores.
+        samples.extend(std::iter::repeat(500).take(50));
+        let clean = ScoreStatistics::fit_trimmed(&samples, 0.02);
+        let naive = ScoreStatistics::fit(&samples);
+        // The naive fit's width blows up; the trimmed fit stays close.
+        assert!((clean.lambda - 0.3).abs() < 0.05, "trimmed lambda {}", clean.lambda);
+        assert!(naive.lambda < clean.lambda, "contamination must widen the naive fit");
+    }
+
+    #[test]
+    fn annotate_hits_orders_and_sizes_correctly() {
+        let samples = gumbel_samples(25.0, 0.3, 2_000, 6);
+        let hits = vec![
+            Hit { query_id: "q".into(), db_id: "strong".into(), score: 200 },
+            Hit { query_id: "q".into(), db_id: "weak".into(), score: 26 },
+        ];
+        let annotated = annotate_hits(&hits, &samples, 10_000);
+        assert_eq!(annotated.len(), 2);
+        assert!(annotated[0].e_value < 1e-6, "strong hit must be significant");
+        assert!(annotated[1].e_value > 1.0, "near-mode hit is expected by chance");
+        assert!(annotated[0].p_value < annotated[1].p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn fit_rejects_tiny_samples() {
+        ScoreStatistics::fit(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Translated search: protein queries against a DNA database.
+//!
+//! The classic "tblastn" mode: every database sequence is translated in
+//! all six reading frames and each frame is scored against the protein
+//! query with the configured kernel; a subject's score is the best over
+//! its frames. Chunking, merging and determinism work exactly as in the
+//! direct protein search — the same top-K machinery guarantees the
+//! distributed result equals [`search_translated_sequential`].
+
+use crate::config::DsearchConfig;
+use biodist_align::{AlignKernel, Hit, TopK};
+use biodist_bioseq::codon::six_frame_translations;
+use biodist_bioseq::{Alphabet, Sequence};
+use biodist_core::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn best_frame_score(kernel: &AlignKernel, query: &Sequence, dna_subject: &Sequence) -> i32 {
+    six_frame_translations(dna_subject)
+        .iter()
+        .map(|t| kernel.score(query, &t.protein))
+        .max()
+        .expect("six frames always exist")
+}
+
+/// DP cells across all six frames of one subject (cost model).
+fn translated_cost_cells(kernel: &AlignKernel, query: &Sequence, dna_subject: &Sequence) -> u64 {
+    // Each frame is ~len/3 residues; six frames ≈ 2·len·qlen cells.
+    let frame_len = (dna_subject.len() / 3) as u64;
+    let proxy = Sequence::from_codes("f", Alphabet::Protein, vec![0; frame_len as usize]);
+    6 * kernel.cost_cells(query, &proxy)
+}
+
+/// Sequential reference for translated search.
+pub fn search_translated_sequential(
+    dna_database: &[Sequence],
+    protein_queries: &[Sequence],
+    config: &DsearchConfig,
+) -> BTreeMap<String, Vec<Hit>> {
+    let kernel = AlignKernel::new(config.kernel, config.scheme.clone());
+    let mut per_query: BTreeMap<String, TopK> = protein_queries
+        .iter()
+        .map(|q| (q.id.clone(), TopK::new(config.top_hits)))
+        .collect();
+    for subject in dna_database {
+        for query in protein_queries {
+            let score = best_frame_score(&kernel, query, subject);
+            per_query.get_mut(&query.id).expect("registered").offer(Hit {
+                query_id: query.id.clone(),
+                db_id: subject.id.clone(),
+                score,
+            });
+        }
+    }
+    per_query.into_iter().map(|(q, t)| (q, t.into_sorted())).collect()
+}
+
+struct TranslatedDm {
+    db: Arc<Vec<Sequence>>,
+    queries: Arc<Vec<Sequence>>,
+    kernel: AlignKernel,
+    top_hits: usize,
+    cost_scale: f64,
+    cursor: usize,
+    issued: u64,
+    received: u64,
+    next_id: UnitId,
+    merged: BTreeMap<String, TopK>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkRange {
+    start: usize,
+    end: usize,
+}
+
+impl DataManager for TranslatedDm {
+    fn next_unit(&mut self, hint_ops: f64) -> Option<WorkUnit> {
+        if self.cursor >= self.db.len() {
+            return None;
+        }
+        let start = self.cursor;
+        let mut cost = 0.0;
+        while self.cursor < self.db.len() && cost < hint_ops {
+            let s = &self.db[self.cursor];
+            cost += self
+                .queries
+                .iter()
+                .map(|q| translated_cost_cells(&self.kernel, q, s))
+                .sum::<u64>() as f64
+                * self.cost_scale;
+            self.cursor += 1;
+        }
+        let range = ChunkRange { start, end: self.cursor };
+        self.issued += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let wire: u64 = self.db[range.start..range.end]
+            .iter()
+            .map(|s| s.len() as u64 / 4 + 64) // 2-bit packed DNA on a real wire
+            .sum();
+        Some(WorkUnit { id, payload: Payload::new(range, wire), cost_ops: cost })
+    }
+
+    fn accept_result(&mut self, result: TaskResult) {
+        for hit in result.payload.into_inner::<Vec<Hit>>() {
+            self.merged
+                .entry(hit.query_id.clone())
+                .or_insert_with(|| TopK::new(self.top_hits))
+                .offer(hit);
+        }
+        self.received += 1;
+    }
+
+    fn is_complete(&self) -> bool {
+        self.cursor >= self.db.len() && self.received == self.issued
+    }
+
+    fn final_output(&mut self) -> Payload {
+        let mut hits: BTreeMap<String, Vec<Hit>> = std::mem::take(&mut self.merged)
+            .into_iter()
+            .map(|(q, t)| (q, t.into_sorted()))
+            .collect();
+        for q in self.queries.iter() {
+            hits.entry(q.id.clone()).or_default();
+        }
+        let wire = hits.values().map(|v| v.len() as u64 * 48).sum();
+        Payload::new(crate::problem::SearchOutput { hits }, wire)
+    }
+}
+
+struct TranslatedAlgo {
+    db: Arc<Vec<Sequence>>,
+    queries: Arc<Vec<Sequence>>,
+    kernel: AlignKernel,
+    top_hits: usize,
+}
+
+impl Algorithm for TranslatedAlgo {
+    fn compute(&self, unit: &WorkUnit) -> TaskResult {
+        let range = *unit.payload.downcast_ref::<ChunkRange>().expect("chunk range");
+        let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
+        for subject in &self.db[range.start..range.end] {
+            for query in self.queries.iter() {
+                let score = best_frame_score(&self.kernel, query, subject);
+                per_query
+                    .entry(query.id.clone())
+                    .or_insert_with(|| TopK::new(self.top_hits))
+                    .offer(Hit {
+                        query_id: query.id.clone(),
+                        db_id: subject.id.clone(),
+                        score,
+                    });
+            }
+        }
+        let hits: Vec<Hit> = per_query.into_values().flat_map(TopK::into_sorted).collect();
+        let wire = hits.len() as u64 * 48;
+        TaskResult { unit_id: unit.id, payload: Payload::new(hits, wire) }
+    }
+}
+
+/// Builds a translated-search [`Problem`]: DNA database, protein
+/// queries, protein scoring scheme.
+///
+/// # Panics
+/// Panics if the database is not DNA, the queries are not protein, or
+/// the configured scheme is not a protein scheme.
+pub fn build_translated_problem(
+    dna_database: Vec<Sequence>,
+    protein_queries: Vec<Sequence>,
+    config: &DsearchConfig,
+) -> Problem {
+    assert!(!dna_database.is_empty(), "empty database");
+    assert!(!protein_queries.is_empty(), "no queries");
+    assert!(
+        dna_database.iter().all(|s| s.alphabet == Alphabet::Dna),
+        "translated search needs a DNA database"
+    );
+    assert!(
+        protein_queries.iter().all(|s| s.alphabet == Alphabet::Protein),
+        "translated search needs protein queries"
+    );
+    assert_eq!(
+        config.scheme.alphabet(),
+        Alphabet::Protein,
+        "translated search scores in protein space"
+    );
+    let db = Arc::new(dna_database);
+    let queries = Arc::new(protein_queries);
+    let kernel = AlignKernel::new(config.kernel, config.scheme.clone());
+    let setup: u64 = queries.iter().map(|q| q.len() as u64 + 64).sum::<u64>() + 120_000;
+    let dm = TranslatedDm {
+        db: db.clone(),
+        queries: queries.clone(),
+        kernel: kernel.clone(),
+        top_hits: config.top_hits,
+        cost_scale: config.cost_scale,
+        cursor: 0,
+        issued: 0,
+        received: 0,
+        next_id: 0,
+        merged: BTreeMap::new(),
+    };
+    let algo = TranslatedAlgo { db, queries, kernel, top_hits: config.top_hits };
+    Problem::new("dsearch-translated", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SearchOutput;
+    use biodist_bioseq::codon::reverse_complement;
+    use biodist_bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
+    use biodist_core::{run_threaded, SchedulerConfig, Server};
+
+    /// Encodes a protein back to DNA using one codon per residue (the
+    /// lexicographically first codon in the table).
+    fn encode_protein(protein: &Sequence) -> Vec<u8> {
+        use biodist_bioseq::codon::translate_codon;
+        let mut dna = Vec::with_capacity(protein.len() * 3);
+        'residue: for &aa in protein.codes() {
+            for c1 in 0..4u8 {
+                for c2 in 0..4u8 {
+                    for c3 in 0..4u8 {
+                        if translate_codon(c1, c2, c3) == Some(aa) {
+                            dna.extend([c1, c2, c3]);
+                            continue 'residue;
+                        }
+                    }
+                }
+            }
+            panic!("no codon for residue {aa}");
+        }
+        dna
+    }
+
+    fn inputs() -> (Vec<Sequence>, Sequence, DsearchConfig) {
+        let query = random_sequence(Alphabet::Protein, "pq", 40, 9);
+        let mut db = SyntheticDb::generate(&DbSpec::dna_demo(25, 150), 10).sequences;
+        // Plant the coding region, forward strand, inside sequence 0...
+        let coding = encode_protein(&query);
+        let mut fwd = db[0].codes().to_vec();
+        fwd.splice(9..9, coding.iter().copied());
+        db[0] = Sequence::from_codes("fwd_hit", Alphabet::Dna, fwd);
+        // ...and reverse-complemented inside sequence 1.
+        let rc = reverse_complement(&Sequence::from_codes("tmp", Alphabet::Dna, coding));
+        let mut rev = db[1].codes().to_vec();
+        rev.splice(30..30, rc.codes().iter().copied());
+        db[1] = Sequence::from_codes("rev_hit", Alphabet::Dna, rev);
+
+        let mut cfg = DsearchConfig::protein_default();
+        cfg.top_hits = 5;
+        (db, query, cfg)
+    }
+
+    #[test]
+    fn finds_coding_regions_on_both_strands() {
+        let (db, query, cfg) = inputs();
+        let hits = search_translated_sequential(&db, &[query], &cfg);
+        let top2: Vec<&str> = hits["pq"][..2].iter().map(|h| h.db_id.as_str()).collect();
+        assert!(top2.contains(&"fwd_hit"), "forward-strand ORF missed: {top2:?}");
+        assert!(top2.contains(&"rev_hit"), "reverse-strand ORF missed: {top2:?}");
+        // A planted exact ORF must vastly outscore random background.
+        assert!(hits["pq"][0].score > 3 * hits["pq"][2].score.max(1));
+    }
+
+    #[test]
+    fn distributed_translated_equals_sequential() {
+        let (db, query, cfg) = inputs();
+        let expected = search_translated_sequential(&db, &[query.clone()], &cfg);
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 0.002,
+            prior_ops_per_sec: 1e8,
+            min_unit_ops: 1.0,
+            ..Default::default()
+        });
+        let pid = server.submit(build_translated_problem(db, vec![query], &cfg));
+        let (mut server, _) = run_threaded(server, 4);
+        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        assert_eq!(out.hits, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "DNA database")]
+    fn rejects_protein_database() {
+        let (_, query, cfg) = inputs();
+        let protein_db = vec![random_sequence(Alphabet::Protein, "p", 30, 1)];
+        build_translated_problem(protein_db, vec![query], &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "protein queries")]
+    fn rejects_dna_queries() {
+        let (db, _, cfg) = inputs();
+        let dna_q = vec![random_sequence(Alphabet::Dna, "d", 30, 1)];
+        build_translated_problem(db, dna_q, &cfg);
+    }
+}

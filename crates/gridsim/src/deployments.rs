@@ -1,0 +1,183 @@
+//! Ready-made machine pools matching the paper's deployments.
+//!
+//! Speeds are in abstract ops/second with the convention **PIII 1 GHz =
+//! 10⁷ ops/s** and other classes scaled by clock rate. Absolute scale
+//! cancels out of every speedup figure; only the ratios (and the
+//! compute-to-communication ratio chosen by the applications' cost
+//! models) matter.
+
+use crate::machine::{AvailabilityModel, Machine};
+use crate::network::{CampusNetwork, SharedLink};
+
+/// A named machine class with its abstract speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineClass {
+    /// Class label, e.g. `"PIII-1000"`.
+    pub name: &'static str,
+    /// Abstract ops per second while idle.
+    pub speed: f64,
+}
+
+/// Pentium II 300 MHz desktop.
+pub const PII_300: MachineClass = MachineClass { name: "PII-300", speed: 3.0e6 };
+/// Pentium II 400 MHz desktop.
+pub const PII_400: MachineClass = MachineClass { name: "PII-400", speed: 4.0e6 };
+/// Pentium III 500 MHz (also the server's CPU).
+pub const PIII_500: MachineClass = MachineClass { name: "PIII-500", speed: 5.0e6 };
+/// Pentium III 733 MHz desktop.
+pub const PIII_733: MachineClass = MachineClass { name: "PIII-733", speed: 7.33e6 };
+/// Pentium III 1 GHz — the Fig. 1 laboratory machine and cluster CPU.
+pub const PIII_1000: MachineClass = MachineClass { name: "PIII-1000", speed: 1.0e7 };
+/// Pentium IV 1.8 GHz desktop.
+pub const PIV_1800: MachineClass = MachineClass { name: "PIV-1800", speed: 1.8e7 };
+/// Pentium IV 2.4 GHz desktop.
+pub const PIV_2400: MachineClass = MachineClass { name: "PIV-2400", speed: 2.4e7 };
+
+/// The availability profile used for laboratory desktops: idle 90% of
+/// the time in ~3-minute stretches ("semi-idle", Fig. 1 caption —
+/// owners touch machines in short bursts).
+pub fn lab_availability() -> AvailabilityModel {
+    AvailabilityModel::semi_idle(0.9, 180.0)
+}
+
+/// The Fig. 1 laboratory: `n` homogeneous semi-idle PIII 1 GHz machines
+/// (the paper uses n = 83).
+pub fn homogeneous_lab(n: usize, seed: u64) -> Vec<Machine> {
+    (0..n)
+        .map(|id| Machine::new(id, PIII_1000.name, PIII_1000.speed, lab_availability(), seed))
+        .collect()
+}
+
+/// A heterogeneous desktop pool cycling through the Pentium classes —
+/// used by the granularity/scheduling ablations.
+pub fn heterogeneous_lab(n: usize, seed: u64) -> Vec<Machine> {
+    let classes = [PII_300, PII_400, PIII_500, PIII_733, PIII_1000, PIV_1800, PIV_2400];
+    (0..n)
+        .map(|id| {
+            let class = classes[id % classes.len()];
+            Machine::new(id, class.name, class.speed, lab_availability(), seed)
+        })
+        .collect()
+}
+
+/// The full campus deployment of §3: three laboratory locations of
+/// mixed desktops (≈200 PCs, Pentium II–IV) plus a 32-node dual-PIII
+/// 1 GHz cluster contributing 64 dedicated CPUs.
+pub fn campus_deployment(seed: u64) -> Vec<Machine> {
+    let mut machines = Vec::new();
+    let mut id = 0;
+    // Three locations with slightly different hardware generations.
+    let locations: [&[MachineClass]; 3] = [
+        &[PII_300, PII_400, PIII_500],
+        &[PIII_500, PIII_733, PIII_1000],
+        &[PIII_1000, PIV_1800, PIV_2400],
+    ];
+    let per_location = [70, 70, 60];
+    for (loc, (classes, &count)) in locations.iter().zip(&per_location).enumerate() {
+        for k in 0..count {
+            let class = classes[k % classes.len()];
+            let mut m = Machine::new(id, class.name, class.speed, lab_availability(), seed);
+            m.location = loc;
+            machines.push(m);
+            id += 1;
+        }
+    }
+    // Cluster: 32 dual-CPU nodes, dedicated, machine-room location 3.
+    for _ in 0..64 {
+        let mut m = Machine::new(
+            id,
+            "cluster-PIII-1000",
+            PIII_1000.speed,
+            AvailabilityModel::dedicated(),
+            seed,
+        );
+        m.location = 3;
+        machines.push(m);
+        id += 1;
+    }
+    machines
+}
+
+/// The network topology matching [`campus_deployment`]: three
+/// laboratory uplinks at 100 Mbit/s, a 1 Gbit/s machine-room uplink for
+/// the cluster, all funnelling into the server's 100 Mbit/s link.
+pub fn campus_network(machines: &[Machine]) -> CampusNetwork {
+    let max_id = machines.iter().map(|m| m.id).max().unwrap_or(0);
+    let mut mapping = vec![0usize; max_id + 1];
+    for m in machines {
+        mapping[m.id] = m.location;
+    }
+    CampusNetwork::new(
+        SharedLink::hundred_mbit(),
+        vec![
+            SharedLink::hundred_mbit(),
+            SharedLink::hundred_mbit(),
+            SharedLink::hundred_mbit(),
+            SharedLink::new(1e-4, 1e9 / 8.0),
+        ],
+        mapping,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_lab_is_uniform() {
+        let lab = homogeneous_lab(83, 1);
+        assert_eq!(lab.len(), 83);
+        assert!(lab.iter().all(|m| m.speed == PIII_1000.speed));
+        assert!(lab.iter().all(|m| m.class_name == "PIII-1000"));
+        // Ids are unique and dense.
+        let ids: Vec<usize> = lab.iter().map(|m| m.id).collect();
+        assert_eq!(ids, (0..83).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heterogeneous_lab_mixes_classes() {
+        let lab = heterogeneous_lab(21, 2);
+        let distinct: std::collections::BTreeSet<&str> =
+            lab.iter().map(|m| m.class_name.as_str()).collect();
+        assert_eq!(distinct.len(), 7, "all seven classes present");
+        let slowest = lab.iter().map(|m| m.speed).fold(f64::INFINITY, f64::min);
+        let fastest = lab.iter().map(|m| m.speed).fold(0.0, f64::max);
+        assert!(fastest / slowest >= 8.0, "8x spread as in PII-300..PIV-2400");
+    }
+
+    #[test]
+    fn campus_matches_paper_description() {
+        let campus = campus_deployment(3);
+        assert_eq!(campus.len(), 200 + 64);
+        let dedicated = campus
+            .iter()
+            .filter(|m| m.availability == AvailabilityModel::dedicated())
+            .count();
+        assert_eq!(dedicated, 64, "32 dual-CPU cluster nodes");
+        let desktops = campus.len() - dedicated;
+        assert_eq!(desktops, 200);
+    }
+
+    #[test]
+    fn machines_have_distinct_traces() {
+        let mut lab = homogeneous_lab(10, 7);
+        // Sample idleness at many points; machines must not be in lockstep.
+        let mut signatures: Vec<Vec<bool>> = Vec::new();
+        for m in &mut lab {
+            signatures.push((0..50).map(|i| m.is_idle_at(i as f64 * 60.0)).collect());
+        }
+        let first = &signatures[0];
+        assert!(
+            signatures[1..].iter().any(|s| s != first),
+            "traces must differ across machines"
+        );
+    }
+
+    #[test]
+    fn class_speeds_scale_with_clock() {
+        assert!(PII_300.speed < PIII_500.speed);
+        assert!(PIII_500.speed < PIII_1000.speed);
+        assert!(PIII_1000.speed < PIV_2400.speed);
+        assert!((PIII_1000.speed / PII_300.speed - 10.0 / 3.0).abs() < 1e-9);
+    }
+}

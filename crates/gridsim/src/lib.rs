@@ -1,0 +1,29 @@
+//! # biodist-gridsim
+//!
+//! Deterministic discrete-event substrate standing in for the paper's
+//! physical testbed (§3): ~200 desktop PCs of mixed Pentium classes
+//! across three campus locations plus a 32-node dual-PIII cluster, all
+//! reaching one Pentium III 500 MHz server over a 100 Mbit/s network.
+//!
+//! The crate supplies passive, composable pieces; the event loop that
+//! drives them lives in `biodist-core`'s simulated backend:
+//!
+//! * [`event::EventQueue`] — a stable priority queue over virtual time.
+//! * [`machine::Machine`] — per-donor compute model: speed in abstract
+//!   ops/second plus a two-state *semi-idle* availability trace (owner
+//!   activity pauses the donor), with optional arrival/departure churn.
+//! * [`network::SharedLink`] — latency + bandwidth + FIFO queueing on
+//!   the single server uplink (the contention source that bends the
+//!   speedup curves at high processor counts).
+//! * [`deployments`] — ready-made machine pools: the 83-machine
+//!   homogeneous laboratory of Fig. 1 and the full campus deployment.
+
+pub mod deployments;
+pub mod event;
+pub mod machine;
+pub mod network;
+
+pub use deployments::{campus_deployment, homogeneous_lab, MachineClass};
+pub use event::EventQueue;
+pub use machine::{AvailabilityModel, Machine};
+pub use network::SharedLink;

@@ -1,0 +1,302 @@
+//! Donor-machine compute model.
+//!
+//! Each machine has a speed in abstract ops/second and a *semi-idle*
+//! availability trace: donors are ordinary desktops whose owners use
+//! them (paper §3 runs the client "as a low priority background
+//! service"), so compute progresses only during idle periods. The trace
+//! is an alternating renewal process with exponential idle/busy
+//! sojourns, generated lazily and deterministically from the machine's
+//! own derived RNG stream — inserting or removing a machine never
+//! perturbs another machine's trace.
+
+use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+/// Two-state owner-activity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityModel {
+    /// Long-run fraction of time the machine is idle (donating cycles).
+    pub idle_fraction: f64,
+    /// Mean length of one idle period, in seconds.
+    pub mean_idle_secs: f64,
+}
+
+impl AvailabilityModel {
+    /// A dedicated machine (cluster node): always available.
+    pub fn dedicated() -> Self {
+        Self { idle_fraction: 1.0, mean_idle_secs: f64::INFINITY }
+    }
+
+    /// A semi-idle desktop: idle `idle_fraction` of the time in periods
+    /// averaging `mean_idle_secs`.
+    pub fn semi_idle(idle_fraction: f64, mean_idle_secs: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&idle_fraction) && idle_fraction > 0.0,
+            "idle fraction must be in (0, 1]"
+        );
+        assert!(mean_idle_secs > 0.0, "mean idle period must be positive");
+        Self { idle_fraction, mean_idle_secs }
+    }
+
+    fn mean_busy_secs(&self) -> f64 {
+        // idle_fraction = mean_idle / (mean_idle + mean_busy).
+        self.mean_idle_secs * (1.0 - self.idle_fraction) / self.idle_fraction
+    }
+
+    fn is_dedicated(&self) -> bool {
+        self.idle_fraction >= 1.0
+    }
+}
+
+/// One simulated donor machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Stable machine identifier.
+    pub id: usize,
+    /// Human-readable class name (e.g. `"PIII-1000"`).
+    pub class_name: String,
+    /// Compute speed in abstract ops per second while idle.
+    pub speed: f64,
+    /// Availability model.
+    pub availability: AvailabilityModel,
+    /// Campus location index (selects the uplink in
+    /// [`crate::network::CampusNetwork`]; 0 for single-link setups).
+    pub location: usize,
+    /// Virtual time at which the machine joins the pool.
+    pub arrival: f64,
+    /// Virtual time at which the machine permanently leaves (`None` =
+    /// stays forever). Work in flight at departure is lost — the
+    /// scheduler's fault-tolerance path must reissue it.
+    pub departure: Option<f64>,
+    rng: Xoshiro256StarStar,
+    // Lazily generated trace cursor: the machine is `state_idle` until
+    // `state_until`, then flips.
+    trace_at: f64,
+    state_idle: bool,
+    state_until: f64,
+}
+
+impl Machine {
+    /// Creates a machine. `seed` should be the experiment's master seed;
+    /// the machine derives its own independent stream from `seed` + `id`.
+    pub fn new(
+        id: usize,
+        class_name: &str,
+        speed: f64,
+        availability: AvailabilityModel,
+        seed: u64,
+    ) -> Self {
+        assert!(speed > 0.0, "machine speed must be positive");
+        let mut rng = Xoshiro256StarStar::new(seed).derive(0x4D41_C000 + id as u64);
+        // Start the trace in a random phase: idle with the long-run
+        // probability, so an ensemble of machines is stationary at t=0.
+        let state_idle =
+            availability.is_dedicated() || rng.next_bool(availability.idle_fraction);
+        let mut m = Self {
+            id,
+            class_name: class_name.to_string(),
+            speed,
+            availability,
+            location: 0,
+            arrival: 0.0,
+            departure: None,
+            rng,
+            trace_at: 0.0,
+            state_idle,
+            state_until: 0.0,
+        };
+        m.state_until = m.draw_period_end(0.0);
+        m
+    }
+
+    fn draw_period_end(&mut self, from: f64) -> f64 {
+        if self.availability.is_dedicated() {
+            return f64::INFINITY;
+        }
+        let mean = if self.state_idle {
+            self.availability.mean_idle_secs
+        } else {
+            self.availability.mean_busy_secs()
+        };
+        from + self.rng.next_exp(mean)
+    }
+
+    fn advance_trace_to(&mut self, t: f64) {
+        assert!(
+            t >= self.trace_at,
+            "machine {} trace queried backwards in time ({t} < {})",
+            self.id,
+            self.trace_at
+        );
+        while self.state_until < t {
+            let from = self.state_until;
+            self.state_idle = !self.state_idle;
+            self.state_until = self.draw_period_end(from);
+        }
+        self.trace_at = t;
+    }
+
+    /// Whether the machine is idle (donating) at time `t`.
+    ///
+    /// `t` must be non-decreasing across calls (traces are generated
+    /// forward-only).
+    pub fn is_idle_at(&mut self, t: f64) -> bool {
+        self.advance_trace_to(t);
+        self.state_idle
+    }
+
+    /// Computes when a work unit of `ops` abstract operations finishes
+    /// if started at `start`, walking the availability trace: progress
+    /// accrues only during idle periods, at `speed` ops/second.
+    ///
+    /// `start` must be non-decreasing across calls.
+    pub fn finish_time(&mut self, start: f64, ops: f64) -> f64 {
+        assert!(ops >= 0.0, "ops must be non-negative");
+        self.advance_trace_to(start);
+        if ops == 0.0 {
+            return start;
+        }
+        let mut remaining = ops;
+        let mut t = start;
+        loop {
+            if self.state_idle {
+                let window_end = self.state_until;
+                let can_do = (window_end - t) * self.speed;
+                if can_do >= remaining || window_end.is_infinite() {
+                    let finish = t + remaining / self.speed;
+                    self.advance_trace_to(finish);
+                    return finish;
+                }
+                remaining -= can_do;
+            }
+            // Jump to the next state flip.
+            let flip = self.state_until;
+            self.state_idle = !self.state_idle;
+            self.state_until = self.draw_period_end(flip);
+            t = flip;
+            self.trace_at = t;
+        }
+    }
+
+    /// Effective long-run throughput in ops/second (speed × idleness).
+    pub fn effective_speed(&self) -> f64 {
+        self.speed * self.availability.idle_fraction
+    }
+
+    /// Whether the machine is in the pool at time `t`.
+    pub fn is_present(&self, t: f64) -> bool {
+        t >= self.arrival && self.departure.map(|d| t < d).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dedicated(speed: f64) -> Machine {
+        Machine::new(0, "cluster", speed, AvailabilityModel::dedicated(), 1)
+    }
+
+    #[test]
+    fn dedicated_machine_computes_at_full_speed() {
+        let mut m = dedicated(100.0);
+        assert_eq!(m.finish_time(0.0, 500.0), 5.0);
+        assert_eq!(m.finish_time(5.0, 100.0), 6.0);
+        assert!(m.is_idle_at(1000.0));
+    }
+
+    #[test]
+    fn zero_ops_finish_immediately() {
+        let mut m = dedicated(10.0);
+        assert_eq!(m.finish_time(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn semi_idle_machine_takes_longer_on_average() {
+        // 50% idle: long jobs should take ≈2× the dedicated time.
+        let mut total_ratio = 0.0;
+        let n = 40;
+        for seed in 0..n {
+            let mut m = Machine::new(
+                seed as usize,
+                "desktop",
+                100.0,
+                AvailabilityModel::semi_idle(0.5, 30.0),
+                777,
+            );
+            // 10_000 ops = 100 s of dedicated compute, spanning many
+            // idle/busy periods of mean 30 s.
+            let finish = m.finish_time(0.0, 10_000.0);
+            total_ratio += finish / 100.0;
+        }
+        let mean_ratio = total_ratio / n as f64;
+        assert!(
+            (mean_ratio - 2.0).abs() < 0.3,
+            "mean slowdown {mean_ratio} should be ≈2 for 50% idleness"
+        );
+    }
+
+    #[test]
+    fn finish_time_is_monotone_in_ops() {
+        let mut a = Machine::new(3, "d", 50.0, AvailabilityModel::semi_idle(0.7, 10.0), 9);
+        let mut b = a.clone();
+        let fa = a.finish_time(0.0, 1_000.0);
+        let fb = b.finish_time(0.0, 2_000.0);
+        assert!(fb > fa);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed_and_id() {
+        let mk = || Machine::new(7, "d", 50.0, AvailabilityModel::semi_idle(0.6, 20.0), 42);
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..20 {
+            let t = i as f64 * 13.7;
+            assert_eq!(a.is_idle_at(t), b.is_idle_at(t));
+        }
+        let mut c = Machine::new(8, "d", 50.0, AvailabilityModel::semi_idle(0.6, 20.0), 42);
+        // Continue forward in time (traces are forward-only).
+        let same = (0..100)
+            .filter(|&i| {
+                let t = 300.0 + i as f64 * 7.3;
+                a.is_idle_at(t) == c.is_idle_at(t)
+            })
+            .count();
+        assert!(same < 100, "different ids must have different traces");
+    }
+
+    #[test]
+    fn long_run_idle_fraction_matches_model() {
+        let mut m = Machine::new(1, "d", 10.0, AvailabilityModel::semi_idle(0.8, 15.0), 5);
+        let samples = 20_000;
+        let idle = (0..samples)
+            .filter(|&i| m.is_idle_at(i as f64 * 3.1))
+            .count();
+        let frac = idle as f64 / samples as f64;
+        assert!((frac - 0.8).abs() < 0.03, "observed idle fraction {frac}");
+    }
+
+    #[test]
+    fn presence_respects_arrival_and_departure() {
+        let mut m = dedicated(1.0);
+        m.arrival = 10.0;
+        m.departure = Some(100.0);
+        assert!(!m.is_present(5.0));
+        assert!(m.is_present(10.0));
+        assert!(m.is_present(99.9));
+        assert!(!m.is_present(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards in time")]
+    fn trace_cannot_rewind() {
+        let mut m = Machine::new(2, "d", 10.0, AvailabilityModel::semi_idle(0.5, 10.0), 3);
+        m.is_idle_at(100.0);
+        m.is_idle_at(50.0);
+    }
+
+    #[test]
+    fn effective_speed_scales_with_idleness() {
+        let m = Machine::new(4, "d", 200.0, AvailabilityModel::semi_idle(0.25, 10.0), 8);
+        assert!((m.effective_speed() - 50.0).abs() < 1e-12);
+        assert_eq!(dedicated(80.0).effective_speed(), 80.0);
+    }
+}

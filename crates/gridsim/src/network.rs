@@ -1,0 +1,266 @@
+//! Network model: the single shared server uplink.
+//!
+//! The paper's deployment funnels every donor through "a 100 Mbit/s
+//! network to a single server (Pentium III 500 MHz)" (§3), so the
+//! server's link — not the LAN fabric — is the communication
+//! bottleneck. [`SharedLink`] models it as a FIFO resource: each
+//! transfer waits for the link, then occupies it for
+//! `bytes / bandwidth` seconds, after a fixed per-message latency that
+//! models RMI dispatch and protocol overhead. Control messages (the
+//! paper's RMI calls) are small; bulk data (the paper's raw-socket file
+//! transfers) is charged by size.
+
+/// A FIFO-queued shared link.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    latency_secs: f64,
+    bandwidth_bytes_per_sec: f64,
+    busy_until: f64,
+    total_bytes: u64,
+    total_transfers: u64,
+    total_queue_wait: f64,
+}
+
+impl SharedLink {
+    /// Creates a link with the given one-way latency and bandwidth.
+    pub fn new(latency_secs: f64, bandwidth_bytes_per_sec: f64) -> Self {
+        assert!(latency_secs >= 0.0, "latency must be non-negative");
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        Self {
+            latency_secs,
+            bandwidth_bytes_per_sec,
+            busy_until: 0.0,
+            total_bytes: 0,
+            total_transfers: 0,
+            total_queue_wait: 0.0,
+        }
+    }
+
+    /// The paper's testbed link: 100 Mbit/s switched Ethernet with ~1 ms
+    /// effective request latency.
+    pub fn hundred_mbit() -> Self {
+        Self::new(1e-3, 100e6 / 8.0)
+    }
+
+    /// Schedules a transfer of `bytes` requested at time `now`; returns
+    /// the completion time. Transfers are serialised FIFO in request
+    /// order.
+    ///
+    /// `now` values must be non-decreasing across calls (event-ordered).
+    pub fn transfer(&mut self, now: f64, bytes: u64) -> f64 {
+        assert!(now.is_finite() && now >= 0.0, "bad transfer time {now}");
+        let ready = now + self.latency_secs;
+        let start = ready.max(self.busy_until);
+        self.total_queue_wait += start - ready;
+        let duration = bytes as f64 / self.bandwidth_bytes_per_sec;
+        self.busy_until = start + duration;
+        self.total_bytes += bytes;
+        self.total_transfers += 1;
+        self.busy_until
+    }
+
+    /// Total bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of transfers performed.
+    pub fn total_transfers(&self) -> u64 {
+        self.total_transfers
+    }
+
+    /// Mean seconds transfers spent queued behind the link (a direct
+    /// congestion indicator for the experiment reports).
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.total_transfers == 0 {
+            0.0
+        } else {
+            self.total_queue_wait / self.total_transfers as f64
+        }
+    }
+
+    /// Time at which the link next becomes free.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+/// A campus network: per-location shared uplinks feeding the single
+/// server link.
+///
+/// The paper's deployment spans "3 locations" (§3); a transfer from a
+/// donor traverses its location's uplink first and then queues on the
+/// server link, so a busy laboratory slows its own machines before it
+/// slows the rest of the campus. A single-location topology degrades to
+/// exactly the plain [`SharedLink`] behaviour plus the location hop.
+#[derive(Debug, Clone)]
+pub struct CampusNetwork {
+    server_link: SharedLink,
+    location_links: Vec<SharedLink>,
+    machine_location: Vec<usize>,
+}
+
+impl CampusNetwork {
+    /// Single-location topology: every machine behind one (infinitely
+    /// fast) location hop, so behaviour equals the bare server link.
+    pub fn single_link(server_link: SharedLink, n_machines: usize) -> Self {
+        Self {
+            server_link,
+            // Zero-latency, effectively infinite-bandwidth location hop.
+            location_links: vec![SharedLink::new(0.0, 1e15)],
+            machine_location: vec![0; n_machines],
+        }
+    }
+
+    /// Full topology: `machine_location[id]` indexes `location_links`.
+    ///
+    /// # Panics
+    /// Panics if any machine maps to a missing location.
+    pub fn new(
+        server_link: SharedLink,
+        location_links: Vec<SharedLink>,
+        machine_location: Vec<usize>,
+    ) -> Self {
+        assert!(!location_links.is_empty(), "need at least one location");
+        assert!(
+            machine_location.iter().all(|&l| l < location_links.len()),
+            "machine mapped to a missing location"
+        );
+        Self { server_link, location_links, machine_location }
+    }
+
+    /// Schedules a transfer for `machine` at time `now`: location uplink
+    /// first, then the server link, each FIFO. Returns completion time.
+    pub fn transfer(&mut self, machine: usize, now: f64, bytes: u64) -> f64 {
+        let loc = self
+            .machine_location
+            .get(machine)
+            .copied()
+            .unwrap_or(0)
+            .min(self.location_links.len() - 1);
+        let at_backbone = self.location_links[loc].transfer(now, bytes);
+        self.server_link.transfer(at_backbone, bytes)
+    }
+
+    /// Total bytes through the server link.
+    pub fn total_bytes(&self) -> u64 {
+        self.server_link.total_bytes()
+    }
+
+    /// Mean queue wait on the server link.
+    pub fn mean_server_queue_wait(&self) -> f64 {
+        self.server_link.mean_queue_wait()
+    }
+
+    /// Mean queue wait per location uplink.
+    pub fn location_queue_waits(&self) -> Vec<f64> {
+        self.location_links.iter().map(|l| l.mean_queue_wait()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_takes_latency_plus_serialisation() {
+        let mut link = SharedLink::new(0.5, 1000.0);
+        // 2000 bytes at 1000 B/s = 2 s, plus 0.5 s latency.
+        assert_eq!(link.transfer(0.0, 2000), 2.5);
+    }
+
+    #[test]
+    fn concurrent_requests_queue_fifo() {
+        let mut link = SharedLink::new(0.0, 100.0);
+        let a = link.transfer(0.0, 100); // 0..1
+        let b = link.transfer(0.0, 100); // 1..2 (queued)
+        let c = link.transfer(0.0, 100); // 2..3 (queued)
+        assert_eq!((a, b, c), (1.0, 2.0, 3.0));
+        assert!(link.mean_queue_wait() > 0.0);
+    }
+
+    #[test]
+    fn idle_link_does_not_queue() {
+        let mut link = SharedLink::new(0.1, 1000.0);
+        let a = link.transfer(0.0, 500); // finishes 0.6
+        let b = link.transfer(10.0, 500); // starts fresh: 10 + 0.1 + 0.5
+        assert!((a - 0.6).abs() < 1e-12);
+        assert!((b - 10.6).abs() < 1e-12);
+        assert_eq!(link.mean_queue_wait(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_control_message_costs_latency_only() {
+        let mut link = SharedLink::new(0.001, 1e6);
+        assert!((link.transfer(5.0, 0) - 5.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut link = SharedLink::new(0.0, 1000.0);
+        link.transfer(0.0, 300);
+        link.transfer(0.0, 700);
+        assert_eq!(link.total_bytes(), 1000);
+        assert_eq!(link.total_transfers(), 2);
+    }
+
+    #[test]
+    fn hundred_mbit_moves_bytes_at_line_rate() {
+        let mut link = SharedLink::hundred_mbit();
+        // 12.5 MB at 12.5 MB/s ≈ 1 s.
+        let t = link.transfer(0.0, 12_500_000);
+        assert!((t - 1.001).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn single_link_campus_equals_bare_link() {
+        let mut bare = SharedLink::new(0.01, 1000.0);
+        let mut campus = CampusNetwork::single_link(SharedLink::new(0.01, 1000.0), 4);
+        for (m, t) in [(0usize, 0.0), (1, 0.0), (2, 5.0), (3, 5.0)] {
+            assert!((campus.transfer(m, t, 500) - bare.transfer(t, 500)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn location_uplinks_serialise_local_traffic_first() {
+        // Two locations, slow uplinks; machines 0,1 in loc 0, machine 2 in loc 1.
+        let mut net = CampusNetwork::new(
+            SharedLink::new(0.0, 1e9),
+            vec![SharedLink::new(0.0, 100.0), SharedLink::new(0.0, 100.0)],
+            vec![0, 0, 1],
+        );
+        // Call order defines FIFO order on the (fast) server link, so
+        // issue the independent-location transfer before the queued one.
+        let a = net.transfer(0, 0.0, 100); // loc0: 0..1
+        let c = net.transfer(2, 0.0, 100); // loc1: 0..1, unaffected by loc0
+        let b = net.transfer(1, 0.0, 100); // loc0: queued 1..2
+        assert!((a - 1.0).abs() < 1e-6);
+        assert!((b - 2.0).abs() < 1e-6, "same-location traffic queues");
+        assert!((c - 1.0).abs() < 1e-6, "other location is independent");
+        assert!(net.location_queue_waits()[0] > 0.0);
+        assert_eq!(net.location_queue_waits()[1], 0.0);
+    }
+
+    #[test]
+    fn server_link_is_the_shared_bottleneck() {
+        // Fast location uplinks, slow server link: all traffic queues at
+        // the server regardless of location.
+        let mut net = CampusNetwork::new(
+            SharedLink::new(0.0, 100.0),
+            vec![SharedLink::new(0.0, 1e9), SharedLink::new(0.0, 1e9)],
+            vec![0, 1],
+        );
+        let a = net.transfer(0, 0.0, 100);
+        let b = net.transfer(1, 0.0, 100);
+        assert!((a - 1.0).abs() < 1e-6);
+        assert!((b - 2.0).abs() < 1e-6, "cross-location traffic shares the server");
+        assert!(net.mean_server_queue_wait() > 0.0);
+        assert_eq!(net.total_bytes(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing location")]
+    fn bad_location_mapping_panics() {
+        CampusNetwork::new(SharedLink::new(0.0, 1.0), vec![SharedLink::new(0.0, 1.0)], vec![1]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Small dense symmetric eigenproblems via cyclic Jacobi rotations.
+//!
+//! Reversible substitution models satisfy detailed balance, so the rate
+//! matrix `Q` can be symmetrised as `S = Π^{1/2} Q Π^{-1/2}` with `Π =
+//! diag(π)`. `S` is symmetric; its eigendecomposition gives
+//! `P(t) = exp(Qt) = Π^{-1/2} · V e^{Λt} Vᵀ · Π^{1/2}` exactly. Jacobi
+//! iteration is slow for large matrices but unbeatable for the 4×4
+//! systems here: simple, branch-free to reason about, and accurate to
+//! machine precision.
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymEigen {
+    /// Eigenvalues, in the order produced (not sorted).
+    pub values: Vec<f64>,
+    /// Eigenvectors stored column-major: `vectors[c]` is the eigenvector
+    /// for `values[c]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Decomposes a symmetric `n×n` matrix given in row-major order.
+///
+/// # Panics
+/// Panics if the matrix is not square or not symmetric to `1e-9`.
+pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> SymEigen {
+    let n = matrix.len();
+    assert!(n > 0, "jacobi_eigen: empty matrix");
+    for row in matrix {
+        assert_eq!(row.len(), n, "jacobi_eigen: matrix must be square");
+    }
+    for i in 0..n {
+        for j in 0..i {
+            assert!(
+                (matrix[i][j] - matrix[j][i]).abs() < 1e-9,
+                "jacobi_eigen: matrix must be symmetric (a[{i}][{j}] != a[{j}][{i}])"
+            );
+        }
+    }
+
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                // Standard Jacobi rotation annihilating a[p][q].
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let values: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    // Extract columns of v as eigenvectors.
+    let vectors: Vec<Vec<f64>> = (0..n).map(|c| (0..n).map(|r| v[r][c]).collect()).collect();
+    SymEigen { values, vectors }
+}
+
+/// Multiplies two square matrices (row-major `Vec<Vec<f64>>`).
+pub fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let m = b[0].len();
+    let k = b.len();
+    let mut out = vec![vec![0.0; m]; n];
+    for i in 0..n {
+        for l in 0..k {
+            let ail = a[i][l];
+            if ail == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                out[i][j] += ail * b[l][j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEigen) -> Vec<Vec<f64>> {
+        let n = e.values.len();
+        let mut out = vec![vec![0.0; n]; n];
+        for (c, lambda) in e.values.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    out[i][j] += lambda * e.vectors[c][i] * e.vectors[c][j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let m = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 7.0],
+        ];
+        let e = jacobi_eigen(&m);
+        let mut vals = e.values.clone();
+        vals.sort_by(f64::total_cmp);
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        assert!((vals[2] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let e = jacobi_eigen(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let mut vals = e.values.clone();
+        vals.sort_by(f64::total_cmp);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let m = vec![
+            vec![4.0, 1.0, -2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.5],
+            vec![-2.0, 0.0, 5.0, -1.0],
+            vec![0.5, 1.5, -1.0, 2.0],
+        ];
+        let e = jacobi_eigen(&m);
+        let r = reconstruct(&e);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (r[i][j] - m[i][j]).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    r[i][j],
+                    m[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = vec![
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ];
+        let e = jacobi_eigen(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|k| e.vectors[i][k] * e.vectors[j][k]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-10, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = vec![
+            vec![1.0, 0.3, 0.2],
+            vec![0.3, 2.0, 0.1],
+            vec![0.2, 0.1, 3.0],
+        ];
+        let e = jacobi_eigen(&m);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be symmetric")]
+    fn asymmetric_input_panics() {
+        jacobi_eigen(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn mat_mul_identity() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let id = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(mat_mul(&a, &id), a);
+        assert_eq!(mat_mul(&id, &a), a);
+    }
+}

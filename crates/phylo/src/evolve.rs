@@ -1,0 +1,215 @@
+//! Sequence evolution simulator.
+//!
+//! Generates random tree shapes and evolves alignments down them under
+//! any [`SubstModel`] — the synthetic stand-in for the paper's 50-taxon
+//! dataset (DESIGN.md, substitution table). Because data are simulated
+//! from a known tree, tests can check that ML search recovers (or
+//! approaches) the generating topology.
+
+use crate::model::SubstModel;
+use crate::tree::Tree;
+use biodist_bioseq::{Alphabet, Sequence};
+use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+/// Generates a random unrooted tree over `n_taxa` taxa.
+///
+/// Topology: random sequential insertion (each new taxon attaches to a
+/// uniformly chosen edge), which produces the same distribution as the
+/// Yule process on unrooted shapes. Branch lengths are exponential with
+/// the given mean.
+pub fn random_yule_tree(n_taxa: usize, mean_blen: f64, seed: u64) -> Tree {
+    assert!(n_taxa >= 3, "need at least 3 taxa for an unrooted tree");
+    assert!(mean_blen > 0.0, "mean branch length must be positive");
+    let mut rng = Xoshiro256StarStar::new(seed);
+    fn blen(rng: &mut Xoshiro256StarStar, mean: f64) -> f64 {
+        rng.next_exp(mean).max(1e-4)
+    }
+    let mut tree = Tree::initial_triple([0, 1, 2], 0.0);
+    for e in tree.edges() {
+        let b = blen(&mut rng, mean_blen);
+        tree.set_branch_length(e, b);
+    }
+    for taxon in 3..n_taxa {
+        let edges = tree.edges();
+        let pick = rng.next_below(edges.len() as u64) as usize;
+        let b = blen(&mut rng, mean_blen);
+        tree.insert_leaf(edges[pick], taxon, b);
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+/// Evolves an alignment of `n_sites` columns down `tree` under `model`.
+///
+/// Per site, a rate category is drawn from the model's category
+/// probabilities and the root state from the stationary frequencies;
+/// states then mutate down each branch according to `P(t·rate)`.
+/// Returns one sequence per taxon, named `names[taxon]` (or `t<idx>` if
+/// `names` is `None`), ordered by taxon index.
+pub fn simulate_alignment(
+    tree: &Tree,
+    model: &SubstModel,
+    n_sites: usize,
+    names: Option<&[String]>,
+    seed: u64,
+) -> Vec<Sequence> {
+    assert!(n_sites > 0, "need at least one site");
+    let mut rng = Xoshiro256StarStar::new(seed).derive(0x5EED);
+    let freqs = model.freqs();
+    let cats = model.rate_categories();
+    let n_nodes = tree.node_count();
+
+    let mut taxa: Vec<usize> = tree.taxa();
+    taxa.sort_unstable();
+    let max_taxon = *taxa.last().expect("tree has taxa");
+    let mut leaf_codes: Vec<Vec<u8>> = vec![Vec::with_capacity(n_sites); max_taxon + 1];
+
+    // Preorder node visit order (parents before children).
+    let mut order = tree.postorder();
+    order.reverse();
+
+    let mut states = vec![0u8; n_nodes];
+    for _ in 0..n_sites {
+        let cat = rng.next_weighted(&cats.probs);
+        let rate = cats.rates[cat];
+        for &v in &order {
+            let node = tree.node(v);
+            let state = match node.parent {
+                None => rng.next_weighted(&freqs) as u8,
+                Some(p) => {
+                    let pm = model.transition_matrix(tree.branch_length(v), rate);
+                    let row = &pm[states[p] as usize];
+                    rng.next_weighted(row) as u8
+                }
+            };
+            states[v] = state;
+            if let Some(taxon) = node.taxon {
+                leaf_codes[taxon].push(state);
+            }
+        }
+    }
+
+    taxa.into_iter()
+        .map(|t| {
+            let id = match names {
+                Some(ns) => ns[t].clone(),
+                None => format!("t{t}"),
+            };
+            Sequence::from_codes(&id, Alphabet::Dna, std::mem::take(&mut leaf_codes[t]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GammaRates, ModelKind};
+    use crate::patterns::PatternAlignment;
+
+    #[test]
+    fn random_tree_is_valid_and_sized_correctly() {
+        for n in [3, 5, 10, 50] {
+            let t = random_yule_tree(n, 0.1, 7);
+            t.validate().unwrap();
+            assert_eq!(t.leaf_count(), n);
+            assert_eq!(t.edges().len(), 2 * n - 3);
+            assert!(t.total_branch_length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_generation_is_deterministic() {
+        let a = random_yule_tree(20, 0.1, 42);
+        let b = random_yule_tree(20, 0.1, 42);
+        assert_eq!(a, b);
+        let c = random_yule_tree(20, 0.1, 43);
+        assert_ne!(a.splits(), c.splits());
+    }
+
+    #[test]
+    fn simulated_alignment_has_right_shape() {
+        let tree = random_yule_tree(8, 0.1, 1);
+        let model = SubstModel::homogeneous(ModelKind::Jc69);
+        let seqs = simulate_alignment(&tree, &model, 120, None, 9);
+        assert_eq!(seqs.len(), 8);
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(s.len(), 120);
+            assert_eq!(s.id, format!("t{i}"));
+        }
+    }
+
+    #[test]
+    fn zero_length_branches_copy_states_exactly() {
+        let mut tree = Tree::initial_triple([0, 1, 2], 0.0);
+        for e in tree.edges() {
+            tree.set_branch_length(e, 1e-9);
+        }
+        let model = SubstModel::homogeneous(ModelKind::Jc69);
+        let seqs = simulate_alignment(&tree, &model, 50, None, 3);
+        assert_eq!(seqs[0].codes(), seqs[1].codes());
+        assert_eq!(seqs[1].codes(), seqs[2].codes());
+    }
+
+    #[test]
+    fn long_branches_decorrelate_sequences() {
+        let mut tree = Tree::initial_triple([0, 1, 2], 5.0);
+        for e in tree.edges() {
+            tree.set_branch_length(e, 5.0);
+        }
+        let model = SubstModel::homogeneous(ModelKind::Jc69);
+        let seqs = simulate_alignment(&tree, &model, 2000, None, 5);
+        let matches = seqs[0]
+            .codes()
+            .iter()
+            .zip(seqs[1].codes())
+            .filter(|(a, b)| a == b)
+            .count();
+        let frac = matches as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.04, "saturated identity {frac} should be ~0.25");
+    }
+
+    #[test]
+    fn base_composition_tracks_stationary_frequencies() {
+        let freqs = [0.5, 0.2, 0.2, 0.1];
+        let model = SubstModel::homogeneous(ModelKind::F81 { freqs });
+        let tree = random_yule_tree(6, 0.2, 11);
+        let seqs = simulate_alignment(&tree, &model, 4000, None, 13);
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for s in &seqs {
+            for &c in s.codes() {
+                counts[c as usize] += 1;
+                total += 1;
+            }
+        }
+        for (i, &f) in freqs.iter().enumerate() {
+            let got = counts[i] as f64 / total as f64;
+            assert!((got - f).abs() < 0.02, "base {i}: {got} vs {f}");
+        }
+    }
+
+    #[test]
+    fn simulated_data_prefers_generating_tree_over_random_tree() {
+        let truth = random_yule_tree(8, 0.15, 21);
+        let model = SubstModel::new(ModelKind::K80 { kappa: 3.0 }, GammaRates::gamma(1.0, 2));
+        let seqs = simulate_alignment(&truth, &model, 400, None, 22);
+        let data = PatternAlignment::from_sequences(&seqs);
+        let other = random_yule_tree(8, 0.15, 99);
+        let l_truth = crate::lik::log_likelihood(&truth, &data, &model);
+        let l_other = crate::lik::log_likelihood(&other, &data, &model);
+        assert!(
+            l_truth > l_other,
+            "generating tree {l_truth} should beat random tree {l_other}"
+        );
+    }
+
+    #[test]
+    fn custom_names_are_used() {
+        let tree = Tree::initial_triple([0, 1, 2], 0.1);
+        let model = SubstModel::homogeneous(ModelKind::Jc69);
+        let names = vec!["human".to_string(), "mouse".to_string(), "yeast".to_string()];
+        let seqs = simulate_alignment(&tree, &model, 10, Some(&names), 1);
+        assert_eq!(seqs[0].id, "human");
+        assert_eq!(seqs[2].id, "yeast");
+    }
+}

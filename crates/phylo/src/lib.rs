@@ -1,0 +1,46 @@
+//! # biodist-phylo
+//!
+//! Phylogenetics substrate for DPRml (paper §3.2): everything the paper
+//! obtained from the PAL v1.4 Java library, built from scratch.
+//!
+//! * [`tree`] / [`newick`] — unrooted binary phylogenies (represented
+//!   with a trifurcating root, the fastDNAml convention) and Newick I/O.
+//! * [`model`] — a wide range of reversible DNA substitution models
+//!   (JC69, K80, F81, F84, HKY85, TN93, GTR), optional discrete-Γ rate
+//!   heterogeneity and invariant sites ("one of the most extensive
+//!   ranges of DNA substitution models", §3.2).
+//! * [`eigen`] — Jacobi eigendecomposition of the symmetrised rate
+//!   matrix, giving exact `P(t) = exp(Qt)`.
+//! * [`patterns`] — site-pattern compression of alignments.
+//! * [`lik`] — Felsenstein-pruning log-likelihood with per-pattern
+//!   scaling and Brent branch-length optimisation.
+//! * [`search`] — stepwise-insertion maximum-likelihood tree building
+//!   with NNI local rearrangements \[11, 16\]; candidate evaluation is
+//!   a pure function so DPRml can farm candidates out as work units.
+//! * [`evolve`] — simulates alignments down random trees (the synthetic
+//!   stand-in for the paper's 50-taxon dataset).
+
+pub mod bootstrap;
+pub mod eigen;
+pub mod evolve;
+pub mod fit;
+pub mod lik;
+pub mod model;
+pub mod model_select;
+pub mod newick;
+pub mod nj;
+pub mod patterns;
+pub mod search;
+pub mod special;
+pub mod tree;
+
+pub use bootstrap::{bootstrap_support, nj_builder, resample_alignment, BootstrapSupport};
+pub use evolve::{random_yule_tree, simulate_alignment};
+pub use fit::{empirical_base_frequencies, fit_gamma_alpha, fit_hky_kappa, FitResult};
+pub use lik::{log_likelihood, optimize_branch_lengths, TreeLikelihood};
+pub use nj::{jc_distance_matrix, maximin_order, neighbor_joining, patristic_distance_matrix};
+pub use model::{GammaRates, ModelKind, SubstModel};
+pub use model_select::{compare_models, standard_candidates, ModelScore};
+pub use patterns::PatternAlignment;
+pub use search::{evaluate_insertion, spr_improve, stepwise_ml, InsertionCandidate, SearchOptions};
+pub use tree::Tree;

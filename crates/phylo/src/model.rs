@@ -1,0 +1,570 @@
+//! Reversible DNA substitution models.
+//!
+//! Every supported model is a special case of the general
+//! time-reversible (GTR) parameterisation: exchangeabilities `s_ij`
+//! (symmetric) and stationary frequencies `π`, with rate matrix
+//! `Q_ij = s_ij · π_j` (i ≠ j), diagonal set so rows sum to zero, and
+//! the whole matrix normalised so the expected substitution rate at
+//! stationarity is 1 (branch lengths are then expected substitutions
+//! per site). The eigendecomposition of the symmetrised `Q` (see
+//! [`crate::eigen`]) gives exact transition matrices `P(t)`.
+//!
+//! Rate heterogeneity across sites uses Yang's (1994) discrete-Γ
+//! approximation with equal-probability categories, optionally combined
+//! with a proportion of invariant sites.
+
+use crate::eigen::jacobi_eigen;
+use crate::special::{gammp, inv_gammp};
+
+/// Base order: A=0, C=1, G=2, T=3 (matches `biodist_bioseq` DNA codes).
+pub const N_BASES: usize = 4;
+
+const A: usize = 0;
+const C: usize = 1;
+const G: usize = 2;
+const T: usize = 3;
+
+/// The named substitution models DPRml's configuration can select.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelKind {
+    /// Jukes & Cantor 1969: equal frequencies, one rate.
+    Jc69,
+    /// Kimura 1980: equal frequencies, transition/transversion ratio κ.
+    K80 {
+        /// Transition/transversion rate ratio.
+        kappa: f64,
+    },
+    /// Felsenstein 1981: free frequencies, one rate.
+    F81 {
+        /// Stationary base frequencies (A, C, G, T).
+        freqs: [f64; 4],
+    },
+    /// Felsenstein 1984: free frequencies, κ-style transition bias.
+    F84 {
+        /// Transition bias parameter (0 = F81).
+        kappa: f64,
+        /// Stationary base frequencies.
+        freqs: [f64; 4],
+    },
+    /// Hasegawa, Kishino & Yano 1985.
+    Hky85 {
+        /// Transition/transversion rate ratio.
+        kappa: f64,
+        /// Stationary base frequencies.
+        freqs: [f64; 4],
+    },
+    /// Tamura & Nei 1993: separate purine/pyrimidine transition rates.
+    Tn93 {
+        /// A↔G transition rate (relative to transversions at 1).
+        kappa_r: f64,
+        /// C↔T transition rate.
+        kappa_y: f64,
+        /// Stationary base frequencies.
+        freqs: [f64; 4],
+    },
+    /// General time-reversible.
+    Gtr {
+        /// Exchangeabilities in order (AC, AG, AT, CG, CT, GT).
+        rates: [f64; 6],
+        /// Stationary base frequencies.
+        freqs: [f64; 4],
+    },
+}
+
+impl ModelKind {
+    /// Parses the configuration-file spelling, e.g. `jc69`, `k80:2.0`,
+    /// `hky85:4.0`, `gtr`.
+    ///
+    /// Frequency-using models parsed this way take uniform frequencies;
+    /// applications that estimate empirical frequencies should construct
+    /// the variant directly.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let t = text.trim().to_ascii_lowercase();
+        let (name, arg) = match t.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (t.as_str(), None),
+        };
+        let kappa = |default: f64| -> Result<f64, String> {
+            match arg {
+                None => Ok(default),
+                Some(a) => a.parse().map_err(|_| format!("bad parameter `{a}`")),
+            }
+        };
+        let uniform = [0.25; 4];
+        match name {
+            "jc69" | "jc" => Ok(Self::Jc69),
+            "k80" | "k2p" => Ok(Self::K80 { kappa: kappa(2.0)? }),
+            "f81" => Ok(Self::F81 { freqs: uniform }),
+            "f84" => Ok(Self::F84 { kappa: kappa(1.0)?, freqs: uniform }),
+            "hky85" | "hky" => Ok(Self::Hky85 { kappa: kappa(2.0)?, freqs: uniform }),
+            "tn93" => Ok(Self::Tn93 { kappa_r: kappa(2.0)?, kappa_y: kappa(2.0)?, freqs: uniform }),
+            "gtr" => Ok(Self::Gtr { rates: [1.0; 6], freqs: uniform }),
+            _ => Err(format!("unknown substitution model `{text}`")),
+        }
+    }
+
+    /// Stationary frequencies of the model.
+    pub fn freqs(&self) -> [f64; 4] {
+        match self {
+            ModelKind::Jc69 | ModelKind::K80 { .. } => [0.25; 4],
+            ModelKind::F81 { freqs }
+            | ModelKind::F84 { freqs, .. }
+            | ModelKind::Hky85 { freqs, .. }
+            | ModelKind::Tn93 { freqs, .. }
+            | ModelKind::Gtr { freqs, .. } => *freqs,
+        }
+    }
+
+    /// Exchangeabilities `(AC, AG, AT, CG, CT, GT)` in GTR form.
+    pub fn exchangeabilities(&self) -> [f64; 6] {
+        match *self {
+            ModelKind::Jc69 | ModelKind::F81 { .. } => [1.0; 6],
+            ModelKind::K80 { kappa } | ModelKind::Hky85 { kappa, .. } => {
+                [1.0, kappa, 1.0, 1.0, kappa, 1.0]
+            }
+            ModelKind::F84 { kappa, freqs } => {
+                // Standard F84→GTR mapping: transitions get 1 + κ/π_R
+                // (purines) or 1 + κ/π_Y (pyrimidines).
+                let pr = freqs[A] + freqs[G];
+                let py = freqs[C] + freqs[T];
+                [1.0, 1.0 + kappa / pr, 1.0, 1.0, 1.0 + kappa / py, 1.0]
+            }
+            ModelKind::Tn93 { kappa_r, kappa_y, .. } => {
+                [1.0, kappa_r, 1.0, 1.0, kappa_y, 1.0]
+            }
+            ModelKind::Gtr { rates, .. } => rates,
+        }
+    }
+}
+
+/// Discrete-Γ rate heterogeneity (Yang 1994), optionally with a
+/// proportion of invariant sites.
+///
+/// ```
+/// use biodist_phylo::model::GammaRates;
+/// let g = GammaRates::gamma(0.5, 4);
+/// assert_eq!(g.ncat(), 4);
+/// assert!((g.mean_rate() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaRates {
+    /// Per-category relative rates.
+    pub rates: Vec<f64>,
+    /// Per-category probabilities (sum to 1).
+    pub probs: Vec<f64>,
+}
+
+impl GammaRates {
+    /// A single rate category with rate 1 (rate homogeneity).
+    pub fn uniform() -> Self {
+        Self { rates: vec![1.0], probs: vec![1.0] }
+    }
+
+    /// `ncat` equal-probability categories from a Γ(α, α) distribution;
+    /// each category's rate is its conditional mean, so the mean rate is
+    /// exactly 1.
+    pub fn gamma(alpha: f64, ncat: usize) -> Self {
+        assert!(alpha > 0.0, "GammaRates: alpha must be positive");
+        assert!(ncat >= 1, "GammaRates: need at least one category");
+        if ncat == 1 {
+            return Self::uniform();
+        }
+        let k = ncat as f64;
+        // Category boundaries in x where X ~ Gamma(shape α, rate α):
+        // P(α, α·b_i) = i/K  =>  α·b_i = inv_gammp(α, i/K).
+        let bounds: Vec<f64> = (0..=ncat)
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else if i == ncat {
+                    f64::INFINITY
+                } else {
+                    inv_gammp(alpha, i as f64 / k)
+                }
+            })
+            .collect();
+        // Mean of category i: K · [P(α+1, αb_{i+1}) − P(α+1, αb_i)]
+        // (the αb products are exactly the `bounds` values above).
+        let cum = |x: f64| if x.is_infinite() { 1.0 } else { gammp(alpha + 1.0, x) };
+        let rates: Vec<f64> = (0..ncat)
+            .map(|i| k * (cum(bounds[i + 1]) - cum(bounds[i])))
+            .collect();
+        let probs = vec![1.0 / k; ncat];
+        Self { rates, probs }
+    }
+
+    /// Γ categories plus a zero-rate invariant class of probability
+    /// `p_inv`; variable-category rates are rescaled so the overall mean
+    /// rate stays 1.
+    pub fn gamma_invariant(alpha: f64, ncat: usize, p_inv: f64) -> Self {
+        assert!((0.0..1.0).contains(&p_inv), "p_inv must be in [0, 1)");
+        let base = Self::gamma(alpha, ncat);
+        let scale = 1.0 / (1.0 - p_inv);
+        let mut rates = vec![0.0];
+        let mut probs = vec![p_inv];
+        for (r, p) in base.rates.iter().zip(&base.probs) {
+            rates.push(r * scale);
+            probs.push(p * (1.0 - p_inv));
+        }
+        Self { rates, probs }
+    }
+
+    /// Number of categories.
+    pub fn ncat(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Mean rate (should always be 1 up to rounding).
+    pub fn mean_rate(&self) -> f64 {
+        self.rates.iter().zip(&self.probs).map(|(r, p)| r * p).sum()
+    }
+}
+
+/// A fully instantiated substitution process: model + rate categories,
+/// eigen-decomposed and ready to produce `P(t)` matrices.
+#[derive(Debug, Clone)]
+pub struct SubstModel {
+    kind: ModelKind,
+    rates: GammaRates,
+    freqs: [f64; 4],
+    /// Eigenvalues of Q.
+    eigvals: [f64; 4],
+    /// `U` with `P(t) = U · diag(e^{λt}) · U⁻¹` (row-major).
+    u: [[f64; 4]; 4],
+    /// `U⁻¹` (row-major).
+    u_inv: [[f64; 4]; 4],
+}
+
+impl SubstModel {
+    /// Builds the process from a model and rate-heterogeneity spec.
+    ///
+    /// # Panics
+    /// Panics if frequencies are not a positive probability vector or
+    /// exchangeabilities are not positive.
+    pub fn new(kind: ModelKind, rates: GammaRates) -> Self {
+        let freqs = kind.freqs();
+        let total: f64 = freqs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9 && freqs.iter().all(|&f| f > 0.0),
+            "frequencies must be positive and sum to 1, got {freqs:?}"
+        );
+        let s = kind.exchangeabilities();
+        assert!(s.iter().all(|&x| x > 0.0), "exchangeabilities must be positive");
+
+        // Assemble Q.
+        let pair_index = |i: usize, j: usize| -> usize {
+            match (i.min(j), i.max(j)) {
+                (A, C) => 0,
+                (A, G) => 1,
+                (A, T) => 2,
+                (C, G) => 3,
+                (C, T) => 4,
+                (G, T) => 5,
+                _ => unreachable!("diagonal has no exchangeability"),
+            }
+        };
+        let mut q = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    q[i][j] = s[pair_index(i, j)] * freqs[j];
+                }
+            }
+            q[i][i] = -(0..4).filter(|&j| j != i).map(|j| q[i][j]).sum::<f64>();
+        }
+        // Normalise: expected rate −Σ π_i Q_ii = 1.
+        let mu: f64 = -(0..4).map(|i| freqs[i] * q[i][i]).sum::<f64>();
+        for row in q.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= mu;
+            }
+        }
+
+        // Symmetrise and decompose.
+        let sqrt_pi: Vec<f64> = freqs.iter().map(|f| f.sqrt()).collect();
+        let mut sym = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                sym[i][j] = q[i][j] * sqrt_pi[i] / sqrt_pi[j];
+            }
+        }
+        // Guard against rounding asymmetry before handing to Jacobi.
+        for i in 0..4 {
+            for j in 0..i {
+                let avg = 0.5 * (sym[i][j] + sym[j][i]);
+                sym[i][j] = avg;
+                sym[j][i] = avg;
+            }
+        }
+        let eig = jacobi_eigen(&sym);
+
+        let mut eigvals = [0.0f64; 4];
+        let mut u = [[0.0f64; 4]; 4];
+        let mut u_inv = [[0.0f64; 4]; 4];
+        for k in 0..4 {
+            eigvals[k] = eig.values[k];
+            for i in 0..4 {
+                u[i][k] = eig.vectors[k][i] / sqrt_pi[i];
+                u_inv[k][i] = eig.vectors[k][i] * sqrt_pi[i];
+            }
+        }
+
+        Self { kind, rates, freqs, eigvals, u, u_inv }
+    }
+
+    /// Convenience: rate-homogeneous process.
+    pub fn homogeneous(kind: ModelKind) -> Self {
+        Self::new(kind, GammaRates::uniform())
+    }
+
+    /// The model this process was built from.
+    pub fn kind(&self) -> &ModelKind {
+        &self.kind
+    }
+
+    /// Rate categories in effect.
+    pub fn rate_categories(&self) -> &GammaRates {
+        &self.rates
+    }
+
+    /// Stationary frequencies.
+    pub fn freqs(&self) -> [f64; 4] {
+        self.freqs
+    }
+
+    /// Transition matrix `P(t·rate)` for branch length `t` (expected
+    /// substitutions per site) under one rate category.
+    ///
+    /// Entries are clamped into `[0, 1]` to remove ~1e-16 eigen noise.
+    pub fn transition_matrix(&self, t: f64, rate: f64) -> [[f64; 4]; 4] {
+        assert!(t >= 0.0 && rate >= 0.0, "branch length and rate must be non-negative");
+        let scaled = t * rate;
+        let exps: [f64; 4] = std::array::from_fn(|k| (self.eigvals[k] * scaled).exp());
+        let mut p = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += self.u[i][k] * exps[k] * self.u_inv[k][j];
+                }
+                p[i][j] = acc.clamp(0.0, 1.0);
+            }
+        }
+        p
+    }
+
+    /// Transition matrices for every rate category at branch length `t`.
+    pub fn transition_matrices(&self, t: f64) -> Vec<[[f64; 4]; 4]> {
+        self.rates.rates.iter().map(|&r| self.transition_matrix(t, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_sums_are_one(p: &[[f64; 4]; 4]) {
+        for (i, row) in p.iter().enumerate() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-10, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn jc69_matches_closed_form() {
+        // JC69: P(same) = 1/4 + 3/4 e^{-4t/3}, P(diff) = 1/4 − 1/4 e^{-4t/3}.
+        let m = SubstModel::homogeneous(ModelKind::Jc69);
+        for &t in &[0.01, 0.1, 0.5, 1.0, 3.0] {
+            let p = m.transition_matrix(t, 1.0);
+            let e = (-4.0 * t / 3.0_f64).exp();
+            let same = 0.25 + 0.75 * e;
+            let diff = 0.25 - 0.25 * e;
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expected = if i == j { same } else { diff };
+                    assert!(
+                        (p[i][j] - expected).abs() < 1e-10,
+                        "t={t} p[{i}][{j}]={} expected {expected}",
+                        p[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k80_transitions_exceed_transversions() {
+        let m = SubstModel::homogeneous(ModelKind::K80 { kappa: 5.0 });
+        let p = m.transition_matrix(0.2, 1.0);
+        // A→G (transition) vs A→C (transversion).
+        assert!(p[A][G] > p[A][C]);
+        assert!(p[C][T] > p[C][A]);
+        row_sums_are_one(&p);
+    }
+
+    #[test]
+    fn zero_time_gives_identity() {
+        let m = SubstModel::homogeneous(ModelKind::Hky85 {
+            kappa: 3.0,
+            freqs: [0.3, 0.2, 0.2, 0.3],
+        });
+        let p = m.transition_matrix(0.0, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i][j] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn long_time_converges_to_stationary_frequencies() {
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let m = SubstModel::homogeneous(ModelKind::Gtr {
+            rates: [1.0, 3.0, 0.5, 0.7, 4.0, 1.2],
+            freqs,
+        });
+        let p = m.transition_matrix(100.0, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (p[i][j] - freqs[j]).abs() < 1e-8,
+                    "p[{i}][{j}]={} vs pi={}",
+                    p[i][j],
+                    freqs[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov_holds() {
+        // P(s+t) = P(s)·P(t).
+        let m = SubstModel::homogeneous(ModelKind::Tn93 {
+            kappa_r: 3.0,
+            kappa_y: 6.0,
+            freqs: [0.35, 0.15, 0.25, 0.25],
+        });
+        let (s, t) = (0.13, 0.29);
+        let ps = m.transition_matrix(s, 1.0);
+        let pt = m.transition_matrix(t, 1.0);
+        let pst = m.transition_matrix(s + t, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let composed: f64 = (0..4).map(|k| ps[i][k] * pt[k][j]).sum();
+                assert!(
+                    (composed - pst[i][j]).abs() < 1e-10,
+                    "({i},{j}): {composed} vs {}",
+                    pst[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_balance_holds_for_gtr() {
+        let freqs = [0.1, 0.2, 0.3, 0.4];
+        let m = SubstModel::homogeneous(ModelKind::Gtr {
+            rates: [1.0, 2.0, 3.0, 1.5, 2.5, 0.8],
+            freqs,
+        });
+        let p = m.transition_matrix(0.7, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (freqs[i] * p[i][j] - freqs[j] * p[j][i]).abs() < 1e-10,
+                    "detailed balance violated at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_row_sums_are_stochastic_across_models() {
+        let models = [
+            ModelKind::Jc69,
+            ModelKind::K80 { kappa: 2.0 },
+            ModelKind::F81 { freqs: [0.3, 0.3, 0.2, 0.2] },
+            ModelKind::F84 { kappa: 1.5, freqs: [0.3, 0.3, 0.2, 0.2] },
+            ModelKind::Hky85 { kappa: 4.0, freqs: [0.25, 0.35, 0.15, 0.25] },
+            ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 5.0, freqs: [0.3, 0.2, 0.3, 0.2] },
+            ModelKind::Gtr { rates: [0.5, 2.0, 1.0, 0.9, 3.0, 1.1], freqs: [0.3, 0.3, 0.2, 0.2] },
+        ];
+        for kind in models {
+            let m = SubstModel::homogeneous(kind.clone());
+            for &t in &[0.05, 0.4, 2.0] {
+                row_sums_are_one(&m.transition_matrix(t, 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_length_is_expected_substitutions() {
+        // At stationarity, expected fraction substituted per unit branch
+        // length derivative at t=0 is 1 after normalisation:
+        // d/dt Σ_i π_i (1 - P_ii(t)) |_{t=0} = 1.
+        let m = SubstModel::homogeneous(ModelKind::Hky85 {
+            kappa: 3.0,
+            freqs: [0.4, 0.1, 0.2, 0.3],
+        });
+        let eps = 1e-6;
+        let p = m.transition_matrix(eps, 1.0);
+        let freqs = m.freqs();
+        let subst: f64 = (0..4).map(|i| freqs[i] * (1.0 - p[i][i])).sum();
+        assert!((subst / eps - 1.0).abs() < 1e-4, "rate {}", subst / eps);
+    }
+
+    #[test]
+    fn gamma_rates_have_unit_mean_and_monotone_categories() {
+        for &alpha in &[0.2, 0.5, 1.0, 2.0, 10.0] {
+            let g = GammaRates::gamma(alpha, 4);
+            assert_eq!(g.ncat(), 4);
+            assert!((g.mean_rate() - 1.0).abs() < 1e-9, "alpha={alpha}");
+            for w in g.rates.windows(2) {
+                assert!(w[0] < w[1], "rates must increase");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_alpha_large_approaches_homogeneity() {
+        let g = GammaRates::gamma(1000.0, 4);
+        for r in &g.rates {
+            assert!((r - 1.0).abs() < 0.1, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn gamma_small_alpha_is_highly_skewed() {
+        let g = GammaRates::gamma(0.2, 4);
+        assert!(g.rates[0] < 0.05, "slowest category should be near zero");
+        assert!(g.rates[3] > 2.0, "fastest category should be large");
+    }
+
+    #[test]
+    fn invariant_class_preserves_unit_mean() {
+        let g = GammaRates::gamma_invariant(0.5, 4, 0.3);
+        assert_eq!(g.ncat(), 5);
+        assert_eq!(g.rates[0], 0.0);
+        assert!((g.probs[0] - 0.3).abs() < 1e-12);
+        assert!((g.mean_rate() - 1.0).abs() < 1e-9);
+        let total: f64 = g.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_accepts_documented_spellings() {
+        assert_eq!(ModelKind::parse("jc69").unwrap(), ModelKind::Jc69);
+        assert_eq!(ModelKind::parse("K80:3.5").unwrap(), ModelKind::K80 { kappa: 3.5 });
+        assert!(matches!(ModelKind::parse("hky85:4").unwrap(), ModelKind::Hky85 { .. }));
+        assert!(matches!(ModelKind::parse("gtr").unwrap(), ModelKind::Gtr { .. }));
+        assert!(ModelKind::parse("jtt").is_err());
+        assert!(ModelKind::parse("k80:abc").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "frequencies must be positive")]
+    fn bad_frequencies_panic() {
+        SubstModel::homogeneous(ModelKind::F81 { freqs: [0.5, 0.5, 0.5, 0.5] });
+    }
+}

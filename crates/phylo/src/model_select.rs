@@ -1,0 +1,195 @@
+//! Substitution-model selection by information criteria.
+//!
+//! Offering "one of the most extensive ranges of DNA substitution
+//! models" (paper §3.2) is only useful if users can pick among them:
+//! "some of these earlier parallel programs only allowed the user to
+//! choose from a very limited number of DNA substitution models, which
+//! often leads to a poor model fit". This module scores candidate
+//! models on a fixed tree by AIC/BIC (branch lengths re-optimised per
+//! model, so likelihoods are comparable maxima).
+
+use crate::lik::TreeLikelihood;
+use crate::model::{GammaRates, ModelKind, SubstModel};
+use crate::patterns::PatternAlignment;
+use crate::tree::Tree;
+
+impl ModelKind {
+    /// Number of free parameters of the substitution model itself
+    /// (exchangeabilities + free frequencies; branch lengths counted
+    /// separately by the criteria).
+    pub fn parameter_count(&self) -> u32 {
+        match self {
+            ModelKind::Jc69 => 0,
+            ModelKind::K80 { .. } => 1,
+            ModelKind::F81 { .. } => 3,
+            ModelKind::F84 { .. } | ModelKind::Hky85 { .. } => 4,
+            ModelKind::Tn93 { .. } => 5,
+            ModelKind::Gtr { .. } => 8,
+        }
+    }
+}
+
+/// One row of a model-selection table.
+#[derive(Debug, Clone)]
+pub struct ModelScore {
+    /// Display name (configuration-file spelling).
+    pub name: String,
+    /// The candidate model.
+    pub kind: ModelKind,
+    /// Whether a discrete-Γ shape parameter was included.
+    pub gamma: bool,
+    /// Maximised log-likelihood (branch lengths optimised).
+    pub ln_likelihood: f64,
+    /// Free parameters: model + Γ shape (if any) + branch lengths.
+    pub n_parameters: u32,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+    /// Bayesian information criterion (lower is better).
+    pub bic: f64,
+}
+
+/// Scores each candidate `(name, kind, gamma_alpha)` on `tree`,
+/// re-optimising branch lengths per model. Results are sorted by AIC
+/// (best first).
+pub fn compare_models(
+    tree: &Tree,
+    data: &PatternAlignment,
+    candidates: &[(&str, ModelKind, Option<f64>)],
+    blen_rounds: u32,
+) -> Vec<ModelScore> {
+    assert!(!candidates.is_empty(), "need at least one candidate model");
+    let n_branches = tree.edges().len() as u32;
+    let n_sites = data.site_count() as f64;
+    let mut scores: Vec<ModelScore> = candidates
+        .iter()
+        .map(|(name, kind, gamma_alpha)| {
+            let rates = match gamma_alpha {
+                Some(a) => GammaRates::gamma(*a, 4),
+                None => GammaRates::uniform(),
+            };
+            let model = SubstModel::new(kind.clone(), rates);
+            let engine = TreeLikelihood::new(&model, data);
+            let mut t = tree.clone();
+            let lnl = engine.optimize_edges(&mut t, None, blen_rounds, 1e-3);
+            let k = kind.parameter_count()
+                + u32::from(gamma_alpha.is_some())
+                + n_branches;
+            ModelScore {
+                name: name.to_string(),
+                kind: kind.clone(),
+                gamma: gamma_alpha.is_some(),
+                ln_likelihood: lnl,
+                n_parameters: k,
+                aic: 2.0 * k as f64 - 2.0 * lnl,
+                bic: (k as f64) * n_sites.ln() - 2.0 * lnl,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| a.aic.total_cmp(&b.aic));
+    scores
+}
+
+/// The standard candidate ladder (JC69 → GTR, each ± Γ) with empirical
+/// frequencies plugged into the frequency-using models.
+pub fn standard_candidates(freqs: [f64; 4]) -> Vec<(&'static str, ModelKind, Option<f64>)> {
+    let mut out: Vec<(&'static str, ModelKind, Option<f64>)> = Vec::new();
+    let base: Vec<(&'static str, ModelKind)> = vec![
+        ("JC69", ModelKind::Jc69),
+        ("K80", ModelKind::K80 { kappa: 2.0 }),
+        ("F81", ModelKind::F81 { freqs }),
+        ("HKY85", ModelKind::Hky85 { kappa: 2.0, freqs }),
+        ("TN93", ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 2.0, freqs }),
+        ("GTR", ModelKind::Gtr { rates: [1.0; 6], freqs }),
+    ];
+    for (name, kind) in base {
+        out.push((name, kind.clone(), None));
+        out.push((name, kind, Some(0.5)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::{random_yule_tree, simulate_alignment};
+
+    #[test]
+    fn parameter_counts_follow_the_nesting_ladder() {
+        let f = [0.25; 4];
+        let ladder = [
+            ModelKind::Jc69,
+            ModelKind::K80 { kappa: 2.0 },
+            ModelKind::F81 { freqs: f },
+            ModelKind::Hky85 { kappa: 2.0, freqs: f },
+            ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 2.0, freqs: f },
+            ModelKind::Gtr { rates: [1.0; 6], freqs: f },
+        ];
+        let counts: Vec<u32> = ladder.iter().map(|k| k.parameter_count()).collect();
+        assert_eq!(counts, vec![0, 1, 3, 4, 5, 8]);
+    }
+
+    #[test]
+    fn richer_nested_models_never_fit_worse() {
+        let truth = random_yule_tree(6, 0.15, 51);
+        let gen = SubstModel::homogeneous(ModelKind::K80 { kappa: 4.0 });
+        let seqs = simulate_alignment(&truth, &gen, 600, None, 52);
+        let data = PatternAlignment::from_sequences(&seqs);
+        let scores = compare_models(
+            &truth,
+            &data,
+            &[
+                ("JC69", ModelKind::Jc69, None),
+                ("K80", ModelKind::K80 { kappa: 4.0 }, None),
+            ],
+            4,
+        );
+        let jc = scores.iter().find(|s| s.name == "JC69").unwrap();
+        let k80 = scores.iter().find(|s| s.name == "K80").unwrap();
+        assert!(
+            k80.ln_likelihood >= jc.ln_likelihood - 0.5,
+            "K80 nests JC69: {} vs {}",
+            k80.ln_likelihood,
+            jc.ln_likelihood
+        );
+    }
+
+    #[test]
+    fn aic_picks_the_generating_model_class() {
+        // Strong transition bias: K80 should beat JC69 on AIC despite
+        // the extra parameter.
+        let truth = random_yule_tree(7, 0.15, 61);
+        let gen = SubstModel::homogeneous(ModelKind::K80 { kappa: 8.0 });
+        let seqs = simulate_alignment(&truth, &gen, 800, None, 62);
+        let data = PatternAlignment::from_sequences(&seqs);
+        let scores = compare_models(
+            &truth,
+            &data,
+            &[
+                ("JC69", ModelKind::Jc69, None),
+                ("K80", ModelKind::K80 { kappa: 8.0 }, None),
+            ],
+            4,
+        );
+        assert_eq!(scores[0].name, "K80", "AIC must favour the true model class");
+        assert!(scores[0].aic < scores[1].aic);
+    }
+
+    #[test]
+    fn results_are_sorted_by_aic_and_criteria_are_consistent() {
+        let truth = random_yule_tree(5, 0.15, 71);
+        let gen = SubstModel::homogeneous(ModelKind::Jc69);
+        let seqs = simulate_alignment(&truth, &gen, 300, None, 72);
+        let data = PatternAlignment::from_sequences(&seqs);
+        let freqs = crate::fit::empirical_base_frequencies(&data);
+        let candidates = standard_candidates(freqs);
+        assert_eq!(candidates.len(), 12, "6 models x (with/without gamma)");
+        let scores = compare_models(&truth, &data, &candidates[..6], 2);
+        for pair in scores.windows(2) {
+            assert!(pair[0].aic <= pair[1].aic, "must be AIC-sorted");
+        }
+        for s in &scores {
+            assert!((s.aic - (2.0 * s.n_parameters as f64 - 2.0 * s.ln_likelihood)).abs() < 1e-9);
+            assert!(s.bic >= s.aic, "BIC penalises harder for n >= 8 sites");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Newick serialisation of [`Tree`]s.
+//!
+//! Writing takes a slice of taxon names indexed by taxon id; parsing
+//! returns the tree plus the name list it discovered (taxon ids are
+//! assigned in order of first appearance). The basal trifurcation maps
+//! naturally onto the conventional unrooted Newick form
+//! `(A:0.1,B:0.2,(C:0.3,D:0.4):0.05);`.
+
+use crate::tree::{Node, Tree};
+
+/// Renders a tree as a Newick string with branch lengths.
+pub fn to_newick(tree: &Tree, names: &[String]) -> String {
+    fn render(tree: &Tree, id: usize, names: &[String], out: &mut String) {
+        let node = tree.node(id);
+        if node.is_leaf() {
+            let t = node.taxon.expect("leaf has a taxon");
+            out.push_str(
+                names
+                    .get(t)
+                    .map(|s| s.as_str())
+                    .unwrap_or_else(|| panic!("no name for taxon {t}")),
+            );
+        } else {
+            out.push('(');
+            for (i, &c) in node.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(tree, c, names, out);
+                out.push_str(&format!(":{:.6}", tree.node(c).blen));
+            }
+            out.push(')');
+        }
+    }
+    let mut out = String::new();
+    render(tree, tree.root(), names, &mut out);
+    out.push(';');
+    out
+}
+
+/// Error from Newick parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewickError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "newick parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+/// Parses a Newick string into a tree and the taxon names encountered.
+///
+/// Requirements: the outermost group must have exactly 3 children when
+/// the tree has more than 2 taxa (the unrooted convention this library
+/// uses); internal groups must be binary. Missing branch lengths
+/// default to 0.
+pub fn from_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_node(
+        bytes: &[u8],
+        pos: &mut usize,
+        nodes: &mut Vec<Node>,
+        names: &mut Vec<String>,
+    ) -> Result<usize, NewickError> {
+        skip_ws(bytes, pos);
+        if *pos >= bytes.len() {
+            return Err(NewickError { position: *pos, message: "unexpected end".into() });
+        }
+        if bytes[*pos] == b'(' {
+            *pos += 1;
+            let id = nodes.len();
+            nodes.push(Node { parent: None, children: vec![], blen: 0.0, taxon: None });
+            loop {
+                let child = parse_node(bytes, pos, nodes, names)?;
+                nodes[child].parent = Some(id);
+                // Optional branch length.
+                skip_ws(bytes, pos);
+                if *pos < bytes.len() && bytes[*pos] == b':' {
+                    *pos += 1;
+                    let start = *pos;
+                    while *pos < bytes.len()
+                        && (bytes[*pos].is_ascii_digit()
+                            || matches!(bytes[*pos], b'.' | b'-' | b'+' | b'e' | b'E'))
+                    {
+                        *pos += 1;
+                    }
+                    let s = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII");
+                    let blen: f64 = s.parse().map_err(|_| NewickError {
+                        position: start,
+                        message: format!("bad branch length `{s}`"),
+                    })?;
+                    if blen < 0.0 {
+                        return Err(NewickError {
+                            position: start,
+                            message: "negative branch length".into(),
+                        });
+                    }
+                    nodes[child].blen = blen;
+                }
+                nodes[id].children.push(child);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => {
+                        *pos += 1;
+                    }
+                    Some(b')') => {
+                        *pos += 1;
+                        break;
+                    }
+                    _ => {
+                        return Err(NewickError {
+                            position: *pos,
+                            message: "expected `,` or `)`".into(),
+                        })
+                    }
+                }
+            }
+            Ok(id)
+        } else {
+            // Leaf label.
+            let start = *pos;
+            while *pos < bytes.len()
+                && !matches!(bytes[*pos], b',' | b')' | b'(' | b':' | b';')
+                && !bytes[*pos].is_ascii_whitespace()
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(NewickError { position: *pos, message: "empty leaf label".into() });
+            }
+            let label = std::str::from_utf8(&bytes[start..*pos])
+                .expect("validated ASCII range")
+                .to_string();
+            if names.contains(&label) {
+                return Err(NewickError {
+                    position: start,
+                    message: format!("duplicate taxon `{label}`"),
+                });
+            }
+            let taxon = names.len();
+            names.push(label);
+            let id = nodes.len();
+            nodes.push(Node { parent: None, children: vec![], blen: 0.0, taxon: Some(taxon) });
+            Ok(id)
+        }
+    }
+
+    let root = parse_node(bytes, &mut pos, &mut nodes, &mut names)?;
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b';') {
+        pos += 1;
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(NewickError { position: pos, message: "trailing characters".into() });
+    }
+
+    let tree = Tree::from_parts(nodes, root).map_err(|m| NewickError {
+        position: 0,
+        message: m,
+    })?;
+    Ok((tree, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_initial_triple() {
+        let t = Tree::initial_triple([0, 1, 2], 0.1);
+        let s = to_newick(&t, &names(&["A", "B", "C"]));
+        assert_eq!(s, "(A:0.100000,B:0.100000,C:0.100000);");
+    }
+
+    #[test]
+    fn round_trips_a_four_taxon_tree() {
+        let mut t = Tree::initial_triple([0, 1, 2], 0.1);
+        t.insert_leaf(1, 3, 0.25);
+        let labels = names(&["A", "B", "C", "D"]);
+        let s = to_newick(&t, &labels);
+        let (parsed, parsed_names) = from_newick(&s).unwrap();
+        parsed.validate().unwrap();
+        assert_eq!(parsed.leaf_count(), 4);
+        // Re-render with the parsed name order: topology must survive.
+        let s2 = to_newick(&parsed, &parsed_names);
+        let (parsed2, _) = from_newick(&s2).unwrap();
+        assert_eq!(parsed.rf_distance(&parsed2), 0);
+    }
+
+    #[test]
+    fn parses_standard_unrooted_form() {
+        let (t, n) = from_newick("(A:0.1,B:0.2,(C:0.3,D:0.4):0.05);").unwrap();
+        t.validate().unwrap();
+        assert_eq!(n, names(&["A", "B", "C", "D"]));
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.internal_edges().len(), 1);
+        // Branch length of the internal edge.
+        let internal = t.internal_edges()[0];
+        assert!((t.branch_length(internal) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_branch_lengths_default_to_zero() {
+        let (t, _) = from_newick("(A,B,C);").unwrap();
+        assert_eq!(t.total_branch_length(), 0.0);
+    }
+
+    #[test]
+    fn rejects_duplicate_taxa() {
+        let err = from_newick("(A:1,B:1,A:1);").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_negative_branch_length() {
+        let err = from_newick("(A:1,B:-0.5,C:1);").unwrap_err();
+        assert!(err.message.contains("negative"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = from_newick("(A:1,B:1,C:1); extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_malformed_structure() {
+        assert!(from_newick("(A:1,B:1").is_err());
+        assert!(from_newick("()").is_err());
+        assert!(from_newick("").is_err());
+    }
+
+    #[test]
+    fn rejects_non_trifurcating_root_for_big_trees() {
+        // Rooted (binary-root) newick is not this library's convention.
+        assert!(from_newick("((A:1,B:1):1,(C:1,D:1):1);").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_branch_lengths_parse() {
+        let (t, _) = from_newick("(A:1e-3,B:2.5E-2,C:1.0);").unwrap();
+        let total = t.total_branch_length();
+        assert!((total - (0.001 + 0.025 + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Site-pattern compression.
+//!
+//! Alignment columns with identical residue patterns contribute
+//! identical per-site likelihoods, so the pruning engine evaluates each
+//! distinct pattern once and weights it by its multiplicity — the
+//! single most important constant-factor optimisation in likelihood
+//! phylogenetics.
+
+use biodist_bioseq::{Alphabet, Sequence};
+use std::collections::HashMap;
+
+/// A compressed multiple sequence alignment of DNA sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternAlignment {
+    /// Taxon names, indexed by taxon id (row order of the input).
+    pub names: Vec<String>,
+    /// Distinct site patterns; `patterns[p][taxon]` is a DNA code
+    /// (0–3, or 4 for ambiguity/missing).
+    patterns: Vec<Vec<u8>>,
+    /// Multiplicity of each pattern.
+    weights: Vec<f64>,
+    /// Uncompressed alignment length.
+    site_count: usize,
+}
+
+impl PatternAlignment {
+    /// Compresses an alignment. All sequences must be DNA, non-empty,
+    /// and of equal length.
+    ///
+    /// # Panics
+    /// Panics on ragged input, empty input, or non-DNA sequences.
+    pub fn from_sequences(seqs: &[Sequence]) -> Self {
+        assert!(seqs.len() >= 2, "an alignment needs at least two sequences");
+        let len = seqs[0].len();
+        assert!(len > 0, "alignment has zero columns");
+        for s in seqs {
+            assert_eq!(s.alphabet, Alphabet::Dna, "sequence `{}` is not DNA", s.id);
+            assert_eq!(
+                s.len(),
+                len,
+                "sequence `{}` has length {}, expected {len}",
+                s.id,
+                s.len()
+            );
+        }
+        let names: Vec<String> = seqs.iter().map(|s| s.id.clone()).collect();
+
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut patterns: Vec<Vec<u8>> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for col in 0..len {
+            let pattern: Vec<u8> = seqs.iter().map(|s| s.codes()[col]).collect();
+            match index.get(&pattern) {
+                Some(&p) => weights[p] += 1.0,
+                None => {
+                    index.insert(pattern.clone(), patterns.len());
+                    patterns.push(pattern);
+                    weights.push(1.0);
+                }
+            }
+        }
+        Self { names, patterns, weights, site_count: len }
+    }
+
+    /// Number of taxa (rows).
+    pub fn taxon_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of distinct patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Uncompressed alignment length.
+    pub fn site_count(&self) -> usize {
+        self.site_count
+    }
+
+    /// The residue code of `taxon` in pattern `p`.
+    #[inline(always)]
+    pub fn code(&self, p: usize, taxon: usize) -> u8 {
+        self.patterns[p][taxon]
+    }
+
+    /// Pattern multiplicities.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(id: &str, text: &str) -> Sequence {
+        Sequence::from_text(id, "", Alphabet::Dna, text).unwrap()
+    }
+
+    #[test]
+    fn identical_columns_collapse() {
+        let seqs = [seq("a", "AAGGA"), seq("b", "CCTTC"), seq("c", "AAGGA")];
+        let pa = PatternAlignment::from_sequences(&seqs);
+        // Columns: ACA ACA GTG GTG ACA → two distinct patterns.
+        assert_eq!(pa.pattern_count(), 2);
+        assert_eq!(pa.site_count(), 5);
+        let total: f64 = pa.weights().iter().sum();
+        assert_eq!(total, 5.0);
+        assert_eq!(pa.taxon_count(), 3);
+    }
+
+    #[test]
+    fn weights_count_multiplicities() {
+        let seqs = [seq("a", "AAAT"), seq("b", "AAAC")];
+        let pa = PatternAlignment::from_sequences(&seqs);
+        assert_eq!(pa.pattern_count(), 2);
+        let mut ws = pa.weights().to_vec();
+        ws.sort_by(f64::total_cmp);
+        assert_eq!(ws, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn codes_are_recoverable() {
+        let seqs = [seq("a", "ACGT"), seq("b", "TGCA")];
+        let pa = PatternAlignment::from_sequences(&seqs);
+        assert_eq!(pa.pattern_count(), 4);
+        // Find the pattern for column 0 (A,T) = (0,3).
+        let found = (0..4).any(|p| pa.code(p, 0) == 0 && pa.code(p, 1) == 3);
+        assert!(found);
+    }
+
+    #[test]
+    fn ambiguity_codes_are_preserved() {
+        let seqs = [seq("a", "AN"), seq("b", "AA")];
+        let pa = PatternAlignment::from_sequences(&seqs);
+        assert_eq!(pa.pattern_count(), 2);
+        let found = (0..2).any(|p| pa.code(p, 0) == 4);
+        assert!(found, "ambiguity code must survive compression");
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn ragged_alignment_panics() {
+        PatternAlignment::from_sequences(&[seq("a", "ACGT"), seq("b", "ACG")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_sequence_panics() {
+        PatternAlignment::from_sequences(&[seq("a", "ACGT")]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # biodist-util
+//!
+//! Shared low-level utilities for the `biodist` workspace: deterministic
+//! pseudo-random number generation, one-dimensional optimisation,
+//! streaming statistics, the `key = value` configuration format used by
+//! DSEARCH and DPRml, and small table/CSV writers for the experiment
+//! harnesses.
+//!
+//! Everything in this crate is dependency-free and fully deterministic:
+//! the simulator and both applications derive all randomness from the
+//! seeded generators defined in [`rng`], which makes every figure in
+//! `EXPERIMENTS.md` bit-reproducible.
+
+pub mod config;
+pub mod optim;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use config::{Config, ConfigError};
+pub use optim::{brent_minimize, golden_section_minimize, BrentResult};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use stats::{Ewma, OnlineStats};
+pub use table::Table;

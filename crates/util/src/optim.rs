@@ -1,0 +1,241 @@
+//! One-dimensional function minimisation.
+//!
+//! Branch-length optimisation in the phylogenetics crate repeatedly
+//! minimises the negative log-likelihood along a single branch, for which
+//! Brent's method (parabolic interpolation with a golden-section
+//! fallback) is the standard tool — it is what fastDNAml and PAL use.
+
+/// Result of a one-dimensional minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrentResult {
+    /// Abscissa of the located minimum.
+    pub xmin: f64,
+    /// Function value at [`BrentResult::xmin`].
+    pub fmin: f64,
+    /// Number of function evaluations performed.
+    pub evaluations: u32,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+const GOLDEN: f64 = 0.381_966_011_250_105_1; // (3 - sqrt(5)) / 2
+
+/// Minimises `f` on `[a, b]` with Brent's method.
+///
+/// `tol` is the absolute x-tolerance (must be positive); `max_iter`
+/// bounds the number of iterations. The function must be finite on the
+/// interval. Returns the best point found even when the iteration cap is
+/// reached (`converged == false` in that case).
+pub fn brent_minimize(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> BrentResult {
+    assert!(a < b, "brent_minimize: need a < b, got [{a}, {b}]");
+    assert!(tol > 0.0, "brent_minimize: tolerance must be positive");
+
+    let (mut lo, mut hi) = (a, b);
+    let mut evaluations = 0u32;
+    let mut eval = |x: f64, n: &mut u32| {
+        *n += 1;
+        f(x)
+    };
+
+    // x: best point so far, w: second best, v: previous w.
+    let mut x = lo + GOLDEN * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = eval(x, &mut evaluations);
+    let mut fw = fx;
+    let mut fv = fx;
+
+    // d: step taken this iteration, e: step taken two iterations ago.
+    let mut d = 0.0f64;
+    let mut e = 0.0f64;
+
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let tol1 = tol * x.abs().max(1.0) * 1e-4 + tol;
+        let tol2 = 2.0 * tol1;
+
+        if (x - mid).abs() <= tol2 - 0.5 * (hi - lo) {
+            return BrentResult { xmin: x, fmin: fx, evaluations, converged: true };
+        }
+
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Fit a parabola through (v,fv), (w,fw), (x,fx).
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            // Accept the parabolic step only if it falls inside the
+            // bracket and moves less than half the step before last.
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = if mid > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+
+        if use_golden {
+            e = if x < mid { hi - x } else { lo - x };
+            d = GOLDEN * e;
+        }
+
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = eval(u, &mut evaluations);
+
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+
+    BrentResult { xmin: x, fmin: fx, evaluations, converged: false }
+}
+
+/// Golden-section search: slower than Brent but makes no smoothness
+/// assumptions. Used as a cross-check in tests and for the occasional
+/// non-smooth objective (e.g. discretised granularity tuning).
+pub fn golden_section_minimize(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> BrentResult {
+    assert!(a < b, "golden_section_minimize: need a < b");
+    assert!(tol > 0.0, "golden_section_minimize: tolerance must be positive");
+    let inv_phi = 0.618_033_988_749_894_9; // 1/phi
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = hi - inv_phi * (hi - lo);
+    let mut x2 = lo + inv_phi * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evaluations = 2;
+    let mut converged = false;
+
+    for _ in 0..max_iter {
+        if (hi - lo).abs() < tol {
+            converged = true;
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - inv_phi * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + inv_phi * (hi - lo);
+            f2 = f(x2);
+        }
+        evaluations += 1;
+    }
+
+    let (xmin, fmin) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
+    BrentResult { xmin, fmin, evaluations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_finds_quadratic_minimum() {
+        let r = brent_minimize(|x| (x - 2.5) * (x - 2.5) + 1.0, 0.0, 10.0, 1e-10, 200);
+        assert!(r.converged);
+        assert!((r.xmin - 2.5).abs() < 1e-6, "xmin {}", r.xmin);
+        assert!((r.fmin - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_nonpolynomial_minimum() {
+        // f(x) = x - ln(x) has its minimum at x = 1.
+        let r = brent_minimize(|x| x - x.ln(), 0.01, 20.0, 1e-12, 200);
+        assert!(r.converged);
+        assert!((r.xmin - 1.0).abs() < 1e-5, "xmin {}", r.xmin);
+    }
+
+    #[test]
+    fn brent_handles_minimum_at_boundary() {
+        // Monotone increasing: minimum is at the left edge.
+        let r = brent_minimize(|x| x, 0.0, 1.0, 1e-9, 200);
+        assert!(r.xmin < 1e-3, "xmin {}", r.xmin);
+    }
+
+    #[test]
+    fn brent_matches_golden_section() {
+        let f = |x: f64| (x - 0.7).powi(4) + 0.3 * x;
+        let b = brent_minimize(f, -2.0, 3.0, 1e-10, 500);
+        let g = golden_section_minimize(f, -2.0, 3.0, 1e-10, 500);
+        assert!((b.xmin - g.xmin).abs() < 1e-4, "{} vs {}", b.xmin, g.xmin);
+        assert!(b.evaluations <= g.evaluations, "Brent should not be slower");
+    }
+
+    #[test]
+    fn brent_reports_nonconvergence_under_tiny_budget() {
+        let r = brent_minimize(|x| (x - 5.0).powi(2), 0.0, 100.0, 1e-14, 2);
+        assert!(!r.converged);
+        assert!(r.evaluations >= 1);
+    }
+
+    #[test]
+    fn golden_section_converges_on_abs() {
+        // |x - 1| is not smooth at its minimum; golden section still works.
+        let r = golden_section_minimize(|x| (x - 1.0).abs(), -4.0, 6.0, 1e-9, 500);
+        assert!(r.converged);
+        assert!((r.xmin - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a < b")]
+    fn brent_rejects_inverted_interval() {
+        brent_minimize(|x| x, 1.0, 0.0, 1e-6, 10);
+    }
+}

@@ -1,0 +1,371 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! The workspace deliberately avoids external RNG crates so that every
+//! experiment is reproducible from a single `u64` seed across Rust and
+//! dependency versions. Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny, fast generator used for seeding and for
+//!   places where statistical quality is secondary (Vigna, 2015).
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman &
+//!   Vigna, 2018) with 256 bits of state, used everywhere randomness
+//!   affects results: synthetic databases, availability traces,
+//!   sequence evolution, and tie-breaking in tree search.
+//!
+//! Both implement the object-safe [`Rng`] trait, so code can take
+//! `&mut dyn Rng` without committing to a generator.
+
+/// Minimal object-safe random number generator interface.
+///
+/// All derived draws (floats, ranges, shuffles) are provided as default
+/// methods on top of [`Rng::next_u64`], so every implementor yields an
+/// identical stream of derived values for an identical `u64` stream.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the top 53 bits, the standard construction that yields every
+    /// representable multiple of 2⁻⁵³ with equal probability.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only entered when bound does not divide 2^64.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "next_range: lo must not exceed hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli draw with probability `p` of returning `true`.
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed draw with the given `mean` (> 0).
+    ///
+    /// Used by the availability-trace generator for sojourn times.
+    fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "next_exp: mean must be positive");
+        // next_f64 is in [0,1); use 1-u in (0,1] so ln() is finite.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Standard normal draw via the Box–Muller transform (one of the
+    /// pair is discarded; determinism matters more than throughput here).
+    fn next_gaussian(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64(); // (0,1]
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws an index from a discrete distribution given by `weights`.
+    ///
+    /// Weights must be non-negative and sum to a positive value.
+    fn next_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "next_weighted: weights must sum to a positive finite value"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "next_weighted: negative weight");
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("next_weighted: at least one positive weight")
+    }
+}
+
+/// Fisher–Yates shuffle driven by any [`Rng`].
+pub fn shuffle<T>(items: &mut [T], rng: &mut dyn Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (reservoir sampling).
+///
+/// The returned indices are in ascending order of first selection; callers
+/// that need uniform order should shuffle afterwards.
+pub fn sample_indices(n: usize, k: usize, rng: &mut dyn Rng) -> Vec<usize> {
+    assert!(k <= n, "sample_indices: k must not exceed n");
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+/// SplitMix64 generator (Vigna 2015). Passes BigCrush; period 2⁶⁴.
+///
+/// Primarily used to expand a single `u64` seed into the larger state of
+/// [`Xoshiro256StarStar`], and for cheap decorrelated sub-streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed. Any value, including 0, is valid.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** generator (Blackman & Vigna 2018). Period 2²⁵⁶−1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator by expanding `seed` through SplitMix64, the
+    /// seeding procedure recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // The all-zero state is a fixed point; SplitMix64 cannot emit
+        // four consecutive zeros from any seed, but guard regardless.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Derives an independent stream for a named sub-component.
+    ///
+    /// Mixing the label through SplitMix64 gives decorrelated streams so
+    /// e.g. each simulated machine owns its own generator and inserting a
+    /// machine never perturbs another machine's trace.
+    pub fn derive(&self, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(
+            self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 0 from the public-domain C source.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::new(42);
+        let mut b = Xoshiro256StarStar::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::new(43);
+        let same = (0..100).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn derived_streams_differ_from_parent_and_each_other() {
+        let parent = Xoshiro256StarStar::new(7);
+        let mut s1 = parent.derive(1);
+        let mut s2 = parent.derive(2);
+        let mut p = parent;
+        let (a, b, c) = (p.next_u64(), s1.next_u64(), s2.next_u64());
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound_and_covers_small_ranges() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_range_hits_both_endpoints() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2_000 {
+            match rng.next_range(10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.next_exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean} too far from 3");
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut rng = Xoshiro256StarStar::new(6);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn weighted_draw_respects_zero_weights() {
+        let mut rng = Xoshiro256StarStar::new(8);
+        for _ in 0..1_000 {
+            let i = rng.next_weighted(&[0.0, 2.0, 0.0, 1.0]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_draw_frequencies_track_weights() {
+        let mut rng = Xoshiro256StarStar::new(13);
+        let mut counts = [0u32; 3];
+        let n = 90_000;
+        for _ in 0..n {
+            counts[rng.next_weighted(&[1.0, 2.0, 3.0])] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f1 - 2.0 / 6.0).abs() < 0.01);
+        assert!((f2 - 3.0 / 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let sample = sample_indices(100, 20, &mut rng);
+        assert_eq!(sample.len(), 20);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sample.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn next_below_zero_panics() {
+        let mut rng = SplitMix64::new(0);
+        rng.next_below(0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment output tables.
+//!
+//! The figure harnesses in `biodist-bench` print the series the paper
+//! plots and also persist them as CSV next to `EXPERIMENTS.md`. This
+//! module provides a tiny column-oriented table that renders both
+//! formats, so harness code stays declarative.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple rows-of-cells table with a header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column names.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "Table: need at least one column");
+        Self {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of preformatted cells; must match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "Table `{}`: row width {} != column count {}",
+            self.title,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numbers formatted with `precision` decimals.
+    pub fn push_numeric_row(&mut self, values: &[f64], precision: usize) {
+        self.push_row(values.iter().map(|v| format!("{v:.precision$}")).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned, human-readable text table.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (cells containing commas/quotes/newlines
+    /// are quoted).
+    pub fn render_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("speedup", &["processors", "speedup"]);
+        t.push_numeric_row(&[1.0, 1.0], 2);
+        t.push_numeric_row(&[8.0, 7.43], 2);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().render_text();
+        assert!(text.contains("== speedup =="));
+        assert!(text.contains("processors  speedup"));
+        assert!(text.contains("      8.00     7.43"));
+    }
+
+    #[test]
+    fn csv_rendering_round_trips_simple_cells() {
+        let csv = sample().render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("processors,speedup"));
+        assert_eq!(lines.next(), Some("1.00,1.00"));
+        assert_eq!(lines.next(), Some("8.00,7.43"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["name", "note"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"a,b\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn len_and_empty_track_rows() {
+        let mut t = Table::new("x", &["a"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! A complete phylogenetics pipeline on the distributed system.
+//!
+//! The workflow a biologist would actually run with these tools:
+//!
+//! 1. neighbor-joining guide tree from JC distances (instant),
+//! 2. substitution-model parameters (κ, Γ shape α) fitted by maximum
+//!    likelihood on the guide tree,
+//! 3. distributed DPRml search under the fitted model, with a
+//!    distance-diverse (maximin) taxon addition order,
+//! 4. bootstrap support values for the final tree.
+//!
+//! Run with: `cargo run --release --example phylo_pipeline`
+
+use biodist::core::{run_threaded, SchedulerConfig, Server};
+use biodist::dprml::{build_problem, DprmlConfig, PhyloOutput};
+use biodist::phylo::bootstrap::{bootstrap_support, nj_builder};
+use biodist::phylo::evolve::{random_yule_tree, simulate_alignment};
+use biodist::phylo::fit::{empirical_base_frequencies, fit_gamma_alpha, fit_hky_kappa};
+use biodist::phylo::lik::log_likelihood;
+use biodist::phylo::model::{GammaRates, ModelKind, SubstModel};
+use biodist::phylo::nj::{jc_distance_matrix, maximin_order, neighbor_joining};
+use biodist::phylo::patterns::PatternAlignment;
+use std::sync::Arc;
+
+fn main() {
+    // --- data: simulated under HKY85(kappa 5) + Γ(0.6), 10 taxa -------
+    let truth = random_yule_tree(10, 0.14, 404);
+    let true_model = SubstModel::new(
+        ModelKind::Hky85 { kappa: 5.0, freqs: [0.3, 0.2, 0.2, 0.3] },
+        GammaRates::gamma(0.6, 4),
+    );
+    let names: Vec<String> = (0..10).map(|i| format!("sp{i:02}")).collect();
+    let seqs = simulate_alignment(&truth, &true_model, 1200, Some(&names), 405);
+    let data = Arc::new(PatternAlignment::from_sequences(&seqs));
+    println!(
+        "dataset: {} taxa x {} sites ({} patterns), truth: HKY85(5.0)+G(0.6)",
+        data.taxon_count(),
+        data.site_count(),
+        data.pattern_count()
+    );
+
+    // --- step 1: NJ guide tree -----------------------------------------
+    let distances = jc_distance_matrix(&data);
+    let guide = neighbor_joining(&distances);
+    println!(
+        "\n[1] NJ guide tree: RF distance to truth = {}",
+        guide.rf_distance(&truth)
+    );
+
+    // --- step 2: model fitting on the guide tree -----------------------
+    let freqs = empirical_base_frequencies(&data);
+    println!(
+        "[2] empirical frequencies: A={:.3} C={:.3} G={:.3} T={:.3}",
+        freqs[0], freqs[1], freqs[2], freqs[3]
+    );
+    let kappa_fit = fit_hky_kappa(&guide, &data, freqs, &GammaRates::uniform(), 2);
+    println!(
+        "    fitted kappa = {:.2} (true 5.0), lnL {:.2}, {} evaluations",
+        kappa_fit.value, kappa_fit.ln_likelihood, kappa_fit.evaluations
+    );
+    let kind = ModelKind::Hky85 { kappa: kappa_fit.value, freqs };
+    let alpha_fit = fit_gamma_alpha(&guide, &data, &kind, 4, 1);
+    println!("    fitted gamma alpha = {:.2} (true 0.6)", alpha_fit.value);
+
+    // --- step 3: distributed ML search under the fitted model ----------
+    let config = DprmlConfig {
+        model: kind,
+        gamma_alpha: Some(alpha_fit.value),
+        gamma_categories: 4,
+        ..Default::default()
+    };
+    let order = maximin_order(&distances);
+    let mut server = Server::new(SchedulerConfig {
+        target_unit_secs: 0.02,
+        prior_ops_per_sec: 2e8,
+        min_unit_ops: 1.0,
+        ..Default::default()
+    });
+    let pid = server.submit(build_problem(data.clone(), &config, Some(order), "pipeline"));
+    let (mut server, elapsed) = run_threaded(server, 8);
+    let out = server.take_output(pid).expect("complete").into_inner::<PhyloOutput>();
+    println!(
+        "\n[3] distributed DPRml: lnL {:.2} in {elapsed:.1} s wall clock, RF to truth = {}",
+        out.ln_likelihood,
+        out.tree.rf_distance(&truth)
+    );
+    // ML under the fitted model should beat the NJ guide under the same model.
+    let fitted_model = config.build_model();
+    let guide_lnl = log_likelihood(&guide, &data, &fitted_model);
+    println!("    (NJ guide tree scores {guide_lnl:.2} under the same model)");
+    assert!(out.ln_likelihood >= guide_lnl - 1e-6, "ML must not lose to its guide");
+
+    // --- step 4: bootstrap ----------------------------------------------
+    let bs = bootstrap_support(&out.tree, &seqs, 100, 406, nj_builder);
+    println!("\n[4] bootstrap (100 NJ replicates):");
+    for (split, support) in bs.splits.iter().zip(&bs.support) {
+        let members: Vec<&str> = split.iter().map(|&t| names[t].as_str()).collect();
+        println!("    {:>5.0}%  {{{}}}", support * 100.0, members.join(","));
+    }
+    println!("    weakest split: {:.0}%", bs.min_support() * 100.0);
+
+    assert!(out.tree.rf_distance(&truth) <= 2, "1200 sites should ~recover 10 taxa");
+    println!("\nfinal tree:\n{}", out.newick);
+}

@@ -1,0 +1,32 @@
+//! # biodist — umbrella crate
+//!
+//! Rust reproduction of *Bioinformatics on a Heterogeneous Java
+//! Distributed System* (Page, Keane & Naughton, IPDPS 2005): a
+//! programmable, heterogeneous, cycle-scavenging task farm plus the two
+//! bioinformatics applications the paper evaluates, DSEARCH (sensitive
+//! distributed database search) and DPRml (distributed phylogeny
+//! reconstruction by maximum likelihood).
+//!
+//! This crate re-exports the public API of every workspace member so a
+//! downstream user can depend on `biodist` alone:
+//!
+//! * [`util`] — PRNGs, optimisers, config parsing, experiment tables.
+//! * [`bioseq`] — sequences, FASTA I/O, scoring schemes, synthetic data.
+//! * [`align`] — rigorous alignment kernels (Needleman–Wunsch,
+//!   Smith–Waterman, banded, score-only).
+//! * [`phylo`] — trees, substitution models, maximum likelihood.
+//! * [`gridsim`] — the deterministic discrete-event grid simulator that
+//!   stands in for the paper's 200-PC campus deployment.
+//! * [`core`] — the distributed framework itself (`DataManager`,
+//!   `Algorithm`, server, adaptive scheduler, threaded + simulated
+//!   backends).
+//! * [`dsearch`] / [`dprml`] — the two applications.
+
+pub use biodist_align as align;
+pub use biodist_bioseq as bioseq;
+pub use biodist_core as core;
+pub use biodist_dprml as dprml;
+pub use biodist_dsearch as dsearch;
+pub use biodist_gridsim as gridsim;
+pub use biodist_phylo as phylo;
+pub use biodist_util as util;

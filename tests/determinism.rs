@@ -1,0 +1,65 @@
+//! Determinism integration: identical seeds must reproduce identical
+//! simulations, workloads, and results — the property every figure in
+//! EXPERIMENTS.md depends on.
+
+use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
+use biodist::bioseq::Alphabet;
+use biodist::core::builtin::integration_problem;
+use biodist::core::{SchedulerConfig, Server, SimRunner};
+use biodist::dsearch::{build_problem, DsearchConfig, SearchOutput};
+use biodist::gridsim::deployments::{campus_deployment, heterogeneous_lab};
+
+fn dsearch_run(seed: u64) -> (f64, u64, SearchOutput) {
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 80, 5)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(40, 80), 6);
+    let mut cfg = DsearchConfig::protein_default();
+    // Long enough in virtual time that availability traces matter.
+    cfg.cost_scale = 2000.0;
+    let mut server = Server::new(SchedulerConfig::default());
+    let pid = server.submit(build_problem(db.sequences, queries, &cfg));
+    let machines = heterogeneous_lab(9, seed);
+    let (report, mut server) = SimRunner::with_defaults(server, machines).run();
+    let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+    (report.makespan, report.bytes_transferred, out)
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let (m1, b1, o1) = dsearch_run(77);
+    let (m2, b2, o2) = dsearch_run(77);
+    assert_eq!(m1.to_bits(), m2.to_bits(), "makespan must be bit-identical");
+    assert_eq!(b1, b2);
+    assert_eq!(o1.hits, o2.hits);
+}
+
+#[test]
+fn different_machine_seeds_change_timing_but_not_results() {
+    let (m1, _, o1) = dsearch_run(77);
+    let (m2, _, o2) = dsearch_run(78);
+    assert_ne!(m1.to_bits(), m2.to_bits(), "different traces, different timing");
+    assert_eq!(o1.hits, o2.hits, "results never depend on scheduling");
+}
+
+#[test]
+fn campus_deployment_is_reproducible() {
+    let run = || {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(integration_problem(3_000_000));
+        let (report, _) = SimRunner::with_defaults(server, campus_deployment(11)).run();
+        (report.makespan.to_bits(), report.total_units, report.bytes_transferred)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn synthetic_workloads_are_seed_stable() {
+    use biodist::phylo::evolve::{random_yule_tree, simulate_alignment};
+    use biodist::phylo::model::{ModelKind, SubstModel};
+    let t1 = random_yule_tree(15, 0.1, 123);
+    let t2 = random_yule_tree(15, 0.1, 123);
+    assert_eq!(t1, t2);
+    let model = SubstModel::homogeneous(ModelKind::Jc69);
+    let a1 = simulate_alignment(&t1, &model, 50, None, 9);
+    let a2 = simulate_alignment(&t2, &model, 50, None, 9);
+    assert_eq!(a1, a2);
+}

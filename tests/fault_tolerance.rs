@@ -1,0 +1,113 @@
+//! Fault-tolerance integration: donor churn must never change results,
+//! only cost time — the property that makes cycle-scavenging viable on
+//! machines whose owners can reclaim or reboot them at any moment.
+
+use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
+use biodist::bioseq::Alphabet;
+use biodist::core::{SchedulerConfig, Server, SimRunner};
+use biodist::dprml::{build_problem as dprml_problem, DprmlConfig, PhyloOutput};
+use biodist::dsearch::{build_problem, search_sequential, DsearchConfig, SearchOutput};
+use biodist::gridsim::deployments::homogeneous_lab;
+use biodist::gridsim::machine::Machine;
+use biodist::phylo::evolve::{random_yule_tree, simulate_alignment};
+use biodist::phylo::patterns::PatternAlignment;
+use std::sync::Arc;
+
+fn workload() -> (Vec<biodist::bioseq::Sequence>, Vec<biodist::bioseq::Sequence>, DsearchConfig) {
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 120, 3)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(80, 120), 4);
+    let mut cfg = DsearchConfig::protein_default();
+    // Large enough that the run spans every scheduled departure/arrival.
+    cfg.cost_scale = 60_000.0;
+    (db.sequences, queries, cfg)
+}
+
+fn churny_pool(n: usize, departures: usize, seed: u64) -> Vec<Machine> {
+    let mut machines = homogeneous_lab(n, seed);
+    for (k, m) in machines.iter_mut().take(departures).enumerate() {
+        // Stagger departures through the early run.
+        m.departure = Some(40.0 + 25.0 * k as f64);
+    }
+    machines
+}
+
+#[test]
+fn departures_mid_run_do_not_change_dsearch_results() {
+    let (db, queries, cfg) = workload();
+    let expected = search_sequential(&db, &queries, &cfg);
+    let mut server = Server::new(SchedulerConfig {
+        lease_min_secs: 60.0,
+        ..Default::default()
+    });
+    let pid = server.submit(build_problem(db, queries, &cfg));
+    let (report, mut server) =
+        SimRunner::with_defaults(server, churny_pool(10, 4, 9)).run();
+    let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+    assert_eq!(out.hits, expected, "results identical despite 4 departures");
+    assert!(report.makespan.is_finite());
+}
+
+#[test]
+fn churn_costs_time_but_reissues_recover_everything() {
+    let (db, queries, cfg) = workload();
+    let run = |departures: usize| {
+        let (db, queries) = (db.clone(), queries.clone());
+        let mut server = Server::new(SchedulerConfig::default());
+        let pid = server.submit(build_problem(db, queries, &cfg));
+        let (report, server) = SimRunner::with_defaults(server, churny_pool(12, departures, 9)).run();
+        (report.makespan, server.stats(pid).reissued_units)
+    };
+    let (clean_time, clean_reissued) = run(0);
+    let (churn_time, churn_reissued) = run(6);
+    assert_eq!(clean_reissued, 0, "no churn, no reissue");
+    assert!(churn_reissued > 0, "departures must orphan some leases");
+    assert!(
+        churn_time > clean_time,
+        "losing half the pool must cost time ({churn_time} vs {clean_time})"
+    );
+}
+
+#[test]
+fn dprml_survives_churn_with_identical_tree() {
+    let truth = random_yule_tree(6, 0.12, 61);
+    let config = DprmlConfig::default();
+    let model = config.build_model();
+    let seqs = simulate_alignment(&truth, &model, 100, None, 62);
+    let data = Arc::new(PatternAlignment::from_sequences(&seqs));
+    let run = |departures: usize| {
+        let mut server = Server::new(SchedulerConfig::default());
+        let pid = server.submit(dprml_problem(data.clone(), &config, None, "d"));
+        let (_, mut server) =
+            SimRunner::with_defaults(server, churny_pool(8, departures, 63)).run();
+        server.take_output(pid).unwrap().into_inner::<PhyloOutput>()
+    };
+    let clean = run(0);
+    let churned = run(3);
+    assert_eq!(clean.tree.rf_distance(&churned.tree), 0);
+    assert!((clean.ln_likelihood - churned.ln_likelihood).abs() < 1e-9);
+}
+
+#[test]
+fn late_arrivals_join_and_accelerate_the_tail() {
+    let (db, queries, cfg) = workload();
+    let base = {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(build_problem(db.clone(), queries.clone(), &cfg));
+        let (report, _) = SimRunner::with_defaults(server, homogeneous_lab(2, 9)).run();
+        report.makespan
+    };
+    let reinforced = {
+        let mut machines = homogeneous_lab(6, 9);
+        for m in machines.iter_mut().skip(2) {
+            m.arrival = base * 0.25; // four extra machines join at 25%
+        }
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(build_problem(db, queries, &cfg));
+        let (report, _) = SimRunner::with_defaults(server, machines).run();
+        report.makespan
+    };
+    assert!(
+        reinforced < base * 0.75,
+        "late reinforcements must shorten the run ({reinforced} vs {base})"
+    );
+}
