@@ -3,7 +3,9 @@
 
 use crate::banded::nw_banded_score;
 use crate::nw::nw_score;
+use crate::profile::QueryProfile;
 use crate::sg::sg_score;
+use crate::striped::{sw_score_striped, sw_score_striped_profiled};
 use crate::sw::{sw_score, sw_score_antidiagonal};
 use biodist_bioseq::{ScoringScheme, Sequence};
 
@@ -17,6 +19,10 @@ pub enum KernelKind {
     /// Anti-diagonal score-only Smith–Waterman — the fast rigorous
     /// kernel standing in for Crochemore et al. \[4\].
     FastLocal,
+    /// Striped SIMD Smith–Waterman (Farrar 2007): query-profiled `i16`
+    /// lanes with an exact `i32` saturation fallback. Scores equal
+    /// [`KernelKind::SmithWaterman`] bit for bit.
+    Striped,
     /// Semi-global: the whole query against a substring of the subject.
     SemiGlobal,
     /// Banded Needleman–Wunsch with the given half-band width.
@@ -30,13 +36,15 @@ impl KernelKind {
     /// Parses the configuration-file spelling of a kernel name.
     ///
     /// Accepted values: `needleman-wunsch` | `nw`, `smith-waterman` |
-    /// `sw`, `fast` | `fast-local`, `banded:<width>`.
+    /// `sw`, `fast` | `fast-local`, `striped` | `simd`,
+    /// `banded:<width>`.
     pub fn parse(text: &str) -> Result<Self, String> {
         let t = text.trim().to_ascii_lowercase();
         match t.as_str() {
             "needleman-wunsch" | "nw" | "global" => Ok(Self::NeedlemanWunsch),
             "smith-waterman" | "sw" | "local" => Ok(Self::SmithWaterman),
             "fast" | "fast-local" | "antidiagonal" => Ok(Self::FastLocal),
+            "striped" | "simd" | "sw-striped" => Ok(Self::Striped),
             "semiglobal" | "sg" | "glocal" => Ok(Self::SemiGlobal),
             _ => {
                 if let Some(width) = t.strip_prefix("banded:") {
@@ -57,6 +65,7 @@ impl KernelKind {
             Self::NeedlemanWunsch => "needleman-wunsch".into(),
             Self::SmithWaterman => "smith-waterman".into(),
             Self::FastLocal => "fast-local".into(),
+            Self::Striped => "striped".into(),
             Self::SemiGlobal => "semiglobal".into(),
             Self::Banded { band } => format!("banded:{band}"),
         }
@@ -96,6 +105,7 @@ impl AlignKernel {
             KernelKind::NeedlemanWunsch => nw_score(query, subject, &self.scheme),
             KernelKind::SmithWaterman => sw_score(query, subject, &self.scheme),
             KernelKind::FastLocal => sw_score_antidiagonal(query, subject, &self.scheme),
+            KernelKind::Striped => sw_score_striped(query, subject, &self.scheme),
             KernelKind::SemiGlobal => sg_score(query, subject, &self.scheme),
             KernelKind::Banded { band } => {
                 nw_banded_score(query, subject, &self.scheme, band as usize)
@@ -104,24 +114,82 @@ impl AlignKernel {
         }
     }
 
-    /// Number of DP cells the kernel evaluates for this pair — the
-    /// abstract cost unit used by the scheduler and the simulator.
+    /// Precomputes whatever per-query state this kernel can reuse across
+    /// many subjects. For [`KernelKind::Striped`] that is the query
+    /// profile — the dominant per-pair setup cost, built once per
+    /// DSEARCH work-unit chunk instead of once per pair. For every other
+    /// kernel this is free.
+    pub fn prepare(&self, query: &Sequence) -> PreparedQuery {
+        let profile = match self.kind {
+            KernelKind::Striped => Some(QueryProfile::build(query, &self.scheme.matrix)),
+            _ => None,
+        };
+        PreparedQuery { profile }
+    }
+
+    /// Scores one pair using state prepared by [`AlignKernel::prepare`]
+    /// for the same query. Always returns exactly
+    /// [`AlignKernel::score`]`(query, subject)`.
+    pub fn score_prepared(
+        &self,
+        query: &Sequence,
+        prepared: &PreparedQuery,
+        subject: &Sequence,
+    ) -> i32 {
+        match (&self.kind, &prepared.profile) {
+            (KernelKind::Striped, Some(profile)) => {
+                sw_score_striped_profiled(profile, subject, &self.scheme.gap)
+            }
+            _ => self.score(query, subject),
+        }
+    }
+
+    /// Abstract cost of this pair in scalar-Smith–Waterman-equivalent
+    /// DP cells — the unit the scheduler and the simulator budget in.
+    ///
+    /// Cost is `cells(n, m) × cost-per-cell ratio`, with the ratios
+    /// calibrated against measured throughput (`abl_kernels --smoke`,
+    /// AVX2 host, 256-residue protein pairs, profiled batch path; see
+    /// `BENCH_kernels.json`):
+    ///
+    /// | kernel           | cells   | measured Mcells/s | ratio vs `sw` |
+    /// |------------------|---------|-------------------|---------------|
+    /// | `smith-waterman` | `n·m`   | ≈ 129             | 1             |
+    /// | `needleman-wunsch`/`semiglobal` | `n·m` | ≈ 170–260 | 1       |
+    /// | `fast-local`     | `n·m`   | ≈ 100             | 4/3 (slower)  |
+    /// | `striped`        | `n·m`   | ≈ 4300            | 1/32          |
+    /// | `banded:w`       | band    | —                 | 1             |
+    ///
+    /// The anti-diagonal kernel touches the same cells but pays for the
+    /// diagonal state-fold passes, costing ~1.3× a scalar cell; the
+    /// striped kernel retires ~33× more cells per second than scalar
+    /// even after the lazy-F overhead, modelled conservatively as 1/32
+    /// (floored at 1 so no pair is ever free). The global kernels run
+    /// somewhat faster per cell than local `sw` (no zero-clamp state),
+    /// but stay at ratio 1: the model's job is scheduling-grade
+    /// ordering, not nanosecond fidelity.
     pub fn cost_cells(&self, query: &Sequence, subject: &Sequence) -> u64 {
         let (n, m) = (query.len() as u64, subject.len() as u64);
         match self.kind {
             KernelKind::NeedlemanWunsch
             | KernelKind::SmithWaterman
             | KernelKind::SemiGlobal => n * m,
-            // The anti-diagonal kernel evaluates the same cells but with
-            // roughly 2x better throughput per cell in vectorised form;
-            // model that as half the cell cost.
-            KernelKind::FastLocal => n * m / 2,
+            KernelKind::FastLocal => 4 * n * m / 3,
+            KernelKind::Striped => (n * m / 32).max(1.min(n * m)),
             KernelKind::Banded { band } => {
                 let width = 2 * band as u64 + 1 + n.abs_diff(m);
                 (n + m) * width.min(m.max(1))
             }
         }
     }
+}
+
+/// Reusable per-query kernel state from [`AlignKernel::prepare`]: the
+/// striped query profile when the kernel is [`KernelKind::Striped`],
+/// nothing otherwise.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    profile: Option<QueryProfile>,
 }
 
 #[cfg(test)]
@@ -142,6 +210,7 @@ mod tests {
             KernelKind::NeedlemanWunsch,
             KernelKind::SmithWaterman,
             KernelKind::FastLocal,
+            KernelKind::Striped,
             KernelKind::Banded { band: 8 },
             KernelKind::SemiGlobal,
         ] {
@@ -153,6 +222,7 @@ mod tests {
     fn parse_accepts_aliases_and_rejects_junk() {
         assert_eq!(KernelKind::parse("SW").unwrap(), KernelKind::SmithWaterman);
         assert_eq!(KernelKind::parse("nw").unwrap(), KernelKind::NeedlemanWunsch);
+        assert_eq!(KernelKind::parse("simd").unwrap(), KernelKind::Striped);
         assert_eq!(KernelKind::parse("banded:16").unwrap(), KernelKind::Banded { band: 16 });
         assert!(KernelKind::parse("blast").is_err());
         assert!(KernelKind::parse("banded:wide").is_err());
@@ -163,8 +233,28 @@ mod tests {
         let (q, s) = seqs();
         let scheme = ScoringScheme::dna_default();
         let sw = AlignKernel::new(KernelKind::SmithWaterman, scheme.clone());
-        let fast = AlignKernel::new(KernelKind::FastLocal, scheme);
+        let fast = AlignKernel::new(KernelKind::FastLocal, scheme.clone());
+        let striped = AlignKernel::new(KernelKind::Striped, scheme);
         assert_eq!(sw.score(&q, &s), fast.score(&q, &s));
+        assert_eq!(sw.score(&q, &s), striped.score(&q, &s));
+    }
+
+    #[test]
+    fn prepared_scoring_equals_direct_scoring_for_all_kernels() {
+        let (q, s) = seqs();
+        let scheme = ScoringScheme::dna_default();
+        for kind in [
+            KernelKind::NeedlemanWunsch,
+            KernelKind::SmithWaterman,
+            KernelKind::FastLocal,
+            KernelKind::Striped,
+            KernelKind::SemiGlobal,
+            KernelKind::Banded { band: 4 },
+        ] {
+            let k = AlignKernel::new(kind, scheme.clone());
+            let prep = k.prepare(&q);
+            assert_eq!(k.score_prepared(&q, &prep, &s), k.score(&q, &s), "{kind:?}");
+        }
     }
 
     #[test]
@@ -182,8 +272,13 @@ mod tests {
         let scheme = ScoringScheme::dna_default();
         let full = AlignKernel::new(KernelKind::SmithWaterman, scheme.clone());
         let fast = AlignKernel::new(KernelKind::FastLocal, scheme.clone());
+        let striped = AlignKernel::new(KernelKind::Striped, scheme.clone());
         let banded = AlignKernel::new(KernelKind::Banded { band: 1 }, scheme);
-        assert!(fast.cost_cells(&q, &s) < full.cost_cells(&q, &s));
+        // Measured: the anti-diagonal formulation costs MORE per cell on
+        // a scalar host; the striped kernel costs ~1/8.
+        assert!(fast.cost_cells(&q, &s) > full.cost_cells(&q, &s));
+        assert!(striped.cost_cells(&q, &s) < full.cost_cells(&q, &s));
+        assert!(striped.cost_cells(&q, &s) >= 1);
         assert!(banded.cost_cells(&q, &s) < full.cost_cells(&q, &s));
     }
 }

@@ -1,0 +1,192 @@
+//! Striped query profiles for the SIMD Smith–Waterman kernel.
+//!
+//! A [`QueryProfile`] precomputes, for every possible subject residue
+//! code, the substitution scores of the whole query laid out in the
+//! *striped* order of Farrar (2007): the query is cut into `width`
+//! equal segments of `seg_len` positions, and stripe vector `s` holds
+//! positions `{l·seg_len + s | l < width}` — one per SIMD lane. The DP
+//! inner loop then loads one vector per stripe instead of gathering
+//! `width` scattered matrix lookups, and the profile is reusable across
+//! every subject scored against the same query (DSEARCH builds it once
+//! per work-unit chunk, not once per pair).
+//!
+//! Two lane widths are materialised:
+//!
+//! * `i16` lanes at the width of the selected SIMD backend (16 on AVX2,
+//!   8 on SSE2 and on the portable fallback) — the fast path;
+//! * `i32` lanes at a fixed width of 8 — the exact rescore path used
+//!   when the `i16` run saturates (see `striped.rs`).
+//!
+//! Padding lanes (query positions past the end) carry the most negative
+//! lane value, so a padded cell's `H` can never rise above a real
+//! cell's contribution in the same column and the running maximum is
+//! unaffected.
+
+use crate::striped::{detect_backend, SimdBackend};
+use biodist_bioseq::{ScoringMatrix, Sequence};
+
+/// Lane count of the `i32` rescore profile (portable arrays).
+pub(crate) const WIDTH_I32: usize = 8;
+
+/// Lane-interleaved substitution scores for one query, reusable across
+/// subjects. Build with [`QueryProfile::build`]; consume through
+/// [`crate::sw_score_striped_profiled`].
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    backend: SimdBackend,
+    query_len: usize,
+    dim: usize,
+    /// `i16` stripes: `width * seg_len` lanes per residue code.
+    width: usize,
+    seg_len: usize,
+    prof16: Vec<i16>,
+    /// `i32` stripes at [`WIDTH_I32`] lanes for the saturation rescore.
+    seg_len32: usize,
+    prof32: Vec<i32>,
+}
+
+impl QueryProfile {
+    /// Builds both lane-width profiles for `query` under `matrix`,
+    /// laid out for the widest backend the CPU supports.
+    ///
+    /// Matrix scores outside the `i16` range are clamped into it for the
+    /// fast path; the `i32` profile keeps them exact, and the saturation
+    /// fallback guarantees the reported score is always the exact one.
+    pub fn build(query: &Sequence, matrix: &ScoringMatrix) -> Self {
+        Self::build_for_backend(query, matrix, detect_backend())
+    }
+
+    /// Builds profiles laid out for a specific backend. `backend` must
+    /// not be wider than what the CPU supports (narrower is always
+    /// fine — that is how the parity tests exercise every engine).
+    pub fn build_for_backend(
+        query: &Sequence,
+        matrix: &ScoringMatrix,
+        backend: SimdBackend,
+    ) -> Self {
+        let width = backend.lanes_i16();
+        let codes = query.codes();
+        let n = codes.len();
+        let dim = matrix.dim();
+
+        let seg_len = n.div_ceil(width).max(1);
+        let mut prof16 = vec![i16::MIN; dim * seg_len * width];
+        let seg_len32 = n.div_ceil(WIDTH_I32).max(1);
+        let mut prof32 = vec![crate::NEG_INF; dim * seg_len32 * WIDTH_I32];
+
+        for (pos, &q) in codes.iter().enumerate() {
+            let row = matrix.row(q);
+            for (r, &score) in row.iter().enumerate() {
+                let (l, s) = (pos / seg_len, pos % seg_len);
+                prof16[(r * seg_len + s) * width + l] =
+                    score.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let (l, s) = (pos / seg_len32, pos % seg_len32);
+                prof32[(r * seg_len32 + s) * WIDTH_I32 + l] = score;
+            }
+        }
+        Self { backend, query_len: n, dim, width, seg_len, prof16, seg_len32, prof32 }
+    }
+
+    /// Length of the profiled query.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Number of `i16` SIMD lanes the fast path runs with.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The SIMD backend this profile was laid out for.
+    pub fn backend(&self) -> SimdBackend {
+        self.backend
+    }
+
+    /// Stripe count of the `i16` layout.
+    pub(crate) fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// All `i16` stripes for subject residue code `r`.
+    #[inline]
+    pub(crate) fn row16(&self, r: u8) -> &[i16] {
+        debug_assert!((r as usize) < self.dim, "residue code out of range");
+        let span = self.seg_len * self.width;
+        &self.prof16[r as usize * span..(r as usize + 1) * span]
+    }
+
+    /// Stripe count of the `i32` layout.
+    pub(crate) fn seg_len32(&self) -> usize {
+        self.seg_len32
+    }
+
+    /// All `i32` stripes for subject residue code `r`.
+    #[inline]
+    pub(crate) fn row32(&self, r: u8) -> &[i32] {
+        debug_assert!((r as usize) < self.dim, "residue code out of range");
+        let span = self.seg_len32 * WIDTH_I32;
+        &self.prof32[r as usize * span..(r as usize + 1) * span]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biodist_bioseq::{Alphabet, Sequence};
+
+    #[test]
+    fn striped_layout_places_each_position_once() {
+        let m = ScoringMatrix::blosum62();
+        let q = Sequence::from_text("q", "", Alphabet::Protein, "MKWVLLLNAGRSKWALE").unwrap();
+        let p = QueryProfile::build(&q, &m);
+        let (w, seg) = (p.width(), p.seg_len());
+        assert!(w * seg >= q.len());
+        // Every query position appears exactly once, at the striped
+        // index, with the right substitution score.
+        for r in 0..m.dim() as u8 {
+            let row = p.row16(r);
+            let mut seen = 0usize;
+            for l in 0..w {
+                for s in 0..seg {
+                    let pos = l * seg + s;
+                    let v = row[s * w + l];
+                    if pos < q.len() {
+                        assert_eq!(v as i32, m.score(q.codes()[pos], r));
+                        seen += 1;
+                    } else {
+                        assert_eq!(v, i16::MIN, "padding must be -inf");
+                    }
+                }
+            }
+            assert_eq!(seen, q.len());
+        }
+    }
+
+    #[test]
+    fn i32_layout_matches_matrix_exactly() {
+        let m = ScoringMatrix::match_mismatch(Alphabet::Dna, 7, -5);
+        let q = Sequence::from_text("q", "", Alphabet::Dna, "ACGTACGTT").unwrap();
+        let p = QueryProfile::build(&q, &m);
+        let seg = p.seg_len32();
+        for r in 0..m.dim() as u8 {
+            let row = p.row32(r);
+            for l in 0..WIDTH_I32 {
+                for s in 0..seg {
+                    let pos = l * seg + s;
+                    if pos < q.len() {
+                        assert_eq!(row[s * WIDTH_I32 + l], m.score(q.codes()[pos], r));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_builds_padded_profile() {
+        let m = ScoringMatrix::blosum62();
+        let q = Sequence::from_codes("q", Alphabet::Protein, vec![]);
+        let p = QueryProfile::build(&q, &m);
+        assert_eq!(p.query_len(), 0);
+        assert!(p.row16(0).iter().all(|&v| v == i16::MIN));
+    }
+}

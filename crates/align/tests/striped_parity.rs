@@ -1,0 +1,169 @@
+//! Exhaustive scalar-vs-striped score parity.
+//!
+//! The striped SIMD kernel's contract is *bit-identical* scores with
+//! the scalar rolling-row [`sw_score`]. These tests sweep random
+//! DNA/protein pairs across the length range 0..~600 under both gap
+//! regimes (steep open/cheap extend and flat linear), hit the
+//! empty/single-residue edges, and force an `i16` saturation to prove
+//! the `i32` rescore path returns the exact scalar score.
+
+use biodist_align::{
+    sw_score, sw_score_striped, sw_score_striped_profiled, QueryProfile,
+};
+use biodist_bioseq::synth::random_sequence;
+use biodist_bioseq::{Alphabet, GapPenalty, ScoringMatrix, ScoringScheme, Sequence};
+use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+fn schemes(alphabet: Alphabet) -> Vec<ScoringScheme> {
+    let matrix = match alphabet {
+        Alphabet::Protein => ScoringMatrix::blosum62(),
+        Alphabet::Dna => ScoringMatrix::match_mismatch(Alphabet::Dna, 5, -4),
+    };
+    vec![
+        // Steep open, cheap extend (the BLAST-style regime).
+        ScoringScheme { matrix: matrix.clone(), gap: GapPenalty::affine(11, 1) },
+        // Flat linear gaps: open == extend stresses the lazy-F exit
+        // condition differently (every extension ties with reopening).
+        ScoringScheme { matrix, gap: GapPenalty::linear(3) },
+    ]
+}
+
+fn random_pair(alphabet: Alphabet, max_len: usize, rng: &mut dyn Rng) -> (Sequence, Sequence) {
+    let n = rng.next_below(max_len as u64 + 1) as usize;
+    let m = rng.next_below(max_len as u64 + 1) as usize;
+    (
+        random_sequence(alphabet, "q", n, rng.next_u64()),
+        random_sequence(alphabet, "s", m, rng.next_u64()),
+    )
+}
+
+fn assert_parity(q: &Sequence, s: &Sequence, scheme: &ScoringScheme) {
+    let scalar = sw_score(q, s, scheme);
+    let striped = sw_score_striped(q, s, scheme);
+    assert_eq!(
+        striped,
+        scalar,
+        "striped != scalar: |q|={} |s|={} gap={:?}",
+        q.len(),
+        s.len(),
+        scheme.gap
+    );
+}
+
+#[test]
+fn random_pairs_across_length_sweep_agree() {
+    let mut rng = Xoshiro256StarStar::new(0xA11C_ED01);
+    for alphabet in [Alphabet::Dna, Alphabet::Protein] {
+        for scheme in schemes(alphabet) {
+            // Small lengths catch lane/stripe boundary bugs; long ones
+            // catch lazy-F wrap and profile-reuse bugs.
+            for max_len in [3, 9, 17, 33, 65, 130, 330, 600] {
+                for _ in 0..6 {
+                    let (q, s) = random_pair(alphabet, max_len, &mut rng);
+                    assert_parity(&q, &s, &scheme);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_residue_edges_agree() {
+    for alphabet in [Alphabet::Dna, Alphabet::Protein] {
+        for scheme in schemes(alphabet) {
+            let empty = Sequence::from_codes("e", alphabet, vec![]);
+            let one = Sequence::from_codes("o", alphabet, vec![0]);
+            let some = random_sequence(alphabet, "r", 37, 5);
+            for (q, s) in [
+                (&empty, &empty),
+                (&empty, &some),
+                (&some, &empty),
+                (&one, &one),
+                (&one, &some),
+                (&some, &one),
+            ] {
+                assert_parity(q, s, &scheme);
+            }
+        }
+    }
+}
+
+#[test]
+fn related_pairs_with_planted_homology_agree() {
+    // Highly similar pairs drive scores much higher than random pairs
+    // do, exercising the upper `i16` range without saturating it.
+    let mut rng = Xoshiro256StarStar::new(0xBEE5);
+    for scheme in schemes(Alphabet::Protein) {
+        for len in [64usize, 256, 600] {
+            let q = random_sequence(Alphabet::Protein, "q", len, rng.next_u64());
+            // Mutate ~10% of residues.
+            let mut codes = q.codes().to_vec();
+            for c in codes.iter_mut() {
+                if rng.next_bool(0.1) {
+                    *c = rng.next_below(20) as u8;
+                }
+            }
+            let s = Sequence::from_codes("s", Alphabet::Protein, codes);
+            assert_parity(&q, &s, &scheme);
+        }
+    }
+}
+
+#[test]
+fn linear_gap_tie_in_lazy_f_exit_is_not_dropped() {
+    // Regression: with open == extend, a lazy-F correction that raises
+    // H[s] produces a next-stripe candidate `F − e` that exactly ties
+    // `H'[s] − open`; the classic strict-`>` exit test dropped it, and
+    // this 6×6 pair (whose best alignment needs F to propagate two
+    // query rows inside one column) scored 13 instead of 14.
+    let scheme = ScoringScheme {
+        matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 5, -4),
+        gap: GapPenalty::linear(3),
+    };
+    let q = Sequence::from_codes("q", Alphabet::Dna, vec![3, 2, 0, 1, 3, 3]);
+    let s = Sequence::from_codes("s", Alphabet::Dna, vec![3, 3, 2, 3, 3, 3]);
+    assert_eq!(sw_score(&q, &s, &scheme), 14);
+    assert_parity(&q, &s, &scheme);
+}
+
+#[test]
+fn forced_i16_saturation_rescales_to_exact_i32_score() {
+    // 900 identical residues at +40 each: the true local score is
+    // 36_000 > i16::MAX, so the i16 pass must saturate and hand off.
+    let scheme = ScoringScheme {
+        matrix: ScoringMatrix::match_mismatch(Alphabet::Dna, 40, -35),
+        gap: GapPenalty::affine(30, 3),
+    };
+    let codes: Vec<u8> = (0..900).map(|i| ((i * 7) % 4) as u8).collect();
+    let q = Sequence::from_codes("q", Alphabet::Dna, codes.clone());
+    let s = Sequence::from_codes("s", Alphabet::Dna, codes);
+    let scalar = sw_score(&q, &s, &scheme);
+    assert!(scalar > i16::MAX as i32, "must exceed i16 range, got {scalar}");
+    assert_eq!(sw_score_striped(&q, &s, &scheme), scalar);
+
+    // Near-threshold scores (just below and just above i16::MAX) must
+    // also be exact — the switchover itself cannot lose precision.
+    for copies in [818usize, 820] {
+        let codes: Vec<u8> = (0..copies).map(|i| (i % 4) as u8).collect();
+        let q = Sequence::from_codes("q", Alphabet::Dna, codes.clone());
+        let s = Sequence::from_codes("s", Alphabet::Dna, codes);
+        assert_parity(&q, &s, &scheme);
+    }
+}
+
+#[test]
+fn chunk_style_profile_reuse_is_exact() {
+    // The DSEARCH batch path: one profile, many subjects.
+    let scheme = ScoringScheme::protein_default();
+    let mut rng = Xoshiro256StarStar::new(77);
+    let q = random_sequence(Alphabet::Protein, "q", 210, 3);
+    let profile = QueryProfile::build(&q, &scheme.matrix);
+    for _ in 0..40 {
+        let len = rng.next_range(1, 400) as usize;
+        let s = random_sequence(Alphabet::Protein, "s", len, rng.next_u64());
+        assert_eq!(
+            sw_score_striped_profiled(&profile, &s, &scheme.gap),
+            sw_score(&q, &s, &scheme)
+        );
+    }
+}

@@ -1,13 +1,20 @@
 //! B1 — alignment kernel micro-benchmarks.
 //!
-//! Throughput of the four rigorous kernels DSEARCH can select, over a
-//! length sweep. Regenerates the per-kernel cost ratios that the
-//! DSEARCH cost model (`AlignKernel::cost_cells`) assumes.
+//! Throughput of the rigorous kernels DSEARCH can select, over a length
+//! sweep, including the striped SIMD kernel both cold (profile built
+//! per pair) and hot (profile reused, the DSEARCH batch path).
+//! Regenerates the per-kernel cost ratios that the DSEARCH cost model
+//! (`AlignKernel::cost_cells`) assumes.
+//!
+//! Run with: `cargo bench -p biodist-bench --bench align_kernels`
 
-use biodist_align::{nw_align, nw_banded_score, nw_score, sw_align, sw_score, sw_score_antidiagonal};
+use biodist_align::{
+    nw_align, nw_banded_score, nw_score, sw_align, sw_score, sw_score_antidiagonal,
+    sw_score_striped, sw_score_striped_profiled, QueryProfile,
+};
+use biodist_bench::Runner;
 use biodist_bioseq::synth::random_sequence;
 use biodist_bioseq::{Alphabet, ScoringScheme, Sequence};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn pair(len: usize) -> (Sequence, Sequence) {
     (
@@ -16,37 +23,34 @@ fn pair(len: usize) -> (Sequence, Sequence) {
     )
 }
 
-fn bench_score_kernels(c: &mut Criterion) {
+fn main() {
     let scheme = ScoringScheme::protein_default();
-    let mut group = c.benchmark_group("score_kernels");
+    let mut r = Runner::new();
+
     for len in [64usize, 256, 512] {
         let (a, b) = pair(len);
-        group.throughput(Throughput::Elements((len * len) as u64));
-        group.bench_with_input(BenchmarkId::new("nw_score", len), &len, |bch, _| {
-            bch.iter(|| nw_score(&a, &b, &scheme))
+        let cells = Some((len * len) as u64);
+        r.run(&format!("score_kernels/nw_score/{len}"), cells, || nw_score(&a, &b, &scheme));
+        r.run(&format!("score_kernels/sw_score/{len}"), cells, || sw_score(&a, &b, &scheme));
+        r.run(&format!("score_kernels/sw_antidiagonal/{len}"), cells, || {
+            sw_score_antidiagonal(&a, &b, &scheme)
         });
-        group.bench_with_input(BenchmarkId::new("sw_score", len), &len, |bch, _| {
-            bch.iter(|| sw_score(&a, &b, &scheme))
+        r.run(&format!("score_kernels/sw_striped/{len}"), cells, || {
+            sw_score_striped(&a, &b, &scheme)
         });
-        group.bench_with_input(BenchmarkId::new("sw_antidiagonal", len), &len, |bch, _| {
-            bch.iter(|| sw_score_antidiagonal(&a, &b, &scheme))
+        let profile = QueryProfile::build(&a, &scheme.matrix);
+        r.run(&format!("score_kernels/sw_striped_profiled/{len}"), cells, || {
+            sw_score_striped_profiled(&profile, &b, &scheme.gap)
         });
-        group.bench_with_input(BenchmarkId::new("nw_banded_16", len), &len, |bch, _| {
-            bch.iter(|| nw_banded_score(&a, &b, &scheme, 16))
+        r.run(&format!("score_kernels/nw_banded_16/{len}"), cells, || {
+            nw_banded_score(&a, &b, &scheme, 16)
         });
     }
-    group.finish();
-}
 
-fn bench_traceback_kernels(c: &mut Criterion) {
-    let scheme = ScoringScheme::protein_default();
     let (a, b) = pair(256);
-    let mut group = c.benchmark_group("traceback_kernels");
-    group.throughput(Throughput::Elements((256 * 256) as u64));
-    group.bench_function("nw_align", |bch| bch.iter(|| nw_align(&a, &b, &scheme)));
-    group.bench_function("sw_align", |bch| bch.iter(|| sw_align(&a, &b, &scheme)));
-    group.finish();
-}
+    let cells = Some(256u64 * 256);
+    r.run("traceback_kernels/nw_align/256", cells, || nw_align(&a, &b, &scheme));
+    r.run("traceback_kernels/sw_align/256", cells, || sw_align(&a, &b, &scheme));
 
-criterion_group!(benches, bench_score_kernels, bench_traceback_kernels);
-criterion_main!(benches);
+    r.report("B1: alignment kernel throughput (elements = DP cells)");
+}

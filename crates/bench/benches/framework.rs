@@ -3,72 +3,59 @@
 //! Event-queue throughput, server dispatch latency, and a complete
 //! small simulated run. These bound the scheduling overhead that the
 //! speedup figures implicitly include.
+//!
+//! Run with: `cargo bench -p biodist-bench --bench framework`
 
+use biodist_bench::Runner;
 use biodist_core::builtin::integration_problem;
 use biodist_core::{Assignment, SchedulerConfig, Server, SimRunner};
 use biodist_gridsim::deployments::homogeneous_lab;
 use biodist_gridsim::event::EventQueue;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                // Scatter times so the heap actually reorders.
-                q.schedule(((i * 2_654_435_761) % 1_000_003) as f64, i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            acc
-        })
+fn main() {
+    let mut r = Runner::new();
+
+    r.run("event_queue/schedule_pop_10k", Some(10_000), || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            // Scatter times so the heap actually reorders.
+            q.schedule(((i * 2_654_435_761) % 1_000_003) as f64, i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
-    group.finish();
-}
 
-fn bench_server_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("server");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("request_submit_1k_units", |b| {
-        b.iter(|| {
-            let mut server = Server::new(SchedulerConfig {
-                target_unit_secs: 1.0,
-                prior_ops_per_sec: 200_000.0, // 1000 points/unit
-                ..Default::default()
-            });
-            server.submit(integration_problem(1_000_000));
-            let mut now = 0.0;
-            loop {
-                match server.request_work(0, now) {
-                    Assignment::Unit { problem, unit, algorithm } => {
-                        let r = algorithm.compute(&unit);
-                        now += 1.0;
-                        server.submit_result(0, problem, r, now);
-                    }
-                    Assignment::Wait => now += 1.0,
-                    Assignment::Finished => break,
+    r.run("server/request_submit_1k_units", Some(1_000), || {
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 1.0,
+            prior_ops_per_sec: 200_000.0, // 1000 points/unit
+            ..Default::default()
+        });
+        server.submit(integration_problem(1_000_000));
+        let mut now = 0.0;
+        loop {
+            match server.request_work(0, now) {
+                Assignment::Unit { problem, unit, algorithm } => {
+                    let res = algorithm.compute(&unit);
+                    now += 1.0;
+                    server.submit_result(0, problem, res, now);
                 }
+                Assignment::Wait => now += 1.0,
+                Assignment::Finished => break,
             }
-            server
-        })
+        }
+        server
     });
-    group.finish();
-}
 
-fn bench_full_sim(c: &mut Criterion) {
-    c.bench_function("sim_run_16_machines", |b| {
-        b.iter(|| {
-            let mut server = Server::new(SchedulerConfig::default());
-            server.submit(integration_problem(2_000_000));
-            let machines = homogeneous_lab(16, 5);
-            SimRunner::with_defaults(server, machines).run()
-        })
+    r.run("sim_run_16_machines", None, || {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(integration_problem(2_000_000));
+        let machines = homogeneous_lab(16, 5);
+        SimRunner::with_defaults(server, machines).run()
     });
-}
 
-criterion_group!(benches, bench_event_queue, bench_server_dispatch, bench_full_sim);
-criterion_main!(benches);
+    r.report("B3: framework overhead");
+}

@@ -4,12 +4,14 @@
 //! optimisation across model complexity (JC69 vs GTR+Γ4) and tree size.
 //! Regenerates the cost ratios that DPRml's cost model
 //! (`traversal_ops`) assumes.
+//!
+//! Run with: `cargo bench -p biodist-bench --bench likelihood`
 
+use biodist_bench::Runner;
 use biodist_phylo::evolve::{random_yule_tree, simulate_alignment};
 use biodist_phylo::lik::TreeLikelihood;
 use biodist_phylo::model::{GammaRates, ModelKind, SubstModel};
 use biodist_phylo::patterns::PatternAlignment;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn workload(n_taxa: usize, sites: usize, model: &SubstModel, seed: u64) -> PatternAlignment {
     let tree = random_yule_tree(n_taxa, 0.1, seed);
@@ -17,14 +19,18 @@ fn workload(n_taxa: usize, sites: usize, model: &SubstModel, seed: u64) -> Patte
     PatternAlignment::from_sequences(&seqs)
 }
 
-fn bench_pruning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pruning");
+fn main() {
+    let mut r = Runner::new();
+
     for (name, model) in [
         ("jc69", SubstModel::homogeneous(ModelKind::Jc69)),
         (
             "gtr_gamma4",
             SubstModel::new(
-                ModelKind::Gtr { rates: [1.0, 2.5, 0.8, 1.1, 3.0, 1.0], freqs: [0.3, 0.2, 0.2, 0.3] },
+                ModelKind::Gtr {
+                    rates: [1.0, 2.5, 0.8, 1.1, 3.0, 1.0],
+                    freqs: [0.3, 0.2, 0.2, 0.3],
+                },
                 GammaRates::gamma(0.5, 4),
             ),
         ),
@@ -33,38 +39,24 @@ fn bench_pruning(c: &mut Criterion) {
             let data = workload(n_taxa, 300, &model, 7);
             let tree = random_yule_tree(n_taxa, 0.1, 7);
             let engine = TreeLikelihood::new(&model, &data);
-            group.throughput(Throughput::Elements(engine.traversal_cost(&tree)));
-            group.bench_with_input(
-                BenchmarkId::new(name, n_taxa),
-                &n_taxa,
-                |bch, _| bch.iter(|| engine.log_likelihood(&tree)),
-            );
+            let ops = Some(engine.traversal_cost(&tree));
+            r.run(&format!("pruning/{name}/{n_taxa}"), ops, || engine.log_likelihood(&tree));
         }
     }
-    group.finish();
-}
 
-fn bench_branch_optimisation(c: &mut Criterion) {
     let model = SubstModel::homogeneous(ModelKind::Hky85 { kappa: 4.0, freqs: [0.25; 4] });
     let data = workload(12, 200, &model, 9);
     let tree = random_yule_tree(12, 0.1, 9);
     let engine = TreeLikelihood::new(&model, &data);
-    c.bench_function("optimize_all_branches_1_round", |bch| {
-        bch.iter(|| {
-            let mut t = tree.clone();
-            engine.optimize_edges(&mut t, None, 1, 1e-3)
-        })
+    r.run("optimize_all_branches_1_round", None, || {
+        let mut t = tree.clone();
+        engine.optimize_edges(&mut t, None, 1, 1e-3)
     });
-}
 
-fn bench_pattern_compression(c: &mut Criterion) {
     let model = SubstModel::homogeneous(ModelKind::Jc69);
     let tree = random_yule_tree(40, 0.1, 3);
     let seqs = simulate_alignment(&tree, &model, 1000, None, 4);
-    c.bench_function("pattern_compression_40x1000", |bch| {
-        bch.iter(|| PatternAlignment::from_sequences(&seqs))
-    });
-}
+    r.run("pattern_compression_40x1000", None, || PatternAlignment::from_sequences(&seqs));
 
-criterion_group!(benches, bench_pruning, bench_branch_optimisation, bench_pattern_compression);
-criterion_main!(benches);
+    r.report("B2: likelihood engine throughput (elements = traversal ops)");
+}

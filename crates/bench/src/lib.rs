@@ -1,9 +1,11 @@
 //! # biodist-bench
 //!
 //! Experiment harnesses: one binary per figure of the paper plus the
-//! ablations listed in DESIGN.md §4, and Criterion micro-benchmarks for
-//! the computational kernels. The binaries print the same series the
-//! paper plots and write CSV into `results/` at the workspace root.
+//! ablations listed in DESIGN.md §4, and micro-benchmarks for the
+//! computational kernels driven by the in-tree [`timing`] runner (the
+//! build is fully offline, so no Criterion). The binaries print the
+//! same series the paper plots and write CSV into `results/` at the
+//! workspace root.
 //!
 //! | target | regenerates |
 //! |---|---|
@@ -18,6 +20,8 @@
 //! | `framework` (bench) | B3 — event queue / server dispatch overhead |
 
 pub mod harness;
+pub mod timing;
 pub mod workloads;
 
 pub use harness::{results_dir, SpeedupSeries};
+pub use timing::{Measurement, Runner};

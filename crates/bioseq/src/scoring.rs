@@ -204,6 +204,23 @@ impl ScoringMatrix {
         self.scores[a as usize * self.dim + b as usize]
     }
 
+    /// Number of residue codes the matrix covers: `alphabet.size() + 1`
+    /// (the ambiguity code is included). Valid codes are `0..dim()`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scores of residue code `a` against every code `0..dim()`, in code
+    /// order. This is the row layout that query-profile builders (e.g.
+    /// the striped SIMD kernel) interleave into lane vectors: for a
+    /// query residue `q`, `row(q)[r]` is the substitution score against
+    /// subject residue `r`.
+    #[inline]
+    pub fn row(&self, a: u8) -> &[i32] {
+        let d = self.dim;
+        &self.scores[a as usize * d..(a as usize + 1) * d]
+    }
+
     /// Largest score in the matrix (used for search-statistics bounds).
     pub fn max_score(&self) -> i32 {
         self.scores.iter().copied().max().expect("non-empty matrix")

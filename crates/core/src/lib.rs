@@ -16,7 +16,7 @@
 //!
 //! Two interchangeable backends execute problems:
 //!
-//! * [`thread_backend`] — real OS threads and crossbeam channels; used
+//! * [`thread_backend`] — real OS threads over a shared server; used
 //!   to validate that distributed results equal the sequential
 //!   reference.
 //! * [`sim_backend`] — drives the same server against

@@ -7,46 +7,61 @@
 //! integration tests assert distributed output == sequential reference.
 
 use crate::server::{Assignment, Server};
-use parking_lot::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Runs every submitted problem to completion on `n_workers` threads;
 /// returns the server (holding outputs and statistics) and the elapsed
 /// wall-clock seconds.
+///
+/// Workers that receive [`Assignment::Wait`] (stage barrier or
+/// end-game) park on a condition variable that every result submission
+/// signals, so barriers cost no CPU; a coarse timeout keeps the
+/// periodic `check_timeouts` sweep alive even when no results arrive.
 pub fn run_threaded(server: Server, n_workers: usize) -> (Server, f64) {
     assert!(n_workers >= 1, "need at least one worker");
     let shared = Mutex::new(server);
+    let progress = Condvar::new();
     let start = Instant::now();
     let now = || start.elapsed().as_secs_f64();
 
     std::thread::scope(|scope| {
         for worker in 0..n_workers {
-            let shared = &shared;
-            scope.spawn(move || loop {
-                let assignment = {
-                    let mut server = shared.lock();
-                    server.check_timeouts(now());
-                    server.request_work(worker, now())
-                };
-                match assignment {
-                    Assignment::Unit { problem, unit, algorithm } => {
-                        // Compute OUTSIDE the lock: this is the part that
-                        // actually runs in parallel.
-                        let result = algorithm.compute(&unit);
-                        shared.lock().submit_result(worker, problem, result, now());
+            let (shared, progress) = (&shared, &progress);
+            scope.spawn(move || {
+                let mut guard = shared.lock().expect("server lock");
+                loop {
+                    guard.check_timeouts(now());
+                    match guard.request_work(worker, now()) {
+                        Assignment::Unit { problem, unit, algorithm } => {
+                            // Compute OUTSIDE the lock: this is the part
+                            // that actually runs in parallel.
+                            drop(guard);
+                            let result = algorithm.compute(&unit);
+                            guard = shared.lock().expect("server lock");
+                            guard.submit_result(worker, problem, result, now());
+                            // A finished unit may release a stage barrier
+                            // or finish the run; wake the parked workers.
+                            progress.notify_all();
+                        }
+                        Assignment::Wait => {
+                            // Parked until some worker submits a result;
+                            // the timeout bounds how stale the timeout
+                            // sweep above can get.
+                            let (g, _) = progress
+                                .wait_timeout(guard, Duration::from_millis(5))
+                                .expect("server lock");
+                            guard = g;
+                        }
+                        Assignment::Finished => break,
                     }
-                    Assignment::Wait => {
-                        // Stage barrier or end-game; back off briefly.
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Assignment::Finished => break,
                 }
             });
         }
     });
 
     let elapsed = now();
-    (shared.into_inner(), elapsed)
+    (shared.into_inner().expect("server lock"), elapsed)
 }
 
 #[cfg(test)]

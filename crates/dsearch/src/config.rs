@@ -7,7 +7,7 @@
 //! file." The recognised keys:
 //!
 //! ```text
-//! algorithm   = smith-waterman        # nw | sw | fast-local | banded:<w>
+//! algorithm   = smith-waterman        # nw | sw | fast-local | striped | banded:<w>
 //! alphabet    = protein               # protein | dna
 //! matrix      = blosum62              # blosum62 | match:<m>,<x> | tt:<m>,<ts>,<tv>
 //! gap_open    = 11
@@ -168,6 +168,14 @@ mod tests {
         assert_eq!(cfg.scheme.matrix.score(0, 2), -1);
         // A->C transversion.
         assert_eq!(cfg.scheme.matrix.score(0, 1), -3);
+    }
+
+    #[test]
+    fn striped_kernel_parses() {
+        for spelling in ["striped", "simd"] {
+            let cfg = DsearchConfig::parse(&format!("algorithm = {spelling}\n")).unwrap();
+            assert_eq!(cfg.kernel, KernelKind::Striped, "{spelling}");
+        }
     }
 
     #[test]

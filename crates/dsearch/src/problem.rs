@@ -10,7 +10,7 @@
 //! [`crate::reference::search_sequential`] exactly.
 
 use crate::config::DsearchConfig;
-use biodist_align::{AlignKernel, Hit, TopK};
+use biodist_align::{AlignKernel, Hit, PreparedQuery, TopK};
 use biodist_bioseq::Sequence;
 use biodist_core::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 use std::collections::BTreeMap;
@@ -126,6 +126,11 @@ struct DsearchAlgo {
     db: Arc<Vec<Sequence>>,
     queries: Arc<Vec<Sequence>>,
     kernel: AlignKernel,
+    /// Per-query reusable kernel state (the striped query profile),
+    /// built once when the problem is constructed and shared by every
+    /// work unit — the chunked batch path the striped kernel is
+    /// designed for: one profile, thousands of subjects.
+    prepared: Vec<PreparedQuery>,
     top_hits: usize,
 }
 
@@ -134,8 +139,8 @@ impl Algorithm for DsearchAlgo {
         let range = *unit.payload.downcast_ref::<ChunkRange>().expect("chunk range");
         let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
         for subject in &self.db[range.start..range.end] {
-            for query in self.queries.iter() {
-                let score = self.kernel.score(query, subject);
+            for (query, prep) in self.queries.iter().zip(&self.prepared) {
+                let score = self.kernel.score_prepared(query, prep, subject);
                 per_query
                     .entry(query.id.clone())
                     .or_insert_with(|| TopK::new(self.top_hits))
@@ -180,7 +185,8 @@ pub fn build_problem(
         next_id: 0,
         merged: BTreeMap::new(),
     };
-    let algo = DsearchAlgo { db, queries, kernel, top_hits: config.top_hits };
+    let prepared = queries.iter().map(|q| kernel.prepare(q)).collect();
+    let algo = DsearchAlgo { db, queries, kernel, prepared, top_hits: config.top_hits };
     Problem::new("dsearch", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
 }
 
@@ -242,6 +248,25 @@ mod tests {
         let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
         assert_eq!(out.hits, expected);
         assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn striped_kernel_end_to_end_equals_scalar_sw_search() {
+        // Selecting `striped` must change throughput only, never output:
+        // the distributed striped search reproduces the sequential
+        // scalar Smith–Waterman reference bit for bit.
+        let (db, queries, mut cfg) = test_inputs();
+        let scalar_reference = search_sequential(&db, &queries, &cfg);
+        cfg.kernel = biodist_align::KernelKind::parse("striped").unwrap();
+        let striped_reference = search_sequential(&db, &queries, &cfg);
+        assert_eq!(striped_reference, scalar_reference);
+
+        let mut server = Server::new(small_unit_sched());
+        let pid = server.submit(build_problem(db, queries, &cfg));
+        let (mut server, _) = run_threaded(server, 4);
+        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        assert_eq!(out.hits, scalar_reference);
+        assert!(server.stats(pid).completed_units > 1, "search was actually split");
     }
 
     #[test]

@@ -17,13 +17,15 @@ pub fn search_sequential(
     config: &DsearchConfig,
 ) -> BTreeMap<String, Vec<Hit>> {
     let kernel = AlignKernel::new(config.kernel, config.scheme.clone());
+    // One reusable profile per query (free for non-striped kernels).
+    let prepared: Vec<_> = queries.iter().map(|q| kernel.prepare(q)).collect();
     let mut per_query: BTreeMap<String, TopK> = queries
         .iter()
         .map(|q| (q.id.clone(), TopK::new(config.top_hits)))
         .collect();
     for subject in database {
-        for query in queries {
-            let score = kernel.score(query, subject);
+        for (query, prep) in queries.iter().zip(&prepared) {
+            let score = kernel.score_prepared(query, prep, subject);
             per_query
                 .get_mut(&query.id)
                 .expect("query registered above")

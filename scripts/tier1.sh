@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the exact gate every PR must keep green
+# (see ROADMAP.md). Fully offline — the workspace has no external
+# dependencies and Cargo.lock is committed.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "tier1: OK"
