@@ -181,7 +181,7 @@ mod tests {
         let b = seq("ACT");
         let scheme = ScoringScheme::dna_default(); // +5/-4, gap 10/1
         let aln = AlignedPair {
-            score: 5 + 5 - 10 + 5,
+            score: 5, // three +5 matches, one −10 gap open
             a_range: 0..4,
             b_range: 0..3,
             ops: vec![AlnOp::Pair, AlnOp::Pair, AlnOp::GapInB, AlnOp::Pair],

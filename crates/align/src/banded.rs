@@ -108,7 +108,10 @@ mod tests {
         let a = seq("ACGTTGCAACGTAC");
         let b = seq("ACTTGCACGTAC");
         let full = nw_score(&a, &b, &s);
-        assert_eq!(nw_banded_score(&a, &b, &s, a.len().max(b.len())), Some(full));
+        assert_eq!(
+            nw_banded_score(&a, &b, &s, a.len().max(b.len())),
+            Some(full)
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
         let b = seq("TTGGCCAATTGGCCAA");
         let full = nw_score(&a, &b, &s);
         if let Some(banded) = nw_banded_score(&a, &b, &s, 1) {
-            assert!(banded <= full, "banded {banded} must not exceed full {full}");
+            assert!(
+                banded <= full,
+                "banded {banded} must not exceed full {full}"
+            );
         }
     }
 

@@ -72,7 +72,10 @@ impl TopK {
     /// Creates a collector retaining at most `k` hits (`k ≥ 1`).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "TopK: k must be at least 1");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Capacity `k`.
@@ -133,7 +136,11 @@ mod tests {
     use super::*;
 
     fn hit(db: &str, score: i32) -> Hit {
-        Hit { query_id: "q".into(), db_id: db.into(), score }
+        Hit {
+            query_id: "q".into(),
+            db_id: db.into(),
+            score,
+        }
     }
 
     #[test]
@@ -144,7 +151,10 @@ mod tests {
         }
         let sorted = top.into_sorted();
         assert_eq!(
-            sorted.iter().map(|h| (h.db_id.as_str(), h.score)).collect::<Vec<_>>(),
+            sorted
+                .iter()
+                .map(|h| (h.db_id.as_str(), h.score))
+                .collect::<Vec<_>>(),
             vec![("b", 9), ("d", 7), ("a", 5)]
         );
     }
@@ -166,7 +176,7 @@ mod tests {
     #[test]
     fn merge_equals_offering_everything_to_one_collector() {
         let hits: Vec<Hit> = (0..50)
-            .map(|i| hit(&format!("db{i:02}"), (i * 37 % 23) as i32))
+            .map(|i| hit(&format!("db{i:02}"), i * 37 % 23))
             .collect();
         let mut whole = TopK::new(10);
         for h in &hits {

@@ -108,8 +108,7 @@ impl AlignKernel {
             KernelKind::Striped => sw_score_striped(query, subject, &self.scheme),
             KernelKind::SemiGlobal => sg_score(query, subject, &self.scheme),
             KernelKind::Banded { band } => {
-                nw_banded_score(query, subject, &self.scheme, band as usize)
-                    .unwrap_or(i32::MIN)
+                nw_banded_score(query, subject, &self.scheme, band as usize).unwrap_or(i32::MIN)
             }
         }
     }
@@ -171,9 +170,9 @@ impl AlignKernel {
     pub fn cost_cells(&self, query: &Sequence, subject: &Sequence) -> u64 {
         let (n, m) = (query.len() as u64, subject.len() as u64);
         match self.kind {
-            KernelKind::NeedlemanWunsch
-            | KernelKind::SmithWaterman
-            | KernelKind::SemiGlobal => n * m,
+            KernelKind::NeedlemanWunsch | KernelKind::SmithWaterman | KernelKind::SemiGlobal => {
+                n * m
+            }
             KernelKind::FastLocal => 4 * n * m / 3,
             KernelKind::Striped => (n * m / 32).max(1.min(n * m)),
             KernelKind::Banded { band } => {
@@ -221,9 +220,15 @@ mod tests {
     #[test]
     fn parse_accepts_aliases_and_rejects_junk() {
         assert_eq!(KernelKind::parse("SW").unwrap(), KernelKind::SmithWaterman);
-        assert_eq!(KernelKind::parse("nw").unwrap(), KernelKind::NeedlemanWunsch);
+        assert_eq!(
+            KernelKind::parse("nw").unwrap(),
+            KernelKind::NeedlemanWunsch
+        );
         assert_eq!(KernelKind::parse("simd").unwrap(), KernelKind::Striped);
-        assert_eq!(KernelKind::parse("banded:16").unwrap(), KernelKind::Banded { band: 16 });
+        assert_eq!(
+            KernelKind::parse("banded:16").unwrap(),
+            KernelKind::Banded { band: 16 }
+        );
         assert!(KernelKind::parse("blast").is_err());
         assert!(KernelKind::parse("banded:wide").is_err());
     }

@@ -12,6 +12,9 @@
 //!
 //! [`hits`] provides the bounded top-K hit collector DSEARCH uses to
 //! merge per-chunk results on the server.
+// DP and linear-algebra kernels index several arrays with one
+// loop variable; iterator chains obscure the recurrences there.
+#![allow(clippy::needless_range_loop)]
 
 pub mod aln;
 pub mod banded;

@@ -159,7 +159,12 @@ pub fn nw_align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> AlignedPa
     }
     ops.reverse();
 
-    let aln = AlignedPair { score, a_range: 0..n, b_range: 0..m, ops };
+    let aln = AlignedPair {
+        score,
+        a_range: 0..n,
+        b_range: 0..m,
+        ops,
+    };
     debug_assert!(
         aln.verify_score(a, b, scheme),
         "NW traceback inconsistent with its score"
@@ -210,7 +215,10 @@ mod tests {
     #[test]
     fn empty_against_nonempty_is_all_gaps() {
         let scheme = ScoringScheme::dna_default(); // gap 10/1
-        let (a, b) = (seq("ACGT"), Sequence::from_codes("e", Alphabet::Dna, vec![]));
+        let (a, b) = (
+            seq("ACGT"),
+            Sequence::from_codes("e", Alphabet::Dna, vec![]),
+        );
         // One gap run of length 4: -(10 + 3).
         assert_eq!(nw_score(&a, &b, &scheme), -13);
         let aln = nw_align(&a, &b, &scheme);

@@ -84,7 +84,16 @@ impl QueryProfile {
                 prof32[(r * seg_len32 + s) * WIDTH_I32 + l] = score;
             }
         }
-        Self { backend, query_len: n, dim, width, seg_len, prof16, seg_len32, prof32 }
+        Self {
+            backend,
+            query_len: n,
+            dim,
+            width,
+            seg_len,
+            prof16,
+            seg_len32,
+            prof32,
+        }
     }
 
     /// Length of the profiled query.

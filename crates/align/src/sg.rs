@@ -42,7 +42,9 @@ pub fn sg_score(query: &Sequence, subject: &Sequence, scheme: &ScoringScheme) ->
             let j1 = j + 1;
             let diag = prev_m[j].max(prev_ix[j]).max(prev_iy[j]);
             cur_m[j1] = diag + scheme.matrix.score(ra, rb);
-            cur_ix[j1] = (cur_m[j1 - 1] - o).max(cur_ix[j1 - 1] - e).max(cur_iy[j1 - 1] - o);
+            cur_ix[j1] = (cur_m[j1 - 1] - o)
+                .max(cur_ix[j1 - 1] - e)
+                .max(cur_iy[j1 - 1] - o);
             cur_iy[j1] = (prev_m[j1] - o).max(prev_iy[j1] - e).max(prev_ix[j1] - o);
         }
         std::mem::swap(&mut prev_m, &mut cur_m);
@@ -63,7 +65,12 @@ pub fn sg_align(query: &Sequence, subject: &Sequence, scheme: &ScoringScheme) ->
     let w = m + 1;
 
     if n == 0 {
-        return AlignedPair { score: 0, a_range: 0..0, b_range: 0..0, ops: vec![] };
+        return AlignedPair {
+            score: 0,
+            a_range: 0..0,
+            b_range: 0..0,
+            ops: vec![],
+        };
     }
 
     let mut mm = vec![NEG_INF; (n + 1) * w];
@@ -162,7 +169,12 @@ pub fn sg_align(query: &Sequence, subject: &Sequence, scheme: &ScoringScheme) ->
     }
     ops.reverse();
 
-    let aln = AlignedPair { score: best, a_range: 0..n, b_range: j..bj, ops };
+    let aln = AlignedPair {
+        score: best,
+        a_range: 0..n,
+        b_range: j..bj,
+        ops,
+    };
     debug_assert!(
         aln.verify_score(query, subject, scheme),
         "semi-global traceback inconsistent with its score"
@@ -208,7 +220,10 @@ mod tests {
         let subject = seq("TTTTTTACGTTTTTT");
         let semi = sg_score(&query, &subject, &s);
         let local = sw_score(&query, &subject, &s);
-        assert!(local > semi, "SW may trim the query prefix; semi-global may not");
+        assert!(
+            local > semi,
+            "SW may trim the query prefix; semi-global may not"
+        );
     }
 
     #[test]
@@ -225,7 +240,10 @@ mod tests {
         let a = seq("AAAA");
         let b = seq("CCCC");
         // Best: align all four as mismatches (or pay gaps): negative.
-        assert!(sg_score(&a, &b, &s) < 0, "unlike SW, semi-global can be negative");
+        assert!(
+            sg_score(&a, &b, &s) < 0,
+            "unlike SW, semi-global can be negative"
+        );
     }
 
     #[test]

@@ -505,7 +505,12 @@ mod tests {
         let scheme = ScoringScheme::protein_default();
         let q = seq(Alphabet::Protein, "MKWVLLLNAGRSKWALEH");
         let profile = QueryProfile::build(&q, &scheme.matrix);
-        for text in ["MKWVL", "GGGGGGG", "MKWVLLLNAGRSKWALEH", "HELAWKSRGANLLLVWKM"] {
+        for text in [
+            "MKWVL",
+            "GGGGGGG",
+            "MKWVLLLNAGRSKWALEH",
+            "HELAWKSRGANLLLVWKM",
+        ] {
             let s = seq(Alphabet::Protein, text);
             assert_eq!(
                 sw_score_striped_profiled(&profile, &s, &scheme.gap),
@@ -527,7 +532,10 @@ mod tests {
         let a = Sequence::from_codes("a", Alphabet::Dna, codes.clone());
         let b = Sequence::from_codes("b", Alphabet::Dna, codes);
         let expected = sw_score(&a, &b, &scheme);
-        assert!(expected > i16::MAX as i32, "test must actually overflow i16");
+        assert!(
+            expected > i16::MAX as i32,
+            "test must actually overflow i16"
+        );
         assert_eq!(sw_score_striped(&a, &b, &scheme), expected);
     }
 

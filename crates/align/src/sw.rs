@@ -37,7 +37,9 @@ pub fn sw_score(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> i32 {
             let diag = prev_m[j].max(prev_ix[j]).max(prev_iy[j]).max(0);
             let mv = (diag + scheme.matrix.score(ra, rb)).max(0);
             cur_m[j1] = mv;
-            cur_ix[j1] = (cur_m[j1 - 1] - o).max(cur_ix[j1 - 1] - e).max(cur_iy[j1 - 1] - o);
+            cur_ix[j1] = (cur_m[j1 - 1] - o)
+                .max(cur_ix[j1 - 1] - e)
+                .max(cur_iy[j1 - 1] - o);
             cur_iy[j1] = (prev_m[j1] - o).max(prev_iy[j1] - e).max(prev_ix[j1] - o);
             best = best.max(mv);
         }
@@ -96,7 +98,11 @@ pub fn sw_align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> AlignedPa
             };
             // Extending a non-positive prefix is never better than
             // starting a fresh local alignment at this residue pair.
-            let (base, from) = if best_diag > 0 { (best_diag, from) } else { (0, ST_START) };
+            let (base, from) = if best_diag > 0 {
+                (best_diag, from)
+            } else {
+                (0, ST_START)
+            };
             let cand = base + scheme.matrix.score(ra, bc[j - 1]);
             if cand > 0 {
                 mm[c] = cand;
@@ -136,7 +142,12 @@ pub fn sw_align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme) -> AlignedPa
     }
 
     if best == 0 {
-        return AlignedPair { score: 0, a_range: 0..0, b_range: 0..0, ops: vec![] };
+        return AlignedPair {
+            score: 0,
+            a_range: 0..0,
+            b_range: 0..0,
+            ops: vec![],
+        };
     }
 
     // Local alignments end in state M (a gap column can never be the
@@ -234,7 +245,9 @@ pub fn sw_score_antidiagonal(a: &Sequence, b: &Sequence, scheme: &ScoringScheme)
             // (i, j-1) lives on diagonal d-1 at row i.
             x_cur[i] = (m_prev[i] - o).max(x_prev[i] - e).max(y_prev[i] - o);
             // (i-1, j) lives on diagonal d-1 at row i-1.
-            y_cur[i] = (m_prev[i - 1] - o).max(y_prev[i - 1] - e).max(x_prev[i - 1] - o);
+            y_cur[i] = (m_prev[i - 1] - o)
+                .max(y_prev[i - 1] - e)
+                .max(x_prev[i - 1] - o);
             best = best.max(mv);
         }
         // For the *next* diagonal, the diagonal predecessor of M must be

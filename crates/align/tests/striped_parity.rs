@@ -7,9 +7,7 @@
 //! empty/single-residue edges, and force an `i16` saturation to prove
 //! the `i32` rescore path returns the exact scalar score.
 
-use biodist_align::{
-    sw_score, sw_score_striped, sw_score_striped_profiled, QueryProfile,
-};
+use biodist_align::{sw_score, sw_score_striped, sw_score_striped_profiled, QueryProfile};
 use biodist_bioseq::synth::random_sequence;
 use biodist_bioseq::{Alphabet, GapPenalty, ScoringMatrix, ScoringScheme, Sequence};
 use biodist_util::rng::{Rng, Xoshiro256StarStar};
@@ -21,10 +19,16 @@ fn schemes(alphabet: Alphabet) -> Vec<ScoringScheme> {
     };
     vec![
         // Steep open, cheap extend (the BLAST-style regime).
-        ScoringScheme { matrix: matrix.clone(), gap: GapPenalty::affine(11, 1) },
+        ScoringScheme {
+            matrix: matrix.clone(),
+            gap: GapPenalty::affine(11, 1),
+        },
         // Flat linear gaps: open == extend stresses the lazy-F exit
         // condition differently (every extension ties with reopening).
-        ScoringScheme { matrix, gap: GapPenalty::linear(3) },
+        ScoringScheme {
+            matrix,
+            gap: GapPenalty::linear(3),
+        },
     ]
 }
 
@@ -138,7 +142,10 @@ fn forced_i16_saturation_rescales_to_exact_i32_score() {
     let q = Sequence::from_codes("q", Alphabet::Dna, codes.clone());
     let s = Sequence::from_codes("s", Alphabet::Dna, codes);
     let scalar = sw_score(&q, &s, &scheme);
-    assert!(scalar > i16::MAX as i32, "must exceed i16 range, got {scalar}");
+    assert!(
+        scalar > i16::MAX as i32,
+        "must exceed i16 range, got {scalar}"
+    );
     assert_eq!(sw_score_striped(&q, &s, &scheme), scalar);
 
     // Near-threshold scores (just below and just above i16::MAX) must

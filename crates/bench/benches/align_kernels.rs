@@ -30,18 +30,26 @@ fn main() {
     for len in [64usize, 256, 512] {
         let (a, b) = pair(len);
         let cells = Some((len * len) as u64);
-        r.run(&format!("score_kernels/nw_score/{len}"), cells, || nw_score(&a, &b, &scheme));
-        r.run(&format!("score_kernels/sw_score/{len}"), cells, || sw_score(&a, &b, &scheme));
-        r.run(&format!("score_kernels/sw_antidiagonal/{len}"), cells, || {
-            sw_score_antidiagonal(&a, &b, &scheme)
+        r.run(&format!("score_kernels/nw_score/{len}"), cells, || {
+            nw_score(&a, &b, &scheme)
         });
+        r.run(&format!("score_kernels/sw_score/{len}"), cells, || {
+            sw_score(&a, &b, &scheme)
+        });
+        r.run(
+            &format!("score_kernels/sw_antidiagonal/{len}"),
+            cells,
+            || sw_score_antidiagonal(&a, &b, &scheme),
+        );
         r.run(&format!("score_kernels/sw_striped/{len}"), cells, || {
             sw_score_striped(&a, &b, &scheme)
         });
         let profile = QueryProfile::build(&a, &scheme.matrix);
-        r.run(&format!("score_kernels/sw_striped_profiled/{len}"), cells, || {
-            sw_score_striped_profiled(&profile, &b, &scheme.gap)
-        });
+        r.run(
+            &format!("score_kernels/sw_striped_profiled/{len}"),
+            cells,
+            || sw_score_striped_profiled(&profile, &b, &scheme.gap),
+        );
         r.run(&format!("score_kernels/nw_banded_16/{len}"), cells, || {
             nw_banded_score(&a, &b, &scheme, 16)
         });
@@ -49,8 +57,12 @@ fn main() {
 
     let (a, b) = pair(256);
     let cells = Some(256u64 * 256);
-    r.run("traceback_kernels/nw_align/256", cells, || nw_align(&a, &b, &scheme));
-    r.run("traceback_kernels/sw_align/256", cells, || sw_align(&a, &b, &scheme));
+    r.run("traceback_kernels/nw_align/256", cells, || {
+        nw_align(&a, &b, &scheme)
+    });
+    r.run("traceback_kernels/sw_align/256", cells, || {
+        sw_align(&a, &b, &scheme)
+    });
 
     r.report("B1: alignment kernel throughput (elements = DP cells)");
 }

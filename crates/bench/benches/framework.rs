@@ -38,7 +38,11 @@ fn main() {
         let mut now = 0.0;
         loop {
             match server.request_work(0, now) {
-                Assignment::Unit { problem, unit, algorithm } => {
+                Assignment::Unit {
+                    problem,
+                    unit,
+                    algorithm,
+                } => {
                     let res = algorithm.compute(&unit);
                     now += 1.0;
                     server.submit_result(0, problem, res, now);

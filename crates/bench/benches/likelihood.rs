@@ -40,11 +40,16 @@ fn main() {
             let tree = random_yule_tree(n_taxa, 0.1, 7);
             let engine = TreeLikelihood::new(&model, &data);
             let ops = Some(engine.traversal_cost(&tree));
-            r.run(&format!("pruning/{name}/{n_taxa}"), ops, || engine.log_likelihood(&tree));
+            r.run(&format!("pruning/{name}/{n_taxa}"), ops, || {
+                engine.log_likelihood(&tree)
+            });
         }
     }
 
-    let model = SubstModel::homogeneous(ModelKind::Hky85 { kappa: 4.0, freqs: [0.25; 4] });
+    let model = SubstModel::homogeneous(ModelKind::Hky85 {
+        kappa: 4.0,
+        freqs: [0.25; 4],
+    });
     let data = workload(12, 200, &model, 9);
     let tree = random_yule_tree(12, 0.1, 9);
     let engine = TreeLikelihood::new(&model, &data);
@@ -56,7 +61,9 @@ fn main() {
     let model = SubstModel::homogeneous(ModelKind::Jc69);
     let tree = random_yule_tree(40, 0.1, 3);
     let seqs = simulate_alignment(&tree, &model, 1000, None, 4);
-    r.run("pattern_compression_40x1000", None, || PatternAlignment::from_sequences(&seqs));
+    r.run("pattern_compression_40x1000", None, || {
+        PatternAlignment::from_sequences(&seqs)
+    });
 
     r.report("B2: likelihood engine throughput (elements = traversal ops)");
 }

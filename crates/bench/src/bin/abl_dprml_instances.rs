@@ -26,7 +26,12 @@ fn run(instances: usize) -> (f64, f64) {
         ..Default::default()
     });
     for i in 0..instances {
-        server.submit(build_problem(data.clone(), &config, None, &format!("inst-{i}")));
+        server.submit(build_problem(
+            data.clone(),
+            &config,
+            None,
+            &format!("inst-{i}"),
+        ));
     }
     let machines = homogeneous_lab(MACHINES, SEED + 2);
     let (report, _) = SimRunner::with_defaults(server, machines).run();
@@ -45,7 +50,13 @@ fn main() {
 
     let mut table = Table::new(
         "A1: simultaneous DPRml instances vs pool efficiency (40 machines)",
-        &["instances", "makespan_s", "aggregate_speedup", "pool_efficiency", "utilization"],
+        &[
+            "instances",
+            "makespan_s",
+            "aggregate_speedup",
+            "pool_efficiency",
+            "utilization",
+        ],
     );
     for &k in &[1usize, 2, 4, 6, 8] {
         let (makespan, util) = run(k);

@@ -57,7 +57,14 @@ fn main() {
     );
     let mut table = Table::new(
         "A2: dynamic vs fixed granularity (heterogeneous pool, mean of 5 seeds)",
-        &["policy", "makespan_s", "stddev_s", "utilization", "units", "wasted"],
+        &[
+            "policy",
+            "makespan_s",
+            "stddev_s",
+            "utilization",
+            "units",
+            "wasted",
+        ],
     );
     let cases: [(&str, bool, bool); 4] = [
         ("dynamic+endgame", true, true),

@@ -38,7 +38,14 @@ fn smoke() -> String {
     let scheme = ScoringScheme::protein_default();
     let query = random_sequence(Alphabet::Protein, "q", LEN, SEED + 70);
     let subjects: Vec<_> = (0..SUBJECTS)
-        .map(|i| random_sequence(Alphabet::Protein, &format!("s{i}"), LEN, SEED + 71 + i as u64))
+        .map(|i| {
+            random_sequence(
+                Alphabet::Protein,
+                &format!("s{i}"),
+                LEN,
+                SEED + 71 + i as u64,
+            )
+        })
         .collect();
     let cells_per_batch = (LEN * LEN * SUBJECTS) as u64;
 
@@ -54,12 +61,16 @@ fn smoke() -> String {
     for kind in kernels {
         let kernel = AlignKernel::new(kind, scheme.clone());
         let prep = kernel.prepare(&query);
-        let m = runner.run(&format!("kernel/{}", kind.name()), Some(cells_per_batch), || {
-            subjects
-                .iter()
-                .map(|s| kernel.score_prepared(&query, &prep, s))
-                .sum::<i32>()
-        });
+        let m = runner.run(
+            &format!("kernel/{}", kind.name()),
+            Some(cells_per_batch),
+            || {
+                subjects
+                    .iter()
+                    .map(|s| kernel.score_prepared(&query, &prep, s))
+                    .sum::<i32>()
+            },
+        );
         rates.push((kind.name(), m.elems_per_sec().expect("cells declared")));
     }
     runner.report(&format!(
@@ -85,7 +96,11 @@ fn smoke() -> String {
     }
     json.push_str("  }\n}\n");
 
-    let striped = rates.iter().find(|(n, _)| n == "striped").expect("striped").1;
+    let striped = rates
+        .iter()
+        .find(|(n, _)| n == "striped")
+        .expect("striped")
+        .1;
     println!(
         "striped vs scalar sw: {:.1}x ({:.0} vs {:.0} cells/s)",
         striped / scalar,
@@ -108,9 +123,12 @@ fn main() {
     // A deliberately hard family: 35% substitutions and 8% indels push
     // remote homologs toward the twilight zone, where kernel choice
     // starts to matter for sensitivity, not just speed.
-    let queries =
-        vec![random_sequence(Alphabet::Protein, "query0", 300, SEED + 90)];
-    let family = FamilySpec { copies: 5, substitution_rate: 0.35, indel_rate: 0.08 };
+    let queries = vec![random_sequence(Alphabet::Protein, "query0", 300, SEED + 90)];
+    let family = FamilySpec {
+        copies: 5,
+        substitution_rate: 0.35,
+        indel_rate: 0.08,
+    };
     let db = SyntheticDb::generate_with_family(
         &DbSpec::protein_demo(600, 300),
         &queries[0],
@@ -138,7 +156,13 @@ fn main() {
 
     let mut table = Table::new(
         "A5: DSEARCH kernel choice (32 homogeneous machines)",
-        &["kernel", "makespan_s", "units", "homologs_in_top5", "margin"],
+        &[
+            "kernel",
+            "makespan_s",
+            "units",
+            "homologs_in_top5",
+            "margin",
+        ],
     );
     for kind in kernels {
         let mut config = base_config.clone();

@@ -60,11 +60,17 @@ fn run_policy(
         wasted: 0,
     };
     for trial in 0..TRIALS {
-        let mut server = Server::new(SchedulerConfig { target_unit_secs: 60.0, ..sched.clone() });
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 60.0,
+            ..sched.clone()
+        });
         let pid = server.submit(build_problem(db.to_vec(), queries.to_vec(), config));
         let (report, mut server) =
             SimRunner::with_defaults(server, churn_pool(SEED + 100 + trial)).run();
-        let hits = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let hits = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(&hits.hits, expected, "results must survive churn unchanged");
         out.makespan.push(report.makespan);
         let stats = server.stats(pid);
@@ -82,7 +88,14 @@ fn main() {
 
     let mut table = Table::new(
         "A3: adaptive vs naive scheduling under silent churn (mean of 5 seeds)",
-        &["policy", "makespan_s", "stddev_s", "reissued", "redundant", "wasted"],
+        &[
+            "policy",
+            "makespan_s",
+            "stddev_s",
+            "reissued",
+            "redundant",
+            "wasted",
+        ],
     );
     let cases = [
         ("adaptive", SchedulerConfig::default()),

@@ -26,18 +26,29 @@ fn main() {
     );
     let expected = search_sequential(&db, &queries, &config);
 
-    let sched = SchedulerConfig { target_unit_secs: 10.0, ..Default::default() };
+    let sched = SchedulerConfig {
+        target_unit_secs: 10.0,
+        ..Default::default()
+    };
     let mut points = Vec::new();
     for &n in FIG1_PROCESSORS {
         let mut server = Server::new(sched.clone());
         let pid = server.submit(build_problem(db.clone(), queries.clone(), &config));
         let machines = homogeneous_lab(n, SEED);
         let (report, mut server) = SimRunner::with_defaults(server, machines).run();
-        let out = server.take_output(pid).expect("output").into_inner::<SearchOutput>();
-        assert_eq!(out.hits, expected, "distributed hits must equal sequential at N={n}");
+        let out = server
+            .take_output(pid)
+            .expect("output")
+            .into_inner::<SearchOutput>();
+        assert_eq!(
+            out.hits, expected,
+            "distributed hits must equal sequential at N={n}"
+        );
         eprintln!(
             "  N={n:>3}: makespan {:>9.1} s, {} units, util {:.2}, link wait {:.3} s",
-            report.makespan, report.total_units, report.mean_utilization,
+            report.makespan,
+            report.total_units,
+            report.mean_utilization,
             report.mean_link_queue_wait
         );
         points.push((n, report.makespan, report.mean_utilization));

@@ -23,7 +23,10 @@ use biodist_phylo::search::stepwise_ml;
 fn run_instances(n_machines: usize) -> (f64, f64, Vec<PhyloOutput>) {
     let (data, config) = fig2_inputs();
     let orders = fig2_orders(data.taxon_count());
-    let sched = SchedulerConfig { target_unit_secs: 10.0, ..Default::default() };
+    let sched = SchedulerConfig {
+        target_unit_secs: 10.0,
+        ..Default::default()
+    };
     let mut server = Server::new(sched);
     let pids: Vec<_> = (0..FIG2_INSTANCES)
         .map(|i| {
@@ -39,7 +42,12 @@ fn run_instances(n_machines: usize) -> (f64, f64, Vec<PhyloOutput>) {
     let (report, mut server) = SimRunner::with_defaults(server, machines).run();
     let outs = pids
         .iter()
-        .map(|&p| server.take_output(p).expect("output").into_inner::<PhyloOutput>())
+        .map(|&p| {
+            server
+                .take_output(p)
+                .expect("output")
+                .into_inner::<PhyloOutput>()
+        })
         .collect();
     (report.makespan, report.mean_utilization, outs)
 }

@@ -27,7 +27,11 @@ pub struct SpeedupSeries {
 impl SpeedupSeries {
     /// Creates an empty series with a known 1-processor baseline.
     pub fn new(title: &str, t1: f64) -> Self {
-        Self { title: title.to_string(), t1, points: Vec::new() }
+        Self {
+            title: title.to_string(),
+            t1,
+            points: Vec::new(),
+        }
     }
 
     /// Adds a measurement.
@@ -45,12 +49,26 @@ impl SpeedupSeries {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             &self.title,
-            &["processors", "makespan_s", "speedup", "linear", "efficiency", "utilization"],
+            &[
+                "processors",
+                "makespan_s",
+                "speedup",
+                "linear",
+                "efficiency",
+                "utilization",
+            ],
         );
         for (i, &(n, makespan, util)) in self.points.iter().enumerate() {
             let speedup = self.speedup(i);
             t.push_numeric_row(
-                &[n as f64, makespan, speedup, n as f64, speedup / n as f64, util],
+                &[
+                    n as f64,
+                    makespan,
+                    speedup,
+                    n as f64,
+                    speedup / n as f64,
+                    util,
+                ],
                 3,
             );
         }
@@ -64,7 +82,13 @@ impl SpeedupSeries {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = results_dir().join(format!("{slug}.csv"));
         table.write_csv(&path).expect("write results CSV");

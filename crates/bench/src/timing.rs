@@ -43,7 +43,10 @@ impl Measurement {
             Some(r) => format!("{:>10.1} Kelem/s", r / 1e3),
             None => format!("{:>18}", ""),
         };
-        format!("{:<44} {:>14.0} ns/iter {rate}", self.name, self.ns_per_iter)
+        format!(
+            "{:<44} {:>14.0} ns/iter {rate}",
+            self.name, self.ns_per_iter
+        )
     }
 }
 
@@ -138,8 +141,12 @@ mod tests {
     fn slower_work_measures_slower() {
         std::env::set_var("BIODIST_BENCH_FAST", "1");
         let mut r = Runner::new();
-        let small = r.run("small", None, || (0..100u64).sum::<u64>()).ns_per_iter;
-        let big = r.run("big", None, || (0..100_000u64).sum::<u64>()).ns_per_iter;
+        let small = r
+            .run("small", None, || (0..100u64).sum::<u64>())
+            .ns_per_iter;
+        let big = r
+            .run("big", None, || (0..100_000u64).sum::<u64>())
+            .ns_per_iter;
         assert!(big > small, "{big} vs {small}");
     }
 }

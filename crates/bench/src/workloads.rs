@@ -18,9 +18,20 @@ pub const SEED: u64 = 20050404; // IPDPS'05 week
 /// is in the paper's hours range (see `cost_scale` docs).
 pub fn fig1_inputs() -> (Vec<Sequence>, Vec<Sequence>, DsearchConfig) {
     let queries: Vec<Sequence> = (0..3)
-        .map(|i| random_sequence(Alphabet::Protein, &format!("query{i}"), 300, SEED + i as u64))
+        .map(|i| {
+            random_sequence(
+                Alphabet::Protein,
+                &format!("query{i}"),
+                300,
+                SEED + i as u64,
+            )
+        })
         .collect();
-    let fam = FamilySpec { copies: 5, substitution_rate: 0.2, indel_rate: 0.02 };
+    let fam = FamilySpec {
+        copies: 5,
+        substitution_rate: 0.2,
+        indel_rate: 0.02,
+    };
     let db = SyntheticDb::generate_with_family(
         &DbSpec::protein_demo(1000, 300),
         &queries[0],
@@ -46,7 +57,10 @@ pub const FIG1_PROCESSORS: &[usize] = &[1, 2, 4, 8, 16, 24, 32, 48, 64, 83];
 pub fn fig2_inputs() -> (Arc<PatternAlignment>, DprmlConfig) {
     let truth = random_yule_tree(50, 0.1, SEED + 20);
     let mut config = DprmlConfig {
-        model: ModelKind::Hky85 { kappa: 4.0, freqs: [0.25; 4] },
+        model: ModelKind::Hky85 {
+            kappa: 4.0,
+            freqs: [0.25; 4],
+        },
         ..Default::default()
     };
     // One branch-length sweep per candidate / stage keeps real compute

@@ -87,7 +87,10 @@ impl Alphabet {
         text.bytes()
             .enumerate()
             .map(|(i, b)| {
-                self.encode(b).ok_or(EncodeError { position: i, byte: b })
+                self.encode(b).ok_or(EncodeError {
+                    position: i,
+                    byte: b,
+                })
             })
             .collect()
     }

@@ -41,7 +41,11 @@ pub fn translate_codon(c1: u8, c2: u8, c3: u8) -> Option<u8> {
     if aa == b'*' {
         None
     } else {
-        Some(Alphabet::Protein.encode(aa).expect("code table emits valid residues"))
+        Some(
+            Alphabet::Protein
+                .encode(aa)
+                .expect("code table emits valid residues"),
+        )
     }
 }
 
@@ -171,7 +175,10 @@ mod tests {
     fn ambiguous_codons_become_x_without_stop_flag() {
         let t = translate_frame(&dna("ANT"), 0);
         assert_eq!(t.protein.to_text(), "X");
-        assert!(t.stop_positions.is_empty(), "N codon is unknown, not a stop");
+        assert!(
+            t.stop_positions.is_empty(),
+            "N codon is unknown, not a stop"
+        );
     }
 
     #[test]

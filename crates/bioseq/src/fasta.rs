@@ -17,7 +17,11 @@ pub enum FastaError {
     /// A header line had no identifier after `>`.
     EmptyHeader { line_number: usize },
     /// A residue character could not be encoded.
-    BadResidue { record_id: String, line_number: usize, byte: u8 },
+    BadResidue {
+        record_id: String,
+        line_number: usize,
+        byte: u8,
+    },
     /// A record contained no residues.
     EmptyRecord { record_id: String },
 }
@@ -26,12 +30,19 @@ impl std::fmt::Display for FastaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FastaError::DataBeforeHeader { line_number } => {
-                write!(f, "line {line_number}: residue data before first `>` header")
+                write!(
+                    f,
+                    "line {line_number}: residue data before first `>` header"
+                )
             }
             FastaError::EmptyHeader { line_number } => {
                 write!(f, "line {line_number}: `>` header with no identifier")
             }
-            FastaError::BadResidue { record_id, line_number, byte } => write!(
+            FastaError::BadResidue {
+                record_id,
+                line_number,
+                byte,
+            } => write!(
                 f,
                 "record `{record_id}` line {line_number}: invalid residue byte 0x{byte:02X}"
             ),
@@ -50,7 +61,7 @@ pub fn parse_fasta(text: &str, alphabet: Alphabet) -> Result<Vec<Sequence>, Fast
     let mut current: Option<(String, String, Vec<u8>)> = None;
 
     let finish = |cur: Option<(String, String, Vec<u8>)>,
-                      out: &mut Vec<Sequence>|
+                  out: &mut Vec<Sequence>|
      -> Result<(), FastaError> {
         if let Some((id, desc, codes)) = cur {
             if codes.is_empty() {
@@ -180,7 +191,12 @@ TTTT
     #[test]
     fn rejects_empty_record() {
         let err = parse_fasta(">a\n>b\nACGT\n", Alphabet::Dna).unwrap_err();
-        assert_eq!(err, FastaError::EmptyRecord { record_id: "a".into() });
+        assert_eq!(
+            err,
+            FastaError::EmptyRecord {
+                record_id: "a".into()
+            }
+        );
     }
 
     #[test]
@@ -188,7 +204,11 @@ TTTT
         let err = parse_fasta(">a\nAC!T\n", Alphabet::Dna).unwrap_err();
         assert_eq!(
             err,
-            FastaError::BadResidue { record_id: "a".into(), line_number: 2, byte: b'!' }
+            FastaError::BadResidue {
+                record_id: "a".into(),
+                line_number: 2,
+                byte: b'!'
+            }
         );
     }
 

@@ -28,7 +28,10 @@ impl GapPenalty {
     /// `extend` must not exceed `open` (otherwise "affine" is meaningless
     /// and the DP recurrences below would be wrong).
     pub fn affine(open: i32, extend: i32) -> Self {
-        assert!(open >= 0 && extend >= 0, "gap penalties must be non-negative");
+        assert!(
+            open >= 0 && extend >= 0,
+            "gap penalties must be non-negative"
+        );
         assert!(extend <= open, "gap extend must not exceed gap open");
         Self { open, extend }
     }
@@ -64,26 +67,66 @@ impl ScoringMatrix {
     pub fn blosum62() -> Self {
         // Rows/columns in PROTEIN_SYMBOLS order: A R N D C Q E G H I L K M F P S T W Y V
         const B62: [[i32; 20]; 20] = [
-            [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
-            [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
-            [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
-            [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
-            [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
-            [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
-            [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
-            [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
-            [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
-            [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
-            [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
-            [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
-            [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
-            [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
-            [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
-            [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
-            [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
-            [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
-            [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1],
-            [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4],
+            [
+                4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0,
+            ],
+            [
+                -1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3,
+            ],
+            [
+                -2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3,
+            ],
+            [
+                -2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3,
+            ],
+            [
+                0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,
+            ],
+            [
+                -1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2,
+            ],
+            [
+                -1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2,
+            ],
+            [
+                0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3,
+            ],
+            [
+                -2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3,
+            ],
+            [
+                -1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3,
+            ],
+            [
+                -1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1,
+            ],
+            [
+                -1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2,
+            ],
+            [
+                -1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1,
+            ],
+            [
+                -2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1,
+            ],
+            [
+                -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2,
+            ],
+            [
+                1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2,
+            ],
+            [
+                0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0,
+            ],
+            [
+                -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3,
+            ],
+            [
+                -2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1,
+            ],
+            [
+                0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4,
+            ],
         ];
         let alphabet = Alphabet::Protein;
         let dim = alphabet.size() + 1;
@@ -93,7 +136,11 @@ impl ScoringMatrix {
                 scores[i * dim + j] = s;
             }
         }
-        Self { alphabet, dim, scores }
+        Self {
+            alphabet,
+            dim,
+            scores,
+        }
     }
 
     /// Simple match/mismatch matrix (either alphabet). Ambiguity scores 0.
@@ -105,7 +152,11 @@ impl ScoringMatrix {
                 scores[i * dim + j] = if i == j { match_score } else { mismatch };
             }
         }
-        Self { alphabet, dim, scores }
+        Self {
+            alphabet,
+            dim,
+            scores,
+        }
     }
 
     /// DNA matrix distinguishing transitions (A↔G, C↔T) from
@@ -131,7 +182,11 @@ impl ScoringMatrix {
                 };
             }
         }
-        Self { alphabet, dim, scores }
+        Self {
+            alphabet,
+            dim,
+            scores,
+        }
     }
 
     /// Parses a matrix in the NCBI text format: a header line listing
@@ -189,7 +244,11 @@ impl ScoringMatrix {
         if header.is_none() {
             return Err("matrix text contained no data".into());
         }
-        Ok(Self { alphabet, dim, scores })
+        Ok(Self {
+            alphabet,
+            dim,
+            scores,
+        })
     }
 
     /// Alphabet this matrix scores.
@@ -251,7 +310,10 @@ pub struct ScoringScheme {
 impl ScoringScheme {
     /// BLOSUM62 with the BLAST-default gap penalty 11/1.
     pub fn protein_default() -> Self {
-        Self { matrix: ScoringMatrix::blosum62(), gap: GapPenalty::affine(11, 1) }
+        Self {
+            matrix: ScoringMatrix::blosum62(),
+            gap: GapPenalty::affine(11, 1),
+        }
     }
 
     /// +5/−4 DNA scheme with gap 10/1 (megaBLAST-like costs).
@@ -391,7 +453,10 @@ mod tests {
 
     #[test]
     fn default_schemes_have_consistent_alphabets() {
-        assert_eq!(ScoringScheme::protein_default().alphabet(), Alphabet::Protein);
+        assert_eq!(
+            ScoringScheme::protein_default().alphabet(),
+            Alphabet::Protein
+        );
         assert_eq!(ScoringScheme::dna_default().alphabet(), Alphabet::Dna);
     }
 }

@@ -86,7 +86,10 @@ impl SyntheticDb {
                 Sequence::from_codes(&format!("db{i:06}"), spec.alphabet, codes)
             })
             .collect();
-        Self { sequences, planted_ids: Vec::new() }
+        Self {
+            sequences,
+            planted_ids: Vec::new(),
+        }
     }
 
     /// Generates a database and plants `family.copies` mutated copies of
@@ -99,7 +102,7 @@ impl SyntheticDb {
     ) -> Self {
         assert_eq!(parent.alphabet, spec.alphabet, "parent alphabet mismatch");
         let mut db = Self::generate(spec, seed);
-        let mut rng = Xoshiro256StarStar::new(seed).derive(0xFA71_17);
+        let mut rng = Xoshiro256StarStar::new(seed).derive(0x00FA_7117);
         for k in 0..family.copies {
             let codes = mutate(parent.codes(), spec.alphabet, family, &mut rng);
             let id = format!("fam{k:03}");
@@ -157,12 +160,7 @@ fn random_codes(spec: &DbSpec, len: usize, rng: &mut dyn Rng) -> Vec<u8> {
     }
 }
 
-fn mutate(
-    codes: &[u8],
-    alphabet: Alphabet,
-    family: &FamilySpec,
-    rng: &mut dyn Rng,
-) -> Vec<u8> {
+fn mutate(codes: &[u8], alphabet: Alphabet, family: &FamilySpec, rng: &mut dyn Rng) -> Vec<u8> {
     let n = alphabet.size() as u64;
     let mut out = Vec::with_capacity(codes.len() + 8);
     for &c in codes {
@@ -253,7 +251,11 @@ mod tests {
         let spec = DbSpec::protein_demo(30, 150);
         // No indels here: position-wise identity is only meaningful when
         // the reading frame is preserved.
-        let fam = FamilySpec { copies: 5, substitution_rate: 0.1, indel_rate: 0.0 };
+        let fam = FamilySpec {
+            copies: 5,
+            substitution_rate: 0.1,
+            indel_rate: 0.0,
+        };
         let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 5);
         assert_eq!(db.planted_ids.len(), 5);
         assert_eq!(db.sequences.len(), 35);
@@ -277,7 +279,11 @@ mod tests {
     fn indels_change_member_length() {
         let parent = random_sequence(Alphabet::Protein, "parent", 400, 17);
         let spec = DbSpec::protein_demo(5, 150);
-        let fam = FamilySpec { copies: 4, substitution_rate: 0.0, indel_rate: 0.1 };
+        let fam = FamilySpec {
+            copies: 4,
+            substitution_rate: 0.0,
+            indel_rate: 0.1,
+        };
         let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 21);
         let changed = db
             .planted_ids
@@ -292,7 +298,11 @@ mod tests {
     fn extreme_deletion_rate_still_produces_valid_record() {
         let parent = random_sequence(Alphabet::Dna, "p", 10, 1);
         let spec = DbSpec::dna_demo(1, 20);
-        let fam = FamilySpec { copies: 1, substitution_rate: 0.0, indel_rate: 1.0 };
+        let fam = FamilySpec {
+            copies: 1,
+            substitution_rate: 0.0,
+            indel_rate: 1.0,
+        };
         let db = SyntheticDb::generate_with_family(&spec, &parent, &fam, 2);
         let member = db
             .sequences

@@ -63,14 +63,20 @@ struct IntegrationAlgo;
 
 impl Algorithm for IntegrationAlgo {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
-        let &(lo, hi, n) = unit.payload.downcast_ref::<(u64, u64, u64)>().expect("range");
+        let &(lo, hi, n) = unit
+            .payload
+            .downcast_ref::<(u64, u64, u64)>()
+            .expect("range");
         let h = 1.0 / n as f64;
         let mut acc = 0.0;
         for i in lo..hi {
             let x = (i as f64 + 0.5) * h;
             acc += 4.0 / (1.0 + x * x);
         }
-        TaskResult { unit_id: unit.id, payload: Payload::new(acc * h, 8) }
+        TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new(acc * h, 8),
+        }
     }
 }
 
@@ -109,7 +115,11 @@ mod tests {
         let mut now = 0.0;
         loop {
             match server.request_work(0, now) {
-                Assignment::Unit { problem, unit, algorithm } => {
+                Assignment::Unit {
+                    problem,
+                    unit,
+                    algorithm,
+                } => {
                     let r = algorithm.compute(&unit);
                     now += 1.0;
                     server.submit_result(0, problem, r, now);

@@ -1,0 +1,580 @@
+//! Deterministic fault injection: seeded, replayable fault schedules.
+//!
+//! The paper's system ran for three years on ~200 semi-idle donor PCs,
+//! so churn, stragglers and lost messages are the *normal* operating
+//! regime, not an edge case. A [`FaultPlan`] expresses a schedule of
+//! injectable faults as plain data — client crashes mid-unit, permanent
+//! departures, straggler slowdowns, dropped / duplicated / corrupted
+//! result deliveries, server-link degradation — so the *identical* plan
+//! can be interpreted by both execution backends:
+//!
+//! * [`crate::sim_backend::SimRunner::with_faults`] applies it against
+//!   gridsim's virtual clock (lifecycle events become simulator events,
+//!   slowdowns scale the machine's compute model, link faults degrade
+//!   the shared server link);
+//! * [`crate::thread_backend::run_threaded_faulty`] applies it against
+//!   a scaled wall clock with real OS threads (workers sleep out
+//!   downtime, discard in-flight work on crash, and mutate deliveries).
+//!
+//! Both backends consume the plan through the [`FaultInjector`] trait,
+//! whose canonical implementation is [`PlanInterpreter`]. Random plans
+//! are generated from a single `u64` seed ([`FaultPlan::random`]), and
+//! every failing chaos run is replayable from its printed `(seed,
+//! plan)` alone — the plan is data, the interpreter is deterministic,
+//! and nothing else feeds the injection.
+
+use crate::sched::ClientId;
+use biodist_util::rng::{Rng, Xoshiro256StarStar};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The client joins the pool late (it is absent before `at`).
+    LateJoin,
+    /// The client leaves permanently and silently (owner pulls the
+    /// plug). In-flight work is lost; leases must recover it.
+    Depart,
+    /// The client crashes, losing any in-flight unit, and rejoins after
+    /// `down_secs` (a reboot).
+    Crash {
+        /// How long the client stays down before rejoining.
+        down_secs: f64,
+    },
+    /// The client computes `factor`× slower for `duration_secs`
+    /// (owner activity, thermal throttling — the classic straggler).
+    Slowdown {
+        /// Compute-time multiplier, ≥ 1.
+        factor: f64,
+        /// Length of the slow window.
+        duration_secs: f64,
+    },
+    /// The client's next completed result after `at` is lost in
+    /// transit. The server never sees it; the lease must expire and the
+    /// unit be reissued.
+    DropResult,
+    /// The client's next completed result after `at` is delivered
+    /// twice (a retransmission bug). The server must accept exactly one
+    /// copy.
+    DuplicateResult,
+    /// The client's next completed result after `at` arrives with a
+    /// corrupted payload. The transport layer detects the checksum
+    /// mismatch and the server must reissue the unit.
+    CorruptResult,
+    /// The shared server link runs `factor`× slower for
+    /// `duration_secs` (congestion, a flapping switch port).
+    LinkDegrade {
+        /// Transfer-time multiplier, ≥ 1.
+        factor: f64,
+        /// Length of the degraded window.
+        duration_secs: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires / arms, in backend time (virtual seconds on
+    /// the simulator, scaled wall seconds on the thread backend).
+    pub at: f64,
+    /// The affected client; `None` for system-wide faults
+    /// ([`FaultKind::LinkDegrade`]).
+    pub client: Option<ClientId>,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, replayable schedule of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    /// Carried so failure reports identify the plan compactly.
+    pub seed: u64,
+    /// The scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Tuning knobs for [`FaultPlan::random`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOptions {
+    /// Number of clients in the pool the plan targets.
+    pub n_clients: usize,
+    /// Faults are scheduled in `[0.02, 0.7] × horizon_secs`, early
+    /// enough that short runs still encounter them.
+    pub horizon_secs: f64,
+    /// How many fault events to draw.
+    pub n_faults: usize,
+    /// Hard cap on permanent departures, so a random plan can never
+    /// drain the pool and deadlock the run. Crashes always rejoin and
+    /// are not capped.
+    pub max_departures: usize,
+}
+
+impl ChaosOptions {
+    /// A default chaos profile for a pool of `n_clients`: one fault per
+    /// client on average, at most a quarter of the pool departing.
+    pub fn for_pool(n_clients: usize, horizon_secs: f64) -> Self {
+        assert!(n_clients >= 2, "chaos needs at least 2 clients");
+        Self {
+            n_clients,
+            horizon_secs,
+            n_faults: n_clients,
+            max_departures: (n_clients / 4).min(n_clients.saturating_sub(2)),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A hand-built plan starts empty; add events with [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder: adds one event.
+    pub fn with(mut self, at: f64, client: impl Into<Option<ClientId>>, kind: FaultKind) -> Self {
+        self.push(at, client, kind);
+        self
+    }
+
+    /// Adds one event.
+    pub fn push(&mut self, at: f64, client: impl Into<Option<ClientId>>, kind: FaultKind) {
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "fault time must be finite and non-negative"
+        );
+        self.events.push(FaultEvent {
+            at,
+            client: client.into(),
+            kind,
+        });
+    }
+
+    /// Generates a random plan from `seed`. Identical `(seed, opts)`
+    /// always yield the identical plan; the plan alone (its `Debug`
+    /// rendering) is enough to reproduce any failure it caused.
+    pub fn random(seed: u64, opts: &ChaosOptions) -> Self {
+        assert!(opts.n_clients >= 2, "chaos needs at least 2 clients");
+        assert!(opts.horizon_secs > 0.0, "horizon must be positive");
+        let mut rng = Xoshiro256StarStar::new(seed).derive(0xFA_0173);
+        let mut plan = Self::new(seed);
+        let mut departures = 0usize;
+        // A client that departs (or is selected to) is never targeted
+        // again: post-departure faults on it would be dead events.
+        let mut departed = vec![false; opts.n_clients];
+        for _ in 0..opts.n_faults {
+            let at = rng.next_f64_range(0.02, 0.7) * opts.horizon_secs;
+            // Weighted fault mix: delivery faults are cheap and land
+            // reliably; lifecycle and performance faults are rarer.
+            let kind_idx = rng.next_weighted(&[
+                1.0, // LateJoin
+                1.0, // Depart (subject to the cap)
+                1.5, // Crash
+                1.5, // Slowdown
+                2.0, // DropResult
+                1.5, // DuplicateResult
+                2.0, // CorruptResult
+                1.0, // LinkDegrade
+            ]);
+            if kind_idx == 7 {
+                let factor = rng.next_f64_range(2.0, 10.0);
+                let duration_secs = rng.next_f64_range(0.05, 0.3) * opts.horizon_secs;
+                plan.push(
+                    at,
+                    None,
+                    FaultKind::LinkDegrade {
+                        factor,
+                        duration_secs,
+                    },
+                );
+                continue;
+            }
+            let candidates: Vec<ClientId> = (0..opts.n_clients).filter(|&c| !departed[c]).collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let client = candidates[rng.next_below(candidates.len() as u64) as usize];
+            let kind = match kind_idx {
+                0 => FaultKind::LateJoin,
+                1 => {
+                    if departures >= opts.max_departures {
+                        // Cap reached: degrade to a crash (it rejoins).
+                        FaultKind::Crash {
+                            down_secs: rng.next_f64_range(0.05, 0.2) * opts.horizon_secs,
+                        }
+                    } else {
+                        departures += 1;
+                        departed[client] = true;
+                        FaultKind::Depart
+                    }
+                }
+                2 => FaultKind::Crash {
+                    down_secs: rng.next_f64_range(0.05, 0.2) * opts.horizon_secs,
+                },
+                3 => FaultKind::Slowdown {
+                    factor: rng.next_f64_range(2.0, 8.0),
+                    duration_secs: rng.next_f64_range(0.1, 0.4) * opts.horizon_secs,
+                },
+                4 => FaultKind::DropResult,
+                5 => FaultKind::DuplicateResult,
+                6 => FaultKind::CorruptResult,
+                _ => unreachable!(),
+            };
+            // LateJoin must arm at the client's single join time; keep
+            // only the latest if several are drawn (handled in accessor).
+            plan.push(at, client, kind);
+        }
+        plan
+    }
+
+    /// The time at which `client` joins the pool, if the plan delays it
+    /// (latest [`FaultKind::LateJoin`] wins when several are present).
+    pub fn join_time(&self, client: ClientId) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.client == Some(client) && e.kind == FaultKind::LateJoin)
+            .map(|e| e.at)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// The time at which `client` permanently departs (earliest
+    /// [`FaultKind::Depart`] wins).
+    pub fn departure_time(&self, client: ClientId) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.client == Some(client) && e.kind == FaultKind::Depart)
+            .map(|e| e.at)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// `(crash_time, down_secs)` pairs for `client`, sorted by time.
+    pub fn crashes(&self, client: ClientId) -> Vec<(f64, f64)> {
+        let mut v: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.client == Some(client))
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { down_secs } => Some((e.at, down_secs)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+
+    /// Number of clients that never depart permanently (the pool the
+    /// run can always fall back on). Plans used in tests should keep
+    /// this ≥ 1 or the run cannot complete.
+    pub fn permanent_survivors(&self, n_clients: usize) -> usize {
+        (0..n_clients)
+            .filter(|&c| self.departure_time(c).is_none())
+            .count()
+    }
+}
+
+/// What the transport layer does with a completed result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryAction {
+    /// Deliver normally.
+    Deliver,
+    /// The message is lost; the server never sees the result.
+    Drop,
+    /// The message is delivered twice (retransmission).
+    Duplicate,
+    /// The payload arrives corrupted; the server's transport layer
+    /// detects the checksum mismatch and must reissue the unit.
+    Corrupt,
+}
+
+/// The seam both backends inject faults through. The default methods
+/// are the fault-free behaviour, so [`NoFaults`] is an empty impl.
+pub trait FaultInjector: Send {
+    /// Decides the fate of a result `client` finished at `now`.
+    /// Stateful: armed one-shot faults are consumed by the call.
+    fn delivery_action(&mut self, client: ClientId, now: f64) -> DeliveryAction {
+        let _ = (client, now);
+        DeliveryAction::Deliver
+    }
+
+    /// Compute-time multiplier for a unit `client` starts at `now`
+    /// (≥ 1; 1 = full speed). Sampled once per unit, at its start.
+    fn compute_scale(&self, client: ClientId, now: f64) -> f64 {
+        let _ = (client, now);
+        1.0
+    }
+
+    /// Transfer-time multiplier for the shared server link at `now`.
+    fn link_scale(&self, now: f64) -> f64 {
+        let _ = now;
+        1.0
+    }
+}
+
+/// The fault-free injector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// Interprets a [`FaultPlan`] deterministically. Both backends use this
+/// one implementation, so a plan means the same thing everywhere.
+#[derive(Debug)]
+pub struct PlanInterpreter {
+    // Armed one-shot delivery faults per client, each sorted by time.
+    deliveries: Vec<Vec<(f64, DeliveryAction)>>,
+    // (start, end, factor) slowdown windows per client.
+    slowdowns: Vec<Vec<(f64, f64, f64)>>,
+    // (start, end, factor) link-degradation windows.
+    link_windows: Vec<(f64, f64, f64)>,
+    // Consumed-fault counters, for post-run reporting.
+    consumed: [u64; 3],
+}
+
+impl PlanInterpreter {
+    /// Builds the interpreter for a plan over `n_clients` clients.
+    pub fn new(plan: &FaultPlan, n_clients: usize) -> Self {
+        let mut deliveries: Vec<Vec<(f64, DeliveryAction)>> = vec![Vec::new(); n_clients];
+        let mut slowdowns: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); n_clients];
+        let mut link_windows = Vec::new();
+        for e in &plan.events {
+            match (&e.kind, e.client) {
+                (FaultKind::DropResult, Some(c)) if c < n_clients => {
+                    deliveries[c].push((e.at, DeliveryAction::Drop));
+                }
+                (FaultKind::DuplicateResult, Some(c)) if c < n_clients => {
+                    deliveries[c].push((e.at, DeliveryAction::Duplicate));
+                }
+                (FaultKind::CorruptResult, Some(c)) if c < n_clients => {
+                    deliveries[c].push((e.at, DeliveryAction::Corrupt));
+                }
+                (
+                    FaultKind::Slowdown {
+                        factor,
+                        duration_secs,
+                    },
+                    Some(c),
+                ) if c < n_clients => {
+                    slowdowns[c].push((e.at, e.at + duration_secs, *factor));
+                }
+                (
+                    FaultKind::LinkDegrade {
+                        factor,
+                        duration_secs,
+                    },
+                    _,
+                ) => {
+                    link_windows.push((e.at, e.at + duration_secs, *factor));
+                }
+                _ => {} // lifecycle events are read via the plan accessors
+            }
+        }
+        for v in &mut deliveries {
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        Self {
+            deliveries,
+            slowdowns,
+            link_windows,
+            consumed: [0; 3],
+        }
+    }
+
+    /// `(dropped, duplicated, corrupted)` deliveries consumed so far.
+    pub fn consumed_deliveries(&self) -> (u64, u64, u64) {
+        (self.consumed[0], self.consumed[1], self.consumed[2])
+    }
+}
+
+impl FaultInjector for PlanInterpreter {
+    fn delivery_action(&mut self, client: ClientId, now: f64) -> DeliveryAction {
+        let Some(armed) = self.deliveries.get_mut(client) else {
+            return DeliveryAction::Deliver;
+        };
+        // Consume the earliest armed fault whose time has passed; later
+        // armed faults stay pending for subsequent deliveries.
+        match armed.first() {
+            Some(&(at, action)) if at <= now => {
+                armed.remove(0);
+                let slot = match action {
+                    DeliveryAction::Drop => 0,
+                    DeliveryAction::Duplicate => 1,
+                    DeliveryAction::Corrupt => 2,
+                    DeliveryAction::Deliver => unreachable!("never armed"),
+                };
+                self.consumed[slot] += 1;
+                action
+            }
+            _ => DeliveryAction::Deliver,
+        }
+    }
+
+    fn compute_scale(&self, client: ClientId, now: f64) -> f64 {
+        self.slowdowns
+            .get(client)
+            .map(|ws| {
+                ws.iter()
+                    .filter(|&&(s, e, _)| s <= now && now < e)
+                    .map(|&(_, _, f)| f)
+                    .product()
+            })
+            .unwrap_or(1.0)
+    }
+
+    fn link_scale(&self, now: f64) -> f64 {
+        self.link_windows
+            .iter()
+            .filter(|&&(s, e, _)| s <= now && now < e)
+            .map(|&(_, _, f)| f)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let opts = ChaosOptions::for_pool(8, 300.0);
+        let a = FaultPlan::random(42, &opts);
+        let b = FaultPlan::random(42, &opts);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::random(43, &opts);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn random_plans_respect_the_departure_cap() {
+        for seed in 0..200 {
+            let opts = ChaosOptions {
+                n_faults: 40,
+                ..ChaosOptions::for_pool(8, 300.0)
+            };
+            let plan = FaultPlan::random(seed, &opts);
+            let departures = (0..8).filter(|&c| plan.departure_time(c).is_some()).count();
+            assert!(
+                departures <= opts.max_departures,
+                "seed {seed}: {departures} departures"
+            );
+            assert!(plan.permanent_survivors(8) >= 6);
+        }
+    }
+
+    #[test]
+    fn lifecycle_accessors_pick_the_right_event() {
+        let plan = FaultPlan::new(1)
+            .with(50.0, 3, FaultKind::LateJoin)
+            .with(80.0, 3, FaultKind::LateJoin)
+            .with(200.0, 4, FaultKind::Depart)
+            .with(150.0, 4, FaultKind::Depart)
+            .with(30.0, 5, FaultKind::Crash { down_secs: 10.0 })
+            .with(10.0, 5, FaultKind::Crash { down_secs: 5.0 });
+        assert_eq!(plan.join_time(3), Some(80.0), "latest join wins");
+        assert_eq!(
+            plan.departure_time(4),
+            Some(150.0),
+            "earliest departure wins"
+        );
+        assert_eq!(
+            plan.crashes(5),
+            vec![(10.0, 5.0), (30.0, 10.0)],
+            "sorted by time"
+        );
+        assert_eq!(plan.join_time(0), None);
+        assert_eq!(plan.permanent_survivors(6), 5);
+    }
+
+    #[test]
+    fn interpreter_consumes_armed_deliveries_in_order() {
+        let plan = FaultPlan::new(2)
+            .with(10.0, 0, FaultKind::DropResult)
+            .with(20.0, 0, FaultKind::CorruptResult)
+            .with(5.0, 1, FaultKind::DuplicateResult);
+        let mut interp = PlanInterpreter::new(&plan, 2);
+        // Before the arm time: nothing fires.
+        assert_eq!(interp.delivery_action(0, 9.0), DeliveryAction::Deliver);
+        // Both armed faults have passed by t=25, but only one fires per
+        // delivery, earliest first.
+        assert_eq!(interp.delivery_action(0, 25.0), DeliveryAction::Drop);
+        assert_eq!(interp.delivery_action(0, 25.0), DeliveryAction::Corrupt);
+        assert_eq!(interp.delivery_action(0, 25.0), DeliveryAction::Deliver);
+        assert_eq!(interp.delivery_action(1, 6.0), DeliveryAction::Duplicate);
+        assert_eq!(interp.consumed_deliveries(), (1, 1, 1));
+    }
+
+    #[test]
+    fn interpreter_scales_compute_and_link_inside_windows() {
+        let plan = FaultPlan::new(3)
+            .with(
+                100.0,
+                2,
+                FaultKind::Slowdown {
+                    factor: 4.0,
+                    duration_secs: 50.0,
+                },
+            )
+            .with(
+                120.0,
+                2,
+                FaultKind::Slowdown {
+                    factor: 2.0,
+                    duration_secs: 10.0,
+                },
+            )
+            .with(
+                40.0,
+                None,
+                FaultKind::LinkDegrade {
+                    factor: 5.0,
+                    duration_secs: 20.0,
+                },
+            );
+        let interp = PlanInterpreter::new(&plan, 4);
+        assert_eq!(interp.compute_scale(2, 99.0), 1.0);
+        assert_eq!(interp.compute_scale(2, 110.0), 4.0);
+        assert_eq!(
+            interp.compute_scale(2, 125.0),
+            8.0,
+            "overlapping windows multiply"
+        );
+        assert_eq!(
+            interp.compute_scale(2, 150.0),
+            1.0,
+            "window end is exclusive"
+        );
+        assert_eq!(
+            interp.compute_scale(0, 110.0),
+            1.0,
+            "other clients unaffected"
+        );
+        assert_eq!(interp.link_scale(45.0), 5.0);
+        assert_eq!(interp.link_scale(60.0), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_clients_are_ignored() {
+        let plan = FaultPlan::new(4).with(1.0, 99, FaultKind::DropResult);
+        let mut interp = PlanInterpreter::new(&plan, 4);
+        assert_eq!(interp.delivery_action(99, 5.0), DeliveryAction::Deliver);
+        assert_eq!(interp.compute_scale(99, 5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_fault_time_is_rejected() {
+        FaultPlan::new(0).push(-1.0, 0, FaultKind::Depart);
+    }
+}

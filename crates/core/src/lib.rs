@@ -23,16 +23,28 @@
 //!   `biodist-gridsim`'s virtual machines, network and clock; used by
 //!   every experiment harness (the paper's 200-PC campus replaced by a
 //!   deterministic simulator, per DESIGN.md).
+//!
+//! Fault tolerance is testable by construction: [`fault`] expresses
+//! seeded, replayable fault schedules ([`FaultPlan`]) interpreted by
+//! both backends, and [`audit`] wraps any problem with an invariant
+//! checker ([`audited`]) the chaos suite verifies after every run.
 
+pub mod audit;
 pub mod builtin;
+pub mod fault;
 pub mod problem;
 pub mod sched;
 pub mod server;
 pub mod sim_backend;
 pub mod thread_backend;
 
+pub use audit::{audited, AuditHandle};
+pub use fault::{
+    ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NoFaults,
+    PlanInterpreter,
+};
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 pub use sched::{ClientId, SchedulerConfig};
 pub use server::{Assignment, ProblemId, Server};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
-pub use thread_backend::run_threaded;
+pub use thread_backend::{run_threaded, run_threaded_faulty};

@@ -28,7 +28,10 @@ impl Payload {
     /// wire (used by the simulated network; pick the size the real
     /// serialised form would have).
     pub fn new<T: Any + Send + Sync>(value: T, wire_bytes: u64) -> Self {
-        Self { data: Box::new(value), wire_bytes }
+        Self {
+            data: Box::new(value),
+            wire_bytes,
+        }
     }
 
     /// Declared wire size in bytes.
@@ -47,10 +50,12 @@ impl Payload {
     /// Panics on type mismatch — that is always a programming error in
     /// the problem definition, not a runtime condition.
     pub fn into_inner<T: Any>(self) -> T {
-        *self
-            .data
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("payload type mismatch: expected {}", std::any::type_name::<T>()))
+        *self.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "payload type mismatch: expected {}",
+                std::any::type_name::<T>()
+            )
+        })
     }
 }
 
@@ -187,7 +192,10 @@ mod tests {
         struct NullAlgo;
         impl Algorithm for NullAlgo {
             fn compute(&self, unit: &WorkUnit) -> TaskResult {
-                TaskResult { unit_id: unit.id, payload: Payload::new((), 0) }
+                TaskResult {
+                    unit_id: unit.id,
+                    payload: Payload::new((), 0),
+                }
             }
         }
         struct NullDm;
@@ -203,8 +211,7 @@ mod tests {
                 Payload::new((), 0)
             }
         }
-        let p = Problem::new("demo", Box::new(NullDm), Arc::new(NullAlgo))
-            .with_setup_bytes(1024);
+        let p = Problem::new("demo", Box::new(NullDm), Arc::new(NullAlgo)).with_setup_bytes(1024);
         assert_eq!(p.name, "demo");
         assert_eq!(p.setup_bytes, 1024);
     }

@@ -42,6 +42,14 @@ pub struct SchedulerConfig {
     pub lease_factor: f64,
     /// Minimum absolute lease duration, seconds.
     pub lease_min_secs: f64,
+    /// Maximum number of lease-backoff doublings applied to a unit
+    /// whose lease keeps expiring (each expiry doubles the next lease
+    /// until this cap; see [`Scheduler::lease_deadline_backed_off`]).
+    pub max_backoff_doublings: u32,
+    /// Absolute ceiling on any lease duration, seconds. Bounds the
+    /// exponential backoff so a unit with a wildly wrong cost estimate
+    /// can never be parked on one donor for an unbounded time.
+    pub max_lease_secs: f64,
     /// Enable dynamic granularity (off = every hint is
     /// `prior_ops_per_sec × target_unit_secs`).
     pub enable_dynamic_granularity: bool,
@@ -64,6 +72,8 @@ impl Default for SchedulerConfig {
             prior_ops_per_sec: 1.0e7, // one PIII-1000 (gridsim scale)
             lease_factor: 4.0,
             lease_min_secs: 120.0,
+            max_backoff_doublings: 6,
+            max_lease_secs: 86_400.0,
             enable_dynamic_granularity: true,
             enable_adaptive: true,
             enable_redundant_dispatch: true,
@@ -107,10 +117,16 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates a scheduler with the given configuration.
     pub fn new(cfg: SchedulerConfig) -> Self {
-        assert!(cfg.target_unit_secs > 0.0, "target unit time must be positive");
+        assert!(
+            cfg.target_unit_secs > 0.0,
+            "target unit time must be positive"
+        );
         assert!(cfg.min_unit_ops > 0.0 && cfg.min_unit_ops <= cfg.max_unit_ops);
         assert!(cfg.max_redundancy >= 1);
-        Self { cfg, clients: HashMap::new() }
+        Self {
+            cfg,
+            clients: HashMap::new(),
+        }
     }
 
     /// The active configuration.
@@ -142,8 +158,31 @@ impl Scheduler {
     /// Lease deadline for a unit of `cost_ops` assigned to `client` at
     /// time `now`.
     pub fn lease_deadline(&self, client: ClientId, cost_ops: f64, now: f64) -> f64 {
+        self.lease_deadline_backed_off(client, cost_ops, now, 0)
+    }
+
+    /// Lease deadline with exponential backoff: every prior expiry of
+    /// the unit doubles the lease, so a unit whose true cost exceeds the
+    /// estimate converges instead of bouncing between reissue and the
+    /// same slow donor forever.
+    ///
+    /// The growth is clamped twice: at most
+    /// [`SchedulerConfig::max_backoff_doublings`] doublings (and never
+    /// more than 63, so the shift cannot overflow regardless of
+    /// configuration), and the resulting duration never exceeds
+    /// [`SchedulerConfig::max_lease_secs`].
+    pub fn lease_deadline_backed_off(
+        &self,
+        client: ClientId,
+        cost_ops: f64,
+        now: f64,
+        prior_expiries: u32,
+    ) -> f64 {
         let est = cost_ops / self.estimated_speed(client);
-        now + (est * self.cfg.lease_factor).max(self.cfg.lease_min_secs)
+        let base = (est * self.cfg.lease_factor).max(self.cfg.lease_min_secs);
+        let doublings = prior_expiries.min(self.cfg.max_backoff_doublings).min(63);
+        let factor = (1u64 << doublings) as f64;
+        now + (base * factor).min(self.cfg.max_lease_secs)
     }
 
     /// Records a completed unit: `cost_ops` of work observed to take
@@ -165,13 +204,46 @@ impl Scheduler {
 
     /// Units completed by `client`.
     pub fn units_completed(&self, client: ClientId) -> u64 {
-        self.clients.get(&client).map(|c| c.units_completed).unwrap_or(0)
+        self.clients
+            .get(&client)
+            .map(|c| c.units_completed)
+            .unwrap_or(0)
     }
 
     /// Whether redundant dispatch is allowed for a unit already running
     /// on `active_copies` donors.
     pub fn may_dispatch_redundant(&self, active_copies: u32) -> bool {
         self.cfg.enable_redundant_dispatch && active_copies < self.cfg.max_redundancy
+    }
+
+    /// Audits the scheduler's internal invariants, returning one
+    /// message per violation (empty = healthy). Checked by the chaos
+    /// harness after every fault-injected run:
+    ///
+    /// * every tracked client's EWMA speed estimate is finite and
+    ///   positive (a NaN or zero estimate would poison granularity and
+    ///   lease sizing for the rest of the run);
+    /// * every granularity hint lies inside the configured
+    ///   `[min_unit_ops, max_unit_ops]` bounds.
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (&id, state) in &self.clients {
+            if let Some(speed) = state.throughput.value() {
+                if !speed.is_finite() || speed <= 0.0 {
+                    violations.push(format!(
+                        "client {id}: EWMA speed estimate {speed} is not finite and positive"
+                    ));
+                }
+            }
+            let hint = self.granularity_hint(id);
+            if !(hint >= self.cfg.min_unit_ops && hint <= self.cfg.max_unit_ops) {
+                violations.push(format!(
+                    "client {id}: granularity hint {hint} outside [{}, {}]",
+                    self.cfg.min_unit_ops, self.cfg.max_unit_ops
+                ));
+            }
+        }
+        violations
     }
 }
 
@@ -226,12 +298,18 @@ mod tests {
             s.record_completion(1, 1e9, 1.0);
         }
         let hint = s.granularity_hint(1);
-        assert!((hint - 1.0e7 * 60.0).abs() < 1e-6, "hint must ignore history");
+        assert!(
+            (hint - 1.0e7 * 60.0).abs() < 1e-6,
+            "hint must ignore history"
+        );
     }
 
     #[test]
     fn disabling_adaptation_fixes_speed_estimates() {
-        let cfg = SchedulerConfig { enable_adaptive: false, ..Default::default() };
+        let cfg = SchedulerConfig {
+            enable_adaptive: false,
+            ..Default::default()
+        };
         let mut s = Scheduler::new(cfg);
         s.record_completion(1, 1e9, 1.0);
         assert_eq!(s.estimated_speed(1), 1.0e7);
@@ -260,6 +338,72 @@ mod tests {
         // Tiny unit: the 120 s minimum applies.
         let d2 = s.lease_deadline(0, 1e3, 0.0);
         assert!((d2 - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lease_backoff_doubles_then_clamps() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        // Base lease for a tiny unit is the 120 s minimum.
+        let base = s.lease_deadline_backed_off(0, 1e3, 0.0, 0);
+        assert!((base - 120.0).abs() < 1e-9);
+        assert!((s.lease_deadline_backed_off(0, 1e3, 0.0, 1) - 240.0).abs() < 1e-9);
+        assert!((s.lease_deadline_backed_off(0, 1e3, 0.0, 2) - 480.0).abs() < 1e-9);
+        // The doubling count clamps at max_backoff_doublings (6 → 64×).
+        let capped = s.lease_deadline_backed_off(0, 1e3, 0.0, 6);
+        assert!((capped - 120.0 * 64.0).abs() < 1e-9);
+        assert_eq!(s.lease_deadline_backed_off(0, 1e3, 0.0, 1000), capped);
+    }
+
+    #[test]
+    fn lease_backoff_never_overflows_or_grows_unbounded() {
+        // Regression: the pre-refactor backoff computed `1u32 << n` with
+        // an inline clamp; a configuration raising the clamp past 31
+        // would have overflowed the shift, and nothing bounded the
+        // resulting lease length. Both hazards are now clamped here.
+        let s = Scheduler::new(SchedulerConfig {
+            max_backoff_doublings: 200, // absurd config must still be safe
+            ..Default::default()
+        });
+        for expiries in [0u32, 31, 32, 63, 64, 1_000, u32::MAX] {
+            let d = s.lease_deadline_backed_off(0, 1e9, 1_000.0, expiries);
+            assert!(
+                d.is_finite(),
+                "deadline must stay finite at {expiries} expiries"
+            );
+            assert!(
+                d - 1_000.0 <= s.config().max_lease_secs + 1e-9,
+                "lease {d} exceeds the absolute cap after {expiries} expiries"
+            );
+        }
+        // The cap also bounds huge units on slow estimates.
+        let mut slow = Scheduler::new(SchedulerConfig::default());
+        for _ in 0..20 {
+            slow.record_completion(7, 1.0, 1.0); // ~1 op/s donor
+        }
+        let d = slow.lease_deadline_backed_off(7, 1e12, 0.0, 6);
+        assert!(d <= slow.config().max_lease_secs + 1e-9);
+    }
+
+    #[test]
+    fn audit_is_clean_on_a_healthy_scheduler() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        for c in 0..4 {
+            s.record_completion(c, 1e7, 1.0);
+        }
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_flags_poisoned_speed_estimates() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.record_completion(3, f64::NAN, 1.0);
+        let violations = s.audit();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("client 3") && v.contains("EWMA")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub struct ProblemStats {
     pub reissued_units: u64,
     /// Results discarded because another copy finished first.
     pub wasted_results: u64,
+    /// Results that arrived corrupted (failed the transport checksum)
+    /// and whose unit was cancelled and queued for reissue.
+    pub corrupted_results: u64,
 }
 
 /// The distributed system's server (paper §2.1).
@@ -261,17 +264,19 @@ impl Server {
         now: f64,
         redundant: bool,
     ) -> Assignment {
-        let base_deadline = self.sched.lease_deadline(client, unit.cost_ops, now);
         // Exponential backoff: every expiry doubles the next lease, so a
         // unit whose true cost exceeds the estimate converges instead of
-        // bouncing between reissue and the same slow donor forever.
+        // bouncing between reissue and the same slow donor forever. The
+        // scheduler clamps both the doubling count and the absolute
+        // lease length.
         let expiries = self.problems[pid]
             .reissue_counts
             .get(&unit.id)
             .copied()
-            .unwrap_or(0)
-            .min(6);
-        let deadline = now + (base_deadline - now) * f64::from(1u32 << expiries);
+            .unwrap_or(0);
+        let deadline = self
+            .sched
+            .lease_deadline_backed_off(client, unit.cost_ops, now, expiries);
         let p = &mut self.problems[pid];
         p.stats.assignments += 1;
         if redundant {
@@ -279,10 +284,21 @@ impl Server {
         }
         p.in_flight
             .entry(unit.id)
-            .or_insert_with(|| InFlight { unit: unit.clone(), leases: Vec::new() })
+            .or_insert_with(|| InFlight {
+                unit: unit.clone(),
+                leases: Vec::new(),
+            })
             .leases
-            .push(Lease { client, assigned_at: now, deadline });
-        Assignment::Unit { problem: pid, unit, algorithm: p.algorithm.clone() }
+            .push(Lease {
+                client,
+                assigned_at: now,
+                deadline,
+            });
+        Assignment::Unit {
+            problem: pid,
+            unit,
+            algorithm: p.algorithm.clone(),
+        }
     }
 
     /// A client reports a result at time `now`. Returns `true` if the
@@ -305,7 +321,10 @@ impl Server {
                 match pos {
                     Some(i) => {
                         let unit = p.reissue.remove(i).expect("position is valid");
-                        Some(InFlight { unit, leases: Vec::new() })
+                        Some(InFlight {
+                            unit,
+                            leases: Vec::new(),
+                        })
                     }
                     None => None,
                 }
@@ -354,12 +373,46 @@ impl Server {
             for uid in expired_units {
                 let inf = p.in_flight.remove(&uid).expect("present");
                 p.reissue.push_back(inf.unit);
-                *p.reissue_counts.entry(uid).or_insert(0) += 1;
+                let n = p.reissue_counts.entry(uid).or_insert(0);
+                *n = n.saturating_add(1);
                 p.stats.reissued_units += 1;
                 reissued += 1;
             }
         }
         reissued
+    }
+
+    /// A client's result arrived corrupted (detected by the transport
+    /// checksum): its lease on the unit is cancelled and, if no other
+    /// copy is still in flight, the unit is queued for reissue. Unlike
+    /// a lease expiry this does not bump the unit's backoff count — the
+    /// donor was not slow, the wire was bad. Returns `true` if the
+    /// corruption mattered (the unit was still pending).
+    pub fn result_corrupted(
+        &mut self,
+        client: ClientId,
+        problem: ProblemId,
+        unit: UnitId,
+        _now: f64,
+    ) -> bool {
+        let p = &mut self.problems[problem];
+        if p.done {
+            return false;
+        }
+        // Every detected corruption counts, even when another copy of
+        // the unit already landed — the wire was bad either way.
+        p.stats.corrupted_results += 1;
+        let Some(inf) = p.in_flight.get_mut(&unit) else {
+            // Already completed by another copy or already queued for
+            // reissue; nothing to cancel.
+            return false;
+        };
+        inf.leases.retain(|l| l.client != client);
+        if inf.leases.is_empty() {
+            let inf = p.in_flight.remove(&unit).expect("present");
+            p.reissue.push_back(inf.unit);
+        }
+        true
     }
 
     /// A client left the pool (churn): its leases are cancelled and any
@@ -404,7 +457,15 @@ mod tests {
 
     impl SumDm {
         fn new(n: u64, chunk: u64) -> Self {
-            Self { next: 1, n, chunk, issued: 0, received: 0, total: 0, next_id: 0 }
+            Self {
+                next: 1,
+                n,
+                chunk,
+                issued: 0,
+                received: 0,
+                total: 0,
+                next_id: 0,
+            }
         }
     }
 
@@ -441,7 +502,10 @@ mod tests {
     impl Algorithm for SumAlgo {
         fn compute(&self, unit: &WorkUnit) -> TaskResult {
             let &(lo, hi) = unit.payload.downcast_ref::<(u64, u64)>().unwrap();
-            TaskResult { unit_id: unit.id, payload: Payload::new((lo..=hi).sum::<u64>(), 8) }
+            TaskResult {
+                unit_id: unit.id,
+                payload: Payload::new((lo..=hi).sum::<u64>(), 8),
+            }
         }
     }
 
@@ -457,7 +521,11 @@ mod tests {
             let mut any = false;
             for &c in clients {
                 match server.request_work(c, now) {
-                    Assignment::Unit { problem, unit, algorithm } => {
+                    Assignment::Unit {
+                        problem,
+                        unit,
+                        algorithm,
+                    } => {
                         let result = algorithm.compute(&unit);
                         now += 1.0;
                         server.submit_result(c, problem, result, now);
@@ -547,14 +615,18 @@ mod tests {
             ..Default::default()
         });
         server.submit(sum_problem(10, 100)); // single unit
-        // Client 0 takes the unit and vanishes.
+                                             // Client 0 takes the unit and vanishes.
         let Assignment::Unit { .. } = server.request_work(0, 0.0) else {
             panic!("expected unit");
         };
         assert_eq!(server.check_timeouts(5.0), 0, "lease still valid");
         assert_eq!(server.check_timeouts(100.0), 1, "lease expired");
         // Client 1 picks up the reissued unit.
-        let Assignment::Unit { problem, unit, algorithm } = server.request_work(1, 101.0)
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(1, 101.0)
         else {
             panic!("expected reissued unit");
         };
@@ -568,7 +640,11 @@ mod tests {
     fn duplicate_result_is_discarded() {
         let mut server = Server::new(SchedulerConfig::default());
         server.submit(sum_problem(10, 5)); // two units
-        let Assignment::Unit { problem, unit, algorithm } = server.request_work(0, 0.0)
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 0.0)
         else {
             panic!()
         };
@@ -577,7 +653,10 @@ mod tests {
         let r1 = algorithm.compute(&unit);
         let r2 = algorithm.compute(&unit);
         assert!(server.submit_result(0, problem, r1, 1.0));
-        assert!(!server.submit_result(0, problem, r2, 2.0), "duplicate discarded");
+        assert!(
+            !server.submit_result(0, problem, r2, 2.0),
+            "duplicate discarded"
+        );
         assert_eq!(server.stats(0).wasted_results, 1);
     }
 
@@ -589,7 +668,11 @@ mod tests {
             panic!()
         };
         // No fresh units left; client 1 should get a redundant copy.
-        let Assignment::Unit { unit: u1, problem, algorithm } = server.request_work(1, 1.0)
+        let Assignment::Unit {
+            unit: u1,
+            problem,
+            algorithm,
+        } = server.request_work(1, 1.0)
         else {
             panic!("expected redundant dispatch")
         };
@@ -607,7 +690,9 @@ mod tests {
     fn naive_config_never_dispatches_redundantly() {
         let mut server = Server::new(SchedulerConfig::naive());
         server.submit(sum_problem(10, 100));
-        let Assignment::Unit { .. } = server.request_work(0, 0.0) else { panic!() };
+        let Assignment::Unit { .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
         assert!(matches!(server.request_work(1, 1.0), Assignment::Wait));
     }
 
@@ -624,6 +709,102 @@ mod tests {
             panic!()
         };
         assert_eq!(u0.id, u1.id, "orphaned unit comes back first");
+    }
+
+    #[test]
+    fn corrupted_result_cancels_lease_and_reissues() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(10, 100)); // single unit
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 0.0)
+        else {
+            panic!()
+        };
+        assert!(server.result_corrupted(0, problem, unit.id, 1.0));
+        assert_eq!(server.stats(0).corrupted_results, 1);
+        // The unit must come back to the next requester, and the run
+        // must still finish with the right answer.
+        let Assignment::Unit { unit: u1, .. } = server.request_work(1, 2.0) else {
+            panic!("corrupted unit must be reissued")
+        };
+        assert_eq!(u1.id, unit.id);
+        let r = algorithm.compute(&u1);
+        assert!(server.submit_result(1, problem, r, 3.0));
+        assert!(server.all_complete());
+        assert_eq!(
+            server.take_output(0).unwrap().into_inner::<u64>(),
+            10 * 11 / 2
+        );
+    }
+
+    #[test]
+    fn corruption_with_a_live_redundant_copy_keeps_the_other_lease() {
+        let mut server = Server::new(SchedulerConfig::default());
+        server.submit(sum_problem(10, 100)); // single unit → end-game
+        let Assignment::Unit { problem, unit, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        let Assignment::Unit {
+            unit: u1,
+            algorithm,
+            ..
+        } = server.request_work(1, 1.0)
+        else {
+            panic!("expected redundant dispatch")
+        };
+        assert_eq!(unit.id, u1.id);
+        // Client 0's copy corrupts; client 1's lease survives, so the
+        // unit is NOT queued for reissue and client 1's result lands.
+        assert!(server.result_corrupted(0, problem, unit.id, 2.0));
+        let r = algorithm.compute(&u1);
+        assert!(server.submit_result(1, problem, r, 3.0));
+        assert!(server.all_complete());
+        // Corruption after completion is a no-op.
+        assert!(!server.result_corrupted(1, problem, unit.id, 4.0));
+    }
+
+    #[test]
+    fn lease_backoff_is_clamped_after_many_reissues() {
+        // Regression (satellite 3): before the clamp moved into the
+        // scheduler, each expiry doubled the lease without an absolute
+        // bound. Force hundreds of expiries of one unit and check the
+        // lease length stays at the configured cap.
+        let cfg = SchedulerConfig {
+            lease_min_secs: 10.0,
+            lease_factor: 1.0,
+            max_lease_secs: 500.0,
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        };
+        let mut server = Server::new(cfg);
+        server.submit(sum_problem(10, 100)); // single unit
+        let mut now = 0.0;
+        for round in 0..300 {
+            let Assignment::Unit { .. } = server.request_work(0, now) else {
+                panic!("unit must be reissued every round (round {round})");
+            };
+            // Expire far in the future; the lease may never stretch
+            // past now + max_lease_secs.
+            now += 1e6;
+            assert_eq!(server.check_timeouts(now), 1, "round {round}");
+        }
+        assert_eq!(server.stats(0).reissued_units, 300);
+        // One more cycle to show the unit is still schedulable and the
+        // deadline is finite: a fresh client completes it.
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(1, now)
+        else {
+            panic!()
+        };
+        let r = algorithm.compute(&unit);
+        assert!(server.submit_result(1, problem, r, now + 1.0));
+        assert!(server.all_complete());
     }
 
     #[test]
@@ -683,11 +864,19 @@ mod tests {
         });
         server.submit(Problem::new(
             "staged",
-            Box::new(Staged { stage: 1, in_flight: false, acc: 0 }),
+            Box::new(Staged {
+                stage: 1,
+                in_flight: false,
+                acc: 0,
+            }),
             Arc::new(Echo),
         ));
         // Client 0 gets stage 1; client 1 must Wait (barrier).
-        let Assignment::Unit { problem, unit, algorithm } = server.request_work(0, 0.0)
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 0.0)
         else {
             panic!()
         };
@@ -695,7 +884,11 @@ mod tests {
         let r = algorithm.compute(&unit);
         server.submit_result(0, problem, r, 1.0);
         // Stage 2 now available.
-        let Assignment::Unit { problem, unit, algorithm } = server.request_work(1, 1.1)
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(1, 1.1)
         else {
             panic!("stage 2 must open after the barrier")
         };

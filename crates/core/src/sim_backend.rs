@@ -17,6 +17,7 @@
 //! client ──next request…
 //! ```
 
+use crate::fault::{DeliveryAction, FaultInjector, FaultPlan, PlanInterpreter};
 use crate::problem::{Algorithm, TaskResult, WorkUnit};
 use crate::server::{Assignment, ProblemId, Server};
 use biodist_gridsim::event::EventQueue;
@@ -70,6 +71,8 @@ pub struct RunReport {
     pub reissued_units: u64,
     /// Results discarded as duplicates.
     pub wasted_results: u64,
+    /// Results that arrived corrupted and were reissued.
+    pub corrupted_results: u64,
     /// Bytes moved over the server link.
     pub bytes_transferred: u64,
     /// Mean seconds messages queued behind the shared link.
@@ -78,13 +81,36 @@ pub struct RunReport {
     pub mean_utilization: f64,
 }
 
+// Per-machine events carry the machine's lifecycle epoch at scheduling
+// time; a crash bumps the epoch, so events from the previous life
+// (in-flight deliveries, compute completions, stale request loops) are
+// discarded instead of resurrecting after the rejoin.
 enum Ev {
     Join(usize),
-    SetupDone(usize),
-    RequestArrived(usize),
-    UnitDelivered { machine: usize, problem: ProblemId, unit: Arc<WorkUnit>, algorithm: Arc<dyn Algorithm> },
-    ComputeDone { machine: usize, problem: ProblemId, result: TaskResult },
+    SetupDone(usize, u32),
+    RequestArrived(usize, u32),
+    UnitDelivered {
+        machine: usize,
+        epoch: u32,
+        problem: ProblemId,
+        unit: Arc<WorkUnit>,
+        algorithm: Arc<dyn Algorithm>,
+    },
+    // Carries the unit + algorithm so a Duplicate delivery fault can
+    // materialise the second copy (results are not clonable).
+    ComputeDone {
+        machine: usize,
+        epoch: u32,
+        problem: ProblemId,
+        result: TaskResult,
+        unit: Arc<WorkUnit>,
+        algorithm: Arc<dyn Algorithm>,
+    },
     Leave(usize),
+    Crash {
+        machine: usize,
+        down_secs: f64,
+    },
     TimeoutCheck,
 }
 
@@ -94,6 +120,7 @@ pub struct SimRunner {
     machines: Vec<Machine>,
     network: CampusNetwork,
     cfg: SimConfig,
+    plan: FaultPlan,
 }
 
 impl SimRunner {
@@ -114,31 +141,76 @@ impl SimRunner {
     ) -> Self {
         assert!(!machines.is_empty(), "need at least one machine");
         assert!(server.problem_count() > 0, "no problems submitted");
-        Self { server, machines, network, cfg }
+        Self {
+            server,
+            machines,
+            network,
+            cfg,
+            plan: FaultPlan::none(),
+        }
     }
 
     /// Convenience constructor with the 100 Mbit/s link and defaults.
     pub fn with_defaults(server: Server, machines: Vec<Machine>) -> Self {
-        Self::new(server, machines, SharedLink::hundred_mbit(), SimConfig::default())
+        Self::new(
+            server,
+            machines,
+            SharedLink::hundred_mbit(),
+            SimConfig::default(),
+        )
+    }
+
+    /// Injects a [`FaultPlan`] into the run. Lifecycle faults become
+    /// simulator events (a `LateJoin` overrides the machine's arrival
+    /// with the later time, a `Depart` with the earlier departure);
+    /// slowdowns scale the machine's compute model per unit; delivery
+    /// faults mutate result messages; link faults degrade the shared
+    /// server link.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// Runs to completion, returning the report and the server (which
     /// holds problem outputs).
     pub fn run(mut self) -> (RunReport, Server) {
         let n = self.machines.len();
+        let plan = std::mem::replace(&mut self.plan, FaultPlan::none());
+        let mut injector = PlanInterpreter::new(&plan, n);
         let mut events: EventQueue<Ev> = EventQueue::new();
         let mut alive = vec![false; n];
+        let mut departed = vec![false; n];
+        let mut epoch = vec![0u32; n];
         let mut busy_time = vec![0.0f64; n];
-        let mut pending_joins = n;
+        // Joins (initial + crash rejoins) scheduled but not yet fired;
+        // the all-donors-gone check must count them as future capacity.
+        let mut scheduled_joins = 0usize;
 
         let total_setup: u64 = (0..self.server.problem_count())
             .map(|p| self.server.setup_bytes(p))
             .sum();
 
         for m in 0..n {
-            events.schedule(self.machines[m].arrival, Ev::Join(m));
-            if let Some(d) = self.machines[m].departure {
+            let join_at = plan.join_time(m).map_or(self.machines[m].arrival, |t| {
+                t.max(self.machines[m].arrival)
+            });
+            events.schedule(join_at, Ev::Join(m));
+            scheduled_joins += 1;
+            let leave_at = match (self.machines[m].departure, plan.departure_time(m)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if let Some(d) = leave_at {
                 events.schedule(d, Ev::Leave(m));
+            }
+            for (at, down_secs) in plan.crashes(m) {
+                events.schedule(
+                    at,
+                    Ev::Crash {
+                        machine: m,
+                        down_secs,
+                    },
+                );
             }
         }
         events.schedule(self.cfg.timeout_check_secs, Ev::TimeoutCheck);
@@ -148,13 +220,16 @@ impl SimRunner {
             if debug {
                 let tag = match &ev {
                     Ev::Join(m) => format!("join {m}"),
-                    Ev::SetupDone(m) => format!("setup {m}"),
-                    Ev::RequestArrived(m) => format!("req {m}"),
+                    Ev::SetupDone(m, e) => format!("setup {m} (epoch {e})"),
+                    Ev::RequestArrived(m, e) => format!("req {m} (epoch {e})"),
                     Ev::UnitDelivered { machine, unit, .. } => {
                         format!("deliver {machine} unit {}", unit.id)
                     }
                     Ev::ComputeDone { machine, .. } => format!("compute-done {machine}"),
                     Ev::Leave(m) => format!("leave {m}"),
+                    Ev::Crash { machine, down_secs } => {
+                        format!("crash {machine} (down {down_secs:.1}s)")
+                    }
                     Ev::TimeoutCheck => "timeout-check".into(),
                 };
                 eprintln!("[sim {now:.3}] {tag}");
@@ -169,65 +244,171 @@ impl SimRunner {
             }
             match ev {
                 Ev::Join(m) => {
-                    alive[m] = true;
-                    pending_joins -= 1;
-                    // Download algorithm code + problem data for every
-                    // submitted problem, then start requesting work.
-                    let done = self.network.transfer(m, now, total_setup);
-                    events.schedule(done, Ev::SetupDone(m));
-                }
-                Ev::SetupDone(m) | Ev::RequestArrived(m) => {
-                    if !alive[m] {
+                    scheduled_joins -= 1;
+                    if departed[m] {
+                        // Permanently departed while down; never rejoins.
                         continue;
                     }
+                    alive[m] = true;
+                    // Download algorithm code + problem data for every
+                    // submitted problem (again, after a crash reboot),
+                    // then start requesting work.
+                    self.network
+                        .set_server_degradation(injector.link_scale(now));
+                    let done = self.network.transfer(m, now, total_setup);
+                    events.schedule(done, Ev::SetupDone(m, epoch[m]));
+                }
+                Ev::SetupDone(m, e) | Ev::RequestArrived(m, e) => {
+                    if !alive[m] || e != epoch[m] {
+                        continue; // stale request loop from a past life
+                    }
                     match self.server.request_work(m, now) {
-                        Assignment::Unit { problem, unit, algorithm } => {
+                        Assignment::Unit {
+                            problem,
+                            unit,
+                            algorithm,
+                        } => {
                             let bytes = unit.payload.wire_bytes() + self.cfg.control_bytes;
+                            self.network
+                                .set_server_degradation(injector.link_scale(now));
                             let delivered = self.network.transfer(m, now, bytes);
                             events.schedule(
                                 delivered,
-                                Ev::UnitDelivered { machine: m, problem, unit, algorithm },
+                                Ev::UnitDelivered {
+                                    machine: m,
+                                    epoch: e,
+                                    problem,
+                                    unit,
+                                    algorithm,
+                                },
                             );
                         }
                         Assignment::Wait => {
                             let retry = now + self.cfg.poll_interval_secs;
-                            let arrives =
-                                self.network.transfer(m, retry, self.cfg.control_bytes);
-                            events.schedule(arrives, Ev::RequestArrived(m));
+                            self.network
+                                .set_server_degradation(injector.link_scale(retry));
+                            let arrives = self.network.transfer(m, retry, self.cfg.control_bytes);
+                            events.schedule(arrives, Ev::RequestArrived(m, e));
                         }
                         Assignment::Finished => {}
                     }
                 }
-                Ev::UnitDelivered { machine: m, problem, unit, algorithm } => {
-                    if !alive[m] {
-                        continue;
+                Ev::UnitDelivered {
+                    machine: m,
+                    epoch: e,
+                    problem,
+                    unit,
+                    algorithm,
+                } => {
+                    if !alive[m] || e != epoch[m] {
+                        continue; // unit lost with the crashed machine
                     }
                     // Execute for real (correct output), charge virtual
                     // time from the cost model and the machine's trace.
+                    // An active straggler window scales the unit's
+                    // compute time (sampled once, at unit start).
                     let result = algorithm.compute(&unit);
+                    let scale = injector.compute_scale(m, now);
+                    self.machines[m].set_speed_scale(1.0 / scale);
                     let finish = self.machines[m].finish_time(now, unit.cost_ops);
                     busy_time[m] += finish - now;
-                    events.schedule(finish, Ev::ComputeDone { machine: m, problem, result });
+                    events.schedule(
+                        finish,
+                        Ev::ComputeDone {
+                            machine: m,
+                            epoch: e,
+                            problem,
+                            result,
+                            unit,
+                            algorithm,
+                        },
+                    );
                 }
-                Ev::ComputeDone { machine: m, problem, result } => {
-                    if !alive[m] {
+                Ev::ComputeDone {
+                    machine: m,
+                    epoch: e,
+                    problem,
+                    result,
+                    unit,
+                    algorithm,
+                } => {
+                    if !alive[m] || e != epoch[m] {
                         continue; // work lost with the departed machine
                     }
-                    let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
-                    let arrives = self.network.transfer(m, now, bytes);
-                    // The result message doubles as the next work request.
-                    self.server.submit_result(m, problem, result, arrives);
-                    events.schedule(arrives, Ev::RequestArrived(m));
+                    self.network
+                        .set_server_degradation(injector.link_scale(now));
+                    match injector.delivery_action(m, now) {
+                        DeliveryAction::Deliver => {
+                            let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
+                            let arrives = self.network.transfer(m, now, bytes);
+                            // The result message doubles as the next
+                            // work request.
+                            self.server.submit_result(m, problem, result, arrives);
+                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                        }
+                        DeliveryAction::Drop => {
+                            // The message vanishes in transit; the lease
+                            // must expire to recover the unit. The client
+                            // re-polls after its usual interval.
+                            let retry = now + self.cfg.poll_interval_secs;
+                            let arrives = self.network.transfer(m, retry, self.cfg.control_bytes);
+                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                        }
+                        DeliveryAction::Duplicate => {
+                            // Retransmission bug: the same result lands
+                            // twice; the server must accept exactly one.
+                            let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
+                            let arrives = self.network.transfer(m, now, bytes);
+                            let copy = algorithm.compute(&unit);
+                            let second = self.network.transfer(m, arrives, bytes);
+                            self.server.submit_result(m, problem, result, arrives);
+                            self.server.submit_result(m, problem, copy, second);
+                            events.schedule(second, Ev::RequestArrived(m, e));
+                        }
+                        DeliveryAction::Corrupt => {
+                            // The payload fails the transport checksum;
+                            // the server cancels the lease and reissues.
+                            let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
+                            let arrives = self.network.transfer(m, now, bytes);
+                            self.server
+                                .result_corrupted(m, problem, result.unit_id, arrives);
+                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                        }
+                    }
                 }
                 Ev::Leave(m) => {
-                    alive[m] = false;
-                    if self.cfg.announced_departures {
-                        self.server.client_gone(m);
+                    departed[m] = true;
+                    if alive[m] {
+                        alive[m] = false;
+                        epoch[m] += 1;
+                        if self.cfg.announced_departures {
+                            self.server.client_gone(m);
+                        }
                     }
                     assert!(
-                        alive.iter().any(|&a| a) || pending_joins > 0,
+                        alive.iter().any(|&a| a) || scheduled_joins > 0,
                         "simulation ended with incomplete problems (all donors gone)"
                     );
+                }
+                Ev::Crash {
+                    machine: m,
+                    down_secs,
+                } => {
+                    if !alive[m] || departed[m] {
+                        continue; // already down or gone; nothing to lose
+                    }
+                    // Silent crash: in-flight work is lost (the epoch
+                    // bump discards it) and the server only learns via
+                    // lease expiry. The machine reboots and rejoins.
+                    alive[m] = false;
+                    epoch[m] += 1;
+                    // The availability trace is generated forward-only
+                    // and a discarded in-flight unit may already have
+                    // sampled it past `now`; the reboot cannot rejoin
+                    // before the trace's high-water mark.
+                    let rejoin = (now + down_secs).max(self.machines[m].trace_time());
+                    events.schedule(rejoin, Ev::Join(m));
+                    scheduled_joins += 1;
                 }
                 Ev::TimeoutCheck => {
                     self.server.check_timeouts(now);
@@ -244,7 +425,8 @@ impl SimRunner {
         );
 
         let mut problem_completion = Vec::new();
-        let (mut total_units, mut redundant, mut reissued, mut wasted) = (0, 0, 0, 0);
+        let (mut total_units, mut redundant, mut reissued, mut wasted, mut corrupted) =
+            (0, 0, 0, 0, 0);
         let mut makespan = 0.0f64;
         for pid in 0..self.server.problem_count() {
             let t = self.server.completion_time(pid).expect("complete");
@@ -255,15 +437,16 @@ impl SimRunner {
             redundant += s.redundant_dispatches;
             reissued += s.reissued_units;
             wasted += s.wasted_results;
+            corrupted += s.corrupted_results;
         }
 
         let mut util_sum = 0.0;
         let mut util_n = 0usize;
-        for m in 0..n {
-            let end = self.machines[m].departure.unwrap_or(makespan).min(makespan);
-            let present = end - self.machines[m].arrival;
+        for (machine, busy) in self.machines.iter().zip(&busy_time) {
+            let end = machine.departure.unwrap_or(makespan).min(makespan);
+            let present = end - machine.arrival;
             if present > 0.0 {
-                util_sum += (busy_time[m] / present).min(1.0);
+                util_sum += (busy / present).min(1.0);
                 util_n += 1;
             }
         }
@@ -275,9 +458,14 @@ impl SimRunner {
             redundant_dispatches: redundant,
             reissued_units: reissued,
             wasted_results: wasted,
+            corrupted_results: corrupted,
             bytes_transferred: self.network.total_bytes(),
             mean_link_queue_wait: self.network.mean_server_queue_wait(),
-            mean_utilization: if util_n == 0 { 0.0 } else { util_sum / util_n as f64 },
+            mean_utilization: if util_n == 0 {
+                0.0
+            } else {
+                util_sum / util_n as f64
+            },
         };
         (report, self.server)
     }
@@ -322,7 +510,11 @@ mod tests {
             let server = pi_server(500_000);
             let machines = homogeneous_lab(8, 11);
             let (report, _) = SimRunner::with_defaults(server, machines).run();
-            (report.makespan, report.total_units, report.bytes_transferred)
+            (
+                report.makespan,
+                report.total_units,
+                report.bytes_transferred,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -369,10 +561,12 @@ mod tests {
         // Machine 0 leaves early, mid-computation.
         machines[0].departure = Some(30.0);
         let server = pi_server(10_000_000);
-        let (report, mut server) =
-            SimRunner::with_defaults(server, machines).run();
+        let (report, mut server) = SimRunner::with_defaults(server, machines).run();
         let pi = server.take_output(0).unwrap().into_inner::<f64>();
-        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "correct despite churn");
+        assert!(
+            (pi - std::f64::consts::PI).abs() < 1e-8,
+            "correct despite churn"
+        );
         assert!(report.makespan.is_finite());
     }
 
@@ -400,7 +594,10 @@ mod tests {
                 ..Default::default()
             });
             server.submit(integration_problem(2_000_000)); // 4e8 ops, one unit
-            let cfg = SimConfig { announced_departures: announced, ..Default::default() };
+            let cfg = SimConfig {
+                announced_departures: announced,
+                ..Default::default()
+            };
             let (report, mut server) = SimRunner::new(
                 server,
                 machines,
@@ -420,6 +617,110 @@ mod tests {
         assert!(
             announced + 60.0 < silent,
             "announced {announced} should beat silent {silent} by the lease delay"
+        );
+    }
+
+    #[test]
+    fn crashed_machine_rejoins_and_the_run_stays_correct() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let server = pi_server(10_000_000);
+        let plan = FaultPlan::new(0)
+            .with(15.0, 0, FaultKind::Crash { down_secs: 60.0 })
+            .with(20.0, 1, FaultKind::Crash { down_secs: 30.0 });
+        let (report, mut server) = SimRunner::with_defaults(server, dedicated_pool(3, 1e7))
+            .with_faults(plan)
+            .run();
+        let pi = server.take_output(0).unwrap().into_inner::<f64>();
+        assert!(
+            (pi - std::f64::consts::PI).abs() < 1e-8,
+            "correct despite crashes"
+        );
+        assert!(report.makespan.is_finite());
+    }
+
+    #[test]
+    fn dropped_result_is_recovered_by_lease_expiry() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // No redundant dispatch: lease expiry must be the only path
+        // that recovers the dropped unit.
+        let mk_server = || {
+            let mut server = Server::new(SchedulerConfig {
+                target_unit_secs: 10.0,
+                enable_redundant_dispatch: false,
+                ..Default::default()
+            });
+            server.submit(integration_problem(5_000_000));
+            server
+        };
+        let clean = {
+            let (report, _) = SimRunner::with_defaults(mk_server(), dedicated_pool(2, 1e7)).run();
+            report.makespan
+        };
+        let plan = FaultPlan::new(0).with(1.0, 0, FaultKind::DropResult);
+        let (report, mut server) = SimRunner::with_defaults(mk_server(), dedicated_pool(2, 1e7))
+            .with_faults(plan)
+            .run();
+        let pi = server.take_output(0).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8);
+        assert!(
+            report.reissued_units >= 1,
+            "the dropped unit must be reissued"
+        );
+        assert!(report.makespan > clean, "losing a result must cost time");
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_deliveries_are_handled() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new(0)
+            .with(1.0, 0, FaultKind::DuplicateResult)
+            .with(1.0, 1, FaultKind::CorruptResult);
+        let (report, mut server) =
+            SimRunner::with_defaults(pi_server(5_000_000), dedicated_pool(3, 1e7))
+                .with_faults(plan)
+                .run();
+        let pi = server.take_output(0).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8);
+        assert!(
+            report.wasted_results >= 1,
+            "duplicate copy must be discarded"
+        );
+        assert!(report.corrupted_results >= 1, "corruption must be detected");
+    }
+
+    #[test]
+    fn straggler_slowdown_and_link_flap_cost_time_but_not_correctness() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let run = |plan: FaultPlan| {
+            let (report, mut server) =
+                SimRunner::with_defaults(pi_server(5_000_000), dedicated_pool(2, 1e7))
+                    .with_faults(plan)
+                    .run();
+            let pi = server.take_output(0).unwrap().into_inner::<f64>();
+            assert!((pi - std::f64::consts::PI).abs() < 1e-8);
+            report.makespan
+        };
+        let clean = run(FaultPlan::none());
+        let slow = run(FaultPlan::new(0).with(
+            0.0,
+            0,
+            FaultKind::Slowdown {
+                factor: 8.0,
+                duration_secs: 400.0,
+            },
+        ));
+        assert!(slow > clean, "straggler {slow} must exceed clean {clean}");
+        let flappy = run(FaultPlan::new(0).with(
+            0.0,
+            None,
+            FaultKind::LinkDegrade {
+                factor: 50.0,
+                duration_secs: 400.0,
+            },
+        ));
+        assert!(
+            flappy > clean,
+            "degraded link {flappy} must exceed clean {clean}"
         );
     }
 

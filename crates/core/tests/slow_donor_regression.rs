@@ -31,8 +31,13 @@ fn slow_donor_with_silent_departure_completes() {
         max_virtual_secs: 5_000.0, // the livelock used to blow past this
         ..Default::default()
     };
-    let (report, mut server) =
-        SimRunner::new(server, slow_pool(Some(50.0)), SharedLink::hundred_mbit(), cfg).run();
+    let (report, mut server) = SimRunner::new(
+        server,
+        slow_pool(Some(50.0)),
+        SharedLink::hundred_mbit(),
+        cfg,
+    )
+    .run();
     let pi = server.take_output(pid).unwrap().into_inner::<f64>();
     assert!((pi - std::f64::consts::PI).abs() < 1e-7);
     // Lease expiry (~180 s scan) + one full 400 s computation.
@@ -54,8 +59,13 @@ fn stale_lease_result_is_accepted_not_wasted() {
         ..Default::default()
     };
     // Single slow machine: nothing else can compute the reissued copy.
-    let machines =
-        vec![Machine::new(0, "slow", 1e6, AvailabilityModel::dedicated(), 5)];
+    let machines = vec![Machine::new(
+        0,
+        "slow",
+        1e6,
+        AvailabilityModel::dedicated(),
+        5,
+    )];
     let (report, mut server) =
         SimRunner::new(server, machines, SharedLink::hundred_mbit(), cfg).run();
     let pi = server.take_output(pid).unwrap().into_inner::<f64>();

@@ -40,7 +40,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         alignment: String::new(),
         config: None,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         output: None,
         order: "natural".into(),
         instances: 1,
@@ -48,9 +50,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--alignment" => args.alignment = value("--alignment")?,
             "--config" => args.config = Some(value("--config")?),
@@ -97,14 +97,17 @@ fn taxon_order(spec: &str, data: &PatternAlignment) -> Result<Option<Vec<usize>>
         "maximin" => Ok(Some(maximin_order(&jc_distance_matrix(data)))),
         other => {
             if let Some(seed) = other.strip_prefix("jumble:") {
-                let seed: u64 =
-                    seed.parse().map_err(|_| format!("bad jumble seed `{seed}`"))?;
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("bad jumble seed `{seed}`"))?;
                 let mut order: Vec<usize> = (0..n).collect();
                 let mut rng = Xoshiro256StarStar::new(seed);
                 shuffle(&mut order, &mut rng);
                 Ok(Some(order))
             } else {
-                Err(format!("unknown order `{other}` (natural|maximin|jumble:<seed>)"))
+                Err(format!(
+                    "unknown order `{other}` (natural|maximin|jumble:<seed>)"
+                ))
             }
         }
     }
@@ -167,7 +170,12 @@ fn run() -> Result<(), String> {
     let (mut server, elapsed) = run_threaded(server, args.workers);
     let outs: Vec<PhyloOutput> = pids
         .iter()
-        .map(|&p| server.take_output(p).expect("search completed").into_inner::<PhyloOutput>())
+        .map(|&p| {
+            server
+                .take_output(p)
+                .expect("search completed")
+                .into_inner::<PhyloOutput>()
+        })
         .collect();
     for (i, out) in outs.iter().enumerate() {
         let stats = server.stats(pids[i]);
@@ -182,11 +190,8 @@ fn run() -> Result<(), String> {
         eprintln!("verifying each instance against the sequential reference...");
         let model = config.build_model();
         for (out, order) in outs.iter().zip(&orders) {
-            let (ref_tree, ref_lnl) =
-                stepwise_ml(&data, &model, order.as_deref(), &config.search);
-            if out.tree.rf_distance(&ref_tree) != 0
-                || (out.ln_likelihood - ref_lnl).abs() > 1e-6
-            {
+            let (ref_tree, ref_lnl) = stepwise_ml(&data, &model, order.as_deref(), &config.search);
+            if out.tree.rf_distance(&ref_tree) != 0 || (out.ln_likelihood - ref_lnl).abs() > 1e-6 {
                 return Err("distributed tree differs from sequential reference".into());
             }
         }

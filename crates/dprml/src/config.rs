@@ -43,7 +43,10 @@ pub struct DprmlConfig {
 impl Default for DprmlConfig {
     fn default() -> Self {
         Self {
-            model: ModelKind::Hky85 { kappa: 4.0, freqs: [0.25; 4] },
+            model: ModelKind::Hky85 {
+                kappa: 4.0,
+                freqs: [0.25; 4],
+            },
             gamma_alpha: None,
             gamma_categories: 4,
             p_invariant: 0.0,
@@ -62,27 +65,36 @@ impl DprmlConfig {
             out.model = ModelKind::parse(m)?;
         }
         if let Some(alpha) = cfg.get("gamma_alpha") {
-            let a: f64 = alpha.parse().map_err(|_| format!("bad gamma_alpha `{alpha}`"))?;
+            let a: f64 = alpha
+                .parse()
+                .map_err(|_| format!("bad gamma_alpha `{alpha}`"))?;
             if a <= 0.0 {
                 return Err("gamma_alpha must be positive".into());
             }
             out.gamma_alpha = Some(a);
         }
-        out.gamma_categories =
-            cfg.get_u64_or("gamma_categories", 4).map_err(|e| e.to_string())? as usize;
+        out.gamma_categories = cfg
+            .get_u64_or("gamma_categories", 4)
+            .map_err(|e| e.to_string())? as usize;
         if out.gamma_categories == 0 {
             return Err("gamma_categories must be at least 1".into());
         }
-        out.p_invariant = cfg.get_f64_or("p_invariant", 0.0).map_err(|e| e.to_string())?;
+        out.p_invariant = cfg
+            .get_f64_or("p_invariant", 0.0)
+            .map_err(|e| e.to_string())?;
         if !(0.0..1.0).contains(&out.p_invariant) {
             return Err("p_invariant must be in [0, 1)".into());
         }
-        out.search.candidate_rounds =
-            cfg.get_u64_or("candidate_rounds", 2).map_err(|e| e.to_string())? as u32;
-        out.search.refine_rounds =
-            cfg.get_u64_or("refine_rounds", 4).map_err(|e| e.to_string())? as u32;
+        out.search.candidate_rounds = cfg
+            .get_u64_or("candidate_rounds", 2)
+            .map_err(|e| e.to_string())? as u32;
+        out.search.refine_rounds = cfg
+            .get_u64_or("refine_rounds", 4)
+            .map_err(|e| e.to_string())? as u32;
         out.search.nni = cfg.get_bool_or("nni", true).map_err(|e| e.to_string())?;
-        out.cost_scale = cfg.get_f64_or("cost_scale", 1.0).map_err(|e| e.to_string())?;
+        out.cost_scale = cfg
+            .get_f64_or("cost_scale", 1.0)
+            .map_err(|e| e.to_string())?;
         if out.cost_scale <= 0.0 {
             return Err("cost_scale must be positive".into());
         }
@@ -91,11 +103,12 @@ impl DprmlConfig {
 
     /// Instantiates the substitution process this configuration selects.
     pub fn build_model(&self) -> SubstModel {
-        let rates = match (self.gamma_alpha, self.p_invariant) {
-            (None, p) if p == 0.0 => GammaRates::uniform(),
-            (None, p) => GammaRates::gamma_invariant(1e6, 1, p),
-            (Some(a), p) if p == 0.0 => GammaRates::gamma(a, self.gamma_categories),
-            (Some(a), p) => GammaRates::gamma_invariant(a, self.gamma_categories, p),
+        let p = self.p_invariant;
+        let rates = match self.gamma_alpha {
+            None if p == 0.0 => GammaRates::uniform(),
+            None => GammaRates::gamma_invariant(1e6, 1, p),
+            Some(a) if p == 0.0 => GammaRates::gamma(a, self.gamma_categories),
+            Some(a) => GammaRates::gamma_invariant(a, self.gamma_categories, p),
         };
         SubstModel::new(self.model.clone(), rates)
     }

@@ -25,7 +25,9 @@ use biodist_phylo::lik::TreeLikelihood;
 use biodist_phylo::model::SubstModel;
 use biodist_phylo::newick::to_newick;
 use biodist_phylo::patterns::PatternAlignment;
-use biodist_phylo::search::{best_candidate, evaluate_insertion, InsertionCandidate, SearchOptions};
+use biodist_phylo::search::{
+    best_candidate, evaluate_insertion, InsertionCandidate, SearchOptions,
+};
 use biodist_phylo::tree::Tree;
 use std::sync::Arc;
 
@@ -40,12 +42,43 @@ pub struct PhyloOutput {
     pub newick: String,
 }
 
+impl PhyloOutput {
+    /// FNV-1a digest of the Newick rendering (topology + branch
+    /// lengths) and the exact log-likelihood bits. Two outputs digest
+    /// equal iff tree and likelihood are bit-identical, so the chaos
+    /// suite can compare a fault-injected run against the sequential
+    /// reference with one `u64`.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self
+            .newick
+            .as_bytes()
+            .iter()
+            .chain(&self.ln_likelihood.to_bits().to_le_bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
 type NniMove = (usize, usize, usize);
 
 enum DprmlUnit {
-    Refine { tree: Tree },
-    Insert { tree: Arc<Tree>, taxon: usize, edges: Vec<usize> },
-    Nni { tree: Arc<Tree>, lnl: f64, moves: Vec<(usize, NniMove)> },
+    Refine {
+        tree: Tree,
+    },
+    Insert {
+        tree: Arc<Tree>,
+        taxon: usize,
+        edges: Vec<usize>,
+    },
+    Nni {
+        tree: Arc<Tree>,
+        lnl: f64,
+        moves: Vec<(usize, NniMove)>,
+    },
 }
 
 enum DprmlResult {
@@ -68,19 +101,38 @@ fn edge_round_ops(n_nodes: usize, data: &PatternAlignment, model: &SubstModel) -
     1.7 * traversal_ops(n_nodes, data, model)
 }
 
-fn insert_candidate_ops(tree: &Tree, data: &PatternAlignment, model: &SubstModel, opts: &SearchOptions) -> f64 {
+fn insert_candidate_ops(
+    tree: &Tree,
+    data: &PatternAlignment,
+    model: &SubstModel,
+    opts: &SearchOptions,
+) -> f64 {
     let nodes = tree.node_count() + 2;
-    let edges = if opts.local_candidates { 3 } else { tree.edges().len() + 2 };
+    let edges = if opts.local_candidates {
+        3
+    } else {
+        tree.edges().len() + 2
+    };
     (opts.candidate_rounds as usize * edges) as f64 * edge_round_ops(nodes, data, model)
         + 2.0 * traversal_ops(nodes, data, model)
 }
 
-fn nni_move_ops(tree: &Tree, data: &PatternAlignment, model: &SubstModel, opts: &SearchOptions) -> f64 {
+fn nni_move_ops(
+    tree: &Tree,
+    data: &PatternAlignment,
+    model: &SubstModel,
+    opts: &SearchOptions,
+) -> f64 {
     opts.candidate_rounds as f64 * edge_round_ops(tree.node_count(), data, model)
         + 2.0 * traversal_ops(tree.node_count(), data, model)
 }
 
-fn refine_ops(tree: &Tree, data: &PatternAlignment, model: &SubstModel, opts: &SearchOptions) -> f64 {
+fn refine_ops(
+    tree: &Tree,
+    data: &PatternAlignment,
+    model: &SubstModel,
+    opts: &SearchOptions,
+) -> f64 {
     (opts.refine_rounds as usize * tree.edges().len()) as f64
         * edge_round_ops(tree.node_count(), data, model)
         + 2.0 * traversal_ops(tree.node_count(), data, model)
@@ -101,11 +153,15 @@ struct DprmlAlgo {
 impl Algorithm for DprmlAlgo {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
         let engine = TreeLikelihood::new(&self.model, &self.data);
-        let du = unit.payload.downcast_ref::<DprmlUnit>().expect("dprml unit");
+        let du = unit
+            .payload
+            .downcast_ref::<DprmlUnit>()
+            .expect("dprml unit");
         let result = match du {
             DprmlUnit::Refine { tree } => {
                 let mut t = tree.clone();
-                let lnl = engine.optimize_edges(&mut t, None, self.opts.refine_rounds, self.opts.tol);
+                let lnl =
+                    engine.optimize_edges(&mut t, None, self.opts.refine_rounds, self.opts.tol);
                 DprmlResult::Refined { tree: t, lnl }
             }
             DprmlUnit::Insert { tree, taxon, edges } => {
@@ -113,7 +169,9 @@ impl Algorithm for DprmlAlgo {
                     .iter()
                     .map(|&e| evaluate_insertion(tree, *taxon, e, &engine, &self.opts))
                     .collect();
-                DprmlResult::InsertBest { candidate: best_candidate(candidates) }
+                DprmlResult::InsertBest {
+                    candidate: best_candidate(candidates),
+                }
             }
             DprmlUnit::Nni { tree, lnl, moves } => {
                 let mut best: Option<(usize, f64, Tree)> = None;
@@ -130,7 +188,10 @@ impl Algorithm for DprmlAlgo {
                     // better than current, strictly better than best so
                     // far (earliest move wins ties).
                     if cand_lnl > lnl + self.opts.tol
-                        && best.as_ref().map(|(_, bl, _)| cand_lnl > *bl).unwrap_or(true)
+                        && best
+                            .as_ref()
+                            .map(|(_, bl, _)| cand_lnl > *bl)
+                            .unwrap_or(true)
                     {
                         best = Some((idx, cand_lnl, candidate));
                     }
@@ -141,11 +202,15 @@ impl Algorithm for DprmlAlgo {
         let wire = match &result {
             DprmlResult::Refined { tree, .. } => tree_wire_bytes(tree),
             DprmlResult::InsertBest { candidate } => tree_wire_bytes(&candidate.tree),
-            DprmlResult::NniBest { best } => {
-                best.as_ref().map(|(_, _, t)| tree_wire_bytes(t)).unwrap_or(16)
-            }
+            DprmlResult::NniBest { best } => best
+                .as_ref()
+                .map(|(_, _, t)| tree_wire_bytes(t))
+                .unwrap_or(16),
         };
-        TaskResult { unit_id: unit.id, payload: Payload::new(result, wire) }
+        TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new(result, wire),
+        }
     }
 }
 
@@ -153,7 +218,10 @@ impl Algorithm for DprmlAlgo {
 
 enum Stage {
     /// One refine unit (dispatched flag, awaiting flag).
-    Refine { next: RefineNext, dispatched: bool },
+    Refine {
+        next: RefineNext,
+        dispatched: bool,
+    },
     Insert {
         taxon: usize,
         edges: Vec<usize>,
@@ -213,7 +281,10 @@ impl DprmlDm {
             taxon_pos: 3,
             insertions_done: 0,
             nni_round: 0,
-            stage: Stage::Refine { next: RefineNext::InsertNextTaxon, dispatched: false },
+            stage: Stage::Refine {
+                next: RefineNext::InsertNextTaxon,
+                dispatched: false,
+            },
             stage_tree,
             next_id: 0,
         }
@@ -248,17 +319,29 @@ impl DprmlDm {
             return;
         }
         self.stage_tree = Arc::new(self.tree.clone());
-        self.stage = Stage::Nni { moves, next_move: 0, outstanding: 0, best: None };
+        self.stage = Stage::Nni {
+            moves,
+            next_move: 0,
+            outstanding: 0,
+            best: None,
+        };
     }
 
     fn start_refine(&mut self, next: RefineNext) {
-        self.stage = Stage::Refine { next, dispatched: false };
+        self.stage = Stage::Refine {
+            next,
+            dispatched: false,
+        };
     }
 
     fn make_unit(&mut self, payload: DprmlUnit, cost_ops: f64, wire: u64) -> WorkUnit {
         let id = self.next_id;
         self.next_id += 1;
-        WorkUnit { id, payload: Payload::new(payload, wire), cost_ops: cost_ops * self.cost_scale }
+        WorkUnit {
+            id,
+            payload: Payload::new(payload, wire),
+            cost_ops: cost_ops * self.cost_scale,
+        }
     }
 }
 
@@ -276,15 +359,20 @@ impl DataManager for DprmlDm {
                 let wire = tree_wire_bytes(&tree);
                 Some(self.make_unit(DprmlUnit::Refine { tree }, cost, wire))
             }
-            Stage::Insert { taxon, edges, next_edge, outstanding, .. } => {
+            Stage::Insert {
+                taxon,
+                edges,
+                next_edge,
+                outstanding,
+                ..
+            } => {
                 if *next_edge >= edges.len() {
                     return None; // barrier: waiting for batch results
                 }
                 let per =
                     insert_candidate_ops(&self.stage_tree, &self.data, &self.model, &self.opts)
                         * self.cost_scale;
-                let batch = ((hint_ops / per).floor() as usize)
-                    .clamp(1, edges.len() - *next_edge);
+                let batch = ((hint_ops / per).floor() as usize).clamp(1, edges.len() - *next_edge);
                 let slice: Vec<usize> = edges[*next_edge..*next_edge + batch].to_vec();
                 *next_edge += batch;
                 *outstanding += 1;
@@ -292,16 +380,28 @@ impl DataManager for DprmlDm {
                 let cost = per / self.cost_scale * batch as f64;
                 let wire = tree_wire_bytes(&self.stage_tree) + 16 * batch as u64;
                 let tree = self.stage_tree.clone();
-                Some(self.make_unit(DprmlUnit::Insert { tree, taxon, edges: slice }, cost, wire))
+                Some(self.make_unit(
+                    DprmlUnit::Insert {
+                        tree,
+                        taxon,
+                        edges: slice,
+                    },
+                    cost,
+                    wire,
+                ))
             }
-            Stage::Nni { moves, next_move, outstanding, .. } => {
+            Stage::Nni {
+                moves,
+                next_move,
+                outstanding,
+                ..
+            } => {
                 if *next_move >= moves.len() {
                     return None;
                 }
                 let per = nni_move_ops(&self.stage_tree, &self.data, &self.model, &self.opts)
                     * self.cost_scale;
-                let batch =
-                    ((hint_ops / per).floor() as usize).clamp(1, moves.len() - *next_move);
+                let batch = ((hint_ops / per).floor() as usize).clamp(1, moves.len() - *next_move);
                 let slice: Vec<(usize, NniMove)> = (*next_move..*next_move + batch)
                     .map(|i| (i, moves[i]))
                     .collect();
@@ -311,7 +411,15 @@ impl DataManager for DprmlDm {
                 let wire = tree_wire_bytes(&self.stage_tree) + 24 * batch as u64;
                 let tree = self.stage_tree.clone();
                 let lnl = self.lnl;
-                Some(self.make_unit(DprmlUnit::Nni { tree, lnl, moves: slice }, cost, wire))
+                Some(self.make_unit(
+                    DprmlUnit::Nni {
+                        tree,
+                        lnl,
+                        moves: slice,
+                    },
+                    cost,
+                    wire,
+                ))
             }
         }
     }
@@ -329,7 +437,13 @@ impl DataManager for DprmlDm {
                 }
             }
             (
-                Stage::Insert { edges, next_edge, outstanding, best, .. },
+                Stage::Insert {
+                    edges,
+                    next_edge,
+                    outstanding,
+                    best,
+                    ..
+                },
                 DprmlResult::InsertBest { candidate },
             ) => {
                 // Same tie-break as `best_candidate`: higher lnl, then
@@ -355,7 +469,7 @@ impl DataManager for DprmlDm {
                     // after the last one.
                     let re = self.opts.refine_every.max(1);
                     let is_last = self.taxon_pos >= self.order.len();
-                    if self.insertions_done % re == 0 || is_last {
+                    if self.insertions_done.is_multiple_of(re) || is_last {
                         self.start_refine(RefineNext::TryNni);
                     } else {
                         self.lnl = chosen.ln_likelihood;
@@ -364,7 +478,12 @@ impl DataManager for DprmlDm {
                 }
             }
             (
-                Stage::Nni { moves, next_move, outstanding, best },
+                Stage::Nni {
+                    moves,
+                    next_move,
+                    outstanding,
+                    best,
+                },
                 DprmlResult::NniBest { best: batch_best },
             ) => {
                 if let Some((idx, lnl, tree)) = batch_best {
@@ -372,9 +491,7 @@ impl DataManager for DprmlDm {
                     // move index — identical to `nni_improve`.
                     let better = match best {
                         None => true,
-                        Some((bidx, blnl, _)) => {
-                            lnl > *blnl || (lnl == *blnl && idx < *bidx)
-                        }
+                        Some((bidx, blnl, _)) => lnl > *blnl || (lnl == *blnl && idx < *bidx),
                     };
                     if better {
                         *best = Some((idx, lnl, tree));
@@ -404,7 +521,11 @@ impl DataManager for DprmlDm {
         let newick = to_newick(&self.tree, &self.data.names);
         let wire = newick.len() as u64 + 16;
         Payload::new(
-            PhyloOutput { tree: self.tree.clone(), ln_likelihood: self.lnl, newick },
+            PhyloOutput {
+                tree: self.tree.clone(),
+                ln_likelihood: self.lnl,
+                newick,
+            },
             wire,
         )
     }
@@ -435,7 +556,11 @@ pub fn build_problem(
         config.cost_scale,
         order,
     );
-    let algo = DprmlAlgo { data, model, opts: config.search.clone() };
+    let algo = DprmlAlgo {
+        data,
+        model,
+        opts: config.search.clone(),
+    };
     Problem::new(instance_name, Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
 }
 
@@ -449,11 +574,11 @@ pub fn estimate_sequential_ops(data: &PatternAlignment, config: &DprmlConfig) ->
     for i in 3..=n {
         let nodes = 2 * i - 2;
         let edges = 2 * i - 3;
-        let tree_cost = (nodes * data.pattern_count() * model.rate_categories().ncat()) as f64
-            * 20.0;
+        let tree_cost =
+            (nodes * data.pattern_count() * model.rate_categories().ncat()) as f64 * 20.0;
         // Insert stage: one candidate per edge.
-        total += edges as f64
-            * ((opts.candidate_rounds * 3) as f64 * 1.7 * tree_cost + 2.0 * tree_cost);
+        total +=
+            edges as f64 * ((opts.candidate_rounds * 3) as f64 * 1.7 * tree_cost + 2.0 * tree_cost);
         // Refine + one NNI sweep (coarse).
         total += (opts.refine_rounds as usize * edges) as f64 * 1.7 * tree_cost;
         if opts.nni {
@@ -501,13 +626,20 @@ mod tests {
         let (mut server, _) = run_threaded(server, 6);
         let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
 
-        assert_eq!(out.tree.rf_distance(&ref_tree), 0, "topology must match reference");
+        assert_eq!(
+            out.tree.rf_distance(&ref_tree),
+            0,
+            "topology must match reference"
+        );
         assert!(
             (out.ln_likelihood - ref_lnl).abs() < 1e-9,
             "lnl {} vs reference {ref_lnl}",
             out.ln_likelihood
         );
-        assert!(server.stats(pid).completed_units > 3, "staged into multiple units");
+        assert!(
+            server.stats(pid).completed_units > 3,
+            "staged into multiple units"
+        );
     }
 
     #[test]
@@ -539,7 +671,11 @@ mod tests {
         let pid = server.submit(build_problem(data, &config, None, "dprml"));
         let (mut server, _) = run_threaded(server, 4);
         let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
-        assert_eq!(out.tree.rf_distance(&truth), 0, "should recover the true tree");
+        assert_eq!(
+            out.tree.rf_distance(&truth),
+            0,
+            "should recover the true tree"
+        );
         assert!(out.newick.ends_with(';'));
     }
 
@@ -550,7 +686,12 @@ mod tests {
         let mut server = Server::new(small_unit_sched());
         let pids: Vec<_> = (0..3)
             .map(|i| {
-                server.submit(build_problem(data.clone(), &config, None, &format!("inst-{i}")))
+                server.submit(build_problem(
+                    data.clone(),
+                    &config,
+                    None,
+                    &format!("inst-{i}"),
+                ))
             })
             .collect();
         let (mut server, _) = run_threaded(server, 6);
@@ -577,7 +718,10 @@ mod tests {
         );
         // Initial stage is one refine unit, then a barrier.
         let refine = dm.next_unit(1e12).expect("refine unit");
-        assert!(dm.next_unit(1e12).is_none(), "barrier while refine outstanding");
+        assert!(
+            dm.next_unit(1e12).is_none(),
+            "barrier while refine outstanding"
+        );
         // Feed the refine result through a real evaluation.
         let algo = DprmlAlgo {
             data: data.clone(),
@@ -598,7 +742,13 @@ mod tests {
             _ => panic!("expected insert unit"),
         }
         // Tiny hint → batches of one edge each.
-        let mut dm2 = DprmlDm::new(data, Arc::new(config.build_model()), config.search.clone(), 1.0, (0..5).collect());
+        let mut dm2 = DprmlDm::new(
+            data,
+            Arc::new(config.build_model()),
+            config.search.clone(),
+            1.0,
+            (0..5).collect(),
+        );
         let refine2 = dm2.next_unit(1e12).unwrap();
         let r2 = algo.compute(&refine2);
         dm2.accept_result(r2);

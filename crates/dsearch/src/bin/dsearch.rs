@@ -31,16 +31,16 @@ fn parse_args() -> Result<Args, String> {
         db: String::new(),
         query: String::new(),
         config: None,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         output: None,
         evalues: false,
         verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--db" => args.db = value("--db")?,
             "--query" => args.query = value("--query")?,
@@ -88,8 +88,7 @@ fn run() -> Result<(), String> {
 
     let db_text = std::fs::read_to_string(&args.db)
         .map_err(|e| format!("cannot read database `{}`: {e}", args.db))?;
-    let database =
-        biodist_bioseq::parse_fasta(&db_text, alphabet).map_err(|e| e.to_string())?;
+    let database = biodist_bioseq::parse_fasta(&db_text, alphabet).map_err(|e| e.to_string())?;
     let q_text = std::fs::read_to_string(&args.query)
         .map_err(|e| format!("cannot read queries `{}`: {e}", args.query))?;
     let queries = biodist_bioseq::parse_fasta(&q_text, alphabet).map_err(|e| e.to_string())?;

@@ -92,13 +92,18 @@ impl DsearchConfig {
         if top_hits == 0 {
             return Err("top_hits must be at least 1".into());
         }
-        let cost_scale = cfg.get_f64_or("cost_scale", 1.0).map_err(|e| e.to_string())?;
+        let cost_scale = cfg
+            .get_f64_or("cost_scale", 1.0)
+            .map_err(|e| e.to_string())?;
         if cost_scale <= 0.0 {
             return Err("cost_scale must be positive".into());
         }
         Ok(Self {
             kernel,
-            scheme: ScoringScheme { matrix, gap: GapPenalty::affine(gap_open, gap_extend) },
+            scheme: ScoringScheme {
+                matrix,
+                gap: GapPenalty::affine(gap_open, gap_extend),
+            },
             top_hits,
             cost_scale,
         })
@@ -111,8 +116,14 @@ fn parse_matrix_spec(alphabet: Alphabet, spec: &str) -> Result<ScoringMatrix, St
         if parts.len() != 2 {
             return Err(format!("match matrix needs `match:<m>,<x>`, got `{spec}`"));
         }
-        let m: i32 = parts[0].trim().parse().map_err(|_| format!("bad match score `{}`", parts[0]))?;
-        let x: i32 = parts[1].trim().parse().map_err(|_| format!("bad mismatch score `{}`", parts[1]))?;
+        let m: i32 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad match score `{}`", parts[0]))?;
+        let x: i32 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad mismatch score `{}`", parts[1]))?;
         return Ok(ScoringMatrix::match_mismatch(alphabet, m, x));
     }
     if let Some(rest) = spec.strip_prefix("tt:") {
@@ -125,7 +136,9 @@ fn parse_matrix_spec(alphabet: Alphabet, spec: &str) -> Result<ScoringMatrix, St
         }
         let vals: Result<Vec<i32>, _> = parts.iter().map(|p| p.trim().parse::<i32>()).collect();
         let vals = vals.map_err(|_| format!("bad tt matrix values in `{spec}`"))?;
-        return Ok(ScoringMatrix::dna_transition_transversion(vals[0], vals[1], vals[2]));
+        return Ok(ScoringMatrix::dna_transition_transversion(
+            vals[0], vals[1], vals[2],
+        ));
     }
     Err(format!("unknown matrix `{spec}`"))
 }

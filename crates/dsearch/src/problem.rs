@@ -24,6 +24,34 @@ pub struct SearchOutput {
     pub hits: BTreeMap<String, Vec<Hit>>,
 }
 
+impl SearchOutput {
+    /// Order-sensitive FNV-1a digest of every query id, hit id and
+    /// score. Two outputs digest equal iff they are bit-identical, so
+    /// the chaos suite can compare a fault-injected run against the
+    /// sequential reference with one `u64`.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (query, hits) in &self.hits {
+            eat(query.as_bytes());
+            eat(&[0xff]);
+            for hit in hits {
+                eat(hit.query_id.as_bytes());
+                eat(&[0xfe]);
+                eat(hit.db_id.as_bytes());
+                eat(&[0xfd]);
+                eat(&hit.score.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
 /// The unit payload: a range of database indices.
 #[derive(Debug, Clone, Copy)]
 struct ChunkRange {
@@ -77,7 +105,10 @@ impl DataManager for DsearchDm {
                 * self.cost_scale;
             self.cursor += 1;
         }
-        let range = ChunkRange { start, end: self.cursor };
+        let range = ChunkRange {
+            start,
+            end: self.cursor,
+        };
         self.issued += 1;
         let id = self.next_id;
         self.next_id += 1;
@@ -136,7 +167,10 @@ struct DsearchAlgo {
 
 impl Algorithm for DsearchAlgo {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
-        let range = *unit.payload.downcast_ref::<ChunkRange>().expect("chunk range");
+        let range = *unit
+            .payload
+            .downcast_ref::<ChunkRange>()
+            .expect("chunk range");
         let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
         for subject in &self.db[range.start..range.end] {
             for (query, prep) in self.queries.iter().zip(&self.prepared) {
@@ -151,9 +185,15 @@ impl Algorithm for DsearchAlgo {
                     });
             }
         }
-        let hits: Vec<Hit> = per_query.into_values().flat_map(TopK::into_sorted).collect();
+        let hits: Vec<Hit> = per_query
+            .into_values()
+            .flat_map(TopK::into_sorted)
+            .collect();
         let wire = hits.len() as u64 * 48;
-        TaskResult { unit_id: unit.id, payload: Payload::new(hits, wire) }
+        TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new(hits, wire),
+        }
     }
 }
 
@@ -171,8 +211,7 @@ pub fn build_problem(
     let kernel = AlignKernel::new(config.kernel, config.scheme.clone());
     // Clients download the query file and search code up front; the
     // database itself arrives chunk by chunk.
-    let setup: u64 =
-        queries.iter().map(|q| q.len() as u64 + 64).sum::<u64>() + 100_000;
+    let setup: u64 = queries.iter().map(|q| q.len() as u64 + 64).sum::<u64>() + 100_000;
     let dm = DsearchDm {
         db: db.clone(),
         queries: queries.clone(),
@@ -186,7 +225,13 @@ pub fn build_problem(
         merged: BTreeMap::new(),
     };
     let prepared = queries.iter().map(|q| kernel.prepare(q)).collect();
-    let algo = DsearchAlgo { db, queries, kernel, prepared, top_hits: config.top_hits };
+    let algo = DsearchAlgo {
+        db,
+        queries,
+        kernel,
+        prepared,
+        top_hits: config.top_hits,
+    };
     Problem::new("dsearch", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
 }
 
@@ -201,13 +246,13 @@ mod tests {
 
     fn test_inputs() -> (Vec<Sequence>, Vec<Sequence>, DsearchConfig) {
         let query = random_sequence(Alphabet::Protein, "q0", 90, 71);
-        let fam = FamilySpec { copies: 4, substitution_rate: 0.15, indel_rate: 0.02 };
-        let db = SyntheticDb::generate_with_family(
-            &DbSpec::protein_demo(60, 100),
-            &query,
-            &fam,
-            72,
-        );
+        let fam = FamilySpec {
+            copies: 4,
+            substitution_rate: 0.15,
+            indel_rate: 0.02,
+        };
+        let db =
+            SyntheticDb::generate_with_family(&DbSpec::protein_demo(60, 100), &query, &fam, 72);
         let mut cfg = DsearchConfig::protein_default();
         cfg.top_hits = 10;
         (db.sequences, vec![query], cfg)
@@ -229,9 +274,15 @@ mod tests {
         let mut server = Server::new(small_unit_sched());
         let pid = server.submit(build_problem(db, queries, &cfg));
         let (mut server, _) = run_threaded(server, 6);
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(out.hits, expected);
-        assert!(server.stats(pid).completed_units > 1, "search was actually split");
+        assert!(
+            server.stats(pid).completed_units > 1,
+            "search was actually split"
+        );
     }
 
     #[test]
@@ -245,7 +296,10 @@ mod tests {
         let pid = server.submit(build_problem(db, queries, &cfg));
         let machines = heterogeneous_lab(10, 99);
         let (report, mut server) = SimRunner::with_defaults(server, machines).run();
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(out.hits, expected);
         assert!(report.makespan > 0.0);
     }
@@ -264,9 +318,15 @@ mod tests {
         let mut server = Server::new(small_unit_sched());
         let pid = server.submit(build_problem(db, queries, &cfg));
         let (mut server, _) = run_threaded(server, 4);
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(out.hits, scalar_reference);
-        assert!(server.stats(pid).completed_units > 1, "search was actually split");
+        assert!(
+            server.stats(pid).completed_units > 1,
+            "search was actually split"
+        );
     }
 
     #[test]
@@ -287,7 +347,12 @@ mod tests {
         };
         let small = dm.next_unit(10_000.0).unwrap();
         let big = dm.next_unit(500_000.0).unwrap();
-        assert!(big.cost_ops > 3.0 * small.cost_ops, "{} vs {}", big.cost_ops, small.cost_ops);
+        assert!(
+            big.cost_ops > 3.0 * small.cost_ops,
+            "{} vs {}",
+            big.cost_ops,
+            small.cost_ops
+        );
         // Each chunk covers at least one sequence even for tiny hints.
         let tiny = dm.next_unit(1.0).unwrap();
         assert!(tiny.cost_ops > 0.0);
@@ -313,9 +378,14 @@ mod tests {
         let mut covered = vec![false; n];
         while let Some(unit) = dm.next_unit(100_000.0) {
             let range = *unit.payload.downcast_ref::<ChunkRange>().unwrap();
-            for i in range.start..range.end {
-                assert!(!covered[i], "sequence {i} issued twice");
-                covered[i] = true;
+            for (i, c) in covered
+                .iter_mut()
+                .enumerate()
+                .take(range.end)
+                .skip(range.start)
+            {
+                assert!(!*c, "sequence {i} issued twice");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c), "whole database must be covered");
@@ -324,20 +394,25 @@ mod tests {
     #[test]
     fn planted_family_found_by_distributed_search() {
         let query = random_sequence(Alphabet::Protein, "q0", 80, 11);
-        let fam = FamilySpec { copies: 3, substitution_rate: 0.1, indel_rate: 0.01 };
-        let db = SyntheticDb::generate_with_family(
-            &DbSpec::protein_demo(30, 90),
-            &query,
-            &fam,
-            12,
-        );
+        let fam = FamilySpec {
+            copies: 3,
+            substitution_rate: 0.1,
+            indel_rate: 0.01,
+        };
+        let db = SyntheticDb::generate_with_family(&DbSpec::protein_demo(30, 90), &query, &fam, 12);
         let planted = db.planted_ids.clone();
         let cfg = DsearchConfig::protein_default();
         let mut server = Server::new(small_unit_sched());
         let pid = server.submit(build_problem(db.sequences, vec![query], &cfg));
         let (mut server, _) = run_threaded(server, 4);
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
-        let top3: Vec<&str> = out.hits["q0"][..3].iter().map(|h| h.db_id.as_str()).collect();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
+        let top3: Vec<&str> = out.hits["q0"][..3]
+            .iter()
+            .map(|h| h.db_id.as_str())
+            .collect();
         for id in &planted {
             assert!(top3.contains(&id.as_str()), "{id} not in top 3");
         }

@@ -65,13 +65,13 @@ mod tests {
     #[test]
     fn planted_homologs_rank_first() {
         let query = random_sequence(Alphabet::Protein, "q0", 120, 31);
-        let fam = FamilySpec { copies: 3, substitution_rate: 0.1, indel_rate: 0.01 };
-        let db = SyntheticDb::generate_with_family(
-            &DbSpec::protein_demo(40, 110),
-            &query,
-            &fam,
-            32,
-        );
+        let fam = FamilySpec {
+            copies: 3,
+            substitution_rate: 0.1,
+            indel_rate: 0.01,
+        };
+        let db =
+            SyntheticDb::generate_with_family(&DbSpec::protein_demo(40, 110), &query, &fam, 32);
         let cfg = DsearchConfig::protein_default();
         let hits = search_sequential(&db.sequences, &[query], &cfg);
         let q_hits = &hits["q0"];
@@ -79,7 +79,10 @@ mod tests {
         // The three planted family members must be the top three hits.
         let top3: Vec<&str> = q_hits[..3].iter().map(|h| h.db_id.as_str()).collect();
         for id in &db.planted_ids {
-            assert!(top3.contains(&id.as_str()), "{id} missing from top 3: {top3:?}");
+            assert!(
+                top3.contains(&id.as_str()),
+                "{id} missing from top 3: {top3:?}"
+            );
         }
     }
 
@@ -108,7 +111,13 @@ mod tests {
     fn cost_model_sums_all_pairs() {
         let q = random_sequence(Alphabet::Dna, "q", 10, 1);
         let db = SyntheticDb::generate(
-            &DbSpec { alphabet: Alphabet::Dna, num_sequences: 4, mean_len: 20, len_spread: 0, composition: None },
+            &DbSpec {
+                alphabet: Alphabet::Dna,
+                num_sequences: 4,
+                mean_len: 20,
+                len_spread: 0,
+                composition: None,
+            },
             3,
         );
         let cfg = DsearchConfig::parse("alphabet = dna\nalgorithm = sw\n").unwrap();

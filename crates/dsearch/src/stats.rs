@@ -43,7 +43,11 @@ impl ScoreStatistics {
         assert!(var > 0.0, "background scores have zero variance");
         let lambda = std::f64::consts::PI / (var.sqrt() * 6.0f64.sqrt());
         let mu = mean - EULER_GAMMA / lambda;
-        Self { lambda, mu, sample_size: scores.len() }
+        Self {
+            lambda,
+            mu,
+            sample_size: scores.len(),
+        }
     }
 
     /// Fits the null after trimming the top `trim_fraction` of scores
@@ -130,7 +134,12 @@ mod tests {
         let samples = gumbel_samples(mu, lambda, 20_000, 1);
         let fit = ScoreStatistics::fit(&samples);
         assert!((fit.mu - mu).abs() < 1.0, "mu {} vs {}", fit.mu, mu);
-        assert!((fit.lambda - lambda).abs() < 0.02, "lambda {} vs {}", fit.lambda, lambda);
+        assert!(
+            (fit.lambda - lambda).abs() < 0.02,
+            "lambda {} vs {}",
+            fit.lambda,
+            lambda
+        );
     }
 
     #[test]
@@ -173,25 +182,46 @@ mod tests {
     fn trimming_is_robust_to_planted_homologs() {
         let mut samples = gumbel_samples(30.0, 0.3, 5_000, 5);
         // Contaminate with huge homolog scores.
-        samples.extend(std::iter::repeat(500).take(50));
+        samples.extend(std::iter::repeat_n(500, 50));
         let clean = ScoreStatistics::fit_trimmed(&samples, 0.02);
         let naive = ScoreStatistics::fit(&samples);
         // The naive fit's width blows up; the trimmed fit stays close.
-        assert!((clean.lambda - 0.3).abs() < 0.05, "trimmed lambda {}", clean.lambda);
-        assert!(naive.lambda < clean.lambda, "contamination must widen the naive fit");
+        assert!(
+            (clean.lambda - 0.3).abs() < 0.05,
+            "trimmed lambda {}",
+            clean.lambda
+        );
+        assert!(
+            naive.lambda < clean.lambda,
+            "contamination must widen the naive fit"
+        );
     }
 
     #[test]
     fn annotate_hits_orders_and_sizes_correctly() {
         let samples = gumbel_samples(25.0, 0.3, 2_000, 6);
         let hits = vec![
-            Hit { query_id: "q".into(), db_id: "strong".into(), score: 200 },
-            Hit { query_id: "q".into(), db_id: "weak".into(), score: 26 },
+            Hit {
+                query_id: "q".into(),
+                db_id: "strong".into(),
+                score: 200,
+            },
+            Hit {
+                query_id: "q".into(),
+                db_id: "weak".into(),
+                score: 26,
+            },
         ];
         let annotated = annotate_hits(&hits, &samples, 10_000);
         assert_eq!(annotated.len(), 2);
-        assert!(annotated[0].e_value < 1e-6, "strong hit must be significant");
-        assert!(annotated[1].e_value > 1.0, "near-mode hit is expected by chance");
+        assert!(
+            annotated[0].e_value < 1e-6,
+            "strong hit must be significant"
+        );
+        assert!(
+            annotated[1].e_value > 1.0,
+            "near-mode hit is expected by chance"
+        );
         assert!(annotated[0].p_value < annotated[1].p_value);
     }
 

@@ -45,14 +45,20 @@ pub fn search_translated_sequential(
     for subject in dna_database {
         for query in protein_queries {
             let score = best_frame_score(&kernel, query, subject);
-            per_query.get_mut(&query.id).expect("registered").offer(Hit {
-                query_id: query.id.clone(),
-                db_id: subject.id.clone(),
-                score,
-            });
+            per_query
+                .get_mut(&query.id)
+                .expect("registered")
+                .offer(Hit {
+                    query_id: query.id.clone(),
+                    db_id: subject.id.clone(),
+                    score,
+                });
         }
     }
-    per_query.into_iter().map(|(q, t)| (q, t.into_sorted())).collect()
+    per_query
+        .into_iter()
+        .map(|(q, t)| (q, t.into_sorted()))
+        .collect()
 }
 
 struct TranslatedDm {
@@ -91,7 +97,10 @@ impl DataManager for TranslatedDm {
                 * self.cost_scale;
             self.cursor += 1;
         }
-        let range = ChunkRange { start, end: self.cursor };
+        let range = ChunkRange {
+            start,
+            end: self.cursor,
+        };
         self.issued += 1;
         let id = self.next_id;
         self.next_id += 1;
@@ -99,7 +108,11 @@ impl DataManager for TranslatedDm {
             .iter()
             .map(|s| s.len() as u64 / 4 + 64) // 2-bit packed DNA on a real wire
             .sum();
-        Some(WorkUnit { id, payload: Payload::new(range, wire), cost_ops: cost })
+        Some(WorkUnit {
+            id,
+            payload: Payload::new(range, wire),
+            cost_ops: cost,
+        })
     }
 
     fn accept_result(&mut self, result: TaskResult) {
@@ -138,7 +151,10 @@ struct TranslatedAlgo {
 
 impl Algorithm for TranslatedAlgo {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
-        let range = *unit.payload.downcast_ref::<ChunkRange>().expect("chunk range");
+        let range = *unit
+            .payload
+            .downcast_ref::<ChunkRange>()
+            .expect("chunk range");
         let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
         for subject in &self.db[range.start..range.end] {
             for query in self.queries.iter() {
@@ -153,9 +169,15 @@ impl Algorithm for TranslatedAlgo {
                     });
             }
         }
-        let hits: Vec<Hit> = per_query.into_values().flat_map(TopK::into_sorted).collect();
+        let hits: Vec<Hit> = per_query
+            .into_values()
+            .flat_map(TopK::into_sorted)
+            .collect();
         let wire = hits.len() as u64 * 48;
-        TaskResult { unit_id: unit.id, payload: Payload::new(hits, wire) }
+        TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new(hits, wire),
+        }
     }
 }
 
@@ -177,7 +199,9 @@ pub fn build_translated_problem(
         "translated search needs a DNA database"
     );
     assert!(
-        protein_queries.iter().all(|s| s.alphabet == Alphabet::Protein),
+        protein_queries
+            .iter()
+            .all(|s| s.alphabet == Alphabet::Protein),
         "translated search needs protein queries"
     );
     assert_eq!(
@@ -201,7 +225,12 @@ pub fn build_translated_problem(
         next_id: 0,
         merged: BTreeMap::new(),
     };
-    let algo = TranslatedAlgo { db, queries, kernel, top_hits: config.top_hits };
+    let algo = TranslatedAlgo {
+        db,
+        queries,
+        kernel,
+        top_hits: config.top_hits,
+    };
     Problem::new("dsearch-translated", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
 }
 
@@ -258,8 +287,14 @@ mod tests {
         let (db, query, cfg) = inputs();
         let hits = search_translated_sequential(&db, &[query], &cfg);
         let top2: Vec<&str> = hits["pq"][..2].iter().map(|h| h.db_id.as_str()).collect();
-        assert!(top2.contains(&"fwd_hit"), "forward-strand ORF missed: {top2:?}");
-        assert!(top2.contains(&"rev_hit"), "reverse-strand ORF missed: {top2:?}");
+        assert!(
+            top2.contains(&"fwd_hit"),
+            "forward-strand ORF missed: {top2:?}"
+        );
+        assert!(
+            top2.contains(&"rev_hit"),
+            "reverse-strand ORF missed: {top2:?}"
+        );
         // A planted exact ORF must vastly outscore random background.
         assert!(hits["pq"][0].score > 3 * hits["pq"][2].score.max(1));
     }
@@ -267,7 +302,7 @@ mod tests {
     #[test]
     fn distributed_translated_equals_sequential() {
         let (db, query, cfg) = inputs();
-        let expected = search_translated_sequential(&db, &[query.clone()], &cfg);
+        let expected = search_translated_sequential(&db, std::slice::from_ref(&query), &cfg);
         let mut server = Server::new(SchedulerConfig {
             target_unit_secs: 0.002,
             prior_ops_per_sec: 1e8,
@@ -276,7 +311,10 @@ mod tests {
         });
         let pid = server.submit(build_translated_problem(db, vec![query], &cfg));
         let (mut server, _) = run_threaded(server, 4);
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(out.hits, expected);
     }
 

@@ -19,19 +19,40 @@ pub struct MachineClass {
 }
 
 /// Pentium II 300 MHz desktop.
-pub const PII_300: MachineClass = MachineClass { name: "PII-300", speed: 3.0e6 };
+pub const PII_300: MachineClass = MachineClass {
+    name: "PII-300",
+    speed: 3.0e6,
+};
 /// Pentium II 400 MHz desktop.
-pub const PII_400: MachineClass = MachineClass { name: "PII-400", speed: 4.0e6 };
+pub const PII_400: MachineClass = MachineClass {
+    name: "PII-400",
+    speed: 4.0e6,
+};
 /// Pentium III 500 MHz (also the server's CPU).
-pub const PIII_500: MachineClass = MachineClass { name: "PIII-500", speed: 5.0e6 };
+pub const PIII_500: MachineClass = MachineClass {
+    name: "PIII-500",
+    speed: 5.0e6,
+};
 /// Pentium III 733 MHz desktop.
-pub const PIII_733: MachineClass = MachineClass { name: "PIII-733", speed: 7.33e6 };
+pub const PIII_733: MachineClass = MachineClass {
+    name: "PIII-733",
+    speed: 7.33e6,
+};
 /// Pentium III 1 GHz — the Fig. 1 laboratory machine and cluster CPU.
-pub const PIII_1000: MachineClass = MachineClass { name: "PIII-1000", speed: 1.0e7 };
+pub const PIII_1000: MachineClass = MachineClass {
+    name: "PIII-1000",
+    speed: 1.0e7,
+};
 /// Pentium IV 1.8 GHz desktop.
-pub const PIV_1800: MachineClass = MachineClass { name: "PIV-1800", speed: 1.8e7 };
+pub const PIV_1800: MachineClass = MachineClass {
+    name: "PIV-1800",
+    speed: 1.8e7,
+};
 /// Pentium IV 2.4 GHz desktop.
-pub const PIV_2400: MachineClass = MachineClass { name: "PIV-2400", speed: 2.4e7 };
+pub const PIV_2400: MachineClass = MachineClass {
+    name: "PIV-2400",
+    speed: 2.4e7,
+};
 
 /// The availability profile used for laboratory desktops: idle 90% of
 /// the time in ~3-minute stretches ("semi-idle", Fig. 1 caption —
@@ -44,14 +65,24 @@ pub fn lab_availability() -> AvailabilityModel {
 /// (the paper uses n = 83).
 pub fn homogeneous_lab(n: usize, seed: u64) -> Vec<Machine> {
     (0..n)
-        .map(|id| Machine::new(id, PIII_1000.name, PIII_1000.speed, lab_availability(), seed))
+        .map(|id| {
+            Machine::new(
+                id,
+                PIII_1000.name,
+                PIII_1000.speed,
+                lab_availability(),
+                seed,
+            )
+        })
         .collect()
 }
 
 /// A heterogeneous desktop pool cycling through the Pentium classes —
 /// used by the granularity/scheduling ablations.
 pub fn heterogeneous_lab(n: usize, seed: u64) -> Vec<Machine> {
-    let classes = [PII_300, PII_400, PIII_500, PIII_733, PIII_1000, PIV_1800, PIV_2400];
+    let classes = [
+        PII_300, PII_400, PIII_500, PIII_733, PIII_1000, PIV_1800, PIV_2400,
+    ];
     (0..n)
         .map(|id| {
             let class = classes[id % classes.len()];
@@ -142,7 +173,10 @@ mod tests {
         assert_eq!(distinct.len(), 7, "all seven classes present");
         let slowest = lab.iter().map(|m| m.speed).fold(f64::INFINITY, f64::min);
         let fastest = lab.iter().map(|m| m.speed).fold(0.0, f64::max);
-        assert!(fastest / slowest >= 8.0, "8x spread as in PII-300..PIV-2400");
+        assert!(
+            fastest / slowest >= 8.0,
+            "8x spread as in PII-300..PIV-2400"
+        );
     }
 
     #[test]
@@ -175,9 +209,9 @@ mod tests {
 
     #[test]
     fn class_speeds_scale_with_clock() {
-        assert!(PII_300.speed < PIII_500.speed);
-        assert!(PIII_500.speed < PIII_1000.speed);
-        assert!(PIII_1000.speed < PIV_2400.speed);
+        const { assert!(PII_300.speed < PIII_500.speed) };
+        const { assert!(PIII_500.speed < PIII_1000.speed) };
+        const { assert!(PIII_1000.speed < PIV_2400.speed) };
         assert!((PIII_1000.speed / PII_300.speed - 10.0 / 3.0).abs() < 1e-9);
     }
 }

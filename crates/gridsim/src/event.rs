@@ -62,7 +62,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue with the clock at 0.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), now: 0.0, next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            next_seq: 0,
+        }
     }
 
     /// Current virtual time (the time of the last popped event).
@@ -84,7 +88,11 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, payload });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedules `payload` `delay` seconds from now.

@@ -23,7 +23,10 @@ pub struct AvailabilityModel {
 impl AvailabilityModel {
     /// A dedicated machine (cluster node): always available.
     pub fn dedicated() -> Self {
-        Self { idle_fraction: 1.0, mean_idle_secs: f64::INFINITY }
+        Self {
+            idle_fraction: 1.0,
+            mean_idle_secs: f64::INFINITY,
+        }
     }
 
     /// A semi-idle desktop: idle `idle_fraction` of the time in periods
@@ -34,7 +37,10 @@ impl AvailabilityModel {
             "idle fraction must be in (0, 1]"
         );
         assert!(mean_idle_secs > 0.0, "mean idle period must be positive");
-        Self { idle_fraction, mean_idle_secs }
+        Self {
+            idle_fraction,
+            mean_idle_secs,
+        }
     }
 
     fn mean_busy_secs(&self) -> f64 {
@@ -67,6 +73,9 @@ pub struct Machine {
     /// stays forever). Work in flight at departure is lost — the
     /// scheduler's fault-tolerance path must reissue it.
     pub departure: Option<f64>,
+    // Fault-injection hook: multiplies effective speed (straggler
+    // slowdowns set it below 1). Orthogonal to the availability trace.
+    speed_scale: f64,
     rng: Xoshiro256StarStar,
     // Lazily generated trace cursor: the machine is `state_idle` until
     // `state_until`, then flips.
@@ -89,8 +98,7 @@ impl Machine {
         let mut rng = Xoshiro256StarStar::new(seed).derive(0x4D41_C000 + id as u64);
         // Start the trace in a random phase: idle with the long-run
         // probability, so an ensemble of machines is stationary at t=0.
-        let state_idle =
-            availability.is_dedicated() || rng.next_bool(availability.idle_fraction);
+        let state_idle = availability.is_dedicated() || rng.next_bool(availability.idle_fraction);
         let mut m = Self {
             id,
             class_name: class_name.to_string(),
@@ -99,6 +107,7 @@ impl Machine {
             location: 0,
             arrival: 0.0,
             departure: None,
+            speed_scale: 1.0,
             rng,
             trace_at: 0.0,
             state_idle,
@@ -155,14 +164,15 @@ impl Machine {
         if ops == 0.0 {
             return start;
         }
+        let speed = self.speed * self.speed_scale;
         let mut remaining = ops;
         let mut t = start;
         loop {
             if self.state_idle {
                 let window_end = self.state_until;
-                let can_do = (window_end - t) * self.speed;
+                let can_do = (window_end - t) * speed;
                 if can_do >= remaining || window_end.is_infinite() {
-                    let finish = t + remaining / self.speed;
+                    let finish = t + remaining / speed;
                     self.advance_trace_to(finish);
                     return finish;
                 }
@@ -175,6 +185,27 @@ impl Machine {
             t = flip;
             self.trace_at = t;
         }
+    }
+
+    /// Fault-injection hook: scales the machine's effective speed for
+    /// subsequent [`Machine::finish_time`] calls (a straggler slowdown
+    /// of factor `f` sets `1 / f`). Sampled at unit start by the
+    /// simulator; `1.0` restores full speed.
+    pub fn set_speed_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "speed scale must be positive"
+        );
+        self.speed_scale = scale;
+    }
+
+    /// High-water mark of the availability trace: the latest time the
+    /// trace has been sampled to. Queries ([`Machine::finish_time`],
+    /// [`Machine::is_idle_at`]) must not go earlier than this — the
+    /// trace is generated forward-only. The simulator uses it to delay
+    /// a crash-reboot rejoin past any discarded in-flight compute.
+    pub fn trace_time(&self) -> f64 {
+        self.trace_at
     }
 
     /// Effective long-run throughput in ops/second (speed × idleness).
@@ -291,6 +322,22 @@ mod tests {
         let mut m = Machine::new(2, "d", 10.0, AvailabilityModel::semi_idle(0.5, 10.0), 3);
         m.is_idle_at(100.0);
         m.is_idle_at(50.0);
+    }
+
+    #[test]
+    fn speed_scale_slows_and_restores_compute() {
+        let mut m = dedicated(100.0);
+        assert_eq!(m.finish_time(0.0, 500.0), 5.0);
+        m.set_speed_scale(0.25); // 4× straggler slowdown
+        assert_eq!(m.finish_time(5.0, 500.0), 25.0);
+        m.set_speed_scale(1.0);
+        assert_eq!(m.finish_time(25.0, 500.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed scale must be positive")]
+    fn non_positive_speed_scale_is_rejected() {
+        dedicated(1.0).set_speed_scale(0.0);
     }
 
     #[test]

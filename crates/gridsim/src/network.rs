@@ -15,6 +15,9 @@
 pub struct SharedLink {
     latency_secs: f64,
     bandwidth_bytes_per_sec: f64,
+    // Fault-injection hook: ≥ 1 multiplies latency and serialisation
+    // time (congestion, a flapping switch port). 1 = healthy.
+    degradation: f64,
     busy_until: f64,
     total_bytes: u64,
     total_transfers: u64,
@@ -29,11 +32,23 @@ impl SharedLink {
         Self {
             latency_secs,
             bandwidth_bytes_per_sec,
+            degradation: 1.0,
             busy_until: 0.0,
             total_bytes: 0,
             total_transfers: 0,
             total_queue_wait: 0.0,
         }
+    }
+
+    /// Fault-injection hook: degrades the link by `factor` ≥ 1 for
+    /// subsequent transfers (latency and serialisation time both scale).
+    /// `1.0` restores the healthy link.
+    pub fn set_degradation(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degradation factor must be ≥ 1"
+        );
+        self.degradation = factor;
     }
 
     /// The paper's testbed link: 100 Mbit/s switched Ethernet with ~1 ms
@@ -49,10 +64,10 @@ impl SharedLink {
     /// `now` values must be non-decreasing across calls (event-ordered).
     pub fn transfer(&mut self, now: f64, bytes: u64) -> f64 {
         assert!(now.is_finite() && now >= 0.0, "bad transfer time {now}");
-        let ready = now + self.latency_secs;
+        let ready = now + self.latency_secs * self.degradation;
         let start = ready.max(self.busy_until);
         self.total_queue_wait += start - ready;
-        let duration = bytes as f64 / self.bandwidth_bytes_per_sec;
+        let duration = bytes as f64 * self.degradation / self.bandwidth_bytes_per_sec;
         self.busy_until = start + duration;
         self.total_bytes += bytes;
         self.total_transfers += 1;
@@ -126,7 +141,11 @@ impl CampusNetwork {
             machine_location.iter().all(|&l| l < location_links.len()),
             "machine mapped to a missing location"
         );
-        Self { server_link, location_links, machine_location }
+        Self {
+            server_link,
+            location_links,
+            machine_location,
+        }
     }
 
     /// Schedules a transfer for `machine` at time `now`: location uplink
@@ -152,9 +171,18 @@ impl CampusNetwork {
         self.server_link.mean_queue_wait()
     }
 
+    /// Fault-injection hook: degrades the shared server link by
+    /// `factor` ≥ 1 (see [`SharedLink::set_degradation`]).
+    pub fn set_server_degradation(&mut self, factor: f64) {
+        self.server_link.set_degradation(factor);
+    }
+
     /// Mean queue wait per location uplink.
     pub fn location_queue_waits(&self) -> Vec<f64> {
-        self.location_links.iter().map(|l| l.mean_queue_wait()).collect()
+        self.location_links
+            .iter()
+            .map(|l| l.mean_queue_wait())
+            .collect()
     }
 }
 
@@ -213,6 +241,32 @@ mod tests {
     }
 
     #[test]
+    fn degraded_link_slows_transfers_then_recovers() {
+        let mut link = SharedLink::new(0.5, 1000.0);
+        link.set_degradation(4.0);
+        // Latency 0.5×4 = 2, serialisation 2000/1000×4 = 8.
+        assert_eq!(link.transfer(0.0, 2000), 10.0);
+        link.set_degradation(1.0);
+        assert_eq!(link.transfer(20.0, 2000), 22.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn degradation_below_one_is_rejected() {
+        SharedLink::new(0.0, 1.0).set_degradation(0.5);
+    }
+
+    #[test]
+    fn campus_server_degradation_reaches_the_server_link() {
+        let mut net = CampusNetwork::single_link(SharedLink::new(0.0, 1000.0), 2);
+        let healthy = net.transfer(0, 0.0, 1000);
+        assert!((healthy - 1.0).abs() < 1e-9);
+        net.set_server_degradation(3.0);
+        let degraded = net.transfer(1, 10.0, 1000);
+        assert!((degraded - 13.0).abs() < 1e-9, "{degraded}");
+    }
+
+    #[test]
     fn single_link_campus_equals_bare_link() {
         let mut bare = SharedLink::new(0.01, 1000.0);
         let mut campus = CampusNetwork::single_link(SharedLink::new(0.01, 1000.0), 4);
@@ -253,7 +307,10 @@ mod tests {
         let a = net.transfer(0, 0.0, 100);
         let b = net.transfer(1, 0.0, 100);
         assert!((a - 1.0).abs() < 1e-6);
-        assert!((b - 2.0).abs() < 1e-6, "cross-location traffic shares the server");
+        assert!(
+            (b - 2.0).abs() < 1e-6,
+            "cross-location traffic shares the server"
+        );
         assert!(net.mean_server_queue_wait() > 0.0);
         assert_eq!(net.total_bytes(), 200);
     }
@@ -261,6 +318,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing location")]
     fn bad_location_mapping_panics() {
-        CampusNetwork::new(SharedLink::new(0.0, 1.0), vec![SharedLink::new(0.0, 1.0)], vec![1]);
+        CampusNetwork::new(
+            SharedLink::new(0.0, 1.0),
+            vec![SharedLink::new(0.0, 1.0)],
+            vec![1],
+        );
     }
 }

@@ -22,7 +22,9 @@ pub fn resample_alignment(seqs: &[Sequence], rng: &mut dyn Rng) -> Vec<Sequence>
     assert!(!seqs.is_empty(), "need sequences to resample");
     let len = seqs[0].len();
     assert!(len > 0, "empty alignment");
-    let columns: Vec<usize> = (0..len).map(|_| rng.next_below(len as u64) as usize).collect();
+    let columns: Vec<usize> = (0..len)
+        .map(|_| rng.next_below(len as u64) as usize)
+        .collect();
     seqs.iter()
         .map(|s| {
             let codes: Vec<u8> = columns.iter().map(|&c| s.codes()[c]).collect();
@@ -76,8 +78,15 @@ pub fn bootstrap_support(
             }
         }
     }
-    let support = counts.iter().map(|&c| c as f64 / replicates as f64).collect();
-    BootstrapSupport { splits, support, replicates }
+    let support = counts
+        .iter()
+        .map(|&c| c as f64 / replicates as f64)
+        .collect();
+    BootstrapSupport {
+        splits,
+        support,
+        replicates,
+    }
 }
 
 /// The standard fast replicate builder: neighbor joining on JC
@@ -125,10 +134,11 @@ mod tests {
         let len = seqs[0].len();
         for col in 0..len {
             let out_col: Vec<u8> = (0..n).map(|t| r[t].codes()[col]).collect();
-            let found = (0..len).any(|src| {
-                (0..n).all(|t| seqs[t].codes()[src] == out_col[t])
-            });
-            assert!(found, "output column {col} is not a copy of any input column");
+            let found = (0..len).any(|src| (0..n).all(|t| seqs[t].codes()[src] == out_col[t]));
+            assert!(
+                found,
+                "output column {col} is not a copy of any input column"
+            );
         }
     }
 
@@ -143,16 +153,17 @@ mod tests {
         // support everywhere.
         let mean = bs.support.iter().sum::<f64>() / bs.support.len() as f64;
         assert!(mean > 0.85, "mean support {mean}: {:?}", bs.support);
-        assert!(bs.min_support() > 0.5, "weakest split too weak: {:?}", bs.support);
+        assert!(
+            bs.min_support() > 0.5,
+            "weakest split too weak: {:?}",
+            bs.support
+        );
     }
 
     #[test]
     fn short_noisy_alignments_get_lower_support() {
         let (truth, long_seqs) = clean_dataset(2000, 21);
-        let short_seqs: Vec<Sequence> = long_seqs
-            .iter()
-            .map(|s| s.slice(0..40))
-            .collect();
+        let short_seqs: Vec<Sequence> = long_seqs.iter().map(|s| s.slice(0..40)).collect();
         let long_bs = bootstrap_support(&truth, &long_seqs, 40, 22, nj_builder);
         let short_bs = bootstrap_support(&truth, &short_seqs, 40, 22, nj_builder);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

@@ -165,7 +165,10 @@ mod tests {
             .filter(|(a, b)| a == b)
             .count();
         let frac = matches as f64 / 2000.0;
-        assert!((frac - 0.25).abs() < 0.04, "saturated identity {frac} should be ~0.25");
+        assert!(
+            (frac - 0.25).abs() < 0.04,
+            "saturated identity {frac} should be ~0.25"
+        );
     }
 
     #[test]
@@ -207,7 +210,11 @@ mod tests {
     fn custom_names_are_used() {
         let tree = Tree::initial_triple([0, 1, 2], 0.1);
         let model = SubstModel::homogeneous(ModelKind::Jc69);
-        let names = vec!["human".to_string(), "mouse".to_string(), "yeast".to_string()];
+        let names = vec![
+            "human".to_string(),
+            "mouse".to_string(),
+            "yeast".to_string(),
+        ];
         let seqs = simulate_alignment(&tree, &model, 10, Some(&names), 1);
         assert_eq!(seqs[0].id, "human");
         assert_eq!(seqs[2].id, "yeast");

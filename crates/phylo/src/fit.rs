@@ -74,7 +74,11 @@ pub fn fit_hky_kappa(
         1e-3,
         40,
     );
-    FitResult { value: r.xmin, ln_likelihood: -r.fmin, evaluations }
+    FitResult {
+        value: r.xmin,
+        ln_likelihood: -r.fmin,
+        evaluations,
+    }
 }
 
 /// Fits the discrete-Γ shape α on a fixed tree under the given model
@@ -103,7 +107,11 @@ pub fn fit_gamma_alpha(
         1e-3,
         40,
     );
-    FitResult { value: r.xmin, ln_likelihood: -r.fmin, evaluations }
+    FitResult {
+        value: r.xmin,
+        ln_likelihood: -r.fmin,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +128,12 @@ mod tests {
         let data = PatternAlignment::from_sequences(&seqs);
         let est = empirical_base_frequencies(&data);
         for i in 0..4 {
-            assert!((est[i] - freqs[i]).abs() < 0.02, "base {i}: {} vs {}", est[i], freqs[i]);
+            assert!(
+                (est[i] - freqs[i]).abs() < 0.02,
+                "base {i}: {} vs {}",
+                est[i],
+                freqs[i]
+            );
         }
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -130,7 +143,10 @@ mod tests {
     fn kappa_is_recovered_from_simulated_data() {
         let true_kappa = 6.0;
         let freqs = [0.25; 4];
-        let model = SubstModel::homogeneous(ModelKind::Hky85 { kappa: true_kappa, freqs });
+        let model = SubstModel::homogeneous(ModelKind::Hky85 {
+            kappa: true_kappa,
+            freqs,
+        });
         let truth = random_yule_tree(8, 0.15, 11);
         let seqs = simulate_alignment(&truth, &model, 1500, None, 12);
         let data = PatternAlignment::from_sequences(&seqs);

@@ -19,6 +19,9 @@
 //!   a pure function so DPRml can farm candidates out as work units.
 //! * [`evolve`] — simulates alignments down random trees (the synthetic
 //!   stand-in for the paper's 50-taxon dataset).
+// DP and linear-algebra kernels index several arrays with one
+// loop variable; iterator chains obscure the recurrences there.
+#![allow(clippy::needless_range_loop)]
 
 pub mod bootstrap;
 pub mod eigen;
@@ -38,9 +41,9 @@ pub use bootstrap::{bootstrap_support, nj_builder, resample_alignment, Bootstrap
 pub use evolve::{random_yule_tree, simulate_alignment};
 pub use fit::{empirical_base_frequencies, fit_gamma_alpha, fit_hky_kappa, FitResult};
 pub use lik::{log_likelihood, optimize_branch_lengths, TreeLikelihood};
-pub use nj::{jc_distance_matrix, maximin_order, neighbor_joining, patristic_distance_matrix};
 pub use model::{GammaRates, ModelKind, SubstModel};
 pub use model_select::{compare_models, standard_candidates, ModelScore};
+pub use nj::{jc_distance_matrix, maximin_order, neighbor_joining, patristic_distance_matrix};
 pub use patterns::PatternAlignment;
 pub use search::{evaluate_insertion, spr_improve, stepwise_ml, InsertionCandidate, SearchOptions};
 pub use tree::Tree;

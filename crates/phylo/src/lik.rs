@@ -71,9 +71,7 @@ impl<'a> TreeLikelihood<'a> {
     /// (pattern × category × 4×4 products). Used by the scheduler and
     /// the simulator as the work-unit cost model.
     pub fn traversal_cost(&self, tree: &Tree) -> u64 {
-        (tree.node_count() as u64)
-            * (self.data.pattern_count() as u64)
-            * (self.ncat() as u64)
+        (tree.node_count() as u64) * (self.data.pattern_count() as u64) * (self.ncat() as u64)
     }
 
     // Downward pass: partials for every node, postorder.
@@ -139,7 +137,10 @@ impl<'a> TreeLikelihood<'a> {
             }
             parts[v] = Some(p);
         }
-        parts.into_iter().map(|p| p.expect("all nodes visited")).collect()
+        parts
+            .into_iter()
+            .map(|p| p.expect("all nodes visited"))
+            .collect()
     }
 
     /// Log-likelihood of the tree.
@@ -162,8 +163,8 @@ impl<'a> TreeLikelihood<'a> {
             for (cat, &prob) in probs.iter().enumerate().take(ncat) {
                 let base = pat * stride + cat * 4;
                 let v = &root.values[base..base + 4];
-                site += prob
-                    * (freqs[0] * v[0] + freqs[1] * v[1] + freqs[2] * v[2] + freqs[3] * v[3]);
+                site +=
+                    prob * (freqs[0] * v[0] + freqs[1] * v[1] + freqs[2] * v[2] + freqs[3] * v[3]);
             }
             lnl += self.data.weights()[pat] * (site.ln() + root.scale[pat]);
         }
@@ -201,9 +202,7 @@ impl<'a> TreeLikelihood<'a> {
                 for pat in 0..np {
                     for cat in 0..ncat {
                         let base = pat * stride + cat * 4;
-                        for s in 0..4 {
-                            vals[base + s] = freqs[s];
-                        }
+                        vals[base..base + 4].copy_from_slice(&freqs);
                     }
                 }
                 (vals, vec![0.0; np])
@@ -305,13 +304,14 @@ impl<'a> TreeLikelihood<'a> {
 
         // O at the root carries the stationary prior.
         let freqs = self.model.freqs();
-        let mut o = Partials { values: vec![0.0; np * stride], scale: vec![0.0; np] };
+        let mut o = Partials {
+            values: vec![0.0; np * stride],
+            scale: vec![0.0; np],
+        };
         for pat in 0..np {
             for cat in 0..ncat {
                 let base = pat * stride + cat * 4;
-                for s in 0..4 {
-                    o.values[base + s] = freqs[s];
-                }
+                o.values[base..base + 4].copy_from_slice(&freqs);
             }
         }
 
@@ -341,7 +341,9 @@ impl<'a> TreeLikelihood<'a> {
             }
             for pat in 0..np {
                 let base = pat * stride;
-                let mx = e.values[base..base + stride].iter().fold(0.0f64, |a, &b| a.max(b));
+                let mx = e.values[base..base + stride]
+                    .iter()
+                    .fold(0.0f64, |a, &b| a.max(b));
                 if mx > 0.0 && mx != 1.0 {
                     let inv = 1.0 / mx;
                     for x in &mut e.values[base..base + stride] {
@@ -355,7 +357,10 @@ impl<'a> TreeLikelihood<'a> {
             }
             // Descend: O[next][s] = Σ_s' E[next][s'] · P_next[s'][s].
             let pmats = self.model.transition_matrices(tree.branch_length(next));
-            let mut no = Partials { values: vec![0.0; np * stride], scale: e.scale.clone() };
+            let mut no = Partials {
+                values: vec![0.0; np * stride],
+                scale: e.scale.clone(),
+            };
             for pat in 0..np {
                 for (cat, pm) in pmats.iter().enumerate() {
                     let base = pat * stride + cat * 4;
@@ -397,8 +402,7 @@ impl<'a> TreeLikelihood<'a> {
                 }
                 site += probs[cat] * cat_sum;
             }
-            lnl += self.data.weights()[pat]
-                * (site.ln() + down_v.scale[pat] + edge_v.scale[pat]);
+            lnl += self.data.weights()[pat] * (site.ln() + down_v.scale[pat] + edge_v.scale[pat]);
         }
         lnl
     }
@@ -445,10 +449,10 @@ impl<'a> TreeLikelihood<'a> {
                     1e-7,
                     64,
                 );
-                // Coordinate ascent: only accept genuine improvements.
+                // Coordinate ascent: only accept genuine improvements;
+                // the running total is re-anchored exactly below.
                 if -r.fmin > f_current {
                     tree.set_branch_length(v, r.xmin.clamp(MIN_BRANCH, MAX_BRANCH));
-                    best_lnl = best_lnl + (-r.fmin - f_current);
                 }
             }
             // Re-anchor on an exact evaluation (scale bookkeeping above
@@ -494,11 +498,7 @@ mod tests {
 
     /// Brute-force likelihood by summing over all internal-node state
     /// assignments — exponential, but exact for tiny trees.
-    fn brute_force_lnl(
-        tree: &Tree,
-        data: &PatternAlignment,
-        model: &SubstModel,
-    ) -> f64 {
+    fn brute_force_lnl(tree: &Tree, data: &PatternAlignment, model: &SubstModel) -> f64 {
         let freqs = model.freqs();
         let cats = model.rate_categories();
         let internal: Vec<usize> = (0..tree.node_count())
@@ -594,10 +594,7 @@ mod tests {
             seq("c", "ACGAACTT"),
             seq("d", "CCGAACTT"),
         ]);
-        let model = SubstModel::new(
-            ModelKind::K80 { kappa: 2.5 },
-            GammaRates::gamma(0.7, 3),
-        );
+        let model = SubstModel::new(ModelKind::K80 { kappa: 2.5 }, GammaRates::gamma(0.7, 3));
         let mut tree = triple_tree(0.1);
         tree.insert_leaf(1, 3, 0.2);
         let fast = log_likelihood(&tree, &data, &model);
@@ -696,7 +693,10 @@ mod tests {
             seq("d", "TCGAACGT"),
         ]);
         let model = SubstModel::new(
-            ModelKind::Hky85 { kappa: 2.0, freqs: [0.3, 0.2, 0.2, 0.3] },
+            ModelKind::Hky85 {
+                kappa: 2.0,
+                freqs: [0.3, 0.2, 0.2, 0.3],
+            },
             GammaRates::gamma(0.5, 4),
         );
         let mut tree = triple_tree(0.1);

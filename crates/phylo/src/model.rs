@@ -95,10 +95,23 @@ impl ModelKind {
             "jc69" | "jc" => Ok(Self::Jc69),
             "k80" | "k2p" => Ok(Self::K80 { kappa: kappa(2.0)? }),
             "f81" => Ok(Self::F81 { freqs: uniform }),
-            "f84" => Ok(Self::F84 { kappa: kappa(1.0)?, freqs: uniform }),
-            "hky85" | "hky" => Ok(Self::Hky85 { kappa: kappa(2.0)?, freqs: uniform }),
-            "tn93" => Ok(Self::Tn93 { kappa_r: kappa(2.0)?, kappa_y: kappa(2.0)?, freqs: uniform }),
-            "gtr" => Ok(Self::Gtr { rates: [1.0; 6], freqs: uniform }),
+            "f84" => Ok(Self::F84 {
+                kappa: kappa(1.0)?,
+                freqs: uniform,
+            }),
+            "hky85" | "hky" => Ok(Self::Hky85 {
+                kappa: kappa(2.0)?,
+                freqs: uniform,
+            }),
+            "tn93" => Ok(Self::Tn93 {
+                kappa_r: kappa(2.0)?,
+                kappa_y: kappa(2.0)?,
+                freqs: uniform,
+            }),
+            "gtr" => Ok(Self::Gtr {
+                rates: [1.0; 6],
+                freqs: uniform,
+            }),
             _ => Err(format!("unknown substitution model `{text}`")),
         }
     }
@@ -129,9 +142,9 @@ impl ModelKind {
                 let py = freqs[C] + freqs[T];
                 [1.0, 1.0 + kappa / pr, 1.0, 1.0, 1.0 + kappa / py, 1.0]
             }
-            ModelKind::Tn93 { kappa_r, kappa_y, .. } => {
-                [1.0, kappa_r, 1.0, 1.0, kappa_y, 1.0]
-            }
+            ModelKind::Tn93 {
+                kappa_r, kappa_y, ..
+            } => [1.0, kappa_r, 1.0, 1.0, kappa_y, 1.0],
             ModelKind::Gtr { rates, .. } => rates,
         }
     }
@@ -157,7 +170,10 @@ pub struct GammaRates {
 impl GammaRates {
     /// A single rate category with rate 1 (rate homogeneity).
     pub fn uniform() -> Self {
-        Self { rates: vec![1.0], probs: vec![1.0] }
+        Self {
+            rates: vec![1.0],
+            probs: vec![1.0],
+        }
     }
 
     /// `ncat` equal-probability categories from a Γ(α, α) distribution;
@@ -185,7 +201,13 @@ impl GammaRates {
             .collect();
         // Mean of category i: K · [P(α+1, αb_{i+1}) − P(α+1, αb_i)]
         // (the αb products are exactly the `bounds` values above).
-        let cum = |x: f64| if x.is_infinite() { 1.0 } else { gammp(alpha + 1.0, x) };
+        let cum = |x: f64| {
+            if x.is_infinite() {
+                1.0
+            } else {
+                gammp(alpha + 1.0, x)
+            }
+        };
         let rates: Vec<f64> = (0..ncat)
             .map(|i| k * (cum(bounds[i + 1]) - cum(bounds[i])))
             .collect();
@@ -249,7 +271,10 @@ impl SubstModel {
             "frequencies must be positive and sum to 1, got {freqs:?}"
         );
         let s = kind.exchangeabilities();
-        assert!(s.iter().all(|&x| x > 0.0), "exchangeabilities must be positive");
+        assert!(
+            s.iter().all(|&x| x > 0.0),
+            "exchangeabilities must be positive"
+        );
 
         // Assemble Q.
         let pair_index = |i: usize, j: usize| -> usize {
@@ -309,7 +334,14 @@ impl SubstModel {
             }
         }
 
-        Self { kind, rates, freqs, eigvals, u, u_inv }
+        Self {
+            kind,
+            rates,
+            freqs,
+            eigvals,
+            u,
+            u_inv,
+        }
     }
 
     /// Convenience: rate-homogeneous process.
@@ -337,7 +369,10 @@ impl SubstModel {
     ///
     /// Entries are clamped into `[0, 1]` to remove ~1e-16 eigen noise.
     pub fn transition_matrix(&self, t: f64, rate: f64) -> [[f64; 4]; 4] {
-        assert!(t >= 0.0 && rate >= 0.0, "branch length and rate must be non-negative");
+        assert!(
+            t >= 0.0 && rate >= 0.0,
+            "branch length and rate must be non-negative"
+        );
         let scaled = t * rate;
         let exps: [f64; 4] = std::array::from_fn(|k| (self.eigvals[k] * scaled).exp());
         let mut p = [[0.0f64; 4]; 4];
@@ -355,7 +390,11 @@ impl SubstModel {
 
     /// Transition matrices for every rate category at branch length `t`.
     pub fn transition_matrices(&self, t: f64) -> Vec<[[f64; 4]; 4]> {
-        self.rates.rates.iter().map(|&r| self.transition_matrix(t, r)).collect()
+        self.rates
+            .rates
+            .iter()
+            .map(|&r| self.transition_matrix(t, r))
+            .collect()
     }
 }
 
@@ -484,11 +523,26 @@ mod tests {
         let models = [
             ModelKind::Jc69,
             ModelKind::K80 { kappa: 2.0 },
-            ModelKind::F81 { freqs: [0.3, 0.3, 0.2, 0.2] },
-            ModelKind::F84 { kappa: 1.5, freqs: [0.3, 0.3, 0.2, 0.2] },
-            ModelKind::Hky85 { kappa: 4.0, freqs: [0.25, 0.35, 0.15, 0.25] },
-            ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 5.0, freqs: [0.3, 0.2, 0.3, 0.2] },
-            ModelKind::Gtr { rates: [0.5, 2.0, 1.0, 0.9, 3.0, 1.1], freqs: [0.3, 0.3, 0.2, 0.2] },
+            ModelKind::F81 {
+                freqs: [0.3, 0.3, 0.2, 0.2],
+            },
+            ModelKind::F84 {
+                kappa: 1.5,
+                freqs: [0.3, 0.3, 0.2, 0.2],
+            },
+            ModelKind::Hky85 {
+                kappa: 4.0,
+                freqs: [0.25, 0.35, 0.15, 0.25],
+            },
+            ModelKind::Tn93 {
+                kappa_r: 2.0,
+                kappa_y: 5.0,
+                freqs: [0.3, 0.2, 0.3, 0.2],
+            },
+            ModelKind::Gtr {
+                rates: [0.5, 2.0, 1.0, 0.9, 3.0, 1.1],
+                freqs: [0.3, 0.3, 0.2, 0.2],
+            },
         ];
         for kind in models {
             let m = SubstModel::homogeneous(kind.clone());
@@ -555,9 +609,18 @@ mod tests {
     #[test]
     fn parse_accepts_documented_spellings() {
         assert_eq!(ModelKind::parse("jc69").unwrap(), ModelKind::Jc69);
-        assert_eq!(ModelKind::parse("K80:3.5").unwrap(), ModelKind::K80 { kappa: 3.5 });
-        assert!(matches!(ModelKind::parse("hky85:4").unwrap(), ModelKind::Hky85 { .. }));
-        assert!(matches!(ModelKind::parse("gtr").unwrap(), ModelKind::Gtr { .. }));
+        assert_eq!(
+            ModelKind::parse("K80:3.5").unwrap(),
+            ModelKind::K80 { kappa: 3.5 }
+        );
+        assert!(matches!(
+            ModelKind::parse("hky85:4").unwrap(),
+            ModelKind::Hky85 { .. }
+        ));
+        assert!(matches!(
+            ModelKind::parse("gtr").unwrap(),
+            ModelKind::Gtr { .. }
+        ));
         assert!(ModelKind::parse("jtt").is_err());
         assert!(ModelKind::parse("k80:abc").is_err());
     }
@@ -565,6 +628,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "frequencies must be positive")]
     fn bad_frequencies_panic() {
-        SubstModel::homogeneous(ModelKind::F81 { freqs: [0.5, 0.5, 0.5, 0.5] });
+        SubstModel::homogeneous(ModelKind::F81 {
+            freqs: [0.5, 0.5, 0.5, 0.5],
+        });
     }
 }

@@ -71,9 +71,7 @@ pub fn compare_models(
             let engine = TreeLikelihood::new(&model, data);
             let mut t = tree.clone();
             let lnl = engine.optimize_edges(&mut t, None, blen_rounds, 1e-3);
-            let k = kind.parameter_count()
-                + u32::from(gamma_alpha.is_some())
-                + n_branches;
+            let k = kind.parameter_count() + u32::from(gamma_alpha.is_some()) + n_branches;
             ModelScore {
                 name: name.to_string(),
                 kind: kind.clone(),
@@ -98,8 +96,21 @@ pub fn standard_candidates(freqs: [f64; 4]) -> Vec<(&'static str, ModelKind, Opt
         ("K80", ModelKind::K80 { kappa: 2.0 }),
         ("F81", ModelKind::F81 { freqs }),
         ("HKY85", ModelKind::Hky85 { kappa: 2.0, freqs }),
-        ("TN93", ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 2.0, freqs }),
-        ("GTR", ModelKind::Gtr { rates: [1.0; 6], freqs }),
+        (
+            "TN93",
+            ModelKind::Tn93 {
+                kappa_r: 2.0,
+                kappa_y: 2.0,
+                freqs,
+            },
+        ),
+        (
+            "GTR",
+            ModelKind::Gtr {
+                rates: [1.0; 6],
+                freqs,
+            },
+        ),
     ];
     for (name, kind) in base {
         out.push((name, kind.clone(), None));
@@ -120,9 +131,19 @@ mod tests {
             ModelKind::Jc69,
             ModelKind::K80 { kappa: 2.0 },
             ModelKind::F81 { freqs: f },
-            ModelKind::Hky85 { kappa: 2.0, freqs: f },
-            ModelKind::Tn93 { kappa_r: 2.0, kappa_y: 2.0, freqs: f },
-            ModelKind::Gtr { rates: [1.0; 6], freqs: f },
+            ModelKind::Hky85 {
+                kappa: 2.0,
+                freqs: f,
+            },
+            ModelKind::Tn93 {
+                kappa_r: 2.0,
+                kappa_y: 2.0,
+                freqs: f,
+            },
+            ModelKind::Gtr {
+                rates: [1.0; 6],
+                freqs: f,
+            },
         ];
         let counts: Vec<u32> = ladder.iter().map(|k| k.parameter_count()).collect();
         assert_eq!(counts, vec![0, 1, 3, 4, 5, 8]);
@@ -170,7 +191,10 @@ mod tests {
             ],
             4,
         );
-        assert_eq!(scores[0].name, "K80", "AIC must favour the true model class");
+        assert_eq!(
+            scores[0].name, "K80",
+            "AIC must favour the true model class"
+        );
         assert!(scores[0].aic < scores[1].aic);
     }
 

@@ -49,7 +49,11 @@ pub struct NewickError {
 
 impl std::fmt::Display for NewickError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "newick parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "newick parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -81,12 +85,20 @@ pub fn from_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
     ) -> Result<usize, NewickError> {
         skip_ws(bytes, pos);
         if *pos >= bytes.len() {
-            return Err(NewickError { position: *pos, message: "unexpected end".into() });
+            return Err(NewickError {
+                position: *pos,
+                message: "unexpected end".into(),
+            });
         }
         if bytes[*pos] == b'(' {
             *pos += 1;
             let id = nodes.len();
-            nodes.push(Node { parent: None, children: vec![], blen: 0.0, taxon: None });
+            nodes.push(Node {
+                parent: None,
+                children: vec![],
+                blen: 0.0,
+                taxon: None,
+            });
             loop {
                 let child = parse_node(bytes, pos, nodes, names)?;
                 nodes[child].parent = Some(id);
@@ -143,7 +155,10 @@ pub fn from_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
                 *pos += 1;
             }
             if *pos == start {
-                return Err(NewickError { position: *pos, message: "empty leaf label".into() });
+                return Err(NewickError {
+                    position: *pos,
+                    message: "empty leaf label".into(),
+                });
             }
             let label = std::str::from_utf8(&bytes[start..*pos])
                 .expect("validated ASCII range")
@@ -157,7 +172,12 @@ pub fn from_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
             let taxon = names.len();
             names.push(label);
             let id = nodes.len();
-            nodes.push(Node { parent: None, children: vec![], blen: 0.0, taxon: Some(taxon) });
+            nodes.push(Node {
+                parent: None,
+                children: vec![],
+                blen: 0.0,
+                taxon: Some(taxon),
+            });
             Ok(id)
         }
     }
@@ -169,7 +189,10 @@ pub fn from_newick(text: &str) -> Result<(Tree, Vec<String>), NewickError> {
     }
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(NewickError { position: pos, message: "trailing characters".into() });
+        return Err(NewickError {
+            position: pos,
+            message: "trailing characters".into(),
+        });
     }
 
     let tree = Tree::from_parts(nodes, root).map_err(|m| NewickError {

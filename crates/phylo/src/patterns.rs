@@ -59,7 +59,12 @@ impl PatternAlignment {
                 }
             }
         }
-        Self { names, patterns, weights, site_count: len }
+        Self {
+            names,
+            patterns,
+            weights,
+            site_count: len,
+        }
     }
 
     /// Number of taxa (rows).

@@ -85,7 +85,11 @@ pub fn evaluate_insertion(
     } else {
         engine.optimize_edges(&mut tree, None, opts.candidate_rounds, opts.tol)
     };
-    InsertionCandidate { edge, ln_likelihood: lnl, tree }
+    InsertionCandidate {
+        edge,
+        ln_likelihood: lnl,
+        tree,
+    }
 }
 
 /// Picks the best candidate deterministically: highest likelihood, ties
@@ -120,10 +124,9 @@ pub fn nni_improve(
     for (c, a, b) in moves {
         let mut candidate = tree.clone();
         candidate.nni_swap(c, a, b);
-        let lnl = engine.optimize_edges(&mut candidate, Some(&[c]), opts.candidate_rounds, opts.tol);
-        if lnl > current_lnl + opts.tol
-            && best.as_ref().map(|(bl, _)| lnl > *bl).unwrap_or(true)
-        {
+        let lnl =
+            engine.optimize_edges(&mut candidate, Some(&[c]), opts.candidate_rounds, opts.tol);
+        if lnl > current_lnl + opts.tol && best.as_ref().map(|(bl, _)| lnl > *bl).unwrap_or(true) {
             best = Some((lnl, candidate));
         }
     }
@@ -159,16 +162,17 @@ pub fn spr_improve(
         }
         // The regraft reused `sub`'s old junction as the new junction
         // above `dest`; optimise the branches it touches.
-        let junction = candidate.node(sub).parent.expect("regrafted under a junction");
+        let junction = candidate
+            .node(sub)
+            .parent
+            .expect("regrafted under a junction");
         let lnl = engine.optimize_edges(
             &mut candidate,
             Some(&[sub, dest, junction]),
             opts.candidate_rounds,
             opts.tol,
         );
-        if lnl > current_lnl + opts.tol
-            && best.as_ref().map(|(bl, _)| lnl > *bl).unwrap_or(true)
-        {
+        if lnl > current_lnl + opts.tol && best.as_ref().map(|(bl, _)| lnl > *bl).unwrap_or(true) {
             best = Some((lnl, candidate));
         }
     }
@@ -211,7 +215,7 @@ pub fn stepwise_ml(
         let chosen = best_candidate(candidates);
         tree = chosen.tree;
         let is_last = k == order.len() - 4;
-        if (k as u32 + 1) % refine_every == 0 || is_last {
+        if (k as u32 + 1).is_multiple_of(refine_every) || is_last {
             lnl = engine.optimize_edges(&mut tree, None, opts.refine_rounds, opts.tol);
         } else {
             lnl = chosen.ln_likelihood;
@@ -324,14 +328,26 @@ mod tests {
         let engine = TreeLikelihood::new(&model, &data);
         let mut base = Tree::initial_triple([0, 1, 2], 0.1);
         engine.optimize_edges(&mut base, None, 4, 1e-3);
-        let local_opts = SearchOptions { local_candidates: true, ..Default::default() };
-        let full_opts = SearchOptions { local_candidates: false, ..Default::default() };
+        let local_opts = SearchOptions {
+            local_candidates: true,
+            ..Default::default()
+        };
+        let full_opts = SearchOptions {
+            local_candidates: false,
+            ..Default::default()
+        };
         let edges = base.edges();
         let best_local = best_candidate(
-            edges.iter().map(|&e| evaluate_insertion(&base, 3, e, &engine, &local_opts)).collect(),
+            edges
+                .iter()
+                .map(|&e| evaluate_insertion(&base, 3, e, &engine, &local_opts))
+                .collect(),
         );
         let best_full = best_candidate(
-            edges.iter().map(|&e| evaluate_insertion(&base, 3, e, &engine, &full_opts)).collect(),
+            edges
+                .iter()
+                .map(|&e| evaluate_insertion(&base, 3, e, &engine, &full_opts))
+                .collect(),
         );
         assert_eq!(best_local.edge, best_full.edge);
     }

@@ -42,9 +42,19 @@ impl Tree {
     pub fn initial_triple(taxa: [usize; 3], blen: f64) -> Self {
         assert!(blen >= 0.0, "branch length must be non-negative");
         let mut nodes = Vec::with_capacity(4);
-        nodes.push(Node { parent: None, children: vec![1, 2, 3], blen: 0.0, taxon: None });
+        nodes.push(Node {
+            parent: None,
+            children: vec![1, 2, 3],
+            blen: 0.0,
+            taxon: None,
+        });
         for &t in &taxa {
-            nodes.push(Node { parent: Some(0), children: vec![], blen, taxon: Some(t) });
+            nodes.push(Node {
+                parent: Some(0),
+                children: vec![],
+                blen,
+                taxon: Some(t),
+            });
         }
         Self { nodes, root: 0 }
     }
@@ -78,7 +88,9 @@ impl Tree {
 
     /// Ids of all leaf nodes.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect()
     }
 
     /// Taxon indices present in the tree.
@@ -134,7 +146,9 @@ impl Tree {
             !self.taxa().contains(&taxon),
             "taxon {taxon} is already in the tree"
         );
-        let parent = self.nodes[edge_child].parent.expect("non-root has a parent");
+        let parent = self.nodes[edge_child]
+            .parent
+            .expect("non-root has a parent");
         let old_len = self.nodes[edge_child].blen;
         let half = (old_len / 2.0).max(MIN_BRANCH);
 
@@ -178,13 +192,20 @@ impl Tree {
             self.nodes[edge_child].children.contains(&a),
             "a must be a child of edge_child"
         );
-        assert!(b != edge_child && self.nodes[p].children.contains(&b), "b must be a sibling");
+        assert!(
+            b != edge_child && self.nodes[p].children.contains(&b),
+            "b must be a sibling"
+        );
         let ia = self.nodes[edge_child]
             .children
             .iter()
             .position(|&c| c == a)
             .expect("checked above");
-        let ib = self.nodes[p].children.iter().position(|&c| c == b).expect("checked above");
+        let ib = self.nodes[p]
+            .children
+            .iter()
+            .position(|&c| c == b)
+            .expect("checked above");
         self.nodes[edge_child].children[ia] = b;
         self.nodes[p].children[ib] = a;
         self.nodes[a].parent = Some(p);
@@ -251,7 +272,9 @@ impl Tree {
         }
 
         // Splice out the junction p: sibling takes its place under g.
-        let g = self.nodes[p].parent.expect("non-root junction has a parent");
+        let g = self.nodes[p]
+            .parent
+            .expect("non-root junction has a parent");
         let slot = self.nodes[g]
             .children
             .iter()
@@ -401,8 +424,7 @@ impl Tree {
             if below.len() < 2 || below.len() > all.len() - 2 {
                 continue; // trivial split (pendant edge)
             }
-            let other: Vec<usize> =
-                all.iter().copied().filter(|t| !below.contains(t)).collect();
+            let other: Vec<usize> = all.iter().copied().filter(|t| !below.contains(t)).collect();
             splits.push(if below < other { below } else { other });
         }
         splits.sort();
@@ -568,7 +590,10 @@ mod tests {
             assert_eq!(t2.node_count(), t.node_count(), "arena stays dense");
             applied += 1;
         }
-        assert!(applied > 10, "a 6-taxon tree has many SPR moves ({applied})");
+        assert!(
+            applied > 10,
+            "a 6-taxon tree has many SPR moves ({applied})"
+        );
     }
 
     #[test]
@@ -598,11 +623,7 @@ mod tests {
         assert!(t.spr(root, 1).is_err(), "root cannot be pruned");
         // A child of the root cannot be pruned (trifurcation would break).
         let root_child = t.node(root).children[0];
-        let far = t
-            .edges()
-            .into_iter()
-            .find(|&e| e != root_child)
-            .unwrap();
+        let far = t.edges().into_iter().find(|&e| e != root_child).unwrap();
         assert!(t.spr(root_child, far).is_err());
         // Destination inside the pruned subtree.
         let internal = t

@@ -20,18 +20,29 @@ pub enum ConfigError {
     /// A required key was absent.
     Missing { key: String },
     /// A value could not be parsed as the requested type.
-    BadValue { key: String, value: String, expected: &'static str },
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Malformed { line_number, line } => {
-                write!(f, "line {line_number}: expected `key = value`, got `{line}`")
+                write!(
+                    f,
+                    "line {line_number}: expected `key = value`, got `{line}`"
+                )
             }
             ConfigError::Duplicate { key } => write!(f, "duplicate key `{key}`"),
             ConfigError::Missing { key } => write!(f, "missing required key `{key}`"),
-            ConfigError::BadValue { key, value, expected } => {
+            ConfigError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "key `{key}`: cannot parse `{value}` as {expected}")
             }
         }
@@ -98,12 +109,16 @@ impl Config {
 
     /// Raw string lookup (key is case-insensitive).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.entries.get(&key.to_ascii_lowercase()).map(|s| s.as_str())
+        self.entries
+            .get(&key.to_ascii_lowercase())
+            .map(|s| s.as_str())
     }
 
     /// Returns the string value for a required key.
     pub fn require(&self, key: &str) -> Result<&str, ConfigError> {
-        self.get(key).ok_or_else(|| ConfigError::Missing { key: key.to_string() })
+        self.get(key).ok_or_else(|| ConfigError::Missing {
+            key: key.to_string(),
+        })
     }
 
     fn parse_as<T: std::str::FromStr>(
@@ -123,7 +138,9 @@ impl Config {
 
     /// Integer value with a default.
     pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, ConfigError> {
-        Ok(self.parse_as::<u64>(key, "an unsigned integer")?.unwrap_or(default))
+        Ok(self
+            .parse_as::<u64>(key, "an unsigned integer")?
+            .unwrap_or(default))
     }
 
     /// Float value with a default.
@@ -203,7 +220,10 @@ mod tests {
         let err = Config::parse("ok = 1\nnot a pair\n").unwrap_err();
         assert_eq!(
             err,
-            ConfigError::Malformed { line_number: 2, line: "not a pair".into() }
+            ConfigError::Malformed {
+                line_number: 2,
+                line: "not a pair".into()
+            }
         );
     }
 
@@ -217,14 +237,25 @@ mod tests {
     fn require_names_missing_key() {
         let cfg = Config::parse("").unwrap();
         let err = cfg.require("database").unwrap_err();
-        assert_eq!(err, ConfigError::Missing { key: "database".into() });
+        assert_eq!(
+            err,
+            ConfigError::Missing {
+                key: "database".into()
+            }
+        );
     }
 
     #[test]
     fn typed_accessors_reject_garbage() {
         let cfg = Config::parse("n = twelve\nb = maybe\n").unwrap();
-        assert!(matches!(cfg.get_u64_or("n", 0), Err(ConfigError::BadValue { .. })));
-        assert!(matches!(cfg.get_bool_or("b", false), Err(ConfigError::BadValue { .. })));
+        assert!(matches!(
+            cfg.get_u64_or("n", 0),
+            Err(ConfigError::BadValue { .. })
+        ));
+        assert!(matches!(
+            cfg.get_bool_or("b", false),
+            Err(ConfigError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub fn brent_minimize(
         let tol2 = 2.0 * tol1;
 
         if (x - mid).abs() <= tol2 - 0.5 * (hi - lo) {
-            return BrentResult { xmin: x, fmin: fx, evaluations, converged: true };
+            return BrentResult {
+                xmin: x,
+                fmin: fx,
+                evaluations,
+                converged: true,
+            };
         }
 
         let mut use_golden = true;
@@ -133,7 +138,12 @@ pub fn brent_minimize(
         }
     }
 
-    BrentResult { xmin: x, fmin: fx, evaluations, converged: false }
+    BrentResult {
+        xmin: x,
+        fmin: fx,
+        evaluations,
+        converged: false,
+    }
 }
 
 /// Golden-section search: slower than Brent but makes no smoothness
@@ -147,7 +157,10 @@ pub fn golden_section_minimize(
     max_iter: u32,
 ) -> BrentResult {
     assert!(a < b, "golden_section_minimize: need a < b");
-    assert!(tol > 0.0, "golden_section_minimize: tolerance must be positive");
+    assert!(
+        tol > 0.0,
+        "golden_section_minimize: tolerance must be positive"
+    );
     let inv_phi = 0.618_033_988_749_894_9; // 1/phi
     let (mut lo, mut hi) = (a, b);
     let mut x1 = hi - inv_phi * (hi - lo);
@@ -179,7 +192,12 @@ pub fn golden_section_minimize(
     }
 
     let (xmin, fmin) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
-    BrentResult { xmin, fmin, evaluations, converged }
+    BrentResult {
+        xmin,
+        fmin,
+        evaluations,
+        converged,
+    }
 }
 
 #[cfg(test)]

@@ -192,9 +192,7 @@ impl Xoshiro256StarStar {
     /// e.g. each simulated machine owns its own generator and inserting a
     /// machine never perturbs another machine's trace.
     pub fn derive(&self, stream: u64) -> Self {
-        let mut sm = SplitMix64::new(
-            self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407),
-        );
+        let mut sm = SplitMix64::new(self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = sm.next_u64();
@@ -208,10 +206,7 @@ impl Xoshiro256StarStar {
 
 impl Rng for Xoshiro256StarStar {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -23,7 +23,10 @@ use std::sync::Arc;
 
 fn main() {
     let machines = campus_deployment(77);
-    let desktops = machines.iter().filter(|m| !m.class_name.starts_with("cluster")).count();
+    let desktops = machines
+        .iter()
+        .filter(|m| !m.class_name.starts_with("cluster"))
+        .count();
     let cluster = machines.len() - desktops;
     println!(
         "campus pool: {desktops} semi-idle desktops (3 locations) + {cluster} dedicated cluster CPUs"
@@ -77,6 +80,13 @@ fn main() {
     assert_eq!(hits.hits["q0"].len(), 25);
     let ta = server.take_output(dp0).unwrap().into_inner::<PhyloOutput>();
     let tb = server.take_output(dp1).unwrap().into_inner::<PhyloOutput>();
-    assert_eq!(ta.tree.rf_distance(&tb.tree), 0, "identical instances agree");
-    println!("\nDPRml lnL {:.2}; identical across instances ✓", ta.ln_likelihood);
+    assert_eq!(
+        ta.tree.rf_distance(&tb.tree),
+        0,
+        "identical instances agree"
+    );
+    println!(
+        "\nDPRml lnL {:.2}; identical across instances ✓",
+        ta.ln_likelihood
+    );
 }

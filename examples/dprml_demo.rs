@@ -53,7 +53,10 @@ fn main() {
     });
     let pid = server.submit(build_problem(data.clone(), &config, None, "dprml-demo"));
     let (mut server, elapsed) = run_threaded(server, 8);
-    let out = server.take_output(pid).expect("complete").into_inner::<PhyloOutput>();
+    let out = server
+        .take_output(pid)
+        .expect("complete")
+        .into_inner::<PhyloOutput>();
     let stats = server.stats(pid);
     println!(
         "distributed run: lnL {:.3} in {elapsed:.2} s wall clock, {} work units",

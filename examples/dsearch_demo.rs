@@ -19,13 +19,13 @@ use biodist::dsearch::{build_problem, search_sequential, DsearchConfig, SearchOu
 fn main() {
     // --- inputs ---------------------------------------------------
     let query = random_sequence(Alphabet::Protein, "query1", 180, 42);
-    let family = FamilySpec { copies: 4, substitution_rate: 0.15, indel_rate: 0.02 };
-    let db = SyntheticDb::generate_with_family(
-        &DbSpec::protein_demo(300, 200),
-        &query,
-        &family,
-        43,
-    );
+    let family = FamilySpec {
+        copies: 4,
+        substitution_rate: 0.15,
+        indel_rate: 0.02,
+    };
+    let db =
+        SyntheticDb::generate_with_family(&DbSpec::protein_demo(300, 200), &query, &family, 43);
     println!(
         "database: {} sequences, {} residues ({} planted homologs of {})",
         db.sequences.len(),
@@ -51,15 +51,22 @@ fn main() {
     .expect("valid configuration");
 
     // --- distributed search ----------------------------------------
-    let expected = search_sequential(&database, &[query.clone()], &config);
+    let expected = search_sequential(&database, std::slice::from_ref(&query), &config);
     let mut server = Server::new(SchedulerConfig {
         target_unit_secs: 0.002,
         prior_ops_per_sec: 1e8,
         ..Default::default()
     });
-    let pid = server.submit(build_problem(database.clone(), vec![query.clone()], &config));
+    let pid = server.submit(build_problem(
+        database.clone(),
+        vec![query.clone()],
+        &config,
+    ));
     let (mut server, elapsed) = run_threaded(server, 6);
-    let out = server.take_output(pid).expect("complete").into_inner::<SearchOutput>();
+    let out = server
+        .take_output(pid)
+        .expect("complete")
+        .into_inner::<SearchOutput>();
     assert_eq!(out.hits, expected, "distributed == sequential");
     println!(
         "search done in {elapsed:.2} s wall clock over {} units\n",
@@ -70,13 +77,25 @@ fn main() {
     println!("top hits for {}:", query.id);
     let hits = &out.hits[&query.id];
     for (rank, hit) in hits.iter().enumerate() {
-        let planted = if db.planted_ids.contains(&hit.db_id) { "  <- planted homolog" } else { "" };
-        println!("  {:>2}. {:<10} score {:>5}{planted}", rank + 1, hit.db_id, hit.score);
+        let planted = if db.planted_ids.contains(&hit.db_id) {
+            "  <- planted homolog"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>2}. {:<10} score {:>5}{planted}",
+            rank + 1,
+            hit.db_id,
+            hit.score
+        );
     }
 
     // Show the alignment of the best hit.
     let best = &hits[0];
-    let subject = database.iter().find(|s| s.id == best.db_id).expect("hit subject");
+    let subject = database
+        .iter()
+        .find(|s| s.id == best.db_id)
+        .expect("hit subject");
     let aln = sw_align(&query, subject, &config.scheme);
     println!(
         "\nbest alignment ({} vs {}, score {}, identity {:.0}%):",
@@ -90,10 +109,18 @@ fn main() {
     }
 
     // All planted homologs must rank above every background sequence.
-    let top: Vec<&str> =
-        hits[..db.planted_ids.len()].iter().map(|h| h.db_id.as_str()).collect();
+    let top: Vec<&str> = hits[..db.planted_ids.len()]
+        .iter()
+        .map(|h| h.db_id.as_str())
+        .collect();
     for id in &db.planted_ids {
-        assert!(top.contains(&id.as_str()), "sensitivity: {id} must be a top hit");
+        assert!(
+            top.contains(&id.as_str()),
+            "sensitivity: {id} must be a top hit"
+        );
     }
-    println!("\nall {} planted homologs recovered as top hits ✓", db.planted_ids.len());
+    println!(
+        "\nall {} planted homologs recovered as top hits ✓",
+        db.planted_ids.len()
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
     // --- data: simulated under HKY85(kappa 5) + Γ(0.6), 10 taxa -------
     let truth = random_yule_tree(10, 0.14, 404);
     let true_model = SubstModel::new(
-        ModelKind::Hky85 { kappa: 5.0, freqs: [0.3, 0.2, 0.2, 0.3] },
+        ModelKind::Hky85 {
+            kappa: 5.0,
+            freqs: [0.3, 0.2, 0.2, 0.3],
+        },
         GammaRates::gamma(0.6, 4),
     );
     let names: Vec<String> = (0..10).map(|i| format!("sp{i:02}")).collect();
@@ -58,7 +61,10 @@ fn main() {
         "    fitted kappa = {:.2} (true 5.0), lnL {:.2}, {} evaluations",
         kappa_fit.value, kappa_fit.ln_likelihood, kappa_fit.evaluations
     );
-    let kind = ModelKind::Hky85 { kappa: kappa_fit.value, freqs };
+    let kind = ModelKind::Hky85 {
+        kappa: kappa_fit.value,
+        freqs,
+    };
     let alpha_fit = fit_gamma_alpha(&guide, &data, &kind, 4, 1);
     println!("    fitted gamma alpha = {:.2} (true 0.6)", alpha_fit.value);
 
@@ -76,9 +82,17 @@ fn main() {
         min_unit_ops: 1.0,
         ..Default::default()
     });
-    let pid = server.submit(build_problem(data.clone(), &config, Some(order), "pipeline"));
+    let pid = server.submit(build_problem(
+        data.clone(),
+        &config,
+        Some(order),
+        "pipeline",
+    ));
     let (mut server, elapsed) = run_threaded(server, 8);
-    let out = server.take_output(pid).expect("complete").into_inner::<PhyloOutput>();
+    let out = server
+        .take_output(pid)
+        .expect("complete")
+        .into_inner::<PhyloOutput>();
     println!(
         "\n[3] distributed DPRml: lnL {:.2} in {elapsed:.1} s wall clock, RF to truth = {}",
         out.ln_likelihood,
@@ -88,7 +102,10 @@ fn main() {
     let fitted_model = config.build_model();
     let guide_lnl = log_likelihood(&guide, &data, &fitted_model);
     println!("    (NJ guide tree scores {guide_lnl:.2} under the same model)");
-    assert!(out.ln_likelihood >= guide_lnl - 1e-6, "ML must not lose to its guide");
+    assert!(
+        out.ln_likelihood >= guide_lnl - 1e-6,
+        "ML must not lose to its guide"
+    );
 
     // --- step 4: bootstrap ----------------------------------------------
     let bs = bootstrap_support(&out.tree, &seqs, 100, 406, nj_builder);
@@ -99,6 +116,9 @@ fn main() {
     }
     println!("    weakest split: {:.0}%", bs.min_support() * 100.0);
 
-    assert!(out.tree.rf_distance(&truth) <= 2, "1200 sites should ~recover 10 taxa");
+    assert!(
+        out.tree.rf_distance(&truth) <= 2,
+        "1200 sites should ~recover 10 taxa"
+    );
     println!("\nfinal tree:\n{}", out.newick);
 }

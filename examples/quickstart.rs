@@ -72,7 +72,10 @@ struct SampleBatch;
 
 impl Algorithm for SampleBatch {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
-        let &(seed, batch) = unit.payload.downcast_ref::<(u64, u64)>().expect("batch spec");
+        let &(seed, batch) = unit
+            .payload
+            .downcast_ref::<(u64, u64)>()
+            .expect("batch spec");
         let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut inside = 0u64;
         for _ in 0..batch {
@@ -82,7 +85,10 @@ impl Algorithm for SampleBatch {
                 inside += 1;
             }
         }
-        TaskResult { unit_id: unit.id, payload: Payload::new((inside, batch), 16) }
+        TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new((inside, batch), 16),
+        }
     }
 }
 
@@ -114,7 +120,10 @@ fn main() {
     println!("running {total_samples} samples on {workers} worker threads...");
     let (mut server, elapsed) = run_threaded(server, workers);
 
-    let pi = server.take_output(pid).expect("problem completed").into_inner::<f64>();
+    let pi = server
+        .take_output(pid)
+        .expect("problem completed")
+        .into_inner::<f64>();
     let stats = server.stats(pid);
     println!("π ≈ {pi:.6}  (error {:+.6})", pi - std::f64::consts::PI);
     println!(

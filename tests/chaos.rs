@@ -1,0 +1,388 @@
+//! Chaos property suite: seeded random fault plans swept over small
+//! DSEARCH and DPRml workloads on both backends.
+//!
+//! Every run is audited by the invariant harness (`biodist::core::audit`)
+//! and its output compared bit-for-bit against the fault-free
+//! sequential reference (`dsearch::search_sequential`,
+//! `phylo::search::stepwise_ml`). Any failure panics with the offending
+//! `(seed, plan)` — the plan is pure data and the interpreter is
+//! deterministic, so that pair alone reproduces the run:
+//!
+//! ```text
+//! BIODIST_CHAOS_SEED=<seed> cargo test --test chaos
+//! ```
+//!
+//! restricts every sweep to that single seed.
+
+use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
+use biodist::bioseq::{Alphabet, Sequence};
+use biodist::core::{
+    audited, run_threaded_faulty, ChaosOptions, FaultPlan, SchedulerConfig, Server, SimRunner,
+};
+use biodist::dprml::{build_problem as dprml_problem, DprmlConfig, PhyloOutput};
+use biodist::dsearch::{
+    build_problem as dsearch_problem, search_sequential, DsearchConfig, SearchOutput,
+};
+use biodist::gridsim::deployments::homogeneous_lab;
+use biodist::phylo::evolve::{random_yule_tree, simulate_alignment};
+use biodist::phylo::patterns::PatternAlignment;
+use biodist::phylo::search::stepwise_ml;
+use std::sync::Arc;
+
+// ----------------------------------------------------------- sweep sizes
+
+/// Seeds per application on the simulated backend.
+const SIM_SEEDS: u64 = 100;
+/// Seeds per application on the real-thread backend.
+const THREAD_SEEDS: u64 = 12;
+/// Fixed subset the CI chaos smoke runs (`cargo test --test chaos smoke`).
+const SMOKE_SEEDS: [u64; 10] = [3, 7, 11, 19, 23, 31, 42, 57, 73, 91];
+
+/// Pool size for every chaos run.
+const POOL: usize = 6;
+/// Fault horizon for simulator plans, virtual seconds.
+const SIM_HORIZON: f64 = 200.0;
+/// Fault horizon for thread plans, scaled seconds.
+const THREAD_HORIZON: f64 = 1.0;
+/// Thread-backend clock scale: scaled seconds per wall second.
+const TIME_SCALE: f64 = 50.0;
+
+fn sweep_seeds(n: u64) -> Vec<u64> {
+    match std::env::var("BIODIST_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("BIODIST_CHAOS_SEED must be a u64")],
+        Err(_) => (0..n).collect(),
+    }
+}
+
+/// Formats a chaos failure so the run is reproducible from the message.
+fn chaos_panic(app: &str, backend: &str, seed: u64, plan: &FaultPlan, why: String) -> ! {
+    panic!(
+        "chaos failure [{app}/{backend}] — replay with BIODIST_CHAOS_SEED={seed} \
+         cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  plan: {plan:?}"
+    )
+}
+
+// ------------------------------------------------------------- workloads
+
+struct DsearchWorkload {
+    db: Vec<Sequence>,
+    queries: Vec<Sequence>,
+    cfg: DsearchConfig,
+    reference: u64,
+}
+
+fn dsearch_workload() -> DsearchWorkload {
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 100, 3)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(24, 80), 4).sequences;
+    let mut cfg = DsearchConfig::protein_default();
+    // Stretch the virtual-time cost so a sim run spans the fault
+    // horizon (≈200 virtual seconds on 6 lab machines).
+    cfg.cost_scale = 60_000.0;
+    let reference = SearchOutput {
+        hits: search_sequential(&db, &queries, &cfg),
+    }
+    .digest();
+    DsearchWorkload {
+        db,
+        queries,
+        cfg,
+        reference,
+    }
+}
+
+struct DprmlWorkload {
+    data: Arc<PatternAlignment>,
+    cfg: DprmlConfig,
+    reference: u64,
+}
+
+fn dprml_workload() -> DprmlWorkload {
+    let truth = random_yule_tree(5, 0.12, 61);
+    let cfg = DprmlConfig::default();
+    let model = cfg.build_model();
+    let seqs = simulate_alignment(&truth, &model, 60, None, 62);
+    let data = Arc::new(PatternAlignment::from_sequences(&seqs));
+    let (tree, lnl) = stepwise_ml(&data, &model, None, &cfg.search);
+    let newick = biodist::phylo::newick::to_newick(&tree, &data.names);
+    let reference = PhyloOutput {
+        tree,
+        ln_likelihood: lnl,
+        newick,
+    }
+    .digest();
+    DprmlWorkload {
+        data,
+        cfg,
+        reference,
+    }
+}
+
+// -------------------------------------------------------------- backends
+
+/// Scheduler tuning for thread-backend chaos runs: times are in scaled
+/// seconds (TIME_SCALE per wall second), and the throughput prior is
+/// set near real debug-build throughput so initial leases are not huge.
+fn thread_cfg() -> SchedulerConfig {
+    SchedulerConfig {
+        target_unit_secs: 0.03,
+        prior_ops_per_sec: 2e10,
+        lease_min_secs: 0.5,
+        ..Default::default()
+    }
+}
+
+fn run_dsearch_sim(w: &DsearchWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, SIM_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(SchedulerConfig::default());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+        .with_faults(plan.clone())
+        .run();
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "sim",
+            seed,
+            &plan,
+            "output differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "sim",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+fn run_dsearch_thread(w: &DsearchWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(thread_cfg());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "thread",
+            seed,
+            &plan,
+            "output differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "thread",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+fn run_dprml_sim(w: &DprmlWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, SIM_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(SchedulerConfig::default());
+    let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
+    let pid = server.submit(problem);
+    let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+        .with_faults(plan.clone())
+        .run();
+    let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dprml",
+            "sim",
+            seed,
+            &plan,
+            "tree differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dprml",
+            "sim",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(thread_cfg());
+    let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
+    let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dprml",
+            "thread",
+            seed,
+            &plan,
+            "tree differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dprml",
+            "thread",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+// ----------------------------------------------------------- full sweeps
+
+#[test]
+fn chaos_dsearch_sim_sweep() {
+    let w = dsearch_workload();
+    for seed in sweep_seeds(SIM_SEEDS) {
+        run_dsearch_sim(&w, seed);
+    }
+}
+
+#[test]
+fn chaos_dprml_sim_sweep() {
+    let w = dprml_workload();
+    for seed in sweep_seeds(SIM_SEEDS) {
+        run_dprml_sim(&w, seed);
+    }
+}
+
+#[test]
+fn chaos_dsearch_thread_sweep() {
+    let w = dsearch_workload();
+    for seed in sweep_seeds(THREAD_SEEDS) {
+        run_dsearch_thread(&w, seed);
+    }
+}
+
+#[test]
+fn chaos_dprml_thread_sweep() {
+    let w = dprml_workload();
+    for seed in sweep_seeds(THREAD_SEEDS) {
+        run_dprml_thread(&w, seed);
+    }
+}
+
+// --------------------------------------------------- CI smoke (fast path)
+
+#[test]
+fn chaos_smoke_dsearch() {
+    let w = dsearch_workload();
+    for &seed in &SMOKE_SEEDS {
+        run_dsearch_sim(&w, seed);
+    }
+}
+
+#[test]
+fn chaos_smoke_dprml() {
+    let w = dprml_workload();
+    for &seed in &SMOKE_SEEDS {
+        run_dprml_sim(&w, seed);
+    }
+}
+
+// ------------------------------------------------ backend parity (satellite)
+
+/// The same workload under the same fault plan must produce identical
+/// merged hits on the simulated and the real-thread backend.
+#[test]
+fn backend_parity_dsearch_same_plan() {
+    let w = dsearch_workload();
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    for seed in [5u64, 17, 29] {
+        let plan = FaultPlan::random(seed, &opts);
+
+        let mut server = Server::new(SchedulerConfig::default());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+            .with_faults(plan.clone())
+            .run();
+        let sim_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        let mut server = Server::new(thread_cfg());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
+        let thread_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        assert_eq!(
+            sim_digest, thread_digest,
+            "seed {seed}: backends disagree\nplan: {plan:?}"
+        );
+        assert_eq!(
+            sim_digest, w.reference,
+            "seed {seed}: both differ from reference"
+        );
+    }
+}
+
+/// The same DPRml instance under the same fault plan must produce the
+/// identical ML tree on both backends.
+#[test]
+fn backend_parity_dprml_same_plan() {
+    let w = dprml_workload();
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    for seed in [5u64, 17] {
+        let plan = FaultPlan::random(seed, &opts);
+
+        let mut server = Server::new(SchedulerConfig::default());
+        let pid = server.submit(dprml_problem(w.data.clone(), &w.cfg, None, "parity-sim"));
+        let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+            .with_faults(plan.clone())
+            .run();
+        let sim_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<PhyloOutput>()
+            .digest();
+
+        let mut server = Server::new(thread_cfg());
+        let pid = server.submit(dprml_problem(w.data.clone(), &w.cfg, None, "parity-thread"));
+        let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
+        let thread_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<PhyloOutput>()
+            .digest();
+
+        assert_eq!(
+            sim_digest, thread_digest,
+            "seed {seed}: backends disagree\nplan: {plan:?}"
+        );
+        assert_eq!(
+            sim_digest, w.reference,
+            "seed {seed}: both differ from reference"
+        );
+    }
+}

@@ -19,7 +19,10 @@ fn dsearch_run(seed: u64) -> (f64, u64, SearchOutput) {
     let pid = server.submit(build_problem(db.sequences, queries, &cfg));
     let machines = heterogeneous_lab(9, seed);
     let (report, mut server) = SimRunner::with_defaults(server, machines).run();
-    let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
     (report.makespan, report.bytes_transferred, out)
 }
 
@@ -36,7 +39,11 @@ fn identical_seeds_reproduce_identical_runs() {
 fn different_machine_seeds_change_timing_but_not_results() {
     let (m1, _, o1) = dsearch_run(77);
     let (m2, _, o2) = dsearch_run(78);
-    assert_ne!(m1.to_bits(), m2.to_bits(), "different traces, different timing");
+    assert_ne!(
+        m1.to_bits(),
+        m2.to_bits(),
+        "different traces, different timing"
+    );
     assert_eq!(o1.hits, o2.hits, "results never depend on scheduling");
 }
 
@@ -46,7 +53,11 @@ fn campus_deployment_is_reproducible() {
         let mut server = Server::new(SchedulerConfig::default());
         server.submit(integration_problem(3_000_000));
         let (report, _) = SimRunner::with_defaults(server, campus_deployment(11)).run();
-        (report.makespan.to_bits(), report.total_units, report.bytes_transferred)
+        (
+            report.makespan.to_bits(),
+            report.total_units,
+            report.bytes_transferred,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -18,13 +18,13 @@ use std::sync::Arc;
 
 fn dsearch_inputs(seed: u64) -> (Vec<Sequence>, Vec<Sequence>, DsearchConfig) {
     let query = random_sequence(Alphabet::Protein, "q0", 100, seed);
-    let fam = FamilySpec { copies: 3, substitution_rate: 0.12, indel_rate: 0.02 };
-    let db = SyntheticDb::generate_with_family(
-        &DbSpec::protein_demo(50, 90),
-        &query,
-        &fam,
-        seed + 1,
-    );
+    let fam = FamilySpec {
+        copies: 3,
+        substitution_rate: 0.12,
+        indel_rate: 0.02,
+    };
+    let db =
+        SyntheticDb::generate_with_family(&DbSpec::protein_demo(50, 90), &query, &fam, seed + 1);
     let mut cfg = DsearchConfig::protein_default();
     cfg.top_hits = 8;
     (db.sequences, vec![query], cfg)
@@ -51,11 +51,22 @@ fn tiny_units() -> SchedulerConfig {
 fn dsearch_equals_sequential_under_every_scheduler_config() {
     let (db, queries, cfg) = dsearch_inputs(11);
     let expected = search_sequential(&db, &queries, &cfg);
-    for sched in [tiny_units(), SchedulerConfig { ..SchedulerConfig::naive() }] {
-        let mut server = Server::new(SchedulerConfig { target_unit_secs: 0.002, ..sched });
+    for sched in [
+        tiny_units(),
+        SchedulerConfig {
+            ..SchedulerConfig::naive()
+        },
+    ] {
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 0.002,
+            ..sched
+        });
         let pid = server.submit(dsearch_problem(db.clone(), queries.clone(), &cfg));
         let (mut server, _) = run_threaded(server, 5);
-        let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
         assert_eq!(out.hits, expected);
     }
 }
@@ -102,7 +113,12 @@ fn dprml_insertion_order_changes_nothing_about_validity() {
     let n = data.taxon_count();
     let reversed: Vec<usize> = (0..n).rev().collect();
     let mut server = Server::new(tiny_units());
-    let pid = server.submit(dprml_problem(data.clone(), &cfg, Some(reversed.clone()), "rev"));
+    let pid = server.submit(dprml_problem(
+        data.clone(),
+        &cfg,
+        Some(reversed.clone()),
+        "rev",
+    ));
     let (mut server, _) = run_threaded(server, 4);
     let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
     out.tree.validate().unwrap();

@@ -69,7 +69,7 @@ fn translated_search_distributed_equals_sequential_on_threads() {
     let db = SyntheticDb::generate(&DbSpec::dna_demo(20, 120), 78).sequences;
     let mut cfg = DsearchConfig::protein_default();
     cfg.top_hits = 6;
-    let expected = search_translated_sequential(&db, &[query.clone()], &cfg);
+    let expected = search_translated_sequential(&db, std::slice::from_ref(&query), &cfg);
     let mut server = Server::new(SchedulerConfig {
         target_unit_secs: 0.001,
         prior_ops_per_sec: 1e8,
@@ -78,7 +78,10 @@ fn translated_search_distributed_equals_sequential_on_threads() {
     });
     let pid = server.submit(build_translated_problem(db, vec![query], &cfg));
     let (mut server, _) = run_threaded(server, 4);
-    let out = server.take_output(pid).unwrap().into_inner::<SearchOutput>();
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
     assert_eq!(out.hits, expected);
 }
 
@@ -91,12 +94,7 @@ fn significance_annotation_flags_planted_homologs_only() {
         substitution_rate: 0.1,
         indel_rate: 0.01,
     };
-    let db = SyntheticDb::generate_with_family(
-        &DbSpec::protein_demo(300, 100),
-        &query,
-        &fam,
-        92,
-    );
+    let db = SyntheticDb::generate_with_family(&DbSpec::protein_demo(300, 100), &query, &fam, 92);
     let mut cfg = DsearchConfig::protein_default();
     cfg.top_hits = 302;
     let hits = search_sequential(&db.sequences, &[query], &cfg);
@@ -105,7 +103,12 @@ fn significance_annotation_flags_planted_homologs_only() {
     let annotated = annotate_hits(&all[..10], &background, db.sequences.len());
     for a in &annotated {
         if db.planted_ids.contains(&a.hit.db_id) {
-            assert!(a.e_value < 1e-4, "{} must be significant ({})", a.hit.db_id, a.e_value);
+            assert!(
+                a.e_value < 1e-4,
+                "{} must be significant ({})",
+                a.hit.db_id,
+                a.e_value
+            );
         } else {
             assert!(a.e_value > 1e-4, "{} should look like chance", a.hit.db_id);
         }
@@ -122,12 +125,16 @@ fn analysis_toolkit_round_trip_on_one_dataset() {
     let data = PatternAlignment::from_sequences(&seqs);
 
     let nj = neighbor_joining(&jc_distance_matrix(&data));
-    assert_eq!(nj.rf_distance(&truth), 0, "NJ should recover 8 taxa from 1200 sites");
+    assert_eq!(
+        nj.rf_distance(&truth),
+        0,
+        "NJ should recover 8 taxa from 1200 sites"
+    );
 
     let freqs = biodist::phylo::fit::empirical_base_frequencies(&data);
     let candidates = standard_candidates(freqs);
     let scores = compare_models(&nj, &data, &candidates[..4], 2); // JC/K80 ± gamma
-    // The winner must be a K80 variant (the generating class).
+                                                                  // The winner must be a K80 variant (the generating class).
     assert!(
         scores[0].name.contains("K80"),
         "AIC winner {} should be K80-family",

@@ -45,7 +45,10 @@ fn scheme() -> ScoringScheme {
 fn nw_score_is_symmetric() {
     let mut rng = Xoshiro256StarStar::new(0x01);
     for _ in 0..CASES {
-        let (sa, sb) = (dna_seq(dna_codes(&mut rng, 40)), dna_seq(dna_codes(&mut rng, 40)));
+        let (sa, sb) = (
+            dna_seq(dna_codes(&mut rng, 40)),
+            dna_seq(dna_codes(&mut rng, 40)),
+        );
         assert_eq!(nw_score(&sa, &sb, &scheme()), nw_score(&sb, &sa, &scheme()));
     }
 }
@@ -54,7 +57,10 @@ fn nw_score_is_symmetric() {
 fn nw_traceback_score_is_verified_and_equals_score_only() {
     let mut rng = Xoshiro256StarStar::new(0x02);
     for _ in 0..CASES {
-        let (sa, sb) = (dna_seq(dna_codes(&mut rng, 30)), dna_seq(dna_codes(&mut rng, 30)));
+        let (sa, sb) = (
+            dna_seq(dna_codes(&mut rng, 30)),
+            dna_seq(dna_codes(&mut rng, 30)),
+        );
         let s = scheme();
         let aln = nw_align(&sa, &sb, &s);
         assert!(aln.verify_score(&sa, &sb, &s));
@@ -66,7 +72,10 @@ fn nw_traceback_score_is_verified_and_equals_score_only() {
 fn sw_variants_agree_and_are_nonnegative() {
     let mut rng = Xoshiro256StarStar::new(0x03);
     for _ in 0..CASES {
-        let (sa, sb) = (dna_seq(dna_codes(&mut rng, 30)), dna_seq(dna_codes(&mut rng, 30)));
+        let (sa, sb) = (
+            dna_seq(dna_codes(&mut rng, 30)),
+            dna_seq(dna_codes(&mut rng, 30)),
+        );
         let s = scheme();
         let full = sw_align(&sa, &sb, &s);
         let rolling = sw_score(&sa, &sb, &s);
@@ -84,7 +93,10 @@ fn sw_variants_agree_and_are_nonnegative() {
 fn sw_at_least_nw() {
     let mut rng = Xoshiro256StarStar::new(0x04);
     for _ in 0..CASES {
-        let (sa, sb) = (dna_seq(dna_codes(&mut rng, 30)), dna_seq(dna_codes(&mut rng, 30)));
+        let (sa, sb) = (
+            dna_seq(dna_codes(&mut rng, 30)),
+            dna_seq(dna_codes(&mut rng, 30)),
+        );
         let s = scheme();
         // A local alignment can always do at least as well as global
         // (it may drop costly flanks; empty alignment scores 0).
@@ -96,7 +108,10 @@ fn sw_at_least_nw() {
 fn banded_never_exceeds_full_and_matches_when_wide() {
     let mut rng = Xoshiro256StarStar::new(0x05);
     for _ in 0..CASES {
-        let (sa, sb) = (dna_seq(dna_codes(&mut rng, 25)), dna_seq(dna_codes(&mut rng, 25)));
+        let (sa, sb) = (
+            dna_seq(dna_codes(&mut rng, 25)),
+            dna_seq(dna_codes(&mut rng, 25)),
+        );
         let band = rng.next_below(30) as usize;
         let s = scheme();
         let full = nw_score(&sa, &sb, &s);
@@ -135,7 +150,11 @@ fn topk_merge_is_associative_and_order_free() {
         let hits: Vec<Hit> = scores
             .iter()
             .enumerate()
-            .map(|(i, &s)| Hit { query_id: "q".into(), db_id: format!("d{i:03}"), score: s })
+            .map(|(i, &s)| Hit {
+                query_id: "q".into(),
+                db_id: format!("d{i:03}"),
+                score: s,
+            })
             .collect();
         let mut all = TopK::new(k);
         for h in &hits {
@@ -147,7 +166,11 @@ fn topk_merge_is_associative_and_order_free() {
         for (i, h) in hits.iter().enumerate() {
             parts[i % 3].offer(h.clone());
         }
-        let (c, b, a) = (parts.pop().unwrap(), parts.pop().unwrap(), parts.pop().unwrap());
+        let (c, b, a) = (
+            parts.pop().unwrap(),
+            parts.pop().unwrap(),
+            parts.pop().unwrap(),
+        );
         let mut merged = c;
         merged.merge(a);
         merged.merge(b);
@@ -168,7 +191,12 @@ fn transition_matrices_are_stochastic_for_random_gtr() {
         let p = model.transition_matrix(t, 1.0);
         for i in 0..4 {
             let row_sum: f64 = p[i].iter().sum();
-            assert!((row_sum - 1.0).abs() < 1e-8, "row {} sums to {}", i, row_sum);
+            assert!(
+                (row_sum - 1.0).abs() < 1e-8,
+                "row {} sums to {}",
+                i,
+                row_sum
+            );
             for j in 0..4 {
                 assert!((0.0..=1.0).contains(&p[i][j]));
                 // Detailed balance (time reversibility).
