@@ -145,6 +145,7 @@ pub fn audited(problem: Problem) -> (Problem, AuditHandle) {
         }),
         algorithm: problem.algorithm,
         setup_bytes: problem.setup_bytes,
+        codec: problem.codec,
     };
     (wrapped, handle)
 }

@@ -8,6 +8,7 @@
 //! trivially verifiable, so integration tests and the quickstart
 //! example both build on it.
 
+use crate::codec::{ByteReader, ByteWriter, WireCodec, WireError};
 use crate::problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 use std::sync::Arc;
 
@@ -80,6 +81,47 @@ impl Algorithm for IntegrationAlgo {
     }
 }
 
+/// Wire codec for the integration problem: a unit is its `(lo, hi, n)`
+/// range triple (the 24 bytes the payload always declared), a result is
+/// one `f64` partial sum.
+struct IntegrationCodec;
+
+impl WireCodec for IntegrationCodec {
+    fn encode_unit(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
+        let &(lo, hi, n) = payload
+            .downcast_ref::<(u64, u64, u64)>()
+            .ok_or_else(|| WireError::new("integration unit payload is not a range triple"))?;
+        let mut w = ByteWriter::new();
+        w.u64(lo);
+        w.u64(hi);
+        w.u64(n);
+        Ok(w.into_bytes())
+    }
+
+    fn decode_unit(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let (lo, hi, n) = (r.u64()?, r.u64()?, r.u64()?);
+        r.finish()?;
+        Ok(Payload::new((lo, hi, n), bytes.len() as u64))
+    }
+
+    fn encode_result(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
+        let &sum = payload
+            .downcast_ref::<f64>()
+            .ok_or_else(|| WireError::new("integration result payload is not an f64"))?;
+        let mut w = ByteWriter::new();
+        w.f64(sum);
+        Ok(w.into_bytes())
+    }
+
+    fn decode_result(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let sum = r.f64()?;
+        r.finish()?;
+        Ok(Payload::new(sum, bytes.len() as u64))
+    }
+}
+
 /// Builds the π-integration demo problem over `n_points` grid points.
 ///
 /// The exact answer is π; the midpoint rule with `n_points ≥ 10⁴` is
@@ -100,6 +142,7 @@ pub fn integration_problem(n_points: u64) -> Problem {
         Arc::new(IntegrationAlgo),
     )
     .with_setup_bytes(50_000) // modelled size of shipped algorithm code
+    .with_codec(Arc::new(IntegrationCodec))
 }
 
 #[cfg(test)]
@@ -145,6 +188,31 @@ mod tests {
         let small = dm.next_unit(10_000.0 * OPS_PER_POINT).unwrap();
         let big = dm.next_unit(100_000.0 * OPS_PER_POINT).unwrap();
         assert!(big.cost_ops > 5.0 * small.cost_ops);
+    }
+
+    #[test]
+    fn codec_round_trips_units_and_results() {
+        let codec = IntegrationCodec;
+        let unit = Payload::new((3u64, 900u64, 100_000u64), 24);
+        let bytes = codec.encode_unit(&unit).unwrap();
+        assert_eq!(bytes.len(), 24, "declared wire size is the real size");
+        let back = codec.decode_unit(&bytes).unwrap();
+        assert_eq!(
+            back.downcast_ref::<(u64, u64, u64)>(),
+            Some(&(3, 900, 100_000))
+        );
+
+        let result = Payload::new(0.25f64, 8);
+        let bytes = codec.encode_result(&result).unwrap();
+        assert_eq!(bytes.len(), 8);
+        let back = codec.decode_result(&bytes).unwrap();
+        assert_eq!(back.downcast_ref::<f64>(), Some(&0.25));
+
+        // Truncated and trailing-garbage inputs are errors, not panics.
+        assert!(codec.decode_unit(&bytes).is_err());
+        let mut long = codec.encode_unit(&unit).unwrap();
+        long.push(0);
+        assert!(codec.decode_unit(&long).is_err());
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //!   every experiment harness (the paper's 200-PC campus replaced by a
 //!   deterministic simulator, per DESIGN.md).
 //!
+//! * [`net`] — donor clients connect to the server over real TCP
+//!   sockets using a CRC-guarded framed wire protocol ([`net::wire`]),
+//!   with heartbeats, reconnect, a fault proxy for transport chaos, and
+//!   an append-only checkpoint log ([`net::checkpoint`]) that lets a
+//!   killed server restart and resume without recombining any unit.
+//!   Problems opt in by registering a [`codec::WireCodec`].
+//!
 //! Fault tolerance is testable by construction: [`fault`] expresses
 //! seeded, replayable fault schedules ([`FaultPlan`]) interpreted by
 //! both backends, and [`audit`] wraps any problem with an invariant
@@ -31,7 +38,9 @@
 
 pub mod audit;
 pub mod builtin;
+pub mod codec;
 pub mod fault;
+pub mod net;
 pub mod problem;
 pub mod sched;
 pub mod server;
@@ -39,12 +48,17 @@ pub mod sim_backend;
 pub mod thread_backend;
 
 pub use audit::{audited, AuditHandle};
+pub use codec::{ByteReader, ByteWriter, WireCodec, WireError};
 pub use fault::{
     ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NoFaults,
     PlanInterpreter,
 };
+pub use net::{
+    recover, run_tcp, run_tcp_faulty, CheckpointWriter, FaultProxy, NetClientOptions, NetServer,
+    NetServerOptions, RecoveryReport,
+};
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
-pub use sched::{ClientId, SchedulerConfig};
-pub use server::{Assignment, ProblemId, Server};
+pub use sched::{ClientId, SchedSnapshot, SchedulerConfig};
+pub use server::{Assignment, ProblemId, RunJournal, Server};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
 pub use thread_backend::{run_threaded, run_threaded_faulty};

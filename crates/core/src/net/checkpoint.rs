@@ -1,0 +1,505 @@
+//! Crash-recoverable server durability: an append-only checkpoint log.
+//!
+//! The Java system's server was a single point of failure; volunteer
+//! platforms like Folding@Home treat server restarts as routine
+//! (PAPERS.md). This module gives the TCP backend the same property:
+//! the server journals, inside its own critical section, every event a
+//! fresh [`crate::DataManager`] needs to reach the crashed one's state —
+//!
+//! * `Issue` records: which unit the manager produced, and the
+//!   granularity hint that produced it (managers are deterministic
+//!   functions of the interleaved hint/result sequence);
+//! * `Result` records: the codec-encoded result folded for a unit,
+//!   written **before** the fold (write-ahead);
+//! * `Sched` records: periodic [`SchedSnapshot`]s so recovery resumes
+//!   with warm speed estimates.
+//!
+//! Log framing: `[body_len: u32][record_type: u8][body][crc32(type ‖
+//! body): u32]`, little-endian. The reader stops at the first record
+//! that is truncated or fails its CRC — a *torn tail* from a crash
+//! mid-write — and recovery proceeds from what survived: any unit whose
+//! result record was lost is simply recomputed. [`recover`] replays the
+//! surviving records against freshly-built problems and returns a
+//! server that resumes without recombining any completed unit (the
+//! exactly-once property the chaos suite's `audited()` checker
+//! verifies).
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::problem::{Problem, TaskResult, UnitId, WorkUnit};
+use crate::sched::{SchedSnapshot, SchedulerConfig};
+use crate::server::{ProblemId, RunJournal, Server};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+const REC_ISSUE: u8 = 1;
+const REC_RESULT: u8 = 2;
+const REC_SCHED: u8 = 3;
+
+/// Largest record body the reader will accept; larger means the length
+/// field itself is torn garbage.
+const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+/// One decoded checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A data manager issued `unit` in response to `hint_ops`.
+    Issue {
+        /// Problem the unit belongs to.
+        problem: ProblemId,
+        /// The issued unit id.
+        unit: UnitId,
+        /// Granularity hint that produced the unit.
+        hint_ops: f64,
+    },
+    /// A result was accepted for folding.
+    Result {
+        /// Problem the unit belongs to.
+        problem: ProblemId,
+        /// The completed unit.
+        unit: UnitId,
+        /// Codec-encoded result payload.
+        payload: Vec<u8>,
+    },
+    /// A scheduler snapshot (the last one in the log wins).
+    Sched(SchedSnapshot),
+}
+
+/// Append-only, cloneable checkpoint writer; install a clone as the
+/// server's [`RunJournal`] and keep one for periodic snapshots.
+///
+/// Every record is flushed as it is written (the log is small and the
+/// write-ahead ordering is what recovery correctness rests on). Write
+/// failures are swallowed: a full disk degrades durability — lost
+/// records mean recomputed units — but never takes down the run.
+#[derive(Debug, Clone)]
+pub struct CheckpointWriter {
+    file: Arc<Mutex<File>>,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a fresh log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            file: Arc::new(Mutex::new(file)),
+        })
+    }
+
+    /// Opens an existing log for appending (a recovered server keeps
+    /// journaling to the same file; the replayed prefix stays valid).
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            file: Arc::new(Mutex::new(file)),
+        })
+    }
+
+    fn write_record(&self, rtype: u8, body: &[u8]) {
+        let mut framed = Vec::with_capacity(body.len() + 9);
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.push(rtype);
+        framed.extend_from_slice(body);
+        let mut crc_input = Vec::with_capacity(body.len() + 1);
+        crc_input.push(rtype);
+        crc_input.extend_from_slice(body);
+        framed.extend_from_slice(&super::wire::crc32(&crc_input).to_le_bytes());
+        let mut f = self.file.lock().expect("checkpoint lock");
+        // One write + flush per record: a crash can tear at most the
+        // final record, which the reader's CRC check drops.
+        let _ = f.write_all(&framed);
+        let _ = f.flush();
+    }
+
+    /// Appends a scheduler snapshot record.
+    pub fn append_snapshot(&self, snap: &SchedSnapshot) {
+        let mut w = ByteWriter::new();
+        w.u32(snap.clients.len() as u32);
+        for &(client, speed, units) in &snap.clients {
+            w.u64(client as u64);
+            w.f64(speed);
+            w.u64(units);
+        }
+        self.write_record(REC_SCHED, &w.into_bytes());
+    }
+}
+
+impl RunJournal for CheckpointWriter {
+    fn unit_issued(&mut self, problem: ProblemId, unit: &WorkUnit, hint_ops: f64) {
+        let mut w = ByteWriter::new();
+        w.usize(problem);
+        w.u64(unit.id);
+        w.f64(hint_ops);
+        self.write_record(REC_ISSUE, &w.into_bytes());
+    }
+
+    fn result_folded(&mut self, problem: ProblemId, unit: UnitId, encoded: &[u8]) {
+        let mut w = ByteWriter::new();
+        w.usize(problem);
+        w.u64(unit);
+        w.bytes(encoded);
+        self.write_record(REC_RESULT, &w.into_bytes());
+    }
+}
+
+/// Reads every intact record from a checkpoint log. The second return
+/// is `true` when a torn tail (truncated or CRC-failed trailing bytes)
+/// was dropped.
+pub fn read_log(path: &Path) -> std::io::Result<(Vec<LogRecord>, bool)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some((record, next)) = parse_record(&bytes[pos..]) else {
+            return Ok((records, true)); // torn tail: keep the prefix
+        };
+        records.push(record);
+        pos += next;
+    }
+    Ok((records, false))
+}
+
+fn parse_record(buf: &[u8]) -> Option<(LogRecord, usize)> {
+    if buf.len() < 5 {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if body_len > MAX_RECORD {
+        return None;
+    }
+    let total = 4 + 1 + body_len as usize + 4;
+    if buf.len() < total {
+        return None;
+    }
+    let rtype = buf[4];
+    let body = &buf[5..5 + body_len as usize];
+    let declared = u32::from_le_bytes(buf[total - 4..total].try_into().expect("4 bytes"));
+    let mut crc_input = Vec::with_capacity(body.len() + 1);
+    crc_input.push(rtype);
+    crc_input.extend_from_slice(body);
+    if super::wire::crc32(&crc_input) != declared {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    let record = match rtype {
+        REC_ISSUE => LogRecord::Issue {
+            problem: r.usize().ok()?,
+            unit: r.u64().ok()?,
+            hint_ops: r.f64().ok()?,
+        },
+        REC_RESULT => LogRecord::Result {
+            problem: r.usize().ok()?,
+            unit: r.u64().ok()?,
+            payload: r.bytes().ok()?.to_vec(),
+        },
+        REC_SCHED => {
+            let n = r.count(24).ok()?;
+            let mut clients = Vec::with_capacity(n);
+            for _ in 0..n {
+                let client = r.usize().ok()?;
+                let speed = r.f64().ok()?;
+                let units = r.u64().ok()?;
+                clients.push((client, speed, units));
+            }
+            LogRecord::Sched(SchedSnapshot { clients })
+        }
+        _ => return None,
+    };
+    r.finish().ok()?;
+    Some((record, total))
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Issue records replayed against the fresh data managers.
+    pub replayed_issues: u64,
+    /// Result records folded back in (units that will NOT recompute).
+    pub replayed_results: u64,
+    /// Issued-but-uncompleted units queued for reassignment.
+    pub pending_restored: u64,
+    /// Whether a torn tail or a replay divergence cut the log short.
+    pub torn_tail: bool,
+}
+
+/// Rebuilds a server from `problems` (freshly constructed, in the same
+/// order as the crashed run's submissions) and the checkpoint log at
+/// `path`. Records are replayed in log order — each `Issue` re-drives
+/// the data manager with its original hint, each `Result` re-folds the
+/// decoded payload — so the managers march through the exact state
+/// sequence the crashed server observed. Units issued without a
+/// surviving result record are queued for reassignment; no completed
+/// unit is ever recombined.
+///
+/// Replay stops early (reported as `torn_tail`) if a record refers to
+/// an unknown problem, the manager produces a different unit than the
+/// log recorded, or a payload no longer decodes — the remaining records
+/// describe state this run never reached, and the affected units fall
+/// back to recomputation.
+pub fn recover(
+    cfg: SchedulerConfig,
+    problems: Vec<Problem>,
+    path: &Path,
+) -> std::io::Result<(Server, RecoveryReport)> {
+    let (records, torn) = read_log(path)?;
+    let mut server = Server::new(cfg);
+    for p in problems {
+        server.submit(p);
+    }
+    let mut report = RecoveryReport {
+        torn_tail: torn,
+        ..Default::default()
+    };
+    let mut pending: BTreeMap<(ProblemId, UnitId), WorkUnit> = BTreeMap::new();
+    let mut snapshot: Option<SchedSnapshot> = None;
+    for record in records {
+        match record {
+            LogRecord::Issue {
+                problem,
+                unit,
+                hint_ops,
+            } => {
+                if problem >= server.problem_count() {
+                    report.torn_tail = true;
+                    break;
+                }
+                match server.replay_issue(problem, unit, hint_ops) {
+                    Some(u) => {
+                        pending.insert((problem, unit), u);
+                        report.replayed_issues += 1;
+                    }
+                    None => {
+                        report.torn_tail = true;
+                        break;
+                    }
+                }
+            }
+            LogRecord::Result {
+                problem,
+                unit,
+                payload,
+            } => {
+                if problem >= server.problem_count() || pending.remove(&(problem, unit)).is_none() {
+                    report.torn_tail = true;
+                    break;
+                }
+                let Some(codec) = server.codec(problem) else {
+                    report.torn_tail = true;
+                    break;
+                };
+                let Ok(decoded) = codec.decode_result(&payload) else {
+                    report.torn_tail = true;
+                    break;
+                };
+                server.replay_result(
+                    problem,
+                    TaskResult {
+                        unit_id: unit,
+                        payload: decoded,
+                    },
+                    0.0,
+                );
+                report.replayed_results += 1;
+            }
+            LogRecord::Sched(snap) => snapshot = Some(snap),
+        }
+    }
+    // Everything issued but not completed goes back on the queue,
+    // grouped per problem in unit order (BTreeMap iteration).
+    let mut by_problem: BTreeMap<ProblemId, Vec<WorkUnit>> = BTreeMap::new();
+    for ((pid, _), unit) in pending {
+        by_problem.entry(pid).or_default().push(unit);
+        report.pending_restored += 1;
+    }
+    for (pid, units) in by_problem {
+        server.restore_pending(pid, units);
+    }
+    if let Some(snap) = snapshot {
+        server.restore_scheduler(&snap);
+    }
+    Ok((server, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::integration_problem;
+    use crate::server::Assignment;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_log(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("biodist-ckpt-{}-{tag}-{n}.log", std::process::id()))
+    }
+
+    // Fixed granularity (min == max) so the crashed, recovered and
+    // sequential runs all decompose the problem identically — the
+    // precondition for bit-identical outputs.
+    fn fixed_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            min_unit_ops: 1.25e6, // 6250 grid points per unit
+            max_unit_ops: 1.25e6,
+            ..Default::default()
+        }
+    }
+
+    fn sequential_pi(n: u64) -> f64 {
+        let mut server = Server::new(fixed_cfg());
+        let pid = server.submit(integration_problem(n));
+        drive(&mut server);
+        server.take_output(pid).unwrap().into_inner::<f64>()
+    }
+
+    fn drive(server: &mut Server) {
+        let mut now = 0.0;
+        loop {
+            match server.request_work(0, now) {
+                Assignment::Unit {
+                    problem,
+                    unit,
+                    algorithm,
+                } => {
+                    let r = algorithm.compute(&unit);
+                    now += 1.0;
+                    server.submit_result(0, problem, r, now);
+                }
+                Assignment::Wait => now += 1.0,
+                Assignment::Finished => break,
+            }
+        }
+    }
+
+    #[test]
+    fn kill_mid_run_recover_and_finish_exactly_once() {
+        let path = temp_log("midrun");
+        let n = 100_000;
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let mut server = Server::new(fixed_cfg());
+        let pid = server.submit(integration_problem(n));
+        server.set_journal(Box::new(writer.clone()));
+        // Drive a handful of units, leaving two issued-but-unfinished
+        // at the "crash": one in flight, one queued behind it.
+        let mut completed = 0;
+        let mut now = 0.0;
+        let mut abandoned = 0;
+        while completed < 4 {
+            match server.request_work(0, now) {
+                Assignment::Unit {
+                    problem,
+                    unit,
+                    algorithm,
+                } => {
+                    let r = algorithm.compute(&unit);
+                    now += 1.0;
+                    server.submit_result(0, problem, r, now);
+                    completed += 1;
+                }
+                _ => panic!("work must be available"),
+            }
+        }
+        for c in [1, 2] {
+            let Assignment::Unit { .. } = server.request_work(c, now) else {
+                panic!("expected in-flight unit")
+            };
+            abandoned += 1;
+        }
+        writer.append_snapshot(&server.scheduler_snapshot());
+        drop(server); // the crash: all in-memory state gone
+
+        let (mut recovered, report) =
+            recover(fixed_cfg(), vec![integration_problem(n)], &path).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.replayed_results, 4);
+        assert_eq!(report.pending_restored, abandoned);
+        assert_eq!(report.replayed_issues, 4 + abandoned);
+        assert_eq!(recovered.stats(pid).completed_units, 4);
+        // Warm scheduler state came back.
+        assert!(recovered
+            .scheduler_snapshot()
+            .clients
+            .iter()
+            .any(|c| c.0 == 0));
+
+        drive(&mut recovered);
+        let pi = recovered.take_output(pid).unwrap().into_inner::<f64>();
+        let reference = sequential_pi(n);
+        assert_eq!(pi.to_bits(), reference.to_bits(), "bit-identical recovery");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_units_recomputed() {
+        let path = temp_log("torn");
+        let n = 50_000;
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let mut server = Server::new(fixed_cfg());
+        let pid = server.submit(integration_problem(n));
+        server.set_journal(Box::new(writer));
+        let mut now = 0.0;
+        for _ in 0..3 {
+            let Assignment::Unit {
+                problem,
+                unit,
+                algorithm,
+            } = server.request_work(0, now)
+            else {
+                panic!()
+            };
+            let r = algorithm.compute(&unit);
+            now += 1.0;
+            server.submit_result(0, problem, r, now);
+        }
+        drop(server);
+        // Tear the tail: truncate the file mid-way through the last
+        // record, as a crash during a write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut recovered, report) =
+            recover(fixed_cfg(), vec![integration_problem(n)], &path).unwrap();
+        assert!(report.torn_tail, "truncation must be noticed");
+        // The torn record was the third result; its unit is recomputed.
+        assert_eq!(report.replayed_results, 2);
+        assert_eq!(report.pending_restored, 1);
+        drive(&mut recovered);
+        let pi = recovered.take_output(pid).unwrap().into_inner::<f64>();
+        assert_eq!(pi.to_bits(), sequential_pi(n).to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_and_garbage_logs_recover_to_a_fresh_run() {
+        let path = temp_log("garbage");
+        std::fs::write(&path, [0xDE, 0xAD, 0xBE]).unwrap();
+        let (mut server, report) = recover(
+            SchedulerConfig::default(),
+            vec![integration_problem(10_000)],
+            &path,
+        )
+        .unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.replayed_issues, 0);
+        drive(&mut server);
+        let pi = server.take_output(0).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sched_snapshot_record_round_trips() {
+        let path = temp_log("sched");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let snap = SchedSnapshot {
+            clients: vec![(0, 1.5e7, 12), (3, 9.0e6, 4)],
+        };
+        writer.append_snapshot(&snap);
+        let (records, torn) = read_log(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(records, vec![LogRecord::Sched(snap)]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

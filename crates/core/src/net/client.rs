@@ -1,0 +1,429 @@
+//! Donor client threads for the TCP backend.
+//!
+//! Each client is one OS thread owning one socket at a time. The loop
+//! mirrors the paper's donor daemon: request work, compute, submit,
+//! repeat — plus the robustness the real deployment needed: heartbeats
+//! so the server can tell "slow" from "gone", reconnect with jittered
+//! exponential backoff (re-reading the [`super::Directory`], so a
+//! restarted server on a new port is found), and idempotent result
+//! resubmission — a result is retired only on a [`Frame::ResultAck`],
+//! so an ack lost to a broken connection leads to a resend, never a
+//! lost unit (the server dedups).
+//!
+//! Lifecycle faults from a [`FaultPlan`] (late join, permanent
+//! departure, crash windows, slowdowns) are interpreted client-side
+//! against the shared [`Clock`], exactly like the thread backend, so
+//! identical plans mean identical stories on both transports.
+
+use super::wire::{encode_frame, Frame, FrameReader, ReadError};
+use super::{Clock, Directory};
+use crate::codec::WireCodec;
+use crate::fault::{FaultInjector, FaultPlan, PlanInterpreter};
+use crate::problem::{Algorithm, WorkUnit};
+use crate::server::Server;
+use biodist_util::rng::{Rng, SplitMix64};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning for the donor clients. Time-valued fields are in *scaled*
+/// seconds (the [`Clock`]'s unit) unless suffixed `_wall`.
+#[derive(Debug, Clone)]
+pub struct NetClientOptions {
+    /// Heartbeat cadence while idle/polling.
+    pub heartbeat_interval: f64,
+    /// How long to await a response frame before treating the
+    /// connection as broken (triggers reconnect + resubmission).
+    pub ack_timeout: f64,
+    /// Sleep after a `Wait` before asking again.
+    pub poll_interval: f64,
+    /// Reconnect backoff base (doubles per consecutive failure, with
+    /// ±50% deterministic jitter).
+    pub reconnect_base: f64,
+    /// Reconnect backoff cap.
+    pub reconnect_cap: f64,
+    /// Socket read timeout (wall time) — the granularity at which a
+    /// blocked client notices shutdown flags and deadlines.
+    pub read_timeout_wall: Duration,
+}
+
+impl Default for NetClientOptions {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: 0.5,
+            ack_timeout: 2.0,
+            poll_interval: 0.05,
+            reconnect_base: 0.05,
+            reconnect_cap: 2.0,
+            read_timeout_wall: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The per-problem pieces a donor needs locally: the algorithm to run
+/// and the codec to speak. Built from the server *before* it goes
+/// behind the transport — modelling the paper's one-time shipping of
+/// algorithm code to donors at problem-registration time.
+#[derive(Clone)]
+pub struct ClientKit {
+    algorithms: Vec<Arc<dyn Algorithm>>,
+    codecs: Vec<Arc<dyn WireCodec>>,
+}
+
+impl ClientKit {
+    /// Captures algorithm + codec for every submitted problem; errors
+    /// if any problem lacks a [`WireCodec`] (it cannot go on the wire).
+    pub fn from_server(server: &Server) -> Result<Self, String> {
+        let mut algorithms = Vec::new();
+        let mut codecs = Vec::new();
+        for pid in 0..server.problem_count() {
+            algorithms.push(server.algorithm(pid));
+            codecs.push(server.codec(pid).ok_or_else(|| {
+                format!(
+                    "problem {pid} ({}) has no wire codec; register one with \
+                     Problem::with_codec to run on the TCP backend",
+                    server.problem_name(pid)
+                )
+            })?);
+        }
+        Ok(Self { algorithms, codecs })
+    }
+
+    fn algorithm(&self, pid: usize) -> Option<&Arc<dyn Algorithm>> {
+        self.algorithms.get(pid)
+    }
+
+    fn codec(&self, pid: usize) -> Option<&Arc<dyn WireCodec>> {
+        self.codecs.get(pid)
+    }
+}
+
+/// Spawns `n_clients` donor threads against `directory`. They exit when
+/// the server says `Finished`, their plan departs them, or `run_over`
+/// is set (the orchestrator's backstop after the server completes).
+pub fn spawn_clients(
+    directory: Directory,
+    clock: Clock,
+    kit: ClientKit,
+    n_clients: usize,
+    plan: &FaultPlan,
+    run_over: Arc<AtomicBool>,
+    opts: NetClientOptions,
+) -> Vec<JoinHandle<()>> {
+    (0..n_clients)
+        .map(|c| {
+            let directory = directory.clone();
+            let kit = kit.clone();
+            let plan = plan.clone();
+            let run_over = run_over.clone();
+            let opts = opts.clone();
+            thread::spawn(move || {
+                ClientLoop::new(c, directory, clock, kit, &plan, n_clients, run_over, opts).run()
+            })
+        })
+        .collect()
+}
+
+/// A result computed but not yet acknowledged — the idempotence unit.
+struct PendingResult {
+    problem: u64,
+    unit: u64,
+    payload: Vec<u8>,
+}
+
+struct ClientLoop {
+    id: usize,
+    directory: Directory,
+    clock: Clock,
+    kit: ClientKit,
+    interp: PlanInterpreter,
+    departure: Option<f64>,
+    crashes: Vec<(f64, f64)>,
+    join_at: Option<f64>,
+    run_over: Arc<AtomicBool>,
+    opts: NetClientOptions,
+    rng: SplitMix64,
+    conn: Option<(TcpStream, FrameReader)>,
+    connect_failures: u32,
+    pending: Option<PendingResult>,
+    last_heartbeat: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl ClientLoop {
+    fn new(
+        id: usize,
+        directory: Directory,
+        clock: Clock,
+        kit: ClientKit,
+        plan: &FaultPlan,
+        n_clients: usize,
+        run_over: Arc<AtomicBool>,
+        opts: NetClientOptions,
+    ) -> Self {
+        Self {
+            id,
+            directory,
+            clock,
+            kit,
+            interp: PlanInterpreter::new(plan, n_clients),
+            departure: plan.departure_time(id),
+            crashes: plan.crashes(id),
+            join_at: plan.join_time(id),
+            run_over,
+            opts,
+            rng: SplitMix64::new(0xC11E_27B1 ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            conn: None,
+            connect_failures: 0,
+            pending: None,
+            last_heartbeat: 0.0,
+        }
+    }
+
+    fn run(mut self) {
+        if let Some(t) = self.join_at {
+            thread::sleep(self.clock.wall(t - self.clock.now()));
+        }
+        loop {
+            if self.run_over.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = self.clock.now();
+            if self.departure.is_some_and(|t| now >= t) {
+                // Silent permanent departure (owner pulls the plug):
+                // no Goodbye — leases/liveness must recover the work.
+                return;
+            }
+            if self.handle_crash_window(now) {
+                continue;
+            }
+            if self.conn.is_none() && !self.connect() {
+                continue; // backoff slept inside connect()
+            }
+            // Resubmission first: a pending result outranks new work.
+            if self.pending.is_some() {
+                self.flush_pending();
+                continue;
+            }
+            self.maybe_heartbeat();
+            match self.request_and_compute() {
+                Step::Continue => {}
+                Step::Finished => {
+                    self.send(&Frame::Goodbye {
+                        client: self.id as u64,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// If `now` is inside a crash window: drop the connection and any
+    /// in-flight state (a crashed donor loses everything), sleep out
+    /// the remaining downtime, and report `true`.
+    fn handle_crash_window(&mut self, now: f64) -> bool {
+        for &(at, down) in &self.crashes {
+            if now >= at && now < at + down {
+                self.conn = None;
+                self.pending = None;
+                let wake = at + down;
+                thread::sleep(self.clock.wall(wake - now));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Connects via the directory and says Hello; on failure sleeps a
+    /// jittered exponential backoff. Returns whether connected.
+    fn connect(&mut self) -> bool {
+        let addr = *self.directory.lock().unwrap();
+        let stream = addr.and_then(|a| TcpStream::connect(a).ok());
+        match stream {
+            Some(mut stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(self.opts.read_timeout_wall));
+                let _ = stream.write_all(&encode_frame(&Frame::Hello {
+                    client: self.id as u64,
+                }));
+                self.conn = Some((stream, FrameReader::new()));
+                self.connect_failures = 0;
+                true
+            }
+            None => {
+                let doublings = self.connect_failures.min(6);
+                self.connect_failures = self.connect_failures.saturating_add(1);
+                let base = self.opts.reconnect_base * f64::from(1u32 << doublings);
+                let jitter = 0.5 + self.rng.next_f64(); // ±50%
+                thread::sleep(
+                    self.clock
+                        .wall((base * jitter).min(self.opts.reconnect_cap)),
+                );
+                false
+            }
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+    }
+
+    fn send(&mut self, frame: &Frame) -> bool {
+        let bytes = encode_frame(frame);
+        if let Some((stream, _)) = self.conn.as_mut() {
+            if stream.write_all(&bytes).is_ok() {
+                return true;
+            }
+        }
+        self.drop_conn();
+        false
+    }
+
+    /// Reads frames until `accept` claims one, the ack timeout passes
+    /// (`None`), or the connection breaks (`None` + dropped conn).
+    /// Non-matching frames (stale acks after a reconnect, heartbeat
+    /// acks) are skipped — the protocol is idempotent, so late
+    /// responses are harmless.
+    fn await_frame(&mut self, accept: impl Fn(&Frame) -> bool) -> Option<Frame> {
+        let deadline = self.clock.now() + self.opts.ack_timeout;
+        loop {
+            if self.run_over.load(Ordering::SeqCst) || self.clock.now() > deadline {
+                return None;
+            }
+            let (stream, reader) = self.conn.as_mut()?;
+            match reader.poll(stream) {
+                Ok(Some(frame)) if accept(&frame) => return Some(frame),
+                Ok(Some(_)) => {}               // stale/unsolicited frame: skip
+                Ok(None) => {}                  // read timeout tick
+                Err(ReadError::Decode(_)) => {} // mangled inbound frame: skip
+                Err(ReadError::Io(_)) => {
+                    self.drop_conn();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Sends the pending result and awaits its ack. On timeout or a
+    /// broken connection the pending result is kept and resent after
+    /// reconnect — the server dedups, so at-least-once is safe.
+    fn flush_pending(&mut self) {
+        let Some((want_p, want_u, payload)) = self
+            .pending
+            .as_ref()
+            .map(|p| (p.problem, p.unit, p.payload.clone()))
+        else {
+            return;
+        };
+        let frame = Frame::SubmitResult {
+            client: self.id as u64,
+            problem: want_p,
+            unit: want_u,
+            payload,
+        };
+        if !self.send(&frame) {
+            return;
+        }
+        let ack = self.await_frame(|f| {
+            matches!(f, Frame::ResultAck { problem, unit, .. }
+                     if *problem == want_p && *unit == want_u)
+        });
+        if ack.is_some() {
+            // Accepted or nacked (duplicate/corrupt) — either way the
+            // server has ruled and the pending copy is retired.
+            self.pending = None;
+        }
+    }
+
+    fn maybe_heartbeat(&mut self) {
+        let now = self.clock.now();
+        if now - self.last_heartbeat >= self.opts.heartbeat_interval {
+            self.last_heartbeat = now;
+            self.send(&Frame::Heartbeat {
+                client: self.id as u64,
+            });
+            // The ack is skipped by the next await_frame; no wait here.
+        }
+    }
+
+    fn request_and_compute(&mut self) -> Step {
+        if !self.send(&Frame::RequestWork {
+            client: self.id as u64,
+        }) {
+            return Step::Continue;
+        }
+        let reply = self
+            .await_frame(|f| matches!(f, Frame::AssignUnit { .. } | Frame::Wait | Frame::Finished));
+        match reply {
+            Some(Frame::AssignUnit {
+                problem,
+                unit,
+                cost_ops,
+                payload,
+            }) => {
+                self.compute_unit(problem, unit, cost_ops, &payload);
+                Step::Continue
+            }
+            Some(Frame::Wait) => {
+                thread::sleep(self.clock.wall(self.opts.poll_interval));
+                Step::Continue
+            }
+            Some(Frame::Finished) => Step::Finished,
+            _ => Step::Continue, // timeout or broken conn: reconnect path
+        }
+    }
+
+    fn compute_unit(&mut self, problem: u64, unit: u64, cost_ops: f64, payload: &[u8]) {
+        let pid = problem as usize;
+        let (Some(algorithm), Some(codec)) = (
+            self.kit.algorithm(pid).cloned(),
+            self.kit.codec(pid).cloned(),
+        ) else {
+            return; // unknown problem id: drop; lease expiry recovers
+        };
+        let Ok(decoded) = codec.decode_unit(payload) else {
+            return; // undecodable unit: drop; lease expiry recovers
+        };
+        let started = self.clock.now();
+        let wu = WorkUnit {
+            id: unit,
+            payload: decoded,
+            cost_ops,
+        };
+        let result = algorithm.compute(&wu);
+        // Straggler faults stretch the unit's wall time, like the
+        // thread backend: factor sampled once at unit start.
+        let scale = self.interp.compute_scale(self.id, started);
+        if scale > 1.0 {
+            let real = self.clock.now() - started;
+            thread::sleep(self.clock.wall(real * (scale - 1.0)));
+        }
+        // A crash window that opened mid-compute swallows the result.
+        let done = self.clock.now();
+        if self
+            .crashes
+            .iter()
+            .any(|&(at, _down)| started < at && done >= at)
+        {
+            self.drop_conn();
+            return;
+        }
+        let Ok(encoded) = codec.encode_result(&result.payload) else {
+            return;
+        };
+        self.pending = Some(PendingResult {
+            problem,
+            unit,
+            payload: encoded,
+        });
+        self.flush_pending();
+    }
+}
+
+enum Step {
+    Continue,
+    Finished,
+}

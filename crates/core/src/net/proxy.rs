@@ -1,0 +1,243 @@
+//! A socket-level fault interposer for the TCP backend.
+//!
+//! [`FaultProxy`] sits between donor clients and the server and applies
+//! the delivery faults of a [`FaultPlan`] to the *actual bytes*:
+//! dropped results vanish from the wire, duplicated results are sent
+//! twice, corrupted results get a flipped checksum byte, and link
+//! degradation becomes real added latency. Lifecycle faults stay
+//! client-side (see [`super::client`]); this layer only mutates
+//! transport.
+//!
+//! The client→server direction is parsed frame-by-frame (using only the
+//! header-CRC-validated span, so already-corrupt bytes pass through
+//! untouched); the server→client direction is pumped verbatim. Each
+//! proxied connection dials upstream through the server
+//! [`super::Directory`] at accept time, so clients reconnecting after a
+//! server restart are transparently routed to the new address.
+
+use super::wire::{parse_header, DecodeError, HEADER_LEN, SUBMIT_RESULT_TYPE};
+use super::{Clock, Directory};
+use crate::fault::{DeliveryAction, FaultInjector, FaultPlan, PlanInterpreter};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Modelled per-frame transfer time used to turn a link-degradation
+/// factor into real latency, in scaled seconds.
+const BASE_TRANSFER_SECS: f64 = 0.005;
+
+/// The running proxy. Point clients at [`FaultProxy::addr`]; it dials
+/// the upstream server through the directory given to `start`.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral loopback port and starts proxying.
+    pub fn start(
+        upstream: Directory,
+        plan: &FaultPlan,
+        n_clients: usize,
+        clock: Clock,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let injector = Arc::new(Mutex::new(PlanInterpreter::new(plan, n_clients)));
+        let accept_thread = {
+            let stop = stop.clone();
+            thread::spawn(move || accept_loop(&listener, &upstream, &injector, clock, &stop))
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Tears the proxy down (open connections are severed).
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &Directory,
+    injector: &Arc<Mutex<PlanInterpreter>>,
+    clock: Clock,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client_side, _)) => {
+                let upstream = upstream.clone();
+                let injector = injector.clone();
+                let stop = stop.clone();
+                conns.push(thread::spawn(move || {
+                    proxy_connection(client_side, &upstream, &injector, clock, &stop)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn proxy_connection(
+    client_side: TcpStream,
+    upstream: &Directory,
+    injector: &Arc<Mutex<PlanInterpreter>>,
+    clock: Clock,
+    stop: &Arc<AtomicBool>,
+) {
+    // Dial upstream through the directory *now* — after a server
+    // restart the directory holds the new address.
+    let addr = *upstream.lock().unwrap();
+    let Some(server_side) = addr.and_then(|a| TcpStream::connect(a).ok()) else {
+        return; // upstream down: sever; the client backs off and retries
+    };
+    let _ = client_side.set_nodelay(true);
+    let _ = server_side.set_nodelay(true);
+    let (Ok(c2s_read), Ok(s2c_write)) = (client_side.try_clone(), client_side.try_clone()) else {
+        return;
+    };
+    let (Ok(s2c_read), Ok(c2s_write)) = (server_side.try_clone(), server_side.try_clone()) else {
+        return;
+    };
+    // Server→client: verbatim pump on a helper thread.
+    let pump = {
+        let stop = stop.clone();
+        thread::spawn(move || raw_pump(s2c_read, s2c_write, &stop))
+    };
+    faulted_pump(c2s_read, c2s_write, injector, clock, stop);
+    // Sever both directions so the pump unblocks, then reap it.
+    let _ = client_side.shutdown(std::net::Shutdown::Both);
+    let _ = server_side.shutdown(std::net::Shutdown::Both);
+    let _ = pump.join();
+}
+
+/// Copies bytes verbatim until EOF, error, or stop.
+fn raw_pump(mut from: TcpStream, mut to: TcpStream, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(5)));
+    let mut chunk = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        match from.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if to.write_all(&chunk[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Client→server: reassembles frame spans and applies delivery faults
+/// to `SubmitResult` frames. Anything unparseable is forwarded raw —
+/// the server's own CRC layer is the authority on corruption.
+fn faulted_pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    injector: &Arc<Mutex<PlanInterpreter>>,
+    clock: Clock,
+    stop: &Arc<AtomicBool>,
+) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(5)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        match from.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        loop {
+            let (frame_type, body_len) = match parse_header(&buf) {
+                Ok(h) => h,
+                Err(DecodeError::Incomplete) => break,
+                Err(_) => {
+                    // Desynced or already-corrupt input: stop parsing
+                    // and forward everything raw from here on.
+                    if to.write_all(&buf).is_err() {
+                        return;
+                    }
+                    buf.clear();
+                    break;
+                }
+            };
+            let total = HEADER_LEN + body_len as usize + 4;
+            if buf.len() < total {
+                break;
+            }
+            let mut frame: Vec<u8> = buf.drain(..total).collect();
+            let action = if frame_type == SUBMIT_RESULT_TYPE && body_len >= 8 {
+                // Client id is the first body field (header-validated
+                // span, so this offset is trustworthy).
+                let client = u64::from_le_bytes(
+                    frame[HEADER_LEN..HEADER_LEN + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                ) as usize;
+                injector
+                    .lock()
+                    .unwrap()
+                    .delivery_action(client, clock.now())
+            } else {
+                DeliveryAction::Deliver
+            };
+            // Link degradation: real latency per forwarded frame.
+            let link = injector.lock().unwrap().link_scale(clock.now());
+            if link > 1.0 {
+                thread::sleep(clock.wall((link - 1.0) * BASE_TRANSFER_SECS));
+            }
+            let ok = match action {
+                DeliveryAction::Deliver => to.write_all(&frame).is_ok(),
+                DeliveryAction::Drop => true, // lost in transit
+                DeliveryAction::Duplicate => {
+                    to.write_all(&frame).is_ok() && to.write_all(&frame).is_ok()
+                }
+                DeliveryAction::Corrupt => {
+                    // Flip the final body-CRC byte: ids stay readable,
+                    // the server's CRC check routes it to the
+                    // corrupted-result path deterministically.
+                    let n = frame.len();
+                    frame[n - 1] ^= 0xFF;
+                    to.write_all(&frame).is_ok()
+                }
+            };
+            if !ok {
+                return;
+            }
+        }
+    }
+}

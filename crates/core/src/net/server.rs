@@ -1,0 +1,547 @@
+//! The TCP-facing server: accept loop, per-connection frame handlers,
+//! and a ticker thread for lease sweeps, heartbeat liveness and
+//! periodic scheduler snapshots.
+//!
+//! The [`crate::Server`] itself stays single-threaded behind a mutex —
+//! exactly the paper's design, where one server process coordinated
+//! ~200 donors and the per-request critical section is tiny (scheduling
+//! is O(clients), folding is the `DataManager`'s job). Connection
+//! handlers only hold the lock for the duration of one request; unit
+//! computation happens on the far side of the socket.
+
+use super::checkpoint::CheckpointWriter;
+use super::wire::{encode_frame, DecodeError, Frame, FrameReader, ReadError, SUBMIT_RESULT_TYPE};
+use super::Clock;
+use crate::codec::ByteReader;
+use crate::sched::ClientId;
+use crate::server::{Assignment, Server};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning for [`NetServer`]. Time-valued fields are in *scaled* seconds
+/// (the [`Clock`]'s unit), so the same options work at any time scale.
+#[derive(Debug, Clone)]
+pub struct NetServerOptions {
+    /// A client silent for longer than this (no frame of any kind) is
+    /// declared gone: its leases reissue immediately instead of waiting
+    /// for lease expiry. Scaled seconds.
+    pub liveness_timeout: f64,
+    /// Ticker period (lease sweep + liveness check), wall time.
+    pub tick_wall: Duration,
+    /// Append a scheduler snapshot to the checkpoint log every this
+    /// many ticks (0 disables periodic snapshots).
+    pub snapshot_every_ticks: u64,
+    /// When set, the ticker appends periodic [`crate::SchedSnapshot`]
+    /// records here so a recovered server starts with warm throughput
+    /// estimates. (Unit issue/fold journaling is separate: install the
+    /// writer as the server's journal via [`crate::Server::set_journal`].)
+    pub checkpoint: Option<CheckpointWriter>,
+}
+
+impl Default for NetServerOptions {
+    fn default() -> Self {
+        Self {
+            liveness_timeout: 5.0,
+            tick_wall: Duration::from_millis(2),
+            snapshot_every_ticks: 50,
+            checkpoint: None,
+        }
+    }
+}
+
+struct Shared {
+    /// `None` after `wait()` hands the server back or `kill()` drops it
+    /// (simulated server-process death).
+    server: Mutex<Option<Server>>,
+    done: Condvar,
+    last_seen: Mutex<HashMap<ClientId, f64>>,
+    /// Hard stop: handlers and the accept loop exit promptly.
+    kill: AtomicBool,
+}
+
+/// A running TCP server around a [`Server`]. Bind with [`NetServer::start`],
+/// then either [`NetServer::wait`] for completion or [`NetServer::kill`]
+/// it mid-run to simulate a server crash (the checkpoint log survives;
+/// [`super::recover`] rebuilds the state).
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: JoinHandle<()>,
+    ticker_thread: JoinHandle<()>,
+}
+
+impl NetServer {
+    /// Binds an ephemeral loopback port and starts serving `server`.
+    pub fn start(server: Server, clock: Clock, opts: NetServerOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server: Mutex::new(Some(server)),
+            done: Condvar::new(),
+            last_seen: Mutex::new(HashMap::new()),
+            kill: AtomicBool::new(false),
+        });
+        let accept_thread = {
+            let shared = shared.clone();
+            thread::spawn(move || accept_loop(&listener, &shared, clock))
+        };
+        let ticker_thread = {
+            let shared = shared.clone();
+            let opts = opts.clone();
+            thread::spawn(move || ticker_loop(&shared, clock, &opts))
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept_thread,
+            ticker_thread,
+        })
+    }
+
+    /// The address clients (or a fault proxy) should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs `f` against the live server (e.g. to poll progress from a
+    /// test); `None` if the server was already taken or killed.
+    pub fn with_server<R>(&self, f: impl FnOnce(&Server) -> R) -> Option<R> {
+        self.shared.server.lock().unwrap().as_ref().map(f)
+    }
+
+    /// Blocks until every problem completes, then tears the transport
+    /// down and returns the server.
+    pub fn wait(self) -> Server {
+        let server = {
+            let mut guard = self.shared.server.lock().unwrap();
+            loop {
+                match guard.as_ref() {
+                    Some(s) if !s.all_complete() => {
+                        let (g, _) = self
+                            .shared
+                            .done
+                            .wait_timeout(guard, Duration::from_millis(5))
+                            .unwrap();
+                        guard = g;
+                    }
+                    Some(_) => break guard.take().expect("checked above"),
+                    None => panic!("server was killed before wait()"),
+                }
+            }
+        };
+        self.shutdown();
+        server
+    }
+
+    /// Simulates the server process dying mid-run: the in-memory
+    /// [`Server`] is dropped on the spot, connections go dark, and only
+    /// what reached the checkpoint log survives.
+    pub fn kill(self) {
+        self.shared.server.lock().unwrap().take();
+        self.shutdown();
+    }
+
+    fn shutdown(self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+        let _ = self.ticker_thread.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, clock: Clock) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.kill.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                handlers.push(thread::spawn(move || {
+                    handle_connection(stream, &shared, clock)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+    let mut reader = FrameReader::new();
+    loop {
+        if shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match reader.poll(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // read timeout: re-check the kill flag
+            Err(ReadError::Decode(DecodeError::BodyCrc {
+                frame_type,
+                body_prefix,
+            })) => {
+                // A corrupt frame is detected, not fatal: a mangled
+                // result still routes to the reissue path (its id
+                // fields are in the prefix), and the stream already
+                // resynced past the frame.
+                if frame_type == SUBMIT_RESULT_TYPE {
+                    handle_corrupt_result(&body_prefix, shared, clock, &mut stream);
+                }
+                continue;
+            }
+            // EOF, socket error, or an unrecoverable decode: drop the
+            // connection but NOT the client's leases — it may be a
+            // crash-rejoin or reconnect. True departures are reclaimed
+            // by the liveness sweep / lease timeouts.
+            Err(_) => return,
+        };
+        let reply = match frame {
+            Frame::Hello { client } => {
+                mark_alive(shared, client as ClientId, clock.now());
+                None
+            }
+            Frame::Heartbeat { client } => {
+                mark_alive(shared, client as ClientId, clock.now());
+                Some(Frame::HeartbeatAck)
+            }
+            Frame::RequestWork { client } => {
+                let now = clock.now();
+                mark_alive(shared, client as ClientId, now);
+                let mut guard = shared.server.lock().unwrap();
+                let Some(server) = guard.as_mut() else { return };
+                server.check_timeouts(now);
+                match server.request_work(client as ClientId, now) {
+                    Assignment::Unit { problem, unit, .. } => {
+                        let encoded = server
+                            .codec(problem)
+                            .and_then(|c| c.encode_unit(&unit.payload).ok());
+                        drop(guard);
+                        match encoded {
+                            Some(payload) => Some(Frame::AssignUnit {
+                                problem: problem as u64,
+                                unit: unit.id,
+                                cost_ops: unit.cost_ops,
+                                payload,
+                            }),
+                            // Unencodable unit (codec bug): stall this
+                            // client; the lease will expire and reissue.
+                            None => Some(Frame::Wait),
+                        }
+                    }
+                    Assignment::Wait => Some(Frame::Wait),
+                    Assignment::Finished => Some(Frame::Finished),
+                }
+            }
+            Frame::SubmitResult {
+                client,
+                problem,
+                unit,
+                payload,
+            } => {
+                let now = clock.now();
+                mark_alive(shared, client as ClientId, now);
+                let pid = problem as usize;
+                let mut guard = shared.server.lock().unwrap();
+                let Some(server) = guard.as_mut() else { return };
+                let accepted = if pid < server.problem_count() {
+                    match server.codec(pid).map(|c| c.decode_result(&payload)) {
+                        Some(Ok(decoded)) => server.submit_result(
+                            client as ClientId,
+                            pid,
+                            crate::problem::TaskResult {
+                                unit_id: unit,
+                                payload: decoded,
+                            },
+                            now,
+                        ),
+                        // Frame CRC passed but the payload didn't parse:
+                        // semantic corruption; reissue path.
+                        _ => {
+                            server.result_corrupted(client as ClientId, pid, unit, now);
+                            false
+                        }
+                    }
+                } else {
+                    false // garbage problem id: ignore, nack
+                };
+                let complete = server.all_complete();
+                drop(guard);
+                if complete {
+                    shared.done.notify_all();
+                }
+                Some(Frame::ResultAck {
+                    problem,
+                    unit,
+                    accepted,
+                })
+            }
+            Frame::Goodbye { client } => {
+                let mut guard = shared.server.lock().unwrap();
+                if let Some(server) = guard.as_mut() {
+                    server.client_gone(client as ClientId);
+                }
+                drop(guard);
+                shared
+                    .last_seen
+                    .lock()
+                    .unwrap()
+                    .remove(&(client as ClientId));
+                return;
+            }
+            // Server-bound protocol only; a client frame here is a bug
+            // or corruption that slipped the type check — ignore it.
+            Frame::AssignUnit { .. }
+            | Frame::Wait
+            | Frame::Finished
+            | Frame::ResultAck { .. }
+            | Frame::HeartbeatAck => None,
+        };
+        if let Some(reply) = reply {
+            if stream.write_all(&encode_frame(&reply)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Routes a CRC-failed `SubmitResult` to [`Server::result_corrupted`]
+/// using the id fields from the (header-validated) body prefix, and
+/// nacks so the sender retires or retries its pending copy.
+fn handle_corrupt_result(
+    body_prefix: &[u8],
+    shared: &Shared,
+    clock: Clock,
+    stream: &mut TcpStream,
+) {
+    let mut r = ByteReader::new(body_prefix);
+    let (Ok(client), Ok(problem), Ok(unit)) = (r.u64(), r.u64(), r.u64()) else {
+        return; // prefix too mangled to attribute; lease expiry recovers
+    };
+    let pid = problem as usize;
+    let now = clock.now();
+    {
+        let mut guard = shared.server.lock().unwrap();
+        let Some(server) = guard.as_mut() else { return };
+        if pid < server.problem_count() {
+            server.result_corrupted(client as ClientId, pid, unit, now);
+        }
+    }
+    let _ = stream.write_all(&encode_frame(&Frame::ResultAck {
+        problem,
+        unit,
+        accepted: false,
+    }));
+}
+
+fn mark_alive(shared: &Shared, client: ClientId, now: f64) {
+    shared.last_seen.lock().unwrap().insert(client, now);
+}
+
+fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
+    let mut tick = 0u64;
+    while !shared.kill.load(Ordering::SeqCst) {
+        thread::sleep(opts.tick_wall);
+        tick += 1;
+        let now = clock.now();
+        // Liveness sweep outside the server lock (fixed lock order:
+        // never hold both mutexes at once).
+        let stale: Vec<ClientId> = {
+            let mut seen = shared.last_seen.lock().unwrap();
+            let stale: Vec<ClientId> = seen
+                .iter()
+                .filter(|&(_, &t)| now - t > opts.liveness_timeout)
+                .map(|(&c, _)| c)
+                .collect();
+            for c in &stale {
+                seen.remove(c);
+            }
+            stale
+        };
+        let mut guard = shared.server.lock().unwrap();
+        let Some(server) = guard.as_mut() else { return };
+        server.check_timeouts(now);
+        for c in stale {
+            server.client_gone(c);
+        }
+        let complete = server.all_complete();
+        if !complete {
+            if let Some(w) = &opts.checkpoint {
+                if opts.snapshot_every_ticks > 0 && tick.is_multiple_of(opts.snapshot_every_ticks) {
+                    w.append_snapshot(&server.scheduler_snapshot());
+                }
+            }
+        }
+        drop(guard);
+        if complete {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::integration_problem;
+    use crate::sched::SchedulerConfig;
+    use crate::server::Server;
+
+    fn small_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            min_unit_ops: 2e6,
+            max_unit_ops: 2e6,
+            ..Default::default()
+        }
+    }
+
+    /// Drives a full protocol session over a raw socket — no client.rs
+    /// machinery — including one deliberately corrupted submission.
+    #[test]
+    fn raw_socket_session_completes_and_survives_corruption() {
+        let clock = Clock::new(1000.0);
+        let mut server = Server::new(small_cfg());
+        let pid = server.submit(integration_problem(100_000));
+        let algorithm = server.algorithm(pid);
+        let codec = server.codec(pid).unwrap();
+        let net = NetServer::start(server, clock, NetServerOptions::default()).unwrap();
+
+        let mut stream = TcpStream::connect(net.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut reader = FrameReader::new();
+        let await_frame = |stream: &mut TcpStream, reader: &mut FrameReader| loop {
+            match reader.poll(stream) {
+                Ok(Some(f)) => return f,
+                Ok(None) => {}
+                Err(e) => panic!("read failed: {e}"),
+            }
+        };
+
+        stream
+            .write_all(&encode_frame(&Frame::Hello { client: 0 }))
+            .unwrap();
+        let mut corrupted_once = false;
+        loop {
+            stream
+                .write_all(&encode_frame(&Frame::RequestWork { client: 0 }))
+                .unwrap();
+            match await_frame(&mut stream, &mut reader) {
+                Frame::AssignUnit {
+                    problem,
+                    unit,
+                    cost_ops,
+                    payload,
+                } => {
+                    let wu = crate::problem::WorkUnit {
+                        id: unit,
+                        payload: codec.decode_unit(&payload).unwrap(),
+                        cost_ops,
+                    };
+                    let result = algorithm.compute(&wu);
+                    let encoded = codec.encode_result(&result.payload).unwrap();
+                    let mut frame = encode_frame(&Frame::SubmitResult {
+                        client: 0,
+                        problem,
+                        unit,
+                        payload: encoded,
+                    });
+                    if !corrupted_once {
+                        corrupted_once = true;
+                        let n = frame.len();
+                        frame[n - 1] ^= 0xFF; // break the body CRC
+                        stream.write_all(&frame).unwrap();
+                        match await_frame(&mut stream, &mut reader) {
+                            Frame::ResultAck {
+                                accepted: false, ..
+                            } => {}
+                            other => panic!("expected a nack, got {other:?}"),
+                        }
+                        continue; // the unit reissues via the lease/corrupt path
+                    }
+                    stream.write_all(&frame).unwrap();
+                    match await_frame(&mut stream, &mut reader) {
+                        Frame::ResultAck { .. } => {}
+                        other => panic!("expected an ack, got {other:?}"),
+                    }
+                }
+                Frame::Wait => thread::sleep(Duration::from_millis(1)),
+                Frame::Finished => break,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        stream
+            .write_all(&encode_frame(&Frame::Goodbye { client: 0 }))
+            .unwrap();
+
+        let mut server = net.wait();
+        let pi = server.take_output(pid).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "got {pi}");
+        assert_eq!(server.stats(pid).corrupted_results, 1);
+    }
+
+    #[test]
+    fn silent_client_is_reclaimed_by_the_liveness_sweep() {
+        let clock = Clock::new(1000.0);
+        let mut server = Server::new(small_cfg());
+        let pid = server.submit(integration_problem(100_000));
+        let net = NetServer::start(
+            server,
+            clock,
+            NetServerOptions {
+                liveness_timeout: 20.0, // 20ms wall at scale 1000
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Take a unit and go silent, never submitting.
+        let mut stream = TcpStream::connect(net.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut reader = FrameReader::new();
+        stream
+            .write_all(&encode_frame(&Frame::RequestWork { client: 7 }))
+            .unwrap();
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Some(Frame::AssignUnit { .. })) => break,
+                Ok(Some(Frame::Wait)) => {
+                    stream
+                        .write_all(&encode_frame(&Frame::RequestWork { client: 7 }))
+                        .unwrap();
+                }
+                Ok(Some(other)) => panic!("unexpected frame {other:?}"),
+                Ok(None) => {}
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        // Wait well past the liveness timeout; the sweep must reclaim
+        // the lease so another client could finish the run.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let reissued = net
+                .with_server(|s| s.stats(pid).reissued_units)
+                .expect("server alive");
+            if reissued >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "liveness sweep never reclaimed the silent client's lease"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        net.kill();
+    }
+}

@@ -11,6 +11,7 @@
 //! `wire_bytes` declared on every payload (DESIGN.md, substitution
 //! table: RMI control messages vs. raw-socket bulk transfers).
 
+use crate::codec::WireCodec;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -135,6 +136,9 @@ pub struct Problem {
     /// One-time download each client performs before its first unit
     /// (the Java system ships the Algorithm class and problem data).
     pub setup_bytes: u64,
+    /// Payload serializer for the real TCP backend. `None` limits the
+    /// problem to the in-process backends (sim, threads).
+    pub codec: Option<Arc<dyn WireCodec>>,
 }
 
 impl Problem {
@@ -149,12 +153,20 @@ impl Problem {
             data_manager,
             algorithm,
             setup_bytes: 0,
+            codec: None,
         }
     }
 
     /// Sets the per-client setup download size.
     pub fn with_setup_bytes(mut self, bytes: u64) -> Self {
         self.setup_bytes = bytes;
+        self
+    }
+
+    /// Registers the payload serializer that lets the problem run on
+    /// the TCP backend.
+    pub fn with_codec(mut self, codec: Arc<dyn WireCodec>) -> Self {
+        self.codec = Some(codec);
         self
     }
 }

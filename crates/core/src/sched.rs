@@ -18,6 +18,8 @@
 //!    dispatched to idle donors so one slow machine cannot stall the
 //!    tail (first result wins).
 
+use crate::problem::UnitId;
+use biodist_util::rng::{Rng, SplitMix64};
 use biodist_util::stats::Ewma;
 use std::collections::HashMap;
 
@@ -50,6 +52,16 @@ pub struct SchedulerConfig {
     /// exponential backoff so a unit with a wildly wrong cost estimate
     /// can never be parked on one donor for an unbounded time.
     pub max_lease_secs: f64,
+    /// Fractional jitter on lease durations (0 = none): the deadline
+    /// used by the server is spread over `±frac` of the nominal lease
+    /// so a batch of units assigned in the same instant does not expire
+    /// in the same instant and thundering-herd the reissue queue. The
+    /// jitter is a pure hash of `(seed, client, unit, expiries)` — no
+    /// generator state — so deadlines are identical across backends
+    /// regardless of call order.
+    pub lease_jitter_frac: f64,
+    /// Seed for the deterministic lease jitter.
+    pub lease_jitter_seed: u64,
     /// Enable dynamic granularity (off = every hint is
     /// `prior_ops_per_sec × target_unit_secs`).
     pub enable_dynamic_granularity: bool,
@@ -74,6 +86,8 @@ impl Default for SchedulerConfig {
             lease_min_secs: 120.0,
             max_backoff_doublings: 6,
             max_lease_secs: 86_400.0,
+            lease_jitter_frac: 0.1,
+            lease_jitter_seed: 0,
             enable_dynamic_granularity: true,
             enable_adaptive: true,
             enable_redundant_dispatch: true,
@@ -102,6 +116,21 @@ impl SchedulerConfig {
 struct ClientState {
     throughput: Ewma,
     units_completed: u64,
+}
+
+/// A plain-data snapshot of the scheduler's adaptive state, written to
+/// the checkpoint log so a restarted server resumes with warm speed
+/// estimates instead of the cold prior.
+///
+/// Only the current EWMA value survives, not the full observation
+/// history: after recovery the estimate re-converges from that value at
+/// the configured `ewma_alpha`, which is exactly the behaviour of a
+/// freshly-observed client at that speed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedSnapshot {
+    /// `(client, estimated ops/second, units completed)`, sorted by
+    /// client id so snapshots are byte-stable for a given state.
+    pub clients: Vec<(ClientId, f64, u64)>,
 }
 
 /// The scheduler: client statistics + policy decisions.
@@ -185,6 +214,40 @@ impl Scheduler {
         now + (base * factor).min(self.cfg.max_lease_secs)
     }
 
+    /// [`Scheduler::lease_deadline_backed_off`] with deterministic
+    /// per-unit jitter: the lease duration is scaled by a factor in
+    /// `[1 − jitter, 1 + jitter)` drawn from a stateless hash of
+    /// `(lease_jitter_seed, client, unit, prior_expiries)`. Units
+    /// assigned in the same scheduling instant therefore expire spread
+    /// out instead of stampeding `check_timeouts` at once, and the same
+    /// `(seed, client, unit, expiries)` tuple always jitters the same
+    /// way on every backend.
+    pub fn lease_deadline_jittered(
+        &self,
+        client: ClientId,
+        cost_ops: f64,
+        now: f64,
+        prior_expiries: u32,
+        unit: UnitId,
+    ) -> f64 {
+        let nominal = self.lease_deadline_backed_off(client, cost_ops, now, prior_expiries);
+        let frac = self.cfg.lease_jitter_frac;
+        if frac <= 0.0 {
+            return nominal;
+        }
+        let mut h = SplitMix64::new(
+            self.cfg
+                .lease_jitter_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ unit.wrapping_mul(0x1000_0000_01B3)
+                ^ u64::from(prior_expiries).wrapping_mul(0xCBF2_9CE4_8422_2325),
+        );
+        let spread = 1.0 + frac * (2.0 * h.next_f64() - 1.0);
+        let duration = ((nominal - now) * spread).min(self.cfg.max_lease_secs);
+        now + duration
+    }
+
     /// Records a completed unit: `cost_ops` of work observed to take
     /// `elapsed_secs` end-to-end on `client`.
     pub fn record_completion(&mut self, client: ClientId, cost_ops: f64, elapsed_secs: f64) {
@@ -214,6 +277,41 @@ impl Scheduler {
     /// on `active_copies` donors.
     pub fn may_dispatch_redundant(&self, active_copies: u32) -> bool {
         self.cfg.enable_redundant_dispatch && active_copies < self.cfg.max_redundancy
+    }
+
+    /// Captures the adaptive state for the checkpoint log.
+    pub fn snapshot(&self) -> SchedSnapshot {
+        let mut clients: Vec<_> = self
+            .clients
+            .iter()
+            .map(|(&id, st)| {
+                let speed = st.throughput.value().unwrap_or(self.cfg.prior_ops_per_sec);
+                (id, speed, st.units_completed)
+            })
+            .collect();
+        clients.sort_unstable_by_key(|&(id, _, _)| id);
+        SchedSnapshot { clients }
+    }
+
+    /// Replaces the adaptive state with a recovered snapshot. Entries
+    /// with a non-finite or non-positive speed are dropped rather than
+    /// poisoning the estimates (the audit would flag them otherwise).
+    pub fn restore(&mut self, snap: &SchedSnapshot) {
+        self.clients.clear();
+        for &(id, speed, units) in &snap.clients {
+            if !speed.is_finite() || speed <= 0.0 {
+                continue;
+            }
+            let mut throughput = Ewma::new(self.cfg.ewma_alpha);
+            throughput.update(speed);
+            self.clients.insert(
+                id,
+                ClientState {
+                    throughput,
+                    units_completed: units,
+                },
+            );
+        }
     }
 
     /// Audits the scheduler's internal invariants, returning one
@@ -382,6 +480,94 @@ mod tests {
         }
         let d = slow.lease_deadline_backed_off(7, 1e12, 0.0, 6);
         assert!(d <= slow.config().max_lease_secs + 1e-9);
+    }
+
+    #[test]
+    fn lease_jitter_spreads_deadlines_deterministically() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        // Nominal lease for a tiny unit is the 120 s minimum; jittered
+        // deadlines must stay within ±10 % of it and depend on the unit
+        // id, so simultaneous assignments do not expire simultaneously.
+        let nominal = s.lease_deadline_backed_off(0, 1e3, 0.0, 0);
+        let deadlines: Vec<f64> = (0..16)
+            .map(|unit| s.lease_deadline_jittered(0, 1e3, 0.0, 0, unit))
+            .collect();
+        for &d in &deadlines {
+            assert!(
+                (d - nominal).abs() <= 0.1 * nominal + 1e-9,
+                "jittered deadline {d} strayed more than 10 % from {nominal}"
+            );
+        }
+        let distinct: std::collections::HashSet<u64> =
+            deadlines.iter().map(|d| d.to_bits()).collect();
+        assert!(
+            distinct.len() > 8,
+            "jitter must spread same-instant deadlines, got {deadlines:?}"
+        );
+        // Pure function of the inputs: repeated calls agree exactly.
+        for unit in 0..16 {
+            assert_eq!(
+                s.lease_deadline_jittered(0, 1e3, 0.0, 0, unit).to_bits(),
+                deadlines[unit as usize].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn lease_jitter_respects_disable_and_absolute_cap() {
+        let off = Scheduler::new(SchedulerConfig {
+            lease_jitter_frac: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(
+            off.lease_deadline_jittered(3, 1e9, 7.0, 2, 42).to_bits(),
+            off.lease_deadline_backed_off(3, 1e9, 7.0, 2).to_bits(),
+            "zero jitter must reproduce the nominal deadline exactly"
+        );
+        // Even with jitter, no lease may exceed the absolute cap.
+        let s = Scheduler::new(SchedulerConfig {
+            max_lease_secs: 500.0,
+            ..Default::default()
+        });
+        for unit in 0..64 {
+            let d = s.lease_deadline_jittered(0, 1e12, 100.0, 6, unit);
+            assert!(d - 100.0 <= 500.0 + 1e-9, "lease {d} exceeds the cap");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_adaptive_state() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        for _ in 0..10 {
+            s.record_completion(1, 2.0e7, 1.0);
+            s.record_completion(2, 2.0e6, 1.0);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.clients.len(), 2);
+
+        let mut fresh = Scheduler::new(SchedulerConfig::default());
+        fresh.restore(&snap);
+        for c in [1, 2] {
+            assert!(
+                (fresh.estimated_speed(c) - s.estimated_speed(c)).abs()
+                    < 1e-6 * s.estimated_speed(c),
+                "client {c} speed estimate must survive the round trip"
+            );
+            assert_eq!(fresh.units_completed(c), s.units_completed(c));
+        }
+        assert!(fresh.audit().is_empty());
+        // Snapshots are deterministic for identical state.
+        assert_eq!(fresh.snapshot().clients.len(), snap.clients.len());
+
+        // Poisoned entries are dropped, not restored.
+        let mut bad = snap.clone();
+        bad.clients.push((9, f64::NAN, 3));
+        bad.clients.push((10, 0.0, 1));
+        let mut guarded = Scheduler::new(SchedulerConfig::default());
+        guarded.restore(&bad);
+        assert_eq!(guarded.units_completed(9), 0);
+        assert_eq!(guarded.units_completed(10), 0);
+        assert!(guarded.audit().is_empty());
     }
 
     #[test]

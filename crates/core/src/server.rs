@@ -5,13 +5,33 @@
 //! every scheduling behaviour exercised by the experiments is also the
 //! behaviour the correctness tests see.
 
+use crate::codec::WireCodec;
 use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
-use crate::sched::{ClientId, Scheduler, SchedulerConfig};
+use crate::sched::{ClientId, SchedSnapshot, Scheduler, SchedulerConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Identifies a submitted problem.
 pub type ProblemId = usize;
+
+/// Observer of the durable events a crash-recoverable run must replay:
+/// which units the data managers issued (and with what granularity
+/// hint), and which results were folded in. The TCP backend installs a
+/// [`crate::net::CheckpointWriter`] here; the in-process backends leave
+/// it unset and pay nothing.
+///
+/// Events are reported inside the server's own critical section, in
+/// exactly the order the data managers observed them — replaying the
+/// journal against fresh data managers reproduces their state.
+pub trait RunJournal: Send {
+    /// A fresh unit was pulled from `problem`'s data manager with
+    /// granularity hint `hint_ops` (reissues and redundant dispatches
+    /// of an already-issued unit are not reported).
+    fn unit_issued(&mut self, problem: ProblemId, unit: &WorkUnit, hint_ops: f64);
+    /// An accepted (first-copy, checksum-clean) result is about to be
+    /// folded; `encoded` is its codec wire form.
+    fn result_folded(&mut self, problem: ProblemId, unit: UnitId, encoded: &[u8]);
+}
 
 /// The server's answer to a work request.
 pub enum Assignment {
@@ -46,8 +66,14 @@ struct ProblemState {
     dm: Box<dyn crate::problem::DataManager>,
     algorithm: Arc<dyn Algorithm>,
     setup_bytes: u64,
+    codec: Option<Arc<dyn WireCodec>>,
     in_flight: HashMap<UnitId, InFlight>,
     reissue: VecDeque<Arc<WorkUnit>>,
+    // Earliest lease deadline across `in_flight`, so `check_timeouts`
+    // can skip the full scan until the clock actually reaches it. Lease
+    // removals (results, churn, corruption) leave it conservatively
+    // early — the next scan past it finds nothing and recomputes.
+    next_deadline: f64,
     // Times each unit's lease has expired; drives exponential lease
     // backoff so a donor slower than the scheduler's estimate cannot
     // livelock a unit (reissue before its own result arrives, forever).
@@ -85,6 +111,7 @@ pub struct Server {
     // Weighted round-robin cycle over problem ids and the cursor into it.
     cycle: Vec<ProblemId>,
     rotation: usize,
+    journal: Option<Box<dyn RunJournal>>,
 }
 
 impl Server {
@@ -96,7 +123,14 @@ impl Server {
             weights: Vec::new(),
             cycle: Vec::new(),
             rotation: 0,
+            journal: None,
         }
+    }
+
+    /// Installs a durability journal; every subsequent unit issue and
+    /// result fold is reported to it (see [`RunJournal`]).
+    pub fn set_journal(&mut self, journal: Box<dyn RunJournal>) {
+        self.journal = Some(journal);
     }
 
     /// Submits a problem with fair-share weight 1; returns its id.
@@ -122,8 +156,10 @@ impl Server {
             dm: problem.data_manager,
             algorithm: problem.algorithm,
             setup_bytes: problem.setup_bytes,
+            codec: problem.codec,
             in_flight: HashMap::new(),
             reissue: VecDeque::new(),
+            next_deadline: f64::INFINITY,
             reissue_counts: HashMap::new(),
             done: false,
             output: None,
@@ -195,6 +231,29 @@ impl Server {
         &self.sched
     }
 
+    /// The client-side computation of a problem (the TCP backend ships
+    /// it to in-process donor threads; a real deployment would ship
+    /// code, which stays out of scope — DESIGN.md substitution table).
+    pub fn algorithm(&self, id: ProblemId) -> Arc<dyn Algorithm> {
+        self.problems[id].algorithm.clone()
+    }
+
+    /// The payload codec of a problem, if one was registered.
+    pub fn codec(&self, id: ProblemId) -> Option<Arc<dyn WireCodec>> {
+        self.problems[id].codec.clone()
+    }
+
+    /// Earliest lease deadline across every unfinished problem
+    /// (`+inf` when nothing is in flight). The TCP backend's ticker
+    /// uses it to pace timeout sweeps.
+    pub fn earliest_lease_deadline(&self) -> f64 {
+        self.problems
+            .iter()
+            .filter(|p| !p.done)
+            .map(|p| p.next_deadline)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// A client asks for work at time `now`.
     pub fn request_work(&mut self, client: ClientId, now: f64) -> Assignment {
         if self.all_complete() {
@@ -210,7 +269,7 @@ impl Server {
             if self.problems[pid].done {
                 continue;
             }
-            if let Some(unit) = Self::next_unit_for(&mut self.problems[pid], hint) {
+            if let Some(unit) = self.next_unit_for(pid, hint) {
                 self.rotation = (pos + 1) % n;
                 return self.lease_and_assign(pid, unit, client, now, false);
             }
@@ -249,11 +308,17 @@ impl Server {
         Assignment::Wait
     }
 
-    fn next_unit_for(p: &mut ProblemState, hint: f64) -> Option<Arc<WorkUnit>> {
+    fn next_unit_for(&mut self, pid: ProblemId, hint: f64) -> Option<Arc<WorkUnit>> {
+        let p = &mut self.problems[pid];
         if let Some(unit) = p.reissue.pop_front() {
+            // A reissue of an already-journaled unit: not a new issue.
             return Some(unit);
         }
-        p.dm.next_unit(hint).map(Arc::new)
+        let unit = p.dm.next_unit(hint)?;
+        if let Some(j) = self.journal.as_mut() {
+            j.unit_issued(pid, &unit, hint);
+        }
+        Some(Arc::new(unit))
     }
 
     fn lease_and_assign(
@@ -274,10 +339,11 @@ impl Server {
             .get(&unit.id)
             .copied()
             .unwrap_or(0);
-        let deadline = self
-            .sched
-            .lease_deadline_backed_off(client, unit.cost_ops, now, expiries);
+        let deadline =
+            self.sched
+                .lease_deadline_jittered(client, unit.cost_ops, now, expiries, unit.id);
         let p = &mut self.problems[pid];
+        p.next_deadline = p.next_deadline.min(deadline);
         p.stats.assignments += 1;
         if redundant {
             p.stats.redundant_dispatches += 1;
@@ -342,6 +408,18 @@ impl Server {
         // Drop any queued reissue copies of this unit.
         p.reissue.retain(|u| u.id != result.unit_id);
 
+        // Journal the accepted result *before* folding: a crash after
+        // the log write but before the fold replays an action that was
+        // about to happen; a crash during the write leaves a torn tail
+        // the recovery drops, and the unit is simply recomputed.
+        if let Some(j) = self.journal.as_mut() {
+            if let Some(codec) = p.codec.as_ref() {
+                if let Ok(encoded) = codec.encode_result(&result.payload) {
+                    j.result_folded(problem, result.unit_id, &encoded);
+                }
+            }
+        }
+
         p.dm.accept_result(result);
         p.stats.completed_units += 1;
 
@@ -351,6 +429,7 @@ impl Server {
             p.completion_time = Some(now);
             p.in_flight.clear();
             p.reissue.clear();
+            p.next_deadline = f64::INFINITY;
         }
         true
     }
@@ -363,13 +442,24 @@ impl Server {
             if p.done {
                 continue;
             }
+            // Nothing can have expired before the earliest tracked
+            // deadline — skip the full lease scan for this problem.
+            if now < p.next_deadline {
+                continue;
+            }
             let mut expired_units = Vec::new();
+            let mut earliest = f64::INFINITY;
             for (uid, inf) in &mut p.in_flight {
                 inf.leases.retain(|l| l.deadline > now);
                 if inf.leases.is_empty() {
                     expired_units.push(*uid);
+                } else {
+                    for l in &inf.leases {
+                        earliest = earliest.min(l.deadline);
+                    }
                 }
             }
+            p.next_deadline = earliest;
             for uid in expired_units {
                 let inf = p.in_flight.remove(&uid).expect("present");
                 p.reissue.push_back(inf.unit);
@@ -436,6 +526,64 @@ impl Server {
             }
         }
         self.sched.forget_client(client);
+    }
+
+    // ---- crash recovery (driven by `net::checkpoint::recover`) ----
+
+    /// Replays a journaled unit issue against the fresh data manager:
+    /// calls `next_unit(hint_ops)` and checks the manager produced the
+    /// unit the log recorded. `None` means the manager diverged (or had
+    /// nothing to issue) — the caller must treat the rest of the log
+    /// like a torn tail, because subsequent records describe state this
+    /// manager never reached. Not reported to the journal: the record
+    /// driving the replay is already in the log.
+    pub fn replay_issue(
+        &mut self,
+        problem: ProblemId,
+        expected_unit: UnitId,
+        hint_ops: f64,
+    ) -> Option<WorkUnit> {
+        let unit = self.problems[problem].dm.next_unit(hint_ops)?;
+        if unit.id != expected_unit {
+            return None;
+        }
+        Some(unit)
+    }
+
+    /// Replays a journaled result fold: the decoded result goes
+    /// straight into the data manager (no lease bookkeeping — the
+    /// crashed server already did the dedup before journaling).
+    pub fn replay_result(&mut self, problem: ProblemId, result: TaskResult, now: f64) {
+        let p = &mut self.problems[problem];
+        p.dm.accept_result(result);
+        p.stats.completed_units += 1;
+        if p.dm.is_complete() && !p.done {
+            p.done = true;
+            p.output = Some(p.dm.final_output());
+            p.completion_time = Some(now);
+            p.next_deadline = f64::INFINITY;
+        }
+    }
+
+    /// Queues recovered-but-uncompleted units for reassignment (issued
+    /// before the crash, no surviving result record — they must be
+    /// recomputed, never re-pulled from the data manager, which has
+    /// already moved past them).
+    pub fn restore_pending(&mut self, problem: ProblemId, units: Vec<WorkUnit>) {
+        let p = &mut self.problems[problem];
+        for unit in units {
+            p.reissue.push_back(Arc::new(unit));
+        }
+    }
+
+    /// Restores the adaptive scheduler state from a recovered snapshot.
+    pub fn restore_scheduler(&mut self, snap: &SchedSnapshot) {
+        self.sched.restore(snap);
+    }
+
+    /// Captures the adaptive scheduler state for the checkpoint log.
+    pub fn scheduler_snapshot(&self) -> SchedSnapshot {
+        self.sched.snapshot()
     }
 }
 
@@ -805,6 +953,69 @@ mod tests {
         let r = algorithm.compute(&unit);
         assert!(server.submit_result(1, problem, r, now + 1.0));
         assert!(server.all_complete());
+    }
+
+    #[test]
+    fn timeout_scan_tracks_earliest_deadline() {
+        // Satellite: `check_timeouts` must early-exit until the clock
+        // reaches the earliest tracked lease deadline, then recompute
+        // it after each scan. Jitter off so deadlines are exact.
+        let mut server = Server::new(SchedulerConfig {
+            lease_min_secs: 10.0,
+            lease_factor: 1.0,
+            lease_jitter_frac: 0.0,
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(sum_problem(100, 50)); // two units
+        assert_eq!(server.earliest_lease_deadline(), f64::INFINITY);
+        let Assignment::Unit { .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        let Assignment::Unit { .. } = server.request_work(1, 5.0) else {
+            panic!()
+        };
+        // Leases expire at 10 and 15.
+        assert!((server.earliest_lease_deadline() - 10.0).abs() < 1e-9);
+        // Before the earliest deadline the sweep is a no-op (early exit
+        // leaves the tracked deadline untouched).
+        assert_eq!(server.check_timeouts(3.0), 0);
+        assert!((server.earliest_lease_deadline() - 10.0).abs() < 1e-9);
+        // Past the first deadline: one expiry, tracker moves to 15.
+        assert_eq!(server.check_timeouts(12.0), 1);
+        assert!((server.earliest_lease_deadline() - 15.0).abs() < 1e-9);
+        // Past the second: the other lease expires, nothing in flight.
+        assert_eq!(server.check_timeouts(20.0), 1);
+        assert_eq!(server.earliest_lease_deadline(), f64::INFINITY);
+        assert_eq!(server.stats(0).reissued_units, 2);
+    }
+
+    #[test]
+    fn replay_restores_pending_units_and_completes() {
+        // Miniature recovery: issue two units, "crash" having completed
+        // neither, then drive a fresh server through replay_issue +
+        // restore_pending and finish the run.
+        let mut first = Server::new(SchedulerConfig::default());
+        first.submit(sum_problem(100, 50));
+        let hint = first.scheduler().granularity_hint(0);
+        let Assignment::Unit { unit: u0, .. } = first.request_work(0, 0.0) else {
+            panic!()
+        };
+        let Assignment::Unit { unit: u1, .. } = first.request_work(1, 0.0) else {
+            panic!()
+        };
+
+        let mut recovered = Server::new(SchedulerConfig::default());
+        recovered.submit(sum_problem(100, 50));
+        let r0 = recovered.replay_issue(0, u0.id, hint).expect("unit 0");
+        let r1 = recovered.replay_issue(0, u1.id, hint).expect("unit 1");
+        assert_eq!(r0.id, u0.id);
+        // A diverged expectation is reported, not folded blindly.
+        assert!(recovered.replay_issue(0, 999, hint).is_none());
+        recovered.restore_pending(0, vec![r0, r1]);
+        let outputs = drive_to_completion(&mut recovered, &[0, 1]);
+        assert_eq!(outputs, vec![100 * 101 / 2]);
+        assert!(recovered.all_complete());
     }
 
     #[test]

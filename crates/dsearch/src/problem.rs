@@ -12,7 +12,10 @@
 use crate::config::DsearchConfig;
 use biodist_align::{AlignKernel, Hit, PreparedQuery, TopK};
 use biodist_bioseq::Sequence;
-use biodist_core::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
+use biodist_core::{
+    Algorithm, ByteReader, ByteWriter, DataManager, Payload, Problem, TaskResult, UnitId,
+    WireCodec, WireError, WorkUnit,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -197,6 +200,66 @@ impl Algorithm for DsearchAlgo {
     }
 }
 
+/// Wire codec for DSEARCH. A unit is its database index range (the
+/// database itself is pre-staged on donors at setup time, like the
+/// paper's donor-side caching, so only the range crosses per unit); a
+/// result is the chunk's flat hit list.
+struct DsearchCodec;
+
+impl WireCodec for DsearchCodec {
+    fn encode_unit(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
+        let range = payload
+            .downcast_ref::<ChunkRange>()
+            .ok_or_else(|| WireError::new("dsearch unit payload is not a chunk range"))?;
+        let mut w = ByteWriter::new();
+        w.usize(range.start);
+        w.usize(range.end);
+        Ok(w.into_bytes())
+    }
+
+    fn decode_unit(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let (start, end) = (r.usize()?, r.usize()?);
+        r.finish()?;
+        if start > end {
+            return Err(WireError::new(format!(
+                "inverted chunk range {start}..{end}"
+            )));
+        }
+        Ok(Payload::new(ChunkRange { start, end }, bytes.len() as u64))
+    }
+
+    fn encode_result(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
+        let hits = payload
+            .downcast_ref::<Vec<Hit>>()
+            .ok_or_else(|| WireError::new("dsearch result payload is not a hit list"))?;
+        let mut w = ByteWriter::new();
+        w.u32(hits.len() as u32);
+        for hit in hits {
+            w.str(&hit.query_id);
+            w.str(&hit.db_id);
+            w.i32(hit.score);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn decode_result(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+        let mut r = ByteReader::new(bytes);
+        // Each hit is ≥ two length prefixes + a score = 12 bytes.
+        let n = r.count(12)?;
+        let mut hits = Vec::with_capacity(n);
+        for _ in 0..n {
+            hits.push(Hit {
+                query_id: r.str()?,
+                db_id: r.str()?,
+                score: r.i32()?,
+            });
+        }
+        r.finish()?;
+        Ok(Payload::new(hits, bytes.len() as u64))
+    }
+}
+
 /// Builds the DSEARCH [`Problem`] for a database, query set and
 /// configuration.
 pub fn build_problem(
@@ -232,7 +295,9 @@ pub fn build_problem(
         prepared,
         top_hits: config.top_hits,
     };
-    Problem::new("dsearch", Box::new(dm), Arc::new(algo)).with_setup_bytes(setup)
+    Problem::new("dsearch", Box::new(dm), Arc::new(algo))
+        .with_setup_bytes(setup)
+        .with_codec(Arc::new(DsearchCodec))
 }
 
 #[cfg(test)]
@@ -389,6 +454,57 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c), "whole database must be covered");
+    }
+
+    #[test]
+    fn wire_codec_round_trips_units_and_results() {
+        let codec = DsearchCodec;
+        let unit = Payload::new(ChunkRange { start: 3, end: 17 }, 16);
+        let bytes = codec.encode_unit(&unit).unwrap();
+        let back = codec.decode_unit(&bytes).unwrap();
+        let range = back.downcast_ref::<ChunkRange>().unwrap();
+        assert_eq!((range.start, range.end), (3, 17));
+        // An inverted range is rejected, not trusted.
+        let mut w = biodist_core::ByteWriter::new();
+        w.usize(9);
+        w.usize(2);
+        assert!(codec.decode_unit(&w.into_bytes()).is_err());
+
+        let hits = vec![
+            Hit {
+                query_id: "q0".into(),
+                db_id: "db-4".into(),
+                score: 123,
+            },
+            Hit {
+                query_id: "q0".into(),
+                db_id: "db-9".into(),
+                score: -7,
+            },
+        ];
+        let payload = Payload::new(hits.clone(), 96);
+        let bytes = codec.encode_result(&payload).unwrap();
+        let back = codec.decode_result(&bytes).unwrap();
+        assert_eq!(back.downcast_ref::<Vec<Hit>>(), Some(&hits));
+        assert!(codec.decode_result(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn distributed_over_tcp_equals_sequential() {
+        let (db, queries, cfg) = test_inputs();
+        let expected = search_sequential(&db, &queries, &cfg);
+        let mut server = Server::new(small_unit_sched());
+        let pid = server.submit(build_problem(db, queries, &cfg));
+        let (mut server, _) = biodist_core::run_tcp(server, 4);
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
+        assert_eq!(out.hits, expected);
+        assert!(
+            server.stats(pid).completed_units > 1,
+            "search was actually split"
+        );
     }
 
     #[test]

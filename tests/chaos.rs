@@ -17,7 +17,8 @@
 use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
 use biodist::bioseq::{Alphabet, Sequence};
 use biodist::core::{
-    audited, run_threaded_faulty, ChaosOptions, FaultPlan, SchedulerConfig, Server, SimRunner,
+    audited, run_tcp_faulty, run_threaded_faulty, ChaosOptions, FaultKind, FaultPlan,
+    SchedulerConfig, Server, SimRunner,
 };
 use biodist::dprml::{build_problem as dprml_problem, DprmlConfig, PhyloOutput};
 use biodist::dsearch::{
@@ -37,6 +38,11 @@ const SIM_SEEDS: u64 = 100;
 const THREAD_SEEDS: u64 = 12;
 /// Fixed subset the CI chaos smoke runs (`cargo test --test chaos smoke`).
 const SMOKE_SEEDS: [u64; 10] = [3, 7, 11, 19, 23, 31, 42, 57, 73, 91];
+/// Fixed seeds for the real-TCP backend sweep (loopback sockets are
+/// slower per run than threads, so the sweep is narrower but every plan
+/// exercises the full wire: framing, heartbeats, reconnect, proxy
+/// faults). `BIODIST_CHAOS_SEED` narrows this sweep too.
+const TCP_SEEDS: [u64; 8] = [3, 7, 11, 19, 23, 31, 42, 57];
 
 /// Pool size for every chaos run.
 const POOL: usize = 6;
@@ -51,6 +57,13 @@ fn sweep_seeds(n: u64) -> Vec<u64> {
     match std::env::var("BIODIST_CHAOS_SEED") {
         Ok(s) => vec![s.parse().expect("BIODIST_CHAOS_SEED must be a u64")],
         Err(_) => (0..n).collect(),
+    }
+}
+
+fn tcp_seeds() -> Vec<u64> {
+    match std::env::var("BIODIST_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("BIODIST_CHAOS_SEED must be a u64")],
+        Err(_) => TCP_SEEDS.to_vec(),
     }
 }
 
@@ -253,6 +266,65 @@ fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
     }
 }
 
+fn run_dsearch_tcp(w: &DsearchWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(thread_cfg());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "tcp",
+            seed,
+            &plan,
+            "output differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "tcp",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+fn run_dprml_tcp(w: &DprmlWorkload, seed: u64) {
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    let plan = FaultPlan::random(seed, &opts);
+    let mut server = Server::new(thread_cfg());
+    let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+    let out = server.take_output(pid).unwrap().into_inner::<PhyloOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dprml",
+            "tcp",
+            seed,
+            &plan,
+            "tree differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dprml",
+            "tcp",
+            seed,
+            &plan,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
 // ----------------------------------------------------------- full sweeps
 
 #[test]
@@ -284,6 +356,101 @@ fn chaos_dprml_thread_sweep() {
     let w = dprml_workload();
     for seed in sweep_seeds(THREAD_SEEDS) {
         run_dprml_thread(&w, seed);
+    }
+}
+
+// --------------------------------------------------- real-TCP backend sweep
+
+/// Random fault plans against the real-socket backend: every run goes
+/// through loopback TCP, the framed wire protocol, the fault proxy and
+/// the heartbeat/reconnect machinery, and must still reproduce the
+/// sequential digest under audit.
+#[test]
+fn chaos_dsearch_tcp_sweep() {
+    let w = dsearch_workload();
+    for seed in tcp_seeds() {
+        run_dsearch_tcp(&w, seed);
+    }
+}
+
+#[test]
+fn chaos_dprml_tcp_sweep() {
+    let w = dprml_workload();
+    for seed in tcp_seeds() {
+        run_dprml_tcp(&w, seed);
+    }
+}
+
+/// A hand-built plan that guarantees on-the-wire frame corruption: the
+/// proxy flips a checksum byte of each armed client's next result
+/// frame, the server's CRC layer must catch every one, route it to the
+/// reissue path, and the run must still finish bit-identically.
+#[test]
+fn chaos_tcp_forced_frame_corruption() {
+    let w = dsearch_workload();
+    let mut plan = FaultPlan::new(0);
+    for c in 0..POOL {
+        plan.push(0.0, c, FaultKind::CorruptResult);
+    }
+    let mut server = Server::new(thread_cfg());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+    let stats = server.stats(pid);
+    assert!(
+        stats.corrupted_results >= 1,
+        "at least one corrupted frame must be detected: {stats:?}"
+    );
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    assert_eq!(
+        out.digest(),
+        w.reference,
+        "corruption must not leak into results"
+    );
+    audit.verify_run(&server).expect("audit clean");
+}
+
+/// Backend parity across the *transport* seam: the same plan on the
+/// simulator and over real sockets must converge to the identical
+/// digest (scheduling orders differ; the fold must not care).
+#[test]
+fn backend_parity_tcp_same_plan() {
+    let w = dsearch_workload();
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    for seed in [5u64, 17] {
+        let plan = FaultPlan::random(seed, &opts);
+
+        let mut server = Server::new(SchedulerConfig::default());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+            .with_faults(plan.clone())
+            .run();
+        let sim_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        let mut server = Server::new(thread_cfg());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+        let tcp_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        assert_eq!(
+            sim_digest, tcp_digest,
+            "seed {seed}: sim and tcp backends disagree\nplan: {plan:?}"
+        );
+        assert_eq!(
+            tcp_digest, w.reference,
+            "seed {seed}: both differ from reference"
+        );
     }
 }
 

@@ -1,0 +1,278 @@
+//! Crash-recovery over real sockets: kill the TCP server mid-run,
+//! recover it from its checkpoint log, restart it on a fresh port, and
+//! let the *same* donor clients reconnect and finish the job.
+//!
+//! This is the tentpole robustness story end-to-end: the server's
+//! append-only journal (unit issues + folded results + scheduler
+//! snapshots) is the only thing that survives the kill, and the
+//! recovered run must complete without recombining any already-folded
+//! unit — checked by the exactly-once audit — and still reproduce the
+//! fault-free sequential digest.
+
+use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
+use biodist::bioseq::Alphabet;
+use biodist::core::net::{
+    directory, spawn_clients, ClientKit, Clock, NetClientOptions, NetServer, NetServerOptions,
+};
+use biodist::core::{audited, recover, CheckpointWriter, FaultPlan, SchedulerConfig, Server};
+use biodist::dsearch::{build_problem, search_sequential, DsearchConfig, SearchOutput};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const POOL: usize = 4;
+const TIME_SCALE: f64 = 50.0;
+
+fn temp_log(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "biodist-netrec-{tag}-{}-{n}.log",
+        std::process::id()
+    ))
+}
+
+/// One database sequence per unit → ~200 units, so the kill reliably
+/// lands mid-run and the recovered server has real work left.
+fn tiny_unit_cfg() -> SchedulerConfig {
+    SchedulerConfig {
+        target_unit_secs: 1e-9,
+        min_unit_ops: 1.0,
+        lease_min_secs: 0.5,
+        prior_ops_per_sec: 2e10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn kill_tcp_server_mid_run_recover_and_finish() {
+    // Workload + fault-free sequential reference.
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 100, 3)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(200, 80), 4).sequences;
+    let cfg = DsearchConfig::protein_default();
+    let reference = SearchOutput {
+        hits: search_sequential(&db, &queries, &cfg),
+    }
+    .digest();
+
+    let log = temp_log("kill-restart");
+    let clock = Clock::new(TIME_SCALE);
+
+    // ---- first life: journal everything, then die mid-run ----------
+    let mut server = Server::new(tiny_unit_cfg());
+    let pid = server.submit(build_problem(db.clone(), queries.clone(), &cfg));
+    let writer = CheckpointWriter::create(&log).expect("create checkpoint log");
+    server.set_journal(Box::new(writer.clone()));
+    let net = NetServer::start(
+        server,
+        clock,
+        NetServerOptions {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            ..Default::default()
+        },
+    )
+    .expect("bind first server");
+
+    // Clients find the server through the directory; after the restart
+    // the same entry points at the new port and they reconnect.
+    let dir = directory();
+    *dir.lock().unwrap() = Some(net.addr());
+    let run_over = Arc::new(AtomicBool::new(false));
+    let kit = net
+        .with_server(|s| ClientKit::from_server(s).expect("codecs registered"))
+        .expect("server alive");
+    let handles = spawn_clients(
+        dir.clone(),
+        clock,
+        kit,
+        POOL,
+        &FaultPlan::none(),
+        run_over.clone(),
+        NetClientOptions::default(),
+    );
+
+    // Let real progress accumulate, then pull the plug mid-run.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let progress_at_kill = loop {
+        let completed = net
+            .with_server(|s| s.stats(pid).completed_units)
+            .expect("server alive");
+        if completed >= 20 {
+            break completed;
+        }
+        assert!(Instant::now() < deadline, "no progress before kill");
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    let was_complete = net.with_server(|s| s.all_complete()).unwrap();
+    *dir.lock().unwrap() = None; // server gone from the directory
+    net.kill(); // in-memory state dies; only the log survives
+    assert!(!was_complete, "kill must land mid-run");
+
+    // ---- second life: recover from the log, serve on a new port ----
+    let (problem, audit) = audited(build_problem(db, queries, &cfg));
+    let (mut server, report) =
+        recover(tiny_unit_cfg(), vec![problem], &log).expect("recover from checkpoint log");
+    assert!(
+        report.replayed_results >= progress_at_kill,
+        "every completion seen before the kill must replay from the log \
+         ({} replayed, {progress_at_kill} seen)",
+        report.replayed_results
+    );
+    assert!(
+        !server.all_complete(),
+        "recovered server must still have work"
+    );
+    let completed_at_recovery = server.stats(pid).completed_units;
+
+    let writer = CheckpointWriter::append(&log).expect("reopen checkpoint log");
+    server.set_journal(Box::new(writer.clone()));
+    let net = NetServer::start(
+        server,
+        clock,
+        NetServerOptions {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            ..Default::default()
+        },
+    )
+    .expect("bind second server");
+    *dir.lock().unwrap() = Some(net.addr()); // clients reconnect here
+
+    let mut server = net.wait();
+    run_over.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // ---- verdict ----------------------------------------------------
+    let stats = server.stats(pid);
+    assert!(
+        stats.completed_units > completed_at_recovery,
+        "clients must have finished live work after the restart: {stats:?}"
+    );
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    assert_eq!(
+        out.digest(),
+        reference,
+        "recovered run must reproduce the sequential reference exactly"
+    );
+    audit
+        .verify_run(&server)
+        .expect("exactly-once invariants hold across the crash");
+
+    let _ = std::fs::remove_file(&log);
+}
+
+/// The recovered server keeps journaling: kill it a second time and
+/// recover again — checkpointing must compose across generations.
+#[test]
+fn recovery_survives_a_second_crash() {
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 90, 5)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(160, 80), 6).sequences;
+    let cfg = DsearchConfig::protein_default();
+    let reference = SearchOutput {
+        hits: search_sequential(&db, &queries, &cfg),
+    }
+    .digest();
+
+    let log = temp_log("double-crash");
+    let clock = Clock::new(TIME_SCALE);
+    let dir = directory();
+    let run_over = Arc::new(AtomicBool::new(false));
+
+    // Life 1.
+    let mut server = Server::new(tiny_unit_cfg());
+    let pid = server.submit(build_problem(db.clone(), queries.clone(), &cfg));
+    let writer = CheckpointWriter::create(&log).unwrap();
+    server.set_journal(Box::new(writer.clone()));
+    let kit = ClientKit::from_server(&server).unwrap();
+    let net = NetServer::start(
+        server,
+        clock,
+        NetServerOptions {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    *dir.lock().unwrap() = Some(net.addr());
+    let handles = spawn_clients(
+        dir.clone(),
+        clock,
+        kit,
+        POOL,
+        &FaultPlan::none(),
+        run_over.clone(),
+        NetClientOptions::default(),
+    );
+
+    let kill_after = |net: NetServer, threshold: u64| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let completed = net.with_server(|s| s.stats(pid).completed_units).unwrap();
+            if completed >= threshold {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no progress before kill");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        *dir.lock().unwrap() = None;
+        net.kill();
+    };
+    kill_after(net, 10);
+
+    // Life 2: recover, run a bit more, die again.
+    let (problem, _audit) = audited(build_problem(db.clone(), queries.clone(), &cfg));
+    let (mut server, report1) = recover(tiny_unit_cfg(), vec![problem], &log).unwrap();
+    assert!(report1.replayed_results >= 10);
+    let resumed_from = server.stats(pid).completed_units;
+    let writer = CheckpointWriter::append(&log).unwrap();
+    server.set_journal(Box::new(writer.clone()));
+    let net = NetServer::start(
+        server,
+        clock,
+        NetServerOptions {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    *dir.lock().unwrap() = Some(net.addr());
+    kill_after(net, resumed_from + 10);
+
+    // Life 3: recover once more and finish.
+    let (problem, audit) = audited(build_problem(db, queries, &cfg));
+    let (mut server, report2) = recover(tiny_unit_cfg(), vec![problem], &log).unwrap();
+    assert!(
+        report2.replayed_results > report1.replayed_results,
+        "second-generation journal entries must replay too"
+    );
+    let writer = CheckpointWriter::append(&log).unwrap();
+    server.set_journal(Box::new(writer));
+    let net = NetServer::start(server, clock, NetServerOptions::default()).unwrap();
+    *dir.lock().unwrap() = Some(net.addr());
+
+    let mut server = net.wait();
+    run_over.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    assert_eq!(out.digest(), reference);
+    audit
+        .verify_run(&server)
+        .expect("audit clean after two crashes");
+
+    let _ = std::fs::remove_file(&log);
+}
