@@ -1,0 +1,354 @@
+//! Figure-grade run reports from telemetry traces.
+//!
+//! Two modes, designed to chain:
+//!
+//! ```text
+//! # run a seeded DSEARCH (or DPRml) simulation with a JSONL trace sink
+//! cargo run -p biodist-bench --release --bin abl_report -- \
+//!     gen --app dsearch --seed 7 --machines 8 --out results/dsearch.jsonl
+//!
+//! # validate the trace and render the figures' tables into results/
+//! cargo run -p biodist-bench --release --bin abl_report -- \
+//!     report --trace results/dsearch.jsonl
+//! ```
+//!
+//! `gen` runs the workload on the simulator backend, so the trace is
+//! byte-deterministic: the same `--seed` produces the identical file
+//! (CI generates twice and `cmp`s). It prints the metrics-registry
+//! snapshot as JSON on stdout.
+//!
+//! `report` parses the trace (exit 2 on any malformed line or
+//! non-finite timestamp), checks the span-completeness invariant
+//! (exit 3 — every lease must resolve), and writes three tables:
+//!
+//! * `<tag>_timeline.csv` — binned donor-utilization timeline with a
+//!   stage-boundary column: DPRml's refine/insert barriers show up as
+//!   the idle gaps of the paper's Figure 1;
+//! * `<tag>_machines.csv` — per-machine busy time, delivered units and
+//!   utilization;
+//! * `<tag>_speedup.csv` — the effective-speedup summary
+//!   (Σ busy / makespan) of the paper's Figure 2.
+
+use biodist_bench::harness::results_dir;
+use biodist_core::telemetry::EventKind;
+use biodist_core::{SchedulerConfig, Server, SimRunner, Telemetry, TraceEvent};
+use biodist_util::table::Table;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  abl_report gen --app dsearch|dprml [--seed N] [--machines M] --out PATH\n  abl_report report --trace PATH [--bins N] [--tag NAME]"
+    );
+    exit(1);
+}
+
+/// Value of `--name` in `args`, if present.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("report") => report(&args[1..]),
+        _ => usage(),
+    }
+}
+
+// ------------------------------------------------------------- gen mode
+
+fn dsearch_server(seed: u64) -> Server {
+    use biodist_bioseq::synth::{random_sequence, DbSpec, FamilySpec, SyntheticDb};
+    use biodist_bioseq::Alphabet;
+    let query = random_sequence(Alphabet::Protein, "query0", 200, seed);
+    let fam = FamilySpec {
+        copies: 3,
+        substitution_rate: 0.2,
+        indel_rate: 0.02,
+    };
+    let db =
+        SyntheticDb::generate_with_family(&DbSpec::protein_demo(150, 200), &query, &fam, seed + 10);
+    let mut config = biodist_dsearch::DsearchConfig::protein_default();
+    config.cost_scale = 400.0;
+    let mut server = Server::new(SchedulerConfig {
+        target_unit_secs: 10.0,
+        ..Default::default()
+    });
+    server.submit(biodist_dsearch::build_problem(
+        db.sequences,
+        vec![query],
+        &config,
+    ));
+    server
+}
+
+fn dprml_server(seed: u64) -> Server {
+    use biodist_phylo::evolve::{random_yule_tree, simulate_alignment};
+    use biodist_phylo::patterns::PatternAlignment;
+    let truth = random_yule_tree(10, 0.12, seed);
+    let mut config = biodist_dprml::DprmlConfig::default();
+    config.search.candidate_rounds = 1;
+    config.search.refine_rounds = 1;
+    config.search.nni = false;
+    config.search.refine_every = 3;
+    config.cost_scale = 20.0;
+    let model = config.build_model();
+    let seqs = simulate_alignment(&truth, &model, 100, None, seed + 1);
+    let data = std::sync::Arc::new(PatternAlignment::from_sequences(&seqs));
+    let mut server = Server::new(SchedulerConfig {
+        target_unit_secs: 20.0,
+        ..Default::default()
+    });
+    server.submit(biodist_dprml::build_problem(data, &config, None, "dprml-0"));
+    server
+}
+
+fn gen(args: &[String]) {
+    let app = flag(args, "--app").unwrap_or_else(|| usage());
+    let seed: u64 = flag(args, "--seed").map_or(7, |s| s.parse().expect("--seed"));
+    let machines: usize = flag(args, "--machines").map_or(8, |s| s.parse().expect("--machines"));
+    let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| usage()));
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
+
+    let mut server = match app.as_str() {
+        "dsearch" => dsearch_server(seed),
+        "dprml" => dprml_server(seed),
+        other => {
+            eprintln!("unknown app `{other}` (want dsearch or dprml)");
+            exit(1);
+        }
+    };
+    let telemetry = Telemetry::enabled();
+    telemetry.attach_jsonl(&out).expect("create trace file");
+    server.set_telemetry(telemetry.clone());
+
+    let pool = biodist_gridsim::deployments::homogeneous_lab(machines, seed);
+    let (run, mut server) = SimRunner::with_defaults(server, pool).run();
+    server.take_output(0).expect("run must complete");
+    telemetry.flush();
+
+    println!("{}", telemetry.metrics_snapshot().to_json());
+    eprintln!(
+        "gen: {app} seed={seed} machines={machines} makespan={:.1}s units={} trace={}",
+        run.makespan,
+        run.total_units,
+        out.display()
+    );
+}
+
+// ---------------------------------------------------------- report mode
+
+/// One machine's closed busy interval (a lease from issue to
+/// resolution).
+struct BusySpan {
+    client: usize,
+    start: f64,
+    end: f64,
+}
+
+fn report(args: &[String]) {
+    let trace = PathBuf::from(flag(args, "--trace").unwrap_or_else(|| usage()));
+    let bins: usize = flag(args, "--bins").map_or(24, |s| s.parse().expect("--bins"));
+    let tag = flag(args, "--tag").unwrap_or_else(|| {
+        trace
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into())
+    });
+
+    let text = match std::fs::read_to_string(&trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", trace.display());
+            exit(2);
+        }
+    };
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match TraceEvent::from_json_line(line) {
+            Ok(ev) => {
+                if !ev.t.is_finite() || ev.t < 0.0 {
+                    eprintln!("schema violation on line {}: bad timestamp {}", i + 1, ev.t);
+                    exit(2);
+                }
+                events.push(ev);
+            }
+            Err(e) => {
+                eprintln!("schema violation on line {}: {e}", i + 1);
+                exit(2);
+            }
+        }
+    }
+    if events.is_empty() {
+        eprintln!("empty trace: {}", trace.display());
+        exit(2);
+    }
+    if let Err(e) = biodist_core::verify_spans(&events) {
+        eprintln!("span invariant violated: {e}");
+        exit(3);
+    }
+
+    let makespan = events.iter().map(|e| e.t).fold(0.0_f64, f64::max);
+    let (spans, units_by_client, stage_marks, n_machines) = extract_spans(&events);
+
+    // Per-machine table (Figure 2's raw material).
+    let mut busy: BTreeMap<usize, f64> = BTreeMap::new();
+    for s in &spans {
+        *busy.entry(s.client).or_insert(0.0) += s.end - s.start;
+    }
+    let mut machines_table = Table::new(
+        &format!("{tag}: per-machine busy time"),
+        &["client", "busy_s", "units_delivered", "utilization"],
+    );
+    for (&client, &b) in &busy {
+        let units = units_by_client.get(&client).copied().unwrap_or(0);
+        machines_table.push_numeric_row(
+            &[client as f64, b, units as f64, b / makespan.max(1e-12)],
+            3,
+        );
+    }
+
+    // Binned utilization timeline (Figure 1's shape): what fraction of
+    // the pool was computing in each slice, and how many stage
+    // boundaries fell inside it (DPRml barriers = the dips).
+    let width = makespan / bins as f64;
+    let mut timeline = Table::new(
+        &format!("{tag}: utilization timeline ({n_machines} machines)"),
+        &["t_start", "t_end", "busy_fraction", "stage_starts"],
+    );
+    for b in 0..bins {
+        let (lo, hi) = (b as f64 * width, (b + 1) as f64 * width);
+        let overlap: f64 = spans
+            .iter()
+            .map(|s| (s.end.min(hi) - s.start.max(lo)).max(0.0))
+            .sum();
+        let frac = overlap / (width.max(1e-12) * n_machines.max(1) as f64);
+        let stages = stage_marks.iter().filter(|&&t| t >= lo && t < hi).count();
+        timeline.push_numeric_row(&[lo, hi, frac, stages as f64], 3);
+    }
+
+    // Effective speedup: busy machine-seconds per wall second.
+    let total_busy: f64 = busy.values().sum();
+    let eff = total_busy / makespan.max(1e-12);
+    let mut speedup = Table::new(
+        &format!("{tag}: effective speedup"),
+        &[
+            "machines",
+            "makespan_s",
+            "busy_machine_s",
+            "effective_speedup",
+            "efficiency",
+        ],
+    );
+    speedup.push_numeric_row(
+        &[
+            n_machines as f64,
+            makespan,
+            total_busy,
+            eff,
+            eff / n_machines.max(1) as f64,
+        ],
+        3,
+    );
+
+    for (table, suffix) in [
+        (&timeline, "timeline"),
+        (&machines_table, "machines"),
+        (&speedup, "speedup"),
+    ] {
+        println!("{}", table.render_text());
+        let path = results_dir().join(format!("{tag}_{suffix}.csv"));
+        table.write_csv(&path).expect("write results CSV");
+        println!("wrote {}", path.display());
+    }
+    eprintln!(
+        "report: {} events, {} machines, makespan {makespan:.1}s, effective speedup {eff:.2}",
+        events.len(),
+        n_machines
+    );
+}
+
+/// Walks the trace once, closing every lease into a [`BusySpan`]:
+/// a completion of a unit closes *all* of its open leases (redundant
+/// siblings were computing too — that work is the paper's end-game
+/// waste), an expiry/corruption closes that exact lease, a lost client
+/// closes everything it held, and problem completion clears the rest.
+#[allow(clippy::type_complexity)]
+fn extract_spans(events: &[TraceEvent]) -> (Vec<BusySpan>, BTreeMap<usize, u64>, Vec<f64>, usize) {
+    let mut open: BTreeMap<(usize, u64, usize), f64> = BTreeMap::new();
+    let mut spans = Vec::new();
+    let mut units_by_client: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut stage_marks = Vec::new();
+    let mut machines = std::collections::BTreeSet::new();
+    let close = |open: &mut BTreeMap<(usize, u64, usize), f64>,
+                 spans: &mut Vec<BusySpan>,
+                 keep: &dyn Fn(&(usize, u64, usize)) -> bool,
+                 t: f64| {
+        let closing: Vec<_> = open.keys().filter(|k| !keep(k)).cloned().collect();
+        for key in closing {
+            let start = open.remove(&key).expect("present");
+            spans.push(BusySpan {
+                client: key.2,
+                start,
+                end: t,
+            });
+        }
+    };
+    for ev in events {
+        match &ev.kind {
+            EventKind::MachineJoined { client } => {
+                machines.insert(*client);
+            }
+            EventKind::UnitIssued {
+                problem,
+                unit,
+                client,
+                ..
+            } => {
+                machines.insert(*client);
+                open.insert((*problem, *unit, *client), ev.t);
+            }
+            EventKind::UnitCompleted {
+                problem,
+                unit,
+                client,
+                ..
+            } => {
+                *units_by_client.entry(*client).or_insert(0) += 1;
+                let (p, u) = (*problem, *unit);
+                close(&mut open, &mut spans, &|k| !(k.0 == p && k.1 == u), ev.t);
+            }
+            EventKind::LeaseExpired {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ResultCorrupted {
+                problem,
+                unit,
+                client,
+            } => {
+                let key = (*problem, *unit, *client);
+                close(&mut open, &mut spans, &|k| *k != key, ev.t);
+            }
+            EventKind::ClientLost { client } => {
+                let c = *client;
+                close(&mut open, &mut spans, &|k| k.2 != c, ev.t);
+            }
+            EventKind::ProblemCompleted { problem } => {
+                let p = *problem;
+                close(&mut open, &mut spans, &|k| k.0 != p, ev.t);
+            }
+            EventKind::StageStarted { .. } => stage_marks.push(ev.t),
+            _ => {}
+        }
+    }
+    (spans, units_by_client, stage_marks, machines.len())
+}

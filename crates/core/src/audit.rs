@@ -127,6 +127,14 @@ impl DataManager for AuditedDm {
     fn final_output(&mut self) -> Payload {
         self.inner.final_output()
     }
+
+    fn attach_telemetry(
+        &mut self,
+        telemetry: crate::telemetry::Telemetry,
+        problem: crate::server::ProblemId,
+    ) {
+        self.inner.attach_telemetry(telemetry, problem);
+    }
 }
 
 /// Wraps `problem` so every unit issue and result fold is audited.

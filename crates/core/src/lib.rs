@@ -45,6 +45,7 @@ pub mod problem;
 pub mod sched;
 pub mod server;
 pub mod sim_backend;
+pub mod telemetry;
 pub mod thread_backend;
 
 pub use audit::{audited, AuditHandle};
@@ -54,11 +55,15 @@ pub use fault::{
     PlanInterpreter,
 };
 pub use net::{
-    recover, run_tcp, run_tcp_faulty, CheckpointWriter, FaultProxy, NetClientOptions, NetServer,
-    NetServerOptions, RecoveryReport,
+    recover, recover_traced, run_tcp, run_tcp_faulty, CheckpointWriter, FaultProxy,
+    NetClientOptions, NetServer, NetServerOptions, RecoveryReport,
 };
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 pub use sched::{ClientId, SchedSnapshot, SchedulerConfig};
 pub use server::{Assignment, ProblemId, RunJournal, Server};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
+pub use telemetry::{
+    verify_spans, EventKind, Histogram, JsonlSink, MetricsSnapshot, RingHandle, Telemetry,
+    TraceEvent, TraceSink,
+};
 pub use thread_backend::{run_threaded, run_threaded_faulty};

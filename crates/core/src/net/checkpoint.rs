@@ -77,6 +77,7 @@ pub enum LogRecord {
 #[derive(Debug, Clone)]
 pub struct CheckpointWriter {
     file: Arc<Mutex<File>>,
+    telemetry: crate::telemetry::Telemetry,
 }
 
 impl CheckpointWriter {
@@ -85,6 +86,7 @@ impl CheckpointWriter {
         let file = File::create(path)?;
         Ok(Self {
             file: Arc::new(Mutex::new(file)),
+            telemetry: crate::telemetry::Telemetry::disabled(),
         })
     }
 
@@ -94,10 +96,33 @@ impl CheckpointWriter {
         let file = OpenOptions::new().append(true).open(path)?;
         Ok(Self {
             file: Arc::new(Mutex::new(file)),
+            telemetry: crate::telemetry::Telemetry::disabled(),
         })
     }
 
+    /// Attaches a telemetry handle: every appended record becomes a
+    /// `checkpoint_write` trace event (kind `issue` / `result` /
+    /// `sched`) plus a `ckpt.records` counter bump.
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     fn write_record(&self, rtype: u8, body: &[u8]) {
+        if self.telemetry.is_enabled() {
+            let kind = match rtype {
+                REC_ISSUE => "issue",
+                REC_RESULT => "result",
+                _ => "sched",
+            };
+            self.telemetry
+                .emit(crate::telemetry::EventKind::CheckpointWrite {
+                    kind: kind.to_string(),
+                });
+            self.telemetry.counter_add("ckpt.records", 1);
+            self.telemetry
+                .counter_add("ckpt.bytes", body.len() as u64 + 9);
+        }
         let mut framed = Vec::with_capacity(body.len() + 9);
         framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
         framed.push(rtype);
@@ -244,8 +269,21 @@ pub fn recover(
     problems: Vec<Problem>,
     path: &Path,
 ) -> std::io::Result<(Server, RecoveryReport)> {
+    recover_traced(cfg, problems, path, crate::telemetry::Telemetry::disabled())
+}
+
+/// [`recover`] with a telemetry handle installed *before* replay, so the
+/// trace records every `replay_issue` / `replay_result` and ends with a
+/// `recovery_done` summary event.
+pub fn recover_traced(
+    cfg: SchedulerConfig,
+    problems: Vec<Problem>,
+    path: &Path,
+    telemetry: crate::telemetry::Telemetry,
+) -> std::io::Result<(Server, RecoveryReport)> {
     let (records, torn) = read_log(path)?;
     let mut server = Server::new(cfg);
+    server.set_telemetry(telemetry.clone());
     for p in problems {
         server.submit(p);
     }
@@ -320,6 +358,12 @@ pub fn recover(
     if let Some(snap) = snapshot {
         server.restore_scheduler(&snap);
     }
+    telemetry.emit(crate::telemetry::EventKind::RecoveryDone {
+        replayed_issues: report.replayed_issues,
+        replayed_results: report.replayed_results,
+        pending_restored: report.pending_restored,
+        torn_tail: report.torn_tail,
+    });
     Ok((server, report))
 }
 

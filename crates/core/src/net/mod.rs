@@ -29,7 +29,7 @@ pub mod proxy;
 pub mod server;
 pub mod wire;
 
-pub use checkpoint::{recover, CheckpointWriter, LogRecord, RecoveryReport};
+pub use checkpoint::{recover, recover_traced, CheckpointWriter, LogRecord, RecoveryReport};
 pub use client::{spawn_clients, ClientKit, NetClientOptions};
 pub use proxy::FaultProxy;
 pub use server::{NetServer, NetServerOptions};
@@ -110,11 +110,13 @@ pub fn run_tcp_faulty(
 ) -> (Server, f64) {
     assert!(n_clients >= 1, "need at least one client");
     let kit = ClientKit::from_server(&server).expect("TCP backend requires codecs");
+    let telemetry = server.telemetry();
     let clock = Clock::new(time_scale);
     let net = NetServer::start(server, clock, NetServerOptions::default())
         .expect("bind loopback listener");
     let upstream: Directory = Arc::new(Mutex::new(Some(net.addr())));
-    let proxy = FaultProxy::start(upstream, plan, n_clients, clock).expect("bind proxy listener");
+    let proxy = FaultProxy::start_traced(upstream, plan, n_clients, clock, telemetry.clone())
+        .expect("bind proxy listener");
     let client_dir: Directory = Arc::new(Mutex::new(Some(proxy.addr())));
     let run_over = Arc::new(AtomicBool::new(false));
     let handles = spawn_clients(
@@ -132,6 +134,7 @@ pub fn run_tcp_faulty(
         let _ = h.join();
     }
     proxy.stop();
+    telemetry.flush();
     (server, clock.now())
 }
 

@@ -45,6 +45,25 @@ impl FaultProxy {
         n_clients: usize,
         clock: Clock,
     ) -> io::Result<Self> {
+        Self::start_traced(
+            upstream,
+            plan,
+            n_clients,
+            clock,
+            crate::telemetry::Telemetry::disabled(),
+        )
+    }
+
+    /// [`FaultProxy::start`] with a telemetry handle: every injected
+    /// wire fault (drop / duplicate / corrupt) is recorded as a
+    /// `wire_fault` trace event stamped with the proxy clock.
+    pub fn start_traced(
+        upstream: Directory,
+        plan: &FaultPlan,
+        n_clients: usize,
+        clock: Clock,
+        telemetry: crate::telemetry::Telemetry,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -52,7 +71,9 @@ impl FaultProxy {
         let injector = Arc::new(Mutex::new(PlanInterpreter::new(plan, n_clients)));
         let accept_thread = {
             let stop = stop.clone();
-            thread::spawn(move || accept_loop(&listener, &upstream, &injector, clock, &stop))
+            thread::spawn(move || {
+                accept_loop(&listener, &upstream, &injector, clock, &stop, &telemetry)
+            })
         };
         Ok(Self {
             addr,
@@ -79,6 +100,7 @@ fn accept_loop(
     injector: &Arc<Mutex<PlanInterpreter>>,
     clock: Clock,
     stop: &Arc<AtomicBool>,
+    telemetry: &crate::telemetry::Telemetry,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -87,8 +109,9 @@ fn accept_loop(
                 let upstream = upstream.clone();
                 let injector = injector.clone();
                 let stop = stop.clone();
+                let telemetry = telemetry.clone();
                 conns.push(thread::spawn(move || {
-                    proxy_connection(client_side, &upstream, &injector, clock, &stop)
+                    proxy_connection(client_side, &upstream, &injector, clock, &stop, &telemetry)
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -108,6 +131,7 @@ fn proxy_connection(
     injector: &Arc<Mutex<PlanInterpreter>>,
     clock: Clock,
     stop: &Arc<AtomicBool>,
+    telemetry: &crate::telemetry::Telemetry,
 ) {
     // Dial upstream through the directory *now* — after a server
     // restart the directory holds the new address.
@@ -128,7 +152,7 @@ fn proxy_connection(
         let stop = stop.clone();
         thread::spawn(move || raw_pump(s2c_read, s2c_write, &stop))
     };
-    faulted_pump(c2s_read, c2s_write, injector, clock, stop);
+    faulted_pump(c2s_read, c2s_write, injector, clock, stop, telemetry);
     // Sever both directions so the pump unblocks, then reap it.
     let _ = client_side.shutdown(std::net::Shutdown::Both);
     let _ = server_side.shutdown(std::net::Shutdown::Both);
@@ -165,6 +189,7 @@ fn faulted_pump(
     injector: &Arc<Mutex<PlanInterpreter>>,
     clock: Clock,
     stop: &Arc<AtomicBool>,
+    telemetry: &crate::telemetry::Telemetry,
 ) {
     let _ = from.set_read_timeout(Some(Duration::from_millis(5)));
     let mut buf: Vec<u8> = Vec::new();
@@ -200,6 +225,7 @@ fn faulted_pump(
                 break;
             }
             let mut frame: Vec<u8> = buf.drain(..total).collect();
+            let mut faulted_client = 0usize;
             let action = if frame_type == SUBMIT_RESULT_TYPE && body_len >= 8 {
                 // Client id is the first body field (header-validated
                 // span, so this offset is trustworthy).
@@ -208,6 +234,7 @@ fn faulted_pump(
                         .try_into()
                         .expect("8 bytes"),
                 ) as usize;
+                faulted_client = client;
                 injector
                     .lock()
                     .unwrap()
@@ -215,6 +242,22 @@ fn faulted_pump(
             } else {
                 DeliveryAction::Deliver
             };
+            if !matches!(action, DeliveryAction::Deliver) {
+                let name = match action {
+                    DeliveryAction::Drop => "drop",
+                    DeliveryAction::Duplicate => "duplicate",
+                    DeliveryAction::Corrupt => "corrupt",
+                    DeliveryAction::Deliver => unreachable!(),
+                };
+                telemetry.emit_at(
+                    clock.now(),
+                    crate::telemetry::EventKind::WireFault {
+                        client: faulted_client,
+                        action: name.to_string(),
+                    },
+                );
+                telemetry.counter_add("net.wire_faults", 1);
+            }
             // Link degradation: real latency per forwarded frame.
             let link = injector.lock().unwrap().link_scale(clock.now());
             if link > 1.0 {

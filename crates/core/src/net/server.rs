@@ -62,6 +62,9 @@ struct Shared {
     last_seen: Mutex<HashMap<ClientId, f64>>,
     /// Hard stop: handlers and the accept loop exit promptly.
     kill: AtomicBool,
+    /// Cloned off the server at start so wire-level counters and sweep
+    /// events don't need the server lock.
+    telemetry: crate::telemetry::Telemetry,
 }
 
 /// A running TCP server around a [`Server`]. Bind with [`NetServer::start`],
@@ -81,11 +84,13 @@ impl NetServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let telemetry = server.telemetry();
         let shared = Arc::new(Shared {
             server: Mutex::new(Some(server)),
             done: Condvar::new(),
             last_seen: Mutex::new(HashMap::new()),
             kill: AtomicBool::new(false),
+            telemetry,
         });
         let accept_thread = {
             let shared = shared.clone();
@@ -184,12 +189,16 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             return;
         }
         let frame = match reader.poll(&mut stream) {
-            Ok(Some(frame)) => frame,
+            Ok(Some(frame)) => {
+                shared.telemetry.counter_add("net.frames_in", 1);
+                frame
+            }
             Ok(None) => continue, // read timeout: re-check the kill flag
             Err(ReadError::Decode(DecodeError::BodyCrc {
                 frame_type,
                 body_prefix,
             })) => {
+                shared.telemetry.counter_add("net.crc_failures", 1);
                 // A corrupt frame is detected, not fatal: a mangled
                 // result still routes to the reissue path (its id
                 // fields are in the prefix), and the stream already
@@ -307,7 +316,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             | Frame::HeartbeatAck => None,
         };
         if let Some(reply) = reply {
-            if stream.write_all(&encode_frame(&reply)).is_err() {
+            let bytes = encode_frame(&reply);
+            shared.telemetry.counter_add("net.frames_out", 1);
+            shared
+                .telemetry
+                .counter_add("net.bytes_out", bytes.len() as u64);
+            if stream.write_all(&bytes).is_err() {
                 return;
             }
         }
@@ -367,6 +381,12 @@ fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
             }
             stale
         };
+        if !stale.is_empty() {
+            shared.telemetry.emit_at(
+                now,
+                crate::telemetry::EventKind::LivenessSweep { stale: stale.len() },
+            );
+        }
         let mut guard = shared.server.lock().unwrap();
         let Some(server) = guard.as_mut() else { return };
         server.check_timeouts(now);

@@ -12,6 +12,7 @@
 //! table: RMI control messages vs. raw-socket bulk transfers).
 
 use crate::codec::WireCodec;
+use crate::server::ProblemId;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -122,6 +123,16 @@ pub trait DataManager: Send {
     /// Takes the final combined output. Called once, after
     /// [`DataManager::is_complete`] returns true.
     fn final_output(&mut self) -> Payload;
+
+    /// Hands the manager a telemetry handle for its problem, so it can
+    /// record application-level events (DPRml stage boundaries) and
+    /// metrics (DSEARCH chunk sizes). Called by the server when the
+    /// problem is submitted or telemetry is installed later; the
+    /// default implementation ignores it, so existing managers are
+    /// unaffected.
+    fn attach_telemetry(&mut self, telemetry: crate::telemetry::Telemetry, problem: ProblemId) {
+        let _ = (telemetry, problem);
+    }
 }
 
 /// A self-contained distributed computation (paper: the `Problem`

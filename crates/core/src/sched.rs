@@ -265,6 +265,24 @@ impl Scheduler {
         self.clients.remove(&client);
     }
 
+    /// Publishes `client`'s adaptive state as telemetry gauges
+    /// (`sched.ops_per_sec.c<id>`, `sched.units_completed.c<id>`). The
+    /// server calls this after each recorded completion; a disabled
+    /// handle makes it free.
+    pub fn export_client_metrics(&self, client: ClientId, telemetry: &crate::telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.gauge_set(
+            &format!("sched.ops_per_sec.c{client}"),
+            self.estimated_speed(client),
+        );
+        telemetry.gauge_set(
+            &format!("sched.units_completed.c{client}"),
+            self.units_completed(client) as f64,
+        );
+    }
+
     /// Units completed by `client`.
     pub fn units_completed(&self, client: ClientId) -> u64 {
         self.clients

@@ -8,6 +8,7 @@
 use crate::codec::WireCodec;
 use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
 use crate::sched::{ClientId, SchedSnapshot, Scheduler, SchedulerConfig};
+use crate::telemetry::{EventKind, Telemetry, LATENCY_BOUNDS, OPS_BOUNDS};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -112,6 +113,7 @@ pub struct Server {
     cycle: Vec<ProblemId>,
     rotation: usize,
     journal: Option<Box<dyn RunJournal>>,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -124,6 +126,7 @@ impl Server {
             cycle: Vec::new(),
             rotation: 0,
             journal: None,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -131,6 +134,29 @@ impl Server {
     /// result fold is reported to it (see [`RunJournal`]).
     pub fn set_journal(&mut self, journal: Box<dyn RunJournal>) {
         self.journal = Some(journal);
+    }
+
+    /// Installs a telemetry domain: lifecycle events and metrics flow
+    /// into it from every subsequent server call, and the handle is
+    /// propagated to every data manager (already-submitted and future)
+    /// so applications can record their own events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        let tel = self.telemetry.clone();
+        for (pid, p) in self.problems.iter_mut().enumerate() {
+            p.dm.attach_telemetry(tel.clone(), pid);
+            tel.emit(EventKind::ProblemSubmitted {
+                problem: pid,
+                name: p.name.clone(),
+            });
+        }
+    }
+
+    /// The server's telemetry handle (disabled unless
+    /// [`Server::set_telemetry`] installed a live one). Backends clone
+    /// it to stamp their own events.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// Submits a problem with fair-share weight 1; returns its id.
@@ -167,6 +193,14 @@ impl Server {
             stats: ProblemStats::default(),
         });
         self.rebuild_cycle();
+        if self.telemetry.is_enabled() {
+            let tel = self.telemetry.clone();
+            self.problems[id].dm.attach_telemetry(tel.clone(), id);
+            tel.emit(EventKind::ProblemSubmitted {
+                problem: id,
+                name: self.problems[id].name.clone(),
+            });
+        }
         id
     }
 
@@ -256,6 +290,7 @@ impl Server {
 
     /// A client asks for work at time `now`.
     pub fn request_work(&mut self, client: ClientId, now: f64) -> Assignment {
+        self.telemetry.set_now(now);
         if self.all_complete() {
             return Assignment::Finished;
         }
@@ -318,6 +353,13 @@ impl Server {
         if let Some(j) = self.journal.as_mut() {
             j.unit_issued(pid, &unit, hint);
         }
+        self.telemetry.emit(EventKind::UnitCreated {
+            problem: pid,
+            unit: unit.id,
+            cost_ops: unit.cost_ops,
+        });
+        self.telemetry
+            .observe("server.unit_cost_ops", OPS_BOUNDS, unit.cost_ops);
         Some(Arc::new(unit))
     }
 
@@ -342,6 +384,16 @@ impl Server {
         let deadline =
             self.sched
                 .lease_deadline_jittered(client, unit.cost_ops, now, expiries, unit.id);
+        self.telemetry.emit(EventKind::UnitIssued {
+            problem: pid,
+            unit: unit.id,
+            client,
+            redundant,
+        });
+        self.telemetry.counter_add("server.assignments", 1);
+        if redundant {
+            self.telemetry.counter_add("server.redundant_dispatches", 1);
+        }
         let p = &mut self.problems[pid];
         p.next_deadline = p.next_deadline.min(deadline);
         p.stats.assignments += 1;
@@ -376,6 +428,7 @@ impl Server {
         result: TaskResult,
         now: f64,
     ) -> bool {
+        self.telemetry.set_now(now);
         let p = &mut self.problems[problem];
         let inf = match p.in_flight.remove(&result.unit_id) {
             Some(inf) => Some(inf),
@@ -398,13 +451,31 @@ impl Server {
         };
         let Some(inf) = inf else {
             p.stats.wasted_results += 1;
+            self.telemetry.emit(EventKind::ResultWasted {
+                problem,
+                unit: result.unit_id,
+                client,
+            });
+            self.telemetry.counter_add("server.wasted_results", 1);
             return false;
         };
         // Feed the adaptive scheduler with this client's turnaround.
+        let mut latency = 0.0;
         if let Some(lease) = inf.leases.iter().find(|l| l.client == client) {
+            latency = now - lease.assigned_at;
             self.sched
-                .record_completion(client, inf.unit.cost_ops, now - lease.assigned_at);
+                .record_completion(client, inf.unit.cost_ops, latency);
+            self.telemetry
+                .observe("server.unit_latency", LATENCY_BOUNDS, latency);
+            self.sched.export_client_metrics(client, &self.telemetry);
         }
+        self.telemetry.emit(EventKind::UnitCompleted {
+            problem,
+            unit: result.unit_id,
+            client,
+            latency,
+        });
+        self.telemetry.counter_add("server.completed_units", 1);
         // Drop any queued reissue copies of this unit.
         p.reissue.retain(|u| u.id != result.unit_id);
 
@@ -420,9 +491,15 @@ impl Server {
             }
         }
 
+        let unit_id = result.unit_id;
         p.dm.accept_result(result);
         p.stats.completed_units += 1;
+        self.telemetry.emit(EventKind::UnitCombined {
+            problem,
+            unit: unit_id,
+        });
 
+        let p = &mut self.problems[problem];
         if p.dm.is_complete() && !p.done {
             p.done = true;
             p.output = Some(p.dm.final_output());
@@ -430,6 +507,7 @@ impl Server {
             p.in_flight.clear();
             p.reissue.clear();
             p.next_deadline = f64::INFINITY;
+            self.telemetry.emit(EventKind::ProblemCompleted { problem });
         }
         true
     }
@@ -437,8 +515,10 @@ impl Server {
     /// Expires overdue leases; fully expired units are queued for
     /// reissue. Returns the number of units queued.
     pub fn check_timeouts(&mut self, now: f64) -> usize {
+        self.telemetry.set_now(now);
+        let tel = self.telemetry.clone();
         let mut reissued = 0;
-        for p in &mut self.problems {
+        for (pid, p) in self.problems.iter_mut().enumerate() {
             if p.done {
                 continue;
             }
@@ -447,9 +527,13 @@ impl Server {
             if now < p.next_deadline {
                 continue;
             }
+            let mut expired_leases: Vec<(UnitId, ClientId)> = Vec::new();
             let mut expired_units = Vec::new();
             let mut earliest = f64::INFINITY;
             for (uid, inf) in &mut p.in_flight {
+                for l in inf.leases.iter().filter(|l| l.deadline <= now) {
+                    expired_leases.push((*uid, l.client));
+                }
                 inf.leases.retain(|l| l.deadline > now);
                 if inf.leases.is_empty() {
                     expired_units.push(*uid);
@@ -459,7 +543,20 @@ impl Server {
                     }
                 }
             }
+            // Sorted processing: HashMap iteration order varies run to
+            // run, and both the reissue queue order and the trace bytes
+            // must not.
+            expired_leases.sort_unstable();
+            expired_units.sort_unstable();
             p.next_deadline = earliest;
+            for &(uid, client) in &expired_leases {
+                tel.emit(EventKind::LeaseExpired {
+                    problem: pid,
+                    unit: uid,
+                    client,
+                });
+            }
+            tel.counter_add("server.lease_expirations", expired_leases.len() as u64);
             for uid in expired_units {
                 let inf = p.in_flight.remove(&uid).expect("present");
                 p.reissue.push_back(inf.unit);
@@ -467,6 +564,12 @@ impl Server {
                 *n = n.saturating_add(1);
                 p.stats.reissued_units += 1;
                 reissued += 1;
+                tel.emit(EventKind::UnitReissued {
+                    problem: pid,
+                    unit: uid,
+                    reason: "lease_expired".to_string(),
+                });
+                tel.counter_add("server.reissued_units", 1);
             }
         }
         reissued
@@ -483,15 +586,27 @@ impl Server {
         client: ClientId,
         problem: ProblemId,
         unit: UnitId,
-        _now: f64,
+        now: f64,
     ) -> bool {
+        self.telemetry.set_now(now);
         let p = &mut self.problems[problem];
         if p.done {
             return false;
         }
         // Every detected corruption counts, even when another copy of
-        // the unit already landed — the wire was bad either way.
+        // the unit already landed — the wire was bad either way. This is
+        // also the *single* place the canonical `result_corrupted`
+        // telemetry event is emitted: the sim/thread delivery faults and
+        // the TCP frame-CRC and decode failures all route here, so the
+        // trace count and `ProblemStats::corrupted_results` agree across
+        // backends by construction.
         p.stats.corrupted_results += 1;
+        self.telemetry.emit(EventKind::ResultCorrupted {
+            problem,
+            unit,
+            client,
+        });
+        self.telemetry.counter_add("server.corrupted_results", 1);
         let Some(inf) = p.in_flight.get_mut(&unit) else {
             // Already completed by another copy or already queued for
             // reissue; nothing to cancel.
@@ -501,6 +616,11 @@ impl Server {
         if inf.leases.is_empty() {
             let inf = p.in_flight.remove(&unit).expect("present");
             p.reissue.push_back(inf.unit);
+            self.telemetry.emit(EventKind::UnitReissued {
+                problem,
+                unit,
+                reason: "corrupted".to_string(),
+            });
         }
         true
     }
@@ -508,7 +628,9 @@ impl Server {
     /// A client left the pool (churn): its leases are cancelled and any
     /// unit left with no active lease is queued for reissue.
     pub fn client_gone(&mut self, client: ClientId) {
-        for p in &mut self.problems {
+        let tel = self.telemetry.clone();
+        tel.emit(EventKind::ClientLost { client });
+        for (pid, p) in self.problems.iter_mut().enumerate() {
             if p.done {
                 continue;
             }
@@ -519,10 +641,18 @@ impl Server {
                     orphaned.push(*uid);
                 }
             }
+            // Sorted for deterministic reissue order and trace bytes.
+            orphaned.sort_unstable();
             for uid in orphaned {
                 let inf = p.in_flight.remove(&uid).expect("present");
                 p.reissue.push_back(inf.unit);
                 p.stats.reissued_units += 1;
+                tel.emit(EventKind::UnitReissued {
+                    problem: pid,
+                    unit: uid,
+                    reason: "client_lost".to_string(),
+                });
+                tel.counter_add("server.reissued_units", 1);
             }
         }
         self.sched.forget_client(client);
@@ -547,6 +677,10 @@ impl Server {
         if unit.id != expected_unit {
             return None;
         }
+        self.telemetry.emit(EventKind::ReplayIssue {
+            problem,
+            unit: unit.id,
+        });
         Some(unit)
     }
 
@@ -554,14 +688,22 @@ impl Server {
     /// straight into the data manager (no lease bookkeeping — the
     /// crashed server already did the dedup before journaling).
     pub fn replay_result(&mut self, problem: ProblemId, result: TaskResult, now: f64) {
+        self.telemetry.set_now(now);
+        let unit_id = result.unit_id;
         let p = &mut self.problems[problem];
         p.dm.accept_result(result);
         p.stats.completed_units += 1;
+        self.telemetry.emit(EventKind::ReplayResult {
+            problem,
+            unit: unit_id,
+        });
+        let p = &mut self.problems[problem];
         if p.dm.is_complete() && !p.done {
             p.done = true;
             p.output = Some(p.dm.final_output());
             p.completion_time = Some(now);
             p.next_deadline = f64::INFINITY;
+            self.telemetry.emit(EventKind::ProblemCompleted { problem });
         }
     }
 

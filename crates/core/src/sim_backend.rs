@@ -175,6 +175,7 @@ impl SimRunner {
     /// holds problem outputs).
     pub fn run(mut self) -> (RunReport, Server) {
         let n = self.machines.len();
+        let tel = self.server.telemetry();
         let plan = std::mem::replace(&mut self.plan, FaultPlan::none());
         let mut injector = PlanInterpreter::new(&plan, n);
         let mut events: EventQueue<Ev> = EventQueue::new();
@@ -250,6 +251,10 @@ impl SimRunner {
                         continue;
                     }
                     alive[m] = true;
+                    tel.emit_at(
+                        now,
+                        crate::telemetry::EventKind::MachineJoined { client: m },
+                    );
                     // Download algorithm code + problem data for every
                     // submitted problem (again, after a crash reboot),
                     // then start requesting work.
@@ -347,6 +352,13 @@ impl SimRunner {
                             events.schedule(arrives, Ev::RequestArrived(m, e));
                         }
                         DeliveryAction::Drop => {
+                            tel.emit_at(
+                                now,
+                                crate::telemetry::EventKind::FaultInjected {
+                                    client: m,
+                                    action: "drop".to_string(),
+                                },
+                            );
                             // The message vanishes in transit; the lease
                             // must expire to recover the unit. The client
                             // re-polls after its usual interval.
@@ -355,6 +367,13 @@ impl SimRunner {
                             events.schedule(arrives, Ev::RequestArrived(m, e));
                         }
                         DeliveryAction::Duplicate => {
+                            tel.emit_at(
+                                now,
+                                crate::telemetry::EventKind::FaultInjected {
+                                    client: m,
+                                    action: "duplicate".to_string(),
+                                },
+                            );
                             // Retransmission bug: the same result lands
                             // twice; the server must accept exactly one.
                             let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
@@ -366,6 +385,13 @@ impl SimRunner {
                             events.schedule(second, Ev::RequestArrived(m, e));
                         }
                         DeliveryAction::Corrupt => {
+                            tel.emit_at(
+                                now,
+                                crate::telemetry::EventKind::FaultInjected {
+                                    client: m,
+                                    action: "corrupt".to_string(),
+                                },
+                            );
                             // The payload fails the transport checksum;
                             // the server cancels the lease and reissues.
                             let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
@@ -381,6 +407,10 @@ impl SimRunner {
                     if alive[m] {
                         alive[m] = false;
                         epoch[m] += 1;
+                        tel.emit_at(
+                            now,
+                            crate::telemetry::EventKind::MachineDeparted { client: m },
+                        );
                         if self.cfg.announced_departures {
                             self.server.client_gone(m);
                         }
@@ -402,6 +432,13 @@ impl SimRunner {
                     // lease expiry. The machine reboots and rejoins.
                     alive[m] = false;
                     epoch[m] += 1;
+                    tel.emit_at(
+                        now,
+                        crate::telemetry::EventKind::MachineCrashed {
+                            client: m,
+                            down_secs,
+                        },
+                    );
                     // The availability trace is generated forward-only
                     // and a discarded in-flight unit may already have
                     // sampled it past `now`; the reboot cannot rejoin
@@ -449,6 +486,15 @@ impl SimRunner {
                 util_sum += (busy / present).min(1.0);
                 util_n += 1;
             }
+        }
+
+        if tel.is_enabled() {
+            tel.gauge_set("sim.makespan_s", makespan);
+            tel.gauge_set("sim.bytes_transferred", self.network.total_bytes() as f64);
+            for (m, busy) in busy_time.iter().enumerate() {
+                tel.gauge_set(&format!("sim.busy_s.c{m}"), *busy);
+            }
+            tel.flush();
         }
 
         let report = RunReport {

@@ -1,0 +1,290 @@
+//! The metrics half of the telemetry layer: counters, gauges and
+//! fixed-bucket histograms, snapshotted into plain data and serialized
+//! to JSON with no external dependencies.
+//!
+//! Everything is keyed by `&str` names in `BTreeMap`s, so snapshots and
+//! their JSON renderings are deterministic: the same run produces the
+//! same bytes. Histograms use *fixed* bucket bounds supplied at first
+//! observation — two histograms with identical bounds merge
+//! associatively (bucket-wise addition), which is what lets per-shard
+//! registries fold into one (and what the satellite test asserts).
+
+use std::collections::BTreeMap;
+
+/// Bucket bounds for unit latencies, in (scaled/virtual) seconds.
+pub const LATENCY_BOUNDS: &[f64] = &[
+    0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+];
+
+/// Bucket bounds for work-unit cost in abstract ops.
+pub const OPS_BOUNDS: &[f64] = &[1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Bucket bounds for small cardinalities (chunk sizes, queue depths).
+pub const SIZE_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Renders an `f64` as a JSON value (non-finite values become `null`,
+/// since JSON has no representation for them).
+pub(crate) fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `x <=
+/// bounds[i]` (first matching bucket), `counts[bounds.len()]` the
+/// overflow. Merging two histograms with the same bounds is bucket-wise
+/// addition, hence associative and commutative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A fresh histogram over `bounds` (must be sorted, finite, and
+    /// non-empty).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, x: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += x;
+        self.count += 1;
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ — merging histograms over
+    /// different buckets has no meaning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last = overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|&b| fmt_f64(b)).collect();
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+            bounds.join(","),
+            counts.join(","),
+            fmt_f64(self.sum),
+            self.count
+        )
+    }
+}
+
+/// The live registry: owned by the telemetry handle, mutated through
+/// it, and read via [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `v` to counter `name` (created at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `x` into histogram `name`, creating it over `bounds` on
+    /// first use (later calls must pass the same bounds).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], x: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(x);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, detached from any locking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic JSON rendering (BTreeMap order = sorted by name).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", super::trace::json_string(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{}:{}", super::trace::json_string(k), fmt_f64(*v)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| format!("{}:{}", super::trace::json_string(k), h.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 55.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let bounds = [1.0, 2.0, 4.0];
+        let mk = |xs: &[f64]| {
+            let mut h = Histogram::new(&bounds);
+            for &x in xs {
+                h.observe(x);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[0.5, 3.0]), mk(&[1.5, 9.0]), mk(&[2.5]));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "commutativity");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_to_stable_json() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("b.count", 2);
+        r.counter_add("a.count", 1);
+        r.gauge_set("speed", 1.5);
+        r.observe("lat", &[1.0], 0.5);
+        let j1 = r.snapshot().to_json();
+        let j2 = r.snapshot().to_json();
+        assert_eq!(j1, j2, "deterministic rendering");
+        // Sorted key order, regardless of insertion order.
+        assert!(j1.find("\"a.count\"").unwrap() < j1.find("\"b.count\"").unwrap());
+        assert!(j1.contains("\"sum\":0.5"));
+    }
+}

@@ -1,0 +1,1062 @@
+//! The trace half of the telemetry layer: work-unit lifecycle and
+//! server-side events, the [`TraceSink`] trait, and the two built-in
+//! sinks (in-memory ring buffer, JSONL file).
+//!
+//! Every event serializes to one flat JSON object per line with a fixed
+//! field order, so a trace written on the simulator backend (virtual
+//! clock) is *byte-deterministic*: the same `FaultPlan` and seed yield
+//! the identical file, diffable across code changes. Events also parse
+//! back ([`TraceEvent::from_json_line`]), which is what the report tool
+//! and the span-completeness checker run on.
+
+use crate::problem::UnitId;
+use crate::sched::ClientId;
+use crate::server::ProblemId;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt::Write as _;
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex};
+
+use super::metrics::fmt_f64;
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What happened. Field order here is the serialized field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A problem entered the server.
+    ProblemSubmitted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Human-readable problem name.
+        name: String,
+    },
+    /// A problem's final output is assembled.
+    ProblemCompleted {
+        /// Problem id.
+        problem: ProblemId,
+    },
+    /// The data manager produced a fresh unit.
+    UnitCreated {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// Modelled cost in abstract ops.
+        cost_ops: f64,
+    },
+    /// A unit was leased to a client (`issued(machine)` in the paper's
+    /// lifecycle).
+    UnitIssued {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client the lease went to.
+        client: ClientId,
+        /// Whether this was an end-game redundant dispatch.
+        redundant: bool,
+    },
+    /// A result was accepted and will be folded.
+    UnitCompleted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client that delivered it.
+        client: ClientId,
+        /// Lease-to-delivery latency in backend seconds (0 when the
+        /// deliverer held no live lease — a rescued straggler result).
+        latency: f64,
+    },
+    /// The accepted result was folded into the data manager
+    /// (`combined`).
+    UnitCombined {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+    },
+    /// A duplicate / late result arrived for an already-complete unit.
+    ResultWasted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client that delivered it.
+        client: ClientId,
+    },
+    /// The transport detected a corrupted result. This is the single
+    /// canonical corruption event: every route (sim/thread delivery
+    /// faults, TCP frame-CRC failure, TCP payload decode failure) funnels
+    /// through [`crate::Server::result_corrupted`], which emits it.
+    ResultCorrupted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client whose result was mangled.
+        client: ClientId,
+    },
+    /// A lease passed its deadline without a result.
+    LeaseExpired {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client that held the lease.
+        client: ClientId,
+    },
+    /// A unit went back on the reissue queue.
+    UnitReissued {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// Why: `lease_expired`, `corrupted` or `client_lost`.
+        reason: String,
+    },
+    /// The server declared a client gone (goodbye or liveness sweep).
+    ClientLost {
+        /// The departed client.
+        client: ClientId,
+    },
+    /// A donor machine joined the pool.
+    MachineJoined {
+        /// The client id it will use.
+        client: ClientId,
+    },
+    /// A donor machine departed permanently.
+    MachineDeparted {
+        /// The departing client.
+        client: ClientId,
+    },
+    /// A donor machine crashed (it will rejoin after `down_secs`).
+    MachineCrashed {
+        /// The crashing client.
+        client: ClientId,
+        /// How long it stays down.
+        down_secs: f64,
+    },
+    /// A backend applied a delivery fault to a finished result
+    /// (`drop`, `duplicate` or `corrupt`) before it reached the server.
+    FaultInjected {
+        /// The affected client.
+        client: ClientId,
+        /// The delivery action applied.
+        action: String,
+    },
+    /// The TCP fault proxy mutated real bytes on the wire (`drop`,
+    /// `duplicate` or `corrupt`).
+    WireFault {
+        /// The affected client.
+        client: ClientId,
+        /// The delivery action applied.
+        action: String,
+    },
+    /// The TCP server's liveness sweep reclaimed silent clients.
+    LivenessSweep {
+        /// Number of clients declared gone by this sweep.
+        stale: usize,
+    },
+    /// A record was appended to the checkpoint log (`issue`, `result`
+    /// or `sched`).
+    CheckpointWrite {
+        /// The record type.
+        kind: String,
+    },
+    /// Recovery replayed an issue record against a fresh data manager.
+    ReplayIssue {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+    },
+    /// Recovery re-folded a logged result.
+    ReplayResult {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+    },
+    /// Recovery finished rebuilding a server from a checkpoint log.
+    RecoveryDone {
+        /// Issue records replayed.
+        replayed_issues: u64,
+        /// Result records re-folded.
+        replayed_results: u64,
+        /// Units restored to the pending queue.
+        pending_restored: u64,
+        /// Whether a torn tail cut the log short.
+        torn_tail: bool,
+    },
+    /// An application data manager crossed a stage boundary (DPRml's
+    /// refine / insert / NNI barriers — the idle gaps in Figure 1).
+    StageStarted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Stage name.
+        stage: String,
+    },
+}
+
+impl EventKind {
+    /// The `ev` field value.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ProblemSubmitted { .. } => "problem_submitted",
+            EventKind::ProblemCompleted { .. } => "problem_completed",
+            EventKind::UnitCreated { .. } => "unit_created",
+            EventKind::UnitIssued { .. } => "unit_issued",
+            EventKind::UnitCompleted { .. } => "unit_completed",
+            EventKind::UnitCombined { .. } => "unit_combined",
+            EventKind::ResultWasted { .. } => "result_wasted",
+            EventKind::ResultCorrupted { .. } => "result_corrupted",
+            EventKind::LeaseExpired { .. } => "lease_expired",
+            EventKind::UnitReissued { .. } => "unit_reissued",
+            EventKind::ClientLost { .. } => "client_lost",
+            EventKind::MachineJoined { .. } => "machine_joined",
+            EventKind::MachineDeparted { .. } => "machine_departed",
+            EventKind::MachineCrashed { .. } => "machine_crashed",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::WireFault { .. } => "wire_fault",
+            EventKind::LivenessSweep { .. } => "liveness_sweep",
+            EventKind::CheckpointWrite { .. } => "checkpoint_write",
+            EventKind::ReplayIssue { .. } => "replay_issue",
+            EventKind::ReplayResult { .. } => "replay_result",
+            EventKind::RecoveryDone { .. } => "recovery_done",
+            EventKind::StageStarted { .. } => "stage_started",
+        }
+    }
+
+    fn write_fields(&self, s: &mut String) {
+        let u = |s: &mut String, k: &str, v: u64| {
+            let _ = write!(s, ",\"{k}\":{v}");
+        };
+        let f = |s: &mut String, k: &str, v: f64| {
+            let _ = write!(s, ",\"{k}\":{}", fmt_f64(v));
+        };
+        let b = |s: &mut String, k: &str, v: bool| {
+            let _ = write!(s, ",\"{k}\":{v}");
+        };
+        let t = |s: &mut String, k: &str, v: &str| {
+            let _ = write!(s, ",\"{k}\":{}", json_string(v));
+        };
+        match self {
+            EventKind::ProblemSubmitted { problem, name } => {
+                u(s, "problem", *problem as u64);
+                t(s, "name", name);
+            }
+            EventKind::ProblemCompleted { problem } => u(s, "problem", *problem as u64),
+            EventKind::UnitCreated {
+                problem,
+                unit,
+                cost_ops,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                f(s, "cost_ops", *cost_ops);
+            }
+            EventKind::UnitIssued {
+                problem,
+                unit,
+                client,
+                redundant,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                u(s, "client", *client as u64);
+                b(s, "redundant", *redundant);
+            }
+            EventKind::UnitCompleted {
+                problem,
+                unit,
+                client,
+                latency,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                u(s, "client", *client as u64);
+                f(s, "latency", *latency);
+            }
+            EventKind::UnitCombined { problem, unit } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+            }
+            EventKind::ResultWasted {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ResultCorrupted {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::LeaseExpired {
+                problem,
+                unit,
+                client,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                u(s, "client", *client as u64);
+            }
+            EventKind::UnitReissued {
+                problem,
+                unit,
+                reason,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                t(s, "reason", reason);
+            }
+            EventKind::ClientLost { client }
+            | EventKind::MachineJoined { client }
+            | EventKind::MachineDeparted { client } => u(s, "client", *client as u64),
+            EventKind::MachineCrashed { client, down_secs } => {
+                u(s, "client", *client as u64);
+                f(s, "down_secs", *down_secs);
+            }
+            EventKind::FaultInjected { client, action }
+            | EventKind::WireFault { client, action } => {
+                u(s, "client", *client as u64);
+                t(s, "action", action);
+            }
+            EventKind::LivenessSweep { stale } => u(s, "stale", *stale as u64),
+            EventKind::CheckpointWrite { kind } => t(s, "kind", kind),
+            EventKind::ReplayIssue { problem, unit }
+            | EventKind::ReplayResult { problem, unit } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+            }
+            EventKind::RecoveryDone {
+                replayed_issues,
+                replayed_results,
+                pending_restored,
+                torn_tail,
+            } => {
+                u(s, "replayed_issues", *replayed_issues);
+                u(s, "replayed_results", *replayed_results);
+                u(s, "pending_restored", *pending_restored);
+                b(s, "torn_tail", *torn_tail);
+            }
+            EventKind::StageStarted { problem, stage } => {
+                u(s, "problem", *problem as u64);
+                t(s, "stage", stage);
+            }
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Backend time: virtual seconds on the simulator, scaled wall
+    /// seconds on the thread/TCP backends.
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Serializes to one flat JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"ev\":\"{}\"",
+            fmt_f64(self.t),
+            self.kind.name()
+        );
+        self.kind.write_fields(&mut s);
+        s.push('}');
+        s
+    }
+
+    /// Parses a line produced by [`TraceEvent::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_object(line)?;
+        let num = |k: &str| -> Result<f64, String> {
+            match fields.iter().find(|(n, _)| n == k) {
+                Some((_, JsonVal::Num(x))) => Ok(*x),
+                _ => Err(format!("missing numeric field `{k}` in {line}")),
+            }
+        };
+        let uint = |k: &str| -> Result<u64, String> { num(k).map(|x| x as u64) };
+        let boolean = |k: &str| -> Result<bool, String> {
+            match fields.iter().find(|(n, _)| n == k) {
+                Some((_, JsonVal::Bool(b))) => Ok(*b),
+                _ => Err(format!("missing boolean field `{k}` in {line}")),
+            }
+        };
+        let text = |k: &str| -> Result<String, String> {
+            match fields.iter().find(|(n, _)| n == k) {
+                Some((_, JsonVal::Str(v))) => Ok(v.clone()),
+                _ => Err(format!("missing string field `{k}` in {line}")),
+            }
+        };
+        let t = num("t")?;
+        let ev = text("ev")?;
+        let kind = match ev.as_str() {
+            "problem_submitted" => EventKind::ProblemSubmitted {
+                problem: uint("problem")? as ProblemId,
+                name: text("name")?,
+            },
+            "problem_completed" => EventKind::ProblemCompleted {
+                problem: uint("problem")? as ProblemId,
+            },
+            "unit_created" => EventKind::UnitCreated {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                cost_ops: num("cost_ops")?,
+            },
+            "unit_issued" => EventKind::UnitIssued {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+                redundant: boolean("redundant")?,
+            },
+            "unit_completed" => EventKind::UnitCompleted {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+                latency: num("latency")?,
+            },
+            "unit_combined" => EventKind::UnitCombined {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+            },
+            "result_wasted" => EventKind::ResultWasted {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "result_corrupted" => EventKind::ResultCorrupted {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "lease_expired" => EventKind::LeaseExpired {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "unit_reissued" => EventKind::UnitReissued {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                reason: text("reason")?,
+            },
+            "client_lost" => EventKind::ClientLost {
+                client: uint("client")? as ClientId,
+            },
+            "machine_joined" => EventKind::MachineJoined {
+                client: uint("client")? as ClientId,
+            },
+            "machine_departed" => EventKind::MachineDeparted {
+                client: uint("client")? as ClientId,
+            },
+            "machine_crashed" => EventKind::MachineCrashed {
+                client: uint("client")? as ClientId,
+                down_secs: num("down_secs")?,
+            },
+            "fault_injected" => EventKind::FaultInjected {
+                client: uint("client")? as ClientId,
+                action: text("action")?,
+            },
+            "wire_fault" => EventKind::WireFault {
+                client: uint("client")? as ClientId,
+                action: text("action")?,
+            },
+            "liveness_sweep" => EventKind::LivenessSweep {
+                stale: uint("stale")? as usize,
+            },
+            "checkpoint_write" => EventKind::CheckpointWrite {
+                kind: text("kind")?,
+            },
+            "replay_issue" => EventKind::ReplayIssue {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+            },
+            "replay_result" => EventKind::ReplayResult {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+            },
+            "recovery_done" => EventKind::RecoveryDone {
+                replayed_issues: uint("replayed_issues")?,
+                replayed_results: uint("replayed_results")?,
+                pending_restored: uint("pending_restored")?,
+                torn_tail: boolean("torn_tail")?,
+            },
+            "stage_started" => EventKind::StageStarted {
+                problem: uint("problem")? as ProblemId,
+                stage: text("stage")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        };
+        Ok(Self { t, kind })
+    }
+}
+
+// ------------------------------------------------ flat JSON parsing
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Parses one flat (non-nested) JSON object into ordered key/value
+/// pairs. Only the subset this module emits is accepted.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let bytes: Vec<char> = line.trim().chars().collect();
+    let mut i = 0usize;
+    let err = |msg: &str, i: usize| format!("{msg} at char {i}: {line}");
+    let skip_ws = |bytes: &[char], i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    fn parse_string(bytes: &[char], i: &mut usize) -> Result<String, String> {
+        if bytes.get(*i) != Some(&'"') {
+            return Err("expected string".into());
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = bytes.get(*i) {
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = bytes.get(*i).copied().ok_or("truncated escape")?;
+                    *i += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            if *i + 4 > bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex: String = bytes[*i..*i + 4].iter().collect();
+                            *i += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u: {e}"))?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+    skip_ws(&bytes, &mut i);
+    if bytes.get(i) != Some(&'{') {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&bytes, &mut i);
+        if bytes.get(i) == Some(&'}') {
+            i += 1;
+            break;
+        }
+        let key = parse_string(&bytes, &mut i).map_err(|e| err(&e, i))?;
+        skip_ws(&bytes, &mut i);
+        if bytes.get(i) != Some(&':') {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        skip_ws(&bytes, &mut i);
+        let val = match bytes.get(i) {
+            Some(&'"') => JsonVal::Str(parse_string(&bytes, &mut i).map_err(|e| err(&e, i))?),
+            Some(&'t') if bytes[i..].starts_with(&['t', 'r', 'u', 'e']) => {
+                i += 4;
+                JsonVal::Bool(true)
+            }
+            Some(&'f') if bytes[i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+                i += 5;
+                JsonVal::Bool(false)
+            }
+            Some(&'n') if bytes[i..].starts_with(&['n', 'u', 'l', 'l']) => {
+                i += 4;
+                JsonVal::Num(f64::NAN)
+            }
+            Some(_) => {
+                let start = i;
+                while i < bytes.len() && !matches!(bytes[i], ',' | '}') && !bytes[i].is_whitespace()
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                JsonVal::Num(
+                    text.parse::<f64>()
+                        .map_err(|e| err(&format!("bad number `{text}`: {e}"), start))?,
+                )
+            }
+            None => return Err(err("truncated object", i)),
+        };
+        fields.push((key, val));
+        skip_ws(&bytes, &mut i);
+        match bytes.get(i) {
+            Some(&',') => i += 1,
+            Some(&'}') => {}
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+    skip_ws(&bytes, &mut i);
+    if i != bytes.len() {
+        return Err(err("trailing garbage", i));
+    }
+    Ok(fields)
+}
+
+// ----------------------------------------------------------- sinks
+
+/// Where trace events go. Implementations must be cheap: the emitting
+/// thread holds the telemetry lock for the duration of `record`.
+pub trait TraceSink: Send {
+    /// Consumes one event.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Flushes any buffered output (e.g. at end of run).
+    fn flush(&mut self) {}
+}
+
+/// Read side of a [`RingSink`]: a bounded in-memory buffer of the most
+/// recent events.
+#[derive(Clone)]
+pub struct RingHandle {
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl RingHandle {
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring lock").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory.
+pub struct RingSink {
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring of the given capacity plus its read handle.
+    pub fn new(capacity: usize) -> (Self, RingHandle) {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let buf = Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(1024))));
+        (
+            Self {
+                buf: buf.clone(),
+                capacity,
+            },
+            RingHandle { buf },
+        )
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(ev.clone());
+    }
+}
+
+/// Writes one JSON object per line to a file, buffered.
+pub struct JsonlSink {
+    out: BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let _ = self.out.write_all(ev.to_json_line().as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+// ------------------------------------------- span-completeness check
+
+/// Verifies the span-completeness invariant over a whole-run trace:
+/// every `unit_issued` lease is eventually resolved — by a completion
+/// of the unit (any deliverer; completion cancels sibling redundant
+/// leases), a `lease_expired` / `result_corrupted` for that exact
+/// lease, the loss of the client, or the completion of the whole
+/// problem (which clears its in-flight table) — and no unit completes
+/// without ever having been issued (or replayed from a checkpoint).
+pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
+    let mut open: BTreeSet<(ProblemId, UnitId, ClientId)> = BTreeSet::new();
+    let mut ever_issued: BTreeSet<(ProblemId, UnitId)> = BTreeSet::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::UnitIssued {
+                problem,
+                unit,
+                client,
+                ..
+            } => {
+                open.insert((*problem, *unit, *client));
+                ever_issued.insert((*problem, *unit));
+            }
+            EventKind::ReplayIssue { problem, unit } => {
+                ever_issued.insert((*problem, *unit));
+            }
+            EventKind::UnitCompleted { problem, unit, .. } => {
+                if !ever_issued.contains(&(*problem, *unit)) {
+                    return Err(format!(
+                        "unit {unit} of problem {problem} completed at t={} without ever being issued",
+                        ev.t
+                    ));
+                }
+                open.retain(|&(p, u, _)| !(p == *problem && u == *unit));
+            }
+            EventKind::LeaseExpired {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ResultCorrupted {
+                problem,
+                unit,
+                client,
+            } => {
+                open.remove(&(*problem, *unit, *client));
+            }
+            EventKind::ClientLost { client } => {
+                open.retain(|&(_, _, c)| c != *client);
+            }
+            EventKind::ProblemCompleted { problem } => {
+                open.retain(|&(p, _, _)| p != *problem);
+            }
+            _ => {}
+        }
+    }
+    if open.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unresolved leases at end of trace: {open:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent { t, kind }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let events = vec![
+            ev(
+                0.0,
+                EventKind::ProblemSubmitted {
+                    problem: 0,
+                    name: "dsearch \"x\"\n".into(),
+                },
+            ),
+            ev(
+                1.5,
+                EventKind::UnitCreated {
+                    problem: 0,
+                    unit: 1,
+                    cost_ops: 1.5e7,
+                },
+            ),
+            ev(
+                1.5,
+                EventKind::UnitIssued {
+                    problem: 0,
+                    unit: 1,
+                    client: 2,
+                    redundant: false,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::UnitCompleted {
+                    problem: 0,
+                    unit: 1,
+                    client: 2,
+                    latency: 0.5,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::UnitCombined {
+                    problem: 0,
+                    unit: 1,
+                },
+            ),
+            ev(
+                2.5,
+                EventKind::ResultWasted {
+                    problem: 0,
+                    unit: 1,
+                    client: 3,
+                },
+            ),
+            ev(
+                3.0,
+                EventKind::ResultCorrupted {
+                    problem: 0,
+                    unit: 2,
+                    client: 1,
+                },
+            ),
+            ev(
+                4.0,
+                EventKind::LeaseExpired {
+                    problem: 0,
+                    unit: 3,
+                    client: 0,
+                },
+            ),
+            ev(
+                4.0,
+                EventKind::UnitReissued {
+                    problem: 0,
+                    unit: 3,
+                    reason: "lease_expired".into(),
+                },
+            ),
+            ev(5.0, EventKind::ClientLost { client: 4 }),
+            ev(0.0, EventKind::MachineJoined { client: 0 }),
+            ev(9.0, EventKind::MachineDeparted { client: 5 }),
+            ev(
+                9.5,
+                EventKind::MachineCrashed {
+                    client: 1,
+                    down_secs: 12.5,
+                },
+            ),
+            ev(
+                10.0,
+                EventKind::FaultInjected {
+                    client: 1,
+                    action: "drop".into(),
+                },
+            ),
+            ev(
+                10.5,
+                EventKind::WireFault {
+                    client: 2,
+                    action: "corrupt".into(),
+                },
+            ),
+            ev(11.0, EventKind::LivenessSweep { stale: 2 }),
+            ev(
+                11.5,
+                EventKind::CheckpointWrite {
+                    kind: "result".into(),
+                },
+            ),
+            ev(
+                12.0,
+                EventKind::ReplayIssue {
+                    problem: 0,
+                    unit: 7,
+                },
+            ),
+            ev(
+                12.5,
+                EventKind::ReplayResult {
+                    problem: 0,
+                    unit: 7,
+                },
+            ),
+            ev(
+                13.0,
+                EventKind::RecoveryDone {
+                    replayed_issues: 3,
+                    replayed_results: 2,
+                    pending_restored: 1,
+                    torn_tail: true,
+                },
+            ),
+            ev(
+                14.0,
+                EventKind::StageStarted {
+                    problem: 0,
+                    stage: "insert:taxon 3".into(),
+                },
+            ),
+            ev(20.0, EventKind::ProblemCompleted { problem: 0 }),
+        ];
+        for e in events {
+            let line = e.to_json_line();
+            let back = TraceEvent::from_json_line(&line)
+                .unwrap_or_else(|err| panic!("parse failed for {line}: {err}"));
+            assert_eq!(back, e, "round trip for {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            "{\"t\":1.0}",
+            "{\"t\":1.0,\"ev\":\"no_such_event\"}",
+            "{\"t\":1.0,\"ev\":\"unit_combined\"}",
+            "{\"t\":abc,\"ev\":\"client_lost\",\"client\":0}",
+        ] {
+            assert!(TraceEvent::from_json_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events() {
+        let (mut sink, handle) = RingSink::new(2);
+        for i in 0..4 {
+            sink.record(&ev(i as f64, EventKind::ClientLost { client: i }));
+        }
+        let got = handle.events();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].t, 2.0);
+        assert_eq!(got[1].t, 3.0);
+    }
+
+    #[test]
+    fn span_checker_accepts_resolved_and_rejects_dangling() {
+        let ok = vec![
+            ev(
+                0.0,
+                EventKind::UnitIssued {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                    redundant: false,
+                },
+            ),
+            ev(
+                1.0,
+                EventKind::UnitIssued {
+                    problem: 0,
+                    unit: 1,
+                    client: 2,
+                    redundant: true,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::UnitCompleted {
+                    problem: 0,
+                    unit: 1,
+                    client: 2,
+                    latency: 1.0,
+                },
+            ),
+        ];
+        verify_spans(&ok).expect("completion resolves sibling redundant lease");
+
+        let dangling = vec![ev(
+            0.0,
+            EventKind::UnitIssued {
+                problem: 0,
+                unit: 1,
+                client: 0,
+                redundant: false,
+            },
+        )];
+        assert!(verify_spans(&dangling).is_err(), "open lease must fail");
+
+        let orphan = vec![ev(
+            0.0,
+            EventKind::UnitCompleted {
+                problem: 0,
+                unit: 9,
+                client: 0,
+                latency: 0.0,
+            },
+        )];
+        assert!(
+            verify_spans(&orphan).is_err(),
+            "completion without issue must fail"
+        );
+    }
+
+    #[test]
+    fn problem_completion_clears_its_leases() {
+        let trace = vec![
+            ev(
+                0.0,
+                EventKind::UnitIssued {
+                    problem: 1,
+                    unit: 5,
+                    client: 0,
+                    redundant: false,
+                },
+            ),
+            ev(3.0, EventKind::ProblemCompleted { problem: 1 }),
+        ];
+        verify_spans(&trace).expect("problem completion resolves leases");
+    }
+}

@@ -56,6 +56,7 @@ pub fn run_threaded_faulty(
         time_scale.is_finite() && time_scale > 0.0,
         "time scale must be finite and positive"
     );
+    let tel = server.telemetry();
     let shared = Mutex::new(server);
     let progress = Condvar::new();
     let injector = Mutex::new(PlanInterpreter::new(plan, n_workers));
@@ -65,6 +66,7 @@ pub fn run_threaded_faulty(
     std::thread::scope(|scope| {
         for worker in 0..n_workers {
             let (shared, progress, injector) = (&shared, &progress, &injector);
+            let tel = tel.clone();
             let join_at = plan.join_time(worker);
             let depart_at = plan.departure_time(worker);
             let crashes = plan.crashes(worker);
@@ -75,12 +77,20 @@ pub fn run_threaded_faulty(
                     // Absent until the late join.
                     std::thread::sleep(wall(t - now()));
                 }
+                tel.emit_at(
+                    now(),
+                    crate::telemetry::EventKind::MachineJoined { client: worker },
+                );
                 let mut guard = shared.lock().expect("server lock");
                 loop {
                     let t = now();
                     if depart_at.is_some_and(|d| t >= d) {
                         // Permanent silent departure: in-flight leases
                         // expire and other workers pick up the units.
+                        tel.emit_at(
+                            t,
+                            crate::telemetry::EventKind::MachineDeparted { client: worker },
+                        );
                         break;
                     }
                     if let Some(&(at, down)) =
@@ -88,6 +98,13 @@ pub fn run_threaded_faulty(
                     {
                         // Down for a reboot: release the server and
                         // sleep out the rest of the window.
+                        tel.emit_at(
+                            t,
+                            crate::telemetry::EventKind::MachineCrashed {
+                                client: worker,
+                                down_secs: down,
+                            },
+                        );
                         drop(guard);
                         std::thread::sleep(wall(at + down - t));
                         guard = shared.lock().expect("server lock");
@@ -146,8 +163,22 @@ pub fn run_threaded_faulty(
                                     // Lost in transit: the server never
                                     // sees it; the lease must expire and
                                     // the unit be reissued.
+                                    tel.emit_at(
+                                        now(),
+                                        crate::telemetry::EventKind::FaultInjected {
+                                            client: worker,
+                                            action: "drop".to_string(),
+                                        },
+                                    );
                                 }
                                 DeliveryAction::Duplicate => {
+                                    tel.emit_at(
+                                        now(),
+                                        crate::telemetry::EventKind::FaultInjected {
+                                            client: worker,
+                                            action: "duplicate".to_string(),
+                                        },
+                                    );
                                     drop(guard);
                                     let copy = algorithm.compute(&unit);
                                     guard = shared.lock().expect("server lock");
@@ -157,6 +188,13 @@ pub fn run_threaded_faulty(
                                     progress.notify_all();
                                 }
                                 DeliveryAction::Corrupt => {
+                                    tel.emit_at(
+                                        now(),
+                                        crate::telemetry::EventKind::FaultInjected {
+                                            client: worker,
+                                            action: "corrupt".to_string(),
+                                        },
+                                    );
                                     guard.result_corrupted(worker, problem, unit.id, now());
                                     progress.notify_all();
                                 }
@@ -179,6 +217,7 @@ pub fn run_threaded_faulty(
     });
 
     let elapsed = now();
+    tel.flush();
     (shared.into_inner().expect("server lock"), elapsed)
 }
 

@@ -21,8 +21,8 @@
 
 use crate::config::DprmlConfig;
 use biodist_core::{
-    Algorithm, ByteReader, ByteWriter, DataManager, Payload, Problem, TaskResult, UnitId,
-    WireCodec, WireError, WorkUnit,
+    Algorithm, ByteReader, ByteWriter, DataManager, EventKind, Payload, Problem, ProblemId,
+    TaskResult, Telemetry, UnitId, WireCodec, WireError, WorkUnit,
 };
 use biodist_phylo::lik::TreeLikelihood;
 use biodist_phylo::model::SubstModel;
@@ -455,6 +455,11 @@ struct DprmlDm {
     stage: Stage,
     stage_tree: Arc<Tree>,
     next_id: UnitId,
+    /// Installed by the server; stage transitions emit `StageStarted`
+    /// so run reports can place the barrier boundaries that idle
+    /// donors when only one instance runs (paper §3.2 / Fig. 2).
+    telemetry: Telemetry,
+    problem: ProblemId,
 }
 
 impl DprmlDm {
@@ -484,12 +489,32 @@ impl DprmlDm {
             },
             stage_tree,
             next_id: 0,
+            telemetry: Telemetry::default(),
+            problem: 0,
         }
+    }
+
+    /// Emits a `StageStarted` event for the stage just entered.
+    fn note_stage(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let stage = match self.stage {
+            Stage::Refine { .. } => "refine",
+            Stage::Insert { .. } => "insert",
+            Stage::Nni { .. } => "nni",
+            Stage::Done => "done",
+        };
+        self.telemetry.emit(EventKind::StageStarted {
+            problem: self.problem,
+            stage: stage.to_string(),
+        });
     }
 
     fn start_insert_or_done(&mut self) {
         if self.taxon_pos >= self.order.len() {
             self.stage = Stage::Done;
+            self.note_stage();
             return;
         }
         let taxon = self.order[self.taxon_pos];
@@ -503,6 +528,7 @@ impl DprmlDm {
             outstanding: 0,
             best: None,
         };
+        self.note_stage();
     }
 
     fn try_nni_or_advance(&mut self) {
@@ -522,6 +548,7 @@ impl DprmlDm {
             outstanding: 0,
             best: None,
         };
+        self.note_stage();
     }
 
     fn start_refine(&mut self, next: RefineNext) {
@@ -529,6 +556,7 @@ impl DprmlDm {
             next,
             dispatched: false,
         };
+        self.note_stage();
     }
 
     fn make_unit(&mut self, payload: DprmlUnit, cost_ops: f64, wire: u64) -> WorkUnit {
@@ -708,6 +736,14 @@ impl DataManager for DprmlDm {
             }
             _ => unreachable!("result arrived for a stage that cannot have issued it"),
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry, problem: ProblemId) {
+        self.telemetry = telemetry;
+        self.problem = problem;
+        // The initial refine stage predates attachment; report it now so
+        // every run's trace opens with its first stage boundary.
+        self.note_stage();
     }
 
     fn is_complete(&self) -> bool {

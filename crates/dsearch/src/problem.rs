@@ -12,9 +12,10 @@
 use crate::config::DsearchConfig;
 use biodist_align::{AlignKernel, Hit, PreparedQuery, TopK};
 use biodist_bioseq::Sequence;
+use biodist_core::telemetry::{OPS_BOUNDS, SIZE_BOUNDS};
 use biodist_core::{
-    Algorithm, ByteReader, ByteWriter, DataManager, Payload, Problem, TaskResult, UnitId,
-    WireCodec, WireError, WorkUnit,
+    Algorithm, ByteReader, ByteWriter, DataManager, Payload, Problem, TaskResult, Telemetry,
+    UnitId, WireCodec, WireError, WorkUnit,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -69,10 +70,14 @@ struct DsearchDm {
     top_hits: usize,
     cost_scale: f64,
     cursor: usize,
-    issued: u64,
-    received: u64,
+    /// Units issued but not yet folded back. Replaces the old separate
+    /// `issued`/`received` pair — completeness only ever needed the
+    /// difference, and the totals now live in the telemetry registry
+    /// (`dsearch.units_issued` / `dsearch.units_received`).
+    outstanding: u64,
     next_id: UnitId,
     merged: BTreeMap<String, TopK>,
+    telemetry: Telemetry,
 }
 
 impl DsearchDm {
@@ -112,7 +117,7 @@ impl DataManager for DsearchDm {
             start,
             end: self.cursor,
         };
-        self.issued += 1;
+        self.outstanding += 1;
         let id = self.next_id;
         self.next_id += 1;
         // On a real wire this unit ships the chunk's residues.
@@ -120,26 +125,42 @@ impl DataManager for DsearchDm {
             .iter()
             .map(|s| s.len() as u64 + 64)
             .sum();
+        let cost_ops = self.chunk_cost(range);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("dsearch.units_issued", 1);
+            self.telemetry.observe(
+                "dsearch.chunk_seqs",
+                SIZE_BOUNDS,
+                (range.end - range.start) as f64,
+            );
+            self.telemetry
+                .observe("dsearch.chunk_ops", OPS_BOUNDS, cost_ops);
+        }
         Some(WorkUnit {
             id,
             payload: Payload::new(range, wire),
-            cost_ops: self.chunk_cost(range),
+            cost_ops,
         })
     }
 
     fn accept_result(&mut self, result: TaskResult) {
         let hits = result.payload.into_inner::<Vec<Hit>>();
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("dsearch.units_received", 1);
+            self.telemetry
+                .counter_add("dsearch.hits_offered", hits.len() as u64);
+        }
         for hit in hits {
             self.merged
                 .entry(hit.query_id.clone())
                 .or_insert_with(|| TopK::new(self.top_hits))
                 .offer(hit);
         }
-        self.received += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
     }
 
     fn is_complete(&self) -> bool {
-        self.cursor >= self.db.len() && self.received == self.issued
+        self.cursor >= self.db.len() && self.outstanding == 0
     }
 
     fn final_output(&mut self) -> Payload {
@@ -152,7 +173,15 @@ impl DataManager for DsearchDm {
             hits.entry(q.id.clone()).or_default();
         }
         let wire = hits.values().map(|v| v.len() as u64 * 48).sum();
+        if self.telemetry.is_enabled() {
+            let kept: usize = hits.values().map(Vec::len).sum();
+            self.telemetry.gauge_set("dsearch.hits_kept", kept as f64);
+        }
         Payload::new(SearchOutput { hits }, wire)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry, _problem: biodist_core::ProblemId) {
+        self.telemetry = telemetry;
     }
 }
 
@@ -282,10 +311,10 @@ pub fn build_problem(
         top_hits: config.top_hits,
         cost_scale: config.cost_scale,
         cursor: 0,
-        issued: 0,
-        received: 0,
+        outstanding: 0,
         next_id: 0,
         merged: BTreeMap::new(),
+        telemetry: Telemetry::default(),
     };
     let prepared = queries.iter().map(|q| kernel.prepare(q)).collect();
     let algo = DsearchAlgo {
@@ -405,10 +434,10 @@ mod tests {
             top_hits: 10,
             cost_scale: 1.0,
             cursor: 0,
-            issued: 0,
-            received: 0,
+            outstanding: 0,
             next_id: 0,
             merged: BTreeMap::new(),
+            telemetry: Telemetry::default(),
         };
         let small = dm.next_unit(10_000.0).unwrap();
         let big = dm.next_unit(500_000.0).unwrap();
@@ -435,10 +464,10 @@ mod tests {
             top_hits: 10,
             cost_scale: 1.0,
             cursor: 0,
-            issued: 0,
-            received: 0,
+            outstanding: 0,
             next_id: 0,
             merged: BTreeMap::new(),
+            telemetry: Telemetry::default(),
         };
         let mut covered = vec![false; n];
         while let Some(unit) = dm.next_unit(100_000.0) {

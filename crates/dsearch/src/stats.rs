@@ -93,6 +93,19 @@ pub struct ScoredHit {
     pub e_value: f64,
 }
 
+/// Publishes a fitted null into the telemetry registry: gauges
+/// `dsearch.gumbel_lambda` / `dsearch.gumbel_mu` /
+/// `dsearch.gumbel_sample_size`, so run reports can show the
+/// significance model alongside throughput without re-fitting.
+pub fn record_fit_metrics(stats: &ScoreStatistics, telemetry: &biodist_core::Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.gauge_set("dsearch.gumbel_lambda", stats.lambda);
+    telemetry.gauge_set("dsearch.gumbel_mu", stats.mu);
+    telemetry.gauge_set("dsearch.gumbel_sample_size", stats.sample_size as f64);
+}
+
 /// Annotates hits with significance, fitting the null from
 /// `background_scores` (typically: every score the search computed,
 /// top 2% trimmed). Hits are returned in the input order.
@@ -126,6 +139,23 @@ mod tests {
                 x.round() as i32
             })
             .collect()
+    }
+
+    #[test]
+    fn fit_metrics_land_in_the_registry() {
+        let samples = gumbel_samples(35.0, 0.28, 2_000, 9);
+        let fit = ScoreStatistics::fit(&samples);
+        let tel = biodist_core::Telemetry::enabled();
+        record_fit_metrics(&fit, &tel);
+        let snap = tel.metrics_snapshot();
+        assert_eq!(snap.gauge("dsearch.gumbel_lambda"), Some(fit.lambda));
+        assert_eq!(snap.gauge("dsearch.gumbel_mu"), Some(fit.mu));
+        assert_eq!(
+            snap.gauge("dsearch.gumbel_sample_size"),
+            Some(fit.sample_size as f64)
+        );
+        // A disabled handle records nothing and panics nowhere.
+        record_fit_metrics(&fit, &biodist_core::Telemetry::disabled());
     }
 
     #[test]

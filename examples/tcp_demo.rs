@@ -8,18 +8,34 @@
 //!
 //! Set `BIODIST_CHAOS_SEED=<n>` to pick the fault plan; the same seed
 //! always produces the same plan, so any interesting run is replayable.
+//! Pass `--trace-out <path>` to write both runs' telemetry as JSONL
+//! (feed it to `abl_report report --trace <path>`); a metrics-registry
+//! snapshot is printed after the chaos run either way.
 //!
 //! Run with: `cargo run --release --example tcp_demo`
 
 use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
 use biodist::bioseq::Alphabet;
-use biodist::core::{run_tcp, run_tcp_faulty, ChaosOptions, FaultPlan, SchedulerConfig, Server};
+use biodist::core::{
+    run_tcp, run_tcp_faulty, ChaosOptions, FaultPlan, SchedulerConfig, Server, Telemetry,
+};
 use biodist::dsearch::{build_problem, search_sequential, DsearchConfig, SearchOutput};
 
 const POOL: usize = 6;
 const TIME_SCALE: f64 = 50.0;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let telemetry = Telemetry::enabled();
+    if let Some(path) = &trace_out {
+        telemetry
+            .attach_jsonl(std::path::Path::new(path))
+            .expect("create trace file");
+    }
     // A small protein search: one query against a synthetic database.
     let queries = vec![random_sequence(Alphabet::Protein, "q0", 150, 7)];
     let db = SyntheticDb::generate(&DbSpec::protein_demo(400, 120), 8).sequences;
@@ -40,6 +56,7 @@ fn main() {
 
     // ---- run 1: fault-free over real sockets -----------------------
     let mut server = Server::new(sched.clone());
+    server.set_telemetry(telemetry.clone());
     let pid = server.submit(build_problem(db.clone(), queries.clone(), &cfg));
     let (mut server, elapsed) = run_tcp(server, POOL);
     let stats = server.stats(pid);
@@ -73,6 +90,7 @@ fn main() {
     }
 
     let mut server = Server::new(sched);
+    server.set_telemetry(telemetry.clone());
     let pid = server.submit(build_problem(db, queries, &cfg));
     let (mut server, elapsed) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
     let stats = server.stats(pid);
@@ -91,4 +109,11 @@ fn main() {
     );
     assert_eq!(out.digest(), reference);
     println!("  digest still matches sequential reference");
+
+    telemetry.flush();
+    println!("\nmetrics snapshot (both runs):");
+    println!("{}", telemetry.metrics_snapshot().to_json());
+    if let Some(path) = trace_out {
+        println!("trace written to {path}");
+    }
 }
