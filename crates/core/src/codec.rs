@@ -15,6 +15,7 @@
 //! transport routes decode failures to [`crate::Server::result_corrupted`].
 
 use crate::problem::Payload;
+use std::sync::Arc;
 
 /// A payload failed to encode or decode for the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,20 @@ impl WireError {
     pub fn new(msg: impl Into<String>) -> Self {
         Self(msg.into())
     }
+}
+
+/// One data chunk a work unit depends on: what to ask the server for,
+/// how to recognise it in the donor cache, and what it costs on the
+/// wire when absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkNeed {
+    /// Codec-defined chunk id (for DSEARCH: a database index).
+    pub chunk: u64,
+    /// Content digest of the chunk's encoded bytes — the donor-cache
+    /// key and the integrity check on the `ChunkData` reply.
+    pub digest: u64,
+    /// Encoded size in bytes (what a cache miss transfers).
+    pub bytes: u64,
 }
 
 /// Serialises one problem's unit and result payloads.
@@ -54,6 +69,36 @@ pub trait WireCodec: Send + Sync {
     fn encode_result(&self, payload: &Payload) -> Result<Vec<u8>, WireError>;
     /// Decodes a result payload (server side).
     fn decode_result(&self, bytes: &[u8]) -> Result<Payload, WireError>;
+
+    /// The data chunks a unit payload depends on. The default — no
+    /// chunks — means the unit is self-contained and the transport
+    /// ships it exactly as before; codecs that separate *references*
+    /// from *residues* (DSEARCH) return the chunk list here so donors
+    /// can fetch misses into their LRU cache.
+    fn unit_chunks(&self, _payload: &Payload) -> Vec<ChunkNeed> {
+        Vec::new()
+    }
+
+    /// Encodes one chunk's bytes (server side, answering a
+    /// `ChunkRequest`). Only meaningful for codecs whose
+    /// [`WireCodec::unit_chunks`] is non-empty.
+    fn encode_chunk(&self, chunk: u64) -> Result<Vec<u8>, WireError> {
+        Err(WireError::new(format!(
+            "codec does not serve chunks (requested chunk {chunk})"
+        )))
+    }
+
+    /// Rebuilds a computable unit payload from its decoded reference
+    /// form plus the fetched chunk bytes, `(chunk id, bytes)` pairs in
+    /// [`WireCodec::unit_chunks`] order. The default passes the payload
+    /// through untouched (self-contained units need no hydration).
+    fn hydrate_unit(
+        &self,
+        payload: Payload,
+        _chunks: &[(u64, Arc<Vec<u8>>)],
+    ) -> Result<Payload, WireError> {
+        Ok(payload)
+    }
 }
 
 /// Little-endian byte-string builder for codec implementations.

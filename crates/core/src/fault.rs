@@ -283,6 +283,45 @@ impl FaultPlan {
             .filter(|&c| self.departure_time(c).is_none())
             .count()
     }
+
+    /// A compact FNV-1a fingerprint of the plan (seed + every event,
+    /// field by field). Failure reports print it next to the replay
+    /// seed so a mismatch between "same seed" runs — e.g. after the
+    /// generator's weights change — is detectable at a glance.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        for e in &self.events {
+            eat(&e.at.to_bits().to_le_bytes());
+            eat(&e.client.map_or(u64::MAX, |c| c as u64).to_le_bytes());
+            let (tag, a, b): (u8, f64, f64) = match e.kind {
+                FaultKind::LateJoin => (0, 0.0, 0.0),
+                FaultKind::Depart => (1, 0.0, 0.0),
+                FaultKind::Crash { down_secs } => (2, down_secs, 0.0),
+                FaultKind::Slowdown {
+                    factor,
+                    duration_secs,
+                } => (3, factor, duration_secs),
+                FaultKind::DropResult => (4, 0.0, 0.0),
+                FaultKind::DuplicateResult => (5, 0.0, 0.0),
+                FaultKind::CorruptResult => (6, 0.0, 0.0),
+                FaultKind::LinkDegrade {
+                    factor,
+                    duration_secs,
+                } => (7, factor, duration_secs),
+            };
+            eat(&[tag]);
+            eat(&a.to_bits().to_le_bytes());
+            eat(&b.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 /// What the transport layer does with a completed result.
@@ -576,5 +615,18 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_fault_time_is_rejected() {
         FaultPlan::new(0).push(-1.0, 0, FaultKind::Depart);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let opts = ChaosOptions::for_pool(8, 300.0);
+        let a = FaultPlan::random(42, &opts);
+        assert_eq!(a.digest(), FaultPlan::random(42, &opts).digest());
+        assert_ne!(a.digest(), FaultPlan::random(43, &opts).digest());
+        // The digest covers event contents, not just the seed.
+        let mut b = a.clone();
+        b.push(1.0, 0, FaultKind::DropResult);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(FaultPlan::none().digest(), 0);
     }
 }

@@ -49,17 +49,17 @@ pub mod telemetry;
 pub mod thread_backend;
 
 pub use audit::{audited, AuditHandle};
-pub use codec::{ByteReader, ByteWriter, WireCodec, WireError};
+pub use codec::{ByteReader, ByteWriter, ChunkNeed, WireCodec, WireError};
 pub use fault::{
     ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NoFaults,
     PlanInterpreter,
 };
 pub use net::{
-    recover, recover_traced, run_tcp, run_tcp_faulty, CheckpointWriter, FaultProxy,
-    NetClientOptions, NetServer, NetServerOptions, RecoveryReport,
+    chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, CacheStats, CheckpointWriter,
+    ChunkCache, FaultProxy, NetClientOptions, NetServer, NetServerOptions, RecoveryReport,
 };
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
-pub use sched::{ClientId, SchedSnapshot, SchedulerConfig};
+pub use sched::{AffinitySnapshot, ClientId, SchedSnapshot, SchedulerConfig};
 pub use server::{Assignment, ProblemId, RunJournal, Server};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
 pub use telemetry::{

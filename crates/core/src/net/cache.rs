@@ -1,0 +1,257 @@
+//! Donor-side chunk cache: a bounded, byte-capacity LRU keyed by
+//! *content digest*.
+//!
+//! Work units reference their input data as `(chunk id, digest, bytes)`
+//! triples; a donor fetches the residues over the wire only when the
+//! digest is absent here (see `net::client`), so a database chunk
+//! crosses the link once per donor and every later unit touching it —
+//! even from a different problem with identical data — is served
+//! locally. Keying by content digest rather than `(problem, chunk)` is
+//! what makes the cross-problem reuse work: a repeated query over the
+//! same database hits the warm cache instead of the network.
+//!
+//! The cache is deliberately free of I/O and telemetry: it is pure data
+//! structure + counters, so the property suite can drive it with a
+//! seeded RNG and check its invariants exactly (capacity never
+//! exceeded, eviction strictly in access order, hits never re-transfer,
+//! digest mismatch forces a refetch). The transport layers translate
+//! [`CacheStats`] deltas into the metrics registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a digest of a chunk's wire bytes — the cache key and the
+/// integrity check a client applies to every `ChunkData` frame before
+/// trusting it.
+pub fn chunk_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Monotonic counters describing a cache's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Verified lookups that returned cached bytes.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent or digest mismatch).
+    pub misses: u64,
+    /// Entries removed to make room (or discarded as corrupt).
+    pub evictions: u64,
+}
+
+/// A bounded LRU of chunk bytes, keyed by content digest.
+#[derive(Debug, Default)]
+pub struct ChunkCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: HashMap<u64, Arc<Vec<u8>>>,
+    /// Access order, least-recently-used first.
+    order: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl ChunkCache {
+    /// An empty cache holding at most `capacity_bytes` of chunk data.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held (always ≤ capacity).
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `digest` is present (no access-order side effect).
+    pub fn contains(&self, digest: u64) -> bool {
+        self.entries.contains_key(&digest)
+    }
+
+    /// The lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Digests in eviction order: least-recently-used first.
+    pub fn lru_order(&self) -> Vec<u64> {
+        self.order.clone()
+    }
+
+    fn touch(&mut self, digest: u64) {
+        if let Some(pos) = self.order.iter().position(|&d| d == digest) {
+            self.order.remove(pos);
+        }
+        self.order.push(digest);
+    }
+
+    fn remove_entry(&mut self, digest: u64) {
+        if let Some(bytes) = self.entries.remove(&digest) {
+            self.used_bytes -= bytes.len() as u64;
+            if let Some(pos) = self.order.iter().position(|&d| d == digest) {
+                self.order.remove(pos);
+            }
+        }
+    }
+
+    /// Looks up `digest`, *re-verifying the stored bytes against it*: a
+    /// hit refreshes the entry's recency and returns the bytes; an
+    /// absent key is a miss; present-but-mismatched bytes (a corrupted
+    /// entry) are evicted and reported as a miss, forcing the caller to
+    /// refetch from the server.
+    pub fn get_verified(&mut self, digest: u64) -> Option<Arc<Vec<u8>>> {
+        match self.entries.get(&digest) {
+            Some(bytes) if chunk_digest(bytes) == digest => {
+                let bytes = bytes.clone();
+                self.touch(digest);
+                self.stats.hits += 1;
+                Some(bytes)
+            }
+            Some(_) => {
+                self.remove_entry(digest);
+                self.stats.evictions += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `bytes` under `digest` as the most-recently-used entry,
+    /// evicting least-recently-used entries until it fits. Returns
+    /// `false` (and caches nothing) when the chunk alone exceeds the
+    /// capacity — the caller still holds the bytes it fetched, so the
+    /// unit proceeds; the cache just cannot amortise it.
+    ///
+    /// The digest is trusted here: callers validate `ChunkData` frames
+    /// with [`chunk_digest`] *before* inserting.
+    pub fn insert(&mut self, digest: u64, bytes: Arc<Vec<u8>>) -> bool {
+        let size = bytes.len() as u64;
+        if size > self.capacity_bytes {
+            return false;
+        }
+        self.remove_entry(digest);
+        while self.used_bytes + size > self.capacity_bytes {
+            let victim = self.order[0];
+            self.remove_entry(victim);
+            self.stats.evictions += 1;
+        }
+        self.used_bytes += size;
+        self.entries.insert(digest, bytes);
+        self.order.push(digest);
+        true
+    }
+
+    /// Drops every entry (a crashed donor loses its cache; the stats
+    /// survive — they describe the lifetime, not the contents).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(fill: u8, len: usize) -> (u64, Arc<Vec<u8>>) {
+        let bytes = Arc::new(vec![fill; len]);
+        (chunk_digest(&bytes), bytes)
+    }
+
+    #[test]
+    fn hit_refreshes_recency_and_miss_counts() {
+        let mut c = ChunkCache::new(100);
+        let (d1, b1) = chunk(1, 40);
+        let (d2, b2) = chunk(2, 40);
+        assert!(c.insert(d1, b1));
+        assert!(c.insert(d2, b2));
+        assert_eq!(c.lru_order(), vec![d1, d2]);
+        assert!(c.get_verified(d1).is_some());
+        assert_eq!(c.lru_order(), vec![d2, d1], "hit moves d1 to MRU");
+        assert!(c.get_verified(0xBAD).is_none());
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_follows_access_order_and_respects_capacity() {
+        let mut c = ChunkCache::new(100);
+        let (d1, b1) = chunk(1, 40);
+        let (d2, b2) = chunk(2, 40);
+        let (d3, b3) = chunk(3, 40);
+        c.insert(d1, b1);
+        c.insert(d2, b2);
+        c.get_verified(d1); // d2 is now LRU
+        assert!(c.insert(d3, b3));
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert!(!c.contains(d2), "LRU entry is the victim");
+        assert!(c.contains(d1) && c.contains(d3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_chunk_is_refused_without_evicting_anything() {
+        let mut c = ChunkCache::new(50);
+        let (d1, b1) = chunk(1, 30);
+        c.insert(d1, b1);
+        let (big, bytes) = chunk(9, 51);
+        assert!(!c.insert(big, bytes));
+        assert!(c.contains(d1), "resident entries survive the refusal");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_and_reported_as_miss() {
+        let mut c = ChunkCache::new(100);
+        let bytes = Arc::new(vec![7u8; 20]);
+        let wrong_digest = chunk_digest(&bytes) ^ 1;
+        c.insert(wrong_digest, bytes); // simulate a corrupted entry
+        assert!(c.get_verified(wrong_digest).is_none());
+        assert!(!c.contains(wrong_digest), "corrupt entry must not linger");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_empties_contents_but_keeps_lifetime_stats() {
+        let mut c = ChunkCache::new(100);
+        let (d1, b1) = chunk(1, 10);
+        c.insert(d1, b1);
+        c.get_verified(d1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
+    }
+}

@@ -26,7 +26,7 @@
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::problem::{Problem, TaskResult, UnitId, WorkUnit};
-use crate::sched::{SchedSnapshot, SchedulerConfig};
+use crate::sched::{AffinitySnapshot, SchedSnapshot, SchedulerConfig};
 use crate::server::{ProblemId, RunJournal, Server};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -37,6 +37,7 @@ use std::sync::{Arc, Mutex};
 const REC_ISSUE: u8 = 1;
 const REC_RESULT: u8 = 2;
 const REC_SCHED: u8 = 3;
+const REC_AFFINITY: u8 = 4;
 
 /// Largest record body the reader will accept; larger means the length
 /// field itself is torn garbage.
@@ -65,6 +66,10 @@ pub enum LogRecord {
     },
     /// A scheduler snapshot (the last one in the log wins).
     Sched(SchedSnapshot),
+    /// A chunk-affinity snapshot (the last one in the log wins), so a
+    /// recovered server keeps steering units toward the donors whose
+    /// caches are already warm.
+    Affinity(AffinitySnapshot),
 }
 
 /// Append-only, cloneable checkpoint writer; install a clone as the
@@ -113,6 +118,7 @@ impl CheckpointWriter {
             let kind = match rtype {
                 REC_ISSUE => "issue",
                 REC_RESULT => "result",
+                REC_AFFINITY => "affinity",
                 _ => "sched",
             };
             self.telemetry
@@ -148,6 +154,20 @@ impl CheckpointWriter {
             w.u64(units);
         }
         self.write_record(REC_SCHED, &w.into_bytes());
+    }
+
+    /// Appends a chunk-affinity snapshot record.
+    pub fn append_affinity(&self, snap: &AffinitySnapshot) {
+        let mut w = ByteWriter::new();
+        w.u32(snap.clients.len() as u32);
+        for (client, digests) in &snap.clients {
+            w.u64(*client as u64);
+            w.u32(digests.len() as u32);
+            for &d in digests {
+                w.u64(d);
+            }
+        }
+        self.write_record(REC_AFFINITY, &w.into_bytes());
     }
 }
 
@@ -231,6 +251,20 @@ fn parse_record(buf: &[u8]) -> Option<(LogRecord, usize)> {
             }
             LogRecord::Sched(SchedSnapshot { clients })
         }
+        REC_AFFINITY => {
+            let n = r.count(12).ok()?;
+            let mut clients = Vec::with_capacity(n);
+            for _ in 0..n {
+                let client = r.usize().ok()?;
+                let k = r.count(8).ok()?;
+                let mut digests = Vec::with_capacity(k);
+                for _ in 0..k {
+                    digests.push(r.u64().ok()?);
+                }
+                clients.push((client, digests));
+            }
+            LogRecord::Affinity(AffinitySnapshot { clients })
+        }
         _ => return None,
     };
     r.finish().ok()?;
@@ -293,6 +327,7 @@ pub fn recover_traced(
     };
     let mut pending: BTreeMap<(ProblemId, UnitId), WorkUnit> = BTreeMap::new();
     let mut snapshot: Option<SchedSnapshot> = None;
+    let mut affinity: Option<AffinitySnapshot> = None;
     for record in records {
         match record {
             LogRecord::Issue {
@@ -343,6 +378,7 @@ pub fn recover_traced(
                 report.replayed_results += 1;
             }
             LogRecord::Sched(snap) => snapshot = Some(snap),
+            LogRecord::Affinity(snap) => affinity = Some(snap),
         }
     }
     // Everything issued but not completed goes back on the queue,
@@ -357,6 +393,9 @@ pub fn recover_traced(
     }
     if let Some(snap) = snapshot {
         server.restore_scheduler(&snap);
+    }
+    if let Some(snap) = affinity {
+        server.restore_affinity(&snap);
     }
     telemetry.emit(crate::telemetry::EventKind::RecoveryDone {
         replayed_issues: report.replayed_issues,
@@ -544,6 +583,29 @@ mod tests {
         let (records, torn) = read_log(&path).unwrap();
         assert!(!torn);
         assert_eq!(records, vec![LogRecord::Sched(snap)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn affinity_snapshot_record_round_trips_and_restores() {
+        let path = temp_log("affinity");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let snap = AffinitySnapshot {
+            clients: vec![(1, vec![0xAA, 0xBB, 0xCC]), (4, vec![0xDD])],
+        };
+        writer.append_affinity(&snap);
+        let (records, torn) = read_log(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(records, vec![LogRecord::Affinity(snap.clone())]);
+        // A recovered server resumes with the affinity map warm.
+        let (server, report) = recover(
+            SchedulerConfig::default(),
+            vec![integration_problem(10_000)],
+            &path,
+        )
+        .unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(server.affinity_snapshot(), snap);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -15,13 +15,16 @@
 //! against the shared [`Clock`], exactly like the thread backend, so
 //! identical plans mean identical stories on both transports.
 
+use super::cache::{chunk_digest, ChunkCache};
 use super::wire::{encode_frame, Frame, FrameReader, ReadError};
 use super::{Clock, Directory};
-use crate::codec::WireCodec;
+use crate::codec::{ChunkNeed, WireCodec};
 use crate::fault::{FaultInjector, FaultPlan, PlanInterpreter};
-use crate::problem::{Algorithm, WorkUnit};
+use crate::problem::{Algorithm, Payload, WorkUnit};
 use crate::server::Server;
+use crate::telemetry::Telemetry;
 use biodist_util::rng::{Rng, SplitMix64};
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +51,13 @@ pub struct NetClientOptions {
     /// Socket read timeout (wall time) — the granularity at which a
     /// blocked client notices shutdown flags and deadlines.
     pub read_timeout_wall: Duration,
+    /// Pipelined dispatch depth: how many assignments the donor keeps
+    /// prefetched (chunks fetched, unit hydrated) so the next compute
+    /// starts without a request round-trip. 1 disables pipelining.
+    pub queue_depth: usize,
+    /// Capacity of the donor's chunk cache in bytes. Data a unit needs
+    /// is fetched over the wire only when this cache misses.
+    pub chunk_cache_bytes: u64,
 }
 
 impl Default for NetClientOptions {
@@ -59,6 +69,8 @@ impl Default for NetClientOptions {
             reconnect_base: 0.05,
             reconnect_cap: 2.0,
             read_timeout_wall: Duration::from_millis(5),
+            queue_depth: 2,
+            chunk_cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -71,11 +83,14 @@ impl Default for NetClientOptions {
 pub struct ClientKit {
     algorithms: Vec<Arc<dyn Algorithm>>,
     codecs: Vec<Arc<dyn WireCodec>>,
+    telemetry: Telemetry,
 }
 
 impl ClientKit {
     /// Captures algorithm + codec for every submitted problem; errors
     /// if any problem lacks a [`WireCodec`] (it cannot go on the wire).
+    /// The server's telemetry handle rides along so donor-side cache
+    /// counters land in the same registry as the server's.
     pub fn from_server(server: &Server) -> Result<Self, String> {
         let mut algorithms = Vec::new();
         let mut codecs = Vec::new();
@@ -89,7 +104,11 @@ impl ClientKit {
                 )
             })?);
         }
-        Ok(Self { algorithms, codecs })
+        Ok(Self {
+            algorithms,
+            codecs,
+            telemetry: server.telemetry(),
+        })
     }
 
     fn algorithm(&self, pid: usize) -> Option<&Arc<dyn Algorithm>> {
@@ -134,6 +153,15 @@ struct PendingResult {
     payload: Vec<u8>,
 }
 
+/// A prefetched assignment: decoded, its chunks fetched and hydrated,
+/// ready to compute without touching the wire again.
+struct QueuedUnit {
+    problem: u64,
+    unit: u64,
+    cost_ops: f64,
+    payload: Payload,
+}
+
 struct ClientLoop {
     id: usize,
     directory: Directory,
@@ -150,6 +178,9 @@ struct ClientLoop {
     connect_failures: u32,
     pending: Option<PendingResult>,
     last_heartbeat: f64,
+    cache: ChunkCache,
+    queue: VecDeque<QueuedUnit>,
+    telemetry: Telemetry,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -168,18 +199,21 @@ impl ClientLoop {
             id,
             directory,
             clock,
-            kit,
             interp: PlanInterpreter::new(plan, n_clients),
             departure: plan.departure_time(id),
             crashes: plan.crashes(id),
             join_at: plan.join_time(id),
             run_over,
-            opts,
             rng: SplitMix64::new(0xC11E_27B1 ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             conn: None,
             connect_failures: 0,
             pending: None,
             last_heartbeat: 0.0,
+            cache: ChunkCache::new(opts.chunk_cache_bytes),
+            queue: VecDeque::new(),
+            telemetry: kit.telemetry.clone(),
+            kit,
+            opts,
         }
     }
 
@@ -222,13 +256,16 @@ impl ClientLoop {
     }
 
     /// If `now` is inside a crash window: drop the connection and any
-    /// in-flight state (a crashed donor loses everything), sleep out
-    /// the remaining downtime, and report `true`.
+    /// in-flight state (a crashed donor loses everything — pending
+    /// result, prefetch queue, and the chunk cache), sleep out the
+    /// remaining downtime, and report `true`.
     fn handle_crash_window(&mut self, now: f64) -> bool {
         for &(at, down) in &self.crashes {
             if now >= at && now < at + down {
                 self.conn = None;
                 self.pending = None;
+                self.queue.clear();
+                self.cache.clear();
                 let wake = at + down;
                 thread::sleep(self.clock.wall(wake - now));
                 return true;
@@ -350,48 +387,147 @@ impl ClientLoop {
     }
 
     fn request_and_compute(&mut self) -> Step {
-        if !self.send(&Frame::RequestWork {
-            client: self.id as u64,
-        }) {
-            return Step::Continue;
-        }
-        let reply = self
-            .await_frame(|f| matches!(f, Frame::AssignUnit { .. } | Frame::Wait | Frame::Finished));
-        match reply {
-            Some(Frame::AssignUnit {
-                problem,
-                unit,
-                cost_ops,
-                payload,
-            }) => {
-                self.compute_unit(problem, unit, cost_ops, &payload);
-                Step::Continue
+        // Pipelined dispatch: top the prefetch queue up to
+        // `queue_depth` assignments — each decoded, its chunks fetched
+        // (cache misses only) and hydrated — then compute the front.
+        while self.queue.len() < self.opts.queue_depth.max(1) {
+            if !self.send(&Frame::RequestWork {
+                client: self.id as u64,
+            }) {
+                break;
             }
-            Some(Frame::Wait) => {
-                thread::sleep(self.clock.wall(self.opts.poll_interval));
-                Step::Continue
+            let reply = self.await_frame(|f| {
+                matches!(f, Frame::AssignUnit { .. } | Frame::Wait | Frame::Finished)
+            });
+            match reply {
+                Some(Frame::AssignUnit {
+                    problem,
+                    unit,
+                    cost_ops,
+                    payload,
+                }) => self.enqueue_assignment(problem, unit, cost_ops, &payload),
+                Some(Frame::Wait) => break,
+                Some(Frame::Finished) => {
+                    // Every problem is complete; any queued units could
+                    // only produce wasted results.
+                    self.queue.clear();
+                    return Step::Finished;
+                }
+                _ => break, // timeout or broken conn: reconnect path
             }
-            Some(Frame::Finished) => Step::Finished,
-            _ => Step::Continue, // timeout or broken conn: reconnect path
         }
+        match self.queue.pop_front() {
+            Some(qu) => self.compute_queued(qu),
+            None => thread::sleep(self.clock.wall(self.opts.poll_interval)),
+        }
+        Step::Continue
     }
 
-    fn compute_unit(&mut self, problem: u64, unit: u64, cost_ops: f64, payload: &[u8]) {
+    /// Decodes an assignment, fetches the chunks it needs (donor cache
+    /// first, `ChunkRequest` on miss), hydrates it, and queues it ready
+    /// to compute. Any failure simply drops the unit — the server's
+    /// lease expiry recovers it.
+    fn enqueue_assignment(&mut self, problem: u64, unit: u64, cost_ops: f64, payload: &[u8]) {
         let pid = problem as usize;
-        let (Some(algorithm), Some(codec)) = (
-            self.kit.algorithm(pid).cloned(),
-            self.kit.codec(pid).cloned(),
-        ) else {
+        let Some(codec) = self.kit.codec(pid).cloned() else {
             return; // unknown problem id: drop; lease expiry recovers
         };
         let Ok(decoded) = codec.decode_unit(payload) else {
             return; // undecodable unit: drop; lease expiry recovers
         };
+        let needs = codec.unit_chunks(&decoded);
+        let hydrated = if needs.is_empty() {
+            decoded
+        } else {
+            let Some(chunks) = self.fetch_chunks(problem, &needs) else {
+                return; // transfer failed: drop; lease expiry recovers
+            };
+            match codec.hydrate_unit(decoded, &chunks) {
+                Ok(p) => p,
+                Err(_) => return,
+            }
+        };
+        self.queue.push_back(QueuedUnit {
+            problem,
+            unit,
+            cost_ops,
+            payload: hydrated,
+        });
+    }
+
+    /// Assembles the chunk bytes a unit needs, in `needs` order. Cache
+    /// hits cost zero wire bytes; misses go out as [`Frame::ChunkRequest`].
+    fn fetch_chunks(
+        &mut self,
+        problem: u64,
+        needs: &[ChunkNeed],
+    ) -> Option<Vec<(u64, Arc<Vec<u8>>)>> {
+        let mut out = Vec::with_capacity(needs.len());
+        for need in needs {
+            if let Some(bytes) = self.cache.get_verified(need.digest) {
+                self.telemetry.counter_add("cache.hits", 1);
+                out.push((need.chunk, bytes));
+                continue;
+            }
+            self.telemetry.counter_add("cache.misses", 1);
+            out.push((need.chunk, self.fetch_one(problem, need)?));
+        }
+        Some(out)
+    }
+
+    /// Fetches one chunk over the wire, verifying the received bytes
+    /// against the digest the unit advertised before caching them; a
+    /// mismatch (corrupt or stale transfer) forces a refetch.
+    fn fetch_one(&mut self, problem: u64, need: &ChunkNeed) -> Option<Arc<Vec<u8>>> {
+        for _attempt in 0..3 {
+            if !self.send(&Frame::ChunkRequest {
+                client: self.id as u64,
+                problem,
+                chunk: need.chunk,
+            }) {
+                return None;
+            }
+            let reply = self.await_frame(|f| {
+                matches!(f, Frame::ChunkData { problem: p, chunk: c, .. }
+                         if *p == problem && *c == need.chunk)
+            })?;
+            let Frame::ChunkData {
+                digest, payload, ..
+            } = reply
+            else {
+                unreachable!("await_frame only accepts ChunkData here");
+            };
+            if digest != need.digest || chunk_digest(&payload) != need.digest {
+                continue; // wrong bytes: never cached, fetch again
+            }
+            self.telemetry
+                .counter_add("cache.bytes_fetched", payload.len() as u64);
+            let bytes = Arc::new(payload);
+            let before = self.cache.stats().evictions;
+            self.cache.insert(need.digest, bytes.clone());
+            let evicted = self.cache.stats().evictions - before;
+            if evicted > 0 {
+                self.telemetry.counter_add("cache.evictions", evicted);
+            }
+            return Some(bytes);
+        }
+        None
+    }
+
+    fn compute_queued(&mut self, qu: QueuedUnit) {
+        let pid = qu.problem as usize;
+        let Some(algorithm) = self.kit.algorithm(pid).cloned() else {
+            return; // unknown problem id: drop; lease expiry recovers
+        };
+        let Some(codec) = self.kit.codec(pid).cloned() else {
+            return;
+        };
+        let (problem, unit) = (qu.problem, qu.unit);
         let started = self.clock.now();
         let wu = WorkUnit {
-            id: unit,
-            payload: decoded,
-            cost_ops,
+            id: qu.unit,
+            payload: qu.payload,
+            cost_ops: qu.cost_ops,
         };
         let result = algorithm.compute(&wu);
         // Straggler faults stretch the unit's wall time, like the
@@ -401,7 +537,8 @@ impl ClientLoop {
             let real = self.clock.now() - started;
             thread::sleep(self.clock.wall(real * (scale - 1.0)));
         }
-        // A crash window that opened mid-compute swallows the result.
+        // A crash window that opened mid-compute swallows the result —
+        // and everything else the donor held in memory.
         let done = self.clock.now();
         if self
             .crashes
@@ -409,6 +546,8 @@ impl ClientLoop {
             .any(|&(at, _down)| started < at && done >= at)
         {
             self.drop_conn();
+            self.queue.clear();
+            self.cache.clear();
             return;
         }
         let Ok(encoded) = codec.encode_result(&result.payload) else {

@@ -23,12 +23,14 @@
 //! same signature shape as the thread backend, so the chaos suite runs
 //! identical plans against all three backends and compares digests.
 
+pub mod cache;
 pub mod checkpoint;
 pub mod client;
 pub mod proxy;
 pub mod server;
 pub mod wire;
 
+pub use cache::{chunk_digest, CacheStats, ChunkCache};
 pub use checkpoint::{recover, recover_traced, CheckpointWriter, LogRecord, RecoveryReport};
 pub use client::{spawn_clients, ClientKit, NetClientOptions};
 pub use proxy::FaultProxy;

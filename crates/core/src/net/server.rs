@@ -307,13 +307,57 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                     .remove(&(client as ClientId));
                 return;
             }
+            Frame::ChunkRequest {
+                client,
+                problem,
+                chunk,
+            } => {
+                let now = clock.now();
+                mark_alive(shared, client as ClientId, now);
+                let pid = problem as usize;
+                let mut guard = shared.server.lock().unwrap();
+                let Some(server) = guard.as_mut() else { return };
+                if pid >= server.problem_count() {
+                    drop(guard);
+                    None // garbage problem id: ignore; the client retries
+                } else {
+                    match server.codec(pid).map(|c| c.encode_chunk(chunk)) {
+                        Some(Ok(payload)) => {
+                            let digest = super::cache::chunk_digest(&payload);
+                            // The donor is about to hold this chunk:
+                            // feed the scheduler's affinity map so later
+                            // units covering it land here.
+                            server.note_client_chunks(client as ClientId, &[digest]);
+                            drop(guard);
+                            shared.telemetry.counter_add("net.chunks_served", 1);
+                            shared
+                                .telemetry
+                                .counter_add("net.chunk_bytes_out", payload.len() as u64);
+                            Some(Frame::ChunkData {
+                                problem,
+                                chunk,
+                                digest,
+                                payload,
+                            })
+                        }
+                        // Unknown chunk or codec without chunk support:
+                        // no reply; the client's fetch times out and the
+                        // lease reissues the unit elsewhere.
+                        _ => {
+                            drop(guard);
+                            None
+                        }
+                    }
+                }
+            }
             // Server-bound protocol only; a client frame here is a bug
             // or corruption that slipped the type check — ignore it.
             Frame::AssignUnit { .. }
             | Frame::Wait
             | Frame::Finished
             | Frame::ResultAck { .. }
-            | Frame::HeartbeatAck => None,
+            | Frame::HeartbeatAck
+            | Frame::ChunkData { .. } => None,
         };
         if let Some(reply) = reply {
             let bytes = encode_frame(&reply);
@@ -398,6 +442,7 @@ fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
             if let Some(w) = &opts.checkpoint {
                 if opts.snapshot_every_ticks > 0 && tick.is_multiple_of(opts.snapshot_every_ticks) {
                     w.append_snapshot(&server.scheduler_snapshot());
+                    w.append_affinity(&server.affinity_snapshot());
                 }
             }
         }

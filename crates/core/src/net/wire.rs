@@ -46,10 +46,15 @@ const FT_RESULT_ACK: u8 = 7;
 const FT_HEARTBEAT: u8 = 8;
 const FT_HEARTBEAT_ACK: u8 = 9;
 const FT_GOODBYE: u8 = 10;
+const FT_CHUNK_REQUEST: u8 = 11;
+const FT_CHUNK_DATA: u8 = 12;
 
 /// Frame type code for [`Frame::SubmitResult`] — exposed so transport
 /// code can recognise a corrupt result frame from its header alone.
 pub const SUBMIT_RESULT_TYPE: u8 = FT_SUBMIT_RESULT;
+/// Frame type code for [`Frame::ChunkData`] — exposed so transports can
+/// account chunk traffic separately from control traffic.
+pub const CHUNK_DATA_TYPE: u8 = FT_CHUNK_DATA;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +117,30 @@ pub enum Frame {
         /// The donor's client id.
         client: u64,
     },
+    /// Client asks for one data chunk it does not hold in its cache
+    /// (work units carry only chunk *references*; residues cross the
+    /// wire once and are cached donor-side).
+    ChunkRequest {
+        /// The donor's client id.
+        client: u64,
+        /// Problem whose codec serves the chunk.
+        problem: u64,
+        /// Codec-defined chunk id within the problem.
+        chunk: u64,
+    },
+    /// Server ships the requested chunk's bytes.
+    ChunkData {
+        /// Problem the chunk belongs to.
+        problem: u64,
+        /// Codec-defined chunk id within the problem.
+        chunk: u64,
+        /// Content digest of `payload` (FNV-1a); the client verifies it
+        /// before caching, so a stale or mismatched chunk is refetched
+        /// rather than silently used.
+        digest: u64,
+        /// Codec-encoded chunk bytes.
+        payload: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -127,6 +156,8 @@ impl Frame {
             Frame::Heartbeat { .. } => FT_HEARTBEAT,
             Frame::HeartbeatAck => FT_HEARTBEAT_ACK,
             Frame::Goodbye { .. } => FT_GOODBYE,
+            Frame::ChunkRequest { .. } => FT_CHUNK_REQUEST,
+            Frame::ChunkData { .. } => FT_CHUNK_DATA,
         }
     }
 }
@@ -253,6 +284,26 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.u64(*unit);
             body.u8(u8::from(*accepted));
         }
+        Frame::ChunkRequest {
+            client,
+            problem,
+            chunk,
+        } => {
+            body.u64(*client);
+            body.u64(*problem);
+            body.u64(*chunk);
+        }
+        Frame::ChunkData {
+            problem,
+            chunk,
+            digest,
+            payload,
+        } => {
+            body.u64(*problem);
+            body.u64(*chunk);
+            body.u64(*digest);
+            body.bytes(payload);
+        }
     }
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
@@ -287,7 +338,7 @@ pub fn parse_header(buf: &[u8]) -> Result<(u8, u32), DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let frame_type = buf[5];
-    if !(FT_HELLO..=FT_GOODBYE).contains(&frame_type) {
+    if !(FT_HELLO..=FT_CHUNK_DATA).contains(&frame_type) {
         return Err(DecodeError::BadFrameType(frame_type));
     }
     let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
@@ -340,6 +391,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
             FT_HEARTBEAT => Frame::Heartbeat { client: r.u64()? },
             FT_HEARTBEAT_ACK => Frame::HeartbeatAck,
             FT_GOODBYE => Frame::Goodbye { client: r.u64()? },
+            FT_CHUNK_REQUEST => Frame::ChunkRequest {
+                client: r.u64()?,
+                problem: r.u64()?,
+                chunk: r.u64()?,
+            },
+            FT_CHUNK_DATA => Frame::ChunkData {
+                problem: r.u64()?,
+                chunk: r.u64()?,
+                digest: r.u64()?,
+                payload: r.bytes()?.to_vec(),
+            },
             _ => unreachable!("parse_header validated the type"),
         };
         r.finish()?;
@@ -463,6 +525,17 @@ mod tests {
             Frame::Heartbeat { client: 5 },
             Frame::HeartbeatAck,
             Frame::Goodbye { client: 0 },
+            Frame::ChunkRequest {
+                client: 6,
+                problem: 1,
+                chunk: 13,
+            },
+            Frame::ChunkData {
+                problem: 1,
+                chunk: 13,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+                payload: (0..=127).rev().collect(),
+            },
         ]
     }
 

@@ -21,7 +21,7 @@
 use crate::problem::UnitId;
 use biodist_util::rng::{Rng, SplitMix64};
 use biodist_util::stats::Ewma;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Identifies a donor machine / client.
 pub type ClientId = usize;
@@ -72,6 +72,17 @@ pub struct SchedulerConfig {
     pub enable_redundant_dispatch: bool,
     /// Maximum simultaneous executions of one unit (≥ 1).
     pub max_redundancy: u32,
+    /// Enable affinity-aware placement: prefer issuing a unit to a
+    /// donor already caching its data chunks, falling back to the
+    /// fair-share order when no candidate matches.
+    pub enable_affinity: bool,
+    /// Maximum chunk digests remembered per donor (oldest forgotten
+    /// first — mirrors the donor's own LRU, approximately).
+    pub affinity_capacity: usize,
+    /// How many units the server pre-pulls per problem so affinity has
+    /// candidates to choose among. `1` disables the lookahead pool
+    /// (pull-on-demand, the pre-affinity behaviour).
+    pub affinity_lookahead: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -92,6 +103,9 @@ impl Default for SchedulerConfig {
             enable_adaptive: true,
             enable_redundant_dispatch: true,
             max_redundancy: 2,
+            enable_affinity: true,
+            affinity_capacity: 4096,
+            affinity_lookahead: 1,
         }
     }
 }
@@ -118,6 +132,39 @@ struct ClientState {
     units_completed: u64,
 }
 
+/// Which chunk digests a donor is believed to hold, insertion-ordered
+/// so the oldest belief is forgotten first when the cap is reached.
+#[derive(Debug, Clone, Default)]
+struct AffinityState {
+    order: VecDeque<u64>,
+    set: HashSet<u64>,
+}
+
+impl AffinityState {
+    fn note(&mut self, digest: u64, cap: usize) {
+        if cap == 0 || self.set.contains(&digest) {
+            return;
+        }
+        while self.order.len() >= cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.order.push_back(digest);
+        self.set.insert(digest);
+    }
+}
+
+/// Plain-data snapshot of the affinity map (which donor holds which
+/// chunk digests), checkpointed alongside [`SchedSnapshot`] so a
+/// recovered server resumes placing work where the data already lives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffinitySnapshot {
+    /// `(client, digests in insertion order)`, sorted by client id so
+    /// snapshots are byte-stable for a given state.
+    pub clients: Vec<(ClientId, Vec<u64>)>,
+}
+
 /// A plain-data snapshot of the scheduler's adaptive state, written to
 /// the checkpoint log so a restarted server resumes with warm speed
 /// estimates instead of the cold prior.
@@ -141,6 +188,7 @@ pub struct SchedSnapshot {
 pub struct Scheduler {
     cfg: SchedulerConfig,
     clients: HashMap<ClientId, ClientState>,
+    affinity: HashMap<ClientId, AffinityState>,
 }
 
 impl Scheduler {
@@ -155,6 +203,7 @@ impl Scheduler {
         Self {
             cfg,
             clients: HashMap::new(),
+            affinity: HashMap::new(),
         }
     }
 
@@ -263,6 +312,57 @@ impl Scheduler {
     /// Forgets a client (it left the pool).
     pub fn forget_client(&mut self, client: ClientId) {
         self.clients.remove(&client);
+        self.affinity.remove(&client);
+    }
+
+    /// Records that `client` now holds chunks with these digests (it
+    /// was just served them, or a backend modelled the transfer).
+    pub fn note_chunks(&mut self, client: ClientId, digests: &[u64]) {
+        if !self.cfg.enable_affinity || digests.is_empty() {
+            return;
+        }
+        let state = self.affinity.entry(client).or_default();
+        for &d in digests {
+            state.note(d, self.cfg.affinity_capacity);
+        }
+    }
+
+    /// How many of `digests` the scheduler believes `client` holds.
+    /// Zero when affinity is disabled, so callers can use the score
+    /// directly without re-checking the flag.
+    pub fn affinity_score(&self, client: ClientId, digests: &[u64]) -> usize {
+        if !self.cfg.enable_affinity {
+            return 0;
+        }
+        match self.affinity.get(&client) {
+            Some(state) => digests.iter().filter(|d| state.set.contains(d)).count(),
+            None => 0,
+        }
+    }
+
+    /// Total chunk digests tracked for `client`.
+    pub fn affinity_entries(&self, client: ClientId) -> usize {
+        self.affinity.get(&client).map_or(0, |s| s.order.len())
+    }
+
+    /// Captures the affinity map for the checkpoint log.
+    pub fn affinity_snapshot(&self) -> AffinitySnapshot {
+        let mut clients: Vec<_> = self
+            .affinity
+            .iter()
+            .map(|(&id, st)| (id, st.order.iter().copied().collect::<Vec<u64>>()))
+            .collect();
+        clients.sort_unstable_by_key(|&(id, _)| id);
+        AffinitySnapshot { clients }
+    }
+
+    /// Replaces the affinity map with a recovered snapshot (entries are
+    /// re-capped against the current configuration).
+    pub fn restore_affinity(&mut self, snap: &AffinitySnapshot) {
+        self.affinity.clear();
+        for (id, digests) in &snap.clients {
+            self.note_chunks(*id, digests);
+        }
     }
 
     /// Publishes `client`'s adaptive state as telemetry gauges
@@ -356,6 +456,22 @@ impl Scheduler {
                 violations.push(format!(
                     "client {id}: granularity hint {hint} outside [{}, {}]",
                     self.cfg.min_unit_ops, self.cfg.max_unit_ops
+                ));
+            }
+        }
+        for (&id, state) in &self.affinity {
+            if state.order.len() != state.set.len() {
+                violations.push(format!(
+                    "client {id}: affinity order/set desynchronised ({} vs {})",
+                    state.order.len(),
+                    state.set.len()
+                ));
+            }
+            if state.order.len() > self.cfg.affinity_capacity {
+                violations.push(format!(
+                    "client {id}: {} affinity entries exceed capacity {}",
+                    state.order.len(),
+                    self.cfg.affinity_capacity
                 ));
             }
         }
@@ -627,5 +743,63 @@ mod tests {
         s.forget_client(1);
         assert_eq!(s.units_completed(1), 0);
         assert_eq!(s.estimated_speed(1), 1.0e7);
+    }
+
+    #[test]
+    fn affinity_scores_count_held_digests() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.note_chunks(1, &[10, 20, 30]);
+        s.note_chunks(2, &[30]);
+        assert_eq!(s.affinity_score(1, &[10, 20, 99]), 2);
+        assert_eq!(s.affinity_score(2, &[10, 20, 99]), 0);
+        assert_eq!(s.affinity_score(3, &[10]), 0, "unknown client");
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn affinity_capacity_forgets_oldest_first() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            affinity_capacity: 3,
+            ..Default::default()
+        });
+        s.note_chunks(1, &[1, 2, 3, 4]);
+        assert_eq!(s.affinity_entries(1), 3);
+        assert_eq!(s.affinity_score(1, &[1]), 0, "oldest belief dropped");
+        assert_eq!(s.affinity_score(1, &[2, 3, 4]), 3);
+        // Duplicates never inflate the count.
+        s.note_chunks(1, &[4, 4, 4]);
+        assert_eq!(s.affinity_entries(1), 3);
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn disabling_affinity_zeroes_scores_and_tracks_nothing() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            enable_affinity: false,
+            ..Default::default()
+        });
+        s.note_chunks(1, &[10, 20]);
+        assert_eq!(s.affinity_entries(1), 0);
+        assert_eq!(s.affinity_score(1, &[10]), 0);
+    }
+
+    #[test]
+    fn affinity_snapshot_round_trips_and_forget_clears() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.note_chunks(2, &[5, 6]);
+        s.note_chunks(1, &[7]);
+        let snap = s.affinity_snapshot();
+        assert_eq!(
+            snap.clients,
+            vec![(1, vec![7]), (2, vec![5, 6])],
+            "sorted by client, digests in insertion order"
+        );
+        let mut fresh = Scheduler::new(SchedulerConfig::default());
+        fresh.restore_affinity(&snap);
+        assert_eq!(fresh.affinity_snapshot(), snap);
+        assert_eq!(fresh.affinity_score(2, &[5, 6]), 2);
+        fresh.forget_client(2);
+        assert_eq!(fresh.affinity_entries(2), 0, "departure clears beliefs");
+        assert!(fresh.audit().is_empty());
     }
 }

@@ -5,9 +5,9 @@
 //! every scheduling behaviour exercised by the experiments is also the
 //! behaviour the correctness tests see.
 
-use crate::codec::WireCodec;
+use crate::codec::{ChunkNeed, WireCodec};
 use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
-use crate::sched::{ClientId, SchedSnapshot, Scheduler, SchedulerConfig};
+use crate::sched::{AffinitySnapshot, ClientId, SchedSnapshot, Scheduler, SchedulerConfig};
 use crate::telemetry::{EventKind, Telemetry, LATENCY_BOUNDS, OPS_BOUNDS};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -62,6 +62,13 @@ struct InFlight {
     leases: Vec<Lease>,
 }
 
+// Which of a problem's pending queues an affinity pick scans.
+#[derive(Clone, Copy)]
+enum PendingQueue {
+    Reissue,
+    Pool,
+}
+
 struct ProblemState {
     name: String,
     dm: Box<dyn crate::problem::DataManager>,
@@ -70,6 +77,13 @@ struct ProblemState {
     codec: Option<Arc<dyn WireCodec>>,
     in_flight: HashMap<UnitId, InFlight>,
     reissue: VecDeque<Arc<WorkUnit>>,
+    // Lookahead pool: units already pulled (and journaled) from the
+    // data manager but not yet leased, kept so affinity-aware selection
+    // has more than one candidate to match against a donor's cached
+    // chunks. Capped at `SchedulerConfig::affinity_lookahead`; with the
+    // default of 1 the pool is a pass-through and dispatch order is
+    // exactly the pre-affinity order.
+    pool: VecDeque<Arc<WorkUnit>>,
     // Earliest lease deadline across `in_flight`, so `check_timeouts`
     // can skip the full scan until the clock actually reaches it. Lease
     // removals (results, churn, corruption) leave it conservatively
@@ -185,6 +199,7 @@ impl Server {
             codec: problem.codec,
             in_flight: HashMap::new(),
             reissue: VecDeque::new(),
+            pool: VecDeque::new(),
             next_deadline: f64::INFINITY,
             reissue_counts: HashMap::new(),
             done: false,
@@ -304,7 +319,7 @@ impl Server {
             if self.problems[pid].done {
                 continue;
             }
-            if let Some(unit) = self.next_unit_for(pid, hint) {
+            if let Some(unit) = self.next_unit_for(pid, hint, client) {
                 self.rotation = (pos + 1) % n;
                 return self.lease_and_assign(pid, unit, client, now, false);
             }
@@ -343,24 +358,85 @@ impl Server {
         Assignment::Wait
     }
 
-    fn next_unit_for(&mut self, pid: ProblemId, hint: f64) -> Option<Arc<WorkUnit>> {
-        let p = &mut self.problems[pid];
-        if let Some(unit) = p.reissue.pop_front() {
+    fn next_unit_for(
+        &mut self,
+        pid: ProblemId,
+        hint: f64,
+        client: ClientId,
+    ) -> Option<Arc<WorkUnit>> {
+        // Reissue queue first, always: orphaned units must go back out
+        // before fresh ones. Affinity only reorders *within* the queue
+        // (front wins every tie, so configurations that never note
+        // chunks keep strict FIFO reissue order).
+        if !self.problems[pid].reissue.is_empty() {
+            let idx = self.best_affinity_index(pid, client, PendingQueue::Reissue);
             // A reissue of an already-journaled unit: not a new issue.
-            return Some(unit);
+            return self.problems[pid].reissue.remove(idx);
         }
-        let unit = p.dm.next_unit(hint)?;
-        if let Some(j) = self.journal.as_mut() {
-            j.unit_issued(pid, &unit, hint);
+        // Refill the lookahead pool so affinity selection has
+        // candidates; every pull is journaled exactly like a direct
+        // issue (a crash before the lease recovers it as pending).
+        let lookahead = self.sched.config().affinity_lookahead.max(1);
+        while self.problems[pid].pool.len() < lookahead {
+            let p = &mut self.problems[pid];
+            let Some(unit) = p.dm.next_unit(hint) else {
+                break;
+            };
+            if let Some(j) = self.journal.as_mut() {
+                j.unit_issued(pid, &unit, hint);
+            }
+            self.telemetry.emit(EventKind::UnitCreated {
+                problem: pid,
+                unit: unit.id,
+                cost_ops: unit.cost_ops,
+            });
+            self.telemetry
+                .observe("server.unit_cost_ops", OPS_BOUNDS, unit.cost_ops);
+            self.problems[pid].pool.push_back(Arc::new(unit));
         }
-        self.telemetry.emit(EventKind::UnitCreated {
-            problem: pid,
-            unit: unit.id,
-            cost_ops: unit.cost_ops,
-        });
-        self.telemetry
-            .observe("server.unit_cost_ops", OPS_BOUNDS, unit.cost_ops);
-        Some(Arc::new(unit))
+        if self.problems[pid].pool.is_empty() {
+            return None;
+        }
+        let idx = self.best_affinity_index(pid, client, PendingQueue::Pool);
+        self.problems[pid].pool.remove(idx)
+    }
+
+    // Affinity score of `unit` for `client`: how many of the unit's
+    // data chunks the donor is already caching (0 when the problem has
+    // no codec, the codec externalises no data, or affinity is off).
+    fn unit_affinity(&self, pid: ProblemId, client: ClientId, unit: &WorkUnit) -> usize {
+        let Some(codec) = self.problems[pid].codec.as_ref() else {
+            return 0;
+        };
+        let needs = codec.unit_chunks(&unit.payload);
+        if needs.is_empty() {
+            return 0;
+        }
+        let digests: Vec<u64> = needs.iter().map(|n| n.digest).collect();
+        self.sched.affinity_score(client, &digests)
+    }
+
+    // Index of the best-affinity unit in one of `pid`'s pending queues;
+    // the front wins ties and the no-affinity-data case.
+    fn best_affinity_index(&self, pid: ProblemId, client: ClientId, which: PendingQueue) -> usize {
+        let p = &self.problems[pid];
+        let queue = match which {
+            PendingQueue::Reissue => &p.reissue,
+            PendingQueue::Pool => &p.pool,
+        };
+        if queue.len() <= 1 || self.sched.affinity_entries(client) == 0 {
+            return 0;
+        }
+        let mut best = 0usize;
+        let mut best_score = self.unit_affinity(pid, client, &queue[0]);
+        for (i, u) in queue.iter().enumerate().skip(1) {
+            let s = self.unit_affinity(pid, client, u);
+            if s > best_score {
+                best = i;
+                best_score = s;
+            }
+        }
+        best
     }
 
     fn lease_and_assign(
@@ -506,6 +582,7 @@ impl Server {
             p.completion_time = Some(now);
             p.in_flight.clear();
             p.reissue.clear();
+            p.pool.clear();
             p.next_deadline = f64::INFINITY;
             self.telemetry.emit(EventKind::ProblemCompleted { problem });
         }
@@ -727,6 +804,39 @@ impl Server {
     pub fn scheduler_snapshot(&self) -> SchedSnapshot {
         self.sched.snapshot()
     }
+
+    // ---- chunk affinity (PR 5) ----
+
+    /// Records that `client` now holds the given chunk digests in its
+    /// donor-side cache. The transports call this when chunk bytes are
+    /// actually delivered (not merely requested), so the map self-heals
+    /// after a donor crash empties its cache: stale entries simply stop
+    /// being refreshed and age out of the capped per-client window.
+    pub fn note_client_chunks(&mut self, client: ClientId, digests: &[u64]) {
+        self.sched.note_chunks(client, digests);
+    }
+
+    /// The data chunks a unit's payload needs fetched before compute
+    /// (empty when the problem has no codec or the codec does not
+    /// externalise data). The simulator uses this to model per-miss
+    /// transfer costs against its virtual network.
+    pub fn unit_chunk_needs(&self, id: ProblemId, payload: &Payload) -> Vec<ChunkNeed> {
+        self.problems[id]
+            .codec
+            .as_ref()
+            .map(|c| c.unit_chunks(payload))
+            .unwrap_or_default()
+    }
+
+    /// Captures the chunk-affinity map for the checkpoint log.
+    pub fn affinity_snapshot(&self) -> AffinitySnapshot {
+        self.sched.affinity_snapshot()
+    }
+
+    /// Restores the chunk-affinity map from a recovered snapshot.
+    pub fn restore_affinity(&mut self, snap: &AffinitySnapshot) {
+        self.sched.restore_affinity(snap);
+    }
 }
 
 #[cfg(test)]
@@ -838,6 +948,97 @@ mod tests {
             guard += 1;
             assert!(guard < 100_000, "server failed to converge");
         }
+    }
+
+    /// Codec for `SumDm`'s `(lo, hi)` units that externalises one data
+    /// chunk per integer in the range (chunk id = digest = the value),
+    /// so tests can steer affinity with known digests.
+    struct RangeCodec;
+    impl WireCodec for RangeCodec {
+        fn encode_unit(&self, p: &Payload) -> Result<Vec<u8>, crate::codec::WireError> {
+            let &(lo, hi) = p.downcast_ref::<(u64, u64)>().unwrap();
+            let mut w = crate::codec::ByteWriter::new();
+            w.u64(lo);
+            w.u64(hi);
+            Ok(w.into_bytes())
+        }
+        fn decode_unit(&self, bytes: &[u8]) -> Result<Payload, crate::codec::WireError> {
+            let mut r = crate::codec::ByteReader::new(bytes);
+            let lo = r.u64()?;
+            let hi = r.u64()?;
+            r.finish()?;
+            Ok(Payload::new((lo, hi), 16))
+        }
+        fn encode_result(&self, p: &Payload) -> Result<Vec<u8>, crate::codec::WireError> {
+            let mut w = crate::codec::ByteWriter::new();
+            w.u64(*p.downcast_ref::<u64>().unwrap());
+            Ok(w.into_bytes())
+        }
+        fn decode_result(&self, bytes: &[u8]) -> Result<Payload, crate::codec::WireError> {
+            let mut r = crate::codec::ByteReader::new(bytes);
+            let v = r.u64()?;
+            r.finish()?;
+            Ok(Payload::new(v, 8))
+        }
+        fn unit_chunks(&self, p: &Payload) -> Vec<ChunkNeed> {
+            let &(lo, hi) = p.downcast_ref::<(u64, u64)>().unwrap();
+            (lo..=hi)
+                .map(|v| ChunkNeed {
+                    chunk: v,
+                    digest: v,
+                    bytes: 8,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn affinity_prefers_units_whose_chunks_a_donor_holds() {
+        let mut server = Server::new(SchedulerConfig {
+            affinity_lookahead: 4,
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(
+            Problem::new("sum", Box::new(SumDm::new(40, 10)), Arc::new(SumAlgo))
+                .with_codec(Arc::new(RangeCodec)),
+        );
+        // Donor 7 already caches the data of the third unit (21..=30).
+        let digests: Vec<u64> = (21..=30).collect();
+        server.note_client_chunks(7, &digests);
+        let Assignment::Unit { unit, .. } = server.request_work(7, 0.0) else {
+            panic!()
+        };
+        let &(lo, hi) = unit.payload.downcast_ref::<(u64, u64)>().unwrap();
+        assert_eq!((lo, hi), (21, 30), "affinity must pick the cached unit");
+        // A donor holding nothing gets the pool front (FIFO order).
+        let Assignment::Unit { unit, .. } = server.request_work(0, 0.1) else {
+            panic!()
+        };
+        let &(lo, hi) = unit.payload.downcast_ref::<(u64, u64)>().unwrap();
+        assert_eq!((lo, hi), (1, 10));
+    }
+
+    #[test]
+    fn lookahead_one_keeps_fifo_dispatch_despite_affinity() {
+        // With the default lookahead of 1 the pool never holds more
+        // than the unit about to be served, so noted chunks cannot
+        // reorder dispatch — the pre-affinity order is preserved.
+        let mut server = Server::new(SchedulerConfig {
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(
+            Problem::new("sum", Box::new(SumDm::new(40, 10)), Arc::new(SumAlgo))
+                .with_codec(Arc::new(RangeCodec)),
+        );
+        let digests: Vec<u64> = (31..=40).collect();
+        server.note_client_chunks(3, &digests);
+        let Assignment::Unit { unit, .. } = server.request_work(3, 0.0) else {
+            panic!()
+        };
+        let &(lo, hi) = unit.payload.downcast_ref::<(u64, u64)>().unwrap();
+        assert_eq!((lo, hi), (1, 10), "lookahead 1 is strictly FIFO");
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! ```
 
 use crate::fault::{DeliveryAction, FaultInjector, FaultPlan, PlanInterpreter};
+use crate::net::cache::ChunkCache;
 use crate::problem::{Algorithm, TaskResult, WorkUnit};
 use crate::server::{Assignment, ProblemId, Server};
 use biodist_gridsim::event::EventQueue;
 use biodist_gridsim::machine::Machine;
 use biodist_gridsim::network::{CampusNetwork, SharedLink};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Simulator tuning knobs.
@@ -42,6 +44,16 @@ pub struct SimConfig {
     /// pulls the plug — and the server only discovers the loss when the
     /// unit's lease expires, so the default is `false`.
     pub announced_departures: bool,
+    /// Capacity of each machine's modeled chunk cache in bytes. A
+    /// unit's data chunks cross the link only when this cache misses
+    /// (mirroring the TCP backend's donor-side `ChunkCache`).
+    pub chunk_cache_bytes: u64,
+    /// Pipelined dispatch depth: how many units a machine keeps in its
+    /// pipeline (computing + prefetched + requested), so a prefetched
+    /// unit's transfer overlaps the previous compute. 1 — the default,
+    /// which keeps the pre-pipelining event timeline bit-identical —
+    /// disables prefetch.
+    pub pipeline_depth: usize,
 }
 
 impl Default for SimConfig {
@@ -52,6 +64,8 @@ impl Default for SimConfig {
             control_bytes: 256,
             max_virtual_secs: 86_400.0 * 30.0,
             announced_departures: false,
+            chunk_cache_bytes: 64 * 1024 * 1024,
+            pipeline_depth: 1,
         }
     }
 }
@@ -106,6 +120,12 @@ enum Ev {
         unit: Arc<WorkUnit>,
         algorithm: Arc<dyn Algorithm>,
     },
+    // A deferred re-poll after `Assignment::Wait` or a dropped result.
+    // The control-message transfer is charged when this fires, not
+    // when it is scheduled: `SharedLink` serialises transfers in call
+    // order, so pre-charging a future retry would make earlier
+    // transfers queue behind it.
+    PollRetry(usize, u32),
     Leave(usize),
     Crash {
         machine: usize,
@@ -186,6 +206,22 @@ impl SimRunner {
         // Joins (initial + crash rejoins) scheduled but not yet fired;
         // the all-donors-gone check must count them as future capacity.
         let mut scheduled_joins = 0usize;
+        // Per-machine chunk caches: residue bytes cross the link only
+        // on a miss, exactly like the TCP donors. A crash empties the
+        // machine's cache (its memory is gone).
+        let mut chunk_caches: Vec<ChunkCache> = (0..n)
+            .map(|_| ChunkCache::new(self.cfg.chunk_cache_bytes))
+            .collect();
+        // Pipelining state: `load` counts units anywhere in a machine's
+        // pipeline (requested + in delivery + prefetched + computing);
+        // requests are only issued while it stays below
+        // `pipeline_depth`, and prefetched units start computing the
+        // moment the previous unit's result is away.
+        type PrefetchedUnit = (ProblemId, Arc<WorkUnit>, Arc<dyn Algorithm>);
+        let depth = self.cfg.pipeline_depth.max(1);
+        let mut computing = vec![false; n];
+        let mut load = vec![0usize; n];
+        let mut prefetch: Vec<VecDeque<PrefetchedUnit>> = (0..n).map(|_| VecDeque::new()).collect();
 
         let total_setup: u64 = (0..self.server.problem_count())
             .map(|p| self.server.setup_bytes(p))
@@ -227,6 +263,7 @@ impl SimRunner {
                         format!("deliver {machine} unit {}", unit.id)
                     }
                     Ev::ComputeDone { machine, .. } => format!("compute-done {machine}"),
+                    Ev::PollRetry(m, e) => format!("poll-retry {m} (epoch {e})"),
                     Ev::Leave(m) => format!("leave {m}"),
                     Ev::Crash { machine, down_secs } => {
                         format!("crash {machine} (down {down_secs:.1}s)")
@@ -251,6 +288,9 @@ impl SimRunner {
                         continue;
                     }
                     alive[m] = true;
+                    computing[m] = false;
+                    prefetch[m].clear();
+                    load[m] = 1; // the setup request about to go out
                     tel.emit_at(
                         now,
                         crate::telemetry::EventKind::MachineJoined { client: m },
@@ -273,7 +313,43 @@ impl SimRunner {
                             unit,
                             algorithm,
                         } => {
-                            let bytes = unit.payload.wire_bytes() + self.cfg.control_bytes;
+                            // The unit itself is small (a range plus
+                            // chunk digests); residue bytes only cross
+                            // the link when the machine's chunk cache
+                            // misses, and each served chunk feeds the
+                            // scheduler's affinity map — exactly the
+                            // TCP backend's story.
+                            let mut bytes = unit.payload.wire_bytes() + self.cfg.control_bytes;
+                            let needs = self.server.unit_chunk_needs(problem, &unit.payload);
+                            if !needs.is_empty() {
+                                let codec = self.server.codec(problem);
+                                let mut served = Vec::new();
+                                for need in &needs {
+                                    if chunk_caches[m].get_verified(need.digest).is_some() {
+                                        tel.counter_add("cache.hits", 1);
+                                        continue;
+                                    }
+                                    tel.counter_add("cache.misses", 1);
+                                    bytes += need.bytes;
+                                    tel.counter_add("cache.bytes_fetched", need.bytes);
+                                    tel.counter_add("net.chunks_served", 1);
+                                    tel.counter_add("net.chunk_bytes_out", need.bytes);
+                                    if let Some(chunk) =
+                                        codec.as_ref().and_then(|c| c.encode_chunk(need.chunk).ok())
+                                    {
+                                        let before = chunk_caches[m].stats().evictions;
+                                        chunk_caches[m].insert(need.digest, Arc::new(chunk));
+                                        let evicted = chunk_caches[m].stats().evictions - before;
+                                        if evicted > 0 {
+                                            tel.counter_add("cache.evictions", evicted);
+                                        }
+                                    }
+                                    served.push(need.digest);
+                                }
+                                if !served.is_empty() {
+                                    self.server.note_client_chunks(m, &served);
+                                }
+                            }
                             self.network
                                 .set_server_degradation(injector.link_scale(now));
                             let delivered = self.network.transfer(m, now, bytes);
@@ -290,12 +366,11 @@ impl SimRunner {
                         }
                         Assignment::Wait => {
                             let retry = now + self.cfg.poll_interval_secs;
-                            self.network
-                                .set_server_degradation(injector.link_scale(retry));
-                            let arrives = self.network.transfer(m, retry, self.cfg.control_bytes);
-                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                            events.schedule(retry, Ev::PollRetry(m, e));
                         }
-                        Assignment::Finished => {}
+                        Assignment::Finished => {
+                            load[m] = load[m].saturating_sub(1);
+                        }
                     }
                 }
                 Ev::UnitDelivered {
@@ -308,6 +383,13 @@ impl SimRunner {
                     if !alive[m] || e != epoch[m] {
                         continue; // unit lost with the crashed machine
                     }
+                    if computing[m] {
+                        // The machine is busy: this is a prefetched
+                        // unit whose transfer overlapped the compute.
+                        prefetch[m].push_back((problem, unit, algorithm));
+                        continue;
+                    }
+                    computing[m] = true;
                     // Execute for real (correct output), charge virtual
                     // time from the cost model and the machine's trace.
                     // An active straggler window scales the unit's
@@ -328,6 +410,13 @@ impl SimRunner {
                             algorithm,
                         },
                     );
+                    // Pipelining: request the next unit while this one
+                    // computes, so its transfer hides behind the work.
+                    if load[m] < depth {
+                        load[m] += 1;
+                        let arrives = self.network.transfer(m, now, self.cfg.control_bytes);
+                        events.schedule(arrives, Ev::RequestArrived(m, e));
+                    }
                 }
                 Ev::ComputeDone {
                     machine: m,
@@ -340,6 +429,8 @@ impl SimRunner {
                     if !alive[m] || e != epoch[m] {
                         continue; // work lost with the departed machine
                     }
+                    computing[m] = false;
+                    load[m] = load[m].saturating_sub(1);
                     self.network
                         .set_server_degradation(injector.link_scale(now));
                     match injector.delivery_action(m, now) {
@@ -349,7 +440,10 @@ impl SimRunner {
                             // The result message doubles as the next
                             // work request.
                             self.server.submit_result(m, problem, result, arrives);
-                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                            if load[m] < depth {
+                                load[m] += 1;
+                                events.schedule(arrives, Ev::RequestArrived(m, e));
+                            }
                         }
                         DeliveryAction::Drop => {
                             tel.emit_at(
@@ -362,9 +456,11 @@ impl SimRunner {
                             // The message vanishes in transit; the lease
                             // must expire to recover the unit. The client
                             // re-polls after its usual interval.
-                            let retry = now + self.cfg.poll_interval_secs;
-                            let arrives = self.network.transfer(m, retry, self.cfg.control_bytes);
-                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                            if load[m] < depth {
+                                load[m] += 1;
+                                let retry = now + self.cfg.poll_interval_secs;
+                                events.schedule(retry, Ev::PollRetry(m, e));
+                            }
                         }
                         DeliveryAction::Duplicate => {
                             tel.emit_at(
@@ -382,7 +478,10 @@ impl SimRunner {
                             let second = self.network.transfer(m, arrives, bytes);
                             self.server.submit_result(m, problem, result, arrives);
                             self.server.submit_result(m, problem, copy, second);
-                            events.schedule(second, Ev::RequestArrived(m, e));
+                            if load[m] < depth {
+                                load[m] += 1;
+                                events.schedule(second, Ev::RequestArrived(m, e));
+                            }
                         }
                         DeliveryAction::Corrupt => {
                             tel.emit_at(
@@ -398,15 +497,44 @@ impl SimRunner {
                             let arrives = self.network.transfer(m, now, bytes);
                             self.server
                                 .result_corrupted(m, problem, result.unit_id, arrives);
-                            events.schedule(arrives, Ev::RequestArrived(m, e));
+                            if load[m] < depth {
+                                load[m] += 1;
+                                events.schedule(arrives, Ev::RequestArrived(m, e));
+                            }
                         }
                     }
+                    // A prefetched unit starts computing immediately —
+                    // its transfer already overlapped the last compute.
+                    if let Some((problem, unit, algorithm)) = prefetch[m].pop_front() {
+                        events.schedule(
+                            now,
+                            Ev::UnitDelivered {
+                                machine: m,
+                                epoch: e,
+                                problem,
+                                unit,
+                                algorithm,
+                            },
+                        );
+                    }
+                }
+                Ev::PollRetry(m, e) => {
+                    if !alive[m] || e != epoch[m] {
+                        continue; // retry loop from a past life
+                    }
+                    self.network
+                        .set_server_degradation(injector.link_scale(now));
+                    let arrives = self.network.transfer(m, now, self.cfg.control_bytes);
+                    events.schedule(arrives, Ev::RequestArrived(m, e));
                 }
                 Ev::Leave(m) => {
                     departed[m] = true;
                     if alive[m] {
                         alive[m] = false;
                         epoch[m] += 1;
+                        computing[m] = false;
+                        prefetch[m].clear();
+                        load[m] = 0;
                         tel.emit_at(
                             now,
                             crate::telemetry::EventKind::MachineDeparted { client: m },
@@ -429,9 +557,14 @@ impl SimRunner {
                     }
                     // Silent crash: in-flight work is lost (the epoch
                     // bump discards it) and the server only learns via
-                    // lease expiry. The machine reboots and rejoins.
+                    // lease expiry. The machine reboots with a cold
+                    // chunk cache and rejoins.
                     alive[m] = false;
                     epoch[m] += 1;
+                    computing[m] = false;
+                    prefetch[m].clear();
+                    load[m] = 0;
+                    chunk_caches[m].clear();
                     tel.emit_at(
                         now,
                         crate::telemetry::EventKind::MachineCrashed {
@@ -767,6 +900,163 @@ mod tests {
         assert!(
             flappy > clean,
             "degraded link {flappy} must exceed clean {clean}"
+        );
+    }
+
+    /// A miniature chunked problem: every unit needs the same 1 MiB
+    /// data chunk, so the first delivery to a machine misses and every
+    /// later one should hit its modeled chunk cache.
+    mod chunky {
+        use super::*;
+        use crate::codec::{ByteReader, ByteWriter, ChunkNeed, WireCodec, WireError};
+        use crate::net::cache::chunk_digest;
+        use crate::problem::{DataManager, Payload, Problem, TaskResult};
+
+        pub const CHUNK_BYTES: usize = 1 << 20;
+
+        pub fn chunk_bytes() -> Vec<u8> {
+            (0..CHUNK_BYTES).map(|i| (i % 251) as u8).collect()
+        }
+
+        struct Dm {
+            issued: u64,
+            units: u64,
+            received: u64,
+        }
+        impl DataManager for Dm {
+            fn next_unit(&mut self, _h: f64) -> Option<WorkUnit> {
+                if self.issued >= self.units {
+                    return None;
+                }
+                let id = self.issued;
+                self.issued += 1;
+                Some(WorkUnit {
+                    id,
+                    payload: Payload::new(id, 64),
+                    cost_ops: 1e7,
+                })
+            }
+            fn accept_result(&mut self, _r: TaskResult) {
+                self.received += 1;
+            }
+            fn is_complete(&self) -> bool {
+                self.received == self.units
+            }
+            fn final_output(&mut self) -> Payload {
+                Payload::new(self.received, 8)
+            }
+        }
+
+        struct Algo;
+        impl Algorithm for Algo {
+            fn compute(&self, u: &WorkUnit) -> TaskResult {
+                TaskResult {
+                    unit_id: u.id,
+                    payload: Payload::new(u.id, 8),
+                }
+            }
+        }
+
+        struct Codec;
+        impl WireCodec for Codec {
+            fn encode_unit(&self, p: &Payload) -> Result<Vec<u8>, WireError> {
+                let mut w = ByteWriter::new();
+                w.u64(*p.downcast_ref::<u64>().unwrap());
+                Ok(w.into_bytes())
+            }
+            fn decode_unit(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+                let mut r = ByteReader::new(bytes);
+                let id = r.u64()?;
+                r.finish()?;
+                Ok(Payload::new(id, 64))
+            }
+            fn encode_result(&self, p: &Payload) -> Result<Vec<u8>, WireError> {
+                let mut w = ByteWriter::new();
+                w.u64(*p.downcast_ref::<u64>().unwrap());
+                Ok(w.into_bytes())
+            }
+            fn decode_result(&self, bytes: &[u8]) -> Result<Payload, WireError> {
+                let mut r = ByteReader::new(bytes);
+                let id = r.u64()?;
+                r.finish()?;
+                Ok(Payload::new(id, 8))
+            }
+            fn unit_chunks(&self, _p: &Payload) -> Vec<ChunkNeed> {
+                vec![ChunkNeed {
+                    chunk: 0,
+                    digest: chunk_digest(&chunk_bytes()),
+                    bytes: CHUNK_BYTES as u64,
+                }]
+            }
+            fn encode_chunk(&self, chunk: u64) -> Result<Vec<u8>, WireError> {
+                if chunk == 0 {
+                    Ok(chunk_bytes())
+                } else {
+                    Err(WireError::new(format!("no chunk {chunk}")))
+                }
+            }
+        }
+
+        pub fn problem(units: u64) -> Problem {
+            Problem::new(
+                "chunky",
+                Box::new(Dm {
+                    issued: 0,
+                    units,
+                    received: 0,
+                }),
+                Arc::new(Algo),
+            )
+            .with_codec(Arc::new(Codec))
+        }
+    }
+
+    fn chunky_run(cache_bytes: u64, pipeline_depth: usize, units: u64) -> RunReport {
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 10.0,
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(chunky::problem(units));
+        let cfg = SimConfig {
+            chunk_cache_bytes: cache_bytes,
+            pipeline_depth,
+            ..Default::default()
+        };
+        let (report, _) = SimRunner::new(
+            server,
+            dedicated_pool(1, 1e7),
+            biodist_gridsim::network::SharedLink::hundred_mbit(),
+            cfg,
+        )
+        .run();
+        report
+    }
+
+    #[test]
+    fn chunk_cache_eliminates_repeat_transfers() {
+        // One machine, eight units all needing the same chunk: a warm
+        // cache transfers it once; a zero-capacity cache re-fetches it
+        // for every unit.
+        let cached = chunky_run(64 * 1024 * 1024, 1, 8).bytes_transferred;
+        let uncached = chunky_run(0, 1, 8).bytes_transferred;
+        let chunk = chunky::CHUNK_BYTES as u64;
+        assert!(
+            uncached >= cached + 6 * chunk,
+            "cached {cached} vs uncached {uncached}"
+        );
+    }
+
+    #[test]
+    fn pipelined_dispatch_overlaps_transfers_with_compute() {
+        // Cache disabled so every unit pays a 1 MiB transfer; with a
+        // queue depth of 2 that transfer hides behind the previous
+        // compute instead of serialising with it.
+        let serial = chunky_run(0, 1, 6).makespan;
+        let pipelined = chunky_run(0, 2, 6).makespan;
+        assert!(
+            pipelined + 0.2 < serial,
+            "pipelined {pipelined} must beat serial {serial}"
         );
     }
 

@@ -11,11 +11,11 @@
 
 use crate::config::DsearchConfig;
 use biodist_align::{AlignKernel, Hit, PreparedQuery, TopK};
-use biodist_bioseq::Sequence;
+use biodist_bioseq::{Alphabet, Sequence};
 use biodist_core::telemetry::{OPS_BOUNDS, SIZE_BOUNDS};
 use biodist_core::{
-    Algorithm, ByteReader, ByteWriter, DataManager, Payload, Problem, TaskResult, Telemetry,
-    UnitId, WireCodec, WireError, WorkUnit,
+    chunk_digest, Algorithm, ByteReader, ByteWriter, ChunkNeed, DataManager, Payload, Problem,
+    TaskResult, Telemetry, UnitId, WireCodec, WireError, WorkUnit,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -56,17 +56,71 @@ impl SearchOutput {
     }
 }
 
-/// The unit payload: a range of database indices.
-#[derive(Debug, Clone, Copy)]
-struct ChunkRange {
+/// The unit payload: a range of database indices plus the chunk
+/// references a remote donor needs to compute it. In-process backends
+/// leave `data` as `None` and the algorithm scans its local database
+/// slice; over TCP the client hydrates `data` from its chunk cache
+/// (fetching misses), so only absent residues ever cross the wire.
+#[derive(Debug, Clone)]
+struct DsearchUnit {
     start: usize,
     end: usize,
+    needs: Vec<ChunkNeed>,
+    data: Option<Vec<Sequence>>,
+}
+
+/// One database sequence as wire bytes (the `ChunkData` payload): id,
+/// alphabet tag, length-prefixed residue codes.
+fn encode_db_chunk(seq: &Sequence) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(&seq.id);
+    w.u8(match seq.alphabet {
+        Alphabet::Dna => 0,
+        Alphabet::Protein => 1,
+    });
+    w.bytes(seq.codes());
+    w.into_bytes()
+}
+
+fn decode_db_chunk(bytes: &[u8]) -> Result<Sequence, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let id = r.str()?;
+    let alphabet = match r.u8()? {
+        0 => Alphabet::Dna,
+        1 => Alphabet::Protein,
+        t => return Err(WireError::new(format!("unknown alphabet tag {t}"))),
+    };
+    let codes = r.bytes()?.to_vec();
+    r.finish()?;
+    // `Sequence::from_codes` asserts code ranges; validate first so a
+    // hostile chunk is a WireError, not a panic.
+    if codes.iter().any(|&c| c > alphabet.any_code()) {
+        return Err(WireError::new("residue code out of range for alphabet"));
+    }
+    Ok(Sequence::from_codes(&id, alphabet, codes))
+}
+
+/// Precomputed per-sequence chunk metadata: `chunk_meta[i]` describes
+/// database sequence `i` as shipped by [`WireCodec::encode_chunk`].
+fn chunk_table(db: &[Sequence]) -> Vec<ChunkNeed> {
+    db.iter()
+        .enumerate()
+        .map(|(i, seq)| {
+            let bytes = encode_db_chunk(seq);
+            ChunkNeed {
+                chunk: i as u64,
+                digest: chunk_digest(&bytes),
+                bytes: bytes.len() as u64,
+            }
+        })
+        .collect()
 }
 
 struct DsearchDm {
     db: Arc<Vec<Sequence>>,
     queries: Arc<Vec<Sequence>>,
     kernel: AlignKernel,
+    chunk_meta: Arc<Vec<ChunkNeed>>,
     top_hits: usize,
     cost_scale: f64,
     cursor: usize,
@@ -81,8 +135,8 @@ struct DsearchDm {
 }
 
 impl DsearchDm {
-    fn chunk_cost(&self, range: ChunkRange) -> f64 {
-        self.db[range.start..range.end]
+    fn chunk_cost(&self, range: std::ops::Range<usize>) -> f64 {
+        self.db[range]
             .iter()
             .map(|s| {
                 self.queries
@@ -113,32 +167,34 @@ impl DataManager for DsearchDm {
                 * self.cost_scale;
             self.cursor += 1;
         }
-        let range = ChunkRange {
-            start,
-            end: self.cursor,
-        };
+        let end = self.cursor;
         self.outstanding += 1;
         let id = self.next_id;
         self.next_id += 1;
-        // On a real wire this unit ships the chunk's residues.
-        let wire: u64 = self.db[range.start..range.end]
-            .iter()
-            .map(|s| s.len() as u64 + 64)
-            .sum();
-        let cost_ops = self.chunk_cost(range);
+        let needs = self.chunk_meta[start..end].to_vec();
+        // The unit itself is now just references: range + chunk list.
+        // Residues cross the wire separately, and only on cache miss
+        // (the backends charge those bytes per missing ChunkNeed).
+        let wire = 16 + needs.len() as u64 * 24;
+        let cost_ops = self.chunk_cost(start..end);
         if self.telemetry.is_enabled() {
             self.telemetry.counter_add("dsearch.units_issued", 1);
-            self.telemetry.observe(
-                "dsearch.chunk_seqs",
-                SIZE_BOUNDS,
-                (range.end - range.start) as f64,
-            );
+            self.telemetry
+                .observe("dsearch.chunk_seqs", SIZE_BOUNDS, (end - start) as f64);
             self.telemetry
                 .observe("dsearch.chunk_ops", OPS_BOUNDS, cost_ops);
         }
         Some(WorkUnit {
             id,
-            payload: Payload::new(range, wire),
+            payload: Payload::new(
+                DsearchUnit {
+                    start,
+                    end,
+                    needs,
+                    data: None,
+                },
+                wire,
+            ),
             cost_ops,
         })
     }
@@ -199,12 +255,19 @@ struct DsearchAlgo {
 
 impl Algorithm for DsearchAlgo {
     fn compute(&self, unit: &WorkUnit) -> TaskResult {
-        let range = *unit
+        let u = unit
             .payload
-            .downcast_ref::<ChunkRange>()
-            .expect("chunk range");
+            .downcast_ref::<DsearchUnit>()
+            .expect("dsearch unit");
+        // Hydrated units (TCP) carry their residues; in-process units
+        // reference the locally shared database slice. Both paths score
+        // identical sequences, so results are bit-identical.
+        let subjects: &[Sequence] = match &u.data {
+            Some(data) => data,
+            None => &self.db[u.start..u.end],
+        };
         let mut per_query: BTreeMap<String, TopK> = BTreeMap::new();
-        for subject in &self.db[range.start..range.end] {
+        for subject in subjects {
             for (query, prep) in self.queries.iter().zip(&self.prepared) {
                 let score = self.kernel.score_prepared(query, prep, subject);
                 per_query
@@ -229,33 +292,59 @@ impl Algorithm for DsearchAlgo {
     }
 }
 
-/// Wire codec for DSEARCH. A unit is its database index range (the
-/// database itself is pre-staged on donors at setup time, like the
-/// paper's donor-side caching, so only the range crosses per unit); a
-/// result is the chunk's flat hit list.
-struct DsearchCodec;
+/// Wire codec for DSEARCH. A unit is its database index range plus the
+/// chunk references it depends on (paper-style donor-side caching made
+/// real: residues ship as separate `ChunkData` frames, once per donor,
+/// cache-keyed by content digest); a result is the chunk's flat hit
+/// list.
+struct DsearchCodec {
+    db: Arc<Vec<Sequence>>,
+}
 
 impl WireCodec for DsearchCodec {
     fn encode_unit(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
-        let range = payload
-            .downcast_ref::<ChunkRange>()
-            .ok_or_else(|| WireError::new("dsearch unit payload is not a chunk range"))?;
+        let u = payload
+            .downcast_ref::<DsearchUnit>()
+            .ok_or_else(|| WireError::new("dsearch unit payload is not a DsearchUnit"))?;
         let mut w = ByteWriter::new();
-        w.usize(range.start);
-        w.usize(range.end);
+        w.usize(u.start);
+        w.usize(u.end);
+        w.u32(u.needs.len() as u32);
+        for need in &u.needs {
+            w.u64(need.chunk);
+            w.u64(need.digest);
+            w.u64(need.bytes);
+        }
         Ok(w.into_bytes())
     }
 
     fn decode_unit(&self, bytes: &[u8]) -> Result<Payload, WireError> {
         let mut r = ByteReader::new(bytes);
         let (start, end) = (r.usize()?, r.usize()?);
-        r.finish()?;
         if start > end {
             return Err(WireError::new(format!(
                 "inverted chunk range {start}..{end}"
             )));
         }
-        Ok(Payload::new(ChunkRange { start, end }, bytes.len() as u64))
+        let n = r.count(24)?;
+        let mut needs = Vec::with_capacity(n);
+        for _ in 0..n {
+            needs.push(ChunkNeed {
+                chunk: r.u64()?,
+                digest: r.u64()?,
+                bytes: r.u64()?,
+            });
+        }
+        r.finish()?;
+        Ok(Payload::new(
+            DsearchUnit {
+                start,
+                end,
+                needs,
+                data: None,
+            },
+            bytes.len() as u64,
+        ))
     }
 
     fn encode_result(&self, payload: &Payload) -> Result<Vec<u8>, WireError> {
@@ -287,6 +376,54 @@ impl WireCodec for DsearchCodec {
         r.finish()?;
         Ok(Payload::new(hits, bytes.len() as u64))
     }
+
+    fn unit_chunks(&self, payload: &Payload) -> Vec<ChunkNeed> {
+        payload
+            .downcast_ref::<DsearchUnit>()
+            .map(|u| u.needs.clone())
+            .unwrap_or_default()
+    }
+
+    fn encode_chunk(&self, chunk: u64) -> Result<Vec<u8>, WireError> {
+        let seq = usize::try_from(chunk)
+            .ok()
+            .and_then(|i| self.db.get(i))
+            .ok_or_else(|| WireError::new(format!("chunk {chunk} out of database range")))?;
+        Ok(encode_db_chunk(seq))
+    }
+
+    fn hydrate_unit(
+        &self,
+        payload: Payload,
+        chunks: &[(u64, Arc<Vec<u8>>)],
+    ) -> Result<Payload, WireError> {
+        let u = payload
+            .downcast_ref::<DsearchUnit>()
+            .ok_or_else(|| WireError::new("dsearch unit payload is not a DsearchUnit"))?;
+        if chunks.len() != u.needs.len() {
+            return Err(WireError::new(format!(
+                "hydration got {} chunks for {} needs",
+                chunks.len(),
+                u.needs.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(chunks.len());
+        for (need, (chunk, bytes)) in u.needs.iter().zip(chunks) {
+            if *chunk != need.chunk {
+                return Err(WireError::new(format!(
+                    "hydration chunk {chunk} out of order (expected {})",
+                    need.chunk
+                )));
+            }
+            data.push(decode_db_chunk(bytes)?);
+        }
+        let wire = payload.wire_bytes();
+        let hydrated = DsearchUnit {
+            data: Some(data),
+            ..u.clone()
+        };
+        Ok(Payload::new(hydrated, wire))
+    }
 }
 
 /// Builds the DSEARCH [`Problem`] for a database, query set and
@@ -304,10 +441,12 @@ pub fn build_problem(
     // Clients download the query file and search code up front; the
     // database itself arrives chunk by chunk.
     let setup: u64 = queries.iter().map(|q| q.len() as u64 + 64).sum::<u64>() + 100_000;
+    let chunk_meta = Arc::new(chunk_table(&db));
     let dm = DsearchDm {
         db: db.clone(),
         queries: queries.clone(),
         kernel: kernel.clone(),
+        chunk_meta,
         top_hits: config.top_hits,
         cost_scale: config.cost_scale,
         cursor: 0,
@@ -318,7 +457,7 @@ pub fn build_problem(
     };
     let prepared = queries.iter().map(|q| kernel.prepare(q)).collect();
     let algo = DsearchAlgo {
-        db,
+        db: db.clone(),
         queries,
         kernel,
         prepared,
@@ -326,7 +465,7 @@ pub fn build_problem(
     };
     Problem::new("dsearch", Box::new(dm), Arc::new(algo))
         .with_setup_bytes(setup)
-        .with_codec(Arc::new(DsearchCodec))
+        .with_codec(Arc::new(DsearchCodec { db }))
 }
 
 #[cfg(test)]
@@ -427,10 +566,12 @@ mod tests {
     fn chunking_respects_granularity_hint() {
         let (db, queries, cfg) = test_inputs();
         let kernel = AlignKernel::new(cfg.kernel, cfg.scheme.clone());
+        let chunk_meta = Arc::new(chunk_table(&db));
         let mut dm = DsearchDm {
             db: Arc::new(db),
             queries: Arc::new(queries),
             kernel,
+            chunk_meta,
             top_hits: 10,
             cost_scale: 1.0,
             cursor: 0,
@@ -457,10 +598,12 @@ mod tests {
         let (db, queries, cfg) = test_inputs();
         let n = db.len();
         let kernel = AlignKernel::new(cfg.kernel, cfg.scheme.clone());
+        let chunk_meta = Arc::new(chunk_table(&db));
         let mut dm = DsearchDm {
             db: Arc::new(db),
             queries: Arc::new(queries),
             kernel,
+            chunk_meta,
             top_hits: 10,
             cost_scale: 1.0,
             cursor: 0,
@@ -471,13 +614,13 @@ mod tests {
         };
         let mut covered = vec![false; n];
         while let Some(unit) = dm.next_unit(100_000.0) {
-            let range = *unit.payload.downcast_ref::<ChunkRange>().unwrap();
-            for (i, c) in covered
-                .iter_mut()
-                .enumerate()
-                .take(range.end)
-                .skip(range.start)
-            {
+            let u = unit.payload.downcast_ref::<DsearchUnit>().unwrap();
+            assert_eq!(
+                u.needs.len(),
+                u.end - u.start,
+                "one chunk reference per sequence"
+            );
+            for (i, c) in covered.iter_mut().enumerate().take(u.end).skip(u.start) {
                 assert!(!*c, "sequence {i} issued twice");
                 *c = true;
             }
@@ -487,16 +630,31 @@ mod tests {
 
     #[test]
     fn wire_codec_round_trips_units_and_results() {
-        let codec = DsearchCodec;
-        let unit = Payload::new(ChunkRange { start: 3, end: 17 }, 16);
+        let (db, _, _) = test_inputs();
+        let meta = chunk_table(&db);
+        let codec = DsearchCodec {
+            db: Arc::new(db.clone()),
+        };
+        let unit = Payload::new(
+            DsearchUnit {
+                start: 3,
+                end: 17,
+                needs: meta[3..17].to_vec(),
+                data: None,
+            },
+            16,
+        );
         let bytes = codec.encode_unit(&unit).unwrap();
         let back = codec.decode_unit(&bytes).unwrap();
-        let range = back.downcast_ref::<ChunkRange>().unwrap();
-        assert_eq!((range.start, range.end), (3, 17));
+        let u = back.downcast_ref::<DsearchUnit>().unwrap();
+        assert_eq!((u.start, u.end), (3, 17));
+        assert_eq!(u.needs, meta[3..17].to_vec());
+        assert!(u.data.is_none(), "decode yields the reference form");
         // An inverted range is rejected, not trusted.
         let mut w = biodist_core::ByteWriter::new();
         w.usize(9);
         w.usize(2);
+        w.u32(0);
         assert!(codec.decode_unit(&w.into_bytes()).is_err());
 
         let hits = vec![
@@ -516,6 +674,52 @@ mod tests {
         let back = codec.decode_result(&bytes).unwrap();
         assert_eq!(back.downcast_ref::<Vec<Hit>>(), Some(&hits));
         assert!(codec.decode_result(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn chunks_serve_verify_and_hydrate_to_identical_sequences() {
+        let (db, _, _) = test_inputs();
+        let meta = chunk_table(&db);
+        let codec = DsearchCodec {
+            db: Arc::new(db.clone()),
+        };
+        // Every served chunk matches its advertised digest and size.
+        for need in &meta {
+            let bytes = codec.encode_chunk(need.chunk).unwrap();
+            assert_eq!(biodist_core::chunk_digest(&bytes), need.digest);
+            assert_eq!(bytes.len() as u64, need.bytes);
+        }
+        assert!(codec.encode_chunk(db.len() as u64).is_err());
+
+        // Hydrating a decoded unit from served chunks reproduces the
+        // exact subject sequences the in-process algorithm would scan.
+        let unit = Payload::new(
+            DsearchUnit {
+                start: 2,
+                end: 7,
+                needs: meta[2..7].to_vec(),
+                data: None,
+            },
+            16,
+        );
+        let decoded = codec
+            .decode_unit(&codec.encode_unit(&unit).unwrap())
+            .unwrap();
+        let fetched: Vec<(u64, Arc<Vec<u8>>)> = meta[2..7]
+            .iter()
+            .map(|n| (n.chunk, Arc::new(codec.encode_chunk(n.chunk).unwrap())))
+            .collect();
+        let hydrated = codec.hydrate_unit(decoded, &fetched).unwrap();
+        let u = hydrated.downcast_ref::<DsearchUnit>().unwrap();
+        let data = u.data.as_ref().expect("hydrated data");
+        for (got, want) in data.iter().zip(&db[2..7]) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.codes(), want.codes());
+        }
+        // A short or reordered chunk list is rejected.
+        let unit2 = codec.encode_unit(&unit).unwrap();
+        let decoded2 = codec.decode_unit(&unit2).unwrap();
+        assert!(codec.hydrate_unit(decoded2, &fetched[1..]).is_err());
     }
 
     #[test]

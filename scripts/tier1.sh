@@ -8,4 +8,14 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 
+# Run the net-loopback suites by name so the gate fails loudly if they
+# are ever filtered out of the default run (disabled test target,
+# harness config drift) instead of passing vacuously: the TCP chaos
+# sweep through the fault proxy, the kill-and-restart checkpoint
+# recovery, and the 24-donor stress soak with its ≥90% second-pass
+# cache-reduction assertion.
+cargo test -q --offline --test chaos tcp
+cargo test -q --offline --test net_recovery
+cargo test -q --offline --test stress
+
 echo "tier1: OK"

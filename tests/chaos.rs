@@ -18,7 +18,7 @@ use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
 use biodist::bioseq::{Alphabet, Sequence};
 use biodist::core::{
     audited, run_tcp_faulty, run_threaded_faulty, ChaosOptions, FaultKind, FaultPlan,
-    SchedulerConfig, Server, SimRunner,
+    SchedulerConfig, Server, SimConfig, SimRunner,
 };
 use biodist::dprml::{build_problem as dprml_problem, DprmlConfig, PhyloOutput};
 use biodist::dsearch::{
@@ -67,11 +67,14 @@ fn tcp_seeds() -> Vec<u64> {
     }
 }
 
-/// Formats a chaos failure so the run is reproducible from the message.
+/// Formats a chaos failure so the run is reproducible from the message:
+/// the replay command, the seed, the plan's content digest (to detect a
+/// generator drift masquerading as "the same seed"), and the plan data.
 fn chaos_panic(app: &str, backend: &str, seed: u64, plan: &FaultPlan, why: String) -> ! {
     panic!(
         "chaos failure [{app}/{backend}] — replay with BIODIST_CHAOS_SEED={seed} \
-         cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  plan: {plan:?}"
+         cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  plan digest: {:#018x}\n  plan: {plan:?}",
+        plan.digest()
     )
 }
 
@@ -450,6 +453,128 @@ fn backend_parity_tcp_same_plan() {
         assert_eq!(
             tcp_digest, w.reference,
             "seed {seed}: both differ from reference"
+        );
+    }
+}
+
+/// Backend parity with the data-movement machinery turned all the way
+/// up: affinity-aware scheduling (lookahead 3) and pipelined dispatch
+/// (simulator `pipeline_depth` 2; the TCP donors prefetch with their
+/// default queue depth of 2). Neither knob may change *what* is
+/// computed — only when and where — so both backends must still land
+/// on the sequential digest under the same fault plan.
+#[test]
+fn backend_parity_affinity_pipelined_same_plan() {
+    let w = dsearch_workload();
+    let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+    for seed in [5u64, 17] {
+        let plan = FaultPlan::random(seed, &opts);
+
+        let mut server = Server::new(SchedulerConfig {
+            affinity_lookahead: 3,
+            ..Default::default()
+        });
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let sim_cfg = SimConfig {
+            pipeline_depth: 2,
+            ..Default::default()
+        };
+        let (_, mut server) = SimRunner::new(
+            server,
+            homogeneous_lab(POOL, 7),
+            biodist::gridsim::network::SharedLink::hundred_mbit(),
+            sim_cfg,
+        )
+        .with_faults(plan.clone())
+        .run();
+        let sim_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        let mut server = Server::new(SchedulerConfig {
+            affinity_lookahead: 3,
+            ..thread_cfg()
+        });
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+        let tcp_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+
+        if sim_digest != tcp_digest {
+            chaos_panic(
+                "dsearch",
+                "sim+tcp affinity/pipelined",
+                seed,
+                &plan,
+                "backends disagree with affinity + pipelining enabled".into(),
+            );
+        }
+        if tcp_digest != w.reference {
+            chaos_panic(
+                "dsearch",
+                "sim+tcp affinity/pipelined",
+                seed,
+                &plan,
+                "both backends differ from the sequential reference".into(),
+            );
+        }
+    }
+}
+
+/// Regression: a donor crashing in the middle of the chunk-transfer
+/// phase (right after joining, when `ChunkData` frames are in flight)
+/// must neither wedge the unit's lease nor leave a corrupted entry in
+/// any cache. The crashed donor reboots with a cold cache, refetches,
+/// and the run still reproduces the sequential digest under audit.
+#[test]
+fn tcp_crash_mid_chunk_transfer_recovers() {
+    let w = dsearch_workload();
+    let mut plan = FaultPlan::new(0);
+    // Crashes land at the very start of the horizon — donors are still
+    // pulling their first chunks — with staggered short reboots.
+    for (i, c) in (0..3).enumerate() {
+        plan.push(
+            0.01 + 0.01 * i as f64,
+            c,
+            FaultKind::Crash {
+                down_secs: 0.05 + 0.02 * i as f64,
+            },
+        );
+    }
+    // And one dropped result on a survivor, so lease recovery runs too.
+    plan.push(0.05, 4, FaultKind::DropResult);
+    let mut server = Server::new(SchedulerConfig {
+        affinity_lookahead: 3,
+        ..thread_cfg()
+    });
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "tcp crash-mid-chunk",
+            0,
+            &plan,
+            "output differs from reference after mid-transfer crashes".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "tcp crash-mid-chunk",
+            0,
+            &plan,
+            format!("invariants violated: {v:?}"),
         );
     }
 }

@@ -6,10 +6,14 @@
 //! dependency — the build must work fully offline), with a fixed seed
 //! per property so failures reproduce exactly.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use biodist::align::{
     nw_align, nw_banded_score, nw_score, sw_align, sw_score, sw_score_antidiagonal, Hit, TopK,
 };
 use biodist::bioseq::{Alphabet, GapPenalty, ScoringMatrix, ScoringScheme, Sequence};
+use biodist::core::{chunk_digest, ChunkCache};
 use biodist::gridsim::event::EventQueue;
 use biodist::phylo::evolve::random_yule_tree;
 use biodist::phylo::model::{GammaRates, ModelKind, SubstModel};
@@ -339,6 +343,175 @@ fn spr_moves_all_preserve_invariants() {
             taxa.sort_unstable();
             assert_eq!(taxa, (0..n).collect::<Vec<_>>());
         }
+    }
+}
+
+/// A `(digest, bytes)` chunk whose key really is its content digest, so
+/// [`ChunkCache::get_verified`] treats it as intact.
+fn honest_chunk(rng: &mut dyn Rng, max_len: usize) -> (u64, Arc<Vec<u8>>) {
+    let n = rng.next_range(1, max_len as u64) as usize;
+    let bytes: Vec<u8> = (0..n).map(|_| rng.next_below(256) as u8).collect();
+    (chunk_digest(&bytes), Arc::new(bytes))
+}
+
+/// Every LRU property derives one RNG per case from a printed seed, so
+/// a failure replays (and effectively shrinks) by re-running just that
+/// `case_seed` — no dependence on earlier cases' draws.
+#[test]
+fn chunk_cache_capacity_is_never_exceeded() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x11_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let cap = rng.next_range(1, 200);
+        let mut cache = ChunkCache::new(cap);
+        for _ in 0..100 {
+            // Oversized chunks (up to 2× capacity) must be refused, not
+            // squeezed in.
+            let (d, bytes) = honest_chunk(&mut rng, (2 * cap) as usize);
+            let fits = bytes.len() as u64 <= cap;
+            if rng.next_below(4) == 0 {
+                cache.get_verified(d);
+            } else {
+                assert_eq!(
+                    cache.insert(d, bytes),
+                    fits,
+                    "insert refusal wrong (case_seed={case_seed:#x})"
+                );
+            }
+            assert!(
+                cache.used_bytes() <= cache.capacity_bytes(),
+                "capacity exceeded: {} > {} (case_seed={case_seed:#x})",
+                cache.used_bytes(),
+                cache.capacity_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_cache_hit_never_retransfers() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x12_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let n = rng.next_range(1, 8) as usize;
+        let chunks: Vec<(u64, Arc<Vec<u8>>)> = (0..n).map(|_| honest_chunk(&mut rng, 64)).collect();
+        // The whole working set fits, so after its first transfer a
+        // chunk must be served from cache forever.
+        let total: u64 = chunks.iter().map(|(_, b)| b.len() as u64).sum();
+        let mut cache = ChunkCache::new(total);
+        let mut transferred: u64 = 0;
+        let accesses = rng.next_range(20, 60);
+        for _ in 0..accesses {
+            let (d, bytes) = &chunks[rng.next_below(n as u64) as usize];
+            match cache.get_verified(*d) {
+                Some(got) => assert_eq!(
+                    got.as_slice(),
+                    bytes.as_slice(),
+                    "hit returned wrong bytes (case_seed={case_seed:#x})"
+                ),
+                None => {
+                    // Miss: the client pays the transfer and caches it.
+                    transferred += bytes.len() as u64;
+                    cache.insert(*d, bytes.clone());
+                }
+            }
+        }
+        let distinct: HashSet<u64> = chunks.iter().map(|(d, _)| *d).collect();
+        let distinct_bytes: u64 = distinct
+            .iter()
+            .map(|d| chunks.iter().find(|(cd, _)| cd == d).unwrap().1.len() as u64)
+            .sum();
+        assert_eq!(
+            transferred, distinct_bytes,
+            "each chunk must transfer exactly once (case_seed={case_seed:#x})"
+        );
+        assert_eq!(
+            cache.stats().misses,
+            distinct.len() as u64,
+            "only first accesses may miss (case_seed={case_seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn chunk_cache_eviction_order_matches_access_order() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x13_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let cap = rng.next_range(20, 120);
+        let mut cache = ChunkCache::new(cap);
+        // Reference model: `(digest, size)` from least- to most-recent.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let pool: Vec<(u64, Arc<Vec<u8>>)> = (0..6).map(|_| honest_chunk(&mut rng, 50)).collect();
+        for _ in 0..120 {
+            let (d, bytes) = &pool[rng.next_below(pool.len() as u64) as usize];
+            let size = bytes.len() as u64;
+            if rng.next_below(2) == 0 {
+                let hit = cache.get_verified(*d).is_some();
+                let modeled = model.iter().position(|&(md, _)| md == *d);
+                assert_eq!(
+                    hit,
+                    modeled.is_some(),
+                    "hit/miss diverged from model (case_seed={case_seed:#x})"
+                );
+                if let Some(pos) = modeled {
+                    let e = model.remove(pos);
+                    model.push(e); // a hit refreshes recency
+                }
+            } else if size <= cap {
+                cache.insert(*d, bytes.clone());
+                if let Some(pos) = model.iter().position(|&(md, _)| md == *d) {
+                    model.remove(pos);
+                }
+                let used = |m: &Vec<(u64, u64)>| m.iter().map(|&(_, s)| s).sum::<u64>();
+                while used(&model) + size > cap {
+                    model.remove(0); // least-recent goes first
+                }
+                model.push((*d, size));
+            }
+            assert_eq!(
+                cache.lru_order(),
+                model.iter().map(|&(md, _)| md).collect::<Vec<_>>(),
+                "LRU order diverged from access-order model (case_seed={case_seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_cache_digest_mismatch_forces_refetch() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x14_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let (d, bytes) = honest_chunk(&mut rng, 64);
+        let mut corrupted = bytes.as_ref().clone();
+        let k = rng.next_below(corrupted.len() as u64) as usize;
+        corrupted[k] ^= 0xFF;
+        let mut cache = ChunkCache::new(1024);
+        // A corrupted entry sneaks in under the honest digest (insert
+        // trusts its caller); verification must catch it on read.
+        assert!(cache.insert(d, Arc::new(corrupted)));
+        let evictions_before = cache.stats().evictions;
+        assert!(
+            cache.get_verified(d).is_none(),
+            "corrupted entry served as a hit (case_seed={case_seed:#x})"
+        );
+        assert!(
+            !cache.contains(d),
+            "corrupted entry must be evicted (case_seed={case_seed:#x})"
+        );
+        assert_eq!(
+            cache.stats().evictions,
+            evictions_before + 1,
+            "eviction not counted (case_seed={case_seed:#x})"
+        );
+        // The forced refetch then lands intact bytes and hits.
+        assert!(cache.insert(d, bytes.clone()));
+        assert_eq!(
+            cache.get_verified(d).as_deref(),
+            Some(bytes.as_ref()),
+            "refetched chunk must hit (case_seed={case_seed:#x})"
+        );
     }
 }
 
