@@ -1,15 +1,17 @@
 //! B2 — likelihood engine micro-benchmarks.
 //!
 //! Throughput of the Felsenstein-pruning traversal and of branch-length
-//! optimisation across model complexity (JC69 vs GTR+Γ4) and tree size.
-//! Regenerates the cost ratios that DPRml's cost model
-//! (`traversal_ops`) assumes.
+//! optimisation across model complexity (JC69 vs GTR+Γ4), tree size,
+//! and every SIMD kernel backend the CPU supports. Regenerates the
+//! cost ratios that DPRml's cost model (`traversal_ops`) assumes; the
+//! stage-level speedups live in `abl_likelihood`.
 //!
 //! Run with: `cargo bench -p biodist-bench --bench likelihood`
 
 use biodist_bench::Runner;
 use biodist_phylo::evolve::{random_yule_tree, simulate_alignment};
 use biodist_phylo::lik::TreeLikelihood;
+use biodist_phylo::lik_simd::LikBackend;
 use biodist_phylo::model::{GammaRates, ModelKind, SubstModel};
 use biodist_phylo::patterns::PatternAlignment;
 
@@ -38,11 +40,15 @@ fn main() {
         for n_taxa in [10usize, 30] {
             let data = workload(n_taxa, 300, &model, 7);
             let tree = random_yule_tree(n_taxa, 0.1, 7);
-            let engine = TreeLikelihood::new(&model, &data);
-            let ops = Some(engine.traversal_cost(&tree));
-            r.run(&format!("pruning/{name}/{n_taxa}"), ops, || {
-                engine.log_likelihood(&tree)
-            });
+            for backend in LikBackend::supported() {
+                let engine = TreeLikelihood::with_backend(&model, &data, backend);
+                let ops = Some(engine.traversal_cost(&tree));
+                r.run(
+                    &format!("pruning/{name}/{n_taxa}/{}", backend.name()),
+                    ops,
+                    || engine.log_likelihood(&tree),
+                );
+            }
         }
     }
 
@@ -52,11 +58,17 @@ fn main() {
     });
     let data = workload(12, 200, &model, 9);
     let tree = random_yule_tree(12, 0.1, 9);
-    let engine = TreeLikelihood::new(&model, &data);
-    r.run("optimize_all_branches_1_round", None, || {
-        let mut t = tree.clone();
-        engine.optimize_edges(&mut t, None, 1, 1e-3)
-    });
+    for backend in LikBackend::supported() {
+        let engine = TreeLikelihood::with_backend(&model, &data, backend);
+        r.run(
+            &format!("optimize_all_branches_1_round/{}", backend.name()),
+            None,
+            || {
+                let mut t = tree.clone();
+                engine.optimize_edges(&mut t, None, 1, 1e-3)
+            },
+        );
+    }
 
     let model = SubstModel::homogeneous(ModelKind::Jc69);
     let tree = random_yule_tree(40, 0.1, 3);

@@ -84,7 +84,22 @@ enum DprmlUnit {
     },
 }
 
-enum DprmlResult {
+/// Likelihood-kernel statistics a donor reports alongside every result:
+/// which SIMD backend computed it and how the transition-matrix cache
+/// behaved. The manager aggregates them into the `lik.*` run metrics.
+#[derive(Clone, Copy)]
+struct KernelStats {
+    backend: u8,
+    pmat_hits: u64,
+    pmat_misses: u64,
+}
+
+struct DprmlResult {
+    kind: DprmlResultKind,
+    stats: KernelStats,
+}
+
+enum DprmlResultKind {
     Refined { tree: Tree, lnl: f64 },
     InsertBest { candidate: InsertionCandidate },
     NniBest { best: Option<(usize, f64, Tree)> },
@@ -92,10 +107,18 @@ enum DprmlResult {
 
 // ---------------------------------------------------------------- costs
 
+/// Abstract ops per node·pattern·category update, calibrated against
+/// the measured stage-evaluation throughput of the SIMD likelihood
+/// kernels (`abl_likelihood --smoke` → BENCH_likelihood.json: ~11.6×
+/// the scalar engine the original 20.0 figure modelled, so 20/11.6).
+/// Same recalibration PR 1 applied to DSEARCH's `cost_cells` after
+/// striping Smith–Waterman.
+const OPS_PER_NODE_UPDATE: f64 = 1.75;
+
 /// Abstract ops for one full pruning traversal (matches the gridsim
 /// scale: a PIII-1000 runs ~1e7 of these per second).
 fn traversal_ops(n_nodes: usize, data: &PatternAlignment, model: &SubstModel) -> f64 {
-    (n_nodes * data.pattern_count() * model.rate_categories().ncat()) as f64 * 20.0
+    (n_nodes * data.pattern_count() * model.rate_categories().ncat()) as f64 * OPS_PER_NODE_UPDATE
 }
 
 /// Ops for optimising one branch for one sweep (traversal + ~20 cheap
@@ -274,19 +297,19 @@ impl WireCodec for DprmlCodec {
             .downcast_ref::<DprmlResult>()
             .ok_or_else(|| WireError::new("dprml result payload has the wrong type"))?;
         let mut w = ByteWriter::new();
-        match dr {
-            DprmlResult::Refined { tree, lnl } => {
+        match &dr.kind {
+            DprmlResultKind::Refined { tree, lnl } => {
                 w.u8(RESULT_REFINED);
                 write_tree(&mut w, tree);
                 w.f64(*lnl);
             }
-            DprmlResult::InsertBest { candidate } => {
+            DprmlResultKind::InsertBest { candidate } => {
                 w.u8(RESULT_INSERT_BEST);
                 w.usize(candidate.edge);
                 w.f64(candidate.ln_likelihood);
                 write_tree(&mut w, &candidate.tree);
             }
-            DprmlResult::NniBest { best } => {
+            DprmlResultKind::NniBest { best } => {
                 w.u8(RESULT_NNI_BEST);
                 match best {
                     Some((idx, lnl, tree)) => {
@@ -299,22 +322,26 @@ impl WireCodec for DprmlCodec {
                 }
             }
         }
+        // Kernel stats trailer — every result shape carries one.
+        w.u8(dr.stats.backend);
+        w.u64(dr.stats.pmat_hits);
+        w.u64(dr.stats.pmat_misses);
         Ok(w.into_bytes())
     }
 
     fn decode_result(&self, bytes: &[u8]) -> Result<Payload, WireError> {
         let mut r = ByteReader::new(bytes);
-        let result = match r.u8()? {
+        let kind = match r.u8()? {
             RESULT_REFINED => {
                 let tree = read_tree(&mut r)?;
                 let lnl = r.f64()?;
-                DprmlResult::Refined { tree, lnl }
+                DprmlResultKind::Refined { tree, lnl }
             }
             RESULT_INSERT_BEST => {
                 let edge = r.usize()?;
                 let ln_likelihood = r.f64()?;
                 let tree = read_tree(&mut r)?;
-                DprmlResult::InsertBest {
+                DprmlResultKind::InsertBest {
                     candidate: InsertionCandidate {
                         edge,
                         ln_likelihood,
@@ -330,12 +357,20 @@ impl WireCodec for DprmlCodec {
                         return Err(WireError::new(format!("bad option flag {flag}")));
                     }
                 };
-                DprmlResult::NniBest { best }
+                DprmlResultKind::NniBest { best }
             }
             tag => return Err(WireError::new(format!("unknown dprml result tag {tag}"))),
         };
+        let stats = KernelStats {
+            backend: r.u8()?,
+            pmat_hits: r.u64()?,
+            pmat_misses: r.u64()?,
+        };
         r.finish()?;
-        Ok(Payload::new(result, bytes.len() as u64))
+        Ok(Payload::new(
+            DprmlResult { kind, stats },
+            bytes.len() as u64,
+        ))
     }
 }
 
@@ -354,19 +389,19 @@ impl Algorithm for DprmlAlgo {
             .payload
             .downcast_ref::<DprmlUnit>()
             .expect("dprml unit");
-        let result = match du {
+        let kind = match du {
             DprmlUnit::Refine { tree } => {
                 let mut t = tree.clone();
                 let lnl =
                     engine.optimize_edges(&mut t, None, self.opts.refine_rounds, self.opts.tol);
-                DprmlResult::Refined { tree: t, lnl }
+                DprmlResultKind::Refined { tree: t, lnl }
             }
             DprmlUnit::Insert { tree, taxon, edges } => {
                 let candidates: Vec<InsertionCandidate> = edges
                     .iter()
                     .map(|&e| evaluate_insertion(tree, *taxon, e, &engine, &self.opts))
                     .collect();
-                DprmlResult::InsertBest {
+                DprmlResultKind::InsertBest {
                     candidate: best_candidate(candidates),
                 }
             }
@@ -393,13 +428,22 @@ impl Algorithm for DprmlAlgo {
                         best = Some((idx, cand_lnl, candidate));
                     }
                 }
-                DprmlResult::NniBest { best }
+                DprmlResultKind::NniBest { best }
             }
         };
-        let wire = match &result {
-            DprmlResult::Refined { tree, .. } => tree_wire_bytes(tree),
-            DprmlResult::InsertBest { candidate } => tree_wire_bytes(&candidate.tree),
-            DprmlResult::NniBest { best } => best
+        let (pmat_hits, pmat_misses) = engine.pmat_cache_stats();
+        let result = DprmlResult {
+            kind,
+            stats: KernelStats {
+                backend: engine.backend().index(),
+                pmat_hits,
+                pmat_misses,
+            },
+        };
+        let wire = match &result.kind {
+            DprmlResultKind::Refined { tree, .. } => tree_wire_bytes(tree),
+            DprmlResultKind::InsertBest { candidate } => tree_wire_bytes(&candidate.tree),
+            DprmlResultKind::NniBest { best } => best
                 .as_ref()
                 .map(|(_, _, t)| tree_wire_bytes(t))
                 .unwrap_or(16),
@@ -651,8 +695,19 @@ impl DataManager for DprmlDm {
 
     fn accept_result(&mut self, result: TaskResult) {
         let payload = result.payload.into_inner::<DprmlResult>();
-        match (&mut self.stage, payload) {
-            (Stage::Refine { next, .. }, DprmlResult::Refined { tree, lnl }) => {
+        if self.telemetry.is_enabled() {
+            // Which kernel produced the numbers, and how well `P_v(t)`
+            // reuse worked — so run reports document the backend behind
+            // every ablation figure.
+            self.telemetry
+                .gauge_set("lik.backend", payload.stats.backend as f64);
+            self.telemetry
+                .counter_add("lik.pmat_cache_hits", payload.stats.pmat_hits);
+            self.telemetry
+                .counter_add("lik.pmat_cache_misses", payload.stats.pmat_misses);
+        }
+        match (&mut self.stage, payload.kind) {
+            (Stage::Refine { next, .. }, DprmlResultKind::Refined { tree, lnl }) => {
                 let next = *next;
                 self.tree = tree;
                 self.lnl = lnl;
@@ -669,7 +724,7 @@ impl DataManager for DprmlDm {
                     best,
                     ..
                 },
-                DprmlResult::InsertBest { candidate },
+                DprmlResultKind::InsertBest { candidate },
             ) => {
                 // Same tie-break as `best_candidate`: higher lnl, then
                 // smaller edge id.
@@ -709,7 +764,7 @@ impl DataManager for DprmlDm {
                     outstanding,
                     best,
                 },
-                DprmlResult::NniBest { best: batch_best },
+                DprmlResultKind::NniBest { best: batch_best },
             ) => {
                 if let Some((idx, lnl, tree)) = batch_best {
                     // Strictly-greater comparison, ties to the earliest
@@ -809,8 +864,8 @@ pub fn estimate_sequential_ops(data: &PatternAlignment, config: &DprmlConfig) ->
     for i in 3..=n {
         let nodes = 2 * i - 2;
         let edges = 2 * i - 3;
-        let tree_cost =
-            (nodes * data.pattern_count() * model.rate_categories().ncat()) as f64 * 20.0;
+        let tree_cost = (nodes * data.pattern_count() * model.rate_categories().ncat()) as f64
+            * OPS_PER_NODE_UPDATE;
         // Insert stage: one candidate per edge.
         total +=
             edges as f64 * ((opts.candidate_rounds * 3) as f64 * 1.7 * tree_cost + 2.0 * tree_cost);
@@ -1021,28 +1076,40 @@ mod tests {
             assert!(codec.decode_unit(&bytes[..bytes.len() - 1]).is_err());
         }
 
-        let results = vec![
-            DprmlResult::Refined {
+        let kinds = vec![
+            DprmlResultKind::Refined {
                 tree: tree.clone(),
                 lnl: -99.0,
             },
-            DprmlResult::InsertBest {
+            DprmlResultKind::InsertBest {
                 candidate: InsertionCandidate {
                     edge: 1,
                     ln_likelihood: -88.5,
                     tree: tree.clone(),
                 },
             },
-            DprmlResult::NniBest { best: None },
-            DprmlResult::NniBest {
+            DprmlResultKind::NniBest { best: None },
+            DprmlResultKind::NniBest {
                 best: Some((2, -77.25, tree.clone())),
             },
         ];
-        for result in results {
+        for kind in kinds {
+            let result = DprmlResult {
+                kind,
+                stats: KernelStats {
+                    backend: 3,
+                    pmat_hits: 1234,
+                    pmat_misses: 56,
+                },
+            };
             let payload = Payload::new(result, 64);
             let bytes = codec.encode_result(&payload).unwrap();
             let back = codec.decode_result(&bytes).unwrap();
             assert_eq!(codec.encode_result(&back).unwrap(), bytes);
+            let decoded = back.downcast_ref::<DprmlResult>().unwrap();
+            assert_eq!(decoded.stats.backend, 3);
+            assert_eq!(decoded.stats.pmat_hits, 1234);
+            assert_eq!(decoded.stats.pmat_misses, 56);
         }
 
         // A CRC-clean but topologically nonsense tree is rejected by
@@ -1072,6 +1139,29 @@ mod tests {
 
         assert_eq!(out.tree.rf_distance(&ref_tree), 0);
         assert!((out.ln_likelihood - ref_lnl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_records_kernel_backend_and_pmat_cache_metrics() {
+        let (_, data) = test_alignment(6, 100, 606);
+        let config = DprmlConfig::default();
+        let mut server = Server::new(small_unit_sched());
+        server.set_telemetry(biodist_core::Telemetry::enabled());
+        let pid = server.submit(build_problem(data, &config, None, "dprml-tel"));
+        let (server, _) = run_threaded(server, 4);
+        let snap = server.telemetry().metrics_snapshot();
+        let backend = snap.gauge("lik.backend").expect("backend gauge recorded");
+        assert!(
+            biodist_phylo::LikBackend::from_index(backend as u8).is_some(),
+            "gauge {backend} must name a real backend"
+        );
+        // The SIMD engines cache transition matrices; the scalar
+        // baseline reports zeros for both counters.
+        if backend as u8 != biodist_phylo::LikBackend::Scalar.index() {
+            assert!(snap.counter("lik.pmat_cache_hits") > 0);
+            assert!(snap.counter("lik.pmat_cache_misses") > 0);
+        }
+        let _ = pid;
     }
 
     #[test]

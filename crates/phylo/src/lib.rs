@@ -13,7 +13,8 @@
 //!   matrix, giving exact `P(t) = exp(Qt)`.
 //! * [`patterns`] — site-pattern compression of alignments.
 //! * [`lik`] — Felsenstein-pruning log-likelihood with per-pattern
-//!   scaling and Brent branch-length optimisation.
+//!   scaling and Brent branch-length optimisation, dispatched at
+//!   runtime across the SIMD kernel backends in [`lik_simd`].
 //! * [`search`] — stepwise-insertion maximum-likelihood tree building
 //!   with NNI local rearrangements \[11, 16\]; candidate evaluation is
 //!   a pure function so DPRml can farm candidates out as work units.
@@ -28,6 +29,7 @@ pub mod eigen;
 pub mod evolve;
 pub mod fit;
 pub mod lik;
+pub mod lik_simd;
 pub mod model;
 pub mod model_select;
 pub mod newick;
@@ -41,6 +43,7 @@ pub use bootstrap::{bootstrap_support, nj_builder, resample_alignment, Bootstrap
 pub use evolve::{random_yule_tree, simulate_alignment};
 pub use fit::{empirical_base_frequencies, fit_gamma_alpha, fit_hky_kappa, FitResult};
 pub use lik::{log_likelihood, optimize_branch_lengths, TreeLikelihood};
+pub use lik_simd::LikBackend;
 pub use model::{GammaRates, ModelKind, SubstModel};
 pub use model_select::{compare_models, standard_candidates, ModelScore};
 pub use nj::{jc_distance_matrix, maximin_order, neighbor_joining, patristic_distance_matrix};

@@ -18,33 +18,256 @@
 //! traversal. Per-pattern scaling keeps partials in range for large
 //! trees; reversibility lets the stationary prior sit at either end of
 //! an edge.
+//!
+//! # Backends
+//!
+//! Two implementations live behind one API, selected per engine by
+//! [`LikBackend`]:
+//!
+//! * **Scalar** — the original engine: array-of-structs partials
+//!   (`[pattern][category][state]`), per-node rescaling, fresh
+//!   allocations per traversal. Kept as the parity oracle and the
+//!   baseline that `BENCH_likelihood.json` measures speedups against.
+//! * **Portable / SSE2 / AVX2** — SoA partials
+//!   (`[category][state][pattern]`, pattern axis padded to SIMD width)
+//!   processed in `f64` lanes by the kernels in [`crate::lik_simd`],
+//!   with four structural optimisations on top of the vectorisation:
+//!   leaf tips become 5-entry lookup tables instead of materialised
+//!   partials, rescaling happens only when a hoisted lane-wide max
+//!   check finds a pattern outside `[1e-80, 1e80]` (instead of a `ln()`
+//!   per pattern per node), transition matrices are cached per
+//!   (branch-length bits) and shared across every candidate evaluation
+//!   in a DPRml stage, and partials buffers are pooled so Brent
+//!   iterations and stage candidates reallocate nothing.
+//!
+//! The three SIMD backends are bit-identical to each other (pinned by
+//! the parity suite); they differ from Scalar only through the scaling
+//! policy, at ~1e-12 relative error on the log-likelihood.
 
+use crate::lik_simd::{self, LikBackend, Mat4};
 use crate::model::SubstModel;
 use crate::patterns::PatternAlignment;
 use crate::tree::{Tree, MIN_BRANCH};
 use biodist_util::optim::brent_minimize;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Largest branch length the optimiser will propose.
 pub const MAX_BRANCH: f64 = 10.0;
+
+/// SIMD-path rescale thresholds: a pattern is renormalised only when
+/// its magnitude leaves this range. Partials enter edge products as
+/// `D·E`, so the low bound must keep squares well clear of the
+/// denormal floor (1e-160 ≫ 5e-324).
+const SCALE_LOW: f64 = 1e-80;
+const SCALE_HIGH: f64 = 1e80;
+
+/// Transition-matrix cache bound; reached only by pathological
+/// branch-length churn, in which case the cache is dropped and rebuilt.
+const PMAT_CACHE_CAP: usize = 4096;
+
+// The pmat cache is keyed by branch-length bits, which are already
+// well-mixed doubles — a multiplicative hash beats SipHash on the hot
+// per-node lookup path.
+#[derive(Debug, Clone, Default)]
+struct BitsHashBuilder;
+
+#[derive(Default)]
+struct BitsHasher(u64);
+
+impl std::hash::Hasher for BitsHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::hash::BuildHasher for BitsHashBuilder {
+    type Hasher = BitsHasher;
+
+    fn build_hasher(&self) -> BitsHasher {
+        BitsHasher(0)
+    }
+}
 
 /// A likelihood engine bound to one model and one alignment.
 #[derive(Debug, Clone)]
 pub struct TreeLikelihood<'a> {
     model: &'a SubstModel,
     data: &'a PatternAlignment,
+    backend: LikBackend,
+    /// Pattern count rounded up to the SoA lane padding.
+    npad: usize,
+    /// `codes_by_taxon[taxon][pattern]` — the transpose of the pattern
+    /// matrix, so leaf lookups walk contiguous memory.
+    codes_by_taxon: Vec<Vec<u8>>,
+    /// Recycled partials buffers (SIMD path only).
+    pool: RefCell<Vec<Partials>>,
+    /// `P_v(t)` cache keyed by branch-length bits. Only branch lengths
+    /// that live on a tree enter the cache; Brent's transient proposals
+    /// are evaluated through `tmp_pmats` so they cannot pollute it.
+    pmats: RefCell<HashMap<u64, Rc<EdgePmats>, BitsHashBuilder>>,
+    pmat_hits: Cell<u64>,
+    pmat_misses: Cell<u64>,
+    /// Reused matrices for cache-miss edge evaluations.
+    tmp_pmats: RefCell<EdgePmats>,
+    /// Spectral weights for the coefficient branch-length objective,
+    /// replicated per rate category so `product_into` applies them as
+    /// node-update matrices: `coef_wa[cat][k][s] = π_s·U[s][k]`,
+    /// `coef_wb[cat][k][j] = U⁻¹[k][j]`.
+    coef_wa: Vec<Mat4>,
+    coef_wb: Vec<Mat4>,
+    /// Leaf form of `coef_wb`: `U⁻¹[k][code]`, row sum for code 4.
+    coef_lutb: [[f64; 5]; 4],
+    scratch: RefCell<Scratch>,
 }
 
-// Per-node partials: flat [pattern][category][state] array plus a
-// per-pattern log-scale accumulator.
+// Per-node partials. Scalar layout: flat [pattern][category][state]
+// plus a per-pattern log-scale accumulator. SIMD layout:
+// [category][state][pattern], pattern axis padded to `npad`.
+#[derive(Debug, Clone, Default)]
 struct Partials {
     values: Vec<f64>,
     scale: Vec<f64>,
 }
 
+/// Everything derived from one `(edge, branch length)`: per-category
+/// transition matrices, their transposes (for descending the outside
+/// recursion), and per-category leaf lookup tables
+/// `lut[cat][s][code]` = `P[s][code]` for real codes, row sum for the
+/// ambiguity code 4.
+#[derive(Debug, Clone, Default)]
+struct EdgePmats {
+    mats: Vec<Mat4>,
+    mats_t: Vec<Mat4>,
+    lut: Vec<[[f64; 5]; 4]>,
+}
+
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Per-pattern site likelihoods (root / edge reductions).
+    site: Vec<f64>,
+    /// Per-pattern maxima for the hoisted rescale check.
+    mx: Vec<f64>,
+    /// `ev[cat][k] = prob·e^{λ_k·r·t}` for the coefficient objective.
+    ev: Vec<[f64; 4]>,
+}
+
+// Leaf tip × transition matrix, fused: the child message of a leaf is
+// a lookup `lut[cat][s][code]`, never a materialised partial. Exact
+// (the skipped terms of the dot product are multiplications by 0/1),
+// so this stays bit-compatible with the generic kernel contract.
+fn leaf_product_into(
+    dst: &mut [f64],
+    codes: &[u8],
+    lut: &[[[f64; 5]; 4]],
+    npad: usize,
+    assign: bool,
+) {
+    for (cat, lc) in lut.iter().enumerate() {
+        for (s, tbl) in lc.iter().enumerate() {
+            let row = &mut dst[(cat * 4 + s) * npad..][..npad];
+            if assign {
+                for (x, &c) in row.iter_mut().zip(codes.iter()) {
+                    *x = tbl[c as usize];
+                }
+                row[codes.len()..].fill(0.0);
+            } else {
+                for (x, &c) in row.iter_mut().zip(codes.iter()) {
+                    *x *= tbl[c as usize];
+                }
+            }
+        }
+    }
+}
+
+// Edge reduction when the lower endpoint is a leaf:
+// `site[pat] = Σ_cat prob · Σ_s E[cat][s][pat] · lut[cat][s][code]`.
+fn leaf_edge_site_sums(
+    site: &mut [f64],
+    codes: &[u8],
+    edge: &[f64],
+    lut: &[[[f64; 5]; 4]],
+    probs: &[f64],
+    npad: usize,
+) {
+    for (pat, &code) in codes.iter().enumerate() {
+        let c = code as usize;
+        let mut total = 0.0;
+        for (cat, lc) in lut.iter().enumerate() {
+            let base = cat * 4 * npad;
+            let mut cat_sum = 0.0;
+            for s in 0..4 {
+                cat_sum += edge[base + s * npad + pat] * lc[s][c];
+            }
+            total += probs[cat] * cat_sum;
+        }
+        site[pat] = total;
+    }
+}
+
 impl<'a> TreeLikelihood<'a> {
-    /// Binds a model to an alignment.
+    /// Binds a model to an alignment, selecting the widest supported
+    /// SIMD backend (`BIODIST_LIK_BACKEND` overrides detection).
     pub fn new(model: &'a SubstModel, data: &'a PatternAlignment) -> Self {
-        Self { model, data }
+        Self::with_backend(model, data, LikBackend::select())
+    }
+
+    /// Binds a model to an alignment with an explicit backend (benches
+    /// and parity tests; `backend` must be supported by the CPU).
+    pub fn with_backend(
+        model: &'a SubstModel,
+        data: &'a PatternAlignment,
+        backend: LikBackend,
+    ) -> Self {
+        assert!(
+            backend.is_supported(),
+            "likelihood backend {} is not supported on this CPU",
+            backend.name()
+        );
+        let np = data.pattern_count();
+        let npad = lik_simd::padded(np);
+        let codes_by_taxon = (0..data.taxon_count())
+            .map(|t| (0..np).map(|p| data.code(p, t)).collect())
+            .collect();
+        let ncat = model.rate_categories().ncat();
+        let (_, u, u_inv) = model.eigen_system();
+        let freqs = model.freqs();
+        let wa: Mat4 = std::array::from_fn(|k| std::array::from_fn(|s| freqs[s] * u[s][k]));
+        let lutb: [[f64; 5]; 4] = std::array::from_fn(|k| {
+            let r = &u_inv[k];
+            [r[0], r[1], r[2], r[3], ((r[0] + r[1]) + r[2]) + r[3]]
+        });
+        Self {
+            model,
+            data,
+            backend,
+            npad,
+            codes_by_taxon,
+            pool: RefCell::new(Vec::new()),
+            pmats: RefCell::new(HashMap::with_hasher(BitsHashBuilder)),
+            pmat_hits: Cell::new(0),
+            pmat_misses: Cell::new(0),
+            tmp_pmats: RefCell::new(EdgePmats::default()),
+            coef_wa: vec![wa; ncat],
+            coef_wb: vec![*u_inv; ncat],
+            coef_lutb: lutb,
+            scratch: RefCell::new(Scratch {
+                site: vec![0.0; npad],
+                mx: vec![0.0; npad],
+                ev: vec![[0.0; 4]; ncat],
+            }),
+        }
     }
 
     /// The alignment in use.
@@ -55,6 +278,18 @@ impl<'a> TreeLikelihood<'a> {
     /// The model in use.
     pub fn model(&self) -> &SubstModel {
         self.model
+    }
+
+    /// The kernel implementation this engine dispatches to.
+    pub fn backend(&self) -> LikBackend {
+        self.backend
+    }
+
+    /// Transition-matrix cache `(hits, misses)` since construction —
+    /// surfaces as the `lik.pmat_cache_hits`/`lik.pmat_cache_misses`
+    /// metrics.
+    pub fn pmat_cache_stats(&self) -> (u64, u64) {
+        (self.pmat_hits.get(), self.pmat_misses.get())
     }
 
     #[inline]
@@ -74,8 +309,181 @@ impl<'a> TreeLikelihood<'a> {
         (tree.node_count() as u64) * (self.data.pattern_count() as u64) * (self.ncat() as u64)
     }
 
-    // Downward pass: partials for every node, postorder.
+    // ---------------------------------------------------- buffer pool
+
+    // A partials buffer sized for the SoA layout, recycled from the
+    // pool when possible. `values` is NOT zeroed: every consumer's
+    // first write is an assignment (`leaf_product_into`/`product_into`
+    // with `assign`, or an explicit row fill).
+    fn acquire(&self) -> Partials {
+        let np = self.data.pattern_count();
+        let len = self.stride() * self.npad;
+        let mut p = self.pool.borrow_mut().pop().unwrap_or_default();
+        p.values.resize(len, 0.0);
+        p.scale.clear();
+        p.scale.resize(np, 0.0);
+        p
+    }
+
+    fn recycle(&self, p: Partials) {
+        // The scalar baseline keeps its historical allocate-per-
+        // traversal behaviour; pooling is part of what the bench
+        // measures against it.
+        if self.backend != LikBackend::Scalar && !p.values.is_empty() {
+            self.pool.borrow_mut().push(p);
+        }
+    }
+
+    fn recycle_vec(&self, parts: Vec<Partials>) {
+        for p in parts {
+            self.recycle(p);
+        }
+    }
+
+    // --------------------------------------------- pmat cache (SIMD)
+
+    fn fill_edge_pmats(&self, t: f64, out: &mut EdgePmats) {
+        let cats = self.model.rate_categories();
+        let ncat = cats.ncat();
+        out.mats.clear();
+        out.mats_t.resize(ncat, [[0.0; 4]; 4]);
+        out.lut.resize(ncat, [[0.0; 5]; 4]);
+        for (cat, &rate) in cats.rates.iter().enumerate() {
+            let pm = self.model.transition_matrix(t, rate);
+            for s in 0..4 {
+                for j in 0..4 {
+                    out.mats_t[cat][s][j] = pm[j][s];
+                    out.lut[cat][s][j] = pm[s][j];
+                }
+                // Ambiguity column: row sum, associated exactly like
+                // the generic dot product against an all-ones child.
+                out.lut[cat][s][4] = ((pm[s][0] + pm[s][1]) + pm[s][2]) + pm[s][3];
+            }
+            out.mats.push(pm);
+        }
+    }
+
+    // Cached matrices for a branch length that lives on a tree.
+    fn edge_pmats(&self, t: f64) -> Rc<EdgePmats> {
+        let key = t.to_bits();
+        if let Some(p) = self.pmats.borrow().get(&key) {
+            self.pmat_hits.set(self.pmat_hits.get() + 1);
+            return Rc::clone(p);
+        }
+        self.pmat_misses.set(self.pmat_misses.get() + 1);
+        let mut e = EdgePmats::default();
+        self.fill_edge_pmats(t, &mut e);
+        let entry = Rc::new(e);
+        let mut cache = self.pmats.borrow_mut();
+        if cache.len() >= PMAT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Rc::clone(&entry));
+        entry
+    }
+
+    // Rescales only the patterns whose magnitude left
+    // [SCALE_LOW, SCALE_HIGH]. The common case — nothing to do — costs
+    // one SIMD max-reduction plus a scalar scan, instead of the
+    // scalar path's ln() per pattern per node.
+    fn rescale_if_needed(&self, p: &mut Partials) {
+        let np = self.data.pattern_count();
+        let nrows = self.stride();
+        let mut scratch = self.scratch.borrow_mut();
+        lik_simd::row_max(self.backend, &p.values, nrows, self.npad, &mut scratch.mx);
+        let out_of_range = |m: f64| m > 0.0 && !(SCALE_LOW..=SCALE_HIGH).contains(&m);
+        if !scratch.mx[..np].iter().any(|&m| out_of_range(m)) {
+            return;
+        }
+        for pat in 0..np {
+            let mx = scratch.mx[pat];
+            if out_of_range(mx) {
+                let inv = 1.0 / mx;
+                for r in 0..nrows {
+                    p.values[r * self.npad + pat] *= inv;
+                }
+                p.scale[pat] += mx.ln();
+            }
+        }
+    }
+
+    // ------------------------------------------------ downward passes
+
+    // Downward pass, dispatched by backend. On the SIMD path only
+    // internal nodes carry partials — leaf entries stay empty, their
+    // contribution is folded in through lookup tables.
     fn compute_down(&self, tree: &Tree) -> Vec<Partials> {
+        if self.backend == LikBackend::Scalar {
+            self.compute_down_scalar(tree)
+        } else {
+            self.compute_down_simd(tree)
+        }
+    }
+
+    // Recomputes the down partial of one internal node from its
+    // children's current partials (leaf children via lookup tables).
+    fn update_internal_node(&self, tree: &Tree, down: &[Partials], u: usize) -> Partials {
+        let npad = self.npad;
+        let mut p = self.acquire();
+        let mut first = true;
+        for &c in &tree.node(u).children {
+            let pm = self.edge_pmats(tree.branch_length(c));
+            if let Some(taxon) = tree.node(c).taxon {
+                leaf_product_into(
+                    &mut p.values,
+                    &self.codes_by_taxon[taxon],
+                    &pm.lut,
+                    npad,
+                    first,
+                );
+            } else {
+                let child = &down[c];
+                lik_simd::product_into(
+                    self.backend,
+                    &mut p.values,
+                    &child.values,
+                    &pm.mats,
+                    npad,
+                    first,
+                );
+                for (sc, &cs) in p.scale.iter_mut().zip(child.scale.iter()) {
+                    *sc += cs;
+                }
+            }
+            first = false;
+        }
+        self.rescale_if_needed(&mut p);
+        p
+    }
+
+    fn compute_down_simd(&self, tree: &Tree) -> Vec<Partials> {
+        let mut parts: Vec<Partials> = (0..tree.node_count())
+            .map(|_| Partials::default())
+            .collect();
+        for v in tree.postorder() {
+            if tree.node(v).is_leaf() {
+                continue;
+            }
+            parts[v] = self.update_internal_node(tree, &parts, v);
+        }
+        parts
+    }
+
+    // After edge v's branch length changed, only v's ancestors see
+    // different data below them: recompute just the root path,
+    // bottom-up. The result is bit-identical to a fresh postorder pass.
+    fn refresh_down_path(&self, tree: &Tree, down: &mut [Partials], v: usize) {
+        let mut cur = tree.node(v).parent;
+        while let Some(u) = cur {
+            let p = self.update_internal_node(tree, down, u);
+            let old = std::mem::replace(&mut down[u], p);
+            self.recycle(old);
+            cur = tree.node(u).parent;
+        }
+    }
+
+    // The original engine, kept verbatim as the Scalar backend.
+    fn compute_down_scalar(&self, tree: &Tree) -> Vec<Partials> {
         let np = self.data.pattern_count();
         let ncat = self.ncat();
         let stride = self.stride();
@@ -147,10 +555,41 @@ impl<'a> TreeLikelihood<'a> {
     pub fn log_likelihood(&self, tree: &Tree) -> f64 {
         debug_assert!(tree.validate().is_ok());
         let down = self.compute_down(tree);
-        self.root_log_likelihood(tree, &down)
+        let lnl = self.root_log_likelihood(tree, &down);
+        self.recycle_vec(down);
+        lnl
     }
 
     fn root_log_likelihood(&self, tree: &Tree, down: &[Partials]) -> f64 {
+        if self.backend == LikBackend::Scalar {
+            return self.root_log_likelihood_scalar(tree, down);
+        }
+        let np = self.data.pattern_count();
+        let freqs = self.model.freqs();
+        let probs = &self.model.rate_categories().probs;
+        let root = &down[tree.root()];
+        let mut scratch = self.scratch.borrow_mut();
+        lik_simd::root_site_sums(
+            self.backend,
+            &root.values,
+            &freqs,
+            probs,
+            &mut scratch.site,
+            self.npad,
+        );
+        // Padding slots hold 0 after the sums; park them at 1 (ln = 0)
+        // so the vectorised ln pass never sees them.
+        scratch.site[np..].fill(1.0);
+        lik_simd::ln_into(self.backend, &mut scratch.site);
+        let weights = self.data.weights();
+        let mut lnl = 0.0;
+        for pat in 0..np {
+            lnl += weights[pat] * (scratch.site[pat] + root.scale[pat]);
+        }
+        lnl
+    }
+
+    fn root_log_likelihood_scalar(&self, tree: &Tree, down: &[Partials]) -> f64 {
         let np = self.data.pattern_count();
         let ncat = self.ncat();
         let stride = self.stride();
@@ -171,12 +610,15 @@ impl<'a> TreeLikelihood<'a> {
         lnl
     }
 
-    // Edge-outside partials E[v] for every non-root node, preorder.
-    // E[v] lives at v's *parent* and excludes v's own branch. The
-    // batch variant is kept as the reference implementation that the
-    // O(depth) single-edge variant is tested against.
+    // ------------------------------------------------- outside passes
+
+    // Edge-outside partials E[v] for every non-root node, preorder
+    // (scalar layout only). The batch variant is kept as the reference
+    // implementation that the O(depth) single-edge variant is tested
+    // against.
     #[cfg_attr(not(test), allow(dead_code))]
     fn compute_edge_outside(&self, tree: &Tree, down: &[Partials]) -> Vec<Option<Partials>> {
+        debug_assert_eq!(self.backend, LikBackend::Scalar);
         let np = self.data.pattern_count();
         let ncat = self.ncat();
         let stride = self.stride();
@@ -289,6 +731,97 @@ impl<'a> TreeLikelihood<'a> {
     // Edge-outside partial for a single edge, computed only along the
     // root → v path (O(depth) node updates instead of O(n)).
     fn compute_edge_outside_one(&self, tree: &Tree, down: &[Partials], v: usize) -> Partials {
+        if self.backend == LikBackend::Scalar {
+            self.compute_edge_outside_one_scalar(tree, down, v)
+        } else {
+            self.compute_edge_outside_one_simd(tree, down, v)
+        }
+    }
+
+    fn compute_edge_outside_one_simd(&self, tree: &Tree, down: &[Partials], v: usize) -> Partials {
+        let np = self.data.pattern_count();
+        let npad = self.npad;
+
+        // Path of (parent, child) pairs from the root down to v.
+        let mut path = Vec::new();
+        let mut cur = v;
+        while let Some(p) = tree.node(cur).parent {
+            path.push((p, cur));
+            cur = p;
+        }
+        path.reverse();
+
+        // O at the root carries the stationary prior.
+        let freqs = self.model.freqs();
+        let mut o = self.acquire();
+        for cat in 0..self.ncat() {
+            for s in 0..4 {
+                let row = &mut o.values[(cat * 4 + s) * npad..][..npad];
+                row[..np].fill(freqs[s]);
+                row[np..].fill(0.0);
+            }
+        }
+
+        for &(u, next) in &path {
+            // E[next] = O[u] ⊙ Π_{w child of u, w ≠ next} (P_w · D[w]).
+            let mut e = o;
+            for &w in &tree.node(u).children {
+                if w == next {
+                    continue;
+                }
+                let pm = self.edge_pmats(tree.branch_length(w));
+                if let Some(taxon) = tree.node(w).taxon {
+                    leaf_product_into(
+                        &mut e.values,
+                        &self.codes_by_taxon[taxon],
+                        &pm.lut,
+                        npad,
+                        false,
+                    );
+                } else {
+                    let d = &down[w];
+                    lik_simd::product_into(
+                        self.backend,
+                        &mut e.values,
+                        &d.values,
+                        &pm.mats,
+                        npad,
+                        false,
+                    );
+                    for (sc, &ds) in e.scale.iter_mut().zip(d.scale.iter()) {
+                        *sc += ds;
+                    }
+                }
+            }
+            self.rescale_if_needed(&mut e);
+            if next == v {
+                return e;
+            }
+            // Descend: O[next][s] = Σ_s' E[next][s'] · P_next[s'][s],
+            // i.e. a product against the transposed matrices.
+            let pm = self.edge_pmats(tree.branch_length(next));
+            let mut no = self.acquire();
+            lik_simd::product_into(
+                self.backend,
+                &mut no.values,
+                &e.values,
+                &pm.mats_t,
+                npad,
+                true,
+            );
+            no.scale.copy_from_slice(&e.scale);
+            self.recycle(e);
+            o = no;
+        }
+        unreachable!("v must appear on its own root path");
+    }
+
+    fn compute_edge_outside_one_scalar(
+        &self,
+        tree: &Tree,
+        down: &[Partials],
+        v: usize,
+    ) -> Partials {
         let np = self.data.pattern_count();
         let ncat = self.ncat();
         let stride = self.stride();
@@ -378,9 +911,81 @@ impl<'a> TreeLikelihood<'a> {
         unreachable!("v must appear on its own root path");
     }
 
+    // ------------------------------------------------ edge likelihood
+
     // Log-likelihood seen across edge v, as a function of its branch
-    // length t, given fixed D[v] and E[v].
-    fn edge_log_likelihood(&self, down_v: &Partials, edge_v: &Partials, t: f64) -> f64 {
+    // length t, given fixed D[v] (taken from `down`) and E[v].
+    fn edge_log_likelihood(
+        &self,
+        tree: &Tree,
+        down: &[Partials],
+        edge_v: &Partials,
+        v: usize,
+        t: f64,
+    ) -> f64 {
+        if self.backend == LikBackend::Scalar {
+            return self.edge_log_likelihood_scalar(&down[v], edge_v, t);
+        }
+        let np = self.data.pattern_count();
+        let probs = &self.model.rate_categories().probs;
+        // Brent proposes a fresh t almost every call: look the matrices
+        // up in the cache (hit for the anchor evaluation at the current
+        // branch length), but compute misses into the reusable scratch
+        // entry instead of inserting — proposals are never seen again
+        // and would only pollute the cache. Transient computations are
+        // deliberately not counted as misses; the miss counter tracks
+        // reusable entries built by `edge_pmats`, so hits/misses reads
+        // as the cache's reuse ratio.
+        let key = t.to_bits();
+        let cached = self.pmats.borrow().get(&key).cloned();
+        let tmp_guard;
+        let pm: &EdgePmats = if let Some(rc) = &cached {
+            self.pmat_hits.set(self.pmat_hits.get() + 1);
+            rc
+        } else {
+            let mut tmp = self.tmp_pmats.borrow_mut();
+            self.fill_edge_pmats(t, &mut tmp);
+            tmp_guard = tmp;
+            &tmp_guard
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let weights = self.data.weights();
+        let mut lnl = 0.0;
+        if let Some(taxon) = tree.node(v).taxon {
+            leaf_edge_site_sums(
+                &mut scratch.site,
+                &self.codes_by_taxon[taxon],
+                &edge_v.values,
+                &pm.lut,
+                probs,
+                self.npad,
+            );
+            scratch.site[np..].fill(1.0);
+            lik_simd::ln_into(self.backend, &mut scratch.site);
+            for pat in 0..np {
+                lnl += weights[pat] * (scratch.site[pat] + edge_v.scale[pat]);
+            }
+        } else {
+            let d = &down[v];
+            lik_simd::edge_site_sums(
+                self.backend,
+                &d.values,
+                &edge_v.values,
+                &pm.mats,
+                probs,
+                &mut scratch.site,
+                self.npad,
+            );
+            scratch.site[np..].fill(1.0);
+            lik_simd::ln_into(self.backend, &mut scratch.site);
+            for pat in 0..np {
+                lnl += weights[pat] * (scratch.site[pat] + d.scale[pat] + edge_v.scale[pat]);
+            }
+        }
+        lnl
+    }
+
+    fn edge_log_likelihood_scalar(&self, down_v: &Partials, edge_v: &Partials, t: f64) -> f64 {
         let np = self.data.pattern_count();
         let stride = self.stride();
         let probs = &self.model.rate_categories().probs;
@@ -430,6 +1035,178 @@ impl<'a> TreeLikelihood<'a> {
                 &all_edges
             }
         };
+        if self.backend == LikBackend::Scalar {
+            self.optimize_edges_scalar(tree, edges, max_rounds, tol)
+        } else {
+            self.optimize_edges_simd(tree, edges, max_rounds, tol)
+        }
+    }
+
+    /// Folds the eigenbasis into per-pattern coefficients for the edge
+    /// above `v`: with `P(rt) = U·diag(e^{λ_k·rt})·U⁻¹`, the edge site
+    /// likelihood becomes `Σ_cat Σ_k prob·e^{λ_k·r·t}·C[cat][k][pat]`
+    /// where `C = (Σ_s π_s·U[s][k]·E_s)·(Σ_j U⁻¹[k][j]·D_j)` depends on
+    /// the partials but not on `t`. Brent then pays four exponentials
+    /// per category per iteration instead of a matrix rebuild.
+    fn build_edge_coefs(
+        &self,
+        tree: &Tree,
+        down: &[Partials],
+        edge_v: &Partials,
+        v: usize,
+    ) -> Partials {
+        let mut c = self.acquire();
+        lik_simd::product_into(
+            self.backend,
+            &mut c.values,
+            &edge_v.values,
+            &self.coef_wa,
+            self.npad,
+            true,
+        );
+        if let Some(taxon) = tree.node(v).taxon {
+            let codes = &self.codes_by_taxon[taxon];
+            for cat in 0..self.ncat() {
+                for k in 0..4 {
+                    let row = &mut c.values[(cat * 4 + k) * self.npad..][..self.npad];
+                    let tbl = &self.coef_lutb[k];
+                    for (x, &code) in row.iter_mut().zip(codes.iter()) {
+                        *x *= tbl[code as usize];
+                    }
+                }
+            }
+        } else {
+            let mut b = self.acquire();
+            lik_simd::product_into(
+                self.backend,
+                &mut b.values,
+                &down[v].values,
+                &self.coef_wb,
+                self.npad,
+                true,
+            );
+            for (x, y) in c.values.iter_mut().zip(b.values.iter()) {
+                *x *= y;
+            }
+            self.recycle(b);
+        }
+        c
+    }
+
+    /// The Brent objective over prebuilt spectral coefficients.
+    /// Algebraically equal to `edge_log_likelihood` (the only deviation
+    /// is the ±1e-16 eigen-noise clamp `transition_matrix` applies),
+    /// and elementwise per pattern, so bit-identical across SIMD
+    /// backends.
+    fn edge_coef_log_likelihood(
+        &self,
+        coefs: &Partials,
+        down_scale: Option<&[f64]>,
+        edge_scale: &[f64],
+        t: f64,
+    ) -> f64 {
+        let np = self.data.pattern_count();
+        let cats = self.model.rate_categories();
+        let (eigvals, _, _) = self.model.eigen_system();
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        for (cat, ev) in scratch.ev.iter_mut().enumerate() {
+            let rt = cats.rates[cat] * t;
+            let prob = cats.probs[cat];
+            for k in 0..4 {
+                ev[k] = prob * (eigvals[k] * rt).exp();
+            }
+        }
+        lik_simd::coef_site_sums(
+            self.backend,
+            &coefs.values,
+            &scratch.ev,
+            &mut scratch.site,
+            self.npad,
+        );
+        scratch.site[np..].fill(1.0);
+        lik_simd::ln_into(self.backend, &mut scratch.site);
+        let weights = self.data.weights();
+        let mut lnl = 0.0;
+        match down_scale {
+            Some(ds) => {
+                for pat in 0..np {
+                    lnl += weights[pat] * (scratch.site[pat] + ds[pat] + edge_scale[pat]);
+                }
+            }
+            None => {
+                for pat in 0..np {
+                    lnl += weights[pat] * (scratch.site[pat] + edge_scale[pat]);
+                }
+            }
+        }
+        lnl
+    }
+
+    // SIMD driver: the down partials are maintained incrementally —
+    // after an accepted branch-length change only the edge's root path
+    // is recomputed, instead of a full postorder traversal per edge —
+    // and Brent runs over per-edge spectral coefficients instead of
+    // rebuilding transition matrices per proposal.
+    fn optimize_edges_simd(
+        &self,
+        tree: &mut Tree,
+        edges: &[usize],
+        max_rounds: u32,
+        tol: f64,
+    ) -> f64 {
+        let mut down = self.compute_down(tree);
+        let mut best_lnl = self.root_log_likelihood(tree, &down);
+        for _ in 0..max_rounds {
+            let round_start = best_lnl;
+            for &v in edges {
+                if v == tree.root() {
+                    continue;
+                }
+                let e = self.compute_edge_outside_one(tree, &down, v);
+                let coefs = self.build_edge_coefs(tree, &down, &e, v);
+                let down_scale = if tree.node(v).taxon.is_some() {
+                    None
+                } else {
+                    Some(down[v].scale.as_slice())
+                };
+                let current = tree.branch_length(v);
+                let f_current =
+                    self.edge_coef_log_likelihood(&coefs, down_scale, &e.scale, current);
+                let r = brent_minimize(
+                    |t| -self.edge_coef_log_likelihood(&coefs, down_scale, &e.scale, t),
+                    MIN_BRANCH,
+                    MAX_BRANCH,
+                    1e-7,
+                    64,
+                );
+                self.recycle(coefs);
+                self.recycle(e);
+                // Coordinate ascent: only accept genuine improvements;
+                // the running total is re-anchored exactly below.
+                if -r.fmin > f_current {
+                    tree.set_branch_length(v, r.xmin.clamp(MIN_BRANCH, MAX_BRANCH));
+                    self.refresh_down_path(tree, &mut down, v);
+                }
+            }
+            // Re-anchor on an exact evaluation (scale bookkeeping above
+            // accumulates tiny drift over many edges).
+            best_lnl = self.root_log_likelihood(tree, &down);
+            if best_lnl - round_start < tol {
+                break;
+            }
+        }
+        self.recycle_vec(down);
+        best_lnl
+    }
+
+    fn optimize_edges_scalar(
+        &self,
+        tree: &mut Tree,
+        edges: &[usize],
+        max_rounds: u32,
+        tol: f64,
+    ) -> f64 {
         let mut best_lnl = self.log_likelihood(tree);
         for _ in 0..max_rounds {
             let round_start = best_lnl;
@@ -439,11 +1216,10 @@ impl<'a> TreeLikelihood<'a> {
                 }
                 let down = self.compute_down(tree);
                 let e = self.compute_edge_outside_one(tree, &down, v);
-                let d = &down[v];
                 let current = tree.branch_length(v);
-                let f_current = self.edge_log_likelihood(d, &e, current);
+                let f_current = self.edge_log_likelihood(tree, &down, &e, v, current);
                 let r = brent_minimize(
-                    |t| -self.edge_log_likelihood(d, &e, t),
+                    |t| -self.edge_log_likelihood(tree, &down, &e, v, t),
                     MIN_BRANCH,
                     MAX_BRANCH,
                     1e-7,
@@ -553,7 +1329,6 @@ mod tests {
         ]);
         let model = SubstModel::homogeneous(ModelKind::Jc69);
         let tree = triple_tree(0.1);
-        let lnl = log_likelihood(&tree, &data, &model);
 
         // Closed form: distance between a and b through the root is 0.2.
         let d: f64 = 0.2;
@@ -561,10 +1336,13 @@ mod tests {
         let p_same = 0.25 * (0.25 + 0.75 * e);
         let p_diff = 0.25 * (0.25 - 0.25 * e);
         let expected = 5.0 * p_same.ln() + p_diff.ln();
-        assert!(
-            (lnl - expected).abs() < 1e-9,
-            "pruning {lnl} vs closed form {expected}"
-        );
+        for backend in LikBackend::supported() {
+            let lnl = TreeLikelihood::with_backend(&model, &data, backend).log_likelihood(&tree);
+            assert!(
+                (lnl - expected).abs() < 1e-9,
+                "{backend:?}: pruning {lnl} vs closed form {expected}"
+            );
+        }
     }
 
     #[test]
@@ -581,9 +1359,11 @@ mod tests {
         let mut tree = triple_tree(0.15);
         tree.set_branch_length(2, 0.05);
         tree.set_branch_length(3, 0.4);
-        let fast = log_likelihood(&tree, &data, &model);
         let slow = brute_force_lnl(&tree, &data, &model);
-        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+        for backend in LikBackend::supported() {
+            let fast = TreeLikelihood::with_backend(&model, &data, backend).log_likelihood(&tree);
+            assert!((fast - slow).abs() < 1e-9, "{backend:?}: {fast} vs {slow}");
+        }
     }
 
     #[test]
@@ -597,9 +1377,11 @@ mod tests {
         let model = SubstModel::new(ModelKind::K80 { kappa: 2.5 }, GammaRates::gamma(0.7, 3));
         let mut tree = triple_tree(0.1);
         tree.insert_leaf(1, 3, 0.2);
-        let fast = log_likelihood(&tree, &data, &model);
         let slow = brute_force_lnl(&tree, &data, &model);
-        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+        for backend in LikBackend::supported() {
+            let fast = TreeLikelihood::with_backend(&model, &data, backend).log_likelihood(&tree);
+            assert!((fast - slow).abs() < 1e-9, "{backend:?}: {fast} vs {slow}");
+        }
     }
 
     #[test]
@@ -685,7 +1467,9 @@ mod tests {
     #[test]
     fn edge_likelihood_agrees_with_full_likelihood() {
         // The edge decomposition evaluated at the current branch length
-        // must equal the root-based likelihood, for every edge.
+        // must equal the root-based likelihood, for every edge — on the
+        // scalar reference via the batch outside pass, and on every
+        // SIMD backend via the O(depth) single-edge pass.
         let data = PatternAlignment::from_sequences(&[
             seq("a", "ACGTACTA"),
             seq("b", "ACGAACTT"),
@@ -701,17 +1485,36 @@ mod tests {
         );
         let mut tree = triple_tree(0.1);
         tree.insert_leaf(2, 3, 0.3);
-        let engine = TreeLikelihood::new(&model, &data);
+
+        let engine = TreeLikelihood::with_backend(&model, &data, LikBackend::Scalar);
         let full = engine.log_likelihood(&tree);
         let down = engine.compute_down(&tree);
         let outside = engine.compute_edge_outside(&tree, &down);
         for v in tree.edges() {
             let e = outside[v].as_ref().expect("edge partial exists");
-            let via_edge = engine.edge_log_likelihood(&down[v], e, tree.branch_length(v));
+            let via_edge = engine.edge_log_likelihood(&tree, &down, e, v, tree.branch_length(v));
             assert!(
                 (via_edge - full).abs() < 1e-8,
                 "edge {v}: {via_edge} vs {full}"
             );
+        }
+
+        for backend in LikBackend::supported() {
+            if backend == LikBackend::Scalar {
+                continue;
+            }
+            let engine = TreeLikelihood::with_backend(&model, &data, backend);
+            let full = engine.log_likelihood(&tree);
+            for v in tree.edges() {
+                let down = engine.compute_down(&tree);
+                let e = engine.compute_edge_outside_one(&tree, &down, v);
+                let via_edge =
+                    engine.edge_log_likelihood(&tree, &down, &e, v, tree.branch_length(v));
+                assert!(
+                    (via_edge - full).abs() < 1e-8,
+                    "{backend:?} edge {v}: {via_edge} vs {full}"
+                );
+            }
         }
     }
 
@@ -735,8 +1538,41 @@ mod tests {
             let e = edges[t % edges.len()];
             tree.insert_leaf(e, t, 0.5);
         }
-        let lnl = log_likelihood(&tree, &data, &model);
-        assert!(lnl.is_finite(), "lnL must not underflow: {lnl}");
-        assert!(lnl < 0.0);
+        let scalar =
+            TreeLikelihood::with_backend(&model, &data, LikBackend::Scalar).log_likelihood(&tree);
+        assert!(scalar.is_finite(), "lnL must not underflow: {scalar}");
+        assert!(scalar < 0.0);
+        for backend in LikBackend::supported() {
+            let lnl = TreeLikelihood::with_backend(&model, &data, backend).log_likelihood(&tree);
+            assert!(lnl.is_finite(), "{backend:?} lnL must not underflow: {lnl}");
+            assert!(
+                (lnl - scalar).abs() < 1e-8 * scalar.abs(),
+                "{backend:?}: {lnl} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmat_cache_hits_accumulate_on_simd_path() {
+        let data = PatternAlignment::from_sequences(&[
+            seq("a", "ACGTACTAGGCA"),
+            seq("b", "ACGAACTTGGCA"),
+            seq("c", "TCGAACTTGACA"),
+            seq("d", "TCGAACGTGACT"),
+        ]);
+        let model = SubstModel::homogeneous(ModelKind::Jc69);
+        let mut tree = triple_tree(0.1);
+        tree.insert_leaf(2, 3, 0.3);
+        let engine = TreeLikelihood::new(&model, &data);
+        if engine.backend() == LikBackend::Scalar {
+            return; // cache only exists on the SIMD path
+        }
+        engine.optimize_edges(&mut tree.clone(), None, 2, 1e-4);
+        let (hits, misses) = engine.pmat_cache_stats();
+        assert!(misses > 0, "distinct branch lengths must miss once");
+        assert!(
+            hits > misses,
+            "repeated traversals must reuse cached matrices ({hits} hits vs {misses} misses)"
+        );
     }
 }

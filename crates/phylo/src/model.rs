@@ -364,6 +364,16 @@ impl SubstModel {
         self.freqs
     }
 
+    /// The spectral decomposition `P(t) = U · diag(e^{λt}) · U⁻¹`
+    /// behind [`Self::transition_matrix`], as `(λ, U, U⁻¹)`.
+    ///
+    /// The likelihood engine's branch-length objective folds `U`/`U⁻¹`
+    /// into per-pattern coefficients so each Brent iteration costs four
+    /// exponentials per rate category instead of a matrix rebuild.
+    pub fn eigen_system(&self) -> (&[f64; 4], &[[f64; 4]; 4], &[[f64; 4]; 4]) {
+        (&self.eigvals, &self.u, &self.u_inv)
+    }
+
     /// Transition matrix `P(t·rate)` for branch length `t` (expected
     /// substitutions per site) under one rate category.
     ///

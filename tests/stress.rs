@@ -1,4 +1,4 @@
-//! 24-donor TCP loopback soak with chaos, plus the data-movement
+//! Multi-donor TCP loopback soak (24 donors on CI-class hosts) with chaos, plus the data-movement
 //! acceptance check: a second, identical DSEARCH query must be served
 //! almost entirely from the donors' chunk caches.
 //!
@@ -32,8 +32,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Donor pool size for the soak.
-const DONORS: usize = 24;
+/// Donor pool size for the soak: 24 on CI-class hosts, scaled down
+/// with available parallelism on small machines. The acceptance check
+/// below does wall-clock byte accounting; running 24 compute threads
+/// on one core turns lease deadlines and ack timeouts into a lottery —
+/// spurious expiries reissue units to donors that must fetch their
+/// chunks cold, and that noise alone can eat the phase-2 byte budget.
+fn donor_count() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (8 * cores).clamp(8, 24)
+}
 /// Scaled seconds per wall second (matches the chaos suite).
 const TIME_SCALE: f64 = 50.0;
 /// Fault horizon, scaled seconds: all faults land early in phase 1, so
@@ -153,7 +161,9 @@ fn stress_sched() -> SchedulerConfig {
         // The whole point of phase 2 is affinity routing: keep a pool
         // wide enough to always offer each donor its cached units, and
         // no redundant end-game copies that would force cold fetches.
-        affinity_lookahead: 256,
+        // Must exceed the phase-2 unit count or routing silently
+        // degrades to FIFO for units past the window.
+        affinity_lookahead: 1024,
         enable_redundant_dispatch: false,
         ..Default::default()
     }
@@ -163,11 +173,12 @@ fn stress_sched() -> SchedulerConfig {
 
 #[test]
 fn stress_soak_24_donors_second_pass_is_cached() {
+    let donors = donor_count();
     let seed = chaos_seed();
     let plan = FaultPlan::random(
         seed,
         &ChaosOptions {
-            n_clients: DONORS,
+            n_clients: donors,
             horizon_secs: HORIZON,
             n_faults: 10,
             max_departures: 3,
@@ -199,7 +210,7 @@ fn stress_soak_24_donors_second_pass_is_cached() {
     // both phases so the byte counter can be sampled at the gate.
     let kit = ClientKit::from_server(&server).expect("codecs");
     let clock = Clock::new(TIME_SCALE);
-    // 24 donors against one unoptimised loopback server: give liveness
+    // A full donor pool against one unoptimised loopback server: give liveness
     // and acks real headroom, or the soak measures reconnect storms
     // (mass client-gone reissues, double computes) instead of caching.
     let server_opts = NetServerOptions {
@@ -208,7 +219,7 @@ fn stress_soak_24_donors_second_pass_is_cached() {
     };
     let net = NetServer::start(server, clock, server_opts).expect("bind listener");
     let upstream: Directory = Arc::new(Mutex::new(Some(net.addr())));
-    let proxy = FaultProxy::start_traced(upstream, &plan, DONORS, clock, telemetry.clone())
+    let proxy = FaultProxy::start_traced(upstream, &plan, donors, clock, telemetry.clone())
         .expect("bind proxy");
     let client_dir: Directory = Arc::new(Mutex::new(Some(proxy.addr())));
     let run_over = Arc::new(AtomicBool::new(false));
@@ -225,7 +236,7 @@ fn stress_soak_24_donors_second_pass_is_cached() {
         client_dir,
         clock,
         kit,
-        DONORS,
+        donors,
         &plan,
         run_over.clone(),
         client_opts,
