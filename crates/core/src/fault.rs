@@ -60,6 +60,11 @@ pub enum FaultKind {
     /// corrupted payload. The transport layer detects the checksum
     /// mismatch and the server must reissue the unit.
     CorruptResult,
+    /// The client's next completed result after `at` is *wrong*: its
+    /// payload bytes are flipped **before** CRC framing, so the wire
+    /// layer cannot catch it — a true Byzantine donor. Only K-way
+    /// quorum compare on the combine path defends against it.
+    WrongResult,
     /// The shared server link runs `factor`× slower for
     /// `duration_secs` (congestion, a flapping switch port).
     LinkDegrade {
@@ -236,6 +241,46 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a Byzantine plan from `seed`: a `byzantine_frac`
+    /// fraction of the pool (at least one donor, never the whole pool)
+    /// is selected deterministically, and each selected donor arms
+    /// `wrongs_per_donor` [`FaultKind::WrongResult`] one-shots spread
+    /// over `[0.02, 0.7] × horizon`. Deliberately a *separate* builder
+    /// from [`FaultPlan::random`]: adding `WrongResult` to the random
+    /// mix would silently change every existing seed's plan.
+    pub fn byzantine(
+        seed: u64,
+        opts: &ChaosOptions,
+        byzantine_frac: f64,
+        wrongs_per_donor: usize,
+    ) -> Self {
+        assert!(
+            opts.n_clients >= 2,
+            "byzantine chaos needs at least 2 clients"
+        );
+        assert!(
+            (0.0..=1.0).contains(&byzantine_frac),
+            "byzantine fraction must be in [0, 1]"
+        );
+        let mut rng = Xoshiro256StarStar::new(seed).derive(0xB1_2A17);
+        let n_byz = ((opts.n_clients as f64 * byzantine_frac).round() as usize)
+            .clamp(1, opts.n_clients - 1);
+        // Fisher–Yates prefix: pick n_byz distinct donors.
+        let mut pool: Vec<ClientId> = (0..opts.n_clients).collect();
+        for i in 0..n_byz {
+            let j = i + rng.next_below((opts.n_clients - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        let mut plan = Self::new(seed);
+        for &client in &pool[..n_byz] {
+            for _ in 0..wrongs_per_donor {
+                let at = rng.next_f64_range(0.02, 0.7) * opts.horizon_secs;
+                plan.push(at, client, FaultKind::WrongResult);
+            }
+        }
+        plan
+    }
+
     /// The time at which `client` joins the pool, if the plan delays it
     /// (latest [`FaultKind::LateJoin`] wins when several are present).
     pub fn join_time(&self, client: ClientId) -> Option<f64> {
@@ -315,6 +360,7 @@ impl FaultPlan {
                     factor,
                     duration_secs,
                 } => (7, factor, duration_secs),
+                FaultKind::WrongResult => (8, 0.0, 0.0),
             };
             eat(&[tag]);
             eat(&a.to_bits().to_le_bytes());
@@ -336,6 +382,20 @@ pub enum DeliveryAction {
     /// The payload arrives corrupted; the server's transport layer
     /// detects the checksum mismatch and must reissue the unit.
     Corrupt,
+}
+
+/// The canonical Byzantine mutation: flips the final payload byte with
+/// a client-derived odd mask, so the result stays *decodable* (same
+/// length, CRC re-framed over the flipped bytes) but semantically
+/// wrong — and two Byzantine donors never produce the *same* wrong
+/// bytes, which would let them outvote an honest quorum. All three
+/// backends apply this one function so a plan means the same thing
+/// everywhere. No-op on an empty payload.
+pub fn flip_result_bytes(bytes: &mut [u8], client: ClientId) {
+    if let Some(last) = bytes.last_mut() {
+        // Odd mask: always non-zero, distinct per client (mod 128).
+        *last ^= (client as u8).wrapping_shl(1) | 1;
+    }
 }
 
 /// The seam both backends inject faults through. The default methods
@@ -360,6 +420,17 @@ pub trait FaultInjector: Send {
         let _ = now;
         1.0
     }
+
+    /// Whether the result `client` finished at `now` is computed
+    /// *wrong* (Byzantine). Stateful: an armed one-shot is consumed by
+    /// the call. Kept separate from [`FaultInjector::delivery_action`]
+    /// so the TCP client's interpreter (which injects wrong bytes
+    /// before framing) and the fault proxy's interpreter (which mutates
+    /// frames on the wire) never skew each other's armed-fault queues.
+    fn wrong_result(&mut self, client: ClientId, now: f64) -> bool {
+        let _ = (client, now);
+        false
+    }
 }
 
 /// The fault-free injector.
@@ -374,24 +445,34 @@ impl FaultInjector for NoFaults {}
 pub struct PlanInterpreter {
     // Armed one-shot delivery faults per client, each sorted by time.
     deliveries: Vec<Vec<(f64, DeliveryAction)>>,
+    // Armed one-shot Byzantine wrong-result faults per client, sorted
+    // by time; a separate queue so consuming one never perturbs the
+    // delivery-fault schedule (and vice versa).
+    wrongs: Vec<Vec<f64>>,
     // (start, end, factor) slowdown windows per client.
     slowdowns: Vec<Vec<(f64, f64, f64)>>,
     // (start, end, factor) link-degradation windows.
     link_windows: Vec<(f64, f64, f64)>,
     // Consumed-fault counters, for post-run reporting.
     consumed: [u64; 3],
+    // Consumed wrong-result faults.
+    consumed_wrong: u64,
 }
 
 impl PlanInterpreter {
     /// Builds the interpreter for a plan over `n_clients` clients.
     pub fn new(plan: &FaultPlan, n_clients: usize) -> Self {
         let mut deliveries: Vec<Vec<(f64, DeliveryAction)>> = vec![Vec::new(); n_clients];
+        let mut wrongs: Vec<Vec<f64>> = vec![Vec::new(); n_clients];
         let mut slowdowns: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); n_clients];
         let mut link_windows = Vec::new();
         for e in &plan.events {
             match (&e.kind, e.client) {
                 (FaultKind::DropResult, Some(c)) if c < n_clients => {
                     deliveries[c].push((e.at, DeliveryAction::Drop));
+                }
+                (FaultKind::WrongResult, Some(c)) if c < n_clients => {
+                    wrongs[c].push(e.at);
                 }
                 (FaultKind::DuplicateResult, Some(c)) if c < n_clients => {
                     deliveries[c].push((e.at, DeliveryAction::Duplicate));
@@ -423,17 +504,27 @@ impl PlanInterpreter {
         for v in &mut deliveries {
             v.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
+        for v in &mut wrongs {
+            v.sort_by(f64::total_cmp);
+        }
         Self {
             deliveries,
+            wrongs,
             slowdowns,
             link_windows,
             consumed: [0; 3],
+            consumed_wrong: 0,
         }
     }
 
     /// `(dropped, duplicated, corrupted)` deliveries consumed so far.
     pub fn consumed_deliveries(&self) -> (u64, u64, u64) {
         (self.consumed[0], self.consumed[1], self.consumed[2])
+    }
+
+    /// Byzantine wrong-result faults consumed so far.
+    pub fn consumed_wrong_results(&self) -> u64 {
+        self.consumed_wrong
     }
 }
 
@@ -457,6 +548,20 @@ impl FaultInjector for PlanInterpreter {
                 action
             }
             _ => DeliveryAction::Deliver,
+        }
+    }
+
+    fn wrong_result(&mut self, client: ClientId, now: f64) -> bool {
+        let Some(armed) = self.wrongs.get_mut(client) else {
+            return false;
+        };
+        match armed.first() {
+            Some(&at) if at <= now => {
+                armed.remove(0);
+                self.consumed_wrong += 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -615,6 +720,71 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_fault_time_is_rejected() {
         FaultPlan::new(0).push(-1.0, 0, FaultKind::Depart);
+    }
+
+    #[test]
+    fn byzantine_plans_are_deterministic_and_bounded() {
+        let opts = ChaosOptions::for_pool(6, 200.0);
+        let a = FaultPlan::byzantine(42, &opts, 0.3, 4);
+        assert_eq!(a, FaultPlan::byzantine(42, &opts, 0.3, 4));
+        assert_ne!(a, FaultPlan::byzantine(43, &opts, 0.3, 4));
+        // 30% of 6 donors = 2 Byzantine donors, 4 wrongs each.
+        let donors: std::collections::HashSet<_> =
+            a.events.iter().filter_map(|e| e.client).collect();
+        assert_eq!(donors.len(), 2);
+        assert_eq!(a.events.len(), 8);
+        assert!(a
+            .events
+            .iter()
+            .all(|e| e.kind == FaultKind::WrongResult && e.at <= 0.7 * 200.0));
+        // The fraction never selects the whole pool (the run must be
+        // able to out-vote the liars) and never rounds down to zero.
+        let all = FaultPlan::byzantine(7, &opts, 1.0, 1);
+        let donors: std::collections::HashSet<_> =
+            all.events.iter().filter_map(|e| e.client).collect();
+        assert_eq!(donors.len(), 5);
+        let one = FaultPlan::byzantine(7, &opts, 0.0, 1);
+        assert_eq!(one.events.len(), 1);
+    }
+
+    #[test]
+    fn interpreter_consumes_wrong_results_independently_of_deliveries() {
+        let plan = FaultPlan::new(9)
+            .with(10.0, 0, FaultKind::WrongResult)
+            .with(20.0, 0, FaultKind::WrongResult)
+            .with(5.0, 0, FaultKind::DropResult);
+        let mut interp = PlanInterpreter::new(&plan, 2);
+        assert!(!interp.wrong_result(0, 9.0), "not armed yet");
+        assert!(interp.wrong_result(0, 15.0));
+        // Consuming a wrong-result must not consume the drop.
+        assert_eq!(interp.delivery_action(0, 15.0), DeliveryAction::Drop);
+        assert!(interp.wrong_result(0, 25.0));
+        assert!(!interp.wrong_result(0, 25.0), "both consumed");
+        assert!(!interp.wrong_result(1, 25.0), "other client unaffected");
+        assert_eq!(interp.consumed_wrong_results(), 2);
+        assert_eq!(interp.consumed_deliveries(), (1, 0, 0));
+    }
+
+    #[test]
+    fn flip_result_bytes_is_clientwise_distinct_and_reversible() {
+        let original = vec![1u8, 2, 3, 4];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        flip_result_bytes(&mut a, 0);
+        flip_result_bytes(&mut b, 1);
+        assert_ne!(a, original, "mutation must change the bytes");
+        assert_ne!(b, original);
+        assert_ne!(a, b, "two Byzantine donors must disagree with each other");
+        assert_eq!(a.len(), original.len(), "length preserved: stays decodable");
+        let mut empty: Vec<u8> = Vec::new();
+        flip_result_bytes(&mut empty, 3); // no-op, no panic
+    }
+
+    #[test]
+    fn digest_covers_wrong_result_events() {
+        let a = FaultPlan::new(1).with(5.0, 0, FaultKind::WrongResult);
+        let b = FaultPlan::new(1).with(5.0, 0, FaultKind::CorruptResult);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod codec;
 pub mod fault;
 pub mod net;
 pub mod problem;
+pub mod quorum;
 pub mod sched;
 pub mod server;
 pub mod sim_backend;
@@ -51,15 +52,16 @@ pub mod thread_backend;
 pub use audit::{audited, AuditHandle};
 pub use codec::{ByteReader, ByteWriter, ChunkNeed, WireCodec, WireError};
 pub use fault::{
-    ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NoFaults,
-    PlanInterpreter,
+    flip_result_bytes, ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind,
+    FaultPlan, NoFaults, PlanInterpreter,
 };
 pub use net::{
     chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, CacheStats, CheckpointWriter,
     ChunkCache, FaultProxy, NetClientOptions, NetServer, NetServerOptions, RecoveryReport,
 };
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
-pub use sched::{AffinitySnapshot, ClientId, SchedSnapshot, SchedulerConfig};
+pub use quorum::{QuorumTally, VoteOutcome};
+pub use sched::{AffinitySnapshot, ClientId, ReputationSnapshot, SchedSnapshot, SchedulerConfig};
 pub use server::{Assignment, ProblemId, RunJournal, Server};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
 pub use telemetry::{

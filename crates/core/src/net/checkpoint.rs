@@ -12,7 +12,12 @@
 //! * `Result` records: the codec-encoded result folded for a unit,
 //!   written **before** the fold (write-ahead);
 //! * `Sched` records: periodic [`SchedSnapshot`]s so recovery resumes
-//!   with warm speed estimates.
+//!   with warm speed estimates;
+//! * `Vote` records: quorum ballots cast before a unit reached
+//!   agreement, so a restarted server resumes interrupted elections
+//!   (re-capped below the quorum — only a live result can fold);
+//! * `Reputation` records: periodic [`ReputationSnapshot`]s so donors
+//!   that earned single-issue trust keep it across a restart.
 //!
 //! Log framing: `[body_len: u32][record_type: u8][body][crc32(type ‖
 //! body): u32]`, little-endian. The reader stops at the first record
@@ -26,7 +31,9 @@
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::problem::{Problem, TaskResult, UnitId, WorkUnit};
-use crate::sched::{AffinitySnapshot, SchedSnapshot, SchedulerConfig};
+use crate::sched::{
+    AffinitySnapshot, ClientId, ReputationSnapshot, SchedSnapshot, SchedulerConfig,
+};
 use crate::server::{ProblemId, RunJournal, Server};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -38,6 +45,8 @@ const REC_ISSUE: u8 = 1;
 const REC_RESULT: u8 = 2;
 const REC_SCHED: u8 = 3;
 const REC_AFFINITY: u8 = 4;
+const REC_REPUTATION: u8 = 5;
+const REC_VOTE: u8 = 6;
 
 /// Largest record body the reader will accept; larger means the length
 /// field itself is torn garbage.
@@ -70,6 +79,27 @@ pub enum LogRecord {
     /// recovered server keeps steering units toward the donors whose
     /// caches are already warm.
     Affinity(AffinitySnapshot),
+    /// A donor-reputation snapshot (the last one in the log wins), so a
+    /// recovered server keeps trusting the donors that earned
+    /// single-issue before the crash.
+    Reputation(ReputationSnapshot),
+    /// A quorum vote recorded before the unit reached agreement. A unit
+    /// whose `Result` record never made it to the log resumes its
+    /// election from these instead of from scratch — and because the
+    /// server re-caps restored votes below the quorum, a half-voted
+    /// unit can never fold twice.
+    Vote {
+        /// Problem the unit belongs to.
+        problem: ProblemId,
+        /// The contested unit.
+        unit: UnitId,
+        /// Byte-identical copies required to fold.
+        needed: u32,
+        /// Donor that cast the vote.
+        client: ClientId,
+        /// The codec-encoded candidate bytes the donor submitted.
+        payload: Vec<u8>,
+    },
 }
 
 /// Append-only, cloneable checkpoint writer; install a clone as the
@@ -119,6 +149,8 @@ impl CheckpointWriter {
                 REC_ISSUE => "issue",
                 REC_RESULT => "result",
                 REC_AFFINITY => "affinity",
+                REC_REPUTATION => "reputation",
+                REC_VOTE => "vote",
                 _ => "sched",
             };
             self.telemetry
@@ -169,6 +201,19 @@ impl CheckpointWriter {
         }
         self.write_record(REC_AFFINITY, &w.into_bytes());
     }
+
+    /// Appends a donor-reputation snapshot record.
+    pub fn append_reputation(&self, snap: &ReputationSnapshot) {
+        let mut w = ByteWriter::new();
+        w.u32(snap.clients.len() as u32);
+        for &(client, agreements, disputes, trusted) in &snap.clients {
+            w.u64(client as u64);
+            w.u64(agreements);
+            w.u64(disputes);
+            w.u8(trusted as u8);
+        }
+        self.write_record(REC_REPUTATION, &w.into_bytes());
+    }
 }
 
 impl RunJournal for CheckpointWriter {
@@ -186,6 +231,23 @@ impl RunJournal for CheckpointWriter {
         w.u64(unit);
         w.bytes(encoded);
         self.write_record(REC_RESULT, &w.into_bytes());
+    }
+
+    fn vote_recorded(
+        &mut self,
+        problem: ProblemId,
+        unit: UnitId,
+        needed: u32,
+        client: ClientId,
+        encoded: &[u8],
+    ) {
+        let mut w = ByteWriter::new();
+        w.usize(problem);
+        w.u64(unit);
+        w.u32(needed);
+        w.u64(client as u64);
+        w.bytes(encoded);
+        self.write_record(REC_VOTE, &w.into_bytes());
     }
 }
 
@@ -265,6 +327,25 @@ fn parse_record(buf: &[u8]) -> Option<(LogRecord, usize)> {
             }
             LogRecord::Affinity(AffinitySnapshot { clients })
         }
+        REC_REPUTATION => {
+            let n = r.count(25).ok()?;
+            let mut clients = Vec::with_capacity(n);
+            for _ in 0..n {
+                let client = r.usize().ok()?;
+                let agreements = r.u64().ok()?;
+                let disputes = r.u64().ok()?;
+                let trusted = r.u8().ok()? != 0;
+                clients.push((client, agreements, disputes, trusted));
+            }
+            LogRecord::Reputation(ReputationSnapshot { clients })
+        }
+        REC_VOTE => LogRecord::Vote {
+            problem: r.usize().ok()?,
+            unit: r.u64().ok()?,
+            needed: r.u32().ok()?,
+            client: r.usize().ok()?,
+            payload: r.bytes().ok()?.to_vec(),
+        },
         _ => return None,
     };
     r.finish().ok()?;
@@ -280,6 +361,10 @@ pub struct RecoveryReport {
     pub replayed_results: u64,
     /// Issued-but-uncompleted units queued for reassignment.
     pub pending_restored: u64,
+    /// Quorum votes re-seeded onto still-pending units (always capped
+    /// below the quorum, so none of them can fold without a live
+    /// result).
+    pub restored_votes: u64,
     /// Whether a torn tail or a replay divergence cut the log short.
     pub torn_tail: bool,
 }
@@ -328,6 +413,9 @@ pub fn recover_traced(
     let mut pending: BTreeMap<(ProblemId, UnitId), WorkUnit> = BTreeMap::new();
     let mut snapshot: Option<SchedSnapshot> = None;
     let mut affinity: Option<AffinitySnapshot> = None;
+    let mut reputation: Option<ReputationSnapshot> = None;
+    type VoteStash = BTreeMap<(ProblemId, UnitId), (u32, Vec<(ClientId, Vec<u8>)>)>;
+    let mut votes: VoteStash = BTreeMap::new();
     for record in records {
         match record {
             LogRecord::Issue {
@@ -375,27 +463,60 @@ pub fn recover_traced(
                     },
                     0.0,
                 );
+                // The election this unit may have been running is over;
+                // any of its surviving vote records are stale.
+                votes.remove(&(problem, unit));
                 report.replayed_results += 1;
             }
             LogRecord::Sched(snap) => snapshot = Some(snap),
             LogRecord::Affinity(snap) => affinity = Some(snap),
+            LogRecord::Reputation(snap) => reputation = Some(snap),
+            LogRecord::Vote {
+                problem,
+                unit,
+                needed,
+                client,
+                payload,
+            } => {
+                if problem >= server.problem_count() {
+                    report.torn_tail = true;
+                    break;
+                }
+                let entry = votes.entry((problem, unit)).or_insert((needed, Vec::new()));
+                entry.0 = needed;
+                entry.1.push((client, payload));
+            }
         }
     }
     // Everything issued but not completed goes back on the queue,
     // grouped per problem in unit order (BTreeMap iteration).
     let mut by_problem: BTreeMap<ProblemId, Vec<WorkUnit>> = BTreeMap::new();
-    for ((pid, _), unit) in pending {
+    let mut restored_keys: std::collections::BTreeSet<(ProblemId, UnitId)> =
+        std::collections::BTreeSet::new();
+    for ((pid, uid), unit) in pending {
         by_problem.entry(pid).or_default().push(unit);
+        restored_keys.insert((pid, uid));
         report.pending_restored += 1;
     }
     for (pid, units) in by_problem {
         server.restore_pending(pid, units);
+    }
+    // Re-seed the interrupted elections, but only for units that came
+    // back as pending — votes for units we never re-issued describe
+    // state this run cannot reach.
+    for ((pid, unit), (needed, ballots)) in votes {
+        if restored_keys.contains(&(pid, unit)) {
+            report.restored_votes += server.restore_votes(pid, unit, needed, &ballots);
+        }
     }
     if let Some(snap) = snapshot {
         server.restore_scheduler(&snap);
     }
     if let Some(snap) = affinity {
         server.restore_affinity(&snap);
+    }
+    if let Some(snap) = reputation {
+        server.restore_reputation(&snap);
     }
     telemetry.emit(crate::telemetry::EventKind::RecoveryDone {
         replayed_issues: report.replayed_issues,
@@ -583,6 +704,121 @@ mod tests {
         let (records, torn) = read_log(&path).unwrap();
         assert!(!torn);
         assert_eq!(records, vec![LogRecord::Sched(snap)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vote_and_reputation_records_round_trip() {
+        let path = temp_log("vote-rt");
+        let mut writer = CheckpointWriter::create(&path).unwrap();
+        let rep = ReputationSnapshot {
+            clients: vec![(0, 5, 0, true), (2, 1, 3, false)],
+        };
+        writer.append_reputation(&rep);
+        writer.vote_recorded(0, 7, 3, 2, &[0xAB, 0xCD]);
+        let (records, torn) = read_log(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(
+            records,
+            vec![
+                LogRecord::Reputation(rep.clone()),
+                LogRecord::Vote {
+                    problem: 0,
+                    unit: 7,
+                    needed: 3,
+                    client: 2,
+                    payload: vec![0xAB, 0xCD],
+                },
+            ]
+        );
+        // A recovered server resumes with the reputation map warm
+        // (default threshold 4: client 0's five agreements keep its
+        // trust, client 2 stays demoted).
+        let (server, report) = recover(
+            SchedulerConfig::default(),
+            vec![integration_problem(10_000)],
+            &path,
+        )
+        .unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(server.reputation_snapshot(), rep);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Fixed granularity plus a 2-way quorum: every unit needs two
+    // byte-identical votes from untrusted donors before it folds.
+    fn quorum_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            quorum_k: 2,
+            reputation_threshold: 1_000,
+            ..fixed_cfg()
+        }
+    }
+
+    #[test]
+    fn kill_mid_quorum_recovers_without_double_combine() {
+        let path = temp_log("midquorum");
+        let n = 50_000;
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let mut server = Server::new(quorum_cfg());
+        let pid = server.submit(integration_problem(n));
+        server.set_journal(Box::new(writer.clone()));
+        // Donor 0 casts the first of two required votes on the first
+        // unit; the server crashes before anyone seconds it.
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 0.0)
+        else {
+            panic!("work must be available")
+        };
+        let first = algorithm.compute(&unit);
+        assert!(server.submit_result(0, problem, first, 1.0));
+        assert_eq!(
+            server.stats(pid).completed_units,
+            0,
+            "no fold before quorum"
+        );
+        drop(server); // the crash, mid-election
+
+        let (mut recovered, report) =
+            recover(quorum_cfg(), vec![integration_problem(n)], &path).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.replayed_results, 0);
+        assert_eq!(report.pending_restored, 1);
+        assert_eq!(report.restored_votes, 1);
+
+        // Two fresh donors finish the run: the restored vote plus one
+        // live agreeing result resolves the interrupted election, and
+        // every later unit gathers its two votes normally.
+        let mut now = 1.0;
+        let mut finished = 0;
+        while finished < 2 {
+            finished = 0;
+            for c in [1usize, 2] {
+                match recovered.request_work(c, now) {
+                    Assignment::Unit {
+                        problem,
+                        unit,
+                        algorithm,
+                    } => {
+                        let r = algorithm.compute(&unit);
+                        now += 1.0;
+                        recovered.submit_result(c, problem, r, now);
+                    }
+                    Assignment::Wait => now += 1.0,
+                    Assignment::Finished => finished += 1,
+                }
+            }
+            assert!(now < 1e6, "quorum run must make progress");
+        }
+        let pi = recovered.take_output(pid).unwrap().into_inner::<f64>();
+        assert_eq!(
+            pi.to_bits(),
+            sequential_pi(n).to_bits(),
+            "exactly-once fold across a mid-quorum crash"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -550,9 +550,20 @@ impl ClientLoop {
             self.cache.clear();
             return;
         }
-        let Ok(encoded) = codec.encode_result(&result.payload) else {
+        let Ok(mut encoded) = codec.encode_result(&result.payload) else {
             return;
         };
+        // A Byzantine donor lies: flip the encoded payload bytes *here*,
+        // before the frame CRC is computed, so the wire layer delivers
+        // the lie intact — only server-side quorum compare can catch it.
+        if self.interp.wrong_result(self.id, done) {
+            crate::fault::flip_result_bytes(&mut encoded, self.id);
+            self.telemetry
+                .emit(crate::telemetry::EventKind::FaultInjected {
+                    client: self.id,
+                    action: "wrong_result".to_string(),
+                });
+        }
         self.pending = Some(PendingResult {
             problem,
             unit,

@@ -443,6 +443,7 @@ fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
                 if opts.snapshot_every_ticks > 0 && tick.is_multiple_of(opts.snapshot_every_ticks) {
                     w.append_snapshot(&server.scheduler_snapshot());
                     w.append_affinity(&server.affinity_snapshot());
+                    w.append_reputation(&server.reputation_snapshot());
                 }
             }
         }

@@ -1,0 +1,260 @@
+//! Byte-identical quorum vote counting for K-way redundant issuance.
+//!
+//! Folding@Home's central design constraint (PAPERS.md: Larson et al.)
+//! is that donors are *untrusted*: CRC framing catches transit
+//! corruption, but a donor that computes a wrong answer returns a
+//! perfectly well-framed lie. The defence is redundancy: issue the same
+//! unit to K distinct donors and only feed the combine path once a
+//! configured number of **byte-identical** candidate results agrees.
+//!
+//! [`QuorumTally`] is the pure vote counter for one work unit. It is
+//! deliberately free of server state so the property suite can
+//! model-check it in isolation: candidates are keyed by their
+//! codec-encoded bytes (the same bytes the checkpoint log journals),
+//! one vote per donor is enforced, and the tally reports at most one
+//! [`VoteOutcome::Quorum`] — the server folds exactly then, never
+//! before (`tests/properties.rs`).
+
+use crate::problem::TaskResult;
+use crate::sched::ClientId;
+
+/// One distinct candidate byte-pattern and the donors that produced it.
+#[derive(Debug)]
+struct Candidate {
+    bytes: Vec<u8>,
+    /// A representative decoded result for this byte-pattern. `None`
+    /// only for candidates restored from a checkpoint log (the log
+    /// carries bytes, not live payloads); the vote that completes a
+    /// quorum is always live, so the winner always has one.
+    result: Option<TaskResult>,
+    voters: Vec<ClientId>,
+}
+
+/// What recording one vote did to the tally.
+#[derive(Debug)]
+pub enum VoteOutcome {
+    /// Vote recorded; quorum not yet reached.
+    Pending,
+    /// This donor already voted on this unit (a duplicated delivery or
+    /// a stale redundant execution); the vote is ignored.
+    AlreadyVoted,
+    /// A quorum of byte-identical results agrees: fold `result` exactly
+    /// once, credit `agreed`, dispute `dissenters`.
+    Quorum {
+        /// The representative result of the winning byte-pattern.
+        result: TaskResult,
+        /// The winning pattern's encoded bytes (what the checkpoint log
+        /// journals before the fold).
+        bytes: Vec<u8>,
+        /// Donors whose results matched the winning pattern.
+        agreed: Vec<ClientId>,
+        /// Donors whose results disagreed with the winning pattern.
+        dissenters: Vec<ClientId>,
+    },
+}
+
+/// The per-unit vote counter.
+#[derive(Debug)]
+pub struct QuorumTally {
+    needed: u32,
+    candidates: Vec<Candidate>,
+}
+
+impl QuorumTally {
+    /// A tally that folds once `needed` byte-identical votes agree.
+    pub fn new(needed: u32) -> Self {
+        assert!(needed >= 1, "a quorum needs at least one vote");
+        Self {
+            needed,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Votes required to agree.
+    pub fn needed(&self) -> u32 {
+        self.needed
+    }
+
+    /// Total votes recorded so far (across all candidates).
+    pub fn votes(&self) -> u32 {
+        self.candidates.iter().map(|c| c.voters.len() as u32).sum()
+    }
+
+    /// Distinct byte-patterns seen so far. Bounded by [`Self::votes`],
+    /// which is bounded by the donor pool (one vote per donor).
+    pub fn candidate_patterns(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether `client` has already voted on this unit.
+    pub fn has_voted(&self, client: ClientId) -> bool {
+        self.candidates.iter().any(|c| c.voters.contains(&client))
+    }
+
+    /// Records `client`'s candidate result, encoded as `bytes`. On
+    /// [`VoteOutcome::Quorum`] the tally is consumed conceptually — the
+    /// caller must drop it and fold the returned result exactly once.
+    pub fn vote(&mut self, client: ClientId, bytes: Vec<u8>, result: TaskResult) -> VoteOutcome {
+        if self.has_voted(client) {
+            return VoteOutcome::AlreadyVoted;
+        }
+        let idx = match self.candidates.iter().position(|c| c.bytes == bytes) {
+            Some(i) => i,
+            None => {
+                self.candidates.push(Candidate {
+                    bytes,
+                    result: None,
+                    voters: Vec::new(),
+                });
+                self.candidates.len() - 1
+            }
+        };
+        let c = &mut self.candidates[idx];
+        c.voters.push(client);
+        // Keep one live representative per pattern (restored candidates
+        // start without one).
+        c.result.get_or_insert(result);
+        if (c.voters.len() as u32) < self.needed {
+            return VoteOutcome::Pending;
+        }
+        let winner = self.candidates.swap_remove(idx);
+        let mut dissenters: Vec<ClientId> = self
+            .candidates
+            .iter()
+            .flat_map(|c| c.voters.iter().copied())
+            .collect();
+        dissenters.sort_unstable();
+        VoteOutcome::Quorum {
+            result: winner
+                .result
+                .expect("the quorum-completing vote is always live"),
+            bytes: winner.bytes,
+            agreed: winner.voters,
+            dissenters,
+        }
+    }
+
+    /// Restores a vote from the checkpoint log (bytes only, no live
+    /// payload). Capped at `needed − 1` total votes so restored votes
+    /// alone can never complete a quorum: the fold must be driven by a
+    /// live result, which guarantees a recovered run never combines a
+    /// half-voted unit twice (the original fold, had it happened, would
+    /// have journaled a `Result` record and the unit would not have
+    /// been restored at all). Returns whether the vote was kept.
+    pub fn restore_vote(&mut self, client: ClientId, bytes: Vec<u8>) -> bool {
+        if self.has_voted(client) || self.votes() + 1 >= self.needed {
+            return false;
+        }
+        let idx = match self.candidates.iter().position(|c| c.bytes == bytes) {
+            Some(i) => i,
+            None => {
+                self.candidates.push(Candidate {
+                    bytes,
+                    result: None,
+                    voters: Vec::new(),
+                });
+                self.candidates.len() - 1
+            }
+        };
+        self.candidates[idx].voters.push(client);
+        true
+    }
+
+    /// `(client, encoded bytes)` of every recorded vote, sorted by
+    /// client, for checkpointing in-flight quorum state.
+    pub fn recorded_votes(&self) -> Vec<(ClientId, Vec<u8>)> {
+        let mut v: Vec<(ClientId, Vec<u8>)> = self
+            .candidates
+            .iter()
+            .flat_map(|c| c.voters.iter().map(|&cl| (cl, c.bytes.clone())))
+            .collect();
+        v.sort_unstable_by_key(|&(cl, _)| cl);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Payload;
+
+    fn res(unit: u64) -> TaskResult {
+        TaskResult {
+            unit_id: unit,
+            payload: Payload::new((), 0),
+        }
+    }
+
+    #[test]
+    fn quorum_fires_only_when_identical_votes_agree() {
+        let mut t = QuorumTally::new(2);
+        assert!(matches!(
+            t.vote(0, vec![1, 2], res(9)),
+            VoteOutcome::Pending
+        ));
+        assert!(matches!(
+            t.vote(1, vec![1, 3], res(9)),
+            VoteOutcome::Pending
+        ));
+        assert_eq!(t.candidate_patterns(), 2);
+        match t.vote(2, vec![1, 2], res(9)) {
+            VoteOutcome::Quorum {
+                result,
+                bytes,
+                agreed,
+                dissenters,
+            } => {
+                assert_eq!(result.unit_id, 9);
+                assert_eq!(bytes, vec![1, 2]);
+                assert_eq!(agreed, vec![0, 2]);
+                assert_eq!(dissenters, vec![1]);
+            }
+            other => panic!("expected quorum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_vote_per_donor() {
+        let mut t = QuorumTally::new(2);
+        assert!(matches!(t.vote(5, vec![7], res(1)), VoteOutcome::Pending));
+        assert!(matches!(
+            t.vote(5, vec![7], res(1)),
+            VoteOutcome::AlreadyVoted
+        ));
+        assert!(matches!(
+            t.vote(5, vec![8], res(1)),
+            VoteOutcome::AlreadyVoted
+        ));
+        assert_eq!(t.votes(), 1);
+    }
+
+    #[test]
+    fn needed_one_folds_immediately() {
+        let mut t = QuorumTally::new(1);
+        assert!(matches!(
+            t.vote(3, vec![0xAB], res(4)),
+            VoteOutcome::Quorum { .. }
+        ));
+    }
+
+    #[test]
+    fn restored_votes_count_but_never_complete_a_quorum() {
+        let mut t = QuorumTally::new(2);
+        t.restore_vote(0, vec![1, 2]);
+        t.restore_vote(1, vec![1, 2]); // capped: would reach needed
+        assert_eq!(t.votes(), 1, "restores cap at needed − 1");
+        // The live vote completes the quorum using its own payload.
+        match t.vote(2, vec![1, 2], res(8)) {
+            VoteOutcome::Quorum { agreed, .. } => assert_eq!(agreed, vec![0, 2]),
+            other => panic!("expected quorum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recorded_votes_round_trip() {
+        let mut t = QuorumTally::new(3);
+        let _ = t.vote(2, vec![9], res(1));
+        let _ = t.vote(0, vec![7], res(1));
+        assert_eq!(t.recorded_votes(), vec![(0, vec![7]), (2, vec![9])]);
+    }
+}

@@ -83,6 +83,26 @@ pub struct SchedulerConfig {
     /// candidates to choose among. `1` disables the lookahead pool
     /// (pull-on-demand, the pre-affinity behaviour).
     pub affinity_lookahead: usize,
+    /// K-way quorum issuance: units first issued to an *untrusted*
+    /// donor are cross-checked on `quorum_k` distinct donors, and the
+    /// combine path only runs once a quorum of byte-identical results
+    /// agrees. `1` disables quorum (every result is trusted — the
+    /// paper's behaviour).
+    pub quorum_k: u32,
+    /// Byte-identical votes required to agree (`0` = majority of
+    /// `quorum_k`, i.e. `k/2 + 1`). Clamped to `quorum_k`.
+    pub quorum_votes: u32,
+    /// Quorum agreements a donor needs before it is trusted and
+    /// graduates to single-issue (its results skip cross-checking).
+    pub reputation_threshold: u32,
+    /// Enable speculative re-issue of tail units: once fresh work is
+    /// exhausted, in-flight units may be re-dispatched beyond the plain
+    /// redundant-dispatch cap (up to [`Self::speculative_max_copies`])
+    /// to cut the end-of-run makespan droop (Figure 1).
+    pub enable_speculative_reissue: bool,
+    /// Ceiling on simultaneous copies of one unit when speculative
+    /// tail re-issue is enabled.
+    pub speculative_max_copies: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -106,6 +126,11 @@ impl Default for SchedulerConfig {
             enable_affinity: true,
             affinity_capacity: 4096,
             affinity_lookahead: 1,
+            quorum_k: 1,
+            quorum_votes: 0,
+            reputation_threshold: 4,
+            enable_speculative_reissue: false,
+            speculative_max_copies: 3,
         }
     }
 }
@@ -130,6 +155,29 @@ impl SchedulerConfig {
 struct ClientState {
     throughput: Ewma,
     units_completed: u64,
+}
+
+/// Per-donor reputation: how often the donor's results agreed with a
+/// byte-identical quorum, and whether it has graduated to single-issue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ReputationState {
+    /// Consecutive-run quorum agreements since the last dispute.
+    agreements: u64,
+    /// Lifetime disputes (result disagreed with a quorum, or arrived
+    /// corrupted).
+    disputes: u64,
+    /// Whether the donor's results currently skip cross-checking.
+    trusted: bool,
+}
+
+/// Plain-data snapshot of the reputation map, checkpointed alongside
+/// [`SchedSnapshot`] so a recovered server keeps trusting the donors
+/// that earned it (and keeps cross-checking the ones that did not).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReputationSnapshot {
+    /// `(client, agreements, disputes, trusted)`, sorted by client id
+    /// so snapshots are byte-stable for a given state.
+    pub clients: Vec<(ClientId, u64, u64, bool)>,
 }
 
 /// Which chunk digests a donor is believed to hold, insertion-ordered
@@ -189,6 +237,7 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
     clients: HashMap<ClientId, ClientState>,
     affinity: HashMap<ClientId, AffinityState>,
+    reputation: HashMap<ClientId, ReputationState>,
 }
 
 impl Scheduler {
@@ -200,10 +249,13 @@ impl Scheduler {
         );
         assert!(cfg.min_unit_ops > 0.0 && cfg.min_unit_ops <= cfg.max_unit_ops);
         assert!(cfg.max_redundancy >= 1);
+        assert!(cfg.quorum_k >= 1, "quorum_k must be at least 1");
+        assert!(cfg.speculative_max_copies >= 1);
         Self {
             cfg,
             clients: HashMap::new(),
             affinity: HashMap::new(),
+            reputation: HashMap::new(),
         }
     }
 
@@ -309,10 +361,13 @@ impl Scheduler {
         state.units_completed += 1;
     }
 
-    /// Forgets a client (it left the pool).
+    /// Forgets a client (it left the pool). Reputation is forgotten
+    /// too: a donor id that rejoins after departure starts over as an
+    /// unknown, cross-checked donor — the safe direction.
     pub fn forget_client(&mut self, client: ClientId) {
         self.clients.remove(&client);
         self.affinity.remove(&client);
+        self.reputation.remove(&client);
     }
 
     /// Records that `client` now holds chunks with these digests (it
@@ -397,6 +452,109 @@ impl Scheduler {
         self.cfg.enable_redundant_dispatch && active_copies < self.cfg.max_redundancy
     }
 
+    /// Whether speculative tail re-issue may add another copy of a unit
+    /// already running on `active_copies` donors. Only consulted once
+    /// fresh work is exhausted (the server's end-game pass).
+    pub fn may_dispatch_speculative(&self, active_copies: u32) -> bool {
+        self.cfg.enable_speculative_reissue && active_copies < self.cfg.speculative_max_copies
+    }
+
+    /// Whether K-way quorum issuance is configured at all.
+    pub fn quorum_enabled(&self) -> bool {
+        self.cfg.quorum_k > 1
+    }
+
+    /// Byte-identical votes a quorum needs to agree: the configured
+    /// `quorum_votes`, or a majority of `quorum_k` when left at 0,
+    /// clamped to `[1, quorum_k]`.
+    pub fn required_votes(&self) -> u32 {
+        let v = if self.cfg.quorum_votes == 0 {
+            self.cfg.quorum_k / 2 + 1
+        } else {
+            self.cfg.quorum_votes
+        };
+        v.clamp(1, self.cfg.quorum_k)
+    }
+
+    /// How many distinct donors a unit first issued to `client` must
+    /// run on: 1 when quorum is disabled or the donor has earned trust,
+    /// `quorum_k` for unknown or previously-disputed donors.
+    pub fn required_copies(&self, client: ClientId) -> u32 {
+        if self.cfg.quorum_k <= 1 || self.is_trusted(client) {
+            1
+        } else {
+            self.cfg.quorum_k
+        }
+    }
+
+    /// Whether `client` has graduated to single-issue.
+    pub fn is_trusted(&self, client: ClientId) -> bool {
+        self.reputation.get(&client).is_some_and(|r| r.trusted)
+    }
+
+    /// `(agreements since last dispute, lifetime disputes)` for
+    /// `client`.
+    pub fn reputation_counts(&self, client: ClientId) -> (u64, u64) {
+        self.reputation
+            .get(&client)
+            .map_or((0, 0), |r| (r.agreements, r.disputes))
+    }
+
+    /// Records that `client`'s result agreed with a byte-identical
+    /// quorum. Returns `true` when this crosses the trust threshold and
+    /// promotes the donor to single-issue.
+    pub fn note_quorum_agreement(&mut self, client: ClientId) -> bool {
+        let threshold = u64::from(self.cfg.reputation_threshold.max(1));
+        let r = self.reputation.entry(client).or_default();
+        r.agreements += 1;
+        if !r.trusted && r.agreements >= threshold {
+            r.trusted = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records that `client`'s result disagreed with a byte-identical
+    /// quorum: its agreement streak resets and it goes back to being
+    /// cross-checked. (Transport corruption deliberately does *not*
+    /// land here — a bad link is the wire's fault, not the donor's.)
+    /// Returns `true` when the donor was trusted and is hereby demoted.
+    pub fn note_dispute(&mut self, client: ClientId) -> bool {
+        let r = self.reputation.entry(client).or_default();
+        r.disputes += 1;
+        r.agreements = 0;
+        std::mem::replace(&mut r.trusted, false)
+    }
+
+    /// Captures the reputation map for the checkpoint log.
+    pub fn reputation_snapshot(&self) -> ReputationSnapshot {
+        let mut clients: Vec<_> = self
+            .reputation
+            .iter()
+            .map(|(&id, r)| (id, r.agreements, r.disputes, r.trusted))
+            .collect();
+        clients.sort_unstable_by_key(|&(id, ..)| id);
+        ReputationSnapshot { clients }
+    }
+
+    /// Replaces the reputation map with a recovered snapshot. Entries
+    /// claiming trust without the agreements to back it (e.g. after the
+    /// threshold was raised between runs) are restored demoted.
+    pub fn restore_reputation(&mut self, snap: &ReputationSnapshot) {
+        let threshold = u64::from(self.cfg.reputation_threshold.max(1));
+        self.reputation.clear();
+        for &(id, agreements, disputes, trusted) in &snap.clients {
+            self.reputation.insert(
+                id,
+                ReputationState {
+                    agreements,
+                    disputes,
+                    trusted: trusted && agreements >= threshold,
+                },
+            );
+        }
+    }
+
     /// Captures the adaptive state for the checkpoint log.
     pub fn snapshot(&self) -> SchedSnapshot {
         let mut clients: Vec<_> = self
@@ -456,6 +614,15 @@ impl Scheduler {
                 violations.push(format!(
                     "client {id}: granularity hint {hint} outside [{}, {}]",
                     self.cfg.min_unit_ops, self.cfg.max_unit_ops
+                ));
+            }
+        }
+        let threshold = u64::from(self.cfg.reputation_threshold.max(1));
+        for (&id, r) in &self.reputation {
+            if r.trusted && r.agreements < threshold {
+                violations.push(format!(
+                    "client {id}: trusted with only {} agreements (threshold {threshold})",
+                    r.agreements
                 ));
             }
         }
@@ -733,6 +900,117 @@ mod tests {
         assert!(!s.may_dispatch_redundant(2));
         let naive = Scheduler::new(SchedulerConfig::naive());
         assert!(!naive.may_dispatch_redundant(1));
+    }
+
+    #[test]
+    fn speculative_policy_extends_past_the_redundancy_cap() {
+        let s = Scheduler::new(SchedulerConfig {
+            enable_speculative_reissue: true,
+            speculative_max_copies: 3,
+            ..Default::default()
+        });
+        assert!(!s.may_dispatch_redundant(2), "plain redundancy caps at 2");
+        assert!(s.may_dispatch_speculative(2), "speculation allows a third");
+        assert!(!s.may_dispatch_speculative(3));
+        let off = Scheduler::new(SchedulerConfig::default());
+        assert!(!off.may_dispatch_speculative(1), "off by default");
+    }
+
+    #[test]
+    fn reputation_promotes_after_threshold_and_demotes_on_dispute() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 3,
+            ..Default::default()
+        });
+        assert!(s.quorum_enabled());
+        assert_eq!(s.required_votes(), 2, "majority of 3 by default");
+        assert_eq!(s.required_copies(7), 3, "unknown donors are cross-checked");
+        assert!(!s.note_quorum_agreement(7));
+        assert!(!s.note_quorum_agreement(7));
+        assert!(s.note_quorum_agreement(7), "third agreement promotes");
+        assert!(s.is_trusted(7));
+        assert_eq!(s.required_copies(7), 1, "trusted donors single-issue");
+        assert!(!s.note_quorum_agreement(7), "already promoted");
+        assert!(s.note_dispute(7), "dispute demotes a trusted donor");
+        assert!(!s.is_trusted(7));
+        assert_eq!(s.reputation_counts(7), (0, 1), "streak resets");
+        assert_eq!(s.required_copies(7), 3);
+        assert!(!s.note_dispute(7), "already demoted");
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn quorum_vote_configuration_clamps_sanely() {
+        let majority5 = Scheduler::new(SchedulerConfig {
+            quorum_k: 5,
+            ..Default::default()
+        });
+        assert_eq!(majority5.required_votes(), 3);
+        let explicit = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            quorum_votes: 3,
+            ..Default::default()
+        });
+        assert_eq!(explicit.required_votes(), 3);
+        let over = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            quorum_votes: 9,
+            ..Default::default()
+        });
+        assert_eq!(over.required_votes(), 3, "clamped to quorum_k");
+        let disabled = Scheduler::new(SchedulerConfig::default());
+        assert!(!disabled.quorum_enabled());
+        assert_eq!(disabled.required_copies(0), 1);
+    }
+
+    #[test]
+    fn reputation_snapshot_round_trips_and_guards_stale_trust() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 2,
+            ..Default::default()
+        });
+        s.note_quorum_agreement(1);
+        s.note_quorum_agreement(1);
+        s.note_dispute(2);
+        let snap = s.reputation_snapshot();
+        assert_eq!(snap.clients, vec![(1, 2, 0, true), (2, 0, 1, false)]);
+
+        let mut fresh = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 2,
+            ..Default::default()
+        });
+        fresh.restore_reputation(&snap);
+        assert!(fresh.is_trusted(1));
+        assert_eq!(fresh.reputation_counts(2), (0, 1));
+        assert_eq!(fresh.reputation_snapshot(), snap);
+        assert!(fresh.audit().is_empty());
+
+        // A raised threshold invalidates recorded trust on restore.
+        let mut stricter = Scheduler::new(SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 10,
+            ..Default::default()
+        });
+        stricter.restore_reputation(&snap);
+        assert!(!stricter.is_trusted(1), "stale trust is demoted");
+        assert!(stricter.audit().is_empty());
+    }
+
+    #[test]
+    fn forget_client_clears_reputation() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            quorum_k: 2,
+            reputation_threshold: 1,
+            ..Default::default()
+        });
+        s.note_quorum_agreement(4);
+        assert!(s.is_trusted(4));
+        s.forget_client(4);
+        assert!(!s.is_trusted(4), "a rejoining id starts over untrusted");
+        assert_eq!(s.reputation_counts(4), (0, 0));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use crate::codec::{ChunkNeed, WireCodec};
 use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
-use crate::sched::{AffinitySnapshot, ClientId, SchedSnapshot, Scheduler, SchedulerConfig};
+use crate::quorum::{QuorumTally, VoteOutcome};
+use crate::sched::{
+    AffinitySnapshot, ClientId, ReputationSnapshot, SchedSnapshot, Scheduler, SchedulerConfig,
+};
 use crate::telemetry::{EventKind, Telemetry, LATENCY_BOUNDS, OPS_BOUNDS};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -32,6 +35,22 @@ pub trait RunJournal: Send {
     /// An accepted (first-copy, checksum-clean) result is about to be
     /// folded; `encoded` is its codec wire form.
     fn result_folded(&mut self, problem: ProblemId, unit: UnitId, encoded: &[u8]);
+    /// A non-final quorum vote was recorded for `unit`: `encoded` is the
+    /// candidate's codec wire form and `needed` the byte-identical votes
+    /// required to agree. Default no-op — backends without quorum
+    /// checkpointing pay nothing. Replayed votes must never complete a
+    /// quorum on their own (see [`crate::QuorumTally::restore_vote`]):
+    /// a fold, had it happened, would have journaled a `Result` record.
+    fn vote_recorded(
+        &mut self,
+        problem: ProblemId,
+        unit: UnitId,
+        needed: u32,
+        client: ClientId,
+        encoded: &[u8],
+    ) {
+        let _ = (problem, unit, needed, client, encoded);
+    }
 }
 
 /// The server's answer to a work request.
@@ -62,13 +81,6 @@ struct InFlight {
     leases: Vec<Lease>,
 }
 
-// Which of a problem's pending queues an affinity pick scans.
-#[derive(Clone, Copy)]
-enum PendingQueue {
-    Reissue,
-    Pool,
-}
-
 struct ProblemState {
     name: String,
     dm: Box<dyn crate::problem::DataManager>,
@@ -93,6 +105,12 @@ struct ProblemState {
     // backoff so a donor slower than the scheduler's estimate cannot
     // livelock a unit (reissue before its own result arrives, forever).
     reissue_counts: HashMap<UnitId, u32>,
+    // In-flight quorum votes under K-way redundant issuance: a tally
+    // exists for every unit whose result must win a byte-identical vote
+    // before it may reach the combine path. Entries are created when a
+    // unit first reaches an untrusted donor and removed when the vote
+    // resolves (or the problem completes).
+    votes: HashMap<UnitId, QuorumTally>,
     done: bool,
     output: Option<Payload>,
     completion_time: Option<f64>,
@@ -116,6 +134,9 @@ pub struct ProblemStats {
     /// Results that arrived corrupted (failed the transport checksum)
     /// and whose unit was cancelled and queued for reissue.
     pub corrupted_results: u64,
+    /// Candidate results that lost a quorum vote (their unit reached a
+    /// byte-identical quorum they disagreed with).
+    pub disputed_results: u64,
 }
 
 /// The distributed system's server (paper §2.1).
@@ -202,6 +223,7 @@ impl Server {
             pool: VecDeque::new(),
             next_deadline: f64::INFINITY,
             reissue_counts: HashMap::new(),
+            votes: HashMap::new(),
             done: false,
             output: None,
             completion_time: None,
@@ -319,25 +341,38 @@ impl Server {
             if self.problems[pid].done {
                 continue;
             }
-            if let Some(unit) = self.next_unit_for(pid, hint, client) {
+            if let Some((unit, crosscheck)) = self.next_unit_for(pid, hint, client) {
                 self.rotation = (pos + 1) % n;
-                return self.lease_and_assign(pid, unit, client, now, false);
+                if crosscheck {
+                    self.telemetry
+                        .counter_add("quorum.crosscheck_dispatches", 1);
+                }
+                return self.lease_and_assign(pid, unit, client, now, crosscheck);
             }
         }
 
         // Pass 2: redundant end-game dispatch of the longest-running
-        // in-flight unit this client is not already computing.
-        let mut best: Option<(ProblemId, UnitId, f64)> = None;
+        // in-flight unit this client is not already computing (and, under
+        // quorum, has not already voted on).
+        let mut best: Option<(ProblemId, UnitId, f64, bool)> = None;
         for (pid, p) in self.problems.iter().enumerate() {
             if p.done {
                 continue;
             }
             for (uid, inf) in &p.in_flight {
                 let copies = inf.leases.len() as u32;
-                if !self.sched.may_dispatch_redundant(copies) {
+                let redundant_ok = self.sched.may_dispatch_redundant(copies);
+                // Speculative tail re-issue: past the plain redundancy
+                // cap but under the speculative one, idle donors attack
+                // the makespan droop of Figure 1.
+                let speculative = !redundant_ok && self.sched.may_dispatch_speculative(copies);
+                if !redundant_ok && !speculative {
                     continue;
                 }
                 if inf.leases.iter().any(|l| l.client == client) {
+                    continue;
+                }
+                if p.votes.get(uid).is_some_and(|t| t.has_voted(client)) {
                     continue;
                 }
                 let oldest = inf
@@ -345,12 +380,15 @@ impl Server {
                     .iter()
                     .map(|l| l.assigned_at)
                     .fold(f64::INFINITY, f64::min);
-                if best.map(|(_, _, t)| oldest < t).unwrap_or(true) {
-                    best = Some((pid, *uid, oldest));
+                if best.map(|(_, _, t, _)| oldest < t).unwrap_or(true) {
+                    best = Some((pid, *uid, oldest, speculative));
                 }
             }
         }
-        if let Some((pid, uid, _)) = best {
+        if let Some((pid, uid, _, speculative)) = best {
+            if speculative {
+                self.telemetry.counter_add("sched.speculative_reissues", 1);
+            }
             let unit = self.problems[pid].in_flight[&uid].unit.clone();
             return self.lease_and_assign(pid, unit, client, now, true);
         }
@@ -358,20 +396,49 @@ impl Server {
         Assignment::Wait
     }
 
+    // The next unit of `pid` this client may execute, with a flag
+    // saying whether it is a quorum cross-check copy of an in-flight
+    // unit rather than a fresh/reissued unit.
     fn next_unit_for(
         &mut self,
         pid: ProblemId,
         hint: f64,
         client: ClientId,
-    ) -> Option<Arc<WorkUnit>> {
+    ) -> Option<(Arc<WorkUnit>, bool)> {
         // Reissue queue first, always: orphaned units must go back out
         // before fresh ones. Affinity only reorders *within* the queue
         // (front wins every tie, so configurations that never note
-        // chunks keep strict FIFO reissue order).
+        // chunks keep strict FIFO reissue order). Units this client has
+        // already voted on are skipped — one vote per donor.
         if !self.problems[pid].reissue.is_empty() {
-            let idx = self.best_affinity_index(pid, client, PendingQueue::Reissue);
-            // A reissue of an already-journaled unit: not a new issue.
-            return self.problems[pid].reissue.remove(idx);
+            if let Some(idx) = self.reissue_pick(pid, client) {
+                // A reissue of an already-journaled unit: not a new issue.
+                return self.problems[pid].reissue.remove(idx).map(|u| (u, false));
+            }
+        }
+        // Cross-check top-up: under K-way quorum issuance, a unit that
+        // went to an untrusted donor wants `quorum_k` live executions in
+        // parallel, not one at a time — top up its copies before pulling
+        // fresh work. Lowest unit id wins for determinism.
+        if self.sched.quorum_enabled() {
+            let p = &self.problems[pid];
+            let k = self.sched.config().quorum_k;
+            let mut pick: Option<UnitId> = None;
+            for (uid, inf) in &p.in_flight {
+                let Some(t) = p.votes.get(uid) else { continue };
+                if inf.leases.len() as u32 + t.votes() >= k {
+                    continue;
+                }
+                if t.has_voted(client) || inf.leases.iter().any(|l| l.client == client) {
+                    continue;
+                }
+                if pick.map(|b| *uid < b).unwrap_or(true) {
+                    pick = Some(*uid);
+                }
+            }
+            if let Some(uid) = pick {
+                return Some((p.in_flight[&uid].unit.clone(), true));
+            }
         }
         // Refill the lookahead pool so affinity selection has
         // candidates; every pull is journaled exactly like a direct
@@ -397,8 +464,30 @@ impl Server {
         if self.problems[pid].pool.is_empty() {
             return None;
         }
-        let idx = self.best_affinity_index(pid, client, PendingQueue::Pool);
-        self.problems[pid].pool.remove(idx)
+        let idx = self.best_pool_index(pid, client);
+        self.problems[pid].pool.remove(idx).map(|u| (u, false))
+    }
+
+    // Index of the best reissue-queue unit `client` may execute
+    // (best affinity, front wins ties), or `None` when every queued
+    // unit is vote-blocked for this client under quorum.
+    fn reissue_pick(&self, pid: ProblemId, client: ClientId) -> Option<usize> {
+        let p = &self.problems[pid];
+        let affinity = self.sched.affinity_entries(client) > 0;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, u) in p.reissue.iter().enumerate() {
+            if p.votes.get(&u.id).is_some_and(|t| t.has_voted(client)) {
+                continue;
+            }
+            if !affinity {
+                return Some(i);
+            }
+            let s = self.unit_affinity(pid, client, u);
+            if best.map(|(_, bs)| s > bs).unwrap_or(true) {
+                best = Some((i, s));
+            }
+        }
+        best.map(|(i, _)| i)
     }
 
     // Affinity score of `unit` for `client`: how many of the unit's
@@ -416,14 +505,11 @@ impl Server {
         self.sched.affinity_score(client, &digests)
     }
 
-    // Index of the best-affinity unit in one of `pid`'s pending queues;
-    // the front wins ties and the no-affinity-data case.
-    fn best_affinity_index(&self, pid: ProblemId, client: ClientId, which: PendingQueue) -> usize {
+    // Index of the best-affinity unit in `pid`'s lookahead pool; the
+    // front wins ties and the no-affinity-data case.
+    fn best_pool_index(&self, pid: ProblemId, client: ClientId) -> usize {
         let p = &self.problems[pid];
-        let queue = match which {
-            PendingQueue::Reissue => &p.reissue,
-            PendingQueue::Pool => &p.pool,
-        };
+        let queue = &p.pool;
         if queue.len() <= 1 || self.sched.affinity_entries(client) == 0 {
             return 0;
         }
@@ -488,6 +574,18 @@ impl Server {
                 assigned_at: now,
                 deadline,
             });
+        // Under quorum, a unit reaching an untrusted donor starts a
+        // byte-identical vote: nothing is combined until enough live
+        // candidates agree. Trusted donors stay single-issue (their
+        // lone result folds directly unless a vote is already open).
+        if self.sched.quorum_enabled()
+            && p.codec.is_some()
+            && !p.votes.contains_key(&unit.id)
+            && self.sched.required_copies(client) > 1
+        {
+            p.votes
+                .insert(unit.id, QuorumTally::new(self.sched.required_votes()));
+        }
         Assignment::Unit {
             problem: pid,
             unit,
@@ -496,7 +594,9 @@ impl Server {
     }
 
     /// A client reports a result at time `now`. Returns `true` if the
-    /// result was accepted (first copy to arrive), `false` if discarded.
+    /// result advanced the unit — folded directly, folded via a
+    /// completed quorum, or recorded as a pending quorum vote — and
+    /// `false` if it was discarded.
     pub fn submit_result(
         &mut self,
         client: ClientId,
@@ -525,7 +625,7 @@ impl Server {
                 }
             }
         };
-        let Some(inf) = inf else {
+        let Some(mut inf) = inf else {
             p.stats.wasted_results += 1;
             self.telemetry.emit(EventKind::ResultWasted {
                 problem,
@@ -545,29 +645,126 @@ impl Server {
                 .observe("server.unit_latency", LATENCY_BOUNDS, latency);
             self.sched.export_client_metrics(client, &self.telemetry);
         }
+
+        // Quorum interception: under K-way issuance a candidate for a
+        // unit mid-vote — or from an untrusted donor — is a *vote*,
+        // keyed by its codec wire bytes, not an immediate fold. The
+        // combine path runs only once a quorum of byte-identical
+        // candidates agrees; candidates that disagree with the winner
+        // go through the `result_disputed` path when the vote resolves.
+        let unit_id = result.unit_id;
+        let needs_vote = p.votes.contains_key(&unit_id)
+            || (self.sched.quorum_enabled() && p.codec.is_some() && !self.sched.is_trusted(client));
+        let encoded_for_vote = if needs_vote {
+            p.codec
+                .as_ref()
+                .and_then(|c| c.encode_result(&result.payload).ok())
+        } else {
+            None
+        };
+        let (result, pre_encoded) = match encoded_for_vote {
+            None => {
+                if needs_vote {
+                    // No comparable wire form — degrade to a direct fold.
+                    p.votes.remove(&unit_id);
+                }
+                (result, None)
+            }
+            Some(bytes) => {
+                let needed = self.sched.required_votes();
+                let tally = p
+                    .votes
+                    .entry(unit_id)
+                    .or_insert_with(|| QuorumTally::new(needed));
+                match tally.vote(client, bytes.clone(), result) {
+                    VoteOutcome::AlreadyVoted => {
+                        // A duplicated delivery of a vote already
+                        // counted: discard it and put the unit back to
+                        // keep gathering the remaining votes.
+                        inf.leases.retain(|l| l.client != client);
+                        p.stats.wasted_results += 1;
+                        self.telemetry.emit(EventKind::ResultWasted {
+                            problem,
+                            unit: unit_id,
+                            client,
+                        });
+                        self.telemetry.counter_add("server.wasted_results", 1);
+                        Self::requeue_for_votes(p, problem, inf, &self.telemetry);
+                        return false;
+                    }
+                    VoteOutcome::Pending => {
+                        let needed = tally.needed();
+                        if let Some(j) = self.journal.as_mut() {
+                            j.vote_recorded(problem, unit_id, needed, client, &bytes);
+                        }
+                        self.telemetry.counter_add("quorum.votes", 1);
+                        inf.leases.retain(|l| l.client != client);
+                        Self::requeue_for_votes(p, problem, inf, &self.telemetry);
+                        return true;
+                    }
+                    VoteOutcome::Quorum {
+                        result,
+                        bytes,
+                        agreed,
+                        dissenters,
+                    } => {
+                        p.votes.remove(&unit_id);
+                        self.telemetry.counter_add("quorum.agreed", 1);
+                        // Dissenting candidates lost the vote: dispute
+                        // them (reputation demotion + telemetry); their
+                        // leases were already released when their votes
+                        // were recorded.
+                        for &d in &dissenters {
+                            p.stats.disputed_results += 1;
+                            self.telemetry.emit(EventKind::ResultDisputed {
+                                problem,
+                                unit: unit_id,
+                                client: d,
+                            });
+                            self.telemetry.counter_add("quorum.disputed", 1);
+                            if self.sched.note_dispute(d) {
+                                self.telemetry.counter_add("reputation.demotions", 1);
+                            }
+                        }
+                        for &a in &agreed {
+                            if self.sched.note_quorum_agreement(a) {
+                                self.telemetry.counter_add("reputation.promotions", 1);
+                            }
+                        }
+                        (result, Some(bytes))
+                    }
+                }
+            }
+        };
+
         self.telemetry.emit(EventKind::UnitCompleted {
             problem,
-            unit: result.unit_id,
+            unit: unit_id,
             client,
             latency,
         });
         self.telemetry.counter_add("server.completed_units", 1);
         // Drop any queued reissue copies of this unit.
-        p.reissue.retain(|u| u.id != result.unit_id);
+        p.reissue.retain(|u| u.id != unit_id);
 
         // Journal the accepted result *before* folding: a crash after
         // the log write but before the fold replays an action that was
         // about to happen; a crash during the write leaves a torn tail
-        // the recovery drops, and the unit is simply recomputed.
+        // the recovery drops, and the unit is simply recomputed. A
+        // quorum winner journals its winning wire bytes verbatim.
         if let Some(j) = self.journal.as_mut() {
-            if let Some(codec) = p.codec.as_ref() {
-                if let Ok(encoded) = codec.encode_result(&result.payload) {
-                    j.result_folded(problem, result.unit_id, &encoded);
-                }
+            let encoded = match &pre_encoded {
+                Some(b) => Some(b.clone()),
+                None => p
+                    .codec
+                    .as_ref()
+                    .and_then(|c| c.encode_result(&result.payload).ok()),
+            };
+            if let Some(b) = encoded {
+                j.result_folded(problem, unit_id, &b);
             }
         }
 
-        let unit_id = result.unit_id;
         p.dm.accept_result(result);
         p.stats.completed_units += 1;
         self.telemetry.emit(EventKind::UnitCombined {
@@ -583,10 +780,30 @@ impl Server {
             p.in_flight.clear();
             p.reissue.clear();
             p.pool.clear();
+            p.votes.clear();
             p.next_deadline = f64::INFINITY;
             self.telemetry.emit(EventKind::ProblemCompleted { problem });
         }
         true
+    }
+
+    // After a non-final quorum vote the unit still needs more live
+    // executions: keep it in flight if other copies are computing,
+    // otherwise queue it for reissue so a fresh donor can vote.
+    fn requeue_for_votes(p: &mut ProblemState, problem: ProblemId, inf: InFlight, tel: &Telemetry) {
+        let unit = inf.unit.id;
+        if inf.leases.is_empty() {
+            if !p.reissue.iter().any(|u| u.id == unit) {
+                p.reissue.push_back(inf.unit);
+                tel.emit(EventKind::UnitReissued {
+                    problem,
+                    unit,
+                    reason: "quorum_pending".to_string(),
+                });
+            }
+        } else {
+            p.in_flight.insert(unit, inf);
+        }
     }
 
     /// Expires overdue leases; fully expired units are queued for
@@ -793,6 +1010,45 @@ impl Server {
         for unit in units {
             p.reissue.push_back(Arc::new(unit));
         }
+    }
+
+    /// Restores in-flight quorum votes for a recovered-but-uncompleted
+    /// unit. Restored votes are capped below the quorum size (see
+    /// [`QuorumTally::restore_vote`]) so only a live recomputed result
+    /// can resolve the vote — a recovered run never double-combines a
+    /// half-voted unit. Returns how many votes were actually kept.
+    pub fn restore_votes(
+        &mut self,
+        problem: ProblemId,
+        unit: UnitId,
+        needed: u32,
+        votes: &[(ClientId, Vec<u8>)],
+    ) -> u64 {
+        let p = &mut self.problems[problem];
+        if p.done {
+            return 0;
+        }
+        let tally = p
+            .votes
+            .entry(unit)
+            .or_insert_with(|| QuorumTally::new(needed.max(1)));
+        let mut kept = 0;
+        for (client, bytes) in votes {
+            if tally.restore_vote(*client, bytes.clone()) {
+                kept += 1;
+            }
+        }
+        kept
+    }
+
+    /// Captures donor reputation for the checkpoint log.
+    pub fn reputation_snapshot(&self) -> ReputationSnapshot {
+        self.sched.reputation_snapshot()
+    }
+
+    /// Restores donor reputation from a recovered snapshot.
+    pub fn restore_reputation(&mut self, snap: &ReputationSnapshot) {
+        self.sched.restore_reputation(snap);
     }
 
     /// Restores the adaptive scheduler state from a recovered snapshot.
@@ -1368,6 +1624,240 @@ mod tests {
         drive_to_completion(&mut server, &[0]);
         assert!(matches!(server.request_work(0, 1e6), Assignment::Finished));
         assert!(server.completion_time(0).is_some());
+    }
+
+    fn quorum_server(cfg: SchedulerConfig, n: u64, chunk: u64) -> Server {
+        let mut server = Server::new(cfg);
+        server.submit(
+            Problem::new("sum", Box::new(SumDm::new(n, chunk)), Arc::new(SumAlgo))
+                .with_codec(Arc::new(RangeCodec)),
+        );
+        server
+    }
+
+    #[test]
+    fn quorum_withholds_fold_until_byte_identical_agreement() {
+        let mut server = quorum_server(
+            SchedulerConfig {
+                quorum_k: 3, // majority → 2 byte-identical votes
+                enable_redundant_dispatch: false,
+                ..Default::default()
+            },
+            10,
+            100, // single unit
+        );
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 0.0)
+        else {
+            panic!()
+        };
+        let r0 = algorithm.compute(&unit);
+        assert!(server.submit_result(0, problem, r0, 1.0), "vote recorded");
+        assert!(!server.all_complete(), "one vote must not fold");
+        assert_eq!(server.stats(0).completed_units, 0);
+        // The voter cannot take the unit again (one vote per donor).
+        assert!(matches!(server.request_work(0, 1.5), Assignment::Wait));
+        // A second donor picks the unit up from the reissue queue and
+        // its byte-identical result completes the quorum.
+        let Assignment::Unit { unit: u1, .. } = server.request_work(1, 2.0) else {
+            panic!("second donor must get the voting unit")
+        };
+        assert_eq!(u1.id, unit.id);
+        let r1 = algorithm.compute(&u1);
+        assert!(server.submit_result(1, problem, r1, 3.0));
+        assert!(server.all_complete());
+        assert_eq!(server.stats(0).completed_units, 1);
+        assert_eq!(
+            server.take_output(0).unwrap().into_inner::<u64>(),
+            10 * 11 / 2
+        );
+    }
+
+    #[test]
+    fn byzantine_dissenter_is_outvoted_and_disputed() {
+        let mut server = quorum_server(
+            SchedulerConfig {
+                quorum_k: 3,
+                enable_redundant_dispatch: false,
+                ..Default::default()
+            },
+            10,
+            100,
+        );
+        let Assignment::Unit { problem, unit, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        // Donor 0 lies: well-formed wire bytes, wrong answer.
+        let lie = TaskResult {
+            unit_id: unit.id,
+            payload: Payload::new(999u64, 8),
+        };
+        assert!(server.submit_result(0, problem, lie, 1.0));
+        // Two honest donors agree and outvote the lie.
+        for (c, t) in [(1, 2.0), (2, 4.0)] {
+            let Assignment::Unit {
+                unit: u, algorithm, ..
+            } = server.request_work(c, t)
+            else {
+                panic!("honest donor {c} must get the voting unit")
+            };
+            assert_eq!(u.id, unit.id);
+            let r = algorithm.compute(&u);
+            server.submit_result(c, problem, r, t + 1.0);
+        }
+        assert!(server.all_complete());
+        assert_eq!(
+            server.take_output(0).unwrap().into_inner::<u64>(),
+            10 * 11 / 2,
+            "the lie must never reach the combine path"
+        );
+        assert_eq!(server.stats(0).disputed_results, 1);
+        let (agreements, disputes) = server.scheduler().reputation_counts(0);
+        assert_eq!((agreements, disputes), (0, 1), "dissent resets agreement");
+        assert_eq!(server.scheduler().reputation_counts(1).0, 1);
+    }
+
+    #[test]
+    fn trusted_donor_graduates_to_single_issue() {
+        let mut server = quorum_server(
+            SchedulerConfig {
+                quorum_k: 2,
+                reputation_threshold: 1,
+                enable_redundant_dispatch: false,
+                ..Default::default()
+            },
+            10,
+            5, // two units
+        );
+        let Assignment::Unit { problem, unit, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        // Cross-check top-up: the second donor gets the *same* unit in
+        // parallel, before any fresh work, because the vote wants K
+        // live executions.
+        let Assignment::Unit {
+            unit: u1,
+            algorithm,
+            ..
+        } = server.request_work(1, 0.1)
+        else {
+            panic!()
+        };
+        assert_eq!(u1.id, unit.id, "cross-check precedes fresh work");
+        let r0 = algorithm.compute(&unit);
+        assert!(server.submit_result(0, problem, r0, 1.0));
+        assert!(!server.all_complete());
+        let r1 = algorithm.compute(&u1);
+        assert!(server.submit_result(1, problem, r1, 2.0));
+        assert_eq!(server.stats(0).completed_units, 1);
+        assert!(server.scheduler().is_trusted(0), "promoted at threshold 1");
+        assert!(server.scheduler().is_trusted(1));
+        // A trusted donor's next unit folds directly from one copy.
+        let Assignment::Unit {
+            unit: u2,
+            algorithm,
+            ..
+        } = server.request_work(0, 3.0)
+        else {
+            panic!()
+        };
+        assert_ne!(u2.id, unit.id);
+        let r2 = algorithm.compute(&u2);
+        assert!(server.submit_result(0, problem, r2, 4.0));
+        assert!(server.all_complete());
+        assert_eq!(
+            server.stats(0).assignments,
+            3,
+            "no cross-check once trusted"
+        );
+        assert_eq!(
+            server.take_output(0).unwrap().into_inner::<u64>(),
+            10 * 11 / 2
+        );
+    }
+
+    #[test]
+    fn restored_votes_never_fold_without_a_live_result() {
+        let mut server = quorum_server(
+            SchedulerConfig {
+                quorum_k: 3,
+                enable_redundant_dispatch: false,
+                ..Default::default()
+            },
+            10,
+            100,
+        );
+        // Recover the single unit as pending with a full set of
+        // checkpointed votes; the cap must leave the quorum one short.
+        let hint = server.scheduler().granularity_hint(0);
+        let unit = server.replay_issue(0, 0, hint).expect("unit 0");
+        let uid = unit.id;
+        server.restore_pending(0, vec![unit]);
+        let encoded = {
+            let mut w = crate::codec::ByteWriter::new();
+            w.u64(55);
+            w.into_bytes()
+        };
+        server.restore_votes(
+            0,
+            uid,
+            2,
+            &[(7, encoded.clone()), (8, encoded.clone()), (9, encoded)],
+        );
+        assert!(!server.all_complete(), "restored votes alone never fold");
+        // A live recomputation completes the vote exactly once.
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(0, 1.0)
+        else {
+            panic!("restored unit must be reissued")
+        };
+        assert_eq!(unit.id, uid);
+        let r = algorithm.compute(&unit);
+        assert!(server.submit_result(0, problem, r, 2.0));
+        assert!(server.all_complete());
+        assert_eq!(server.stats(0).completed_units, 1);
+        assert_eq!(
+            server.take_output(0).unwrap().into_inner::<u64>(),
+            10 * 11 / 2
+        );
+    }
+
+    #[test]
+    fn speculative_reissue_extends_past_the_redundancy_cap() {
+        let mut server = Server::new(SchedulerConfig {
+            enable_speculative_reissue: true,
+            speculative_max_copies: 3,
+            ..Default::default()
+        });
+        server.submit(sum_problem(10, 100)); // single unit → end-game
+        let Assignment::Unit { unit: u0, .. } = server.request_work(0, 0.0) else {
+            panic!()
+        };
+        // Copy 2 is plain end-game redundancy (max_redundancy = 2)...
+        let Assignment::Unit { unit: u1, .. } = server.request_work(1, 1.0) else {
+            panic!()
+        };
+        // ...copy 3 is speculative, and copy 4 is refused.
+        let Assignment::Unit {
+            unit: u2,
+            problem,
+            algorithm,
+        } = server.request_work(2, 2.0)
+        else {
+            panic!("speculation must hand out a third copy")
+        };
+        assert!(matches!(server.request_work(3, 3.0), Assignment::Wait));
+        assert_eq!(u0.id, u1.id);
+        assert_eq!(u0.id, u2.id);
+        let r = algorithm.compute(&u2);
+        assert!(server.submit_result(2, problem, r, 4.0));
+        assert!(server.all_complete());
     }
 
     #[test]

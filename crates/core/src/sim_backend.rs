@@ -433,7 +433,37 @@ impl SimRunner {
                     load[m] = load[m].saturating_sub(1);
                     self.network
                         .set_server_degradation(injector.link_scale(now));
-                    match injector.delivery_action(m, now) {
+                    // A Byzantine donor lies: flip the encoded payload
+                    // bytes *before* the transport frames them, then
+                    // decode the lie back — the CRC layer cannot catch
+                    // it, only quorum compare can. A lie whose bytes no
+                    // longer decode degrades to a corrupt delivery.
+                    let mut result = result;
+                    let mut action = injector.delivery_action(m, now);
+                    if injector.wrong_result(m, now) {
+                        tel.emit_at(
+                            now,
+                            crate::telemetry::EventKind::FaultInjected {
+                                client: m,
+                                action: "wrong_result".to_string(),
+                            },
+                        );
+                        if let Some(codec) = self.server.codec(problem) {
+                            if let Ok(mut bytes) = codec.encode_result(&result.payload) {
+                                crate::fault::flip_result_bytes(&mut bytes, m);
+                                match codec.decode_result(&bytes) {
+                                    Ok(payload) => {
+                                        result = crate::problem::TaskResult {
+                                            unit_id: result.unit_id,
+                                            payload,
+                                        }
+                                    }
+                                    Err(_) => action = DeliveryAction::Corrupt,
+                                }
+                            }
+                        }
+                    }
+                    match action {
                         DeliveryAction::Deliver => {
                             let bytes = result.payload.wire_bytes() + self.cfg.control_bytes;
                             let arrives = self.network.transfer(m, now, bytes);

@@ -117,6 +117,19 @@ pub enum EventKind {
         /// The client whose result was mangled.
         client: ClientId,
     },
+    /// A candidate result lost a quorum vote: a K-way redundant unit
+    /// reached its byte-identical quorum and this client's candidate
+    /// disagreed with the winning pattern. Emitted once per dissenting
+    /// candidate by [`crate::Server`]'s quorum resolution, which also
+    /// feeds the donor's reputation.
+    ResultDisputed {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The client whose candidate disagreed.
+        client: ClientId,
+    },
     /// A lease passed its deadline without a result.
     LeaseExpired {
         /// Problem id.
@@ -132,7 +145,8 @@ pub enum EventKind {
         problem: ProblemId,
         /// Unit id.
         unit: UnitId,
-        /// Why: `lease_expired`, `corrupted` or `client_lost`.
+        /// Why: `lease_expired`, `corrupted`, `client_lost` or
+        /// `quorum_pending` (a non-final vote released its last lease).
         reason: String,
     },
     /// The server declared a client gone (goodbye or liveness sweep).
@@ -231,6 +245,7 @@ impl EventKind {
             EventKind::UnitCombined { .. } => "unit_combined",
             EventKind::ResultWasted { .. } => "result_wasted",
             EventKind::ResultCorrupted { .. } => "result_corrupted",
+            EventKind::ResultDisputed { .. } => "result_disputed",
             EventKind::LeaseExpired { .. } => "lease_expired",
             EventKind::UnitReissued { .. } => "unit_reissued",
             EventKind::ClientLost { .. } => "client_lost",
@@ -308,6 +323,11 @@ impl EventKind {
                 client,
             }
             | EventKind::ResultCorrupted {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ResultDisputed {
                 problem,
                 unit,
                 client,
@@ -452,6 +472,11 @@ impl TraceEvent {
                 client: uint("client")? as ClientId,
             },
             "result_corrupted" => EventKind::ResultCorrupted {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "result_disputed" => EventKind::ResultDisputed {
                 problem: uint("problem")? as ProblemId,
                 unit: uint("unit")?,
                 client: uint("client")? as ClientId,
@@ -783,6 +808,11 @@ pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
                 problem,
                 unit,
                 client,
+            }
+            | EventKind::ResultDisputed {
+                problem,
+                unit,
+                client,
             } => {
                 open.remove(&(*problem, *unit, *client));
             }
@@ -867,6 +897,14 @@ mod tests {
                     problem: 0,
                     unit: 2,
                     client: 1,
+                },
+            ),
+            ev(
+                3.5,
+                EventKind::ResultDisputed {
+                    problem: 0,
+                    unit: 2,
+                    client: 4,
                 },
             ),
             ev(

@@ -146,11 +146,44 @@ pub fn run_threaded_faulty(
                                 guard = shared.lock().expect("server lock");
                                 continue;
                             }
-                            let action = injector
-                                .lock()
-                                .expect("injector lock")
-                                .delivery_action(worker, done);
+                            let (action, wrong) = {
+                                let mut inj = injector.lock().expect("injector lock");
+                                (
+                                    inj.delivery_action(worker, done),
+                                    inj.wrong_result(worker, done),
+                                )
+                            };
                             guard = shared.lock().expect("server lock");
+                            // A Byzantine donor lies: flip the encoded
+                            // payload bytes before framing — the wire
+                            // layer cannot catch it, only quorum compare
+                            // can. An undecodable lie degrades to a
+                            // corrupt delivery.
+                            let mut action = action;
+                            let mut result = result;
+                            if wrong {
+                                tel.emit_at(
+                                    now(),
+                                    crate::telemetry::EventKind::FaultInjected {
+                                        client: worker,
+                                        action: "wrong_result".to_string(),
+                                    },
+                                );
+                                if let Some(codec) = guard.codec(problem) {
+                                    if let Ok(mut bytes) = codec.encode_result(&result.payload) {
+                                        crate::fault::flip_result_bytes(&mut bytes, worker);
+                                        match codec.decode_result(&bytes) {
+                                            Ok(payload) => {
+                                                result = crate::problem::TaskResult {
+                                                    unit_id: result.unit_id,
+                                                    payload,
+                                                }
+                                            }
+                                            Err(_) => action = DeliveryAction::Corrupt,
+                                        }
+                                    }
+                                }
+                            }
                             match action {
                                 DeliveryAction::Deliver => {
                                     guard.submit_result(worker, problem, result, now());

@@ -12,10 +12,13 @@ cargo test -q --offline
 # are ever filtered out of the default run (disabled test target,
 # harness config drift) instead of passing vacuously: the TCP chaos
 # sweep through the fault proxy, the kill-and-restart checkpoint
-# recovery, and the 24-donor stress soak with its ≥90% second-pass
-# cache-reduction assertion.
+# recovery, the 24-donor stress soak with its ≥90% second-pass
+# cache-reduction assertion, and the Byzantine quorum tier (100-seed
+# sim sweeps per application plus thread/TCP sweeps and the K=1
+# negative control).
 cargo test -q --offline --test chaos tcp
 cargo test -q --offline --test net_recovery
 cargo test -q --offline --test stress
+cargo test -q --offline --test byzantine
 
 echo "tier1: OK"

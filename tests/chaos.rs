@@ -18,7 +18,7 @@ use biodist::bioseq::synth::{random_sequence, DbSpec, SyntheticDb};
 use biodist::bioseq::{Alphabet, Sequence};
 use biodist::core::{
     audited, run_tcp_faulty, run_threaded_faulty, ChaosOptions, FaultKind, FaultPlan,
-    SchedulerConfig, Server, SimConfig, SimRunner,
+    SchedulerConfig, Server, SimConfig, SimRunner, Telemetry,
 };
 use biodist::dprml::{build_problem as dprml_problem, DprmlConfig, PhyloOutput};
 use biodist::dsearch::{
@@ -69,11 +69,27 @@ fn tcp_seeds() -> Vec<u64> {
 
 /// Formats a chaos failure so the run is reproducible from the message:
 /// the replay command, the seed, the plan's content digest (to detect a
-/// generator drift masquerading as "the same seed"), and the plan data.
-fn chaos_panic(app: &str, backend: &str, seed: u64, plan: &FaultPlan, why: String) -> ! {
+/// generator drift masquerading as "the same seed"), the scheduler's
+/// quorum/reputation configuration (a replay with the wrong K or trust
+/// threshold silently passes), and the plan data.
+fn chaos_panic(
+    app: &str,
+    backend: &str,
+    seed: u64,
+    plan: &FaultPlan,
+    cfg: &SchedulerConfig,
+    why: String,
+) -> ! {
     panic!(
         "chaos failure [{app}/{backend}] — replay with BIODIST_CHAOS_SEED={seed} \
-         cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  plan digest: {:#018x}\n  plan: {plan:?}",
+         cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  \
+         quorum: k={} votes={} reputation_threshold={} speculative={} (max {})\n  \
+         plan digest: {:#018x}\n  plan: {plan:?}",
+        cfg.quorum_k,
+        cfg.quorum_votes,
+        cfg.reputation_threshold,
+        cfg.enable_speculative_reissue,
+        cfg.speculative_max_copies,
         plan.digest()
     )
 }
@@ -150,7 +166,8 @@ fn thread_cfg() -> SchedulerConfig {
 fn run_dsearch_sim(w: &DsearchWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, SIM_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(SchedulerConfig::default());
+    let cfg = SchedulerConfig::default();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
     let pid = server.submit(problem);
     let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
@@ -166,6 +183,7 @@ fn run_dsearch_sim(w: &DsearchWorkload, seed: u64) {
             "sim",
             seed,
             &plan,
+            &cfg,
             "output differs from reference".into(),
         );
     }
@@ -175,6 +193,7 @@ fn run_dsearch_sim(w: &DsearchWorkload, seed: u64) {
             "sim",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -183,7 +202,8 @@ fn run_dsearch_sim(w: &DsearchWorkload, seed: u64) {
 fn run_dsearch_thread(w: &DsearchWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(thread_cfg());
+    let cfg = thread_cfg();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
     let pid = server.submit(problem);
     let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
@@ -197,6 +217,7 @@ fn run_dsearch_thread(w: &DsearchWorkload, seed: u64) {
             "thread",
             seed,
             &plan,
+            &cfg,
             "output differs from reference".into(),
         );
     }
@@ -206,6 +227,7 @@ fn run_dsearch_thread(w: &DsearchWorkload, seed: u64) {
             "thread",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -214,7 +236,8 @@ fn run_dsearch_thread(w: &DsearchWorkload, seed: u64) {
 fn run_dprml_sim(w: &DprmlWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, SIM_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(SchedulerConfig::default());
+    let cfg = SchedulerConfig::default();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
     let pid = server.submit(problem);
     let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
@@ -227,6 +250,7 @@ fn run_dprml_sim(w: &DprmlWorkload, seed: u64) {
             "sim",
             seed,
             &plan,
+            &cfg,
             "tree differs from reference".into(),
         );
     }
@@ -236,6 +260,7 @@ fn run_dprml_sim(w: &DprmlWorkload, seed: u64) {
             "sim",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -244,7 +269,8 @@ fn run_dprml_sim(w: &DprmlWorkload, seed: u64) {
 fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(thread_cfg());
+    let cfg = thread_cfg();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
     let pid = server.submit(problem);
     let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
@@ -255,6 +281,7 @@ fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
             "thread",
             seed,
             &plan,
+            &cfg,
             "tree differs from reference".into(),
         );
     }
@@ -264,6 +291,7 @@ fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
             "thread",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -272,7 +300,8 @@ fn run_dprml_thread(w: &DprmlWorkload, seed: u64) {
 fn run_dsearch_tcp(w: &DsearchWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(thread_cfg());
+    let cfg = thread_cfg();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
     let pid = server.submit(problem);
     let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
@@ -286,6 +315,7 @@ fn run_dsearch_tcp(w: &DsearchWorkload, seed: u64) {
             "tcp",
             seed,
             &plan,
+            &cfg,
             "output differs from reference".into(),
         );
     }
@@ -295,6 +325,7 @@ fn run_dsearch_tcp(w: &DsearchWorkload, seed: u64) {
             "tcp",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -303,7 +334,8 @@ fn run_dsearch_tcp(w: &DsearchWorkload, seed: u64) {
 fn run_dprml_tcp(w: &DprmlWorkload, seed: u64) {
     let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
     let plan = FaultPlan::random(seed, &opts);
-    let mut server = Server::new(thread_cfg());
+    let cfg = thread_cfg();
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dprml_problem(w.data.clone(), &w.cfg, None, "chaos"));
     let pid = server.submit(problem);
     let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
@@ -314,6 +346,7 @@ fn run_dprml_tcp(w: &DprmlWorkload, seed: u64) {
             "tcp",
             seed,
             &plan,
+            &cfg,
             "tree differs from reference".into(),
         );
     }
@@ -323,6 +356,7 @@ fn run_dprml_tcp(w: &DprmlWorkload, seed: u64) {
             "tcp",
             seed,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }
@@ -457,6 +491,106 @@ fn backend_parity_tcp_same_plan() {
     }
 }
 
+/// Backend parity with K-way quorum armed against active liars: the
+/// same Byzantine plan (lies scheduled on each chosen donor's first
+/// computes — the near-zero horizon pins them there on every clock)
+/// runs on the simulator, the thread backend, and real TCP. Each
+/// backend must absorb the lies through majority vote and land on the
+/// sequential reference digest; the sim run additionally proves the
+/// quorum actually engaged (`quorum.disputed` > 0), so the parity
+/// claim is not vacuous.
+#[test]
+fn backend_parity_quorum_byzantine_same_plan() {
+    let w = dsearch_workload();
+    let opts = ChaosOptions::for_pool(POOL, 1e-4);
+    for seed in [0u64, 8] {
+        let plan = FaultPlan::byzantine(seed, &opts, 0.3, 3);
+
+        let sim_cfg = SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 4,
+            enable_speculative_reissue: true,
+            ..Default::default()
+        };
+        let telemetry = Telemetry::enabled();
+        let mut server = Server::new(sim_cfg.clone());
+        server.set_telemetry(telemetry.clone());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (_, mut server) = SimRunner::with_defaults(server, homogeneous_lab(POOL, 7))
+            .with_faults(plan.clone())
+            .run();
+        let sim_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+        if telemetry.metrics_snapshot().counter("quorum.disputed") == 0 {
+            chaos_panic(
+                "dsearch",
+                "sim quorum",
+                seed,
+                &plan,
+                &sim_cfg,
+                "no quorum.disputed — the Byzantine lies never met a cross-check".into(),
+            );
+        }
+        if sim_digest != w.reference {
+            chaos_panic(
+                "dsearch",
+                "sim quorum",
+                seed,
+                &plan,
+                &sim_cfg,
+                "sim digest differs from reference under quorum".into(),
+            );
+        }
+
+        let real_cfg = SchedulerConfig {
+            quorum_k: 3,
+            reputation_threshold: 4,
+            enable_speculative_reissue: true,
+            ..thread_cfg()
+        };
+        let mut server = Server::new(real_cfg.clone());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (mut server, _) = run_threaded_faulty(server, POOL, &plan, TIME_SCALE);
+        let thread_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+        if thread_digest != w.reference {
+            chaos_panic(
+                "dsearch",
+                "thread quorum",
+                seed,
+                &plan,
+                &real_cfg,
+                "thread digest differs from reference under quorum".into(),
+            );
+        }
+
+        let mut server = Server::new(real_cfg.clone());
+        let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
+        let tcp_digest = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>()
+            .digest();
+        if tcp_digest != w.reference {
+            chaos_panic(
+                "dsearch",
+                "tcp quorum",
+                seed,
+                &plan,
+                &real_cfg,
+                "tcp digest differs from reference under quorum".into(),
+            );
+        }
+    }
+}
+
 /// Backend parity with the data-movement machinery turned all the way
 /// up: affinity-aware scheduling (lookahead 3) and pipelined dispatch
 /// (simulator `pipeline_depth` 2; the TCP donors prefetch with their
@@ -470,10 +604,11 @@ fn backend_parity_affinity_pipelined_same_plan() {
     for seed in [5u64, 17] {
         let plan = FaultPlan::random(seed, &opts);
 
-        let mut server = Server::new(SchedulerConfig {
+        let cfg = SchedulerConfig {
             affinity_lookahead: 3,
             ..Default::default()
-        });
+        };
+        let mut server = Server::new(cfg.clone());
         let pid = server.submit(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
         let sim_cfg = SimConfig {
             pipeline_depth: 2,
@@ -511,6 +646,7 @@ fn backend_parity_affinity_pipelined_same_plan() {
                 "sim+tcp affinity/pipelined",
                 seed,
                 &plan,
+                &cfg,
                 "backends disagree with affinity + pipelining enabled".into(),
             );
         }
@@ -520,6 +656,7 @@ fn backend_parity_affinity_pipelined_same_plan() {
                 "sim+tcp affinity/pipelined",
                 seed,
                 &plan,
+                &cfg,
                 "both backends differ from the sequential reference".into(),
             );
         }
@@ -548,10 +685,11 @@ fn tcp_crash_mid_chunk_transfer_recovers() {
     }
     // And one dropped result on a survivor, so lease recovery runs too.
     plan.push(0.05, 4, FaultKind::DropResult);
-    let mut server = Server::new(SchedulerConfig {
+    let cfg = SchedulerConfig {
         affinity_lookahead: 3,
         ..thread_cfg()
-    });
+    };
+    let mut server = Server::new(cfg.clone());
     let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
     let pid = server.submit(problem);
     let (mut server, _) = run_tcp_faulty(server, POOL, &plan, TIME_SCALE);
@@ -565,6 +703,7 @@ fn tcp_crash_mid_chunk_transfer_recovers() {
             "tcp crash-mid-chunk",
             0,
             &plan,
+            &cfg,
             "output differs from reference after mid-transfer crashes".into(),
         );
     }
@@ -574,6 +713,7 @@ fn tcp_crash_mid_chunk_transfer_recovers() {
             "tcp crash-mid-chunk",
             0,
             &plan,
+            &cfg,
             format!("invariants violated: {v:?}"),
         );
     }

@@ -13,7 +13,10 @@ use biodist::align::{
     nw_align, nw_banded_score, nw_score, sw_align, sw_score, sw_score_antidiagonal, Hit, TopK,
 };
 use biodist::bioseq::{Alphabet, GapPenalty, ScoringMatrix, ScoringScheme, Sequence};
-use biodist::core::{chunk_digest, ChunkCache};
+use biodist::core::sched::Scheduler;
+use biodist::core::{
+    chunk_digest, ChunkCache, Payload, QuorumTally, SchedulerConfig, TaskResult, VoteOutcome,
+};
 use biodist::gridsim::event::EventQueue;
 use biodist::phylo::evolve::random_yule_tree;
 use biodist::phylo::model::{GammaRates, ModelKind, SubstModel};
@@ -512,6 +515,213 @@ fn chunk_cache_digest_mismatch_forces_refetch() {
             Some(bytes.as_ref()),
             "refetched chunk must hit (case_seed={case_seed:#x})"
         );
+    }
+}
+
+/// A live vote for the quorum machinery: the byte pattern doubles as
+/// the payload so winner identity is checkable from either side.
+fn live_vote(pattern: &[u8]) -> TaskResult {
+    TaskResult {
+        unit_id: 0,
+        payload: Payload::new(pattern.to_vec(), pattern.len() as u64),
+    }
+}
+
+/// Model-checks the quorum vote counter against a reference tally:
+/// one vote per donor, no resolution before some byte pattern reaches
+/// the quorum, resolution exactly when it does (with the right winner,
+/// agreed set, and sorted dissenters), and memory bounded by the
+/// number of distinct patterns actually voted.
+#[test]
+fn quorum_tally_matches_reference_vote_counter() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x15_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let needed = rng.next_range(1, 5) as u32;
+        let mut tally = QuorumTally::new(needed);
+        // Reference model: voters per pattern, in vote order.
+        let mut by_pattern: Vec<(Vec<u8>, Vec<usize>)> = Vec::new();
+        let mut voted: HashSet<usize> = HashSet::new();
+        for _ in 0..30 {
+            let client = rng.next_below(8) as usize;
+            // A tiny pattern space, so agreements and collisions happen.
+            let pattern = vec![rng.next_below(3) as u8];
+            match tally.vote(client, pattern.clone(), live_vote(&pattern)) {
+                VoteOutcome::AlreadyVoted => {
+                    assert!(
+                        voted.contains(&client),
+                        "AlreadyVoted for a fresh voter (case_seed={case_seed:#x})"
+                    );
+                }
+                VoteOutcome::Pending => {
+                    assert!(
+                        voted.insert(client),
+                        "duplicate voter accepted (case_seed={case_seed:#x})"
+                    );
+                    match by_pattern.iter_mut().find(|(p, _)| *p == pattern) {
+                        Some((_, v)) => v.push(client),
+                        None => by_pattern.push((pattern.clone(), vec![client])),
+                    }
+                    assert!(
+                        by_pattern.iter().all(|(_, v)| (v.len() as u32) < needed),
+                        "no combine before quorum violated (case_seed={case_seed:#x})"
+                    );
+                    assert_eq!(tally.votes() as usize, voted.len());
+                }
+                VoteOutcome::Quorum {
+                    bytes,
+                    agreed,
+                    dissenters,
+                    result,
+                } => {
+                    assert!(
+                        voted.insert(client),
+                        "duplicate voter completed a quorum (case_seed={case_seed:#x})"
+                    );
+                    match by_pattern.iter_mut().find(|(p, _)| *p == pattern) {
+                        Some((_, v)) => v.push(client),
+                        None => by_pattern.push((pattern.clone(), vec![client])),
+                    }
+                    let (_, winners) = by_pattern
+                        .iter()
+                        .find(|(p, _)| *p == pattern)
+                        .expect("winning pattern is in the model");
+                    assert_eq!(
+                        winners.len() as u32,
+                        needed,
+                        "quorum fired at the wrong count (case_seed={case_seed:#x})"
+                    );
+                    assert_eq!(bytes, pattern);
+                    assert_eq!(&agreed, winners, "agreed set (case_seed={case_seed:#x})");
+                    let mut expect_dissent: Vec<usize> = by_pattern
+                        .iter()
+                        .filter(|(p, _)| *p != pattern)
+                        .flat_map(|(_, v)| v.iter().copied())
+                        .collect();
+                    expect_dissent.sort_unstable();
+                    assert_eq!(
+                        dissenters, expect_dissent,
+                        "dissenter set (case_seed={case_seed:#x})"
+                    );
+                    // The folded result is the quorum-completing live one.
+                    assert_eq!(
+                        result.payload.downcast_ref::<Vec<u8>>(),
+                        Some(&pattern),
+                        "folded result is not the winner's (case_seed={case_seed:#x})"
+                    );
+                    break;
+                }
+            }
+            // Bounded memory: one candidate per distinct pattern, at
+            // most one recorded vote per distinct donor.
+            assert!(tally.candidate_patterns() <= by_pattern.len());
+            assert!(tally.votes() as usize <= voted.len());
+        }
+    }
+}
+
+/// Votes restored from a checkpoint can never resolve a quorum on
+/// their own — however many the log replays, the tally caps them below
+/// `needed`, and only live votes can complete the election.
+#[test]
+fn quorum_restored_votes_never_fold_without_live_results() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x16_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let needed = rng.next_range(2, 6) as u32;
+        let mut tally = QuorumTally::new(needed);
+        for client in 0..20usize {
+            let pattern = vec![rng.next_below(2) as u8];
+            tally.restore_vote(client, pattern);
+            assert!(
+                tally.votes() < needed,
+                "restored votes reached the quorum alone (case_seed={case_seed:#x})"
+            );
+        }
+        // Fresh live donors voting one agreed pattern must resolve
+        // within `needed` votes (restored agreement counts toward it).
+        let pattern = vec![0u8];
+        let mut resolved = false;
+        for (i, client) in (100..100 + needed as usize).enumerate() {
+            match tally.vote(client, pattern.clone(), live_vote(&pattern)) {
+                VoteOutcome::Quorum { result, .. } => {
+                    assert_eq!(
+                        result.payload.downcast_ref::<Vec<u8>>(),
+                        Some(&pattern),
+                        "quorum must fold the live result (case_seed={case_seed:#x})"
+                    );
+                    resolved = true;
+                    break;
+                }
+                VoteOutcome::Pending => assert!(
+                    (i as u32) < needed - 1,
+                    "live agreement failed to resolve (case_seed={case_seed:#x})"
+                ),
+                VoteOutcome::AlreadyVoted => {
+                    panic!("fresh client rejected (case_seed={case_seed:#x})")
+                }
+            }
+        }
+        assert!(
+            resolved,
+            "election never resolved (case_seed={case_seed:#x})"
+        );
+    }
+}
+
+/// Model-checks the donor-reputation state machine: trust is earned
+/// exactly at the configured agreement streak, is monotone under
+/// further agreement, resets (with demotion reported) on any dispute,
+/// and `required_copies` tracks it — trusted donors single-issue,
+/// everyone else cross-checks on `quorum_k` donors.
+#[test]
+fn reputation_state_machine_matches_model() {
+    for case in 0..CASES as u64 {
+        let case_seed = 0x17_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let threshold = rng.next_range(1, 8) as u32;
+        let quorum_k = rng.next_range(2, 5) as u32;
+        let mut sched = Scheduler::new(SchedulerConfig {
+            quorum_k,
+            reputation_threshold: threshold,
+            ..Default::default()
+        });
+        // Model per client: (agreement streak, trusted).
+        let mut model: std::collections::HashMap<usize, (u64, bool)> =
+            std::collections::HashMap::new();
+        for _ in 0..200 {
+            let client = rng.next_below(6) as usize;
+            let e = model.entry(client).or_insert((0, false));
+            if rng.next_below(4) == 0 {
+                let demoted = sched.note_dispute(client);
+                assert_eq!(
+                    demoted, e.1,
+                    "demotion reported iff previously trusted (case_seed={case_seed:#x})"
+                );
+                *e = (0, false);
+            } else {
+                let promoted = sched.note_quorum_agreement(client);
+                e.0 += 1;
+                let crossed = !e.1 && e.0 >= u64::from(threshold);
+                assert_eq!(
+                    promoted, crossed,
+                    "promotion fires exactly on crossing the threshold (case_seed={case_seed:#x})"
+                );
+                e.1 = e.1 || crossed;
+            }
+            assert_eq!(sched.is_trusted(client), e.1);
+            assert_eq!(
+                sched.required_copies(client),
+                if e.1 { 1 } else { quorum_k },
+                "required_copies must track trust (case_seed={case_seed:#x})"
+            );
+        }
+        // Departed donors lose their standing entirely.
+        for c in 0..6usize {
+            sched.forget_client(c);
+            assert!(!sched.is_trusted(c));
+            assert_eq!(sched.reputation_counts(c), (0, 0));
+        }
     }
 }
 

@@ -58,11 +58,21 @@ fn chaos_seed() -> u64 {
     }
 }
 
-/// Formats a stress failure so the run reproduces from the message.
-fn stress_panic(seed: u64, plan: &FaultPlan, why: String) -> ! {
+/// Formats a stress failure so the run reproduces from the message:
+/// replay command, seed, plan digest, and the scheduler's
+/// quorum/reputation configuration — a replay with the wrong K or
+/// trust threshold exercises a different dispatch pattern entirely.
+fn stress_panic(seed: u64, plan: &FaultPlan, cfg: &SchedulerConfig, why: String) -> ! {
     panic!(
         "stress failure — replay with BIODIST_CHAOS_SEED={seed} cargo test --test stress\n  \
-         why: {why}\n  seed: {seed}\n  plan digest: {:#018x}\n  plan: {plan:?}",
+         why: {why}\n  seed: {seed}\n  \
+         quorum: k={} votes={} reputation_threshold={} speculative={} (max {})\n  \
+         plan digest: {:#018x}\n  plan: {plan:?}",
+        cfg.quorum_k,
+        cfg.quorum_votes,
+        cfg.reputation_threshold,
+        cfg.enable_speculative_reissue,
+        cfg.speculative_max_copies,
         plan.digest()
     )
 }
@@ -191,7 +201,8 @@ fn stress_soak_24_donors_second_pass_is_cached() {
     let w_b = workload(5, 6);
     let gate = Arc::new(AtomicBool::new(false));
 
-    let mut server = Server::new(stress_sched());
+    let sched = stress_sched();
+    let mut server = Server::new(sched.clone());
     let telemetry = Telemetry::enabled();
     server.set_telemetry(telemetry.clone());
     let (problem_a, audit_a) =
@@ -252,7 +263,12 @@ fn stress_soak_24_donors_second_pass_is_cached() {
             break;
         }
         if Instant::now() > deadline {
-            stress_panic(seed, &plan, "phase 1 did not complete in 120s".into());
+            stress_panic(
+                seed,
+                &plan,
+                &sched,
+                "phase 1 did not complete in 120s".into(),
+            );
         }
         std::thread::sleep(Duration::from_millis(2));
     }
@@ -277,17 +293,22 @@ fn stress_soak_24_donors_second_pass_is_cached() {
     ] {
         let out = server
             .take_output(pid)
-            .unwrap_or_else(|| stress_panic(seed, &plan, format!("{tag}: no output")))
+            .unwrap_or_else(|| stress_panic(seed, &plan, &sched, format!("{tag}: no output")))
             .into_inner::<SearchOutput>();
         if out.digest() != reference {
-            stress_panic(seed, &plan, format!("{tag}: output differs from reference"));
+            stress_panic(
+                seed,
+                &plan,
+                &sched,
+                format!("{tag}: output differs from reference"),
+            );
         }
     }
 
     // Exactly-once audit on every problem.
     for (audit, tag) in [(audit_a, "A"), (audit_b, "B"), (audit_c, "C")] {
         if let Err(v) = audit.verify_run(&server) {
-            stress_panic(seed, &plan, format!("problem {tag} audit: {v:?}"));
+            stress_panic(seed, &plan, &sched, format!("problem {tag} audit: {v:?}"));
         }
     }
 
@@ -302,12 +323,13 @@ fn stress_soak_24_donors_second_pass_is_cached() {
 
     // The acceptance check: the repeated query rides the caches.
     if phase1_bytes == 0 {
-        stress_panic(seed, &plan, "phase 1 moved no chunk bytes".into());
+        stress_panic(seed, &plan, &sched, "phase 1 moved no chunk bytes".into());
     }
     if phase2_bytes * 10 > phase1_bytes {
         stress_panic(
             seed,
             &plan,
+            &sched,
             format!(
                 "second pass transferred {phase2_bytes} chunk bytes vs {phase1_bytes} in \
                  phase 1 — less than a 90% reduction"
