@@ -73,6 +73,23 @@ pub enum FaultKind {
         /// Length of the degraded window.
         duration_secs: f64,
     },
+    /// A chunk *replica* endpoint crashes at `at` and refuses
+    /// connections for `down_secs` before coming back with its store
+    /// intact (a rebooted mirror). The event's `client` field carries
+    /// the **replica index**, not a donor id — replicas live in their
+    /// own index space.
+    ReplicaCrash {
+        /// How long the replica stays down before serving again.
+        down_secs: f64,
+    },
+    /// A chunk replica endpoint stalls: connections are accepted but
+    /// requests are not answered until the window closes (a wedged
+    /// process, a full disk). Donors time out and must fail over. The
+    /// event's `client` field carries the **replica index**.
+    ReplicaStall {
+        /// Length of the stalled window.
+        duration_secs: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -320,6 +337,54 @@ impl FaultPlan {
         v
     }
 
+    /// `(start, end)` unavailability windows for replica index
+    /// `replica` from [`FaultKind::ReplicaCrash`] events, sorted by
+    /// start time. Replica indices live in their own space — the same
+    /// number as a donor id means a different machine.
+    pub fn replica_crashes(&self, replica: usize) -> Vec<(f64, f64)> {
+        let mut v: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.client == Some(replica))
+            .filter_map(|e| match e.kind {
+                FaultKind::ReplicaCrash { down_secs } => Some((e.at, e.at + down_secs)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+
+    /// `(start, end)` stall windows for replica index `replica` from
+    /// [`FaultKind::ReplicaStall`] events, sorted by start time.
+    pub fn replica_stalls(&self, replica: usize) -> Vec<(f64, f64)> {
+        let mut v: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.client == Some(replica))
+            .filter_map(|e| match e.kind {
+                FaultKind::ReplicaStall { duration_secs } => Some((e.at, e.at + duration_secs)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+
+    /// The replica-fault events in the plan, as `(replica, at, kind)` —
+    /// used by failure reports to print the replica topology story.
+    pub fn replica_events(&self) -> Vec<&FaultEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::ReplicaCrash { .. } | FaultKind::ReplicaStall { .. }
+                )
+            })
+            .collect()
+    }
+
     /// Number of clients that never depart permanently (the pool the
     /// run can always fall back on). Plans used in tests should keep
     /// this ≥ 1 or the run cannot complete.
@@ -361,6 +426,8 @@ impl FaultPlan {
                     duration_secs,
                 } => (7, factor, duration_secs),
                 FaultKind::WrongResult => (8, 0.0, 0.0),
+                FaultKind::ReplicaCrash { down_secs } => (9, down_secs, 0.0),
+                FaultKind::ReplicaStall { duration_secs } => (10, duration_secs, 0.0),
             };
             eat(&[tag]);
             eat(&a.to_bits().to_le_bytes());
@@ -778,6 +845,32 @@ mod tests {
         assert_eq!(a.len(), original.len(), "length preserved: stays decodable");
         let mut empty: Vec<u8> = Vec::new();
         flip_result_bytes(&mut empty, 3); // no-op, no panic
+    }
+
+    #[test]
+    fn replica_fault_accessors_pick_their_own_index_space() {
+        let plan = FaultPlan::new(5)
+            .with(0.5, 1, FaultKind::ReplicaCrash { down_secs: 0.25 })
+            .with(0.25, 1, FaultKind::ReplicaCrash { down_secs: 0.25 })
+            .with(0.75, 1, FaultKind::ReplicaStall { duration_secs: 0.5 })
+            .with(0.5, 0, FaultKind::Crash { down_secs: 1.0 });
+        assert_eq!(
+            plan.replica_crashes(1),
+            vec![(0.25, 0.5), (0.5, 0.75)],
+            "sorted windows"
+        );
+        assert_eq!(plan.replica_stalls(1), vec![(0.75, 1.25)]);
+        assert_eq!(
+            plan.replica_crashes(0),
+            vec![],
+            "donor crashes are not replica crashes even at the same index"
+        );
+        assert_eq!(plan.crashes(1), vec![], "and vice versa");
+        assert_eq!(plan.replica_events().len(), 3);
+        // The digest distinguishes the two replica kinds.
+        let a = FaultPlan::new(1).with(5.0, 0, FaultKind::ReplicaCrash { down_secs: 1.0 });
+        let b = FaultPlan::new(1).with(5.0, 0, FaultKind::ReplicaStall { duration_secs: 1.0 });
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

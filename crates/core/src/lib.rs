@@ -56,8 +56,9 @@ pub use fault::{
     FaultPlan, NoFaults, PlanInterpreter,
 };
 pub use net::{
-    chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, CacheStats, CheckpointWriter,
-    ChunkCache, FaultProxy, NetClientOptions, NetServer, NetServerOptions, RecoveryReport,
+    chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, run_tcp_replicated, Backoff,
+    CacheStats, CheckpointWriter, ChunkCache, ChunkStore, Directory, FaultProxy, NetClientOptions,
+    NetServer, NetServerOptions, RecoveryReport, ReplicaServer, REPLICA_CLIENT_ID,
 };
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 pub use quorum::{QuorumTally, VoteOutcome};

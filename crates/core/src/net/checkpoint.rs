@@ -47,6 +47,7 @@ const REC_SCHED: u8 = 3;
 const REC_AFFINITY: u8 = 4;
 const REC_REPUTATION: u8 = 5;
 const REC_VOTE: u8 = 6;
+const REC_REPLICA: u8 = 7;
 
 /// Largest record body the reader will accept; larger means the length
 /// field itself is torn garbage.
@@ -100,6 +101,10 @@ pub enum LogRecord {
         /// The codec-encoded candidate bytes the donor submitted.
         payload: Vec<u8>,
     },
+    /// The replica topology the server was announcing (the last record
+    /// in the log wins), so an operator restarting a crashed server can
+    /// re-point donors at the same replica tier.
+    Replica(Vec<std::net::SocketAddr>),
 }
 
 /// Append-only, cloneable checkpoint writer; install a clone as the
@@ -151,6 +156,7 @@ impl CheckpointWriter {
                 REC_AFFINITY => "affinity",
                 REC_REPUTATION => "reputation",
                 REC_VOTE => "vote",
+                REC_REPLICA => "replica",
                 _ => "sched",
             };
             self.telemetry
@@ -213,6 +219,17 @@ impl CheckpointWriter {
             w.u8(trusted as u8);
         }
         self.write_record(REC_REPUTATION, &w.into_bytes());
+    }
+
+    /// Appends the current replica topology (written whenever snapshots
+    /// are taken; the last record wins on replay).
+    pub fn append_replicas(&self, endpoints: &[std::net::SocketAddr]) {
+        let mut w = ByteWriter::new();
+        w.u32(endpoints.len() as u32);
+        for ep in endpoints {
+            w.str(&ep.to_string());
+        }
+        self.write_record(REC_REPLICA, &w.into_bytes());
     }
 }
 
@@ -346,6 +363,14 @@ fn parse_record(buf: &[u8]) -> Option<(LogRecord, usize)> {
             client: r.usize().ok()?,
             payload: r.bytes().ok()?.to_vec(),
         },
+        REC_REPLICA => {
+            let n = r.count(4).ok()?;
+            let mut endpoints = Vec::with_capacity(n);
+            for _ in 0..n {
+                endpoints.push(r.str().ok()?.parse().ok()?);
+            }
+            LogRecord::Replica(endpoints)
+        }
         _ => return None,
     };
     r.finish().ok()?;
@@ -365,6 +390,10 @@ pub struct RecoveryReport {
     /// below the quorum, so none of them can fold without a live
     /// result).
     pub restored_votes: u64,
+    /// Replica endpoints the crashed server was announcing (count from
+    /// the last surviving topology record; a restarted deployment
+    /// re-registers live replicas via [`super::NetServer::set_replicas`]).
+    pub replica_endpoints: usize,
     /// Whether a torn tail or a replay divergence cut the log short.
     pub torn_tail: bool,
 }
@@ -471,6 +500,7 @@ pub fn recover_traced(
             LogRecord::Sched(snap) => snapshot = Some(snap),
             LogRecord::Affinity(snap) => affinity = Some(snap),
             LogRecord::Reputation(snap) => reputation = Some(snap),
+            LogRecord::Replica(endpoints) => report.replica_endpoints = endpoints.len(),
             LogRecord::Vote {
                 problem,
                 unit,
@@ -819,6 +849,37 @@ mod tests {
             sequential_pi(n).to_bits(),
             "exactly-once fold across a mid-quorum crash"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replica_topology_record_round_trips_and_last_wins() {
+        let path = temp_log("replica");
+        let writer = CheckpointWriter::create(&path).unwrap();
+        let first: Vec<std::net::SocketAddr> = vec!["127.0.0.1:9001".parse().unwrap()];
+        let second: Vec<std::net::SocketAddr> = vec![
+            "127.0.0.1:9002".parse().unwrap(),
+            "[::1]:9003".parse().unwrap(),
+        ];
+        writer.append_replicas(&first);
+        writer.append_replicas(&second);
+        let (records, torn) = read_log(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(
+            records,
+            vec![
+                LogRecord::Replica(first),
+                LogRecord::Replica(second.clone()),
+            ]
+        );
+        let (_server, report) = recover(
+            SchedulerConfig::default(),
+            vec![integration_problem(10_000)],
+            &path,
+        )
+        .unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.replica_endpoints, second.len(), "last record wins");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -15,6 +15,7 @@
 //! against the shared [`Clock`], exactly like the thread backend, so
 //! identical plans mean identical stories on both transports.
 
+use super::backoff::Backoff;
 use super::cache::{chunk_digest, ChunkCache};
 use super::wire::{encode_frame, Frame, FrameReader, ReadError};
 use super::{Clock, Directory};
@@ -23,10 +24,10 @@ use crate::fault::{FaultInjector, FaultPlan, PlanInterpreter};
 use crate::problem::{Algorithm, Payload, WorkUnit};
 use crate::server::Server;
 use crate::telemetry::Telemetry;
-use biodist_util::rng::{Rng, SplitMix64};
+use biodist_util::rng::SplitMix64;
 use std::collections::VecDeque;
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -175,7 +176,7 @@ struct ClientLoop {
     opts: NetClientOptions,
     rng: SplitMix64,
     conn: Option<(TcpStream, FrameReader)>,
-    connect_failures: u32,
+    reconnect: Backoff,
     pending: Option<PendingResult>,
     last_heartbeat: f64,
     cache: ChunkCache,
@@ -206,7 +207,7 @@ impl ClientLoop {
             run_over,
             rng: SplitMix64::new(0xC11E_27B1 ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             conn: None,
-            connect_failures: 0,
+            reconnect: Backoff::new(opts.reconnect_base, opts.reconnect_cap, 6),
             pending: None,
             last_heartbeat: 0.0,
             cache: ChunkCache::new(opts.chunk_cache_bytes),
@@ -275,9 +276,10 @@ impl ClientLoop {
     }
 
     /// Connects via the directory and says Hello; on failure sleeps a
-    /// jittered exponential backoff. Returns whether connected.
+    /// jittered exponential backoff (shared [`Backoff`] implementation
+    /// with the fetch failover ladder). Returns whether connected.
     fn connect(&mut self) -> bool {
-        let addr = *self.directory.lock().unwrap();
+        let addr = self.directory.origin();
         let stream = addr.and_then(|a| TcpStream::connect(a).ok());
         match stream {
             Some(mut stream) => {
@@ -287,18 +289,13 @@ impl ClientLoop {
                     client: self.id as u64,
                 }));
                 self.conn = Some((stream, FrameReader::new()));
-                self.connect_failures = 0;
+                self.reconnect.reset();
                 true
             }
             None => {
-                let doublings = self.connect_failures.min(6);
-                self.connect_failures = self.connect_failures.saturating_add(1);
-                let base = self.opts.reconnect_base * f64::from(1u32 << doublings);
-                let jitter = 0.5 + self.rng.next_f64(); // ±50%
-                thread::sleep(
-                    self.clock
-                        .wall((base * jitter).min(self.opts.reconnect_cap)),
-                );
+                let delay = self.reconnect.delay_secs(&mut self.rng);
+                self.reconnect.record_failure();
+                thread::sleep(self.clock.wall(delay));
                 false
             }
         }
@@ -333,6 +330,11 @@ impl ClientLoop {
             let (stream, reader) = self.conn.as_mut()?;
             match reader.poll(stream) {
                 Ok(Some(frame)) if accept(&frame) => return Some(frame),
+                Ok(Some(Frame::ReplicaAnnounce { endpoints })) => {
+                    // Unsolicited topology update (the Hello reply, or
+                    // a re-announcement): fold it into the directory.
+                    self.directory.merge_replicas(&endpoints);
+                }
                 Ok(Some(_)) => {}               // stale/unsolicited frame: skip
                 Ok(None) => {}                  // read timeout tick
                 Err(ReadError::Decode(_)) => {} // mangled inbound frame: skip
@@ -475,10 +477,36 @@ impl ClientLoop {
         Some(out)
     }
 
-    /// Fetches one chunk over the wire, verifying the received bytes
-    /// against the digest the unit advertised before caching them; a
-    /// mismatch (corrupt or stale transfer) forces a refetch.
+    /// Fetches one chunk through the failover ladder: the routed
+    /// replica candidates first (rendezvous order, healthy endpoints
+    /// only), the origin as last resort. Every failure — connect
+    /// refusal, timeout, `ChunkMissing`, digest mismatch — marks the
+    /// endpoint dead in the directory, counts a failover, and falls
+    /// through to the next rung after a jittered backoff. Received
+    /// bytes are verified against the digest the unit advertised
+    /// before caching, so no endpoint can launder wrong bytes.
     fn fetch_one(&mut self, problem: u64, need: &ChunkNeed) -> Option<Arc<Vec<u8>>> {
+        let candidates =
+            self.directory
+                .candidates_for(need.digest, self.id as u64, 2, self.clock.now());
+        if !candidates.is_empty() {
+            self.telemetry.counter_add("replica.fetches", 1);
+        }
+        let mut backoff = Backoff::new(self.opts.reconnect_base, self.opts.reconnect_cap, 6);
+        for addr in candidates {
+            if let Some(payload) = self.fetch_from_replica(addr, problem, need) {
+                self.directory.mark_alive(addr);
+                self.telemetry
+                    .counter_add("replica.bytes_replica", payload.len() as u64);
+                return Some(self.cache_fetched(need, payload));
+            }
+            self.directory.mark_dead(addr, self.clock.now());
+            self.telemetry.counter_add("replica.failovers", 1);
+            let delay = backoff.delay_secs(&mut self.rng);
+            backoff.record_failure();
+            thread::sleep(self.clock.wall(delay));
+        }
+        // Origin, over the main connection: the fallback of last resort.
         for _attempt in 0..3 {
             if !self.send(&Frame::ChunkRequest {
                 client: self.id as u64,
@@ -490,28 +518,89 @@ impl ClientLoop {
             let reply = self.await_frame(|f| {
                 matches!(f, Frame::ChunkData { problem: p, chunk: c, .. }
                          if *p == problem && *c == need.chunk)
+                    || matches!(f, Frame::ChunkMissing { problem: p, chunk: c }
+                         if *p == problem && *c == need.chunk)
             })?;
             let Frame::ChunkData {
                 digest, payload, ..
             } = reply
             else {
-                unreachable!("await_frame only accepts ChunkData here");
+                // ChunkMissing: the origin does not hold the chunk, so
+                // no rung can — drop the unit; lease expiry recovers it.
+                return None;
             };
             if digest != need.digest || chunk_digest(&payload) != need.digest {
                 continue; // wrong bytes: never cached, fetch again
             }
             self.telemetry
-                .counter_add("cache.bytes_fetched", payload.len() as u64);
-            let bytes = Arc::new(payload);
-            let before = self.cache.stats().evictions;
-            self.cache.insert(need.digest, bytes.clone());
-            let evicted = self.cache.stats().evictions - before;
-            if evicted > 0 {
-                self.telemetry.counter_add("cache.evictions", evicted);
-            }
-            return Some(bytes);
+                .counter_add("replica.bytes_origin", payload.len() as u64);
+            return Some(self.cache_fetched(need, payload));
         }
         None
+    }
+
+    /// One replica rung of the ladder: a dedicated short-lived
+    /// connection, one request, one digest-verified reply. `None` on
+    /// refusal, timeout, `ChunkMissing`, connection reset, or a digest
+    /// mismatch — the caller treats them all as "this endpoint is no
+    /// good right now".
+    fn fetch_from_replica(
+        &mut self,
+        addr: SocketAddr,
+        problem: u64,
+        need: &ChunkNeed,
+    ) -> Option<Vec<u8>> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.opts.read_timeout_wall));
+        stream
+            .write_all(&encode_frame(&Frame::ChunkRequest {
+                client: self.id as u64,
+                problem,
+                chunk: need.chunk,
+            }))
+            .ok()?;
+        let mut reader = FrameReader::new();
+        let deadline = self.clock.now() + self.opts.ack_timeout;
+        loop {
+            if self.run_over.load(Ordering::SeqCst) || self.clock.now() > deadline {
+                return None;
+            }
+            match reader.poll(&mut stream) {
+                Ok(Some(Frame::ChunkData {
+                    problem: p,
+                    chunk: c,
+                    digest,
+                    payload,
+                })) if p == problem && c == need.chunk => {
+                    if digest != need.digest || chunk_digest(&payload) != need.digest {
+                        return None; // self-verification failed: fail over
+                    }
+                    return Some(payload);
+                }
+                Ok(Some(Frame::ChunkMissing {
+                    problem: p,
+                    chunk: c,
+                })) if p == problem && c == need.chunk => return None,
+                Ok(Some(_)) | Ok(None) => {} // unsolicited frame / timeout tick
+                Err(ReadError::Decode(_)) => {} // mangled frame: keep waiting
+                Err(ReadError::Io(_)) => return None,
+            }
+        }
+    }
+
+    /// Counts and caches verified chunk bytes.
+    fn cache_fetched(&mut self, need: &ChunkNeed, payload: Vec<u8>) -> Arc<Vec<u8>> {
+        self.telemetry
+            .counter_add("cache.bytes_fetched", payload.len() as u64);
+        let bytes = Arc::new(payload);
+        let before = self.cache.stats().evictions;
+        self.cache.insert(need.digest, bytes.clone());
+        let evicted = self.cache.stats().evictions - before;
+        if evicted > 0 {
+            self.telemetry.counter_add("cache.evictions", evicted);
+        }
+        bytes
     }
 
     fn compute_queued(&mut self, qu: QueuedUnit) {

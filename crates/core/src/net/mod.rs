@@ -23,34 +23,155 @@
 //! same signature shape as the thread backend, so the chaos suite runs
 //! identical plans against all three backends and compares digests.
 
+pub mod backoff;
 pub mod cache;
 pub mod checkpoint;
 pub mod client;
 pub mod proxy;
 pub mod server;
+pub mod store;
 pub mod wire;
 
+pub use backoff::Backoff;
 pub use cache::{chunk_digest, CacheStats, ChunkCache};
 pub use checkpoint::{recover, recover_traced, CheckpointWriter, LogRecord, RecoveryReport};
 pub use client::{spawn_clients, ClientKit, NetClientOptions};
 pub use proxy::FaultProxy;
 pub use server::{NetServer, NetServerOptions};
+pub use store::{ChunkStore, ReplicaServer, REPLICA_CLIENT_ID};
 
 use crate::fault::FaultPlan;
 use crate::server::Server;
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Where the server currently listens. Clients re-read it on every
+/// How long a [`Directory::mark_dead`] verdict sticks, in scaled
+/// seconds: the endpoint is excluded from [`Directory::candidates_for`]
+/// until the window passes, then gets one probe (and is re-marked on
+/// another failure). Keeps a rebooted replica reachable again without
+/// any explicit revival protocol.
+const DEAD_WINDOW_SECS: f64 = 0.5;
+
+#[derive(Debug, Default)]
+struct DirState {
+    origin: Option<SocketAddr>,
+    replicas: Vec<SocketAddr>,
+    /// Endpoint → time of the last failure verdict against it.
+    dead_at: HashMap<SocketAddr, f64>,
+}
+
+/// Where the chunk-serving endpoints currently listen: the origin
+/// server plus any replica tier. Clients re-read the origin on every
 /// reconnect attempt, so a restarted server (fresh ephemeral port after
-/// a crash) is found without any client-side configuration.
-pub type Directory = Arc<Mutex<Option<SocketAddr>>>;
+/// a crash) is found without any client-side configuration; chunk
+/// fetches are routed across the replica map by rendezvous hashing with
+/// per-endpoint health (a failed endpoint is excluded from candidate
+/// lists for a short window, so no donor picks a known-dead replica
+/// twice in a row).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    inner: Arc<Mutex<DirState>>,
+}
+
+impl Directory {
+    /// A fresh, empty directory (no origin, no replicas).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A directory whose origin is already known.
+    pub fn with_origin(addr: SocketAddr) -> Self {
+        let dir = Self::new();
+        dir.set_origin(Some(addr));
+        dir
+    }
+
+    /// The origin server's address, if one is registered.
+    pub fn origin(&self) -> Option<SocketAddr> {
+        self.inner.lock().unwrap().origin
+    }
+
+    /// Points the directory at a (re)started origin server.
+    pub fn set_origin(&self, addr: Option<SocketAddr>) {
+        self.inner.lock().unwrap().origin = addr;
+    }
+
+    /// Replaces the replica endpoint list.
+    pub fn set_replicas(&self, endpoints: Vec<SocketAddr>) {
+        self.inner.lock().unwrap().replicas = endpoints;
+    }
+
+    /// Merges announced endpoints into the replica list (idempotent —
+    /// re-announcements on every `Hello` must not duplicate entries).
+    pub fn merge_replicas(&self, endpoints: &[SocketAddr]) {
+        let mut state = self.inner.lock().unwrap();
+        for ep in endpoints {
+            if !state.replicas.contains(ep) {
+                state.replicas.push(*ep);
+            }
+        }
+    }
+
+    /// The current replica endpoints, in announcement order.
+    pub fn replicas(&self) -> Vec<SocketAddr> {
+        self.inner.lock().unwrap().replicas.clone()
+    }
+
+    /// Records a failure verdict against `addr` at `now` (scaled
+    /// seconds): the endpoint is excluded from candidate lists for
+    /// [`DEAD_WINDOW_SECS`].
+    pub fn mark_dead(&self, addr: SocketAddr, now: f64) {
+        self.inner.lock().unwrap().dead_at.insert(addr, now);
+    }
+
+    /// Clears any failure verdict against `addr` (a fetch succeeded).
+    pub fn mark_alive(&self, addr: SocketAddr) {
+        self.inner.lock().unwrap().dead_at.remove(&addr);
+    }
+
+    /// The replica endpoints a fetch for `digest` should try, in
+    /// rendezvous order, healthy endpoints only, at most `want` of
+    /// them. Deterministic given (digest, directory state, seed): the
+    /// same digest and seed always walk the replicas in the same order,
+    /// and an endpoint marked dead within the exclusion window is never
+    /// returned. The origin is *not* in the list — it is the caller's
+    /// fallback of last resort.
+    pub fn candidates_for(&self, digest: u64, seed: u64, want: usize, now: f64) -> Vec<SocketAddr> {
+        let state = self.inner.lock().unwrap();
+        let mut scored: Vec<(u64, SocketAddr)> = state
+            .replicas
+            .iter()
+            .filter(|ep| {
+                state
+                    .dead_at
+                    .get(ep)
+                    .is_none_or(|&t| now - t >= DEAD_WINDOW_SECS)
+            })
+            .map(|&ep| (store::rendezvous_score(digest, seed, endpoint_key(&ep)), ep))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        scored.truncate(want);
+        scored.into_iter().map(|(_, ep)| ep).collect()
+    }
+}
+
+/// A stable hash key for an endpoint address (FNV-1a over its textual
+/// form), feeding the rendezvous score.
+fn endpoint_key(addr: &SocketAddr) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.to_string().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A fresh, empty directory.
 pub fn directory() -> Directory {
-    Arc::new(Mutex::new(None))
+    Directory::new()
 }
 
 /// The scaled wall clock every TCP-backend component shares: `now()` is
@@ -110,16 +231,51 @@ pub fn run_tcp_faulty(
     plan: &FaultPlan,
     time_scale: f64,
 ) -> (Server, f64) {
+    run_tcp_replicated(server, n_clients, 0, plan, time_scale)
+}
+
+/// [`run_tcp_faulty`] with `n_replicas` chunk replica endpoints started
+/// alongside the origin. Replicas pull chunks through from the origin
+/// on first request (digest-verified) and serve donors directly; the
+/// plan's [`crate::fault::FaultKind::ReplicaCrash`] /
+/// [`crate::fault::FaultKind::ReplicaStall`] events are applied to the
+/// replica whose index the event names.
+///
+/// # Panics
+/// Panics if any submitted problem lacks a codec, or if loopback
+/// sockets cannot be created.
+pub fn run_tcp_replicated(
+    server: Server,
+    n_clients: usize,
+    n_replicas: usize,
+    plan: &FaultPlan,
+    time_scale: f64,
+) -> (Server, f64) {
     assert!(n_clients >= 1, "need at least one client");
     let kit = ClientKit::from_server(&server).expect("TCP backend requires codecs");
     let telemetry = server.telemetry();
     let clock = Clock::new(time_scale);
     let net = NetServer::start(server, clock, NetServerOptions::default())
         .expect("bind loopback listener");
-    let upstream: Directory = Arc::new(Mutex::new(Some(net.addr())));
+    let upstream = Directory::with_origin(net.addr());
+    let replicas: Vec<ReplicaServer> = (0..n_replicas)
+        .map(|r| {
+            ReplicaServer::start(
+                upstream.clone(),
+                clock,
+                telemetry.clone(),
+                plan.replica_crashes(r),
+                plan.replica_stalls(r),
+            )
+            .expect("bind replica listener")
+        })
+        .collect();
+    let replica_addrs: Vec<SocketAddr> = replicas.iter().map(ReplicaServer::addr).collect();
+    net.set_replicas(replica_addrs.clone());
     let proxy = FaultProxy::start_traced(upstream, plan, n_clients, clock, telemetry.clone())
         .expect("bind proxy listener");
-    let client_dir: Directory = Arc::new(Mutex::new(Some(proxy.addr())));
+    let client_dir = Directory::with_origin(proxy.addr());
+    client_dir.set_replicas(replica_addrs);
     let run_over = Arc::new(AtomicBool::new(false));
     let handles = spawn_clients(
         client_dir,
@@ -134,6 +290,9 @@ pub fn run_tcp_faulty(
     run_over.store(true, Ordering::SeqCst);
     for h in handles {
         let _ = h.join();
+    }
+    for r in replicas {
+        r.stop();
     }
     proxy.stop();
     telemetry.flush();

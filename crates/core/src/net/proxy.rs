@@ -135,7 +135,7 @@ fn proxy_connection(
 ) {
     // Dial upstream through the directory *now* — after a server
     // restart the directory holds the new address.
-    let addr = *upstream.lock().unwrap();
+    let addr = upstream.origin();
     let Some(server_side) = addr.and_then(|a| TcpStream::connect(a).ok()) else {
         return; // upstream down: sever; the client backs off and retries
     };

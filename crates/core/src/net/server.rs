@@ -65,6 +65,10 @@ struct Shared {
     /// Cloned off the server at start so wire-level counters and sweep
     /// events don't need the server lock.
     telemetry: crate::telemetry::Telemetry,
+    /// Chunk replica endpoints, announced to every donor on `Hello`
+    /// and snapshotted to the checkpoint log. Set after start (replicas
+    /// bind once the origin's address is known).
+    replicas: Mutex<Vec<SocketAddr>>,
 }
 
 /// A running TCP server around a [`Server`]. Bind with [`NetServer::start`],
@@ -91,6 +95,7 @@ impl NetServer {
             last_seen: Mutex::new(HashMap::new()),
             kill: AtomicBool::new(false),
             telemetry,
+            replicas: Mutex::new(Vec::new()),
         });
         let accept_thread = {
             let shared = shared.clone();
@@ -112,6 +117,13 @@ impl NetServer {
     /// The address clients (or a fault proxy) should connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Registers the chunk replica endpoints. Every subsequent `Hello`
+    /// is answered with a [`Frame::ReplicaAnnounce`] carrying this
+    /// list, and the ticker snapshots it to the checkpoint log.
+    pub fn set_replicas(&self, endpoints: Vec<SocketAddr>) {
+        *self.shared.replicas.lock().unwrap() = endpoints;
     }
 
     /// Runs `f` against the live server (e.g. to poll progress from a
@@ -217,7 +229,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
         let reply = match frame {
             Frame::Hello { client } => {
                 mark_alive(shared, client as ClientId, clock.now());
-                None
+                // Advertise the replica tier so the donor can route
+                // chunk fetches without out-of-band configuration.
+                let endpoints = shared.replicas.lock().unwrap().clone();
+                if endpoints.is_empty() {
+                    None
+                } else {
+                    Some(Frame::ReplicaAnnounce { endpoints })
+                }
             }
             Frame::Heartbeat { client } => {
                 mark_alive(shared, client as ClientId, clock.now());
@@ -313,21 +332,33 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                 chunk,
             } => {
                 let now = clock.now();
-                mark_alive(shared, client as ClientId, now);
+                // A replica pulling through is infrastructure, not a
+                // donor: it gets no liveness entry and no chunk
+                // affinity, or the scheduler would start routing units
+                // at a machine that never computes.
+                let is_replica = client == super::store::REPLICA_CLIENT_ID;
+                if !is_replica {
+                    mark_alive(shared, client as ClientId, now);
+                }
                 let pid = problem as usize;
                 let mut guard = shared.server.lock().unwrap();
                 let Some(server) = guard.as_mut() else { return };
                 if pid >= server.problem_count() {
                     drop(guard);
-                    None // garbage problem id: ignore; the client retries
+                    // Garbage problem id: an explicit refusal, so the
+                    // requester fails over instead of waiting out its
+                    // ack timeout.
+                    Some(Frame::ChunkMissing { problem, chunk })
                 } else {
                     match server.codec(pid).map(|c| c.encode_chunk(chunk)) {
                         Some(Ok(payload)) => {
                             let digest = super::cache::chunk_digest(&payload);
-                            // The donor is about to hold this chunk:
-                            // feed the scheduler's affinity map so later
-                            // units covering it land here.
-                            server.note_client_chunks(client as ClientId, &[digest]);
+                            if !is_replica {
+                                // The donor is about to hold this chunk:
+                                // feed the scheduler's affinity map so
+                                // later units covering it land here.
+                                server.note_client_chunks(client as ClientId, &[digest]);
+                            }
                             drop(guard);
                             shared.telemetry.counter_add("net.chunks_served", 1);
                             shared
@@ -341,11 +372,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                             })
                         }
                         // Unknown chunk or codec without chunk support:
-                        // no reply; the client's fetch times out and the
-                        // lease reissues the unit elsewhere.
+                        // answer ChunkMissing instead of silence — a
+                        // silent miss left the requester blocked in
+                        // await_frame until the heartbeat liveness
+                        // sweep fired.
                         _ => {
                             drop(guard);
-                            None
+                            Some(Frame::ChunkMissing { problem, chunk })
                         }
                     }
                 }
@@ -357,7 +390,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             | Frame::Finished
             | Frame::ResultAck { .. }
             | Frame::HeartbeatAck
-            | Frame::ChunkData { .. } => None,
+            | Frame::ChunkData { .. }
+            | Frame::ChunkMissing { .. }
+            | Frame::ReplicaAnnounce { .. } => None,
         };
         if let Some(reply) = reply {
             let bytes = encode_frame(&reply);
@@ -444,6 +479,10 @@ fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
                     w.append_snapshot(&server.scheduler_snapshot());
                     w.append_affinity(&server.affinity_snapshot());
                     w.append_reputation(&server.reputation_snapshot());
+                    let endpoints = shared.replicas.lock().unwrap().clone();
+                    if !endpoints.is_empty() {
+                        w.append_replicas(&endpoints);
+                    }
                 }
             }
         }

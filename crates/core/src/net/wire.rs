@@ -48,6 +48,8 @@ const FT_HEARTBEAT_ACK: u8 = 9;
 const FT_GOODBYE: u8 = 10;
 const FT_CHUNK_REQUEST: u8 = 11;
 const FT_CHUNK_DATA: u8 = 12;
+const FT_CHUNK_MISSING: u8 = 13;
+const FT_REPLICA_ANNOUNCE: u8 = 14;
 
 /// Frame type code for [`Frame::SubmitResult`] — exposed so transport
 /// code can recognise a corrupt result frame from its header alone.
@@ -141,6 +143,25 @@ pub enum Frame {
         /// Codec-encoded chunk bytes.
         payload: Vec<u8>,
     },
+    /// Negative reply to a [`Frame::ChunkRequest`] the serving endpoint
+    /// cannot satisfy (replica not yet synced and origin unreachable,
+    /// or an out-of-range chunk id). Without it a miss would leave the
+    /// requester blocked in `await_frame` until the liveness sweep
+    /// reclaimed its lease — the explicit refusal lets it fail over to
+    /// the next candidate endpoint immediately.
+    ChunkMissing {
+        /// Problem the unsatisfiable request named.
+        problem: u64,
+        /// Chunk id the serving endpoint does not hold.
+        chunk: u64,
+    },
+    /// Server advertises the replica endpoints serving the chunk tier
+    /// (sent in reply to `Hello`). Clients merge the list into their
+    /// directory so chunk fetches can be routed by rendezvous hashing.
+    ReplicaAnnounce {
+        /// Replica socket addresses, in stable announcement order.
+        endpoints: Vec<std::net::SocketAddr>,
+    },
 }
 
 impl Frame {
@@ -158,6 +179,8 @@ impl Frame {
             Frame::Goodbye { .. } => FT_GOODBYE,
             Frame::ChunkRequest { .. } => FT_CHUNK_REQUEST,
             Frame::ChunkData { .. } => FT_CHUNK_DATA,
+            Frame::ChunkMissing { .. } => FT_CHUNK_MISSING,
+            Frame::ReplicaAnnounce { .. } => FT_REPLICA_ANNOUNCE,
         }
     }
 }
@@ -304,6 +327,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.u64(*digest);
             body.bytes(payload);
         }
+        Frame::ChunkMissing { problem, chunk } => {
+            body.u64(*problem);
+            body.u64(*chunk);
+        }
+        Frame::ReplicaAnnounce { endpoints } => {
+            body.u32(endpoints.len() as u32);
+            for ep in endpoints {
+                body.str(&ep.to_string());
+            }
+        }
     }
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
@@ -338,7 +371,7 @@ pub fn parse_header(buf: &[u8]) -> Result<(u8, u32), DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let frame_type = buf[5];
-    if !(FT_HELLO..=FT_CHUNK_DATA).contains(&frame_type) {
+    if !(FT_HELLO..=FT_REPLICA_ANNOUNCE).contains(&frame_type) {
         return Err(DecodeError::BadFrameType(frame_type));
     }
     let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
@@ -402,6 +435,22 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
                 digest: r.u64()?,
                 payload: r.bytes()?.to_vec(),
             },
+            FT_CHUNK_MISSING => Frame::ChunkMissing {
+                problem: r.u64()?,
+                chunk: r.u64()?,
+            },
+            FT_REPLICA_ANNOUNCE => {
+                let n = r.count(4)?; // each endpoint is a length-prefixed string
+                let mut endpoints = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let s = r.str()?;
+                    let ep = s
+                        .parse::<std::net::SocketAddr>()
+                        .map_err(|_| WireError::new(format!("bad socket address {s:?}")))?;
+                    endpoints.push(ep);
+                }
+                Frame::ReplicaAnnounce { endpoints }
+            }
             _ => unreachable!("parse_header validated the type"),
         };
         r.finish()?;
@@ -536,6 +585,20 @@ mod tests {
                 digest: 0xDEAD_BEEF_CAFE_F00D,
                 payload: (0..=127).rev().collect(),
             },
+            Frame::ChunkMissing {
+                problem: 1,
+                chunk: u64::MAX,
+            },
+            Frame::ReplicaAnnounce {
+                endpoints: Vec::new(),
+            },
+            Frame::ReplicaAnnounce {
+                endpoints: vec![
+                    "127.0.0.1:9001".parse().unwrap(),
+                    "[::1]:65535".parse().unwrap(),
+                    "10.0.0.7:80".parse().unwrap(),
+                ],
+            },
         ]
     }
 
@@ -627,6 +690,30 @@ mod tests {
                 assert_eq!(r.u64().unwrap(), 99, "unit id survives");
             }
             other => panic!("expected BodyCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_announce_rejects_malformed_addresses() {
+        // A syntactically valid frame whose body is not a parseable
+        // socket address must fail as a Body error, never panic or
+        // yield a bogus endpoint.
+        let mut body = ByteWriter::new();
+        body.u32(1);
+        body.str("not-an-address");
+        let body = body.into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(FT_REPLICA_ANNOUNCE);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        let crc = crc32(&out[..10]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        match decode_frame(&out) {
+            Err(DecodeError::Body(_)) => {}
+            other => panic!("expected Body error, got {other:?}"),
         }
     }
 

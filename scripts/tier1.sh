@@ -13,12 +13,14 @@ cargo test -q --offline
 # harness config drift) instead of passing vacuously: the TCP chaos
 # sweep through the fault proxy, the kill-and-restart checkpoint
 # recovery, the 24-donor stress soak with its ≥90% second-pass
-# cache-reduction assertion, and the Byzantine quorum tier (100-seed
+# cache-reduction assertion, the Byzantine quorum tier (100-seed
 # sim sweeps per application plus thread/TCP sweeps and the K=1
-# negative control).
+# negative control), and the replica-tier acceptance runs (failover
+# through killed/stalled replicas against the sequential digest).
 cargo test -q --offline --test chaos tcp
 cargo test -q --offline --test net_recovery
 cargo test -q --offline --test stress
 cargo test -q --offline --test byzantine
+cargo test -q --offline --test replica
 
 echo "tier1: OK"

@@ -84,12 +84,14 @@ fn chaos_panic(
         "chaos failure [{app}/{backend}] — replay with BIODIST_CHAOS_SEED={seed} \
          cargo test --test chaos\n  why: {why}\n  seed: {seed}\n  \
          quorum: k={} votes={} reputation_threshold={} speculative={} (max {})\n  \
+         replicas: {} fault event(s) on the replica tier\n  \
          plan digest: {:#018x}\n  plan: {plan:?}",
         cfg.quorum_k,
         cfg.quorum_votes,
         cfg.reputation_threshold,
         cfg.enable_speculative_reissue,
         cfg.speculative_max_copies,
+        plan.replica_events().len(),
         plan.digest()
     )
 }
@@ -717,6 +719,130 @@ fn tcp_crash_mid_chunk_transfer_recovers() {
             format!("invariants violated: {v:?}"),
         );
     }
+}
+
+/// A replica dying in the middle of a `ChunkData` body must look to the
+/// donor like any other bad endpoint: fail over, refetch from the next
+/// rung (the origin here), and audit the unit exactly once. The
+/// "replica" is a listener that answers every chunk request with the
+/// first half of a well-formed frame and then severs the connection —
+/// the worst spot to die, after the header already parsed.
+#[test]
+fn tcp_replica_killed_mid_chunk_body_fails_over() {
+    use biodist::core::net::wire::{encode_frame, Frame, FrameReader};
+    use biodist::core::net::{
+        spawn_clients, ClientKit, Clock, Directory, NetClientOptions, NetServer, NetServerOptions,
+    };
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let w = dsearch_workload();
+    let cfg = SchedulerConfig {
+        affinity_lookahead: 3,
+        ..thread_cfg()
+    };
+    let mut server = Server::new(cfg.clone());
+    let telemetry = Telemetry::enabled();
+    server.set_telemetry(telemetry.clone());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+
+    let clock = Clock::new(TIME_SCALE);
+    let kit = ClientKit::from_server(&server).expect("codecs");
+    let net = NetServer::start(server, clock, NetServerOptions::default()).expect("bind server");
+
+    let killer = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake replica");
+    let killer_addr = killer.local_addr().unwrap();
+    killer.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let killer_thread = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match killer.accept() {
+                    Ok((mut s, _)) => {
+                        let _ = s.set_read_timeout(Some(std::time::Duration::from_millis(5)));
+                        let mut reader = FrameReader::new();
+                        for _ in 0..400 {
+                            match reader.poll(&mut s) {
+                                Ok(Some(Frame::ChunkRequest { problem, chunk, .. })) => {
+                                    let full = encode_frame(&Frame::ChunkData {
+                                        problem,
+                                        chunk,
+                                        digest: 0,
+                                        payload: vec![0u8; 64 * 1024],
+                                    });
+                                    let _ = s.write_all(&full[..full.len() / 2]);
+                                    break;
+                                }
+                                Ok(_) => {}
+                                Err(_) => break,
+                            }
+                        }
+                        drop(s); // severed mid-body
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_micros(500)),
+                }
+            }
+        })
+    };
+
+    let client_dir = Directory::with_origin(net.addr());
+    client_dir.set_replicas(vec![killer_addr]);
+    let run_over = Arc::new(AtomicBool::new(false));
+    let plan = FaultPlan::new(0);
+    let handles = spawn_clients(
+        client_dir,
+        clock,
+        kit,
+        POOL,
+        &plan,
+        run_over.clone(),
+        NetClientOptions::default(),
+    );
+    let mut server = net.wait();
+    run_over.store(true, Ordering::SeqCst);
+    for h in handles {
+        let _ = h.join();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = killer_thread.join();
+    telemetry.flush();
+
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "tcp replica-killed-mid-body",
+            0,
+            &plan,
+            &cfg,
+            "output differs from reference after mid-body replica death".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "tcp replica-killed-mid-body",
+            0,
+            &plan,
+            &cfg,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+    let snap = telemetry.metrics_snapshot();
+    assert!(
+        snap.counter("replica.failovers") > 0,
+        "every fetch hit the severing replica first; failovers must be counted"
+    );
+    assert_eq!(
+        snap.counter("replica.bytes_replica"),
+        0,
+        "no truncated body may ever be accepted as chunk bytes"
+    );
 }
 
 // --------------------------------------------------- CI smoke (fast path)

@@ -80,7 +80,7 @@ fn kill_tcp_server_mid_run_recover_and_finish() {
     // Clients find the server through the directory; after the restart
     // the same entry points at the new port and they reconnect.
     let dir = directory();
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
     let run_over = Arc::new(AtomicBool::new(false));
     let kit = net
         .with_server(|s| ClientKit::from_server(s).expect("codecs registered"))
@@ -108,7 +108,7 @@ fn kill_tcp_server_mid_run_recover_and_finish() {
         std::thread::sleep(Duration::from_micros(200));
     };
     let was_complete = net.with_server(|s| s.all_complete()).unwrap();
-    *dir.lock().unwrap() = None; // server gone from the directory
+    dir.set_origin(None); // server gone from the directory
     net.kill(); // in-memory state dies; only the log survives
     assert!(!was_complete, "kill must land mid-run");
 
@@ -140,7 +140,7 @@ fn kill_tcp_server_mid_run_recover_and_finish() {
         },
     )
     .expect("bind second server");
-    *dir.lock().unwrap() = Some(net.addr()); // clients reconnect here
+    dir.set_origin(Some(net.addr())); // clients reconnect here
 
     let mut server = net.wait();
     run_over.store(true, Ordering::SeqCst);
@@ -220,7 +220,7 @@ fn kill_tcp_server_mid_quorum_no_double_combine() {
         },
     )
     .expect("bind first server");
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
     let mut handles = spawn_clients(
         dir.clone(),
         clock,
@@ -247,7 +247,7 @@ fn kill_tcp_server_mid_quorum_no_double_combine() {
         folded_at_kill, 0,
         "one voter must never satisfy a 3-way quorum"
     );
-    *dir.lock().unwrap() = None;
+    dir.set_origin(None);
     net.kill();
 
     // ---- recovery: ballots come back, but nothing folds from them ---
@@ -282,7 +282,7 @@ fn kill_tcp_server_mid_quorum_no_double_combine() {
         },
     )
     .expect("bind second server");
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
     handles.extend(spawn_clients(
         dir.clone(),
         clock,
@@ -348,7 +348,7 @@ fn recovery_survives_a_second_crash() {
         },
     )
     .unwrap();
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
     let handles = spawn_clients(
         dir.clone(),
         clock,
@@ -369,7 +369,7 @@ fn recovery_survives_a_second_crash() {
             assert!(Instant::now() < deadline, "no progress before kill");
             std::thread::sleep(Duration::from_micros(200));
         }
-        *dir.lock().unwrap() = None;
+        dir.set_origin(None);
         net.kill();
     };
     kill_after(net, 10);
@@ -391,7 +391,7 @@ fn recovery_survives_a_second_crash() {
         },
     )
     .unwrap();
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
     kill_after(net, resumed_from + 10);
 
     // Life 3: recover once more and finish.
@@ -404,7 +404,7 @@ fn recovery_survives_a_second_crash() {
     let writer = CheckpointWriter::append(&log).unwrap();
     server.set_journal(Box::new(writer));
     let net = NetServer::start(server, clock, NetServerOptions::default()).unwrap();
-    *dir.lock().unwrap() = Some(net.addr());
+    dir.set_origin(Some(net.addr()));
 
     let mut server = net.wait();
     run_over.store(true, Ordering::SeqCst);

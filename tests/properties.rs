@@ -741,3 +741,76 @@ fn tree_splits_are_invariant_under_nni_involution() {
         }
     }
 }
+
+// ------------------------------------------------------ replica routing
+
+/// Replica selection is a pure function of (digest, directory state,
+/// seed): repeated queries return the identical candidate list, every
+/// candidate is a registered replica, and an endpoint that just failed
+/// is never handed out again while its exclusion window (0.5 scaled
+/// seconds) is still open — so no donor picks a known-dead replica
+/// twice in a row.
+#[test]
+fn replica_selection_is_deterministic_and_avoids_dead_endpoints() {
+    use biodist::core::Directory;
+    use std::net::SocketAddr;
+    for case in 0..CASES as u64 {
+        let case_seed = 0x18_0000 + case;
+        let mut rng = Xoshiro256StarStar::new(case_seed);
+        let n = 2 + rng.next_below(5) as usize; // 2..=6 replicas
+        let endpoints: Vec<SocketAddr> = (0..n)
+            .map(|i| format!("127.0.0.1:{}", 9000 + i).parse().unwrap())
+            .collect();
+        let dir = Directory::new();
+        dir.set_replicas(endpoints.clone());
+        let digest = rng.next_u64();
+        let seed = rng.next_u64();
+
+        let a = dir.candidates_for(digest, seed, 3, 0.0);
+        let b = dir.candidates_for(digest, seed, 3, 0.0);
+        assert_eq!(
+            a, b,
+            "selection must be deterministic (case_seed={case_seed:#x})"
+        );
+        assert_eq!(a.len(), 3.min(n), "(case_seed={case_seed:#x})");
+        let uniq: HashSet<_> = a.iter().collect();
+        assert_eq!(
+            uniq.len(),
+            a.len(),
+            "no duplicates (case_seed={case_seed:#x})"
+        );
+        assert!(
+            a.iter().all(|ep| endpoints.contains(ep)),
+            "(case_seed={case_seed:#x})"
+        );
+
+        // Random walk of fetches: whenever the routed endpoint fails,
+        // it must not come back inside the exclusion window.
+        let mut now = 0.0;
+        for _ in 0..16 {
+            let picked = dir.candidates_for(digest, seed, 1, now);
+            let Some(&first) = picked.first() else { break };
+            if rng.next_below(2) == 0 {
+                dir.mark_dead(first, now);
+                let within = now + 0.45 * rng.next_f64();
+                assert!(
+                    !dir.candidates_for(digest, seed, n, within).contains(&first),
+                    "dead endpoint returned twice in a row (case_seed={case_seed:#x})"
+                );
+            } else {
+                dir.mark_alive(first);
+            }
+            now += 0.05 + 0.2 * rng.next_f64();
+        }
+
+        // Once the window passes, the endpoint gets probed again — a
+        // rebooted replica needs no explicit revival protocol.
+        let dead: SocketAddr = endpoints[0];
+        dir.mark_dead(dead, now);
+        assert!(
+            dir.candidates_for(digest, seed, n, now + 0.6)
+                .contains(&dead),
+            "expired verdicts must not exclude forever (case_seed={case_seed:#x})"
+        );
+    }
+}

@@ -29,7 +29,7 @@ use biodist::core::{
 };
 use biodist::dsearch::{build_problem, search_sequential, DsearchConfig, SearchOutput};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Donor pool size for the soak: 24 on CI-class hosts, scaled down
@@ -67,12 +67,14 @@ fn stress_panic(seed: u64, plan: &FaultPlan, cfg: &SchedulerConfig, why: String)
         "stress failure — replay with BIODIST_CHAOS_SEED={seed} cargo test --test stress\n  \
          why: {why}\n  seed: {seed}\n  \
          quorum: k={} votes={} reputation_threshold={} speculative={} (max {})\n  \
+         replicas: {} fault event(s) on the replica tier\n  \
          plan digest: {:#018x}\n  plan: {plan:?}",
         cfg.quorum_k,
         cfg.quorum_votes,
         cfg.reputation_threshold,
         cfg.enable_speculative_reissue,
         cfg.speculative_max_copies,
+        plan.replica_events().len(),
         plan.digest()
     )
 }
@@ -229,10 +231,10 @@ fn stress_soak_24_donors_second_pass_is_cached() {
         ..Default::default()
     };
     let net = NetServer::start(server, clock, server_opts).expect("bind listener");
-    let upstream: Directory = Arc::new(Mutex::new(Some(net.addr())));
+    let upstream = Directory::with_origin(net.addr());
     let proxy = FaultProxy::start_traced(upstream, &plan, donors, clock, telemetry.clone())
         .expect("bind proxy");
-    let client_dir: Directory = Arc::new(Mutex::new(Some(proxy.addr())));
+    let client_dir = Directory::with_origin(proxy.addr());
     let run_over = Arc::new(AtomicBool::new(false));
     // queue_depth 1: prefetching is exercised by the chaos parity
     // suite; here it would let each donor grab a second, arbitrary
