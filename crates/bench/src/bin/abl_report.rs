@@ -19,7 +19,7 @@
 //!
 //! `report` parses the trace (exit 2 on any malformed line or
 //! non-finite timestamp), checks the span-completeness invariant
-//! (exit 3 — every lease must resolve), and writes three tables:
+//! (exit 3 — every lease must resolve), and writes five tables:
 //!
 //! * `<tag>_timeline.csv` — binned donor-utilization timeline with a
 //!   stage-boundary column: DPRml's refine/insert barriers show up as
@@ -27,11 +27,17 @@
 //! * `<tag>_machines.csv` — per-machine busy time, delivered units and
 //!   utilization;
 //! * `<tag>_speedup.csv` — the effective-speedup summary
-//!   (Σ busy / makespan) of the paper's Figure 2.
+//!   (Σ busy / makespan) of the paper's Figure 2;
+//! * `<tag>_phases.csv` — per-unit four-phase breakdown (transfer /
+//!   queue-wait / compute / combine), one row per completed unit whose
+//!   winning lease carried the full donor-side chain;
+//! * `<tag>_phase_summary.csv` — the critical-path summary: per phase,
+//!   total seconds, share of summed span time, and streaming
+//!   p50/p95/p99 from fixed-bucket histograms.
 
 use biodist_bench::harness::results_dir;
-use biodist_core::telemetry::EventKind;
-use biodist_core::{SchedulerConfig, Server, SimRunner, Telemetry, TraceEvent};
+use biodist_core::telemetry::{EventKind, Histogram, LATENCY_BOUNDS};
+use biodist_core::{SimRunner, Telemetry, TraceEvent};
 use biodist_util::table::Table;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -62,52 +68,6 @@ fn main() {
 
 // ------------------------------------------------------------- gen mode
 
-fn dsearch_server(seed: u64) -> Server {
-    use biodist_bioseq::synth::{random_sequence, DbSpec, FamilySpec, SyntheticDb};
-    use biodist_bioseq::Alphabet;
-    let query = random_sequence(Alphabet::Protein, "query0", 200, seed);
-    let fam = FamilySpec {
-        copies: 3,
-        substitution_rate: 0.2,
-        indel_rate: 0.02,
-    };
-    let db =
-        SyntheticDb::generate_with_family(&DbSpec::protein_demo(150, 200), &query, &fam, seed + 10);
-    let mut config = biodist_dsearch::DsearchConfig::protein_default();
-    config.cost_scale = 400.0;
-    let mut server = Server::new(SchedulerConfig {
-        target_unit_secs: 10.0,
-        ..Default::default()
-    });
-    server.submit(biodist_dsearch::build_problem(
-        db.sequences,
-        vec![query],
-        &config,
-    ));
-    server
-}
-
-fn dprml_server(seed: u64) -> Server {
-    use biodist_phylo::evolve::{random_yule_tree, simulate_alignment};
-    use biodist_phylo::patterns::PatternAlignment;
-    let truth = random_yule_tree(10, 0.12, seed);
-    let mut config = biodist_dprml::DprmlConfig::default();
-    config.search.candidate_rounds = 1;
-    config.search.refine_rounds = 1;
-    config.search.nni = false;
-    config.search.refine_every = 3;
-    config.cost_scale = 20.0;
-    let model = config.build_model();
-    let seqs = simulate_alignment(&truth, &model, 100, None, seed + 1);
-    let data = std::sync::Arc::new(PatternAlignment::from_sequences(&seqs));
-    let mut server = Server::new(SchedulerConfig {
-        target_unit_secs: 20.0,
-        ..Default::default()
-    });
-    server.submit(biodist_dprml::build_problem(data, &config, None, "dprml-0"));
-    server
-}
-
 fn gen(args: &[String]) {
     let app = flag(args, "--app").unwrap_or_else(|| usage());
     let seed: u64 = flag(args, "--seed").map_or(7, |s| s.parse().expect("--seed"));
@@ -118,8 +78,8 @@ fn gen(args: &[String]) {
     }
 
     let mut server = match app.as_str() {
-        "dsearch" => dsearch_server(seed),
-        "dprml" => dprml_server(seed),
+        "dsearch" => biodist_bench::workloads::demo_dsearch_server(seed),
+        "dprml" => biodist_bench::workloads::demo_dprml_server(seed),
         other => {
             eprintln!("unknown app `{other}` (want dsearch or dprml)");
             exit(1);
@@ -258,10 +218,82 @@ fn report(args: &[String]) {
         3,
     );
 
+    // Per-unit four-phase breakdown: where each completed unit's wall
+    // time went, as correlated across server- and donor-side events.
+    let (phases, incomplete) = biodist_core::phase_breakdowns(&events);
+    let mut phases_table = Table::new(
+        &format!("{tag}: per-unit phase breakdown ({incomplete} units without donor-side chain)"),
+        &[
+            "problem",
+            "unit",
+            "client",
+            "issued_at",
+            "transfer_s",
+            "queue_wait_s",
+            "compute_s",
+            "combine_s",
+            "span_s",
+        ],
+    );
+    for p in &phases {
+        phases_table.push_numeric_row(
+            &[
+                p.problem as f64,
+                p.unit as f64,
+                p.client as f64,
+                p.issued_at,
+                p.transfer,
+                p.queue_wait,
+                p.compute,
+                p.combine,
+                p.span(),
+            ],
+            4,
+        );
+    }
+
+    // Critical-path summary: which phase dominates the fleet's unit
+    // spans. Quantiles come from the same fixed-bucket streaming
+    // histograms the live health engine uses, so the offline report and
+    // the online view agree on estimator semantics.
+    type PhaseGetter = fn(&biodist_core::UnitPhases) -> f64;
+    let phase_cols: [(&str, PhaseGetter); 5] = [
+        ("transfer", |p| p.transfer),
+        ("queue_wait", |p| p.queue_wait),
+        ("compute", |p| p.compute),
+        ("combine", |p| p.combine),
+        ("span", |p| p.span()),
+    ];
+    let span_total: f64 = phases.iter().map(|p| p.span()).sum();
+    let mut phase_summary = Table::new(
+        &format!("{tag}: critical-path summary ({} units)", phases.len()),
+        &["phase", "total_s", "share", "p50_s", "p95_s", "p99_s"],
+    );
+    for (name, get) in phase_cols {
+        let mut hist = Histogram::new(LATENCY_BOUNDS);
+        let mut total = 0.0;
+        for p in &phases {
+            let x = get(p);
+            hist.observe(x);
+            total += x;
+        }
+        let q = |q: f64| hist.quantile(q).unwrap_or(0.0);
+        phase_summary.push_row(vec![
+            name.to_string(),
+            format!("{total:.3}"),
+            format!("{:.3}", total / span_total.max(1e-12)),
+            format!("{:.3}", q(0.50)),
+            format!("{:.3}", q(0.95)),
+            format!("{:.3}", q(0.99)),
+        ]);
+    }
+
     for (table, suffix) in [
         (&timeline, "timeline"),
         (&machines_table, "machines"),
         (&speedup, "speedup"),
+        (&phases_table, "phases"),
+        (&phase_summary, "phase_summary"),
     ] {
         println!("{}", table.render_text());
         let path = results_dir().join(format!("{tag}_{suffix}.csv"));
@@ -269,9 +301,11 @@ fn report(args: &[String]) {
         println!("wrote {}", path.display());
     }
     eprintln!(
-        "report: {} events, {} machines, makespan {makespan:.1}s, effective speedup {eff:.2}",
+        "report: {} events, {} machines, makespan {makespan:.1}s, effective speedup {eff:.2}, {} phase chains ({} incomplete)",
         events.len(),
-        n_machines
+        n_machines,
+        phases.len(),
+        incomplete
     );
 }
 

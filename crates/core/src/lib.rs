@@ -40,6 +40,7 @@ pub mod audit;
 pub mod builtin;
 pub mod codec;
 pub mod fault;
+pub mod health;
 pub mod net;
 pub mod problem;
 pub mod quorum;
@@ -55,6 +56,7 @@ pub use fault::{
     flip_result_bytes, ChaosOptions, DeliveryAction, FaultEvent, FaultInjector, FaultKind,
     FaultPlan, NoFaults, PlanInterpreter,
 };
+pub use health::{HealthConfig, HealthEngine, HealthTransition, RATIO_BOUNDS};
 pub use net::{
     chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, run_tcp_replicated, Backoff,
     CacheStats, CheckpointWriter, ChunkCache, ChunkStore, Directory, FaultProxy, NetClientOptions,
@@ -63,10 +65,12 @@ pub use net::{
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 pub use quorum::{QuorumTally, VoteOutcome};
 pub use sched::{AffinitySnapshot, ClientId, ReputationSnapshot, SchedSnapshot, SchedulerConfig};
-pub use server::{Assignment, ProblemId, RunJournal, Server};
+pub use server::{
+    Assignment, DonorStatus, ProblemId, ProblemStatus, RunJournal, Server, StatusSnapshot,
+};
 pub use sim_backend::{RunReport, SimConfig, SimRunner};
 pub use telemetry::{
-    verify_spans, EventKind, Histogram, JsonlSink, MetricsSnapshot, RingHandle, Telemetry,
-    TraceEvent, TraceSink,
+    phase_breakdowns, verify_spans, EventKind, Histogram, JsonlSink, MetricsSnapshot, RingHandle,
+    Telemetry, TraceEvent, TraceSink, UnitPhases,
 };
 pub use thread_backend::{run_threaded, run_threaded_faulty};

@@ -59,6 +59,12 @@ pub struct NetClientOptions {
     /// Capacity of the donor's chunk cache in bytes. Data a unit needs
     /// is fetched over the wire only when this cache misses.
     pub chunk_cache_bytes: u64,
+    /// Cadence at which the donor ships a [`Frame::MetricsReport`]
+    /// delta snapshot of its local metrics registry (scaled seconds).
+    /// 0 disables shipping. Reports are fire-and-forget: a delta lost
+    /// to a broken connection is dropped, not retried — metrics are
+    /// advisory, results are not.
+    pub metrics_report_interval: f64,
 }
 
 impl Default for NetClientOptions {
@@ -72,6 +78,7 @@ impl Default for NetClientOptions {
             read_timeout_wall: Duration::from_millis(5),
             queue_depth: 2,
             chunk_cache_bytes: 64 * 1024 * 1024,
+            metrics_report_interval: 0.0,
         }
     }
 }
@@ -182,6 +189,11 @@ struct ClientLoop {
     cache: ChunkCache,
     queue: VecDeque<QueuedUnit>,
     telemetry: Telemetry,
+    /// Donor-local registry, shipped as delta snapshots (and cleared)
+    /// every `metrics_report_interval`. Dual-written next to the shared
+    /// handle so the server's merged view carries per-donor prefixes.
+    local_metrics: crate::telemetry::MetricsRegistry,
+    last_report: f64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -213,6 +225,8 @@ impl ClientLoop {
             cache: ChunkCache::new(opts.chunk_cache_bytes),
             queue: VecDeque::new(),
             telemetry: kit.telemetry.clone(),
+            local_metrics: Default::default(),
+            last_report: 0.0,
             kit,
             opts,
         }
@@ -244,6 +258,7 @@ impl ClientLoop {
                 continue;
             }
             self.maybe_heartbeat();
+            self.maybe_report_metrics();
             match self.request_and_compute() {
                 Step::Continue => {}
                 Step::Finished => {
@@ -267,6 +282,16 @@ impl ClientLoop {
                 self.pending = None;
                 self.queue.clear();
                 self.cache.clear();
+                self.local_metrics = Default::default();
+                // The crash event closes every span this donor held
+                // (leases and compute sub-spans) in verify_spans.
+                self.telemetry.emit_at(
+                    now,
+                    crate::telemetry::EventKind::MachineCrashed {
+                        client: self.id,
+                        down_secs: down,
+                    },
+                );
                 let wake = at + down;
                 thread::sleep(self.clock.wall(wake - now));
                 return true;
@@ -388,6 +413,25 @@ impl ClientLoop {
         }
     }
 
+    /// Ships the local registry as a delta snapshot when the cadence is
+    /// due. Fire-and-forget: the delta is reset whether or not the send
+    /// lands — a lost report skews counters, never correctness.
+    fn maybe_report_metrics(&mut self) {
+        if self.opts.metrics_report_interval <= 0.0 {
+            return;
+        }
+        let now = self.clock.now();
+        if now - self.last_report < self.opts.metrics_report_interval {
+            return;
+        }
+        self.last_report = now;
+        let local = std::mem::take(&mut self.local_metrics);
+        self.send(&Frame::MetricsReport {
+            client: self.id as u64,
+            snapshot: local.snapshot().to_wire_bytes(),
+        });
+    }
+
     fn request_and_compute(&mut self) -> Step {
         // Pipelined dispatch: top the prefetch queue up to
         // `queue_depth` assignments — each decoded, its chunks fetched
@@ -449,6 +493,16 @@ impl ClientLoop {
                 Err(_) => return,
             }
         };
+        // The unit is hydrated and ready: the donor-side delivery point
+        // of its span (transfer ends, pipeline queue-wait begins).
+        self.telemetry.emit_at(
+            self.clock.now(),
+            crate::telemetry::EventKind::UnitDelivered {
+                problem: pid,
+                unit,
+                client: self.id,
+            },
+        );
         self.queue.push_back(QueuedUnit {
             problem,
             unit,
@@ -468,10 +522,34 @@ impl ClientLoop {
         for need in needs {
             if let Some(bytes) = self.cache.get_verified(need.digest) {
                 self.telemetry.counter_add("cache.hits", 1);
+                self.local_metrics.counter_add("cache.hits", 1);
+                self.telemetry.emit_at(
+                    self.clock.now(),
+                    crate::telemetry::EventKind::CacheHit {
+                        client: self.id,
+                        digest: need.digest,
+                    },
+                );
                 out.push((need.chunk, bytes));
                 continue;
             }
             self.telemetry.counter_add("cache.misses", 1);
+            self.local_metrics.counter_add("cache.misses", 1);
+            let t = self.clock.now();
+            self.telemetry.emit_at(
+                t,
+                crate::telemetry::EventKind::CacheMiss {
+                    client: self.id,
+                    digest: need.digest,
+                },
+            );
+            self.telemetry.emit_at(
+                t,
+                crate::telemetry::EventKind::ChunkFetchStarted {
+                    client: self.id,
+                    digest: need.digest,
+                },
+            );
             out.push((need.chunk, self.fetch_one(problem, need)?));
         }
         Some(out)
@@ -493,15 +571,31 @@ impl ClientLoop {
             self.telemetry.counter_add("replica.fetches", 1);
         }
         let mut backoff = Backoff::new(self.opts.reconnect_base, self.opts.reconnect_cap, 6);
-        for addr in candidates {
+        for (rung, addr) in candidates.into_iter().enumerate() {
             if let Some(payload) = self.fetch_from_replica(addr, problem, need) {
                 self.directory.mark_alive(addr);
                 self.telemetry
                     .counter_add("replica.bytes_replica", payload.len() as u64);
+                self.telemetry.emit_at(
+                    self.clock.now(),
+                    crate::telemetry::EventKind::ChunkFetchFinished {
+                        client: self.id,
+                        digest: need.digest,
+                        replica: true,
+                    },
+                );
                 return Some(self.cache_fetched(need, payload));
             }
             self.directory.mark_dead(addr, self.clock.now());
             self.telemetry.counter_add("replica.failovers", 1);
+            self.local_metrics.counter_add("replica.failovers", 1);
+            self.telemetry.emit_at(
+                self.clock.now(),
+                crate::telemetry::EventKind::ReplicaFailover {
+                    client: self.id,
+                    replica: rung,
+                },
+            );
             let delay = backoff.delay_secs(&mut self.rng);
             backoff.record_failure();
             thread::sleep(self.clock.wall(delay));
@@ -534,6 +628,14 @@ impl ClientLoop {
             }
             self.telemetry
                 .counter_add("replica.bytes_origin", payload.len() as u64);
+            self.telemetry.emit_at(
+                self.clock.now(),
+                crate::telemetry::EventKind::ChunkFetchFinished {
+                    client: self.id,
+                    digest: need.digest,
+                    replica: false,
+                },
+            );
             return Some(self.cache_fetched(need, payload));
         }
         None
@@ -593,6 +695,8 @@ impl ClientLoop {
     fn cache_fetched(&mut self, need: &ChunkNeed, payload: Vec<u8>) -> Arc<Vec<u8>> {
         self.telemetry
             .counter_add("cache.bytes_fetched", payload.len() as u64);
+        self.local_metrics
+            .counter_add("cache.bytes_fetched", payload.len() as u64);
         let bytes = Arc::new(payload);
         let before = self.cache.stats().evictions;
         self.cache.insert(need.digest, bytes.clone());
@@ -613,6 +717,14 @@ impl ClientLoop {
         };
         let (problem, unit) = (qu.problem, qu.unit);
         let started = self.clock.now();
+        self.telemetry.emit_at(
+            started,
+            crate::telemetry::EventKind::ComputeStarted {
+                problem: pid,
+                unit: qu.unit,
+                client: self.id,
+            },
+        );
         let wu = WorkUnit {
             id: qu.unit,
             payload: qu.payload,
@@ -629,16 +741,40 @@ impl ClientLoop {
         // A crash window that opened mid-compute swallows the result —
         // and everything else the donor held in memory.
         let done = self.clock.now();
-        if self
+        if let Some(&(_, down)) = self
             .crashes
             .iter()
-            .any(|&(at, _down)| started < at && done >= at)
+            .find(|&&(at, _down)| started < at && done >= at)
         {
             self.drop_conn();
             self.queue.clear();
             self.cache.clear();
+            self.local_metrics = Default::default();
+            // The orphaned compute sub-span is closed by the crash
+            // event's client-wide closure.
+            self.telemetry.emit_at(
+                done,
+                crate::telemetry::EventKind::MachineCrashed {
+                    client: self.id,
+                    down_secs: down,
+                },
+            );
             return;
         }
+        self.telemetry.emit_at(
+            done,
+            crate::telemetry::EventKind::ComputeFinished {
+                problem: pid,
+                unit: qu.unit,
+                client: self.id,
+            },
+        );
+        self.local_metrics.counter_add("units_computed", 1);
+        self.local_metrics.observe(
+            "compute.secs",
+            crate::telemetry::LATENCY_BOUNDS,
+            done - started,
+        );
         let Ok(mut encoded) = codec.encode_result(&result.payload) else {
             return;
         };

@@ -383,6 +383,39 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                     }
                 }
             }
+            Frame::MetricsReport { client, snapshot } => {
+                let now = clock.now();
+                mark_alive(shared, client as ClientId, now);
+                match crate::telemetry::MetricsSnapshot::from_wire_bytes(&snapshot) {
+                    Ok(snap) => {
+                        shared
+                            .telemetry
+                            .merge_snapshot_prefixed(&format!("donor.c{client}."), &snap);
+                        shared.telemetry.emit_at(
+                            now,
+                            crate::telemetry::EventKind::MetricsReported {
+                                client: client as ClientId,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        shared
+                            .telemetry
+                            .counter_add("telemetry.report_decode_errors", 1);
+                    }
+                }
+                None
+            }
+            Frame::StatusRequest => {
+                let now = clock.now();
+                let mut guard = shared.server.lock().unwrap();
+                let Some(server) = guard.as_mut() else { return };
+                let snapshot = server.status_snapshot(now);
+                drop(guard);
+                Some(Frame::StatusReport {
+                    snapshot: snapshot.to_wire_bytes(),
+                })
+            }
             // Server-bound protocol only; a client frame here is a bug
             // or corruption that slipped the type check — ignore it.
             Frame::AssignUnit { .. }
@@ -392,7 +425,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             | Frame::HeartbeatAck
             | Frame::ChunkData { .. }
             | Frame::ChunkMissing { .. }
-            | Frame::ReplicaAnnounce { .. } => None,
+            | Frame::ReplicaAnnounce { .. }
+            | Frame::StatusReport { .. } => None,
         };
         if let Some(reply) = reply {
             let bytes = encode_frame(&reply);

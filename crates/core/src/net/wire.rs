@@ -50,6 +50,9 @@ const FT_CHUNK_REQUEST: u8 = 11;
 const FT_CHUNK_DATA: u8 = 12;
 const FT_CHUNK_MISSING: u8 = 13;
 const FT_REPLICA_ANNOUNCE: u8 = 14;
+const FT_METRICS_REPORT: u8 = 15;
+const FT_STATUS_REQUEST: u8 = 16;
+const FT_STATUS_REPORT: u8 = 17;
 
 /// Frame type code for [`Frame::SubmitResult`] — exposed so transport
 /// code can recognise a corrupt result frame from its header alone.
@@ -162,6 +165,24 @@ pub enum Frame {
         /// Replica socket addresses, in stable announcement order.
         endpoints: Vec<std::net::SocketAddr>,
     },
+    /// Client ships a *delta* snapshot of its local metrics registry
+    /// (counters/gauges/histograms accumulated since the last report);
+    /// the server merges it into the cluster registry under a
+    /// `donor.c<id>.` prefix.
+    MetricsReport {
+        /// The donor's client id.
+        client: u64,
+        /// [`crate::telemetry::MetricsSnapshot`] wire bytes.
+        snapshot: Vec<u8>,
+    },
+    /// Anyone (a monitoring tool, `biodist_top`) asks the server for a
+    /// live cluster snapshot.
+    StatusRequest,
+    /// Server's reply to a [`Frame::StatusRequest`].
+    StatusReport {
+        /// [`crate::server::StatusSnapshot`] wire bytes.
+        snapshot: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -181,6 +202,9 @@ impl Frame {
             Frame::ChunkData { .. } => FT_CHUNK_DATA,
             Frame::ChunkMissing { .. } => FT_CHUNK_MISSING,
             Frame::ReplicaAnnounce { .. } => FT_REPLICA_ANNOUNCE,
+            Frame::MetricsReport { .. } => FT_METRICS_REPORT,
+            Frame::StatusRequest => FT_STATUS_REQUEST,
+            Frame::StatusReport { .. } => FT_STATUS_REPORT,
         }
     }
 }
@@ -337,6 +361,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 body.str(&ep.to_string());
             }
         }
+        Frame::MetricsReport { client, snapshot } => {
+            body.u64(*client);
+            body.bytes(snapshot);
+        }
+        Frame::StatusRequest => {}
+        Frame::StatusReport { snapshot } => body.bytes(snapshot),
     }
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
@@ -371,7 +401,7 @@ pub fn parse_header(buf: &[u8]) -> Result<(u8, u32), DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let frame_type = buf[5];
-    if !(FT_HELLO..=FT_REPLICA_ANNOUNCE).contains(&frame_type) {
+    if !(FT_HELLO..=FT_STATUS_REPORT).contains(&frame_type) {
         return Err(DecodeError::BadFrameType(frame_type));
     }
     let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
@@ -451,6 +481,14 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
                 }
                 Frame::ReplicaAnnounce { endpoints }
             }
+            FT_METRICS_REPORT => Frame::MetricsReport {
+                client: r.u64()?,
+                snapshot: r.bytes()?.to_vec(),
+            },
+            FT_STATUS_REQUEST => Frame::StatusRequest,
+            FT_STATUS_REPORT => Frame::StatusReport {
+                snapshot: r.bytes()?.to_vec(),
+            },
             _ => unreachable!("parse_header validated the type"),
         };
         r.finish()?;
@@ -598,6 +636,14 @@ mod tests {
                     "[::1]:65535".parse().unwrap(),
                     "10.0.0.7:80".parse().unwrap(),
                 ],
+            },
+            Frame::MetricsReport {
+                client: 9,
+                snapshot: (0..64).collect(),
+            },
+            Frame::StatusRequest,
+            Frame::StatusReport {
+                snapshot: vec![0x42; 96],
             },
         ]
     }

@@ -103,6 +103,21 @@ pub struct SchedulerConfig {
     /// Ceiling on simultaneous copies of one unit when speculative
     /// tail re-issue is enabled.
     pub speculative_max_copies: u32,
+    /// Enable the streaming health detector: per-donor normalized
+    /// service-time EWMAs flag stragglers live, flagged donors lose
+    /// their affinity preference, and units they hold become eligible
+    /// for speculative re-issue *immediately* (not only in the
+    /// end-game tail). Off by default: with the detector disabled every
+    /// trace and scheduling decision is byte-identical to the
+    /// pre-detector behaviour.
+    pub enable_health_detector: bool,
+    /// Flag a donor when its recent normalized service time reaches
+    /// this multiple of its baseline (see [`crate::health`]).
+    pub health_straggler_ratio: f64,
+    /// Clear a flagged donor when the ratio falls back to this value.
+    pub health_clear_ratio: f64,
+    /// Completions required before a donor may be flagged.
+    pub health_min_observations: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -131,6 +146,10 @@ impl Default for SchedulerConfig {
             reputation_threshold: 4,
             enable_speculative_reissue: false,
             speculative_max_copies: 3,
+            enable_health_detector: false,
+            health_straggler_ratio: 3.0,
+            health_clear_ratio: 1.5,
+            health_min_observations: 3,
         }
     }
 }
@@ -238,6 +257,9 @@ pub struct Scheduler {
     clients: HashMap<ClientId, ClientState>,
     affinity: HashMap<ClientId, AffinityState>,
     reputation: HashMap<ClientId, ReputationState>,
+    /// Donors currently flagged as stragglers by the health engine.
+    /// Maintained by the server; empty unless the detector is enabled.
+    health_flagged: HashSet<ClientId>,
 }
 
 impl Scheduler {
@@ -256,6 +278,7 @@ impl Scheduler {
             clients: HashMap::new(),
             affinity: HashMap::new(),
             reputation: HashMap::new(),
+            health_flagged: HashSet::new(),
         }
     }
 
@@ -368,6 +391,7 @@ impl Scheduler {
         self.clients.remove(&client);
         self.affinity.remove(&client);
         self.reputation.remove(&client);
+        self.health_flagged.remove(&client);
     }
 
     /// Records that `client` now holds chunks with these digests (it
@@ -386,7 +410,10 @@ impl Scheduler {
     /// Zero when affinity is disabled, so callers can use the score
     /// directly without re-checking the flag.
     pub fn affinity_score(&self, client: ClientId, digests: &[u64]) -> usize {
-        if !self.cfg.enable_affinity {
+        if !self.cfg.enable_affinity || self.health_flagged.contains(&client) {
+            // A flagged straggler loses its data-locality preference:
+            // feeding it the units it is best placed for just lengthens
+            // the tail it is already dragging.
             return 0;
         }
         match self.affinity.get(&client) {
@@ -457,6 +484,29 @@ impl Scheduler {
     /// fresh work is exhausted (the server's end-game pass).
     pub fn may_dispatch_speculative(&self, active_copies: u32) -> bool {
         self.cfg.enable_speculative_reissue && active_copies < self.cfg.speculative_max_copies
+    }
+
+    /// Whether the *live* straggler path may add another copy of a unit
+    /// already running on `active_copies` donors: requires the health
+    /// detector, and shares the speculative copy ceiling. Consulted for
+    /// units held by a flagged donor even while fresh work remains.
+    pub fn may_dispatch_speculative_live(&self, active_copies: u32) -> bool {
+        self.cfg.enable_health_detector && active_copies < self.cfg.speculative_max_copies
+    }
+
+    /// Marks or clears `client`'s straggler flag (driven by the
+    /// server's health engine).
+    pub fn set_health_flag(&mut self, client: ClientId, flagged: bool) {
+        if flagged {
+            self.health_flagged.insert(client);
+        } else {
+            self.health_flagged.remove(&client);
+        }
+    }
+
+    /// Whether `client` is currently flagged as a straggler.
+    pub fn is_health_flagged(&self, client: ClientId) -> bool {
+        self.health_flagged.contains(&client)
     }
 
     /// Whether K-way quorum issuance is configured at all.
@@ -1059,6 +1109,35 @@ mod tests {
         s.note_chunks(1, &[10, 20]);
         assert_eq!(s.affinity_entries(1), 0);
         assert_eq!(s.affinity_score(1, &[10]), 0);
+    }
+
+    #[test]
+    fn health_flag_zeroes_affinity_and_arms_live_speculation() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            enable_health_detector: true,
+            ..Default::default()
+        });
+        s.note_chunks(1, &[10, 20]);
+        assert_eq!(s.affinity_score(1, &[10, 20]), 2);
+        s.set_health_flag(1, true);
+        assert!(s.is_health_flagged(1));
+        assert_eq!(s.affinity_score(1, &[10, 20]), 0, "flagged loses affinity");
+        // Live speculation shares the speculative ceiling but does not
+        // require enable_speculative_reissue.
+        assert!(s.may_dispatch_speculative_live(2));
+        assert!(!s.may_dispatch_speculative_live(3));
+        assert!(!s.may_dispatch_speculative(2), "tail path stays off");
+        s.set_health_flag(1, false);
+        assert_eq!(s.affinity_score(1, &[10, 20]), 2, "clearing restores it");
+        s.set_health_flag(1, true);
+        s.forget_client(1);
+        assert!(!s.is_health_flagged(1), "departure clears the flag");
+
+        let off = Scheduler::new(SchedulerConfig::default());
+        assert!(
+            !off.may_dispatch_speculative_live(0),
+            "detector off disarms the live path entirely"
+        );
     }
 
     #[test]

@@ -5,14 +5,15 @@
 //! every scheduling behaviour exercised by the experiments is also the
 //! behaviour the correctness tests see.
 
-use crate::codec::{ChunkNeed, WireCodec};
+use crate::codec::{ByteReader, ByteWriter, ChunkNeed, WireCodec, WireError};
+use crate::health::{HealthConfig, HealthEngine, HealthTransition};
 use crate::problem::{Algorithm, Payload, Problem, TaskResult, UnitId, WorkUnit};
 use crate::quorum::{QuorumTally, VoteOutcome};
 use crate::sched::{
     AffinitySnapshot, ClientId, ReputationSnapshot, SchedSnapshot, Scheduler, SchedulerConfig,
 };
 use crate::telemetry::{EventKind, Telemetry, LATENCY_BOUNDS, OPS_BOUNDS};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Identifies a submitted problem.
@@ -139,6 +140,201 @@ pub struct ProblemStats {
     pub disputed_results: u64,
 }
 
+/// One donor's row in a [`StatusSnapshot`]: adaptive, reputation and
+/// health state plus its live lease count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DonorStatus {
+    /// Donor id.
+    pub client: ClientId,
+    /// Estimated throughput, ops/second.
+    pub ops_per_sec: f64,
+    /// Units this donor has completed.
+    pub units_completed: u64,
+    /// Leases the donor currently holds across all problems.
+    pub leases: u32,
+    /// Whether quorum reputation has graduated it to single-issue.
+    pub trusted: bool,
+    /// Quorum agreements since the last dispute.
+    pub agreements: u64,
+    /// Lifetime quorum disputes.
+    pub disputes: u64,
+    /// Whether the health detector currently flags it as a straggler.
+    pub flagged: bool,
+    /// Current fast/baseline health ratio (0 when unknown or the
+    /// detector is off).
+    pub health_ratio: f64,
+}
+
+/// One problem's row in a [`StatusSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemStatus {
+    /// Problem id.
+    pub problem: ProblemId,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether the problem has completed.
+    pub done: bool,
+    /// Results folded so far.
+    pub completed_units: u64,
+    /// Assignments handed out so far.
+    pub assignments: u64,
+    /// Units currently leased out.
+    pub in_flight: u32,
+    /// Units waiting in the reissue queue.
+    pub reissue_queue: u32,
+}
+
+/// A deterministic point-in-time cluster snapshot: every known donor
+/// (sorted by id), every problem (in submission order) and the server's
+/// counter registry (sorted by name). Rendered by the `biodist_top`
+/// bench bin and shipped over TCP as a `StatusReport` frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatusSnapshot {
+    /// Backend time the snapshot was taken.
+    pub now: f64,
+    /// Donor rows, sorted by client id.
+    pub donors: Vec<DonorStatus>,
+    /// Problem rows, in submission order.
+    pub problems: Vec<ProblemStatus>,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StatusSnapshot {
+    /// Serializes the snapshot for the wire.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.f64(self.now);
+        w.u32(self.donors.len() as u32);
+        for d in &self.donors {
+            w.u64(d.client as u64);
+            w.f64(d.ops_per_sec);
+            w.u64(d.units_completed);
+            w.u32(d.leases);
+            w.u8(d.trusted as u8);
+            w.u64(d.agreements);
+            w.u64(d.disputes);
+            w.u8(d.flagged as u8);
+            w.f64(d.health_ratio);
+        }
+        w.u32(self.problems.len() as u32);
+        for p in &self.problems {
+            w.u64(p.problem as u64);
+            w.str(&p.name);
+            w.u8(p.done as u8);
+            w.u64(p.completed_units);
+            w.u64(p.assignments);
+            w.u32(p.in_flight);
+            w.u32(p.reissue_queue);
+        }
+        w.u32(self.counters.len() as u32);
+        for (k, v) in &self.counters {
+            w.str(k);
+            w.u64(*v);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a wire-encoded snapshot.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let now = r.f64()?;
+        let mut donors = Vec::new();
+        for _ in 0..r.count(54)? {
+            donors.push(DonorStatus {
+                client: r.u64()? as ClientId,
+                ops_per_sec: r.f64()?,
+                units_completed: r.u64()?,
+                leases: r.u32()?,
+                trusted: r.u8()? != 0,
+                agreements: r.u64()?,
+                disputes: r.u64()?,
+                flagged: r.u8()? != 0,
+                health_ratio: r.f64()?,
+            });
+        }
+        let mut problems = Vec::new();
+        for _ in 0..r.count(37)? {
+            problems.push(ProblemStatus {
+                problem: r.u64()? as ProblemId,
+                name: r.str()?,
+                done: r.u8()? != 0,
+                completed_units: r.u64()?,
+                assignments: r.u64()?,
+                in_flight: r.u32()?,
+                reissue_queue: r.u32()?,
+            });
+        }
+        let mut counters = Vec::new();
+        for _ in 0..r.count(12)? {
+            counters.push((r.str()?, r.u64()?));
+        }
+        r.finish()?;
+        Ok(Self {
+            now,
+            donors,
+            problems,
+            counters,
+        })
+    }
+
+    /// Renders the snapshot as one deterministic JSON object (fixed
+    /// field order, donors/counters pre-sorted), the schema
+    /// `biodist_top --once` prints and the ops-smoke CI job checks.
+    pub fn to_json(&self) -> String {
+        use crate::telemetry::{fmt_f64, json_string};
+        let donors: Vec<String> = self
+            .donors
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"client\":{},\"ops_per_sec\":{},\"units_completed\":{},\
+                     \"leases\":{},\"trusted\":{},\"agreements\":{},\"disputes\":{},\
+                     \"flagged\":{},\"health_ratio\":{}}}",
+                    d.client,
+                    fmt_f64(d.ops_per_sec),
+                    d.units_completed,
+                    d.leases,
+                    d.trusted,
+                    d.agreements,
+                    d.disputes,
+                    d.flagged,
+                    fmt_f64(d.health_ratio),
+                )
+            })
+            .collect();
+        let problems: Vec<String> = self
+            .problems
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"problem\":{},\"name\":{},\"done\":{},\"completed_units\":{},\
+                     \"assignments\":{},\"in_flight\":{},\"reissue_queue\":{}}}",
+                    p.problem,
+                    json_string(&p.name),
+                    p.done,
+                    p.completed_units,
+                    p.assignments,
+                    p.in_flight,
+                    p.reissue_queue,
+                )
+            })
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_string(k)))
+            .collect();
+        format!(
+            "{{\"now\":{},\"donors\":[{}],\"problems\":[{}],\"counters\":{{{}}}}}",
+            fmt_f64(self.now),
+            donors.join(","),
+            problems.join(","),
+            counters.join(","),
+        )
+    }
+}
+
 /// The distributed system's server (paper §2.1).
 pub struct Server {
     sched: Scheduler,
@@ -149,11 +345,24 @@ pub struct Server {
     rotation: usize,
     journal: Option<Box<dyn RunJournal>>,
     telemetry: Telemetry,
+    // Streaming straggler detector, present iff the scheduler config
+    // enables it. Fed one normalized service-time observation per
+    // accepted result; its flag transitions drive the scheduler's
+    // affinity deprioritization and the live speculative-rescue pass.
+    health: Option<HealthEngine>,
 }
 
 impl Server {
     /// Creates a server with the given scheduler configuration.
     pub fn new(cfg: SchedulerConfig) -> Self {
+        let health = cfg.enable_health_detector.then(|| {
+            HealthEngine::new(HealthConfig {
+                straggler_ratio: cfg.health_straggler_ratio,
+                clear_ratio: cfg.health_clear_ratio,
+                min_observations: cfg.health_min_observations,
+                ..HealthConfig::default()
+            })
+        });
         Self {
             sched: Scheduler::new(cfg),
             problems: Vec::new(),
@@ -162,7 +371,13 @@ impl Server {
             rotation: 0,
             journal: None,
             telemetry: Telemetry::default(),
+            health,
         }
+    }
+
+    /// The streaming health engine, when the detector is enabled.
+    pub fn health(&self) -> Option<&HealthEngine> {
+        self.health.as_ref()
     }
 
     /// Installs a durability journal; every subsequent unit issue and
@@ -334,6 +549,56 @@ impl Server {
         let n = self.cycle.len();
         let hint = self.sched.granularity_hint(client);
 
+        // Pass 0 (live straggler rescue): a unit whose *every* lease
+        // sits on a health-flagged donor gets one healthy copy right
+        // now — before fresh work — so a live-detected straggler cannot
+        // drag its unit into the end-game tail. The all-flagged guard
+        // self-limits the pass to one rescue copy per unit: once it
+        // runs, an unflagged lease exists. Candidates are compared on
+        // `(oldest lease, problem, unit)` so HashMap iteration order
+        // never leaks into dispatch order.
+        if self.sched.config().enable_health_detector && !self.sched.is_health_flagged(client) {
+            let mut rescue: Option<(f64, ProblemId, UnitId)> = None;
+            for (pid, p) in self.problems.iter().enumerate() {
+                if p.done {
+                    continue;
+                }
+                for (uid, inf) in &p.in_flight {
+                    if inf.leases.is_empty()
+                        || !inf
+                            .leases
+                            .iter()
+                            .all(|l| self.sched.is_health_flagged(l.client))
+                    {
+                        continue;
+                    }
+                    if !self
+                        .sched
+                        .may_dispatch_speculative_live(inf.leases.len() as u32)
+                    {
+                        continue;
+                    }
+                    if p.votes.get(uid).is_some_and(|t| t.has_voted(client)) {
+                        continue;
+                    }
+                    let oldest = inf
+                        .leases
+                        .iter()
+                        .map(|l| l.assigned_at)
+                        .fold(f64::INFINITY, f64::min);
+                    let cand = (oldest, pid, *uid);
+                    if rescue.map(|b| cand < b).unwrap_or(true) {
+                        rescue = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, pid, uid)) = rescue {
+                self.telemetry.counter_add("health.live_rescues", 1);
+                let unit = self.problems[pid].in_flight[&uid].unit.clone();
+                return self.lease_and_assign(pid, unit, client, now, true);
+            }
+        }
+
         // Pass 1: fresh or reissued units, weighted fair-share.
         for k in 0..n {
             let pos = (self.rotation + k) % n;
@@ -353,19 +618,31 @@ impl Server {
 
         // Pass 2: redundant end-game dispatch of the longest-running
         // in-flight unit this client is not already computing (and, under
-        // quorum, has not already voted on).
-        let mut best: Option<(ProblemId, UnitId, f64, bool)> = None;
+        // quorum, has not already voted on). With the health detector
+        // enabled, units whose holders include a flagged straggler are
+        // rescued first (flagged-holder beats merely-oldest), and live
+        // detection arms speculation past the plain redundancy cap even
+        // when `enable_speculative_reissue` is off.
+        let mut best: Option<(ProblemId, UnitId, f64, bool, bool)> = None;
         for (pid, p) in self.problems.iter().enumerate() {
             if p.done {
                 continue;
             }
             for (uid, inf) in &p.in_flight {
                 let copies = inf.leases.len() as u32;
+                let holder_flagged = inf
+                    .leases
+                    .iter()
+                    .any(|l| self.sched.is_health_flagged(l.client));
                 let redundant_ok = self.sched.may_dispatch_redundant(copies);
                 // Speculative tail re-issue: past the plain redundancy
                 // cap but under the speculative one, idle donors attack
                 // the makespan droop of Figure 1.
-                let speculative = !redundant_ok && self.sched.may_dispatch_speculative(copies);
+                let speculative = !redundant_ok
+                    && (self.sched.may_dispatch_speculative(copies)
+                        || (holder_flagged
+                            && !self.sched.is_health_flagged(client)
+                            && self.sched.may_dispatch_speculative_live(copies)));
                 if !redundant_ok && !speculative {
                     continue;
                 }
@@ -380,12 +657,17 @@ impl Server {
                     .iter()
                     .map(|l| l.assigned_at)
                     .fold(f64::INFINITY, f64::min);
-                if best.map(|(_, _, t, _)| oldest < t).unwrap_or(true) {
-                    best = Some((pid, *uid, oldest, speculative));
+                let better = best
+                    .map(|(_, _, t, _, f)| {
+                        (holder_flagged && !f) || (holder_flagged == f && oldest < t)
+                    })
+                    .unwrap_or(true);
+                if better {
+                    best = Some((pid, *uid, oldest, speculative, holder_flagged));
                 }
             }
         }
-        if let Some((pid, uid, _, speculative)) = best {
+        if let Some((pid, uid, _, speculative, _)) = best {
             if speculative {
                 self.telemetry.counter_add("sched.speculative_reissues", 1);
             }
@@ -639,6 +921,32 @@ impl Server {
         let mut latency = 0.0;
         if let Some(lease) = inf.leases.iter().find(|l| l.client == client) {
             latency = now - lease.assigned_at;
+            // The health observation is normalized by the *pre-update*
+            // speed estimate: "how much longer than this donor's priced
+            // speed predicts" — an honest-but-slow machine scores ~1.0,
+            // a degraded one drifts up regardless of its nominal speed.
+            if let Some(h) = self.health.as_mut() {
+                let predicted = inf.unit.cost_ops / self.sched.estimated_speed(client);
+                if predicted > 0.0 && predicted.is_finite() {
+                    match h.observe(client, latency / predicted) {
+                        Some(HealthTransition::Flagged { ratio }) => {
+                            self.sched.set_health_flag(client, true);
+                            self.telemetry
+                                .emit(EventKind::DonorFlagged { client, ratio });
+                            self.telemetry.counter_add("health.flagged_total", 1);
+                            h.export_metrics(&self.telemetry);
+                        }
+                        Some(HealthTransition::Cleared { ratio }) => {
+                            self.sched.set_health_flag(client, false);
+                            self.telemetry
+                                .emit(EventKind::DonorCleared { client, ratio });
+                            self.telemetry.counter_add("health.cleared_total", 1);
+                            h.export_metrics(&self.telemetry);
+                        }
+                        None => {}
+                    }
+                }
+            }
             self.sched
                 .record_completion(client, inf.unit.cost_ops, latency);
             self.telemetry
@@ -950,6 +1258,11 @@ impl Server {
             }
         }
         self.sched.forget_client(client);
+        if let Some(h) = self.health.as_mut() {
+            // A rejoining donor id starts over with a clean bill of
+            // health — same direction as the reputation reset above.
+            h.forget(client);
+        }
     }
 
     // ---- crash recovery (driven by `net::checkpoint::recover`) ----
@@ -1092,6 +1405,84 @@ impl Server {
     /// Restores the chunk-affinity map from a recovered snapshot.
     pub fn restore_affinity(&mut self, snap: &AffinitySnapshot) {
         self.sched.restore_affinity(snap);
+    }
+
+    // ---- live status (ops plane) ----
+
+    /// Captures a deterministic point-in-time cluster snapshot: the
+    /// donor table is the union of every client the scheduler,
+    /// reputation map, lease table or health engine knows about, sorted
+    /// by id; counters come from the server's telemetry registry (empty
+    /// when telemetry is disabled).
+    pub fn status_snapshot(&self, now: f64) -> StatusSnapshot {
+        let mut ids: BTreeSet<ClientId> = BTreeSet::new();
+        for &(id, _, _) in &self.sched.snapshot().clients {
+            ids.insert(id);
+        }
+        for &(id, ..) in &self.sched.reputation_snapshot().clients {
+            ids.insert(id);
+        }
+        let mut lease_counts: HashMap<ClientId, u32> = HashMap::new();
+        for p in &self.problems {
+            for inf in p.in_flight.values() {
+                for l in &inf.leases {
+                    ids.insert(l.client);
+                    *lease_counts.entry(l.client).or_insert(0) += 1;
+                }
+            }
+        }
+        if let Some(h) = &self.health {
+            for id in h.flagged_clients() {
+                ids.insert(id);
+            }
+        }
+        let donors = ids
+            .into_iter()
+            .map(|id| {
+                let (agreements, disputes) = self.sched.reputation_counts(id);
+                DonorStatus {
+                    client: id,
+                    ops_per_sec: self.sched.estimated_speed(id),
+                    units_completed: self.sched.units_completed(id),
+                    leases: lease_counts.get(&id).copied().unwrap_or(0),
+                    trusted: self.sched.is_trusted(id),
+                    agreements,
+                    disputes,
+                    flagged: self.sched.is_health_flagged(id),
+                    health_ratio: self
+                        .health
+                        .as_ref()
+                        .and_then(|h| h.ratio(id))
+                        .unwrap_or(0.0),
+                }
+            })
+            .collect();
+        let problems = self
+            .problems
+            .iter()
+            .enumerate()
+            .map(|(pid, p)| ProblemStatus {
+                problem: pid,
+                name: p.name.clone(),
+                done: p.done,
+                completed_units: p.stats.completed_units,
+                assignments: p.stats.assignments,
+                in_flight: p.in_flight.len() as u32,
+                reissue_queue: p.reissue.len() as u32,
+            })
+            .collect();
+        let counters = self
+            .telemetry
+            .metrics_snapshot()
+            .counters
+            .into_iter()
+            .collect();
+        StatusSnapshot {
+            now,
+            donors,
+            problems,
+            counters,
+        }
     }
 }
 
@@ -1858,6 +2249,160 @@ mod tests {
         let r = algorithm.compute(&u2);
         assert!(server.submit_result(2, problem, r, 4.0));
         assert!(server.all_complete());
+    }
+
+    #[test]
+    fn health_detector_flags_straggler_and_rescues_its_unit() {
+        let mut server = Server::new(SchedulerConfig {
+            enable_health_detector: true,
+            health_min_observations: 3,
+            enable_redundant_dispatch: false,
+            enable_dynamic_granularity: false,
+            enable_adaptive: false, // keep predicted time fixed at the prior
+            ..Default::default()
+        });
+        server.submit(sum_problem(1000, 50)); // 20 units
+        let mut now = 0.0;
+        // Donor 0 completes three units at exactly the predicted pace
+        // (prior 1e7 ops/s, 50 ops → 5e-6 s predicted; use that value).
+        let predicted = 50.0 / 1.0e7;
+        for _ in 0..3 {
+            let Assignment::Unit {
+                problem,
+                unit,
+                algorithm,
+            } = server.request_work(0, now)
+            else {
+                panic!()
+            };
+            let r = algorithm.compute(&unit);
+            now += predicted;
+            assert!(server.submit_result(0, problem, r, now));
+            now += 1.0;
+        }
+        assert!(!server.scheduler().is_health_flagged(0));
+        // Now donor 0 turns into a 10× straggler: two slow results push
+        // the fast EWMA (alpha 0.5) past 3× the frozen-slow baseline.
+        for _ in 0..2 {
+            let Assignment::Unit {
+                problem,
+                unit,
+                algorithm,
+            } = server.request_work(0, now)
+            else {
+                panic!()
+            };
+            let r = algorithm.compute(&unit);
+            now += predicted * 10.0;
+            assert!(server.submit_result(0, problem, r, now));
+            now += 1.0;
+        }
+        assert!(
+            server.scheduler().is_health_flagged(0),
+            "a 10x slowdown must flag within two observations"
+        );
+        assert_eq!(server.health().unwrap().flagged_clients(), vec![0]);
+        // Donor 0 takes a unit and stalls; donor 1 (healthy, unknown)
+        // must be handed a rescue copy of that exact unit before any
+        // fresh work.
+        let Assignment::Unit { unit: stalled, .. } = server.request_work(0, now) else {
+            panic!()
+        };
+        let Assignment::Unit {
+            unit: rescue,
+            problem,
+            algorithm,
+        } = server.request_work(1, now + 0.1)
+        else {
+            panic!()
+        };
+        assert_eq!(
+            rescue.id, stalled.id,
+            "the flagged donor's unit is rescued before fresh work"
+        );
+        let r = algorithm.compute(&rescue);
+        assert!(server.submit_result(1, problem, r, now + 0.2));
+        // A second healthy donor gets fresh work, not another copy.
+        let Assignment::Unit { unit: fresh, .. } = server.request_work(2, now + 0.3) else {
+            panic!()
+        };
+        assert_ne!(fresh.id, stalled.id, "one rescue copy per unit");
+    }
+
+    #[test]
+    fn detector_off_never_flags_or_rescues() {
+        let mut server = Server::new(SchedulerConfig {
+            enable_redundant_dispatch: false,
+            ..Default::default()
+        });
+        server.submit(sum_problem(1000, 50));
+        assert!(server.health().is_none());
+        let mut now = 0.0;
+        for _ in 0..6 {
+            let Assignment::Unit {
+                problem,
+                unit,
+                algorithm,
+            } = server.request_work(0, now)
+            else {
+                panic!()
+            };
+            let r = algorithm.compute(&unit);
+            now += 1000.0; // absurdly slow, but nothing watches
+            server.submit_result(0, problem, r, now);
+        }
+        assert!(!server.scheduler().is_health_flagged(0));
+    }
+
+    #[test]
+    fn status_snapshot_reports_donors_problems_and_round_trips() {
+        let mut server = Server::new(SchedulerConfig {
+            enable_health_detector: true,
+            ..Default::default()
+        });
+        server.submit(sum_problem(100, 10));
+        let Assignment::Unit {
+            problem,
+            unit,
+            algorithm,
+        } = server.request_work(3, 0.0)
+        else {
+            panic!()
+        };
+        let Assignment::Unit { .. } = server.request_work(5, 0.5) else {
+            panic!()
+        };
+        let r = algorithm.compute(&unit);
+        assert!(server.submit_result(3, problem, r, 1.0));
+
+        let snap = server.status_snapshot(2.0);
+        assert_eq!(snap.now, 2.0);
+        let ids: Vec<ClientId> = snap.donors.iter().map(|d| d.client).collect();
+        assert_eq!(ids, vec![3, 5], "sorted union of known donors");
+        let d3 = &snap.donors[0];
+        assert_eq!(d3.units_completed, 1);
+        assert_eq!(d3.leases, 0, "its lease resolved with the result");
+        assert!(!d3.flagged);
+        assert!(d3.health_ratio > 0.0, "observed once by the detector");
+        assert_eq!(snap.donors[1].leases, 1, "donor 5 still computing");
+        assert_eq!(snap.problems.len(), 1);
+        assert_eq!(snap.problems[0].name, "sum");
+        assert_eq!(snap.problems[0].completed_units, 1);
+        assert_eq!(snap.problems[0].in_flight, 1);
+        assert!(!snap.problems[0].done);
+
+        // Wire round trip is lossless and JSON is deterministic.
+        let bytes = snap.to_wire_bytes();
+        let back = StatusSnapshot::from_wire_bytes(&bytes).expect("decodes");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), snap.to_json());
+        assert!(snap.to_json().starts_with("{\"now\":2,"));
+
+        // Departure drops the donor from the next snapshot.
+        server.client_gone(5);
+        let after = server.status_snapshot(3.0);
+        let ids: Vec<ClientId> = after.donors.iter().map(|d| d.client).collect();
+        assert_eq!(ids, vec![3]);
     }
 
     #[test]

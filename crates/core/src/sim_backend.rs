@@ -62,6 +62,12 @@ pub struct SimConfig {
     /// O(replicas). 0 — the default, which keeps the pre-replica event
     /// timeline bit-identical — serves every chunk from the origin.
     pub replicas: usize,
+    /// Cadence at which each donor ships a snapshot of its local
+    /// metrics registry to the server, merged under a `donor.c<id>.`
+    /// prefix exactly like the TCP backend's `MetricsReport` frame.
+    /// 0 — the default, which keeps the pre-shipping event timeline
+    /// bit-identical — disables shipping.
+    pub metrics_report_secs: f64,
 }
 
 impl Default for SimConfig {
@@ -75,6 +81,7 @@ impl Default for SimConfig {
             chunk_cache_bytes: 64 * 1024 * 1024,
             pipeline_depth: 1,
             replicas: 0,
+            metrics_report_secs: 0.0,
         }
     }
 }
@@ -118,6 +125,10 @@ enum Ev {
         problem: ProblemId,
         unit: Arc<WorkUnit>,
         algorithm: Arc<dyn Algorithm>,
+        // True when this is a prefetched unit re-entering from the
+        // machine's pipeline queue: the `unit_delivered` trace event
+        // already fired at its real arrival and must not repeat.
+        requeued: bool,
     },
     // Carries the unit + algorithm so a Duplicate delivery fault can
     // materialise the second copy (results are not clonable).
@@ -135,6 +146,8 @@ enum Ev {
     // order, so pre-charging a future retry would make earlier
     // transfers queue behind it.
     PollRetry(usize, u32),
+    // Periodic donor-metrics shipping (when `metrics_report_secs` > 0).
+    MetricsReport(usize, u32),
     Leave(usize),
     Crash {
         machine: usize,
@@ -221,6 +234,14 @@ impl SimRunner {
         let mut chunk_caches: Vec<ChunkCache> = (0..n)
             .map(|_| ChunkCache::new(self.cfg.chunk_cache_bytes))
             .collect();
+        // Donor-local metrics registries, shipped to the server every
+        // `metrics_report_secs` as *delta* snapshots (snapshot, then
+        // reset) so the server's prefixed merge stays associative. A
+        // crash discards the unshipped delta — the machine's memory is
+        // gone, exactly like its chunk cache.
+        let mut donor_metrics: Vec<crate::telemetry::MetricsRegistry> =
+            (0..n).map(|_| Default::default()).collect();
+        let shipping = self.cfg.metrics_report_secs > 0.0;
         // Replica tier: each endpoint has its own link and a lazily
         // filled content set. `ReplicaCrash`/`ReplicaStall` windows from
         // the fault plan make routed candidates unavailable; a stalled
@@ -292,6 +313,7 @@ impl SimRunner {
                     }
                     Ev::ComputeDone { machine, .. } => format!("compute-done {machine}"),
                     Ev::PollRetry(m, e) => format!("poll-retry {m} (epoch {e})"),
+                    Ev::MetricsReport(m, e) => format!("metrics-report {m} (epoch {e})"),
                     Ev::Leave(m) => format!("leave {m}"),
                     Ev::Crash { machine, down_secs } => {
                         format!("crash {machine} (down {down_secs:.1}s)")
@@ -330,6 +352,12 @@ impl SimRunner {
                         .set_server_degradation(injector.link_scale(now));
                     let done = self.network.transfer(m, now, total_setup);
                     events.schedule(done, Ev::SetupDone(m, epoch[m]));
+                    if shipping {
+                        events.schedule(
+                            now + self.cfg.metrics_report_secs,
+                            Ev::MetricsReport(m, epoch[m]),
+                        );
+                    }
                 }
                 Ev::SetupDone(m, e) | Ev::RequestArrived(m, e) => {
                     if !alive[m] || e != epoch[m] {
@@ -352,6 +380,10 @@ impl SimRunner {
                             // the origin link's critical path; the unit
                             // is delivered when the slowest leg lands.
                             let mut replica_done = 0.0f64;
+                            // Origin-served chunk fetches finish when
+                            // the unit itself lands; their finish events
+                            // are emitted once `delivered` is known.
+                            let mut origin_fetches: Vec<u64> = Vec::new();
                             let needs = self.server.unit_chunk_needs(problem, &unit.payload);
                             if !needs.is_empty() {
                                 let codec = self.server.codec(problem);
@@ -359,10 +391,34 @@ impl SimRunner {
                                 for need in &needs {
                                     if chunk_caches[m].get_verified(need.digest).is_some() {
                                         tel.counter_add("cache.hits", 1);
+                                        donor_metrics[m].counter_add("cache.hits", 1);
+                                        tel.emit_at(
+                                            now,
+                                            crate::telemetry::EventKind::CacheHit {
+                                                client: m,
+                                                digest: need.digest,
+                                            },
+                                        );
                                         continue;
                                     }
                                     tel.counter_add("cache.misses", 1);
                                     tel.counter_add("cache.bytes_fetched", need.bytes);
+                                    donor_metrics[m].counter_add("cache.misses", 1);
+                                    donor_metrics[m].counter_add("cache.bytes_fetched", need.bytes);
+                                    tel.emit_at(
+                                        now,
+                                        crate::telemetry::EventKind::CacheMiss {
+                                            client: m,
+                                            digest: need.digest,
+                                        },
+                                    );
+                                    tel.emit_at(
+                                        now,
+                                        crate::telemetry::EventKind::ChunkFetchStarted {
+                                            client: m,
+                                            digest: need.digest,
+                                        },
+                                    );
                                     let mut from_replica = false;
                                     if n_replicas > 0 {
                                         tel.counter_add("replica.fetches", 1);
@@ -377,6 +433,15 @@ impl SimRunner {
                                                 .any(|&(s, e)| now >= s && now < e)
                                             {
                                                 tel.counter_add("replica.failovers", 1);
+                                                donor_metrics[m]
+                                                    .counter_add("replica.failovers", 1);
+                                                tel.emit_at(
+                                                    now,
+                                                    crate::telemetry::EventKind::ReplicaFailover {
+                                                        client: m,
+                                                        replica: ridx,
+                                                    },
+                                                );
                                                 continue;
                                             }
                                             let mut start = now;
@@ -395,6 +460,14 @@ impl SimRunner {
                                             replica_done = replica_done.max(done);
                                             tel.counter_add("replica.chunks_served", 1);
                                             tel.counter_add("replica.bytes_replica", need.bytes);
+                                            tel.emit_at(
+                                                done,
+                                                crate::telemetry::EventKind::ChunkFetchFinished {
+                                                    client: m,
+                                                    digest: need.digest,
+                                                    replica: true,
+                                                },
+                                            );
                                             from_replica = true;
                                             break;
                                         }
@@ -405,6 +478,7 @@ impl SimRunner {
                                         bytes += need.bytes;
                                         tel.counter_add("net.chunks_served", 1);
                                         tel.counter_add("net.chunk_bytes_out", need.bytes);
+                                        origin_fetches.push(need.digest);
                                     }
                                     if let Some(chunk) =
                                         codec.as_ref().and_then(|c| c.encode_chunk(need.chunk).ok())
@@ -425,6 +499,16 @@ impl SimRunner {
                             self.network
                                 .set_server_degradation(injector.link_scale(now));
                             let delivered = self.network.transfer(m, now, bytes).max(replica_done);
+                            for digest in origin_fetches {
+                                tel.emit_at(
+                                    delivered,
+                                    crate::telemetry::EventKind::ChunkFetchFinished {
+                                        client: m,
+                                        digest,
+                                        replica: false,
+                                    },
+                                );
+                            }
                             events.schedule(
                                 delivered,
                                 Ev::UnitDelivered {
@@ -433,6 +517,7 @@ impl SimRunner {
                                     problem,
                                     unit,
                                     algorithm,
+                                    requeued: false,
                                 },
                             );
                         }
@@ -451,9 +536,20 @@ impl SimRunner {
                     problem,
                     unit,
                     algorithm,
+                    requeued,
                 } => {
                     if !alive[m] || e != epoch[m] {
                         continue; // unit lost with the crashed machine
+                    }
+                    if !requeued {
+                        tel.emit_at(
+                            now,
+                            crate::telemetry::EventKind::UnitDelivered {
+                                problem,
+                                unit: unit.id,
+                                client: m,
+                            },
+                        );
                     }
                     if computing[m] {
                         // The machine is busy: this is a prefetched
@@ -462,6 +558,14 @@ impl SimRunner {
                         continue;
                     }
                     computing[m] = true;
+                    tel.emit_at(
+                        now,
+                        crate::telemetry::EventKind::ComputeStarted {
+                            problem,
+                            unit: unit.id,
+                            client: m,
+                        },
+                    );
                     // Execute for real (correct output), charge virtual
                     // time from the cost model and the machine's trace.
                     // An active straggler window scales the unit's
@@ -471,6 +575,11 @@ impl SimRunner {
                     self.machines[m].set_speed_scale(1.0 / scale);
                     let finish = self.machines[m].finish_time(now, unit.cost_ops);
                     busy_time[m] += finish - now;
+                    donor_metrics[m].observe(
+                        "compute.secs",
+                        crate::telemetry::LATENCY_BOUNDS,
+                        finish - now,
+                    );
                     events.schedule(
                         finish,
                         Ev::ComputeDone {
@@ -501,6 +610,15 @@ impl SimRunner {
                     if !alive[m] || e != epoch[m] {
                         continue; // work lost with the departed machine
                     }
+                    tel.emit_at(
+                        now,
+                        crate::telemetry::EventKind::ComputeFinished {
+                            problem,
+                            unit: unit.id,
+                            client: m,
+                        },
+                    );
+                    donor_metrics[m].counter_add("units_computed", 1);
                     computing[m] = false;
                     load[m] = load[m].saturating_sub(1);
                     self.network
@@ -616,6 +734,7 @@ impl SimRunner {
                                 problem,
                                 unit,
                                 algorithm,
+                                requeued: true,
                             },
                         );
                     }
@@ -628,6 +747,26 @@ impl SimRunner {
                         .set_server_degradation(injector.link_scale(now));
                     let arrives = self.network.transfer(m, now, self.cfg.control_bytes);
                     events.schedule(arrives, Ev::RequestArrived(m, e));
+                }
+                Ev::MetricsReport(m, e) => {
+                    if !alive[m] || e != epoch[m] {
+                        continue; // reporting loop from a past life
+                    }
+                    // Ship the delta since the last report: snapshot,
+                    // reset, charge the encoded bytes to the shared
+                    // link, merge under the donor prefix.
+                    let local = std::mem::take(&mut donor_metrics[m]);
+                    let snap = local.snapshot();
+                    self.network
+                        .set_server_degradation(injector.link_scale(now));
+                    let bytes = snap.to_wire_bytes().len() as u64 + self.cfg.control_bytes;
+                    let arrives = self.network.transfer(m, now, bytes);
+                    tel.merge_snapshot_prefixed(&format!("donor.c{m}."), &snap);
+                    tel.emit_at(
+                        arrives,
+                        crate::telemetry::EventKind::MetricsReported { client: m },
+                    );
+                    events.schedule(now + self.cfg.metrics_report_secs, Ev::MetricsReport(m, e));
                 }
                 Ev::Leave(m) => {
                     departed[m] = true;
@@ -667,6 +806,7 @@ impl SimRunner {
                     prefetch[m].clear();
                     load[m] = 0;
                     chunk_caches[m].clear();
+                    donor_metrics[m] = Default::default();
                     tel.emit_at(
                         now,
                         crate::telemetry::EventKind::MachineCrashed {
@@ -1250,6 +1390,70 @@ mod tests {
             pipelined + 0.2 < serial,
             "pipelined {pipelined} must beat serial {serial}"
         );
+    }
+
+    #[test]
+    fn sim_trace_carries_phase_chains_and_ships_donor_metrics() {
+        use crate::telemetry::{phase_breakdowns, verify_spans, EventKind, Telemetry};
+        let telemetry = Telemetry::enabled();
+        let ring = telemetry.attach_ring(100_000);
+        let mut server = Server::new(SchedulerConfig {
+            target_unit_secs: 10.0,
+            ..Default::default()
+        });
+        server.set_telemetry(telemetry.clone());
+        server.submit(integration_problem(20_000_000));
+        let cfg = SimConfig {
+            metrics_report_secs: 5.0,
+            ..Default::default()
+        };
+        let (_, _) = SimRunner::new(
+            server,
+            dedicated_pool(4, 1e7),
+            biodist_gridsim::network::SharedLink::hundred_mbit(),
+            cfg,
+        )
+        .run();
+        let events = ring.events();
+        verify_spans(&events).expect("spans consistent");
+        let (phases, _incomplete) = phase_breakdowns(&events);
+        assert!(!phases.is_empty(), "no completed phase chains in trace");
+        for p in &phases {
+            assert!(p.transfer >= 0.0 && p.queue_wait >= 0.0);
+            assert!(p.compute > 0.0, "compute phase must take time");
+            assert!(p.combine >= 0.0);
+        }
+        let reports = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MetricsReported { .. }))
+            .count();
+        assert!(reports > 0, "no metrics reports shipped");
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("telemetry.reports_received"), reports as u64);
+        assert_eq!(snap.counter("telemetry.merge_errors"), 0);
+        let donor_units: u64 = (0..4)
+            .map(|m| snap.counter(&format!("donor.c{m}.units_computed")))
+            .sum();
+        assert!(
+            donor_units > 0,
+            "donor-prefixed counters must land in the merged registry"
+        );
+    }
+
+    #[test]
+    fn metrics_shipping_off_leaves_no_donor_counters() {
+        let telemetry = crate::telemetry::Telemetry::enabled();
+        let ring = telemetry.attach_ring(100_000);
+        let mut server = pi_server(500_000);
+        server.set_telemetry(telemetry.clone());
+        let (_, _) = SimRunner::with_defaults(server, dedicated_pool(2, 1e7)).run();
+        let snap = telemetry.metrics_snapshot();
+        assert!(snap.counters.keys().all(|k| !k.starts_with("donor.")));
+        assert_eq!(snap.counter("telemetry.reports_received"), 0);
+        assert!(!ring
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, crate::telemetry::EventKind::MetricsReported { .. })));
     }
 
     #[test]

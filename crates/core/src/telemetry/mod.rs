@@ -32,9 +32,16 @@ mod metrics;
 mod trace;
 
 pub use metrics::{
-    Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BOUNDS, OPS_BOUNDS, SIZE_BOUNDS,
+    Histogram, MergeError, MetricsRegistry, MetricsSnapshot, LATENCY_BOUNDS, OPS_BOUNDS,
+    SIZE_BOUNDS,
 };
-pub use trace::{verify_spans, EventKind, JsonlSink, RingHandle, RingSink, TraceEvent, TraceSink};
+pub use trace::{
+    phase_breakdowns, verify_spans, EventKind, JsonlSink, RingHandle, RingSink, TraceEvent,
+    TraceSink, UnitPhases,
+};
+
+pub(crate) use metrics::fmt_f64;
+pub(crate) use trace::json_string;
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -172,6 +179,26 @@ impl Telemetry {
                 .expect("telemetry lock")
                 .metrics
                 .observe(name, bounds, x);
+        }
+    }
+
+    /// Merges a donor-shipped snapshot into this registry, every name
+    /// prefixed (e.g. `donor.c3.`), and bumps the bookkeeping counters:
+    /// `telemetry.reports_received` always, `telemetry.merge_errors` by
+    /// the number of histograms whose bounds did not line up (those are
+    /// skipped, everything else still merges). Returns the error count.
+    pub fn merge_snapshot_prefixed(&self, prefix: &str, snap: &MetricsSnapshot) -> u64 {
+        match &self.inner {
+            Some(inner) => {
+                let metrics = &mut inner.lock().expect("telemetry lock").metrics;
+                let errors = metrics.merge_prefixed(prefix, snap);
+                metrics.counter_add("telemetry.reports_received", 1);
+                if errors > 0 {
+                    metrics.counter_add("telemetry.merge_errors", errors);
+                }
+                errors
+            }
+            None => 0,
         }
     }
 

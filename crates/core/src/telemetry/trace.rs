@@ -231,6 +231,101 @@ pub enum EventKind {
         /// Stage name.
         stage: String,
     },
+    /// Donor-side: the unit's payload (and chunks) finished arriving at
+    /// the client — the end of the issue→donor transfer phase. Keyed by
+    /// the same `(problem, unit, client)` correlation id as the
+    /// server-side lease events, so donor-local activity lands in the
+    /// same span.
+    UnitDelivered {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The receiving client.
+        client: ClientId,
+    },
+    /// Donor-side: the client started executing the unit (after any
+    /// time queued behind an earlier unit in its prefetch pipeline).
+    ComputeStarted {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The computing client.
+        client: ClientId,
+    },
+    /// Donor-side: the client finished executing the unit. The gap to
+    /// `unit_combined` is the result-return + fold ("combine") phase.
+    ComputeFinished {
+        /// Problem id.
+        problem: ProblemId,
+        /// Unit id.
+        unit: UnitId,
+        /// The computing client.
+        client: ClientId,
+    },
+    /// Donor-side: a chunk fetch left the cache and hit the network.
+    ChunkFetchStarted {
+        /// The fetching client.
+        client: ClientId,
+        /// Content digest of the chunk.
+        digest: u64,
+    },
+    /// Donor-side: the chunk arrived and verified.
+    ChunkFetchFinished {
+        /// The fetching client.
+        client: ClientId,
+        /// Content digest of the chunk.
+        digest: u64,
+        /// Whether a replica (vs the origin) served it.
+        replica: bool,
+    },
+    /// Donor-side: the local chunk cache served a needed chunk.
+    CacheHit {
+        /// The client whose cache hit.
+        client: ClientId,
+        /// Content digest of the chunk.
+        digest: u64,
+    },
+    /// Donor-side: a needed chunk was absent from the local cache.
+    CacheMiss {
+        /// The client whose cache missed.
+        client: ClientId,
+        /// Content digest of the chunk.
+        digest: u64,
+    },
+    /// Donor-side: a routed replica candidate was skipped (dead or
+    /// stalled) and the fetch moved down the failover ladder.
+    ReplicaFailover {
+        /// The fetching client.
+        client: ClientId,
+        /// Index of the skipped replica.
+        replica: usize,
+    },
+    /// The health engine flagged a donor as a straggler/anomaly: its
+    /// recent speed-normalized service time diverged from its own
+    /// baseline by at least the configured ratio.
+    DonorFlagged {
+        /// The flagged donor.
+        client: ClientId,
+        /// Recent-over-baseline normalized service-time ratio at the
+        /// moment of flagging.
+        ratio: f64,
+    },
+    /// The health engine cleared a previously flagged donor (its
+    /// normalized service time recovered below the clear threshold).
+    DonorCleared {
+        /// The recovered donor.
+        client: ClientId,
+        /// Recent-over-baseline ratio at the moment of clearing.
+        ratio: f64,
+    },
+    /// A donor shipped its local metrics registry to the server
+    /// (`MetricsReport` frame on the wire, modeled cadence on the sim).
+    MetricsReported {
+        /// The shipping donor.
+        client: ClientId,
+    },
 }
 
 impl EventKind {
@@ -260,6 +355,17 @@ impl EventKind {
             EventKind::ReplayResult { .. } => "replay_result",
             EventKind::RecoveryDone { .. } => "recovery_done",
             EventKind::StageStarted { .. } => "stage_started",
+            EventKind::UnitDelivered { .. } => "unit_delivered",
+            EventKind::ComputeStarted { .. } => "compute_started",
+            EventKind::ComputeFinished { .. } => "compute_finished",
+            EventKind::ChunkFetchStarted { .. } => "chunk_fetch_started",
+            EventKind::ChunkFetchFinished { .. } => "chunk_fetch_finished",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::ReplicaFailover { .. } => "replica_failover",
+            EventKind::DonorFlagged { .. } => "donor_flagged",
+            EventKind::DonorCleared { .. } => "donor_cleared",
+            EventKind::MetricsReported { .. } => "metrics_reported",
         }
     }
 
@@ -384,8 +490,58 @@ impl EventKind {
                 u(s, "problem", *problem as u64);
                 t(s, "stage", stage);
             }
+            EventKind::UnitDelivered {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ComputeStarted {
+                problem,
+                unit,
+                client,
+            }
+            | EventKind::ComputeFinished {
+                problem,
+                unit,
+                client,
+            } => {
+                u(s, "problem", *problem as u64);
+                u(s, "unit", *unit);
+                u(s, "client", *client as u64);
+            }
+            EventKind::ChunkFetchStarted { client, digest }
+            | EventKind::CacheHit { client, digest }
+            | EventKind::CacheMiss { client, digest } => {
+                u(s, "client", *client as u64);
+                t(s, "digest", &format!("{digest:016x}"));
+            }
+            EventKind::ChunkFetchFinished {
+                client,
+                digest,
+                replica,
+            } => {
+                u(s, "client", *client as u64);
+                t(s, "digest", &format!("{digest:016x}"));
+                b(s, "replica", *replica);
+            }
+            EventKind::ReplicaFailover { client, replica } => {
+                u(s, "client", *client as u64);
+                u(s, "replica", *replica as u64);
+            }
+            EventKind::DonorFlagged { client, ratio }
+            | EventKind::DonorCleared { client, ratio } => {
+                u(s, "client", *client as u64);
+                f(s, "ratio", *ratio);
+            }
+            EventKind::MetricsReported { client } => u(s, "client", *client as u64),
         }
     }
+}
+
+/// Chunk digests serialize as 16-hex-digit strings (a JSON number would
+/// round large u64 values through f64 and lose low bits).
+fn digest_field(hex: &str) -> Result<u64, String> {
+    u64::from_str_radix(hex, 16).map_err(|e| format!("bad digest `{hex}`: {e}"))
 }
 
 /// One timestamped trace event.
@@ -535,6 +691,53 @@ impl TraceEvent {
             "stage_started" => EventKind::StageStarted {
                 problem: uint("problem")? as ProblemId,
                 stage: text("stage")?,
+            },
+            "unit_delivered" => EventKind::UnitDelivered {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "compute_started" => EventKind::ComputeStarted {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "compute_finished" => EventKind::ComputeFinished {
+                problem: uint("problem")? as ProblemId,
+                unit: uint("unit")?,
+                client: uint("client")? as ClientId,
+            },
+            "chunk_fetch_started" => EventKind::ChunkFetchStarted {
+                client: uint("client")? as ClientId,
+                digest: digest_field(&text("digest")?)?,
+            },
+            "chunk_fetch_finished" => EventKind::ChunkFetchFinished {
+                client: uint("client")? as ClientId,
+                digest: digest_field(&text("digest")?)?,
+                replica: boolean("replica")?,
+            },
+            "cache_hit" => EventKind::CacheHit {
+                client: uint("client")? as ClientId,
+                digest: digest_field(&text("digest")?)?,
+            },
+            "cache_miss" => EventKind::CacheMiss {
+                client: uint("client")? as ClientId,
+                digest: digest_field(&text("digest")?)?,
+            },
+            "replica_failover" => EventKind::ReplicaFailover {
+                client: uint("client")? as ClientId,
+                replica: uint("replica")? as usize,
+            },
+            "donor_flagged" => EventKind::DonorFlagged {
+                client: uint("client")? as ClientId,
+                ratio: num("ratio")?,
+            },
+            "donor_cleared" => EventKind::DonorCleared {
+                client: uint("client")? as ClientId,
+                ratio: num("ratio")?,
+            },
+            "metrics_reported" => EventKind::MetricsReported {
+                client: uint("client")? as ClientId,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -773,8 +976,17 @@ impl Drop for JsonlSink {
 /// lease, the loss of the client, or the completion of the whole
 /// problem (which clears its in-flight table) — and no unit completes
 /// without ever having been issued (or replayed from a checkpoint).
+///
+/// Donor-side `compute_started` sub-spans are held to the same
+/// standard: each must close — naturally via `compute_finished`, or via
+/// a fault event (lease expiry / corruption / dispute of that exact
+/// lease, loss / crash / departure of the donor, completion of the unit
+/// by a sibling, or completion of the whole problem). A
+/// `compute_finished` with no open sub-span is legal (the span was
+/// already fault-closed and the donor finished anyway).
 pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
     let mut open: BTreeSet<(ProblemId, UnitId, ClientId)> = BTreeSet::new();
+    let mut computing: BTreeSet<(ProblemId, UnitId, ClientId)> = BTreeSet::new();
     let mut ever_issued: BTreeSet<(ProblemId, UnitId)> = BTreeSet::new();
     for ev in events {
         match &ev.kind {
@@ -790,6 +1002,20 @@ pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
             EventKind::ReplayIssue { problem, unit } => {
                 ever_issued.insert((*problem, *unit));
             }
+            EventKind::ComputeStarted {
+                problem,
+                unit,
+                client,
+            } => {
+                computing.insert((*problem, *unit, *client));
+            }
+            EventKind::ComputeFinished {
+                problem,
+                unit,
+                client,
+            } => {
+                computing.remove(&(*problem, *unit, *client));
+            }
             EventKind::UnitCompleted { problem, unit, .. } => {
                 if !ever_issued.contains(&(*problem, *unit)) {
                     return Err(format!(
@@ -798,6 +1024,7 @@ pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
                     ));
                 }
                 open.retain(|&(p, u, _)| !(p == *problem && u == *unit));
+                computing.retain(|&(p, u, _)| !(p == *problem && u == *unit));
             }
             EventKind::LeaseExpired {
                 problem,
@@ -815,21 +1042,165 @@ pub fn verify_spans(events: &[TraceEvent]) -> Result<(), String> {
                 client,
             } => {
                 open.remove(&(*problem, *unit, *client));
+                computing.remove(&(*problem, *unit, *client));
             }
-            EventKind::ClientLost { client } => {
+            EventKind::ClientLost { client }
+            | EventKind::MachineCrashed { client, .. }
+            | EventKind::MachineDeparted { client } => {
                 open.retain(|&(_, _, c)| c != *client);
+                computing.retain(|&(_, _, c)| c != *client);
             }
             EventKind::ProblemCompleted { problem } => {
                 open.retain(|&(p, _, _)| p != *problem);
+                computing.retain(|&(p, _, _)| p != *problem);
             }
             _ => {}
         }
     }
-    if open.is_empty() {
-        Ok(())
-    } else {
-        Err(format!("unresolved leases at end of trace: {open:?}"))
+    if !open.is_empty() {
+        return Err(format!("unresolved leases at end of trace: {open:?}"));
     }
+    if !computing.is_empty() {
+        return Err(format!(
+            "unresolved compute sub-spans at end of trace: {computing:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Four-phase breakdown of one completed unit's end-to-end span, from
+/// its last `unit_issued` to its `unit_combined`, as seen by the client
+/// that won the lease:
+///
+/// * `transfer` — issue to donor-side `unit_delivered` (payload +
+///   chunks on the wire);
+/// * `queue_wait` — delivery to `compute_started` (time parked in the
+///   donor's prefetch pipeline);
+/// * `compute` — `compute_started` to `compute_finished` (kernel time);
+/// * `combine` — `compute_finished` to `unit_combined` (result return
+///   and server-side fold).
+///
+/// The four phases telescope: they sum to exactly the span length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitPhases {
+    /// Problem id.
+    pub problem: ProblemId,
+    /// Unit id.
+    pub unit: UnitId,
+    /// The client whose result was accepted.
+    pub client: ClientId,
+    /// Backend time of the winning lease's issue.
+    pub issued_at: f64,
+    /// Issue → donor delivery.
+    pub transfer: f64,
+    /// Donor delivery → compute start.
+    pub queue_wait: f64,
+    /// Compute start → compute finish.
+    pub compute: f64,
+    /// Compute finish → server-side fold.
+    pub combine: f64,
+}
+
+impl UnitPhases {
+    /// Total span length (sum of the four phases).
+    pub fn span(&self) -> f64 {
+        self.transfer + self.queue_wait + self.compute + self.combine
+    }
+}
+
+/// Extracts per-unit phase breakdowns from a whole-run trace. A unit
+/// contributes one entry when its winning `(problem, unit, client)`
+/// lease carries the full `unit_issued` → `unit_delivered` →
+/// `compute_started` → `compute_finished` → `unit_completed` →
+/// `unit_combined` chain; completed units missing any donor-side link
+/// (e.g. rescued straggler results or checkpoint replays) are tallied
+/// in the returned `incomplete` count instead. When the same client is
+/// reissued the same unit, the latest attempt's timestamps win.
+pub fn phase_breakdowns(events: &[TraceEvent]) -> (Vec<UnitPhases>, u64) {
+    use std::collections::BTreeMap;
+    type Key = (ProblemId, UnitId, ClientId);
+    let mut issued: BTreeMap<Key, f64> = BTreeMap::new();
+    let mut delivered: BTreeMap<Key, f64> = BTreeMap::new();
+    let mut started: BTreeMap<Key, f64> = BTreeMap::new();
+    let mut finished: BTreeMap<Key, f64> = BTreeMap::new();
+    // Completed units waiting for their `unit_combined`, carrying the
+    // winning client and its (issue, delivery, start, finish) times.
+    type PendingChain = (ClientId, f64, f64, f64, f64);
+    let mut pending: BTreeMap<(ProblemId, UnitId), PendingChain> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut incomplete = 0u64;
+    for ev in events {
+        match &ev.kind {
+            EventKind::UnitIssued {
+                problem,
+                unit,
+                client,
+                ..
+            } => {
+                issued.insert((*problem, *unit, *client), ev.t);
+            }
+            EventKind::UnitDelivered {
+                problem,
+                unit,
+                client,
+            } => {
+                delivered.insert((*problem, *unit, *client), ev.t);
+            }
+            EventKind::ComputeStarted {
+                problem,
+                unit,
+                client,
+            } => {
+                started.insert((*problem, *unit, *client), ev.t);
+            }
+            EventKind::ComputeFinished {
+                problem,
+                unit,
+                client,
+            } => {
+                finished.insert((*problem, *unit, *client), ev.t);
+            }
+            EventKind::UnitCompleted {
+                problem,
+                unit,
+                client,
+                ..
+            } => {
+                let key = (*problem, *unit, *client);
+                match (
+                    issued.get(&key),
+                    delivered.get(&key),
+                    started.get(&key),
+                    finished.get(&key),
+                ) {
+                    (Some(&t_iss), Some(&t_del), Some(&t_start), Some(&t_fin)) => {
+                        pending.insert((*problem, *unit), (*client, t_iss, t_del, t_start, t_fin));
+                    }
+                    _ => incomplete += 1,
+                }
+            }
+            EventKind::UnitCombined { problem, unit } => {
+                if let Some((client, t_iss, t_del, t_start, t_fin)) =
+                    pending.remove(&(*problem, *unit))
+                {
+                    out.push(UnitPhases {
+                        problem: *problem,
+                        unit: *unit,
+                        client,
+                        issued_at: t_iss,
+                        transfer: t_del - t_iss,
+                        queue_wait: t_start - t_del,
+                        compute: t_fin - t_start,
+                        combine: ev.t - t_fin,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // Completed but never combined: the chain is broken, count it.
+    incomplete += pending.len() as u64;
+    (out, incomplete)
 }
 
 #[cfg(test)]
@@ -984,6 +1355,81 @@ mod tests {
                     stage: "insert:taxon 3".into(),
                 },
             ),
+            ev(
+                14.5,
+                EventKind::UnitDelivered {
+                    problem: 0,
+                    unit: 8,
+                    client: 2,
+                },
+            ),
+            ev(
+                14.6,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 8,
+                    client: 2,
+                },
+            ),
+            ev(
+                15.0,
+                EventKind::ComputeFinished {
+                    problem: 0,
+                    unit: 8,
+                    client: 2,
+                },
+            ),
+            ev(
+                15.1,
+                EventKind::ChunkFetchStarted {
+                    client: 2,
+                    digest: 0xdead_beef_cafe_f00d,
+                },
+            ),
+            ev(
+                15.2,
+                EventKind::ChunkFetchFinished {
+                    client: 2,
+                    digest: 0xdead_beef_cafe_f00d,
+                    replica: true,
+                },
+            ),
+            ev(
+                15.3,
+                EventKind::CacheHit {
+                    client: 2,
+                    digest: u64::MAX,
+                },
+            ),
+            ev(
+                15.4,
+                EventKind::CacheMiss {
+                    client: 2,
+                    digest: 7,
+                },
+            ),
+            ev(
+                15.5,
+                EventKind::ReplicaFailover {
+                    client: 2,
+                    replica: 1,
+                },
+            ),
+            ev(
+                16.0,
+                EventKind::DonorFlagged {
+                    client: 3,
+                    ratio: 9.75,
+                },
+            ),
+            ev(
+                17.0,
+                EventKind::DonorCleared {
+                    client: 3,
+                    ratio: 1.25,
+                },
+            ),
+            ev(18.0, EventKind::MetricsReported { client: 3 }),
             ev(20.0, EventKind::ProblemCompleted { problem: 0 }),
         ];
         for e in events {
@@ -1079,6 +1525,218 @@ mod tests {
             verify_spans(&orphan).is_err(),
             "completion without issue must fail"
         );
+    }
+
+    fn issue(t: f64, unit: UnitId, client: ClientId) -> TraceEvent {
+        ev(
+            t,
+            EventKind::UnitIssued {
+                problem: 0,
+                unit,
+                client,
+                redundant: false,
+            },
+        )
+    }
+
+    fn phase_chain(unit: UnitId, client: ClientId, t0: f64) -> Vec<TraceEvent> {
+        vec![
+            issue(t0, unit, client),
+            ev(
+                t0 + 1.0,
+                EventKind::UnitDelivered {
+                    problem: 0,
+                    unit,
+                    client,
+                },
+            ),
+            ev(
+                t0 + 1.5,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit,
+                    client,
+                },
+            ),
+            ev(
+                t0 + 4.0,
+                EventKind::ComputeFinished {
+                    problem: 0,
+                    unit,
+                    client,
+                },
+            ),
+            ev(
+                t0 + 4.25,
+                EventKind::UnitCompleted {
+                    problem: 0,
+                    unit,
+                    client,
+                    latency: 4.25,
+                },
+            ),
+            ev(t0 + 4.5, EventKind::UnitCombined { problem: 0, unit }),
+        ]
+    }
+
+    #[test]
+    fn compute_subspans_must_close() {
+        // Natural close.
+        verify_spans(&phase_chain(1, 0, 0.0)).expect("finished compute span is clean");
+
+        // A compute span left dangling fails (all leases resolved, so
+        // the compute-specific check is what trips).
+        let dangling = vec![
+            issue(0.0, 1, 0),
+            ev(
+                1.0,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::LeaseExpired {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                },
+            ),
+            ev(
+                2.5,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 2,
+                    client: 1,
+                },
+            ),
+        ];
+        let err = verify_spans(&dangling).expect_err("dangling compute span must fail");
+        assert!(err.contains("compute sub-spans"), "got: {err}");
+
+        // A donor crash mid-compute closes the orphan span.
+        let crashed = vec![
+            issue(0.0, 1, 0),
+            ev(
+                1.0,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::MachineCrashed {
+                    client: 0,
+                    down_secs: 30.0,
+                },
+            ),
+        ];
+        verify_spans(&crashed).expect("crash fault-closes the orphan span and lease");
+
+        // A sibling completing the unit closes the slower donor's span;
+        // the slow donor's late compute_finished is then a no-op.
+        let sibling = vec![
+            issue(0.0, 1, 0),
+            issue(0.0, 1, 1),
+            ev(
+                1.0,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                },
+            ),
+            ev(
+                1.0,
+                EventKind::ComputeStarted {
+                    problem: 0,
+                    unit: 1,
+                    client: 1,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::UnitCompleted {
+                    problem: 0,
+                    unit: 1,
+                    client: 1,
+                    latency: 2.0,
+                },
+            ),
+            ev(
+                3.0,
+                EventKind::ComputeFinished {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                },
+            ),
+        ];
+        verify_spans(&sibling).expect("sibling completion closes both compute spans");
+    }
+
+    #[test]
+    fn phase_breakdowns_telescope_to_span_length() {
+        let trace = phase_chain(1, 0, 10.0);
+        let (phases, incomplete) = phase_breakdowns(&trace);
+        assert_eq!(incomplete, 0);
+        assert_eq!(phases.len(), 1);
+        let p = &phases[0];
+        assert_eq!((p.problem, p.unit, p.client), (0, 1, 0));
+        assert_eq!(p.issued_at, 10.0);
+        assert_eq!(p.transfer, 1.0);
+        assert_eq!(p.queue_wait, 0.5);
+        assert_eq!(p.compute, 2.5);
+        assert_eq!(p.combine, 0.5);
+        assert!((p.span() - 4.5).abs() < 1e-12, "span telescopes");
+    }
+
+    #[test]
+    fn phase_breakdowns_count_broken_chains() {
+        // Completed without any donor-side events: rescued result.
+        let rescue = vec![
+            issue(0.0, 1, 0),
+            ev(
+                2.0,
+                EventKind::UnitCompleted {
+                    problem: 0,
+                    unit: 1,
+                    client: 0,
+                    latency: 2.0,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::UnitCombined {
+                    problem: 0,
+                    unit: 1,
+                },
+            ),
+        ];
+        let (phases, incomplete) = phase_breakdowns(&rescue);
+        assert!(phases.is_empty());
+        assert_eq!(incomplete, 1);
+
+        // Reissue to the same client: latest attempt's timestamps win.
+        let mut reissued = phase_chain(1, 0, 0.0);
+        reissued.truncate(4); // first attempt dies after compute_finished
+        reissued.push(ev(
+            5.0,
+            EventKind::LeaseExpired {
+                problem: 0,
+                unit: 1,
+                client: 0,
+            },
+        ));
+        reissued.extend(phase_chain(1, 0, 100.0));
+        let (phases, incomplete) = phase_breakdowns(&reissued);
+        assert_eq!(incomplete, 0);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].issued_at, 100.0);
     }
 
     #[test]

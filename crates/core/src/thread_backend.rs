@@ -121,6 +121,25 @@ pub fn run_threaded_faulty(
                             // that actually runs in parallel.
                             drop(guard);
                             let unit_start = now();
+                            // Delivery is instantaneous in-process, so
+                            // the transfer and queue-wait phases of this
+                            // unit's span collapse to zero.
+                            tel.emit_at(
+                                unit_start,
+                                crate::telemetry::EventKind::UnitDelivered {
+                                    problem,
+                                    unit: unit.id,
+                                    client: worker,
+                                },
+                            );
+                            tel.emit_at(
+                                unit_start,
+                                crate::telemetry::EventKind::ComputeStarted {
+                                    problem,
+                                    unit: unit.id,
+                                    client: worker,
+                                },
+                            );
                             let result = algorithm.compute(&unit);
                             let factor = injector
                                 .lock()
@@ -142,6 +161,16 @@ pub fn run_threaded_faulty(
                                 .find(|&&(at, down)| at <= done && at + down > unit_start)
                                 .copied();
                             if let Some((at, down)) = crashed {
+                                // The crash orphans this unit's compute
+                                // sub-span; the crash event closes every
+                                // span the worker held.
+                                tel.emit_at(
+                                    done,
+                                    crate::telemetry::EventKind::MachineCrashed {
+                                        client: worker,
+                                        down_secs: down,
+                                    },
+                                );
                                 std::thread::sleep(wall(at + down - now()));
                                 guard = shared.lock().expect("server lock");
                                 continue;
@@ -153,6 +182,14 @@ pub fn run_threaded_faulty(
                                     inj.wrong_result(worker, done),
                                 )
                             };
+                            tel.emit_at(
+                                done,
+                                crate::telemetry::EventKind::ComputeFinished {
+                                    problem,
+                                    unit: unit.id,
+                                    client: worker,
+                                },
+                            );
                             guard = shared.lock().expect("server lock");
                             // A Byzantine donor lies: flip the encoded
                             // payload bytes before framing — the wire

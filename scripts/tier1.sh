@@ -15,12 +15,16 @@ cargo test -q --offline
 # recovery, the 24-donor stress soak with its ≥90% second-pass
 # cache-reduction assertion, the Byzantine quorum tier (100-seed
 # sim sweeps per application plus thread/TCP sweeps and the K=1
-# negative control), and the replica-tier acceptance runs (failover
-# through killed/stalled replicas against the sequential digest).
+# negative control), the replica-tier acceptance runs (failover
+# through killed/stalled replicas against the sequential digest), and
+# the ops-plane suite (wire-correlated four-phase spans, donor metrics
+# shipping into the live status view, and the straggler-detector
+# acceptance scenario on both the simulator and loopback TCP).
 cargo test -q --offline --test chaos tcp
 cargo test -q --offline --test net_recovery
 cargo test -q --offline --test stress
 cargo test -q --offline --test byzantine
 cargo test -q --offline --test replica
+cargo test -q --offline --test ops
 
 echo "tier1: OK"

@@ -814,3 +814,113 @@ fn replica_selection_is_deterministic_and_avoids_dead_endpoints() {
         );
     }
 }
+
+// ----------------------------------------------------- health engine
+
+use biodist::core::{HealthConfig, HealthEngine, HealthTransition};
+
+/// A healthy donor's normalized service time: its speed estimate has
+/// converged, so observed/predicted hovers around 1 with schedule and
+/// wire jitter.
+fn healthy_obs(rng: &mut dyn Rng) -> f64 {
+    rng.next_f64_range(0.75, 1.35)
+}
+
+#[test]
+fn health_engine_is_deterministic_under_seed() {
+    for case in 0..CASES as u64 {
+        let mut rng = Xoshiro256StarStar::new(0x9EA1 + case);
+        // One shared observation stream, replayed into two engines.
+        let stream: Vec<(usize, f64)> = (0..300)
+            .map(|_| {
+                let client = rng.next_below(8) as usize;
+                let x = if rng.next_bool(0.1) {
+                    rng.next_f64_range(4.0, 12.0) // occasional spike
+                } else {
+                    healthy_obs(&mut rng)
+                };
+                (client, x)
+            })
+            .collect();
+        let mut a = HealthEngine::new(HealthConfig::default());
+        let mut b = HealthEngine::new(HealthConfig::default());
+        for &(client, x) in &stream {
+            let ta = a.observe(client, x);
+            let tb = b.observe(client, x);
+            assert_eq!(ta, tb, "same stream, same transitions (case={case})");
+        }
+        assert_eq!(a.flagged_clients(), b.flagged_clients());
+        assert_eq!(a.transition_counts(), b.transition_counts());
+        for c in 0..8 {
+            assert_eq!(a.ratio(c), b.ratio(c), "per-donor ratio (case={case})");
+        }
+        assert_eq!(a.pool_quantile(0.95), b.pool_quantile(0.95));
+    }
+}
+
+#[test]
+fn planted_10x_straggler_is_always_flagged_within_three_slow_results() {
+    for case in 0..CASES as u64 {
+        let mut rng = Xoshiro256StarStar::new(0xF1A6 + case);
+        let mut engine = HealthEngine::new(HealthConfig::default());
+        let straggler = rng.next_below(8) as usize;
+        // Warmup: everyone healthy, long enough to pass the
+        // min-observations gate.
+        let warmup = rng.next_range(5, 20);
+        for _ in 0..warmup {
+            for c in 0..8 {
+                assert!(engine.observe(c, healthy_obs(&mut rng)).is_none());
+            }
+        }
+        // Onset: the straggler's results now take ~10× what its speed
+        // predicts; the rest of the pool is unchanged.
+        let mut flagged_after = None;
+        for round in 1..=3u32 {
+            for c in 0..8 {
+                let x = if c == straggler {
+                    10.0 * healthy_obs(&mut rng)
+                } else {
+                    healthy_obs(&mut rng)
+                };
+                match engine.observe(c, x) {
+                    Some(HealthTransition::Flagged { ratio }) => {
+                        assert_eq!(c, straggler, "only the straggler flags (case={case})");
+                        assert!(ratio >= engine.config().straggler_ratio);
+                        flagged_after.get_or_insert(round);
+                    }
+                    Some(HealthTransition::Cleared { .. }) => {
+                        panic!("nothing to clear in this stream (case={case})")
+                    }
+                    None => {}
+                }
+            }
+        }
+        let after = flagged_after.unwrap_or_else(|| {
+            panic!("10x straggler never flagged within 3 slow results (case={case})")
+        });
+        assert!(after <= 3);
+        assert_eq!(engine.flagged_clients(), vec![straggler]);
+    }
+}
+
+#[test]
+fn honest_but_slow_machine_is_never_flagged() {
+    // Normalization divides by the donor's *own* predicted service
+    // time, so a machine that is uniformly 20× slower — but honest
+    // about it — looks exactly like a fast one to the detector. Only
+    // *departure from its own established pace* may flag.
+    for case in 0..CASES as u64 {
+        let mut rng = Xoshiro256StarStar::new(0x510C + case);
+        let mut engine = HealthEngine::new(HealthConfig::default());
+        // The speed scale cancels out of the normalized observation;
+        // model it anyway to document what the property means.
+        let _speed_scale = rng.next_f64_range(2.0, 50.0);
+        for _ in 0..200 {
+            if let Some(t) = engine.observe(0, healthy_obs(&mut rng)) {
+                panic!("steady-paced donor transitioned: {t:?} (case={case})");
+            }
+        }
+        assert!(!engine.is_flagged(0));
+        assert!(engine.transition_counts() == (0, 0));
+    }
+}
