@@ -58,9 +58,10 @@ pub use fault::{
 };
 pub use health::{HealthConfig, HealthEngine, HealthTransition, RATIO_BOUNDS};
 pub use net::{
-    chunk_digest, recover, recover_traced, run_tcp, run_tcp_faulty, run_tcp_replicated, Backoff,
-    CacheStats, CheckpointWriter, ChunkCache, ChunkStore, Directory, FaultProxy, NetClientOptions,
-    NetServer, NetServerOptions, RecoveryReport, ReplicaServer, REPLICA_CLIENT_ID,
+    chunk_digest, raise_nofile_limit, recover, recover_traced, run_tcp, run_tcp_faulty,
+    run_tcp_replicated, run_tcp_with, Backoff, CacheStats, CheckpointWriter, ChunkCache,
+    ChunkStore, Directory, FaultProxy, NetClientOptions, NetServer, NetServerOptions,
+    RecoveryReport, ReplicaServer, ShardQueues, REPLICA_CLIENT_ID,
 };
 pub use problem::{Algorithm, DataManager, Payload, Problem, TaskResult, UnitId, WorkUnit};
 pub use quorum::{QuorumTally, VoteOutcome};

@@ -464,9 +464,55 @@ impl ClientLoop {
         }
         match self.queue.pop_front() {
             Some(qu) => self.compute_queued(qu),
-            None => thread::sleep(self.clock.wall(self.opts.poll_interval)),
+            None => self.parked_wait(self.opts.poll_interval),
         }
         Step::Continue
+    }
+
+    /// A real parked wait with a deadline, replacing the old fixed
+    /// sleep after a `Wait`: the client blocks *on the socket* for up
+    /// to `scaled_secs`, so any inbound frame (a replica
+    /// re-announcement, a stale ack) ends the pause immediately instead
+    /// of after a poll tick. Degrades to a plain sleep with no
+    /// connection.
+    fn parked_wait(&mut self, scaled_secs: f64) {
+        let wall = self.clock.wall(scaled_secs);
+        if self.conn.is_none() {
+            thread::sleep(wall);
+            return;
+        }
+        let deadline = std::time::Instant::now() + wall;
+        if let Some((stream, _)) = self.conn.as_mut() {
+            let _ = stream.set_read_timeout(Some(wall.max(Duration::from_millis(1))));
+        }
+        loop {
+            if self.run_over.load(Ordering::SeqCst) {
+                break;
+            }
+            let Some((stream, reader)) = self.conn.as_mut() else {
+                return;
+            };
+            match reader.poll(stream) {
+                Ok(Some(Frame::ReplicaAnnounce { endpoints })) => {
+                    self.directory.merge_replicas(&endpoints);
+                    break;
+                }
+                Ok(Some(_)) => break, // any inbound frame ends the pause
+                Ok(None) => {
+                    if std::time::Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                Err(ReadError::Decode(_)) => break,
+                Err(ReadError::Io(_)) => {
+                    self.drop_conn();
+                    return;
+                }
+            }
+        }
+        if let Some((stream, _)) = self.conn.as_mut() {
+            let _ = stream.set_read_timeout(Some(self.opts.read_timeout_wall));
+        }
     }
 
     /// Decodes an assignment, fetches the chunks it needs (donor cache

@@ -27,8 +27,10 @@ pub mod backoff;
 pub mod cache;
 pub mod checkpoint;
 pub mod client;
+pub mod evloop;
 pub mod proxy;
 pub mod server;
+pub mod shard;
 pub mod store;
 pub mod wire;
 
@@ -36,8 +38,10 @@ pub use backoff::Backoff;
 pub use cache::{chunk_digest, CacheStats, ChunkCache};
 pub use checkpoint::{recover, recover_traced, CheckpointWriter, LogRecord, RecoveryReport};
 pub use client::{spawn_clients, ClientKit, NetClientOptions};
+pub use evloop::raise_nofile_limit;
 pub use proxy::FaultProxy;
 pub use server::{NetServer, NetServerOptions};
+pub use shard::ShardQueues;
 pub use store::{ChunkStore, ReplicaServer, REPLICA_CLIENT_ID};
 
 use crate::fault::FaultPlan;
@@ -251,12 +255,38 @@ pub fn run_tcp_replicated(
     plan: &FaultPlan,
     time_scale: f64,
 ) -> (Server, f64) {
+    run_tcp_with(
+        server,
+        n_clients,
+        n_replicas,
+        plan,
+        time_scale,
+        NetServerOptions::default(),
+    )
+}
+
+/// [`run_tcp_replicated`] with explicit [`NetServerOptions`] — the way
+/// to run any existing workload on a sharded control plane (set
+/// `opts.shards`; `BIODIST_NET_SHARDS` does the same for the default
+/// options, making every TCP suite shard-parameterizable from the
+/// environment).
+///
+/// # Panics
+/// Panics if any submitted problem lacks a codec, or if loopback
+/// sockets cannot be created.
+pub fn run_tcp_with(
+    server: Server,
+    n_clients: usize,
+    n_replicas: usize,
+    plan: &FaultPlan,
+    time_scale: f64,
+    opts: NetServerOptions,
+) -> (Server, f64) {
     assert!(n_clients >= 1, "need at least one client");
     let kit = ClientKit::from_server(&server).expect("TCP backend requires codecs");
     let telemetry = server.telemetry();
     let clock = Clock::new(time_scale);
-    let net = NetServer::start(server, clock, NetServerOptions::default())
-        .expect("bind loopback listener");
+    let net = NetServer::start(server, clock, opts).expect("bind loopback listener");
     let upstream = Directory::with_origin(net.addr());
     let replicas: Vec<ReplicaServer> = (0..n_replicas)
         .map(|r| {

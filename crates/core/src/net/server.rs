@@ -1,22 +1,39 @@
-//! The TCP-facing server: accept loop, per-connection frame handlers,
-//! and a ticker thread for lease sweeps, heartbeat liveness and
-//! periodic scheduler snapshots.
+//! The TCP-facing server: a nonblocking readiness event loop with a
+//! sharded dispatch plane.
 //!
-//! The [`crate::Server`] itself stays single-threaded behind a mutex —
-//! exactly the paper's design, where one server process coordinated
-//! ~200 donors and the per-request critical section is tiny (scheduling
-//! is O(clients), folding is the `DataManager`'s job). Connection
-//! handlers only hold the lock for the duration of one request; unit
-//! computation happens on the far side of the socket.
+//! The paper's server was thread-per-connection Java — fine for ~200
+//! donors, O(threads) beyond that. Here the transport runs on a fixed
+//! thread count: one blocking acceptor, `shards` event-loop threads
+//! (each owning a [`super::evloop::Poller`], its connections' read/
+//! write buffers and frame reassembly), and one ticker for lease
+//! sweeps, heartbeat liveness and periodic checkpoint snapshots. No
+//! thread is ever dedicated to a donor, and no loop polls on a sleep:
+//! every wakeup is readiness (bytes, buffer space, or a
+//! [`super::evloop::Waker`] poke for cross-thread handoff).
+//!
+//! Scheduling authority stays central — one [`crate::Server`] behind
+//! one mutex keeps leases, folds, quorum votes, reputation, health and
+//! recovery exactly as before (the protocol and every fault-tolerance
+//! path are unchanged). What shards is *dispatch*: each event-loop
+//! thread owns a claimed-unit queue ([`super::shard::ShardQueues`])
+//! filled in batches under the server lock, drained without touching
+//! the data managers, and work-stolen by sibling shards when one runs
+//! dry. Donors are routed to their home shard (`client % shards`)
+//! exactly once, at the first client-bearing frame: the accepting
+//! shard ships the whole connection — buffers and all — to the home
+//! shard's inbox and wakes it.
 
 use super::checkpoint::CheckpointWriter;
-use super::wire::{encode_frame, DecodeError, Frame, FrameReader, ReadError, SUBMIT_RESULT_TYPE};
+use super::evloop::{drain_wakes, raw_fd, thread_cpu_ticks, waker_pair, Event, Poller, Waker};
+use super::shard::ShardQueues;
+use super::wire::{encode_frame, DecodeError, Frame, FrameAssembler, SUBMIT_RESULT_TYPE};
 use super::Clock;
 use crate::codec::ByteReader;
 use crate::sched::ClientId;
 use crate::server::{Assignment, Server};
-use std::collections::HashMap;
-use std::io::{self, Write};
+use crate::telemetry::Telemetry;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -41,17 +58,56 @@ pub struct NetServerOptions {
     /// estimates. (Unit issue/fold journaling is separate: install the
     /// writer as the server's journal via [`crate::Server::set_journal`].)
     pub checkpoint: Option<CheckpointWriter>,
+    /// Event-loop shards serving connections. Donors are homed by
+    /// `client % shards`. 1 (the default, overridable via the
+    /// `BIODIST_NET_SHARDS` env var) is drop-in identical to the
+    /// unsharded dispatch path.
+    pub shards: usize,
+    /// Fresh units a shard claims from the server per refill of its
+    /// claimed-unit queue (only used when `shards > 1`).
+    pub claim_batch: usize,
 }
 
 impl Default for NetServerOptions {
     fn default() -> Self {
+        let shards = std::env::var("BIODIST_NET_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         Self {
             liveness_timeout: 5.0,
             tick_wall: Duration::from_millis(2),
             snapshot_every_ticks: 50,
             checkpoint: None,
+            shards,
+            claim_batch: 4,
         }
     }
+}
+
+/// A connection handed to a shard: fresh from the acceptor, or
+/// migrated whole (buffers, reassembly state, queued frames) from the
+/// shard that accepted it to the donor's home shard.
+enum Inbound {
+    Fresh(TcpStream),
+    Migrated(Box<MigratedConn>),
+}
+
+struct MigratedConn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    out: Vec<u8>,
+    out_pos: usize,
+    client: Option<u64>,
+    /// Frames already reassembled but not yet handled, starting with
+    /// the one that triggered the migration.
+    pending: Vec<Frame>,
+}
+
+struct ShardHandle {
+    inbox: Mutex<Vec<Inbound>>,
+    waker: Waker,
 }
 
 struct Shared {
@@ -60,15 +116,26 @@ struct Shared {
     server: Mutex<Option<Server>>,
     done: Condvar,
     last_seen: Mutex<HashMap<ClientId, f64>>,
-    /// Hard stop: handlers and the accept loop exit promptly.
+    /// Hard stop: shard loops and the accept loop exit promptly.
     kill: AtomicBool,
     /// Cloned off the server at start so wire-level counters and sweep
     /// events don't need the server lock.
-    telemetry: crate::telemetry::Telemetry,
+    telemetry: Telemetry,
     /// Chunk replica endpoints, announced to every donor on `Hello`
     /// and snapshotted to the checkpoint log. Set after start (replicas
     /// bind once the origin's address is known).
     replicas: Mutex<Vec<SocketAddr>>,
+    /// Per-shard claimed-unit queues (the sharded dispatch plane).
+    queues: ShardQueues,
+    /// Per-shard connection inboxes and wakers.
+    shards: Vec<ShardHandle>,
+}
+
+impl Shared {
+    fn hand_to_shard(&self, shard: usize, inbound: Inbound) {
+        self.shards[shard].inbox.lock().unwrap().push(inbound);
+        self.shards[shard].waker.wake();
+    }
 }
 
 /// A running TCP server around a [`Server`]. Bind with [`NetServer::start`],
@@ -80,15 +147,29 @@ pub struct NetServer {
     shared: Arc<Shared>,
     accept_thread: JoinHandle<()>,
     ticker_thread: JoinHandle<()>,
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Binds an ephemeral loopback port and starts serving `server`.
     pub fn start(server: Server, clock: Clock, opts: NetServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let telemetry = server.telemetry();
+        let n_shards = opts.shards.max(1);
+        // The whole transport is this many threads, donors be damned:
+        // the scale tier asserts it from the metrics registry.
+        telemetry.gauge_set("evloop.threads", (n_shards + 2) as f64);
+        let mut handles = Vec::with_capacity(n_shards);
+        let mut rxs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (waker, rx) = waker_pair()?;
+            handles.push(ShardHandle {
+                inbox: Mutex::new(Vec::new()),
+                waker,
+            });
+            rxs.push(rx);
+        }
         let shared = Arc::new(Shared {
             server: Mutex::new(Some(server)),
             done: Condvar::new(),
@@ -96,21 +177,45 @@ impl NetServer {
             kill: AtomicBool::new(false),
             telemetry,
             replicas: Mutex::new(Vec::new()),
+            queues: ShardQueues::new(n_shards),
+            shards: handles,
         });
+        let shard_threads = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, rx)| {
+                let shared = shared.clone();
+                let opts = opts.clone();
+                thread::spawn(move || {
+                    with_cpu_accounting(&shared.telemetry.clone(), || {
+                        shard_loop(idx, &shared, clock, rx, &opts)
+                    })
+                })
+            })
+            .collect();
         let accept_thread = {
             let shared = shared.clone();
-            thread::spawn(move || accept_loop(&listener, &shared, clock))
+            thread::spawn(move || {
+                with_cpu_accounting(&shared.telemetry.clone(), || {
+                    accept_loop(&listener, &shared)
+                })
+            })
         };
         let ticker_thread = {
             let shared = shared.clone();
             let opts = opts.clone();
-            thread::spawn(move || ticker_loop(&shared, clock, &opts))
+            thread::spawn(move || {
+                with_cpu_accounting(&shared.telemetry.clone(), || {
+                    ticker_loop(&shared, clock, &opts)
+                })
+            })
         };
         Ok(Self {
             addr,
             shared,
             accept_thread,
             ticker_thread,
+            shard_threads,
         })
     }
 
@@ -166,66 +271,430 @@ impl NetServer {
 
     fn shutdown(self) {
         self.shared.kill.store(true, Ordering::SeqCst);
+        // Unblock the acceptor (blocked in accept) with a throwaway
+        // connection, and every shard loop with a wake.
+        let _ = TcpStream::connect(self.addr);
+        for s in &self.shared.shards {
+            s.waker.wake();
+        }
         let _ = self.accept_thread.join();
         let _ = self.ticker_thread.join();
+        for t in self.shard_threads {
+            let _ = t.join();
+        }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, clock: Clock) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.kill.load(Ordering::SeqCst) {
+/// Runs `f`, then charges this thread's CPU time (user + system, in
+/// kernel ticks) to the `evloop.cpu_ticks` counter — the scale bench's
+/// measure of *server-side* cost, isolated from donor threads sharing
+/// the process.
+fn with_cpu_accounting(telemetry: &Telemetry, f: impl FnOnce()) {
+    let start = thread_cpu_ticks();
+    f();
+    if let (Some(s), Some(e)) = (start, thread_cpu_ticks()) {
+        telemetry.counter_add("evloop.cpu_ticks", e.saturating_sub(s));
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Blocking accept: no polling sleep. Shutdown unblocks it with a
+    // throwaway self-connection after raising the kill flag.
+    let mut next = 0usize;
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                let shared = shared.clone();
-                handlers.push(thread::spawn(move || {
-                    handle_connection(stream, &shared, clock)
-                }));
+                if shared.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Round-robin the raw connection; the donor's first
+                // client-bearing frame migrates it to its home shard.
+                shared.hand_to_shard(next, Inbound::Fresh(stream));
+                next = (next + 1) % shared.shards.len();
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_micros(500));
+            Err(_) => {
+                if shared.kill.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly instead of spinning on the error.
+                thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => thread::sleep(Duration::from_millis(1)),
         }
-    }
-    for h in handlers {
-        let _ = h.join();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
-    let mut reader = FrameReader::new();
-    loop {
-        if shared.kill.load(Ordering::SeqCst) {
+/// Poller token of the shard's waker read-end; connections start at 1.
+const WAKE_TOKEN: u64 = 0;
+
+struct Conn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Client id this connection last spoke for (routing + gauges).
+    client: Option<u64>,
+    /// Homed: the first client-bearing frame was handled on this shard
+    /// (directly or after one migration). Never migrates again.
+    routed: bool,
+    /// Whether the poller currently watches for writability.
+    want_write: bool,
+}
+
+impl Conn {
+    fn fresh(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            asm: FrameAssembler::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            client: None,
+            routed: false,
+            want_write: false,
+        })
+    }
+
+    fn queue_reply(&mut self, frame: &Frame, telemetry: &Telemetry) {
+        let bytes = encode_frame(frame);
+        telemetry.counter_add("net.frames_out", 1);
+        telemetry.counter_add("net.bytes_out", bytes.len() as u64);
+        self.out.extend_from_slice(&bytes);
+    }
+
+    /// Writes buffered output until done or the socket would block.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Reads every available byte into the assembler. `Ok(true)` = EOF.
+    fn read_available(&mut self) -> io::Result<bool> {
+        let mut buf = [0u8; 16384];
+        loop {
+            match (&self.stream).read(&mut buf) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.asm.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// What handling one frame decided about the connection.
+enum Action {
+    /// Keep serving it (a reply may be queued).
+    Keep,
+    /// Drop it (graceful goodbye, server gone, or write/protocol
+    /// failure). Leases are NOT dropped — reconnects and the liveness
+    /// sweep handle real departures.
+    Close,
+    /// First client-bearing frame homed elsewhere: ship the connection
+    /// to shard `.0`, with `.1` as the first pending frame.
+    Migrate(usize, Frame),
+}
+
+fn shard_loop(
+    shard: usize,
+    shared: &Arc<Shared>,
+    clock: Clock,
+    mut wake_rx: TcpStream,
+    opts: &NetServerOptions,
+) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    if poller.add(raw_fd(&wake_rx), WAKE_TOKEN, false).is_err() {
+        return;
+    }
+    let mut ctx = ShardCtx {
+        shard,
+        n_shards: shared.shards.len(),
+        shared,
+        clock,
+        opts,
+        poller,
+        conns: HashMap::new(),
+        next_token: WAKE_TOKEN + 1,
+        seen_clients: HashSet::new(),
+    };
+    let mut events: Vec<Event> = Vec::new();
+    while !shared.kill.load(Ordering::SeqCst) {
+        // Adopt connections handed over by the acceptor or a sibling.
+        let inbox: Vec<Inbound> = std::mem::take(&mut *shared.shards[shard].inbox.lock().unwrap());
+        for inbound in inbox {
+            ctx.adopt(inbound);
+        }
+        events.clear();
+        if ctx.poller.wait(10, &mut events).is_err() {
             return;
         }
-        let frame = match reader.poll(&mut stream) {
-            Ok(Some(frame)) => {
-                shared.telemetry.counter_add("net.frames_in", 1);
-                frame
-            }
-            Ok(None) => continue, // read timeout: re-check the kill flag
-            Err(ReadError::Decode(DecodeError::BodyCrc {
-                frame_type,
-                body_prefix,
-            })) => {
-                shared.telemetry.counter_add("net.crc_failures", 1);
-                // A corrupt frame is detected, not fatal: a mangled
-                // result still routes to the reissue path (its id
-                // fields are in the prefix), and the stream already
-                // resynced past the frame.
-                if frame_type == SUBMIT_RESULT_TYPE {
-                    handle_corrupt_result(&body_prefix, shared, clock, &mut stream);
-                }
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                drain_wakes(&mut wake_rx);
                 continue;
             }
-            // EOF, socket error, or an unrecoverable decode: drop the
-            // connection but NOT the client's leases — it may be a
-            // crash-rejoin or reconnect. True departures are reclaimed
-            // by the liveness sweep / lease timeouts.
-            Err(_) => return,
+            ctx.service(ev.token, ev.readable, ev.writable);
+        }
+    }
+}
+
+struct ShardCtx<'a> {
+    shard: usize,
+    n_shards: usize,
+    shared: &'a Arc<Shared>,
+    clock: Clock,
+    opts: &'a NetServerOptions,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Distinct donors homed on this shard (drives `shard.s<i>.clients`).
+    seen_clients: HashSet<u64>,
+}
+
+impl ShardCtx<'_> {
+    fn adopt(&mut self, inbound: Inbound) {
+        let (conn, pending) = match inbound {
+            Inbound::Fresh(stream) => match Conn::fresh(stream) {
+                Ok(c) => (c, Vec::new()),
+                Err(_) => return,
+            },
+            Inbound::Migrated(m) => {
+                let MigratedConn {
+                    stream,
+                    asm,
+                    out,
+                    out_pos,
+                    client,
+                    pending,
+                } = *m;
+                let conn = Conn {
+                    stream,
+                    asm,
+                    out,
+                    out_pos,
+                    client,
+                    // Migration lands the connection on its home shard;
+                    // the pending frames must not bounce it again.
+                    routed: true,
+                    want_write: false,
+                };
+                (conn, pending)
+            }
         };
+        self.finish_adopt(conn, pending);
+    }
+
+    fn finish_adopt(&mut self, mut conn: Conn, pending: Vec<Frame>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let fd = raw_fd(&conn.stream);
+        let want_write = conn.out_pos < conn.out.len();
+        conn.want_write = want_write;
+        if self.poller.add(fd, token, want_write).is_err() {
+            return; // fd table full or poller gone; drop the connection
+        }
+        self.conns.insert(token, conn);
+        if !pending.is_empty() {
+            self.pump(token, pending, false);
+        }
+    }
+
+    /// Handles a readiness event on `token`.
+    fn service(&mut self, token: u64, readable: bool, writable: bool) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if writable {
+            let conn = self.conns.get_mut(&token).expect("checked");
+            if conn.flush().is_err() {
+                self.drop_conn(token);
+                return;
+            }
+        }
+        if readable {
+            self.pump(token, Vec::new(), true);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Drives one connection: handle `pending` frames, optionally read
+    /// fresh bytes, drain the assembler, flush, update interest.
+    fn pump(&mut self, token: u64, pending: Vec<Frame>, do_read: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut pending = pending.into_iter();
+        while let Some(frame) = pending.next() {
+            match self.handle_frame(&mut conn, frame) {
+                Action::Keep => {}
+                Action::Close => return, // conn dropped (not reinserted)
+                Action::Migrate(home, frame) => {
+                    let mut rest: Vec<Frame> = vec![frame];
+                    rest.extend(pending);
+                    self.migrate(conn, home, rest);
+                    return;
+                }
+            }
+        }
+        if do_read {
+            match conn.read_available() {
+                Ok(false) => {}
+                // EOF or socket failure: drop the connection but NOT
+                // the client's leases — it may be a crash-rejoin or
+                // reconnect. True departures are reclaimed by the
+                // liveness sweep / lease timeouts.
+                Ok(true) | Err(_) => return,
+            }
+        }
+        loop {
+            match conn.asm.next_frame() {
+                Ok(Some(frame)) => {
+                    self.shared.telemetry.counter_add("net.frames_in", 1);
+                    match self.handle_frame(&mut conn, frame) {
+                        Action::Keep => {}
+                        Action::Close => return,
+                        Action::Migrate(home, frame) => {
+                            self.migrate(conn, home, vec![frame]);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(DecodeError::BodyCrc {
+                    frame_type,
+                    body_prefix,
+                }) => {
+                    self.shared.telemetry.counter_add("net.crc_failures", 1);
+                    // A corrupt frame is detected, not fatal: a mangled
+                    // result still routes to the reissue path (its id
+                    // fields are in the prefix), and the assembler
+                    // already resynced past the frame.
+                    if frame_type == SUBMIT_RESULT_TYPE {
+                        self.handle_corrupt_result(&mut conn, &body_prefix);
+                    }
+                }
+                // Unrecoverable decode (bad magic/version/header CRC):
+                // the stream cannot be trusted; drop the connection.
+                Err(_) => return,
+            }
+        }
+        if conn.flush().is_err() {
+            return;
+        }
+        self.conns.insert(token, conn);
+        self.update_interest(token);
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = conn.out_pos < conn.out.len();
+        if want != conn.want_write {
+            conn.want_write = want;
+            let fd = raw_fd(&conn.stream);
+            if self.poller.modify(fd, token, want).is_err() {
+                self.drop_conn(token);
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(raw_fd(&conn.stream), token);
+        }
+    }
+
+    /// Ships a connection (it was removed from `conns` already) to its
+    /// home shard, buffers and pending frames included.
+    fn migrate(&mut self, conn: Conn, home: usize, pending: Vec<Frame>) {
+        // The token dies with this shard's registration; the home shard
+        // assigns its own.
+        let _ = self.poller.remove(raw_fd(&conn.stream), 0);
+        self.shared.telemetry.counter_add("shard.migrations", 1);
+        self.shared.hand_to_shard(
+            home,
+            Inbound::Migrated(Box::new(MigratedConn {
+                stream: conn.stream,
+                asm: conn.asm,
+                out: conn.out,
+                out_pos: conn.out_pos,
+                client: conn.client,
+                pending,
+            })),
+        );
+    }
+
+    /// The donor id a frame routes by, `None` for unrouted traffic
+    /// (status probes, replica pull-through, goodbyes).
+    fn routing_client(frame: &Frame) -> Option<u64> {
+        match frame {
+            Frame::Hello { client }
+            | Frame::RequestWork { client }
+            | Frame::Heartbeat { client }
+            | Frame::SubmitResult { client, .. }
+            | Frame::MetricsReport { client, .. } => Some(*client),
+            Frame::ChunkRequest { client, .. } if *client != super::store::REPLICA_CLIENT_ID => {
+                Some(*client)
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies the directory handshake to one frame: returns the home
+    /// shard when the connection must migrate, `None` to handle here.
+    fn route(&mut self, conn: &mut Conn, frame: &Frame) -> Option<usize> {
+        let client = Self::routing_client(frame)?;
+        let home = (client as usize) % self.n_shards;
+        if home == self.shard {
+            conn.routed = true;
+            conn.client = Some(client);
+            if self.seen_clients.insert(client) {
+                self.shared.telemetry.gauge_set(
+                    &format!("shard.s{}.clients", self.shard),
+                    self.seen_clients.len() as f64,
+                );
+            }
+            None
+        } else if conn.routed || self.n_shards == 1 {
+            // Routed exactly once: a second client id on the same
+            // connection is served here and counted as an anomaly.
+            self.shared.telemetry.counter_add("shard.misrouted", 1);
+            None
+        } else {
+            Some(home)
+        }
+    }
+
+    fn handle_frame(&mut self, conn: &mut Conn, frame: Frame) -> Action {
+        if let Some(home) = self.route(conn, &frame) {
+            return Action::Migrate(home, frame);
+        }
+        let shared = self.shared;
+        let clock = self.clock;
         let reply = match frame {
             Frame::Hello { client } => {
                 mark_alive(shared, client as ClientId, clock.now());
@@ -246,9 +715,23 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                 let now = clock.now();
                 mark_alive(shared, client as ClientId, now);
                 let mut guard = shared.server.lock().unwrap();
-                let Some(server) = guard.as_mut() else { return };
+                let Some(server) = guard.as_mut() else {
+                    return Action::Close;
+                };
                 server.check_timeouts(now);
-                match server.request_work(client as ClientId, now) {
+                let assignment = if self.n_shards > 1 {
+                    sharded_request_work(
+                        server,
+                        shared,
+                        self.shard,
+                        client as ClientId,
+                        now,
+                        self.opts.claim_batch.max(1),
+                    )
+                } else {
+                    server.request_work(client as ClientId, now)
+                };
+                match assignment {
                     Assignment::Unit { problem, unit, .. } => {
                         let encoded = server
                             .codec(problem)
@@ -280,7 +763,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                 mark_alive(shared, client as ClientId, now);
                 let pid = problem as usize;
                 let mut guard = shared.server.lock().unwrap();
-                let Some(server) = guard.as_mut() else { return };
+                let Some(server) = guard.as_mut() else {
+                    return Action::Close;
+                };
                 let accepted = if pid < server.problem_count() {
                     match server.codec(pid).map(|c| c.decode_result(&payload)) {
                         Some(Ok(decoded)) => server.submit_result(
@@ -324,7 +809,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                     .lock()
                     .unwrap()
                     .remove(&(client as ClientId));
-                return;
+                return Action::Close;
             }
             Frame::ChunkRequest {
                 client,
@@ -342,7 +827,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
                 }
                 let pid = problem as usize;
                 let mut guard = shared.server.lock().unwrap();
-                let Some(server) = guard.as_mut() else { return };
+                let Some(server) = guard.as_mut() else {
+                    return Action::Close;
+                };
                 if pid >= server.problem_count() {
                     drop(guard);
                     // Garbage problem id: an explicit refusal, so the
@@ -409,7 +896,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             Frame::StatusRequest => {
                 let now = clock.now();
                 let mut guard = shared.server.lock().unwrap();
-                let Some(server) = guard.as_mut() else { return };
+                let Some(server) = guard.as_mut() else {
+                    return Action::Close;
+                };
                 let snapshot = server.status_snapshot(now);
                 drop(guard);
                 Some(Frame::StatusReport {
@@ -429,45 +918,124 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: Clock) {
             | Frame::StatusReport { .. } => None,
         };
         if let Some(reply) = reply {
-            let bytes = encode_frame(&reply);
-            shared.telemetry.counter_add("net.frames_out", 1);
-            shared
-                .telemetry
-                .counter_add("net.bytes_out", bytes.len() as u64);
-            if stream.write_all(&bytes).is_err() {
-                return;
+            conn.queue_reply(&reply, &shared.telemetry);
+        }
+        Action::Keep
+    }
+
+    /// Routes a CRC-failed `SubmitResult` to [`Server::result_corrupted`]
+    /// using the id fields from the (header-validated) body prefix, and
+    /// nacks so the sender retires or retries its pending copy.
+    fn handle_corrupt_result(&mut self, conn: &mut Conn, body_prefix: &[u8]) {
+        let mut r = ByteReader::new(body_prefix);
+        let (Ok(client), Ok(problem), Ok(unit)) = (r.u64(), r.u64(), r.u64()) else {
+            return; // prefix too mangled to attribute; lease expiry recovers
+        };
+        let pid = problem as usize;
+        let now = self.clock.now();
+        {
+            let mut guard = self.shared.server.lock().unwrap();
+            let Some(server) = guard.as_mut() else { return };
+            if pid < server.problem_count() {
+                server.result_corrupted(client as ClientId, pid, unit, now);
             }
         }
+        conn.queue_reply(
+            &Frame::ResultAck {
+                problem,
+                unit,
+                accepted: false,
+            },
+            &self.shared.telemetry.clone(),
+        );
     }
 }
 
-/// Routes a CRC-failed `SubmitResult` to [`Server::result_corrupted`]
-/// using the id fields from the (header-validated) body prefix, and
-/// nacks so the sender retires or retries its pending copy.
-fn handle_corrupt_result(
-    body_prefix: &[u8],
+/// The sharded request path, run under the server lock: centrally-owned
+/// priority queues first (rescue/reissue/quorum), then this shard's
+/// claimed units (affinity-picked), then a steal from the first
+/// non-empty sibling, then a fresh claim batch — and only when every
+/// queue in the system is dry, the full legacy path (lookahead pool,
+/// end-game speculation, `Wait`).
+///
+/// Ordering is the liveness argument: any request while any shard queue
+/// is non-empty leases a queued unit, so claimed units always drain —
+/// a shard whose donors all crashed cannot strand work.
+fn sharded_request_work(
+    server: &mut Server,
     shared: &Shared,
-    clock: Clock,
-    stream: &mut TcpStream,
-) {
-    let mut r = ByteReader::new(body_prefix);
-    let (Ok(client), Ok(problem), Ok(unit)) = (r.u64(), r.u64(), r.u64()) else {
-        return; // prefix too mangled to attribute; lease expiry recovers
-    };
-    let pid = problem as usize;
-    let now = clock.now();
-    {
-        let mut guard = shared.server.lock().unwrap();
-        let Some(server) = guard.as_mut() else { return };
-        if pid < server.problem_count() {
-            server.result_corrupted(client as ClientId, pid, unit, now);
+    shard: usize,
+    client: ClientId,
+    now: f64,
+    claim_batch: usize,
+) -> Assignment {
+    if let Some(a) = server.priority_work(client, now) {
+        return a;
+    }
+    // Donors caching chunks dispatch through the affinity machinery,
+    // not the shard-local claim queues: first the best cached-data
+    // match across *every* queue (a batch claim may have pulled this
+    // donor's unit into a sibling's queue), then the central path,
+    // whose lookahead pool is the full `affinity_lookahead` window —
+    // a shard-sized claim window would refetch chunks the fleet
+    // already holds. The claim/steal plane below serves cold donors.
+    if server.has_affinity(client) {
+        while let Some((pid, unit)) = shared
+            .queues
+            .pop_best(shard, |(pid, u)| server.claimed_affinity(client, *pid, u))
+        {
+            match server.lease_claimed(client, pid, unit, now) {
+                Some(a) => return a,
+                // The problem completed while the unit sat queued;
+                // drop it and try the next candidate.
+                None => continue,
+            }
+        }
+        let a = server.request_work(client, now);
+        if !matches!(a, Assignment::Wait) {
+            return a;
+        }
+        // Nothing fresh anywhere: drain stranded claims — a queued
+        // unit's affine donor may never come back, and leaving it
+        // would stall the run on a cache optimisation.
+        loop {
+            let Some((pid, unit)) = shared.queues.pop_any(shard) else {
+                return Assignment::Wait;
+            };
+            match server.lease_claimed(client, pid, unit, now) {
+                Some(a) => return a,
+                None => continue,
+            }
         }
     }
-    let _ = stream.write_all(&encode_frame(&Frame::ResultAck {
-        problem,
-        unit,
-        accepted: false,
-    }));
+    loop {
+        if let Some((pid, unit)) = shared
+            .queues
+            .pop_pick(shard, |q| server.claimed_pick(client, q))
+        {
+            match server.lease_claimed(client, pid, unit, now) {
+                Some(a) => return a,
+                None => continue,
+            }
+        }
+        let stolen = shared.queues.steal_into(shard);
+        if stolen > 0 {
+            shared.telemetry.counter_add("shard.steals", 1);
+            shared
+                .telemetry
+                .counter_add("shard.stolen_units", stolen as u64);
+            continue;
+        }
+        let batch = server.claim_units(client, claim_batch, now);
+        if batch.is_empty() {
+            break;
+        }
+        shared
+            .telemetry
+            .counter_add("shard.claimed", batch.len() as u64);
+        shared.queues.push_batch(shard, batch);
+    }
+    server.request_work(client, now)
 }
 
 fn mark_alive(shared: &Shared, client: ClientId, now: f64) {
@@ -531,6 +1099,7 @@ fn ticker_loop(shared: &Arc<Shared>, clock: Clock, opts: &NetServerOptions) {
 mod tests {
     use super::*;
     use crate::builtin::integration_problem;
+    use crate::net::wire::FrameReader;
     use crate::sched::SchedulerConfig;
     use crate::server::Server;
 
@@ -613,6 +1182,8 @@ mod tests {
                         other => panic!("expected an ack, got {other:?}"),
                     }
                 }
+                // A Wait is a real pause server-side; the raw client
+                // just asks again on its next loop iteration.
                 Frame::Wait => thread::sleep(Duration::from_millis(1)),
                 Frame::Finished => break,
                 other => panic!("unexpected frame {other:?}"),
@@ -682,5 +1253,110 @@ mod tests {
             thread::sleep(Duration::from_millis(2));
         }
         net.kill();
+    }
+
+    /// Two raw donors homed on different shards: each frame must be
+    /// handled on its home shard (gauges say so), with exactly one
+    /// migration per connection and no misroutes.
+    #[test]
+    fn donors_land_on_their_home_shards() {
+        let clock = Clock::new(1000.0);
+        let mut server = Server::new(small_cfg());
+        server.set_telemetry(crate::telemetry::Telemetry::enabled());
+        let telemetry = server.telemetry();
+        let pid = server.submit(integration_problem(100_000));
+        let algorithm = server.algorithm(pid);
+        let codec = server.codec(pid).unwrap();
+        let net = NetServer::start(
+            server,
+            clock,
+            NetServerOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let run_donor = |client: u64, addr: SocketAddr| {
+            let algorithm = algorithm.clone();
+            let codec = codec.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(50)))
+                    .unwrap();
+                let mut reader = FrameReader::new();
+                let await_frame = |stream: &mut TcpStream, reader: &mut FrameReader| loop {
+                    match reader.poll(stream) {
+                        Ok(Some(f)) => return f,
+                        Ok(None) => {}
+                        Err(e) => panic!("read failed: {e}"),
+                    }
+                };
+                stream
+                    .write_all(&encode_frame(&Frame::Hello { client }))
+                    .unwrap();
+                loop {
+                    stream
+                        .write_all(&encode_frame(&Frame::RequestWork { client }))
+                        .unwrap();
+                    match await_frame(&mut stream, &mut reader) {
+                        Frame::AssignUnit {
+                            problem,
+                            unit,
+                            cost_ops,
+                            payload,
+                        } => {
+                            let wu = crate::problem::WorkUnit {
+                                id: unit,
+                                payload: codec.decode_unit(&payload).unwrap(),
+                                cost_ops,
+                            };
+                            let result = algorithm.compute(&wu);
+                            let encoded = codec.encode_result(&result.payload).unwrap();
+                            stream
+                                .write_all(&encode_frame(&Frame::SubmitResult {
+                                    client,
+                                    problem,
+                                    unit,
+                                    payload: encoded,
+                                }))
+                                .unwrap();
+                            match await_frame(&mut stream, &mut reader) {
+                                Frame::ResultAck { .. } => {}
+                                other => panic!("expected an ack, got {other:?}"),
+                            }
+                        }
+                        Frame::Wait => thread::sleep(Duration::from_millis(1)),
+                        Frame::Finished => break,
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+            })
+        };
+        let d0 = run_donor(0, net.addr()); // home shard 0
+        let d1 = run_donor(1, net.addr()); // home shard 1
+        d0.join().unwrap();
+        d1.join().unwrap();
+        let mut server = net.wait();
+        let pi = server.take_output(pid).unwrap().into_inner::<f64>();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-8, "got {pi}");
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(
+            snap.gauge("shard.s0.clients"),
+            Some(1.0),
+            "donor 0 on shard 0"
+        );
+        assert_eq!(
+            snap.gauge("shard.s1.clients"),
+            Some(1.0),
+            "donor 1 on shard 1"
+        );
+        assert_eq!(snap.counter("shard.misrouted"), 0);
+        assert_eq!(
+            snap.gauge("evloop.threads"),
+            Some(4.0),
+            "2 shards + acceptor + ticker"
+        );
     }
 }

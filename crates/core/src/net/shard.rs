@@ -1,0 +1,231 @@
+//! Claimed-unit queues for the sharded dispatch plane.
+//!
+//! Each event-loop shard owns one queue of *claimed* units: fresh work
+//! pulled (and journaled) from the central server in batches, waiting
+//! to be leased to the shard's own donors. The central server keeps all
+//! authority — leases, folds, quorum, reissue, recovery — so a claimed
+//! unit is nothing but a dispatch reservation; anything that crashes or
+//! completes is handled by the same central paths as before.
+//!
+//! When a shard runs dry it *steals* from its siblings before asking
+//! the server for fresh work, so a shard whose donors all vanish
+//! mid-run cannot strand its claimed units: any surviving donor's next
+//! request drains every queue in the system before falling back. That
+//! ordering is the liveness argument — data managers generate each
+//! unit exactly once, so a claimed unit must eventually be leased or
+//! its problem never completes.
+//!
+//! Locks here are leaves: each queue has its own mutex, taken strictly
+//! after (or without) the server lock, and never two at once — a steal
+//! drains the victim under one lock, releases it, then fills the thief.
+
+use crate::problem::WorkUnit;
+use crate::server::ProblemId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// One claimed unit: the problem it belongs to and the unit itself.
+pub type Claimed = (ProblemId, Arc<WorkUnit>);
+
+/// The per-shard claimed-unit queues, shared by every server thread.
+pub struct ShardQueues {
+    queues: Vec<Mutex<VecDeque<Claimed>>>,
+}
+
+impl ShardQueues {
+    /// Queues for `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            queues: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Appends a freshly claimed batch to `shard`'s queue.
+    pub fn push_batch(&self, shard: usize, batch: Vec<Claimed>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut q = self.queues[shard].lock().unwrap();
+        q.extend(batch);
+    }
+
+    /// Pops one unit from `shard`'s queue, letting `pick` choose the
+    /// index (affinity-aware selection runs under the caller's server
+    /// lock; this lock is a leaf below it).
+    pub fn pop_pick(
+        &self,
+        shard: usize,
+        pick: impl FnOnce(&VecDeque<Claimed>) -> usize,
+    ) -> Option<Claimed> {
+        let mut q = self.queues[shard].lock().unwrap();
+        if q.is_empty() {
+            return None;
+        }
+        let idx = pick(&q).min(q.len() - 1);
+        q.remove(idx)
+    }
+
+    /// Pops the highest-`score` unit across *every* queue, scanning
+    /// `home` first so equal scores stay shard-local; returns `None`
+    /// when nothing scores above zero. Used for donors with
+    /// chunk-affinity entries: the unit whose data a donor caches may
+    /// have been claimed by any shard, and leaving it there trades a
+    /// queue pop for a full chunk refetch — while a zero-score unit is
+    /// deliberately left queued for whichever donor does cache it.
+    ///
+    /// Locks queues strictly one at a time. Callers hold the server
+    /// lock (scoring requires it), which serializes every queue
+    /// mutation in the dispatch path, so the two-phase scan-then-pop
+    /// is exact, not merely best-effort.
+    pub fn pop_best(&self, home: usize, score: impl Fn(&Claimed) -> usize) -> Option<Claimed> {
+        let n = self.queues.len();
+        let mut best: Option<(usize, usize)> = None;
+        for step in 0..n {
+            let shard = (home + step) % n;
+            let q = self.queues[shard].lock().unwrap();
+            for c in q.iter() {
+                let s = score(c);
+                if s > 0 && best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((shard, s));
+                }
+            }
+        }
+        let (shard, _) = best?;
+        let mut q = self.queues[shard].lock().unwrap();
+        let mut bi = 0usize;
+        let mut bs = 0usize;
+        for (i, c) in q.iter().enumerate() {
+            let s = score(c);
+            if s > bs {
+                bi = i;
+                bs = s;
+            }
+        }
+        if bs == 0 {
+            return None;
+        }
+        q.remove(bi)
+    }
+
+    /// Pops the front of the first non-empty queue, scanning `home`
+    /// first — the liveness backstop for claimed units whose affine
+    /// donor never returns.
+    pub fn pop_any(&self, home: usize) -> Option<Claimed> {
+        let n = self.queues.len();
+        for step in 0..n {
+            let shard = (home + step) % n;
+            let mut q = self.queues[shard].lock().unwrap();
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Steals work into `thief`'s queue from the first non-empty
+    /// sibling, scanning `(thief + 1) % n` onward so victims rotate.
+    /// Takes the back half (≥ 1 unit) of the victim — the owner keeps
+    /// its oldest claims — and returns how many units moved.
+    pub fn steal_into(&self, thief: usize) -> usize {
+        let n = self.queues.len();
+        for step in 1..n {
+            let victim = (thief + step) % n;
+            // Drain under the victim's lock only, fill the thief after
+            // releasing it: no two queue locks are ever held at once,
+            // so concurrent mutual steals cannot deadlock.
+            let taken: Vec<Claimed> = {
+                let mut q = self.queues[victim].lock().unwrap();
+                if q.is_empty() {
+                    continue;
+                }
+                let keep = q.len() / 2;
+                q.split_off(keep).into()
+            };
+            let count = taken.len();
+            if count > 0 {
+                self.queues[thief].lock().unwrap().extend(taken);
+                return count;
+            }
+        }
+        0
+    }
+
+    /// Units queued on `shard`.
+    pub fn len(&self, shard: usize) -> usize {
+        self.queues[shard].lock().unwrap().len()
+    }
+
+    /// Units queued across every shard.
+    pub fn total_len(&self) -> usize {
+        (0..self.queues.len()).map(|s| self.len(s)).sum()
+    }
+
+    /// Whether every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Payload, WorkUnit};
+
+    fn unit(id: u64) -> Claimed {
+        (
+            0,
+            Arc::new(WorkUnit {
+                id,
+                payload: Payload::new((), 0),
+                cost_ops: 1.0,
+            }),
+        )
+    }
+
+    #[test]
+    fn steal_takes_back_half_and_rotates_victims() {
+        let q = ShardQueues::new(3);
+        q.push_batch(1, (0..4).map(unit).collect());
+        // Shard 0 steals: victim scan starts at shard 1.
+        let moved = q.steal_into(0);
+        assert_eq!(moved, 2, "back half of 4");
+        assert_eq!(q.len(0), 2);
+        assert_eq!(q.len(1), 2);
+        // Victim keeps its *oldest* claims.
+        let kept = q.pop_pick(1, |_| 0).unwrap();
+        assert_eq!(kept.1.id, 0);
+        // Drain shard 0 so the next scan reaches shard 1, which holds a
+        // single unit: still stealable (half ≥ 1).
+        q.pop_pick(0, |_| 0).unwrap();
+        q.pop_pick(0, |_| 0).unwrap();
+        assert_eq!(q.steal_into(2), 1);
+        assert_eq!(q.len(1), 0);
+        assert_eq!(q.len(2), 1);
+    }
+
+    #[test]
+    fn pop_pick_selects_by_index_and_clamps() {
+        let q = ShardQueues::new(1);
+        q.push_batch(0, (0..3).map(unit).collect());
+        assert_eq!(q.pop_pick(0, |_| 1).unwrap().1.id, 1);
+        assert_eq!(q.pop_pick(0, |_| 99).unwrap().1.id, 2, "clamped to last");
+        assert_eq!(q.pop_pick(0, |_| 0).unwrap().1.id, 0);
+        assert!(q.pop_pick(0, |_| 0).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_system_steals_nothing() {
+        let q = ShardQueues::new(4);
+        assert_eq!(q.steal_into(2), 0);
+        assert_eq!(q.total_len(), 0);
+    }
+}

@@ -518,6 +518,61 @@ impl std::fmt::Display for ReadError {
 
 impl std::error::Error for ReadError {}
 
+/// The frame-reassembly state machine: push bytes in whatever split
+/// points the transport produced, pull whole frames out. This is the
+/// single home of the resync logic — the blocking [`FrameReader`] and
+/// the nonblocking event-loop connections both wrap it, so a split
+/// point can never behave differently between transports.
+///
+/// `next` returns `Ok(None)` when more bytes are needed. A
+/// [`DecodeError::BodyCrc`] consumes the whole offending frame before
+/// being returned (its span is header-CRC-trusted), so the caller can
+/// report the corruption and keep pulling frames from the same buffer;
+/// every other error leaves the buffer untrustworthy and the caller
+/// should drop the connection.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes at any split point.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls the next complete frame, if the buffered bytes hold one.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        match decode_frame(&self.buf) {
+            Ok((frame, used)) => {
+                self.buf.drain(..used);
+                Ok(Some(frame))
+            }
+            Err(DecodeError::Incomplete) => Ok(None),
+            Err(e @ DecodeError::BodyCrc { .. }) => {
+                // The header was sound, so the frame's span is known:
+                // skip it whole and let the caller keep the stream.
+                if let Ok((_, body_len)) = parse_header(&self.buf) {
+                    let total = HEADER_LEN + body_len as usize + 4;
+                    self.buf.drain(..total.min(self.buf.len()));
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Incremental frame reader over a (possibly timeout-configured)
 /// stream. Partial reads are buffered, so a read timeout mid-frame
 /// never desynchronises the stream; `poll` returns `Ok(None)` on
@@ -528,7 +583,7 @@ impl std::error::Error for ReadError {}
 /// report the corruption and keep reading the same connection.
 #[derive(Debug, Default)]
 pub struct FrameReader {
-    buf: Vec<u8>,
+    asm: FrameAssembler,
 }
 
 impl FrameReader {
@@ -541,12 +596,9 @@ impl FrameReader {
     /// (`Ok(None)`), or the connection fails.
     pub fn poll<R: Read>(&mut self, stream: &mut R) -> Result<Option<Frame>, ReadError> {
         loop {
-            match decode_frame(&self.buf) {
-                Ok((frame, used)) => {
-                    self.buf.drain(..used);
-                    return Ok(Some(frame));
-                }
-                Err(DecodeError::Incomplete) => {
+            match self.asm.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {
                     let mut chunk = [0u8; 4096];
                     match stream.read(&mut chunk) {
                         Ok(0) => {
@@ -555,7 +607,7 @@ impl FrameReader {
                                 "peer closed the connection",
                             )))
                         }
-                        Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                        Ok(n) => self.asm.push(&chunk[..n]),
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -565,15 +617,6 @@ impl FrameReader {
                         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                         Err(e) => return Err(ReadError::Io(e)),
                     }
-                }
-                Err(e @ DecodeError::BodyCrc { .. }) => {
-                    // The header was sound, so the frame's span is known:
-                    // skip it whole and let the caller keep the stream.
-                    if let Ok((_, body_len)) = parse_header(&self.buf) {
-                        let total = HEADER_LEN + body_len as usize + 4;
-                        self.buf.drain(..total.min(self.buf.len()));
-                    }
-                    return Err(ReadError::Decode(e));
                 }
                 Err(e) => return Err(ReadError::Decode(e)),
             }

@@ -109,6 +109,9 @@ pub struct RunReport {
     pub mean_link_queue_wait: f64,
     /// Mean fraction of present time machines spent computing.
     pub mean_utilization: f64,
+    /// Discrete events the simulator's main loop processed — the
+    /// denominator for events-per-second throughput in scale sweeps.
+    pub events_processed: u64,
 }
 
 // Per-machine events carry the machine's lifecycle epoch at scheduling
@@ -302,7 +305,9 @@ impl SimRunner {
         events.schedule(self.cfg.timeout_check_secs, Ev::TimeoutCheck);
 
         let debug = std::env::var("BIODIST_SIM_DEBUG").is_ok();
+        let mut events_processed = 0u64;
         while let Some((now, ev)) = events.pop() {
+            events_processed += 1;
             if debug {
                 let tag = match &ev {
                     Ev::Join(m) => format!("join {m}"),
@@ -887,6 +892,7 @@ impl SimRunner {
             } else {
                 util_sum / util_n as f64
             },
+            events_processed,
         };
         (report, self.server)
     }

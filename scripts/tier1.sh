@@ -19,12 +19,16 @@ cargo test -q --offline
 # through killed/stalled replicas against the sequential digest), and
 # the ops-plane suite (wire-correlated four-phase spans, donor metrics
 # shipping into the live status view, and the straggler-detector
-# acceptance scenario on both the simulator and loopback TCP).
+# acceptance scenario on both the simulator and loopback TCP), and
+# the scale tier (the 1k-donor sharded event-loop soak with
+# exactly-once audit, O(shards) thread count, and the deterministic
+# work-steal case).
 cargo test -q --offline --test chaos tcp
 cargo test -q --offline --test net_recovery
 cargo test -q --offline --test stress
 cargo test -q --offline --test byzantine
 cargo test -q --offline --test replica
 cargo test -q --offline --test ops
+cargo test -q --offline --test scale
 
 echo "tier1: OK"

@@ -944,3 +944,114 @@ fn backend_parity_dprml_same_plan() {
         );
     }
 }
+
+// ------------------------------------------------- sharded control plane
+
+/// The sharded dispatch plane under donor loss: 8 donors over 4 shards,
+/// and *both* of shard 0's donors (clients 0 and 4 — homed by
+/// `client % shards`) depart permanently mid-run. Their leased units
+/// reissue through the liveness path as always, and the units sitting
+/// claimed in shard 0's queue must be drained by sibling shards' steals
+/// — stranding even one would hang the run. Digest parity with the
+/// sequential reference and the exactly-once audit both must hold.
+#[test]
+fn tcp_sharded_shard0_donors_all_depart_work_is_stolen_to_completion() {
+    use biodist::core::{run_tcp_with, NetServerOptions};
+    let w = dsearch_workload();
+    let cfg = thread_cfg();
+    let plan = FaultPlan::new(0)
+        .with(0.4, 0, FaultKind::Depart)
+        .with(0.4, 4, FaultKind::Depart);
+    let mut server = Server::new(cfg.clone());
+    let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+    let pid = server.submit(problem);
+    let (mut server, _) = run_tcp_with(
+        server,
+        8,
+        0,
+        &plan,
+        TIME_SCALE,
+        NetServerOptions {
+            shards: 4,
+            claim_batch: 6,
+            ..Default::default()
+        },
+    );
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    if out.digest() != w.reference {
+        chaos_panic(
+            "dsearch",
+            "tcp-sharded",
+            0,
+            &plan,
+            &cfg,
+            "output differs from reference".into(),
+        );
+    }
+    if let Err(v) = audit.verify_run(&server) {
+        chaos_panic(
+            "dsearch",
+            "tcp-sharded",
+            0,
+            &plan,
+            &cfg,
+            format!("invariants violated: {v:?}"),
+        );
+    }
+}
+
+/// Seeded backend parity with the dispatch plane sharded: the same
+/// chaos plans the unsharded TCP sweep runs must produce the reference
+/// digest with `shards = 4` — sharding changes who hands a unit over,
+/// never what is computed.
+#[test]
+fn tcp_sharded_seeded_chaos_parity() {
+    use biodist::core::{run_tcp_with, NetServerOptions};
+    let w = dsearch_workload();
+    for seed in [7u64, 42] {
+        let opts = ChaosOptions::for_pool(POOL, THREAD_HORIZON);
+        let plan = FaultPlan::random(seed, &opts);
+        let cfg = thread_cfg();
+        let mut server = Server::new(cfg.clone());
+        let (problem, audit) = audited(dsearch_problem(w.db.clone(), w.queries.clone(), &w.cfg));
+        let pid = server.submit(problem);
+        let (mut server, _) = run_tcp_with(
+            server,
+            POOL,
+            0,
+            &plan,
+            TIME_SCALE,
+            NetServerOptions {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        let out = server
+            .take_output(pid)
+            .unwrap()
+            .into_inner::<SearchOutput>();
+        if out.digest() != w.reference {
+            chaos_panic(
+                "dsearch",
+                "tcp-sharded",
+                seed,
+                &plan,
+                &cfg,
+                "output differs from reference".into(),
+            );
+        }
+        if let Err(v) = audit.verify_run(&server) {
+            chaos_panic(
+                "dsearch",
+                "tcp-sharded",
+                seed,
+                &plan,
+                &cfg,
+                format!("invariants violated: {v:?}"),
+            );
+        }
+    }
+}

@@ -423,3 +423,163 @@ fn recovery_survives_a_second_crash() {
 
     let _ = std::fs::remove_file(&log);
 }
+
+/// Kill-and-recover with the control plane sharded: donors are routed
+/// to their home shard (`client % 2`) in the first life, the server
+/// dies mid-run, and the restarted (recovered) server — also sharded —
+/// re-routes every reconnecting donor to its home shard again while the
+/// checkpoint replay keeps the run exactly-once. Routing is asserted
+/// from the metrics registry in *both* lives: the per-shard donor
+/// gauges split 2/2 and `shard.misrouted` stays zero.
+#[test]
+fn kill_sharded_tcp_server_recover_and_reroute() {
+    use biodist::core::NetServerOptions as Opts;
+    let queries = vec![random_sequence(Alphabet::Protein, "q", 100, 5)];
+    let db = SyntheticDb::generate(&DbSpec::protein_demo(200, 80), 6).sequences;
+    let cfg = DsearchConfig::protein_default();
+    let reference = SearchOutput {
+        hits: search_sequential(&db, &queries, &cfg),
+    }
+    .digest();
+
+    let log = temp_log("kill-sharded");
+    let clock = Clock::new(TIME_SCALE);
+
+    // ---- first life: 2 shards, journal everything, die mid-run ------
+    let mut server = Server::new(tiny_unit_cfg());
+    server.set_telemetry(Telemetry::enabled());
+    let tel1 = server.telemetry();
+    let pid = server.submit(build_problem(db.clone(), queries.clone(), &cfg));
+    let writer = CheckpointWriter::create(&log).expect("create checkpoint log");
+    server.set_journal(Box::new(writer.clone()));
+    let net = NetServer::start(
+        server,
+        clock,
+        NetServerOptions {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind first server");
+
+    let dir = directory();
+    dir.set_origin(Some(net.addr()));
+    let run_over = Arc::new(AtomicBool::new(false));
+    let kit = net
+        .with_server(|s| ClientKit::from_server(s).expect("codecs registered"))
+        .expect("server alive");
+    let handles = spawn_clients(
+        dir.clone(),
+        clock,
+        kit,
+        POOL,
+        &FaultPlan::none(),
+        run_over.clone(),
+        NetClientOptions::default(),
+    );
+
+    // Progress plus full routing: all four donors must have spoken (and
+    // thus been homed) before the plug is pulled.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let progress_at_kill = loop {
+        let completed = net
+            .with_server(|s| s.stats(pid).completed_units)
+            .expect("server alive");
+        let snap = tel1.metrics_snapshot();
+        let routed = snap.gauge("shard.s0.clients").unwrap_or(0.0)
+            + snap.gauge("shard.s1.clients").unwrap_or(0.0);
+        if completed >= 20 && routed as usize == POOL {
+            break completed;
+        }
+        assert!(Instant::now() < deadline, "no progress before kill");
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    {
+        // Every donor is on its home shard: clients {0,2} on shard 0,
+        // {1,3} on shard 1, and nothing was ever served off-home.
+        let snap = tel1.metrics_snapshot();
+        assert_eq!(snap.gauge("shard.s0.clients"), Some(2.0));
+        assert_eq!(snap.gauge("shard.s1.clients"), Some(2.0));
+        assert_eq!(snap.counter("shard.misrouted"), 0);
+        assert_eq!(snap.gauge("evloop.threads"), Some(4.0), "2 shards + 2");
+    }
+    dir.set_origin(None);
+    net.kill();
+
+    // ---- second life: recover, restart sharded, donors re-route -----
+    let (problem, audit) = audited(build_problem(db, queries, &cfg));
+    let (mut server, report) =
+        recover(tiny_unit_cfg(), vec![problem], &log).expect("recover from checkpoint log");
+    assert!(
+        report.replayed_results >= progress_at_kill,
+        "checkpoint replay lost completions"
+    );
+    assert!(!server.all_complete(), "recovered server must have work");
+    server.set_telemetry(Telemetry::enabled());
+    let tel2 = server.telemetry();
+    let writer = CheckpointWriter::append(&log).expect("reopen checkpoint log");
+    server.set_journal(Box::new(writer.clone()));
+    let net = NetServer::start(
+        server,
+        clock,
+        Opts {
+            snapshot_every_ticks: 5,
+            checkpoint: Some(writer),
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind second server");
+    dir.set_origin(Some(net.addr()));
+
+    // The same donor threads reconnect to the new port; each must land
+    // back on its home shard (poll until routing completes or the short
+    // remainder of the run finishes first).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = tel2.metrics_snapshot();
+        let s0 = snap.gauge("shard.s0.clients").unwrap_or(0.0);
+        let s1 = snap.gauge("shard.s1.clients").unwrap_or(0.0);
+        let complete = net.with_server(|s| s.all_complete()).unwrap_or(true);
+        if (s0 == 2.0 && s1 == 2.0) || complete {
+            break;
+        }
+        assert!(Instant::now() < deadline, "donors never re-routed");
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    let mut server = net.wait();
+    run_over.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let snap = tel2.metrics_snapshot();
+    assert_eq!(
+        snap.counter("shard.misrouted"),
+        0,
+        "re-routing stayed exact"
+    );
+    assert!(
+        snap.gauge("shard.s0.clients").unwrap_or(0.0)
+            + snap.gauge("shard.s1.clients").unwrap_or(0.0)
+            >= 1.0,
+        "at least one donor re-routed and finished the run"
+    );
+    let out = server
+        .take_output(pid)
+        .unwrap()
+        .into_inner::<SearchOutput>();
+    assert_eq!(
+        out.digest(),
+        reference,
+        "sharded recovery reproduces the reference"
+    );
+    audit
+        .verify_run(&server)
+        .expect("exactly-once invariants hold across the sharded crash");
+
+    let _ = std::fs::remove_file(&log);
+}
